@@ -1,0 +1,90 @@
+// Shared helpers for the experiment harness. Every bench binary prints the
+// deterministic paper-style table for its experiment row(s) from DESIGN.md,
+// then runs google-benchmark timings.
+#ifndef TSBTREE_BENCH_BENCH_COMMON_H_
+#define TSBTREE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "storage/mem_device.h"
+#include "storage/worm_device.h"
+#include "tsb/tsb_stats.h"
+#include "tsb/tsb_tree.h"
+#include "util/workload.h"
+
+namespace tsb {
+namespace bench {
+
+/// A TSB-tree with its two devices, built from a workload.
+struct TsbFixture {
+  std::unique_ptr<MemDevice> magnetic;
+  std::unique_ptr<WormDevice> worm;
+  std::unique_ptr<tsb_tree::TsbTree> tree;
+
+  static TsbFixture Build(const util::WorkloadSpec& spec,
+                          const tsb_tree::TsbOptions& options,
+                          uint32_t sector_size = 1024) {
+    TsbFixture f;
+    f.magnetic = std::make_unique<MemDevice>();
+    f.worm = std::make_unique<WormDevice>(sector_size);
+    Status s = tsb_tree::TsbTree::Open(f.magnetic.get(), f.worm.get(),
+                                       options, &f.tree);
+    if (!s.ok()) {
+      fprintf(stderr, "fixture open failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+    util::WorkloadGenerator gen(spec);
+    util::Op op;
+    while (gen.Next(&op)) {
+      s = f.tree->Put(op.key, op.value, op.ts);
+      if (!s.ok()) {
+        fprintf(stderr, "fixture put failed: %s\n", s.ToString().c_str());
+        abort();
+      }
+    }
+    return f;
+  }
+
+  tsb_tree::SpaceStats Stats() {
+    tsb_tree::SpaceStats stats;
+    Status s = tree->ComputeSpaceStats(&stats);
+    if (!s.ok()) {
+      fprintf(stderr, "stats failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+    return stats;
+  }
+};
+
+inline double KiB(uint64_t bytes) { return static_cast<double>(bytes) / 1024.0; }
+
+inline const char* KindPolicyName(tsb_tree::SplitKindPolicy p) {
+  switch (p) {
+    case tsb_tree::SplitKindPolicy::kWobtStyle:
+      return "wobt-style";
+    case tsb_tree::SplitKindPolicy::kThreshold:
+      return "threshold";
+    case tsb_tree::SplitKindPolicy::kCostBased:
+      return "cost-based";
+  }
+  return "?";
+}
+
+inline const char* TimeModeName(tsb_tree::SplitTimeMode m) {
+  switch (m) {
+    case tsb_tree::SplitTimeMode::kCurrentTime:
+      return "current-time";
+    case tsb_tree::SplitTimeMode::kLastUpdate:
+      return "last-update";
+    case tsb_tree::SplitTimeMode::kMinRedundancy:
+      return "min-redundancy";
+  }
+  return "?";
+}
+
+}  // namespace bench
+}  // namespace tsb
+
+#endif  // TSBTREE_BENCH_BENCH_COMMON_H_

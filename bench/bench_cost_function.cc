@@ -1,0 +1,112 @@
+// Experiment E4 (paper section 3.2): the storage cost function
+// CS = SpaceM * CM + SpaceO * CO. The splitting policy is parameterized
+// (key-split threshold) and the optimum moves toward time splits as
+// magnetic storage gets relatively more expensive — "more time splits to
+// lower magnetic-disk space use, more key splits to lower total space use"
+// (section 5).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace tsb {
+namespace bench {
+namespace {
+
+constexpr size_t kOps = 15000;
+
+struct Sample {
+  double threshold;
+  tsb_tree::SpaceStats stats;
+};
+
+std::vector<Sample> Sweep() {
+  std::vector<Sample> samples;
+  for (double threshold : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    util::WorkloadSpec spec;
+    spec.seed = 42;
+    spec.num_ops = kOps;
+    spec.update_fraction = 0.6;
+    spec.value_size = 40;
+    tsb_tree::TsbOptions opts;
+    opts.page_size = 2048;
+    opts.policy.kind_policy = tsb_tree::SplitKindPolicy::kThreshold;
+    opts.policy.key_split_threshold = threshold;
+    opts.policy.time_mode = tsb_tree::SplitTimeMode::kLastUpdate;
+    TsbFixture f = TsbFixture::Build(spec, opts);
+    samples.push_back({threshold, f.Stats()});
+  }
+  return samples;
+}
+
+void PrintTable() {
+  printf("== E4: cost function CS = SpaceM*CM + SpaceO*CO ==\n");
+  printf("(%zu ops at 60%% updates; threshold policy sweep; KiB units)\n\n",
+         kOps);
+  std::vector<Sample> samples = Sweep();
+  printf("%10s %12s %12s |", "threshold", "SpaceM KiB", "SpaceO KiB");
+  struct Ratio {
+    const char* label;
+    double cm, co;
+  };
+  const Ratio ratios[] = {{"CM:CO=1:1", 1.0, 1.0},
+                          {"CM:CO=5:1", 1.0, 0.2},
+                          {"CM:CO=25:1", 1.0, 0.04},
+                          {"CM:CO=100:1", 1.0, 0.01}};
+  for (const Ratio& r : ratios) printf(" %12s", r.label);
+  printf("\n%s\n", std::string(36 + 13 * 4 + 1, '-').c_str());
+  for (const Sample& s : samples) {
+    printf("%10.2f %12.1f %12.1f |", s.threshold, KiB(s.stats.magnetic_bytes),
+           KiB(s.stats.optical_device_bytes));
+    for (const Ratio& r : ratios) {
+      printf(" %12.1f", s.stats.StorageCost(r.cm, r.co) / 1024.0);
+    }
+    printf("\n");
+  }
+  // The crossover: which threshold minimizes CS at each price ratio.
+  printf("\nbest threshold per price ratio:");
+  for (const Ratio& r : ratios) {
+    double best_cost = 1e300;
+    double best_threshold = 0;
+    for (const Sample& s : samples) {
+      const double c = s.stats.StorageCost(r.cm, r.co);
+      if (c < best_cost) {
+        best_cost = c;
+        best_threshold = s.threshold;
+      }
+    }
+    printf("  %s -> %.1f", r.label, best_threshold);
+  }
+  printf("\n(higher thresholds = more time splits; the optimum moves toward"
+         " time splits\n as magnetic storage gets relatively costlier)\n\n");
+}
+
+void BM_CostSweepBuild(benchmark::State& state) {
+  const double threshold = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    util::WorkloadSpec spec;
+    spec.seed = 3;
+    spec.num_ops = 3000;
+    spec.update_fraction = 0.6;
+    tsb_tree::TsbOptions opts;
+    opts.page_size = 2048;
+    opts.policy.key_split_threshold = threshold;
+    TsbFixture f = TsbFixture::Build(spec, opts);
+    benchmark::DoNotOptimize(f.tree.get());
+  }
+  state.SetItemsProcessed(state.iterations() * 3000);
+}
+BENCHMARK(BM_CostSweepBuild)->Arg(1)->Arg(5)->Arg(9)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tsb
+
+int main(int argc, char** argv) {
+  tsb::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

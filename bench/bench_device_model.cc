@@ -1,0 +1,118 @@
+// Experiment E7 (paper section 1): the device cost model itself — optical
+// seeks ~3x slower than magnetic, ~20 s robot mounts, and the trade-off
+// that makes the two-tier layout worthwhile: historical data is accessed
+// less often, so its slower seeks are tolerable.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+namespace tsb {
+namespace bench {
+namespace {
+
+void PrintTable() {
+  printf("== E7: simulated device characteristics ==\n\n");
+  printf("%-18s %12s %14s %12s | %16s\n", "device", "seek ms", "MB/s",
+         "mount ms", "1000 rand reads");
+  printf("%s\n", std::string(80, '-').c_str());
+  struct Row {
+    const char* name;
+    DeviceKind kind;
+    CostParams params;
+  };
+  const Row rows[] = {
+      {"magnetic", DeviceKind::kMagnetic, CostParams::Magnetic()},
+      {"optical-worm", DeviceKind::kOpticalErasable, CostParams::OpticalWorm()},
+      {"optical-jukebox", DeviceKind::kOpticalErasable,
+       CostParams::OpticalJukebox()},
+  };
+  double magnetic_ms = 0;
+  for (const Row& row : rows) {
+    MemDevice dev(row.kind, row.params);
+    // Fill 4 MiB, then 1000 random 4 KiB reads.
+    std::string chunk(1 << 16, 'x');
+    for (int i = 0; i < 64; ++i) {
+      dev.Write(static_cast<uint64_t>(i) << 16, chunk);
+    }
+    dev.ResetStats();
+    Random rnd(1);
+    char buf[4096];
+    for (int i = 0; i < 1000; ++i) {
+      dev.Read((rnd.Uniform(1023)) * 4096, sizeof(buf), buf);
+    }
+    const double ms = dev.stats().simulated_ms;
+    if (row.kind == DeviceKind::kMagnetic) magnetic_ms = ms;
+    printf("%-18s %12.1f %14.1f %12.1f | %13.0f ms%s\n", row.name,
+           row.params.avg_seek_ms, row.params.transfer_mb_per_s,
+           row.params.mount_ms, ms,
+           magnetic_ms > 0 && row.kind != DeviceKind::kMagnetic
+               ? (" (" + std::to_string(ms / magnetic_ms).substr(0, 4) +
+                  "x magnetic)")
+                     .c_str()
+               : "");
+  }
+  printf("\n== access mix: why the split layout wins ==\n");
+  printf("%-34s %16s\n", "configuration (95%% current reads)", "simulated ms");
+  printf("%s\n", std::string(52, '-').c_str());
+  // 1000 reads, 95% current / 5% historical, three placements.
+  auto mixed = [&](CostParams cur, CostParams hist) {
+    MemDevice c(DeviceKind::kMagnetic, cur);
+    MemDevice h(DeviceKind::kOpticalErasable, hist);
+    std::string chunk(1 << 16, 'x');
+    for (int i = 0; i < 64; ++i) {
+      c.Write(static_cast<uint64_t>(i) << 16, chunk);
+      h.Write(static_cast<uint64_t>(i) << 16, chunk);
+    }
+    c.ResetStats();
+    h.ResetStats();
+    Random rnd(2);
+    char buf[4096];
+    for (int i = 0; i < 1000; ++i) {
+      Device& dev = (rnd.Uniform(100) < 95) ? static_cast<Device&>(c)
+                                            : static_cast<Device&>(h);
+      dev.Read(rnd.Uniform(1023) * 4096, sizeof(buf), buf);
+    }
+    return c.stats().simulated_ms + h.stats().simulated_ms;
+  };
+  printf("%-34s %14.0f\n", "all magnetic (costly)",
+         mixed(CostParams::Magnetic(), CostParams::Magnetic()));
+  printf("%-34s %14.0f\n", "current magnetic + history optical",
+         mixed(CostParams::Magnetic(), CostParams::OpticalWorm()));
+  printf("%-34s %14.0f\n", "all optical (WOBT placement)",
+         mixed(CostParams::OpticalWorm(), CostParams::OpticalWorm()));
+  printf("\n(the hybrid tracks the all-magnetic time because the 5%%\n"
+         "historical tail tolerates slow seeks — section 1's argument)\n\n");
+}
+
+void BM_SimulatedRandomRead(benchmark::State& state) {
+  const CostParams params = state.range(0) == 0 ? CostParams::Magnetic()
+                                                : CostParams::OpticalWorm();
+  MemDevice dev(DeviceKind::kMagnetic, params);
+  std::string chunk(1 << 16, 'x');
+  for (int i = 0; i < 16; ++i) {
+    dev.Write(static_cast<uint64_t>(i) << 16, chunk);
+  }
+  Random rnd(1);
+  char buf[4096];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev.Read(rnd.Uniform(255) * 4096, 4096, buf));
+  }
+  state.counters["sim_ms_per_op"] =
+      dev.stats().simulated_ms / static_cast<double>(state.iterations());
+  state.SetLabel(state.range(0) == 0 ? "magnetic" : "optical");
+}
+BENCHMARK(BM_SimulatedRandomRead)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tsb
+
+int main(int argc, char** argv) {
+  tsb::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment E8 (paper sections 3.1, 3.5): migration behaviour — data
+// moves to the historical device incrementally, ONE NODE AT A TIME, only
+// when nodes time-split; index time splits are local ("there will usually
+// be a time before which all entries point to historical data"); and the
+// write stream to the WORM is strictly appending.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+namespace tsb {
+namespace bench {
+namespace {
+
+void PrintTable() {
+  printf("== E8: incremental migration, one node per time split ==\n\n");
+  printf("%8s | %10s %10s %10s %10s | %12s %10s\n", "upd%", "data tsplits",
+         "hist nodes", "idx tsplit", "idx hist", "migrated", "appends");
+  printf("%s\n", std::string(88, '-').c_str());
+  for (double uf : {0.5, 0.75, 0.9}) {
+    util::WorkloadSpec spec;
+    spec.seed = 42;
+    spec.num_ops = 20000;
+    spec.update_fraction = uf;
+    spec.value_size = 40;
+    tsb_tree::TsbOptions opts;
+    opts.page_size = 1024;
+    opts.policy.kind_policy = tsb_tree::SplitKindPolicy::kThreshold;
+    opts.policy.key_split_threshold = 0.5;
+    TsbFixture f = TsbFixture::Build(spec, opts);
+    const auto& c = f.tree->counters();
+    printf("%7.0f%% | %10llu %10llu %10llu %10llu | %12llu %10llu\n",
+           uf * 100, (unsigned long long)c.data_time_splits,
+           (unsigned long long)c.hist_data_nodes,
+           (unsigned long long)c.index_time_splits,
+           (unsigned long long)c.hist_index_nodes,
+           (unsigned long long)c.records_migrated,
+           (unsigned long long)f.tree->hist_store()->blob_count());
+    // The invariant the paper states: one consolidated node per time split.
+    if (c.data_time_splits != c.hist_data_nodes ||
+        c.index_time_splits != c.hist_index_nodes) {
+      printf("  *** VIOLATION: migration was not one-node-at-a-time!\n");
+    }
+  }
+  printf("\n(hist nodes == time splits: each split migrates exactly one\n"
+         "consolidated node; appends == data + index historical nodes)\n\n");
+}
+
+void BM_UpdateHeavyIngest(benchmark::State& state) {
+  // Throughput of the full ingest+migrate pipeline at varying update mix.
+  const double uf = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    util::WorkloadSpec spec;
+    spec.seed = 11;
+    spec.num_ops = 5000;
+    spec.update_fraction = uf;
+    tsb_tree::TsbOptions opts;
+    opts.page_size = 1024;
+    TsbFixture f = TsbFixture::Build(spec, opts);
+    benchmark::DoNotOptimize(f.tree.get());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_UpdateHeavyIngest)->Arg(0)->Arg(50)->Arg(90)->Unit(benchmark::kMillisecond);
+
+void BM_SingleTimeSplitCost(benchmark::State& state) {
+  // Marginal cost of one migration: build a nearly-full single-key node,
+  // then measure the insert that triggers the time split.
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemDevice magnetic;
+    WormDevice worm(1024);
+    tsb_tree::TsbOptions opts;
+    opts.page_size = 1024;
+    opts.policy.kind_policy = tsb_tree::SplitKindPolicy::kWobtStyle;
+    std::unique_ptr<tsb_tree::TsbTree> tree;
+    if (!tsb_tree::TsbTree::Open(&magnetic, &worm, opts, &tree).ok()) abort();
+    Timestamp ts = 0;
+    // Fill until the NEXT insert will split.
+    while (tree->counters().data_time_splits == 0) {
+      if (!tree->Put("hot", std::string(40, 'v'), ++ts).ok()) abort();
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tree->Put("hot", std::string(40, 'v'), ++ts));
+  }
+}
+BENCHMARK(BM_SingleTimeSplitCost)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tsb
+
+int main(int argc, char** argv) {
+  tsb::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

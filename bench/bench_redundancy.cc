@@ -1,0 +1,112 @@
+// Experiment E3 (paper section 5): amount of redundancy — physical record
+// copies per logical version — under different split-time choices, with
+// the WOBT as baseline.
+//
+// Expected shape: the WOBT, forced to split at current time on a
+// write-once medium, stores many copies of long-lived records; the
+// TSB-tree's free choice of split time cuts redundancy, with
+// min-redundancy < last-update < current-time.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "wobt/wobt_tree.h"
+
+namespace tsb {
+namespace bench {
+namespace {
+
+constexpr size_t kOps = 15000;
+
+double WobtRedundancy(double update_fraction, uint64_t* sectors) {
+  WormDevice worm(1024);
+  wobt::WobtOptions opts;
+  opts.node_sectors = 4;
+  wobt::WobtTree tree(&worm, opts);
+  util::WorkloadSpec spec;
+  spec.seed = 42;
+  spec.num_ops = kOps;
+  spec.update_fraction = update_fraction;
+  spec.value_size = 40;
+  util::WorkloadGenerator gen(spec);
+  util::Op op;
+  while (gen.Next(&op)) {
+    Status s = tree.Insert(op.key, op.value, op.ts);
+    if (!s.ok()) {
+      fprintf(stderr, "wobt insert failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+  }
+  *sectors = worm.sectors_burned();
+  const auto& c = tree.counters();
+  return static_cast<double>(c.record_copies) /
+         static_cast<double>(c.logical_inserts);
+}
+
+void PrintTable() {
+  printf("== E3: redundancy (physical copies / logical version) ==\n");
+  printf("(%zu ops, 40-byte values; TSB: 2 KiB pages; WOBT: 4x1 KiB nodes)\n\n",
+         kOps);
+  printf("%8s | %12s %12s %12s | %12s\n", "upd%", "tsb current",
+         "tsb last-upd", "tsb min-red", "wobt");
+  printf("%s\n", std::string(70, '-').c_str());
+  for (double uf : {0.25, 0.5, 0.75, 0.9}) {
+    double tsb_r[3];
+    int i = 0;
+    for (auto mode : {tsb_tree::SplitTimeMode::kCurrentTime,
+                      tsb_tree::SplitTimeMode::kLastUpdate,
+                      tsb_tree::SplitTimeMode::kMinRedundancy}) {
+      util::WorkloadSpec spec;
+      spec.seed = 42;
+      spec.num_ops = kOps;
+      spec.update_fraction = uf;
+      spec.value_size = 40;
+      tsb_tree::TsbOptions opts;
+      opts.page_size = 2048;
+      opts.policy.kind_policy = tsb_tree::SplitKindPolicy::kThreshold;
+      opts.policy.key_split_threshold = 0.5;
+      opts.policy.time_mode = mode;
+      TsbFixture f = TsbFixture::Build(spec, opts);
+      tsb_r[i++] = f.Stats().redundancy();
+    }
+    uint64_t wobt_sectors = 0;
+    const double wobt_r = WobtRedundancy(uf, &wobt_sectors);
+    printf("%7.0f%% | %12.3f %12.3f %12.3f | %12.3f\n", uf * 100, tsb_r[0],
+           tsb_r[1], tsb_r[2], wobt_r);
+  }
+  printf("\nWOBT baseline also wastes whole sectors per increment; see E5.\n\n");
+}
+
+void BM_TsbBuildRedundancyWorkload(benchmark::State& state) {
+  for (auto _ : state) {
+    util::WorkloadSpec spec;
+    spec.seed = 9;
+    spec.num_ops = 4000;
+    spec.update_fraction = 0.75;
+    tsb_tree::TsbOptions opts;
+    opts.page_size = 2048;
+    opts.policy.time_mode =
+        static_cast<tsb_tree::SplitTimeMode>(state.range(0));
+    TsbFixture f = TsbFixture::Build(spec, opts);
+    benchmark::DoNotOptimize(f.tree.get());
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+  state.SetLabel(TimeModeName(
+      static_cast<tsb_tree::SplitTimeMode>(state.range(0))));
+}
+BENCHMARK(BM_TsbBuildRedundancyWorkload)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tsb
+
+int main(int argc, char** argv) {
+  tsb::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

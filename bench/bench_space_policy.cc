@@ -1,0 +1,128 @@
+// Experiments E1 + E2 (paper section 5): total space use and space use in
+// the current (magnetic) database, under different splitting policies and
+// different rates of update versus insertion.
+//
+// Expected shape: time-split-heavy policies minimize magnetic space and
+// maximize total space; key-split-heavy policies do the reverse; the
+// spread widens as the update fraction grows (pure-insert workloads never
+// time-split at all — section 3.2 boundary condition).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace tsb {
+namespace bench {
+namespace {
+
+constexpr size_t kOps = 20000;
+constexpr uint32_t kPageSize = 2048;
+
+struct PolicyRow {
+  const char* label;
+  tsb_tree::SplitPolicyConfig config;
+};
+
+std::vector<PolicyRow> Policies() {
+  using tsb_tree::SplitKindPolicy;
+  using tsb_tree::SplitTimeMode;
+  std::vector<PolicyRow> rows;
+  {
+    tsb_tree::SplitPolicyConfig c;
+    c.kind_policy = SplitKindPolicy::kWobtStyle;
+    c.time_mode = SplitTimeMode::kCurrentTime;
+    rows.push_back({"wobt-style (time-split always)", c});
+  }
+  {
+    tsb_tree::SplitPolicyConfig c;
+    c.kind_policy = SplitKindPolicy::kThreshold;
+    c.key_split_threshold = 0.33;
+    c.time_mode = SplitTimeMode::kLastUpdate;
+    rows.push_back({"threshold 0.33 (key-leaning)", c});
+  }
+  {
+    tsb_tree::SplitPolicyConfig c;
+    c.kind_policy = SplitKindPolicy::kThreshold;
+    c.key_split_threshold = 0.67;
+    c.time_mode = SplitTimeMode::kLastUpdate;
+    rows.push_back({"threshold 0.67 (default)", c});
+  }
+  {
+    tsb_tree::SplitPolicyConfig c;
+    c.kind_policy = SplitKindPolicy::kThreshold;
+    c.key_split_threshold = 0.95;
+    c.time_mode = SplitTimeMode::kLastUpdate;
+    rows.push_back({"threshold 0.95 (time-leaning)", c});
+  }
+  {
+    tsb_tree::SplitPolicyConfig c;
+    c.kind_policy = SplitKindPolicy::kCostBased;
+    c.cost_magnetic = 1.0;
+    c.cost_optical = 0.2;
+    c.time_mode = SplitTimeMode::kLastUpdate;
+    rows.push_back({"cost-based CM:CO=5:1", c});
+  }
+  return rows;
+}
+
+void PrintTable() {
+  printf("== E1/E2: space vs split policy vs update:insert mix ==\n");
+  printf("(%zu ops, %u-byte pages, 1 KiB WORM sectors)\n\n", kOps, kPageSize);
+  printf("%-32s %8s | %12s %12s %12s %10s\n", "policy", "upd%", "SpaceM KiB",
+         "SpaceO KiB", "total KiB", "cur pages");
+  printf("%s\n", std::string(95, '-').c_str());
+  for (double update_fraction : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    for (const PolicyRow& row : Policies()) {
+      util::WorkloadSpec spec;
+      spec.seed = 42;
+      spec.num_ops = kOps;
+      spec.update_fraction = update_fraction;
+      spec.value_size = 40;
+      tsb_tree::TsbOptions opts;
+      opts.page_size = kPageSize;
+      opts.policy = row.config;
+      TsbFixture f = TsbFixture::Build(spec, opts);
+      tsb_tree::SpaceStats stats = f.Stats();
+      printf("%-32s %7.0f%% | %12.1f %12.1f %12.1f %10llu\n", row.label,
+             update_fraction * 100, KiB(stats.magnetic_bytes),
+             KiB(stats.optical_device_bytes), KiB(stats.total_bytes()),
+             static_cast<unsigned long long>(stats.magnetic_pages));
+    }
+    printf("%s\n", std::string(95, '-').c_str());
+  }
+  printf("\n");
+}
+
+// Timing: insert throughput under each policy at 50%% updates.
+void BM_InsertThroughput(benchmark::State& state) {
+  const auto policies = Policies();
+  const PolicyRow& row = policies[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    util::WorkloadSpec spec;
+    spec.seed = 7;
+    spec.num_ops = 5000;
+    spec.update_fraction = 0.5;
+    spec.value_size = 40;
+    tsb_tree::TsbOptions opts;
+    opts.page_size = kPageSize;
+    opts.policy = row.config;
+    TsbFixture f = TsbFixture::Build(spec, opts);
+    benchmark::DoNotOptimize(f.tree.get());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+  state.SetLabel(row.label);
+}
+BENCHMARK(BM_InsertThroughput)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace tsb
+
+int main(int argc, char** argv) {
+  tsb::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// B+-tree baseline: single-version, update-in-place, current data only.
+//
+// This is the comparator the paper's key splits mimic ("key splits as in
+// B+-trees", abstract): it shows what current-version performance and
+// space look like when history is simply overwritten. Variable-length
+// keys/values in slotted pages, leaf sibling chain for range scans.
+#ifndef TSBTREE_BPT_BPLUS_TREE_H_
+#define TSBTREE_BPT_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+
+namespace tsb {
+namespace bpt {
+
+struct BptOptions {
+  uint32_t page_size = kDefaultPageSize;
+  size_t buffer_pool_frames = 256;
+};
+
+/// Classic B+-tree. Not thread-safe. Deletion removes the key from its
+/// leaf without rebalancing (underfull leaves are tolerated); the paper's
+/// workloads are non-deleting, so this keeps the baseline honest without
+/// extra machinery.
+class BPlusTree {
+ public:
+  /// Opens (or creates) a tree on `device`, which must outlive the tree.
+  static Status Open(Device* device, const BptOptions& options,
+                     std::unique_ptr<BPlusTree>* out);
+
+  ~BPlusTree();
+
+  /// Inserts or overwrites `key`.
+  Status Put(const Slice& key, const Slice& value);
+
+  /// Point lookup; NotFound if absent.
+  Status Get(const Slice& key, std::string* value);
+
+  /// Removes `key`; NotFound if absent.
+  Status Delete(const Slice& key);
+
+  /// Forward iterator over the leaf chain.
+  class Iterator {
+   public:
+    explicit Iterator(BPlusTree* tree) : tree_(tree) {}
+    /// Positions at the first key >= target (or end).
+    Status Seek(const Slice& target);
+    Status SeekToFirst();
+    bool Valid() const { return valid_; }
+    Status Next();
+    Slice key() const { return Slice(key_); }
+    Slice value() const { return Slice(value_); }
+
+   private:
+    Status LoadPosition();
+    BPlusTree* tree_;
+    uint32_t leaf_ = kInvalidPageId;
+    int idx_ = 0;
+    bool valid_ = false;
+    std::string key_, value_;
+  };
+
+  std::unique_ptr<Iterator> NewIterator() {
+    return std::make_unique<Iterator>(this);
+  }
+
+  /// Persists meta (root, height, count) and flushes dirty pages.
+  Status Flush();
+
+  /// Structural check: in-node ordering, separator bounds, leaf-chain
+  /// ordering. Returns Corruption on the first violation.
+  Status CheckInvariants();
+
+  uint64_t num_keys() const { return num_keys_; }
+  uint32_t height() const { return height_; }
+  Pager* pager() { return pager_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+
+ private:
+  BPlusTree(Device* device, const BptOptions& options);
+
+  Status Load();
+  Status InsertRec(uint32_t page_id, const Slice& key, const Slice& value,
+                   bool* did_split, std::string* sep, uint32_t* new_page,
+                   bool* was_insert);
+  Status SplitLeaf(PageHandle* page, std::string* sep, uint32_t* new_page);
+  Status SplitInternal(PageHandle* page, std::string* sep, uint32_t* new_page);
+  Status FindLeaf(const Slice& key, uint32_t* leaf_id);
+  Status CheckRec(uint32_t page_id, uint32_t level, const Slice& lower,
+                  const Slice& upper, bool upper_unbounded);
+
+  BptOptions options_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  uint32_t root_ = kInvalidPageId;
+  uint32_t height_ = 1;  // number of levels; 1 = root is a leaf
+  uint64_t num_keys_ = 0;
+
+  friend class Iterator;
+};
+
+}  // namespace bpt
+}  // namespace tsb
+
+#endif  // TSBTREE_BPT_BPLUS_TREE_H_

@@ -1,0 +1,44 @@
+#include "common/arena.h"
+
+#include <cstring>
+
+namespace tsb {
+
+Arena::Arena() = default;
+
+char* Arena::Allocate(size_t bytes) {
+  // Keep 8-byte alignment by rounding every request up.
+  bytes = (bytes + 7) & ~size_t{7};
+  if (bytes <= alloc_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large request: dedicated block, leave the current bump block alone.
+    blocks_.emplace_back(new char[bytes]);
+    memory_usage_ += bytes;
+    return blocks_.back().get();
+  }
+  blocks_.emplace_back(new char[kBlockSize]);
+  memory_usage_ += kBlockSize;
+  alloc_ptr_ = blocks_.back().get();
+  alloc_remaining_ = kBlockSize;
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_remaining_ -= bytes;
+  return result;
+}
+
+char* Arena::AllocateCopy(const char* data, size_t n) {
+  char* dst = Allocate(n == 0 ? 1 : n);
+  if (n > 0) memcpy(dst, data, n);
+  return dst;
+}
+
+}  // namespace tsb

@@ -1,0 +1,42 @@
+// Arena: bump allocator for short-lived per-operation scratch (split
+// staging, iterator buffers). All memory is released when the arena dies.
+#ifndef TSBTREE_COMMON_ARENA_H_
+#define TSBTREE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tsb {
+
+/// Block-chained bump allocator. Not thread-safe; use one per operation.
+class Arena {
+ public:
+  Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized memory (8-byte aligned).
+  char* Allocate(size_t bytes);
+
+  /// Copies `n` bytes of `data` into the arena and returns the copy.
+  char* AllocateCopy(const char* data, size_t n);
+
+  /// Total bytes handed to callers plus block overhead.
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_remaining_ = 0;
+  size_t memory_usage_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_COMMON_ARENA_H_

@@ -1,0 +1,8 @@
+#include "common/clock.h"
+
+// LogicalClock is header-only; anchor translation unit.
+namespace tsb {
+namespace {
+[[maybe_unused]] const char kClockAnchor = 0;
+}  // namespace
+}  // namespace tsb

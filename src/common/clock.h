@@ -1,0 +1,60 @@
+// Timestamps and the logical commit clock.
+//
+// The paper assumes a "rollback database" [McKe, SnAh]: records are stamped
+// with the *transaction commit time*, not effective time. We model commit
+// time as a strictly monotonic 64-bit logical clock. Records written by
+// uncommitted transactions carry no timestamp (kUncommittedTs sentinel) so
+// they sort after every committed version and are never migrated to the
+// historical database (paper section 4).
+#ifndef TSBTREE_COMMON_CLOCK_H_
+#define TSBTREE_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace tsb {
+
+/// Logical commit timestamp. Ordinary values are 1..kMaxCommittedTs.
+using Timestamp = uint64_t;
+
+/// Smallest timestamp; nothing commits at 0, so 0 is "beginning of time".
+inline constexpr Timestamp kMinTimestamp = 0;
+
+/// Largest committed timestamp value.
+inline constexpr Timestamp kMaxCommittedTs = UINT64_MAX - 2;
+
+/// Sentinel meaning "+infinity" for time-range upper bounds (open ranges of
+/// current nodes and of current record versions).
+inline constexpr Timestamp kInfiniteTs = UINT64_MAX;
+
+/// Sentinel carried by records of not-yet-committed transactions. Sorts
+/// after every committed timestamp but before kInfiniteTs.
+inline constexpr Timestamp kUncommittedTs = UINT64_MAX - 1;
+
+/// Transaction identifier (0 = "no transaction" / committed record).
+using TxnId = uint64_t;
+inline constexpr TxnId kNoTxn = 0;
+
+/// Strictly monotonic logical clock issuing commit timestamps.
+class LogicalClock {
+ public:
+  explicit LogicalClock(Timestamp start = 0) : now_(start) {}
+
+  /// Issues the next commit timestamp (strictly increasing).
+  Timestamp Tick() { return ++now_; }
+
+  /// The latest issued timestamp ("current time" in split decisions).
+  Timestamp Now() const { return now_; }
+
+  /// Advances the clock to at least `t` (used when replaying workloads with
+  /// externally chosen timestamps).
+  void AdvanceTo(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Timestamp now_;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_COMMON_CLOCK_H_

@@ -1,0 +1,101 @@
+// Byte-layout codecs. Everything on a page or in the historical store is
+// encoded little-endian through these helpers so layouts are explicit and
+// platform-independent.
+#ifndef TSBTREE_COMMON_CODING_H_
+#define TSBTREE_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace tsb {
+
+// ---- fixed-width little-endian ----
+
+inline void EncodeFixed16(char* dst, uint16_t v) {
+  dst[0] = static_cast<char>(v & 0xff);
+  dst[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+inline void EncodeFixed32(char* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+inline void EncodeFixed64(char* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+inline uint16_t DecodeFixed16(const char* src) {
+  const auto* p = reinterpret_cast<const uint8_t*>(src);
+  return static_cast<uint16_t>(p[0]) | (static_cast<uint16_t>(p[1]) << 8);
+}
+
+inline uint32_t DecodeFixed32(const char* src) {
+  const auto* p = reinterpret_cast<const uint8_t*>(src);
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  const auto* p = reinterpret_cast<const uint8_t*>(src);
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(buf, 2);
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+// ---- varint32/64 (LEB128) ----
+
+/// Appends v as a varint32 (1-5 bytes).
+void PutVarint32(std::string* dst, uint32_t v);
+/// Appends v as a varint64 (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Encodes v into dst (which must have >= 5 bytes); returns one past the end.
+char* EncodeVarint32(char* dst, uint32_t v);
+/// Encodes v into dst (which must have >= 10 bytes); returns one past the end.
+char* EncodeVarint64(char* dst, uint64_t v);
+
+/// Parses a varint32 from [p, limit); returns pointer past the value, or
+/// nullptr on malformed/truncated input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+/// Parses a varint64 from [p, limit); nullptr on malformed input.
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Consumes a varint32 from the front of *input. Returns false on failure.
+bool GetVarint32(Slice* input, uint32_t* value);
+/// Consumes a varint64 from the front of *input. Returns false on failure.
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Appends a varint32 length prefix followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+/// Consumes a length-prefixed slice from *input into *result (non-owning view
+/// into the input buffer). Returns false on failure.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Number of bytes PutVarint32/64 would emit.
+int VarintLength(uint64_t v);
+
+}  // namespace tsb
+
+#endif  // TSBTREE_COMMON_CODING_H_

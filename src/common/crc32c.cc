@@ -1,0 +1,41 @@
+#include "common/crc32c.h"
+
+namespace tsb {
+namespace crc32c {
+
+namespace {
+
+// Table-driven CRC32C, table generated at first use (reflected polynomial
+// 0x82f63b78).
+struct Table {
+  uint32_t t[256];
+  Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Table& table = GetTable();
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const auto* p = reinterpret_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.t[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace tsb

@@ -1,0 +1,86 @@
+#include "common/logger.h"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace tsb {
+
+namespace {
+
+struct LoggerState {
+  std::mutex mu;
+  LogLevel level = LogLevel::kWarn;
+  Logger::Sink sink;  // empty => stderr
+};
+
+LoggerState& State() {
+  static LoggerState* state = new LoggerState();
+  return *state;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) {
+  std::lock_guard<std::mutex> lock(State().mu);
+  State().level = level;
+}
+
+LogLevel Logger::GetLevel() {
+  std::lock_guard<std::mutex> lock(State().mu);
+  return State().level;
+}
+
+void Logger::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(State().mu);
+  State().sink = std::move(sink);
+}
+
+void Logger::Logf(LogLevel level, const char* fmt, ...) {
+  LoggerState& st = State();
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (static_cast<int>(level) < static_cast<int>(st.level)) return;
+  }
+  va_list ap;
+  va_start(ap, fmt);
+  char stack_buf[512];
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  int n = vsnprintf(stack_buf, sizeof(stack_buf), fmt, ap_copy);
+  va_end(ap_copy);
+  std::string msg;
+  if (n < 0) {
+    msg = "(log format error)";
+  } else if (static_cast<size_t>(n) < sizeof(stack_buf)) {
+    msg.assign(stack_buf, static_cast<size_t>(n));
+  } else {
+    std::vector<char> big(static_cast<size_t>(n) + 1);
+    vsnprintf(big.data(), big.size(), fmt, ap);
+    msg.assign(big.data(), static_cast<size_t>(n));
+  }
+  va_end(ap);
+
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.sink) {
+    st.sink(level, msg);
+  } else {
+    fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  }
+}
+
+}  // namespace tsb

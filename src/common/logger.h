@@ -1,0 +1,38 @@
+// Minimal leveled logger. Default sink is stderr; tests install a capture
+// sink. Logging is off (kWarn) by default so benches stay quiet.
+#ifndef TSBTREE_COMMON_LOGGER_H_
+#define TSBTREE_COMMON_LOGGER_H_
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace tsb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide logger configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Sets the minimum level that is emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Replaces the output sink (nullptr restores the stderr sink).
+  static void SetSink(Sink sink);
+
+  /// printf-style emit; no-op if below the configured level.
+  static void Logf(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+#define TSB_LOG_DEBUG(...) ::tsb::Logger::Logf(::tsb::LogLevel::kDebug, __VA_ARGS__)
+#define TSB_LOG_INFO(...) ::tsb::Logger::Logf(::tsb::LogLevel::kInfo, __VA_ARGS__)
+#define TSB_LOG_WARN(...) ::tsb::Logger::Logf(::tsb::LogLevel::kWarn, __VA_ARGS__)
+#define TSB_LOG_ERROR(...) ::tsb::Logger::Logf(::tsb::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace tsb
+
+#endif  // TSBTREE_COMMON_LOGGER_H_

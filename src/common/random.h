@@ -1,0 +1,64 @@
+// Deterministic pseudo-random generator for workloads and property tests.
+// xorshift128+ — fast, seedable, reproducible across platforms.
+#ifndef TSBTREE_COMMON_RANDOM_H_
+#define TSBTREE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace tsb {
+
+/// Seedable PRNG. Not cryptographic; used only for test/bench workloads.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s_[0] = seed ? seed : 0x9e3779b97f4a7c15ull;
+    s_[1] = SplitMix(&s_[0]);
+    s_[0] = SplitMix(&s_[1]);
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// True with probability num/den.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Skewed value in [0, n): smaller values more likely (Zipf-ish via
+  /// repeated halving). `skew` halvings at most.
+  uint64_t Skewed(uint64_t n, int skew = 4) {
+    uint64_t range = n;
+    for (int i = 0; i < skew && range > 1; ++i) {
+      if (OneIn(2)) break;
+      range = (range + 1) / 2;
+    }
+    return Uniform(range);
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_COMMON_RANDOM_H_

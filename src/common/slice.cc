@@ -1,0 +1,10 @@
+#include "common/slice.h"
+
+// Slice is header-only; this translation unit exists so the build exposes a
+// stable object for the target and keeps one-definition checks honest.
+namespace tsb {
+namespace {
+// Anchor to silence "has no symbols" linker warnings on some toolchains.
+[[maybe_unused]] const char kSliceAnchor = 0;
+}  // namespace
+}  // namespace tsb

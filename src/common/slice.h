@@ -1,0 +1,84 @@
+// Slice: non-owning view of a byte string, ordered lexicographically.
+// Keys and values throughout the library are Slices; callers own storage.
+#ifndef TSBTREE_COMMON_SLICE_H_
+#define TSBTREE_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace tsb {
+
+/// A pointer + length view of bytes. Never owns memory. Comparison is
+/// unsigned-lexicographic, which is the key order of every tree in this
+/// library.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}               // NOLINT
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  void clear() {
+    data_ = "";
+    size_ = 0;
+  }
+
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const { return std::string_view(data_, size_); }
+
+  /// Three-way unsigned lexicographic comparison: <0, 0, >0.
+  int compare(const Slice& b) const;
+
+  bool starts_with(const Slice& x) const {
+    return size_ >= x.size_ && memcmp(data_, x.data_, x.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) { return a.compare(b) < 0; }
+inline bool operator<=(const Slice& a, const Slice& b) { return a.compare(b) <= 0; }
+inline bool operator>(const Slice& a, const Slice& b) { return a.compare(b) > 0; }
+inline bool operator>=(const Slice& a, const Slice& b) { return a.compare(b) >= 0; }
+
+inline int Slice::compare(const Slice& b) const {
+  const size_t min_len = size_ < b.size_ ? size_ : b.size_;
+  int r = memcmp(data_, b.data_, min_len);
+  if (r == 0) {
+    if (size_ < b.size_) {
+      r = -1;
+    } else if (size_ > b.size_) {
+      r = +1;
+    }
+  }
+  return r;
+}
+
+}  // namespace tsb
+
+#endif  // TSBTREE_COMMON_SLICE_H_

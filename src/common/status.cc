@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace tsb {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kCorruption:
+      name = "Corruption";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kIOError:
+      name = "IOError";
+      break;
+    case Code::kWriteOnceViolation:
+      name = "WriteOnceViolation";
+      break;
+    case Code::kOutOfSpace:
+      name = "OutOfSpace";
+      break;
+    case Code::kTxnConflict:
+      name = "TxnConflict";
+      break;
+    case Code::kTxnNotActive:
+      name = "TxnNotActive";
+      break;
+    case Code::kBusy:
+      name = "Busy";
+      break;
+  }
+  std::string out(name);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace tsb

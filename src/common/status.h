@@ -1,0 +1,101 @@
+// Status: the library-wide error model. Follows the LevelDB/RocksDB idiom:
+// cheap-to-copy value type, no exceptions cross public API boundaries.
+#ifndef TSBTREE_COMMON_STATUS_H_
+#define TSBTREE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tsb {
+
+/// Result of an operation that can fail. `ok()` is the success predicate;
+/// every other code carries a human-readable message assembled from up to
+/// two context fragments.
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kWriteOnceViolation = 6,  // attempt to rewrite a burned WORM sector
+    kOutOfSpace = 7,
+    kTxnConflict = 8,   // write-write conflict between transactions
+    kTxnNotActive = 9,  // commit/abort/use of a finished transaction
+    kBusy = 10,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kNotFound, msg, msg2);
+  }
+  static Status Corruption(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kIOError, msg, msg2);
+  }
+  static Status WriteOnceViolation(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kWriteOnceViolation, msg, msg2);
+  }
+  static Status OutOfSpace(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kOutOfSpace, msg, msg2);
+  }
+  static Status TxnConflict(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kTxnConflict, msg, msg2);
+  }
+  static Status TxnNotActive(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kTxnNotActive, msg, msg2);
+  }
+  static Status Busy(const std::string& msg, const std::string& msg2 = "") {
+    return Status(Code::kBusy, msg, msg2);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsWriteOnceViolation() const { return code_ == Code::kWriteOnceViolation; }
+  bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
+  bool IsTxnConflict() const { return code_ == Code::kTxnConflict; }
+  bool IsTxnNotActive() const { return code_ == Code::kTxnNotActive; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, const std::string& msg, const std::string& msg2)
+      : code_(code), msg_(msg2.empty() ? msg : msg + ": " + msg2) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Evaluate `expr`; if it is a non-OK Status, return it from the enclosing
+/// function. The standard early-return macro for internal plumbing.
+#define TSB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::tsb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace tsb
+
+#endif  // TSBTREE_COMMON_STATUS_H_

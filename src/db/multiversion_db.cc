@@ -1,0 +1,135 @@
+#include "db/multiversion_db.h"
+
+namespace tsb {
+namespace db {
+
+Status MultiVersionDB::Open(Device* magnetic, Device* historical,
+                            const DbOptions& options,
+                            std::unique_ptr<MultiVersionDB>* out) {
+  std::unique_ptr<MultiVersionDB> mvdb(new MultiVersionDB(options));
+  TSB_RETURN_IF_ERROR(tsb_tree::TsbTree::Open(magnetic, historical,
+                                              options.tree, &mvdb->tree_));
+  mvdb->txns_ = std::make_unique<txn::TxnManager>(mvdb->tree_.get());
+  MultiVersionDB* raw = mvdb.get();
+  mvdb->txns_->SetCommitHook(
+      [raw](const std::string& key, const std::string* old_value,
+            const std::string& new_value, Timestamp ts) {
+        return raw->OnCommit(key, old_value, new_value, ts);
+      });
+  *out = std::move(mvdb);
+  return Status::OK();
+}
+
+Status MultiVersionDB::Put(const Slice& key, const Slice& value,
+                           Timestamp* commit_ts) {
+  std::unique_ptr<txn::Transaction> t;
+  TSB_RETURN_IF_ERROR(Begin(&t));
+  Status s = t->Put(key, value);
+  if (!s.ok()) {
+    t->Abort();
+    return s;
+  }
+  return t->Commit(commit_ts);
+}
+
+Status MultiVersionDB::Get(const Slice& key, std::string* value,
+                           Timestamp* ts) {
+  return tree_->GetCurrent(key, value, ts);
+}
+
+Status MultiVersionDB::GetAsOf(const Slice& key, Timestamp t,
+                               std::string* value, Timestamp* ts) {
+  return tree_->GetAsOf(key, t, value, ts);
+}
+
+std::unique_ptr<tsb_tree::SnapshotIterator> MultiVersionDB::NewSnapshotIterator(
+    Timestamp t) {
+  return tree_->NewSnapshotIterator(t);
+}
+
+std::unique_ptr<tsb_tree::HistoryIterator> MultiVersionDB::NewHistoryIterator(
+    const Slice& key) {
+  return tree_->NewHistoryIterator(key);
+}
+
+Status MultiVersionDB::CreateSecondaryIndex(const std::string& name,
+                                            KeyExtractor extract,
+                                            Device* magnetic,
+                                            Device* historical) {
+  if (indexes_.count(name) > 0) {
+    return Status::InvalidArgument("index already exists", name);
+  }
+  IndexEntryDef def;
+  def.extract = std::move(extract);
+  if (magnetic == nullptr) {
+    def.owned_magnetic = std::make_unique<MemDevice>();
+    magnetic = def.owned_magnetic.get();
+  }
+  if (historical == nullptr) {
+    def.owned_historical = std::make_unique<MemDevice>(
+        DeviceKind::kOpticalErasable, CostParams::OpticalWorm());
+    historical = def.owned_historical.get();
+  }
+  std::unique_ptr<tsb_tree::TsbTree> tree;
+  TSB_RETURN_IF_ERROR(
+      tsb_tree::TsbTree::Open(magnetic, historical, options_.tree, &tree));
+  def.index = std::make_unique<SecondaryIndex>(std::move(tree));
+  indexes_.emplace(name, std::move(def));
+  return Status::OK();
+}
+
+SecondaryIndex* MultiVersionDB::index(const std::string& name) {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second.index.get();
+}
+
+Status MultiVersionDB::OnCommit(const std::string& key,
+                                const std::string* old_value,
+                                const std::string& new_value, Timestamp ts) {
+  for (auto& [name, def] : indexes_) {
+    std::optional<std::string> old_sk;
+    if (old_value != nullptr) old_sk = def.extract(Slice(*old_value));
+    std::optional<std::string> new_sk = def.extract(Slice(new_value));
+    if (old_sk == new_sk) continue;  // secondary field unchanged
+    if (old_sk.has_value()) {
+      TSB_RETURN_IF_ERROR(def.index->Remove(*old_sk, key, ts));
+    }
+    if (new_sk.has_value()) {
+      TSB_RETURN_IF_ERROR(def.index->Add(*new_sk, key, ts));
+    }
+  }
+  return Status::OK();
+}
+
+Status MultiVersionDB::FindBySecondaryAsOf(
+    const std::string& index_name, const Slice& secondary, Timestamp t,
+    std::vector<std::pair<std::string, std::string>>* key_values) {
+  key_values->clear();
+  SecondaryIndex* idx = index(index_name);
+  if (idx == nullptr) {
+    return Status::InvalidArgument("no such index", index_name);
+  }
+  std::vector<std::string> pks;
+  TSB_RETURN_IF_ERROR(idx->LookupAsOf(secondary, t, &pks));
+  for (const std::string& pk : pks) {
+    std::string value;
+    // The timestamps in the secondary index locate the primary version
+    // (section 3.6): read the primary record as of the same time.
+    Status s = tree_->GetAsOf(pk, t, &value);
+    if (s.IsNotFound()) continue;  // index entry newer than primary? skip
+    TSB_RETURN_IF_ERROR(s);
+    key_values->emplace_back(pk, std::move(value));
+  }
+  return Status::OK();
+}
+
+Status MultiVersionDB::Flush() {
+  TSB_RETURN_IF_ERROR(tree_->Flush());
+  for (auto& [name, def] : indexes_) {
+    TSB_RETURN_IF_ERROR(def.index->tree()->Flush());
+  }
+  return Status::OK();
+}
+
+}  // namespace db
+}  // namespace tsb

@@ -1,0 +1,130 @@
+// MultiVersionDB: the library's top-level facade — a versioned,
+// timestamped database with a non-deletion policy (the paper's target
+// applications: financial transactions, transcripts, engineering design
+// histories, legal and medical records).
+//
+// Composes the TSB-tree primary index, the transaction layer (commit-time
+// stamping, abort erase, lock-free readers) and secondary TSB-tree indexes
+// maintained through a commit hook.
+#ifndef TSBTREE_DB_MULTIVERSION_DB_H_
+#define TSBTREE_DB_MULTIVERSION_DB_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/secondary_index.h"
+#include "storage/mem_device.h"
+#include "tsb/tsb_tree.h"
+#include "txn/txn_manager.h"
+
+namespace tsb {
+namespace db {
+
+struct DbOptions {
+  tsb_tree::TsbOptions tree;
+};
+
+/// Extracts the secondary key from a record value; return std::nullopt if
+/// the record is not indexed.
+using KeyExtractor =
+    std::function<std::optional<std::string>(const Slice& value)>;
+
+/// A multiversion database over one primary TSB-tree.
+/// Single-threaded; transactions may interleave but calls must not race.
+class MultiVersionDB {
+ public:
+  /// `magnetic` and `historical` back the PRIMARY index and must outlive
+  /// the DB.
+  static Status Open(Device* magnetic, Device* historical,
+                     const DbOptions& options,
+                     std::unique_ptr<MultiVersionDB>* out);
+
+  // ---- autocommit writes ----
+
+  /// Writes one record in its own transaction (secondary indexes update
+  /// atomically with it). Returns the commit timestamp via `commit_ts`.
+  Status Put(const Slice& key, const Slice& value,
+             Timestamp* commit_ts = nullptr);
+
+  // ---- reads ----
+
+  Status Get(const Slice& key, std::string* value, Timestamp* ts = nullptr);
+  Status GetAsOf(const Slice& key, Timestamp t, std::string* value,
+                 Timestamp* ts = nullptr);
+
+  /// Key-ordered state as of time `t`.
+  std::unique_ptr<tsb_tree::SnapshotIterator> NewSnapshotIterator(Timestamp t);
+  /// All committed versions of `key`, newest first.
+  std::unique_ptr<tsb_tree::HistoryIterator> NewHistoryIterator(
+      const Slice& key);
+
+  // ---- transactions ----
+
+  /// Starts an updater transaction (commit stamps all its writes with one
+  /// timestamp and maintains secondary indexes).
+  Status Begin(std::unique_ptr<txn::Transaction>* out) {
+    return txns_->Begin(out);
+  }
+
+  /// Lock-free read-only transaction at the current time (section 4.1).
+  txn::ReadTransaction BeginReadOnly() { return txns_->BeginReadOnly(); }
+
+  // ---- secondary indexes (section 3.6) ----
+
+  /// Registers a secondary index maintained from `extract`. If devices are
+  /// null the DB creates (and owns) in-memory devices for the index.
+  /// Must be called before any writes touch indexed records.
+  Status CreateSecondaryIndex(const std::string& name, KeyExtractor extract,
+                              Device* magnetic = nullptr,
+                              Device* historical = nullptr);
+
+  /// Returns the named index (nullptr if absent).
+  SecondaryIndex* index(const std::string& name);
+
+  /// Convenience: records whose secondary key under `index_name` was
+  /// `secondary` at time `t`, with their primary values fetched as of `t`.
+  Status FindBySecondaryAsOf(const std::string& index_name,
+                             const Slice& secondary, Timestamp t,
+                             std::vector<std::pair<std::string, std::string>>*
+                                 key_values);
+
+  // ---- maintenance ----
+
+  Status Flush();
+  Status ComputeSpaceStats(tsb_tree::SpaceStats* out) {
+    return tree_->ComputeSpaceStats(out);
+  }
+
+  tsb_tree::TsbTree* primary() { return tree_.get(); }
+  txn::TxnManager* txn_manager() { return txns_.get(); }
+  Timestamp Now() const { return tree_->Now(); }
+
+ private:
+  explicit MultiVersionDB(const DbOptions& options) : options_(options) {}
+
+  Status OnCommit(const std::string& key, const std::string* old_value,
+                  const std::string& new_value, Timestamp ts);
+
+  struct IndexEntryDef {
+    KeyExtractor extract;
+    // Devices owned iff created internally. Declared BEFORE the index so
+    // they outlive the tree's destructor (which flushes to them).
+    std::unique_ptr<Device> owned_magnetic;
+    std::unique_ptr<Device> owned_historical;
+    std::unique_ptr<SecondaryIndex> index;
+  };
+
+  DbOptions options_;
+  std::unique_ptr<tsb_tree::TsbTree> tree_;
+  std::unique_ptr<txn::TxnManager> txns_;
+  std::map<std::string, IndexEntryDef> indexes_;
+};
+
+}  // namespace db
+}  // namespace tsb
+
+#endif  // TSBTREE_DB_MULTIVERSION_DB_H_

@@ -1,0 +1,84 @@
+#include "storage/append_store.h"
+
+#include <memory>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "storage/worm_device.h"
+
+namespace tsb {
+
+AppendStore::AppendStore(Device* device, size_t cache_blobs)
+    : device_(device), cache_capacity_(cache_blobs) {
+  auto* worm = dynamic_cast<WormDevice*>(device);
+  sector_size_ = (worm != nullptr) ? worm->sector_size() : 0;
+  next_offset_ = device->Size();
+}
+
+uint64_t AppendStore::AlignUp(uint64_t offset) const {
+  if (sector_size_ == 0) return offset;
+  const uint64_t rem = offset % sector_size_;
+  return rem == 0 ? offset : offset + (sector_size_ - rem);
+}
+
+Status AppendStore::Append(const Slice& payload, HistAddr* addr) {
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  frame.append(payload.data(), payload.size());
+
+  const uint64_t offset = AlignUp(next_offset_);
+  TSB_RETURN_IF_ERROR(device_->Write(offset, frame));
+  addr->offset = offset;
+  addr->length = static_cast<uint32_t>(payload.size());
+  next_offset_ = offset + frame.size();
+  payload_bytes_ += payload.size();
+  blob_count_++;
+  return Status::OK();
+}
+
+Status AppendStore::Read(const HistAddr& addr, std::string* payload) {
+  if (cache_capacity_ > 0) {
+    auto it = cache_.find(addr.offset);
+    if (it != cache_.end()) {
+      cache_lru_.erase(it->second.lru_pos);
+      cache_lru_.push_front(addr.offset);
+      it->second.lru_pos = cache_lru_.begin();
+      *payload = it->second.payload;
+      cache_hits_++;
+      return Status::OK();
+    }
+    cache_misses_++;
+  }
+
+  char header[kFrameHeaderSize];
+  TSB_RETURN_IF_ERROR(device_->Read(addr.offset, kFrameHeaderSize, header));
+  const uint32_t len = DecodeFixed32(header);
+  const uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(header + 4));
+  if (len != addr.length) {
+    return Status::Corruption("historical blob length mismatch",
+                              "at offset " + std::to_string(addr.offset));
+  }
+  payload->resize(len);
+  TSB_RETURN_IF_ERROR(
+      device_->Read(addr.offset + kFrameHeaderSize, len, payload->data()));
+  if (crc32c::Value(payload->data(), len) != stored_crc) {
+    return Status::Corruption("historical blob checksum mismatch",
+                              "at offset " + std::to_string(addr.offset));
+  }
+
+  if (cache_capacity_ > 0) {
+    while (cache_.size() >= cache_capacity_) {
+      const uint64_t victim = cache_lru_.back();
+      cache_lru_.pop_back();
+      cache_.erase(victim);
+    }
+    cache_lru_.push_front(addr.offset);
+    cache_.emplace(addr.offset, CacheEntry{*payload, cache_lru_.begin()});
+  }
+  return Status::OK();
+}
+
+}  // namespace tsb

@@ -1,0 +1,89 @@
+// AppendStore: the historical database medium.
+//
+// Section 3.4 of the paper: "the historical data can be appended to a
+// sequential file"; index pointers "record its address ... and its length".
+// Nodes are consolidated variable-length blobs. On a WORM device each
+// append is rounded up to the sector grid (the residue is the only waste,
+// hence the paper's "nearly approximate the sector size" utilization); on
+// erasable devices appends pack byte-contiguously.
+//
+// Blob framing: [u32 payload_len][u32 masked crc32c(payload)][payload].
+#ifndef TSBTREE_STORAGE_APPEND_STORE_H_
+#define TSBTREE_STORAGE_APPEND_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/device.h"
+
+namespace tsb {
+
+/// Address of a blob inside the historical store.
+struct HistAddr {
+  uint64_t offset = 0;
+  uint32_t length = 0;  ///< payload length (excludes framing)
+
+  bool operator==(const HistAddr& o) const {
+    return offset == o.offset && length == o.length;
+  }
+};
+
+/// Append-only store of checksummed variable-length blobs, with a small
+/// LRU read cache (historical data is read-mostly and slow; the cache
+/// models a modest staging buffer, not the magnetic-disk buffer pool).
+class AppendStore {
+ public:
+  /// `device` outlives the store. If the device is a WORM, appends start at
+  /// sector boundaries automatically (Device::Write enforcement); for
+  /// erasable devices appends are byte-contiguous. `cache_blobs` = number
+  /// of decoded blobs kept in the read cache (0 disables caching).
+  AppendStore(Device* device, size_t cache_blobs = 0);
+
+  /// Appends `payload` and returns its address.
+  Status Append(const Slice& payload, HistAddr* addr);
+
+  /// Reads the blob at `addr` into `*payload`, verifying length and CRC.
+  Status Read(const HistAddr& addr, std::string* payload);
+
+  /// Total bytes of payload appended (excludes framing and sector residue).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  /// Total bytes consumed on the device (framing + alignment included).
+  uint64_t device_bytes() const { return next_offset_; }
+  /// Number of blobs appended.
+  uint64_t blob_count() const { return blob_count_; }
+
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+  Device* device() const { return device_; }
+
+  static constexpr uint32_t kFrameHeaderSize = 8;
+
+ private:
+  uint64_t AlignUp(uint64_t offset) const;
+
+  Device* device_;
+  uint32_t sector_size_;  // 0 => no alignment (erasable device)
+  uint64_t next_offset_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint64_t blob_count_ = 0;
+
+  // Tiny LRU read cache keyed by offset.
+  size_t cache_capacity_;
+  std::list<uint64_t> cache_lru_;
+  struct CacheEntry {
+    std::string payload;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+  std::unordered_map<uint64_t, CacheEntry> cache_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_APPEND_STORE_H_

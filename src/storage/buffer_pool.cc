@@ -1,0 +1,144 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace tsb {
+
+PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    id_ = o.id_;
+    data_ = o.data_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageHandle::MarkDirty() {
+  if (pool_ != nullptr) {
+    auto it = pool_->frames_.find(id_);
+    if (it != pool_->frames_.end()) it->second.dirty = true;
+  }
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_, /*dirty=*/false);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+Status BufferPool::Fetch(uint32_t id, PageHandle* handle) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame& f = it->second;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.pins++;
+    stats_.hits++;
+    *handle = PageHandle(this, id, f.data.get());
+    return Status::OK();
+  }
+  stats_.misses++;
+  TSB_RETURN_IF_ERROR(EvictIfNeeded());
+  Frame f;
+  f.id = id;
+  f.data.reset(new char[pager_->page_size()]);
+  TSB_RETURN_IF_ERROR(pager_->Read(id, f.data.get()));
+  f.pins = 1;
+  auto [pos, inserted] = frames_.emplace(id, std::move(f));
+  assert(inserted);
+  (void)inserted;
+  *handle = PageHandle(this, id, pos->second.data.get());
+  return Status::OK();
+}
+
+Status BufferPool::New(PageType type, PageHandle* handle) {
+  uint32_t id = 0;
+  TSB_RETURN_IF_ERROR(pager_->Alloc(&id));
+  TSB_RETURN_IF_ERROR(EvictIfNeeded());
+  Frame f;
+  f.id = id;
+  f.data.reset(new char[pager_->page_size()]);
+  InitPage(f.data.get(), pager_->page_size(), id, type);
+  f.pins = 1;
+  f.dirty = true;
+  auto [pos, inserted] = frames_.emplace(id, std::move(f));
+  assert(inserted);
+  (void)inserted;
+  *handle = PageHandle(this, id, pos->second.data.get());
+  return Status::OK();
+}
+
+Status BufferPool::Flush(uint32_t id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return Status::OK();
+  return WriteBack(&it->second);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, f] : frames_) {
+    TSB_RETURN_IF_ERROR(WriteBack(&f));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Drop(uint32_t id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame& f = it->second;
+    if (f.pins > 0) {
+      return Status::Busy("Drop of pinned page", std::to_string(id));
+    }
+    if (f.in_lru) lru_.erase(f.lru_pos);
+    frames_.erase(it);
+  }
+  return pager_->Free(id);
+}
+
+void BufferPool::Unpin(uint32_t id, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  Frame& f = it->second;
+  if (dirty) f.dirty = true;
+  assert(f.pins > 0);
+  if (--f.pins == 0) {
+    lru_.push_front(id);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::EvictIfNeeded() {
+  while (frames_.size() >= capacity_ && !lru_.empty()) {
+    const uint32_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = frames_.find(victim);
+    assert(it != frames_.end() && it->second.pins == 0);
+    TSB_RETURN_IF_ERROR(WriteBack(&it->second));
+    frames_.erase(it);
+    stats_.evictions++;
+  }
+  // If everything is pinned we silently over-allocate; correctness first.
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(Frame* f) {
+  if (!f->dirty) return Status::OK();
+  TSB_RETURN_IF_ERROR(pager_->Write(f->id, f->data.get()));
+  f->dirty = false;
+  stats_.dirty_writebacks++;
+  return Status::OK();
+}
+
+}  // namespace tsb

@@ -1,0 +1,118 @@
+// Buffer pool: LRU page cache over a Pager with pin/unpin handles.
+//
+// Single-threaded (the 1989 design is a single-site access method; the
+// paper's concurrency story is timestamp-based read-only transactions, not
+// latching). Dirty frames are written back on eviction and FlushAll.
+#ifndef TSBTREE_STORAGE_BUFFER_POOL_H_
+#define TSBTREE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace tsb {
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a handle is live the frame cannot be
+/// evicted. Movable, not copyable.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  uint32_t id() const { return id_; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// Marks the frame dirty so eviction/flush writes it back.
+  void MarkDirty();
+
+  /// Drops the pin early.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, uint32_t id, char* data)
+      : pool_(pool), id_(id), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  uint32_t id_ = 0;
+  char* data_ = nullptr;
+};
+
+/// Statistics for cache behaviour (benchmarks report these).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// LRU buffer pool. `capacity` is the number of resident frames; when all
+/// frames are pinned the pool temporarily over-allocates rather than fail.
+class BufferPool {
+ public:
+  BufferPool(Pager* pager, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches page `id` through the cache (reads on miss) and pins it.
+  Status Fetch(uint32_t id, PageHandle* handle);
+
+  /// Allocates a fresh page, initializes its header to `type`, pins it and
+  /// marks it dirty.
+  Status New(PageType type, PageHandle* handle);
+
+  /// Writes back a dirty frame now (keeps it cached).
+  Status Flush(uint32_t id);
+
+  /// Writes back every dirty frame.
+  Status FlushAll();
+
+  /// Drops page `id` from the cache (must be unpinned) and frees it in the
+  /// pager. Used when a current node is erased (e.g. abort cleanup).
+  Status Drop(uint32_t id);
+
+  Pager* pager() const { return pager_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  size_t resident_frames() const { return frames_.size(); }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    uint32_t id = 0;
+    std::unique_ptr<char[]> data;
+    int pins = 0;
+    bool dirty = false;
+    std::list<uint32_t>::iterator lru_pos;  // valid iff pins == 0
+    bool in_lru = false;
+  };
+
+  void Unpin(uint32_t id, bool dirty);
+  Status EvictIfNeeded();
+  Status WriteBack(Frame* f);
+
+  Pager* pager_;
+  size_t capacity_;
+  std::unordered_map<uint32_t, Frame> frames_;
+  std::list<uint32_t> lru_;  // front = most recent
+  BufferPoolStats stats_;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,45 @@
+#include "storage/device.h"
+
+namespace tsb {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kMagnetic:
+      return "magnetic";
+    case DeviceKind::kOpticalWorm:
+      return "optical-worm";
+    case DeviceKind::kOpticalErasable:
+      return "optical-erasable";
+  }
+  return "?";
+}
+
+void Device::AccountAccess(uint64_t offset, size_t n) {
+  if (!mounted_) {
+    mounted_ = true;
+    stats_.mounts++;
+    stats_.simulated_ms += params_.mount_ms;
+  }
+  if (offset != last_end_) {
+    stats_.seeks++;
+    stats_.simulated_ms += params_.avg_seek_ms;
+  }
+  last_end_ = offset + n;
+  // transfer_mb_per_s MB/s  ==  params * 1048.576 bytes/ms
+  stats_.simulated_ms +=
+      static_cast<double>(n) / (params_.transfer_mb_per_s * 1048.576);
+}
+
+void Device::AccountRead(uint64_t offset, size_t n) {
+  AccountAccess(offset, n);
+  stats_.reads++;
+  stats_.bytes_read += n;
+}
+
+void Device::AccountWrite(uint64_t offset, size_t n) {
+  AccountAccess(offset, n);
+  stats_.writes++;
+  stats_.bytes_written += n;
+}
+
+}  // namespace tsb

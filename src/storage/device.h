@@ -1,0 +1,84 @@
+// Device: the simulated storage hardware interface.
+//
+// The paper requires only that both databases live on *random-access*
+// devices, the current one erasable (section 1). We model three kinds:
+//   - kMagnetic        : erasable, fast (the current database)
+//   - kOpticalWorm     : write-once sectors, slow seeks (historical)
+//   - kOpticalErasable : erasable but slow (alternative historical medium)
+// All devices count I/O and simulate elapsed time via CostParams.
+#ifndef TSBTREE_STORAGE_DEVICE_H_
+#define TSBTREE_STORAGE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+
+namespace tsb {
+
+enum class DeviceKind : uint8_t {
+  kMagnetic = 0,
+  kOpticalWorm = 1,
+  kOpticalErasable = 2,
+};
+
+const char* DeviceKindName(DeviceKind kind);
+
+/// Abstract random-access device with I/O accounting.
+class Device {
+ public:
+  Device(DeviceKind kind, CostParams params)
+      : kind_(kind), params_(params) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Reads exactly `n` bytes at `offset` into `scratch`. Fails with IOError
+  /// if the range extends past Size().
+  virtual Status Read(uint64_t offset, size_t n, char* scratch) = 0;
+
+  /// Writes `data` at `offset`. Erasable devices may overwrite; write-once
+  /// devices fail with WriteOnceViolation when a burned sector is touched.
+  virtual Status Write(uint64_t offset, const Slice& data) = 0;
+
+  /// High-water mark: one past the last written byte.
+  virtual uint64_t Size() const = 0;
+
+  /// Forgets all contents (erasable devices only).
+  virtual Status Truncate(uint64_t size) {
+    (void)size;
+    return Status::NotSupported("Truncate", DeviceKindName(kind_));
+  }
+
+  /// Flushes to durable backing, if any.
+  virtual Status Sync() { return Status::OK(); }
+
+  DeviceKind kind() const { return kind_; }
+  const CostParams& cost_params() const { return params_; }
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  /// Subclasses call these from Read/Write to maintain counters and the
+  /// simulated clock. An access is a "seek" when it does not begin where
+  /// the previous access ended.
+  void AccountRead(uint64_t offset, size_t n);
+  void AccountWrite(uint64_t offset, size_t n);
+
+ private:
+  void AccountAccess(uint64_t offset, size_t n);
+
+  DeviceKind kind_;
+  CostParams params_;
+  IoStats stats_;
+  uint64_t last_end_ = UINT64_MAX;  // offset following the previous access
+  bool mounted_ = false;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_DEVICE_H_

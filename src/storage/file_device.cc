@@ -1,0 +1,81 @@
+#include "storage/file_device.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tsb {
+
+FileDevice::~FileDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileDevice::Open(const std::string& path, FileDevice** out,
+                        DeviceKind kind, CostParams params) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path, strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path, strerror(errno));
+  }
+  *out = new FileDevice(fd, static_cast<uint64_t>(st.st_size), kind, params);
+  return Status::OK();
+}
+
+Status FileDevice::Read(uint64_t offset, size_t n, char* scratch) {
+  if (offset + n > size_) {
+    return Status::IOError("FileDevice read past end");
+  }
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, scratch + done, n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread", strerror(errno));
+    }
+    if (r == 0) return Status::IOError("pread short read");
+    done += static_cast<size_t>(r);
+  }
+  AccountRead(offset, n);
+  return Status::OK();
+}
+
+Status FileDevice::Write(uint64_t offset, const Slice& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t w = ::pwrite(fd_, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite", strerror(errno));
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (offset + data.size() > size_) size_ = offset + data.size();
+  AccountWrite(offset, data.size());
+  return Status::OK();
+}
+
+Status FileDevice::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError("ftruncate", strerror(errno));
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+Status FileDevice::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync", strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace tsb

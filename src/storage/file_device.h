@@ -1,0 +1,38 @@
+// File-backed erasable device, for durability tests and on-disk runs.
+#ifndef TSBTREE_STORAGE_FILE_DEVICE_H_
+#define TSBTREE_STORAGE_FILE_DEVICE_H_
+
+#include <string>
+
+#include "storage/device.h"
+
+namespace tsb {
+
+/// Erasable device backed by a POSIX file (pread/pwrite).
+class FileDevice : public Device {
+ public:
+  ~FileDevice() override;
+
+  /// Opens (creating if absent) `path`. On success returns a new device via
+  /// `*out`.
+  static Status Open(const std::string& path, FileDevice** out,
+                     DeviceKind kind = DeviceKind::kMagnetic,
+                     CostParams params = CostParams::Magnetic());
+
+  Status Read(uint64_t offset, size_t n, char* scratch) override;
+  Status Write(uint64_t offset, const Slice& data) override;
+  uint64_t Size() const override { return size_; }
+  Status Truncate(uint64_t size) override;
+  Status Sync() override;
+
+ private:
+  FileDevice(int fd, uint64_t size, DeviceKind kind, CostParams params)
+      : Device(kind, params), fd_(fd), size_(size) {}
+
+  int fd_;
+  uint64_t size_;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_FILE_DEVICE_H_

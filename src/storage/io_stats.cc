@@ -1,0 +1,21 @@
+#include "storage/io_stats.h"
+
+#include <cstdio>
+
+namespace tsb {
+
+std::string IoStats::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "reads=%llu writes=%llu bytes_read=%llu bytes_written=%llu "
+           "seeks=%llu mounts=%llu simulated_ms=%.3f",
+           static_cast<unsigned long long>(reads),
+           static_cast<unsigned long long>(writes),
+           static_cast<unsigned long long>(bytes_read),
+           static_cast<unsigned long long>(bytes_written),
+           static_cast<unsigned long long>(seeks),
+           static_cast<unsigned long long>(mounts), simulated_ms);
+  return std::string(buf);
+}
+
+}  // namespace tsb

@@ -1,0 +1,59 @@
+// I/O accounting and the device cost model.
+//
+// The paper's storage argument (section 1) is quantitative: optical seeks
+// are ~3x slower than magnetic, robot mounts cost ~20 seconds, and the
+// smallest writable WORM unit is a ~1 KiB sector. Every Device tracks the
+// operations issued against it and converts them to simulated elapsed time
+// through CostParams, so benchmarks can report access-time shapes without
+// the 1989 hardware.
+#ifndef TSBTREE_STORAGE_IO_STATS_H_
+#define TSBTREE_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tsb {
+
+/// Per-device latency/bandwidth parameters used to simulate elapsed time.
+struct CostParams {
+  double avg_seek_ms = 16.0;          ///< average seek+rotate latency
+  double transfer_mb_per_s = 2.0;     ///< sustained sequential bandwidth
+  double mount_ms = 0.0;              ///< robot library mount cost (once)
+
+  /// 1989-class magnetic disk.
+  static CostParams Magnetic() { return CostParams{16.0, 2.0, 0.0}; }
+  /// Write-once optical: seeks ~3x slower (paper section 1).
+  static CostParams OpticalWorm() { return CostParams{48.0, 1.0, 0.0}; }
+  /// Optical platter served by a robot jukebox (~20 s mount).
+  static CostParams OpticalJukebox() { return CostParams{48.0, 1.0, 20000.0}; }
+};
+
+/// Operation counters plus simulated elapsed time for one device.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t seeks = 0;   ///< accesses that were not sequential with the last
+  uint64_t mounts = 0;  ///< robot mounts (at most 1 in this model)
+  double simulated_ms = 0.0;
+
+  void Reset() { *this = IoStats{}; }
+
+  /// Adds another stats block (for whole-system totals).
+  void Add(const IoStats& o) {
+    reads += o.reads;
+    writes += o.writes;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    seeks += o.seeks;
+    mounts += o.mounts;
+    simulated_ms += o.simulated_ms;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_IO_STATS_H_

@@ -1,0 +1,29 @@
+// In-memory erasable device: the default simulated magnetic disk.
+#ifndef TSBTREE_STORAGE_MEM_DEVICE_H_
+#define TSBTREE_STORAGE_MEM_DEVICE_H_
+
+#include <vector>
+
+#include "storage/device.h"
+
+namespace tsb {
+
+/// Byte-addressable erasable device backed by a growable buffer.
+class MemDevice : public Device {
+ public:
+  explicit MemDevice(DeviceKind kind = DeviceKind::kMagnetic,
+                     CostParams params = CostParams::Magnetic())
+      : Device(kind, params) {}
+
+  Status Read(uint64_t offset, size_t n, char* scratch) override;
+  Status Write(uint64_t offset, const Slice& data) override;
+  uint64_t Size() const override { return buf_.size(); }
+  Status Truncate(uint64_t size) override;
+
+ private:
+  std::vector<char> buf_;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_MEM_DEVICE_H_

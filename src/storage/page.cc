@@ -1,0 +1,54 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace tsb {
+
+void InitPage(char* buf, uint32_t page_size, uint32_t page_id, PageType type) {
+  memset(buf, 0, page_size);
+  EncodeFixed32(buf, kPageMagic);
+  EncodeFixed32(buf + 8, page_id);
+  EncodeFixed16(buf + 12, static_cast<uint16_t>(type));
+}
+
+void SealPage(char* buf, uint32_t page_size) {
+  const uint32_t crc = crc32c::Value(buf + 8, page_size - 8);
+  EncodeFixed32(buf + 4, crc32c::Mask(crc));
+}
+
+Status VerifyPage(const char* buf, uint32_t page_size, uint32_t expected_id) {
+  if (DecodeFixed32(buf) != kPageMagic) {
+    return Status::Corruption("bad page magic");
+  }
+  const uint32_t stored = crc32c::Unmask(DecodeFixed32(buf + 4));
+  const uint32_t actual = crc32c::Value(buf + 8, page_size - 8);
+  if (stored != actual) {
+    return Status::Corruption("page checksum mismatch",
+                              "page " + std::to_string(PageId(buf)));
+  }
+  if (expected_id != UINT32_MAX && PageId(buf) != expected_id) {
+    return Status::Corruption("page id mismatch",
+                              "expected " + std::to_string(expected_id) +
+                                  " got " + std::to_string(PageId(buf)));
+  }
+  return Status::OK();
+}
+
+uint32_t PageId(const char* buf) { return DecodeFixed32(buf + 8); }
+
+PageType GetPageType(const char* buf) {
+  return static_cast<PageType>(DecodeFixed16(buf + 12));
+}
+
+void SetPageType(char* buf, PageType type) {
+  EncodeFixed16(buf + 12, static_cast<uint16_t>(type));
+}
+
+uint16_t PageFlags(const char* buf) { return DecodeFixed16(buf + 14); }
+
+void SetPageFlags(char* buf, uint16_t flags) { EncodeFixed16(buf + 14, flags); }
+
+}  // namespace tsb

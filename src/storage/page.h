@@ -1,0 +1,52 @@
+// Fixed-size page layout for the current (erasable) database.
+//
+// Byte layout of every page:
+//   [0..4)   magic        (0x54534254 "TSBT")
+//   [4..8)   masked CRC32C of bytes [8, page_size)
+//   [8..12)  page id
+//   [12..14) page type
+//   [14..16) flags
+//   [16..24) reserved (0)
+//   [24.. )  type-specific payload
+#ifndef TSBTREE_STORAGE_PAGE_H_
+#define TSBTREE_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace tsb {
+
+inline constexpr uint32_t kPageMagic = 0x54534254;  // "TSBT"
+inline constexpr uint32_t kPageHeaderSize = 24;
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+enum class PageType : uint16_t {
+  kFree = 0,
+  kMeta = 1,
+  kBptLeaf = 2,
+  kBptInternal = 3,
+  kTsbData = 4,
+  kTsbIndex = 5,
+  kWobtNode = 6,
+};
+
+/// Zeroes `buf` and writes a fresh header (CRC left for SealPage).
+void InitPage(char* buf, uint32_t page_size, uint32_t page_id, PageType type);
+
+/// Computes and stores the masked CRC over [8, page_size).
+void SealPage(char* buf, uint32_t page_size);
+
+/// Verifies magic and CRC. `expected_id` checks the stored page id
+/// (pass UINT32_MAX to skip).
+Status VerifyPage(const char* buf, uint32_t page_size, uint32_t expected_id);
+
+uint32_t PageId(const char* buf);
+PageType GetPageType(const char* buf);
+void SetPageType(char* buf, PageType type);
+uint16_t PageFlags(const char* buf);
+void SetPageFlags(char* buf, uint16_t flags);
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_PAGE_H_

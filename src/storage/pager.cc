@@ -1,0 +1,92 @@
+#include "storage/pager.h"
+
+#include <cstring>
+#include <memory>
+
+#include "common/coding.h"
+
+namespace tsb {
+
+Pager::Pager(Device* device, uint32_t page_size)
+    : device_(device), page_size_(page_size) {
+  // Materialize the meta page on fresh devices so ReadMeta always works.
+  if (device_->Size() < page_size_) {
+    std::unique_ptr<char[]> buf(new char[page_size_]);
+    InitPage(buf.get(), page_size_, 0, PageType::kMeta);
+    SealPage(buf.get(), page_size_);
+    device_->Write(0, Slice(buf.get(), page_size_));
+  } else {
+    next_page_ = static_cast<uint32_t>(device_->Size() / page_size_);
+    if (next_page_ == 0) next_page_ = 1;
+  }
+}
+
+Status Pager::Alloc(uint32_t* page_id) {
+  if (!free_list_.empty()) {
+    *page_id = free_list_.back();
+    free_list_.pop_back();
+    return Status::OK();
+  }
+  *page_id = next_page_++;
+  return Status::OK();
+}
+
+Status Pager::Free(uint32_t page_id) {
+  if (page_id == kInvalidPageId || page_id >= next_page_) {
+    return Status::InvalidArgument("Free of invalid page",
+                                   std::to_string(page_id));
+  }
+  free_list_.push_back(page_id);
+  return Status::OK();
+}
+
+Status Pager::Read(uint32_t id, char* buf) {
+  TSB_RETURN_IF_ERROR(
+      device_->Read(static_cast<uint64_t>(id) * page_size_, page_size_, buf));
+  return VerifyPage(buf, page_size_, id);
+}
+
+Status Pager::Write(uint32_t id, char* buf) {
+  SealPage(buf, page_size_);
+  return device_->Write(static_cast<uint64_t>(id) * page_size_,
+                        Slice(buf, page_size_));
+}
+
+void Pager::EncodeFreeList(std::string* out, size_t max_bytes) const {
+  const size_t header = 4;
+  size_t fit = max_bytes > header ? (max_bytes - header) / 4 : 0;
+  if (fit > free_list_.size()) fit = free_list_.size();
+  PutFixed32(out, static_cast<uint32_t>(fit));
+  for (size_t i = 0; i < fit; ++i) {
+    PutFixed32(out, free_list_[i]);
+  }
+}
+
+Status Pager::DecodeFreeList(Slice in) {
+  if (in.size() < 4) return Status::Corruption("free list truncated");
+  const uint32_t count = DecodeFixed32(in.data());
+  in.remove_prefix(4);
+  if (in.size() < static_cast<size_t>(count) * 4) {
+    return Status::Corruption("free list truncated");
+  }
+  free_list_.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t id = DecodeFixed32(in.data() + static_cast<size_t>(i) * 4);
+    if (id != kInvalidPageId && id < next_page_) {
+      free_list_.push_back(id);
+    }
+  }
+  return Status::OK();
+}
+
+Status Pager::ReadMeta(char* buf) {
+  TSB_RETURN_IF_ERROR(device_->Read(0, page_size_, buf));
+  return VerifyPage(buf, page_size_, 0);
+}
+
+Status Pager::WriteMeta(char* buf) {
+  SealPage(buf, page_size_);
+  return device_->Write(0, Slice(buf, page_size_));
+}
+
+}  // namespace tsb

@@ -1,0 +1,73 @@
+// Pager: page allocation and checksummed page I/O on one erasable device.
+//
+// Page 0 is a reserved meta page (trees persist their root pointer and
+// counters there). Freed pages go on a free list and are reused — this is
+// the "erasable medium" capability the current database depends on.
+#ifndef TSBTREE_STORAGE_PAGER_H_
+#define TSBTREE_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/device.h"
+#include "storage/page.h"
+
+namespace tsb {
+
+inline constexpr uint32_t kInvalidPageId = 0;  // page 0 = meta, never a node
+
+/// Allocates, frees, reads and writes fixed-size pages on a Device.
+class Pager {
+ public:
+  Pager(Device* device, uint32_t page_size = kDefaultPageSize);
+
+  uint32_t page_size() const { return page_size_; }
+  Device* device() const { return device_; }
+
+  /// Allocates a page id (reusing freed pages first).
+  Status Alloc(uint32_t* page_id);
+
+  /// Returns a page to the free list.
+  Status Free(uint32_t page_id);
+
+  /// Reads page `id` into `buf` (page_size bytes) and verifies its checksum.
+  Status Read(uint32_t id, char* buf);
+
+  /// Seals (checksums) and writes page `id` from `buf`.
+  Status Write(uint32_t id, char* buf);
+
+  /// Raw access to the meta page (page 0): read with verification.
+  Status ReadMeta(char* buf);
+  Status WriteMeta(char* buf);
+
+  /// Number of page slots ever allocated (excluding meta).
+  uint32_t high_water_pages() const { return next_page_ - 1; }
+  /// Currently live pages (allocated minus freed, excluding meta).
+  uint32_t live_pages() const {
+    return high_water_pages() - static_cast<uint32_t>(free_list_.size());
+  }
+  /// Bytes of magnetic storage occupied by live pages.
+  uint64_t live_bytes() const {
+    return static_cast<uint64_t>(live_pages()) * page_size_;
+  }
+
+  /// Serializes the free list (for owners to persist in their meta page).
+  /// At most `max_bytes` are written; pages that do not fit leak until the
+  /// next reopen-free cycle (bounded meta space).
+  void EncodeFreeList(std::string* out, size_t max_bytes) const;
+
+  /// Restores a free list written by EncodeFreeList. Ignores ids outside
+  /// the allocated range (robust to stale meta).
+  Status DecodeFreeList(Slice in);
+
+ private:
+  Device* device_;
+  uint32_t page_size_;
+  uint32_t next_page_ = 1;  // 0 is meta
+  std::vector<uint32_t> free_list_;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_PAGER_H_

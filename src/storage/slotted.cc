@@ -1,0 +1,124 @@
+#include "storage/slotted.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace tsb {
+
+namespace {
+constexpr uint32_t kHeader = 6;
+constexpr uint32_t kSlot = 2;
+constexpr uint32_t kCellHeader = 2;  // u16 length prefix
+}  // namespace
+
+void SlottedView::Init() {
+  set_count(0);
+  set_cell_start(static_cast<uint16_t>(cap_));
+  set_live_bytes(0);
+}
+
+uint16_t SlottedView::count() const { return DecodeFixed16(base_); }
+uint16_t SlottedView::cell_start() const { return DecodeFixed16(base_ + 2); }
+uint16_t SlottedView::live_bytes() const { return DecodeFixed16(base_ + 4); }
+void SlottedView::set_count(uint16_t v) { EncodeFixed16(base_, v); }
+void SlottedView::set_cell_start(uint16_t v) { EncodeFixed16(base_ + 2, v); }
+void SlottedView::set_live_bytes(uint16_t v) { EncodeFixed16(base_ + 4, v); }
+
+uint16_t SlottedView::slot(int i) const {
+  return DecodeFixed16(base_ + kHeader + kSlot * i);
+}
+
+void SlottedView::set_slot(int i, uint16_t v) {
+  EncodeFixed16(base_ + kHeader + kSlot * i, v);
+}
+
+Slice SlottedView::Cell(int i) const {
+  assert(i >= 0 && i < count());
+  const uint16_t off = slot(i);
+  const uint16_t len = DecodeFixed16(base_ + off);
+  return Slice(base_ + off + kCellHeader, len);
+}
+
+uint32_t SlottedView::ContiguousFree() const {
+  const uint32_t slots_end = kHeader + kSlot * count();
+  const uint32_t cs = cell_start();
+  return cs > slots_end ? cs - slots_end : 0;
+}
+
+uint32_t SlottedView::FreeBytes() const {
+  const uint32_t used = kHeader + kSlot * count() + live_bytes();
+  return cap_ > used ? cap_ - used : 0;
+}
+
+bool SlottedView::HasRoomFor(uint32_t payload_size) const {
+  return FreeBytes() >= payload_size + kCellHeader + kSlot;
+}
+
+void SlottedView::Compact() {
+  const int n = count();
+  std::vector<std::string> cells;
+  cells.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    cells.push_back(Cell(i).ToString());
+  }
+  uint16_t write = static_cast<uint16_t>(cap_);
+  for (int i = 0; i < n; ++i) {
+    const uint16_t need = static_cast<uint16_t>(cells[i].size() + kCellHeader);
+    write = static_cast<uint16_t>(write - need);
+    EncodeFixed16(base_ + write, static_cast<uint16_t>(cells[i].size()));
+    memcpy(base_ + write + kCellHeader, cells[i].data(), cells[i].size());
+    set_slot(i, write);
+  }
+  set_cell_start(write);
+}
+
+bool SlottedView::Insert(int pos, const Slice& cell) {
+  assert(pos >= 0 && pos <= count());
+  const uint32_t need = static_cast<uint32_t>(cell.size()) + kCellHeader;
+  if (!HasRoomFor(static_cast<uint32_t>(cell.size()))) return false;
+  if (ContiguousFree() < need + kSlot) Compact();
+  const int n = count();
+  // Shift slots [pos, n) right by one.
+  memmove(base_ + kHeader + kSlot * (pos + 1), base_ + kHeader + kSlot * pos,
+          kSlot * static_cast<size_t>(n - pos));
+  const uint16_t write = static_cast<uint16_t>(cell_start() - need);
+  EncodeFixed16(base_ + write, static_cast<uint16_t>(cell.size()));
+  memcpy(base_ + write + kCellHeader, cell.data(), cell.size());
+  set_slot(pos, write);
+  set_cell_start(write);
+  set_count(static_cast<uint16_t>(n + 1));
+  set_live_bytes(static_cast<uint16_t>(live_bytes() + need));
+  return true;
+}
+
+void SlottedView::Remove(int pos) {
+  const int n = count();
+  assert(pos >= 0 && pos < n);
+  const uint16_t off = slot(pos);
+  const uint16_t len = DecodeFixed16(base_ + off);
+  memmove(base_ + kHeader + kSlot * pos, base_ + kHeader + kSlot * (pos + 1),
+          kSlot * static_cast<size_t>(n - pos - 1));
+  set_count(static_cast<uint16_t>(n - 1));
+  set_live_bytes(static_cast<uint16_t>(live_bytes() - (len + kCellHeader)));
+  if (off == cell_start()) {
+    // Best-effort: advance cell_start past the removed cell so sequential
+    // remove/insert patterns don't force compaction.
+    set_cell_start(static_cast<uint16_t>(off + len + kCellHeader));
+  }
+}
+
+bool SlottedView::Replace(int pos, const Slice& cell) {
+  std::string old = Cell(pos).ToString();
+  Remove(pos);
+  if (Insert(pos, cell)) return true;
+  // Roll back.
+  bool ok = Insert(pos, old);
+  assert(ok);
+  (void)ok;
+  return false;
+}
+
+}  // namespace tsb

@@ -1,0 +1,74 @@
+// SlottedView: classic slotted-page layout over an arbitrary byte region.
+//
+// Region layout:
+//   [0..2)  cell count n
+//   [2..4)  cell_start: lowest byte offset occupied by any live cell
+//   [4..6)  live_bytes: total bytes of live cells
+//   [6..6+2n)  slot array, slot i = offset of cell i within the region
+//   [cell_start..cap)  cells, allocated downward, possibly with holes
+// Cells are opaque byte strings; each cell is stored as [u16 len][bytes].
+// The slot array keeps logical order (callers keep it sorted); holes from
+// removals are reclaimed by compaction when contiguous space runs out.
+#ifndef TSBTREE_STORAGE_SLOTTED_H_
+#define TSBTREE_STORAGE_SLOTTED_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace tsb {
+
+/// Mutable view over a slotted region. Does not own memory.
+class SlottedView {
+ public:
+  SlottedView(char* base, uint32_t cap) : base_(base), cap_(cap) {}
+
+  /// Zeroes the bookkeeping of a fresh region.
+  void Init();
+
+  uint16_t count() const;
+  /// Returns cell i's payload (view into the region).
+  Slice Cell(int i) const;
+
+  /// Total free bytes (contiguous + holes), accounting for the slot the
+  /// insert would add.
+  uint32_t FreeBytes() const;
+
+  /// True if a cell of `payload_size` bytes fits (after compaction if
+  /// necessary).
+  bool HasRoomFor(uint32_t payload_size) const;
+
+  /// Inserts `cell` so it becomes cell `pos` (0 <= pos <= count()). Returns
+  /// false if there is no room.
+  bool Insert(int pos, const Slice& cell);
+
+  /// Removes cell `pos`.
+  void Remove(int pos);
+
+  /// Replaces cell `pos` with `cell`; false if no room (cell removed is
+  /// reclaimed first, so shrinking always succeeds).
+  bool Replace(int pos, const Slice& cell);
+
+  /// Drops all cells.
+  void Clear() { Init(); }
+
+  uint32_t capacity() const { return cap_; }
+
+ private:
+  uint16_t cell_start() const;
+  uint16_t live_bytes() const;
+  void set_count(uint16_t v);
+  void set_cell_start(uint16_t v);
+  void set_live_bytes(uint16_t v);
+  uint16_t slot(int i) const;
+  void set_slot(int i, uint16_t v);
+  uint32_t ContiguousFree() const;
+  void Compact();
+
+  char* base_;
+  uint32_t cap_;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_SLOTTED_H_

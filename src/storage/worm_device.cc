@@ -1,0 +1,68 @@
+#include "storage/worm_device.h"
+
+#include <cstring>
+
+namespace tsb {
+
+Status WormDevice::Read(uint64_t offset, size_t n, char* scratch) {
+  if (offset + n > buf_.size()) {
+    return Status::IOError("WormDevice read past end");
+  }
+  memcpy(scratch, buf_.data() + offset, n);
+  AccountRead(offset, n);
+  return Status::OK();
+}
+
+Status WormDevice::Write(uint64_t offset, const Slice& data) {
+  if (data.empty()) return Status::OK();
+  const uint64_t first = SectorOf(offset);
+  const uint64_t last = SectorOf(offset + data.size() - 1);
+  for (uint64_t s = first; s <= last; ++s) {
+    if (IsBurned(s)) {
+      return Status::WriteOnceViolation("sector already burned",
+                                        std::to_string(s));
+    }
+  }
+  const uint64_t end_byte = (last + 1) * sector_size_;
+  if (end_byte > buf_.size()) {
+    buf_.resize(end_byte, 0);
+  }
+  if (last + 1 > burned_.size()) {
+    burned_.resize(last + 1, false);
+  }
+  memcpy(buf_.data() + offset, data.data(), data.size());
+  for (uint64_t s = first; s <= last; ++s) {
+    burned_[s] = true;
+    ++sectors_burned_;
+  }
+  if (last + 1 > next_alloc_sector_) next_alloc_sector_ = last + 1;
+  payload_bytes_ += data.size();
+  AccountWrite(offset, data.size());
+  return Status::OK();
+}
+
+Status WormDevice::Append(const Slice& data, uint64_t* offset) {
+  const uint64_t start = next_alloc_sector_ * sector_size_;
+  TSB_RETURN_IF_ERROR(Write(start, data));
+  *offset = start;
+  return Status::OK();
+}
+
+Status WormDevice::AllocateExtent(uint32_t n_sectors, uint64_t* first_sector) {
+  *first_sector = next_alloc_sector_;
+  next_alloc_sector_ += n_sectors;
+  const uint64_t end_byte = next_alloc_sector_ * sector_size_;
+  if (end_byte > buf_.size()) buf_.resize(end_byte, 0);
+  if (next_alloc_sector_ > burned_.size()) {
+    burned_.resize(next_alloc_sector_, false);
+  }
+  return Status::OK();
+}
+
+double WormDevice::Utilization() const {
+  if (sectors_burned_ == 0) return 1.0;
+  return static_cast<double>(payload_bytes_) /
+         static_cast<double>(sectors_burned_ * sector_size_);
+}
+
+}  // namespace tsb

@@ -1,0 +1,72 @@
+// Write-Once Read-Many device.
+//
+// Models the two limiting characteristics of 1989 optical disks the paper
+// analyses (section 1): the smallest writable unit is a sector (an ECC is
+// burned with it, so a sector can be written exactly once), and seeks are
+// ~3x slower than magnetic. Any write that touches an already-burned
+// sector fails with WriteOnceViolation. Utilization accounting separates
+// payload bytes from burned capacity so benches can reproduce the paper's
+// space-waste argument.
+#ifndef TSBTREE_STORAGE_WORM_DEVICE_H_
+#define TSBTREE_STORAGE_WORM_DEVICE_H_
+
+#include <vector>
+
+#include "storage/device.h"
+
+namespace tsb {
+
+/// Sector-granular write-once device backed by memory.
+class WormDevice : public Device {
+ public:
+  explicit WormDevice(uint32_t sector_size = kDefaultSectorSize,
+                      CostParams params = CostParams::OpticalWorm())
+      : Device(DeviceKind::kOpticalWorm, params), sector_size_(sector_size) {}
+
+  static constexpr uint32_t kDefaultSectorSize = 1024;  // paper: ~1 KiB
+
+  Status Read(uint64_t offset, size_t n, char* scratch) override;
+
+  /// Burns the sectors covering [offset, offset+data.size()). Every covered
+  /// sector must be unburned; all of them become unwritable afterwards.
+  /// The unfilled remainder of a partially covered sector is wasted — this
+  /// is exactly the incremental-write waste the paper describes.
+  Status Write(uint64_t offset, const Slice& data) override;
+
+  uint64_t Size() const override { return buf_.size(); }
+
+  /// Appends `data` starting at the next unburned sector boundary; returns
+  /// its byte offset. This is the "append to the end of the historical
+  /// database" primitive.
+  Status Append(const Slice& data, uint64_t* offset);
+
+  /// Reserves `n_sectors` consecutive sectors past the high-water mark
+  /// without burning them; returns the first sector index. Used by the
+  /// WOBT, whose nodes are "a sequence of consecutive sectors".
+  Status AllocateExtent(uint32_t n_sectors, uint64_t* first_sector);
+
+  uint32_t sector_size() const { return sector_size_; }
+  bool IsBurned(uint64_t sector) const {
+    return sector < burned_.size() && burned_[sector];
+  }
+
+  uint64_t sectors_burned() const { return sectors_burned_; }
+  /// Bytes of caller payload actually written into burned sectors.
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  /// payload / (sectors_burned * sector_size); 1.0 when nothing burned.
+  double Utilization() const;
+
+ private:
+  uint64_t SectorOf(uint64_t offset) const { return offset / sector_size_; }
+
+  uint32_t sector_size_;
+  std::vector<char> buf_;
+  std::vector<bool> burned_;
+  uint64_t next_alloc_sector_ = 0;  // allocation high-water (sectors)
+  uint64_t sectors_burned_ = 0;
+  uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace tsb
+
+#endif  // TSBTREE_STORAGE_WORM_DEVICE_H_

@@ -1,0 +1,171 @@
+#include "tsb/cursor.h"
+
+#include <algorithm>
+
+namespace tsb {
+namespace tsb_tree {
+
+namespace {
+
+// max(a, b) on key strings.
+const std::string& MaxKey(const std::string& a, const std::string& b) {
+  return Slice(a) < Slice(b) ? b : a;
+}
+
+}  // namespace
+
+SnapshotIterator::SnapshotIterator(TsbTree* tree, Timestamp t)
+    : tree_(tree), t_(t) {}
+
+Status SnapshotIterator::SeekToFirst() { return Seek(Slice()); }
+
+Status SnapshotIterator::SeekRange(const Slice& start,
+                                   const Slice& end_exclusive) {
+  end_key_ = end_exclusive.ToString();
+  end_inf_ = false;
+  return Seek(start);
+}
+
+Status SnapshotIterator::Seek(const Slice& target) {
+  stack_.clear();
+  records_.clear();
+  rec_idx_ = 0;
+  valid_ = false;
+  seek_target_ = target.ToString();
+  TSB_RETURN_IF_ERROR(
+      PushNode(tree_->root(), std::string(), std::string(), true));
+  return Advance();
+}
+
+Status SnapshotIterator::PushNode(const NodeRef& ref,
+                                  const std::string& win_lo,
+                                  const std::string& win_hi,
+                                  bool win_hi_inf) {
+  DecodedNode node;
+  TSB_RETURN_IF_ERROR(tree_->ReadNode(ref, &node));
+  if (node.is_data()) {
+    // Emit per key the latest committed version with ts <= t, clipped to
+    // the window and the seek target. Entries are (key, ts) sorted.
+    records_.clear();
+    rec_idx_ = 0;
+    size_t i = 0;
+    while (i < node.data.size()) {
+      size_t j = i;
+      const DataEntry* best = nullptr;
+      while (j < node.data.size() && node.data[j].key == node.data[i].key) {
+        const DataEntry& e = node.data[j];
+        if (!e.uncommitted() && e.ts <= t_) best = &e;
+        ++j;
+      }
+      if (best != nullptr) {
+        const Slice k(best->key);
+        const bool in_window = k >= Slice(win_lo) &&
+                               (win_hi_inf || k < Slice(win_hi)) &&
+                               k >= Slice(seek_target_) &&
+                               (end_inf_ || k < Slice(end_key_));
+        if (in_window) {
+          records_.push_back(Record{best->key, best->ts, best->value});
+        }
+      }
+      i = j;
+    }
+    return Status::OK();
+  }
+
+  Frame f;
+  f.win_lo = win_lo;
+  f.win_hi = win_hi;
+  f.win_hi_inf = win_hi_inf;
+  for (const IndexEntry& e : node.index) {
+    if (!e.ContainsTime(t_)) continue;
+    // Key overlap with the window?
+    if (!win_hi_inf && Slice(e.key_lo) >= Slice(win_hi)) continue;
+    if (!e.key_hi_inf && Slice(e.key_hi) <= Slice(win_lo)) continue;
+    // Skip subtrees entirely below the seek target or past the end bound.
+    if (!e.key_hi_inf && Slice(e.key_hi) <= Slice(seek_target_)) continue;
+    if (!end_inf_ && Slice(e.key_lo) >= Slice(end_key_)) continue;
+    f.entries.push_back(e);
+  }
+  std::sort(f.entries.begin(), f.entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              return Slice(a.key_lo) < Slice(b.key_lo);
+            });
+  stack_.push_back(std::move(f));
+  return Status::OK();
+}
+
+Status SnapshotIterator::Advance() {
+  for (;;) {
+    if (rec_idx_ < records_.size()) {
+      key_ = records_[rec_idx_].key;
+      ts_ = records_[rec_idx_].ts;
+      value_ = records_[rec_idx_].value;
+      rec_idx_++;
+      valid_ = true;
+      return Status::OK();
+    }
+    records_.clear();
+    rec_idx_ = 0;
+    if (stack_.empty()) {
+      valid_ = false;
+      return Status::OK();
+    }
+    Frame& f = stack_.back();
+    if (f.next >= f.entries.size()) {
+      stack_.pop_back();
+      continue;
+    }
+    const IndexEntry e = f.entries[f.next++];
+    // Child window = entry rectangle's key range clipped by ours.
+    std::string child_lo = MaxKey(f.win_lo, e.key_lo);
+    std::string child_hi;
+    bool child_hi_inf;
+    if (e.key_hi_inf) {
+      child_hi = f.win_hi;
+      child_hi_inf = f.win_hi_inf;
+    } else if (f.win_hi_inf) {
+      child_hi = e.key_hi;
+      child_hi_inf = false;
+    } else {
+      child_hi = Slice(e.key_hi) < Slice(f.win_hi) ? e.key_hi : f.win_hi;
+      child_hi_inf = false;
+    }
+    TSB_RETURN_IF_ERROR(
+        PushNode(e.child, child_lo, child_hi, child_hi_inf));
+  }
+}
+
+Status SnapshotIterator::Next() {
+  if (!valid_) return Status::InvalidArgument("Next on invalid iterator");
+  return Advance();
+}
+
+HistoryIterator::HistoryIterator(TsbTree* tree, const Slice& key)
+    : tree_(tree), key_(key.ToString()) {}
+
+Status HistoryIterator::SeekToNewest() { return Probe(kMaxCommittedTs); }
+
+Status HistoryIterator::Probe(Timestamp t) {
+  Timestamp got_ts = 0;
+  Status s = tree_->GetAsOf(Slice(key_), t, &value_, &got_ts);
+  if (s.IsNotFound()) {
+    valid_ = false;
+    return Status::OK();
+  }
+  TSB_RETURN_IF_ERROR(s);
+  ts_ = got_ts;
+  valid_ = true;
+  return Status::OK();
+}
+
+Status HistoryIterator::Next() {
+  if (!valid_) return Status::InvalidArgument("Next on invalid iterator");
+  if (ts_ <= 1) {
+    valid_ = false;
+    return Status::OK();
+  }
+  return Probe(ts_ - 1);
+}
+
+}  // namespace tsb_tree
+}  // namespace tsb

@@ -1,0 +1,107 @@
+// Iterators over the TSB-tree.
+//
+// SnapshotIterator walks the database state as of one time T in key order
+// (the paper's snapshot query, section 2.5, carried over to the TSB-tree).
+// Because index keyspace splits duplicate straddling historical references
+// into both siblings (section 3.5 rule 4), the walk clips every child's
+// emission to the intersection of the ancestor entries' key ranges — each
+// region is visited exactly once.
+//
+// HistoryIterator yields all committed versions of one key, newest first,
+// by chaining as-of probes (each probe lands in the node holding that
+// version, so consecutive versions usually share nodes).
+#ifndef TSBTREE_TSB_CURSOR_H_
+#define TSBTREE_TSB_CURSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "tsb/index_page.h"
+#include "tsb/tsb_tree.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+/// Key-ordered scan of the database as of time `t`. Usage:
+///   auto it = tree->NewSnapshotIterator(t);
+///   for (it->SeekToFirst(); it->Valid(); it->Next()) { ... }
+/// Reads must not interleave with writes to the tree.
+class SnapshotIterator {
+ public:
+  SnapshotIterator(TsbTree* tree, Timestamp t);
+
+  Status SeekToFirst();
+  /// Positions at the first key >= target.
+  Status Seek(const Slice& target);
+  /// Scans only keys in [start, end_exclusive).
+  Status SeekRange(const Slice& start, const Slice& end_exclusive);
+  bool Valid() const { return valid_; }
+  Status Next();
+
+  Slice key() const { return Slice(key_); }
+  Slice value() const { return Slice(value_); }
+  Timestamp ts() const { return ts_; }
+
+ private:
+  struct Frame {
+    std::vector<IndexEntry> entries;  // filtered & ordered by key_lo
+    size_t next = 0;
+    std::string win_lo;
+    std::string win_hi;
+    bool win_hi_inf = true;
+  };
+
+  struct Record {
+    std::string key;
+    Timestamp ts;
+    std::string value;
+  };
+
+  Status PushNode(const NodeRef& ref, const std::string& win_lo,
+                  const std::string& win_hi, bool win_hi_inf);
+  Status Advance();
+
+  TsbTree* tree_;
+  Timestamp t_;
+  std::string seek_target_;  // iteration emits only keys >= this
+  std::string end_key_;      // ...and < this, unless end_inf_
+  bool end_inf_ = true;
+  std::vector<Frame> stack_;
+  std::vector<Record> records_;  // emission buffer from the current leaf
+  size_t rec_idx_ = 0;
+  bool valid_ = false;
+  std::string key_, value_;
+  Timestamp ts_ = 0;
+};
+
+/// Newest-first scan of all committed versions of one key.
+class HistoryIterator {
+ public:
+  HistoryIterator(TsbTree* tree, const Slice& key);
+
+  /// Positions at the newest version (call first).
+  Status SeekToNewest();
+  bool Valid() const { return valid_; }
+  Status Next();
+
+  Timestamp ts() const { return ts_; }
+  Slice value() const { return Slice(value_); }
+
+ private:
+  Status Probe(Timestamp t);
+
+  TsbTree* tree_;
+  std::string key_;
+  bool valid_ = false;
+  Timestamp ts_ = 0;
+  std::string value_;
+};
+
+}  // namespace tsb_tree
+}  // namespace tsb
+
+#endif  // TSBTREE_TSB_CURSOR_H_

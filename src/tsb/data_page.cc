@@ -1,0 +1,180 @@
+#include "tsb/data_page.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+size_t DataEntry::EncodedSize() const {
+  return VarintLength(key.size()) + key.size() + 8 + VarintLength(txn) +
+         value.size();
+}
+
+void EncodeDataCell(std::string* out, const Slice& key, Timestamp ts,
+                    TxnId txn, const Slice& value) {
+  PutVarint32(out, static_cast<uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+  PutFixed64(out, ts);
+  PutVarint64(out, txn);
+  out->append(value.data(), value.size());
+}
+
+bool DecodeDataCell(const Slice& cell, DataEntryView* view) {
+  Slice in = cell;
+  if (!GetLengthPrefixedSlice(&in, &view->key)) return false;
+  if (in.size() < 8) return false;
+  view->ts = DecodeFixed64(in.data());
+  in.remove_prefix(8);
+  if (!GetVarint64(&in, &view->txn)) return false;
+  view->value = in;
+  return true;
+}
+
+void DataPageRef::Format(char* buf, uint32_t page_size) {
+  SetTsbPageLevel(buf, 0);
+  SlottedView(buf + kTsbSlotBase, page_size - kTsbSlotBase).Init();
+}
+
+Status DataPageRef::At(int i, DataEntryView* view) const {
+  if (!DecodeDataCell(slots_.Cell(i), view)) {
+    return Status::Corruption("bad data cell");
+  }
+  return Status::OK();
+}
+
+int DataPageRef::LowerBound(const Slice& key, Timestamp t) const {
+  int lo = 0, hi = Count();
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    DataEntryView v;
+    if (!DecodeDataCell(slots_.Cell(mid), &v)) return Count();
+    const int c = v.key.compare(key);
+    if (c < 0 || (c == 0 && v.ts < t)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int DataPageRef::FindVersion(const Slice& key, Timestamp t) const {
+  // Entries for `key` are contiguous and ts-ascending: the candidate is the
+  // last committed entry before LowerBound(key, t+1). Uncommitted entries
+  // (kUncommittedTs sentinel) sit at the end of the run and are skipped.
+  const Timestamp upper = (t == kInfiniteTs) ? kInfiniteTs : t + 1;
+  int pos = LowerBound(key, upper) - 1;
+  while (pos >= 0) {
+    DataEntryView v;
+    if (!DecodeDataCell(slots_.Cell(pos), &v)) return -1;
+    if (v.key != key) return -1;
+    if (v.uncommitted()) {
+      --pos;
+      continue;
+    }
+    return (v.ts <= t) ? pos : -1;
+  }
+  return -1;
+}
+
+int DataPageRef::FindUncommitted(const Slice& key, TxnId txn) const {
+  // Uncommitted entries sort at the very end of the key's run.
+  int pos = LowerBound(key, kUncommittedTs);
+  while (pos < Count()) {
+    DataEntryView v;
+    if (!DecodeDataCell(slots_.Cell(pos), &v)) return -1;
+    if (v.key != key) break;
+    if (v.uncommitted() && v.txn == txn) return pos;
+    ++pos;
+  }
+  return -1;
+}
+
+bool DataPageRef::Insert(const DataEntry& e) {
+  std::string cell;
+  EncodeDataCell(&cell, e.key, e.ts, e.txn, e.value);
+  const int pos = LowerBound(e.key, e.ts);
+  return slots_.Insert(pos, cell);
+}
+
+bool DataPageRef::Replace(int i, const DataEntry& e) {
+  std::string cell;
+  EncodeDataCell(&cell, e.key, e.ts, e.txn, e.value);
+  return slots_.Replace(i, cell);
+}
+
+Status DataPageRef::DecodeAll(std::vector<DataEntry>* out) const {
+  out->clear();
+  out->reserve(Count());
+  for (int i = 0; i < Count(); ++i) {
+    DataEntryView v;
+    TSB_RETURN_IF_ERROR(At(i, &v));
+    out->push_back(v.ToOwned());
+  }
+  return Status::OK();
+}
+
+Status DataPageRef::Load(const std::vector<DataEntry>& entries) {
+  slots_.Clear();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::string cell;
+    EncodeDataCell(&cell, entries[i].key, entries[i].ts, entries[i].txn,
+                   entries[i].value);
+    if (!slots_.Insert(static_cast<int>(i), cell)) {
+      return Status::OutOfSpace("data page bulk load overflow");
+    }
+  }
+  return Status::OK();
+}
+
+void SerializeHistDataNode(const std::vector<DataEntry>& entries,
+                           std::string* out) {
+  out->clear();
+  out->push_back(0);  // level 0 = data
+  out->push_back(0);  // pad
+  PutVarint32(out, static_cast<uint32_t>(entries.size()));
+  std::string cell;
+  for (const DataEntry& e : entries) {
+    cell.clear();
+    EncodeDataCell(&cell, e.key, e.ts, e.txn, e.value);
+    PutVarint32(out, static_cast<uint32_t>(cell.size()));
+    out->append(cell);
+  }
+}
+
+Status HistNodeLevel(const Slice& blob, uint8_t* level) {
+  if (blob.size() < 2) return Status::Corruption("historical node too short");
+  *level = static_cast<uint8_t>(blob[0]);
+  return Status::OK();
+}
+
+Status DecodeHistDataNode(const Slice& blob, std::vector<DataEntry>* out) {
+  out->clear();
+  Slice in = blob;
+  if (in.size() < 2 || in[0] != 0) {
+    return Status::Corruption("not a historical data node");
+  }
+  in.remove_prefix(2);
+  uint32_t count = 0;
+  if (!GetVarint32(&in, &count)) {
+    return Status::Corruption("bad historical node count");
+  }
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice cell;
+    if (!GetLengthPrefixedSlice(&in, &cell)) {
+      return Status::Corruption("bad historical node cell");
+    }
+    DataEntryView v;
+    if (!DecodeDataCell(cell, &v)) {
+      return Status::Corruption("bad historical record cell");
+    }
+    out->push_back(v.ToOwned());
+  }
+  return Status::OK();
+}
+
+}  // namespace tsb_tree
+}  // namespace tsb

@@ -1,0 +1,143 @@
+// TSB-tree data node format.
+//
+// Current data pages (magnetic disk) are slotted pages holding record
+// versions sorted by (key asc, timestamp asc); records of uncommitted
+// transactions carry the kUncommittedTs sentinel (they sort after every
+// committed version of the key) plus their transaction id — per paper
+// section 4 they are never migrated and can be erased.
+//
+// Historical data nodes are the *consolidated* serialization of the same
+// entries into an exactly-sized blob for the append store (section 3.4).
+//
+// Record cell: [varint klen][key][fixed64 ts][varint64 txn][value...]
+// Historical blob: [u8 level=0][u8 pad][varint32 count]
+//                  { [varint32 cell_len][cell] } * count
+#ifndef TSBTREE_TSB_DATA_PAGE_H_
+#define TSBTREE_TSB_DATA_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/slotted.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+/// Sub-header after the 24-byte page header: [24] level, [25] pad.
+inline constexpr uint32_t kTsbSubHeader = 2;
+inline constexpr uint32_t kTsbSlotBase = kPageHeaderSize + kTsbSubHeader;
+
+inline uint8_t TsbPageLevel(const char* buf) {
+  return static_cast<uint8_t>(buf[24]);
+}
+inline void SetTsbPageLevel(char* buf, uint8_t level) {
+  buf[24] = static_cast<char>(level);
+}
+
+/// A decoded record version (owning).
+struct DataEntry {
+  std::string key;
+  Timestamp ts = 0;   ///< commit time; kUncommittedTs if not yet committed
+  TxnId txn = kNoTxn; ///< issuing transaction while uncommitted
+  std::string value;
+
+  bool uncommitted() const { return ts == kUncommittedTs; }
+  size_t EncodedSize() const;
+
+  /// Sort order used everywhere: (key, ts); the uncommitted sentinel sorts
+  /// after all committed versions of the same key.
+  bool operator<(const DataEntry& o) const {
+    const int c = Slice(key).compare(Slice(o.key));
+    if (c != 0) return c < 0;
+    return ts < o.ts;
+  }
+};
+
+/// Non-owning view of a record cell inside a page.
+struct DataEntryView {
+  Slice key;
+  Timestamp ts = 0;
+  TxnId txn = kNoTxn;
+  Slice value;
+
+  bool uncommitted() const { return ts == kUncommittedTs; }
+  DataEntry ToOwned() const {
+    return DataEntry{key.ToString(), ts, txn, value.ToString()};
+  }
+};
+
+void EncodeDataCell(std::string* out, const Slice& key, Timestamp ts,
+                    TxnId txn, const Slice& value);
+bool DecodeDataCell(const Slice& cell, DataEntryView* view);
+
+/// Accessor over a current data page's bytes. Does not own the buffer; the
+/// caller keeps the page pinned while a ref is live.
+class DataPageRef {
+ public:
+  DataPageRef(char* buf, uint32_t page_size)
+      : buf_(buf), slots_(buf + kTsbSlotBase, page_size - kTsbSlotBase) {}
+
+  /// Initializes the sub-header + slotted area of a freshly created page.
+  static void Format(char* buf, uint32_t page_size);
+
+  int Count() const { return slots_.count(); }
+  Status At(int i, DataEntryView* view) const;
+
+  /// First index with (key, ts) >= (k, t); Count() if none.
+  int LowerBound(const Slice& key, Timestamp t) const;
+
+  /// Index of the version of `key` valid at time `t`: the last entry with
+  /// this key and ts <= t (committed only). -1 if none.
+  int FindVersion(const Slice& key, Timestamp t) const;
+
+  /// Index of the uncommitted entry for (key, txn); -1 if none.
+  int FindUncommitted(const Slice& key, TxnId txn) const;
+
+  bool HasRoomFor(const DataEntry& e) const {
+    return slots_.HasRoomFor(static_cast<uint32_t>(e.EncodedSize()));
+  }
+
+  /// Inserts keeping sort order; false when full. An existing cell with the
+  /// same (key, ts/txn) position is NOT replaced — callers decide.
+  bool Insert(const DataEntry& e);
+
+  void Remove(int i) { slots_.Remove(i); }
+  bool Replace(int i, const DataEntry& e);
+  void Clear() { slots_.Clear(); }
+
+  /// Decodes every entry (owning copies, for split staging).
+  Status DecodeAll(std::vector<DataEntry>* out) const;
+
+  /// Clears the page and bulk-loads `entries` (must be sorted, must fit).
+  Status Load(const std::vector<DataEntry>& entries);
+
+  /// Live payload bytes (cells + slots).
+  uint32_t UsedBytes() const {
+    return slots_.capacity() - slots_.FreeBytes();
+  }
+
+ private:
+  char* buf_;
+  SlottedView slots_;
+};
+
+/// Serializes entries as a consolidated historical data node.
+void SerializeHistDataNode(const std::vector<DataEntry>& entries,
+                           std::string* out);
+
+/// Parses a historical node blob of either kind; returns its level.
+/// For level 0 use DecodeHistDataNode instead.
+Status HistNodeLevel(const Slice& blob, uint8_t* level);
+
+/// Parses a historical data node blob.
+Status DecodeHistDataNode(const Slice& blob, std::vector<DataEntry>* out);
+
+}  // namespace tsb_tree
+}  // namespace tsb
+
+#endif  // TSBTREE_TSB_DATA_PAGE_H_

@@ -1,0 +1,193 @@
+#include "tsb/index_page.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+namespace {
+constexpr uint8_t kFlagKeyHiInf = 0x1;
+}  // namespace
+
+size_t IndexEntry::EncodedSize() const {
+  size_t n = 1 + VarintLength(key_lo.size()) + key_lo.size() + 16;
+  if (!key_hi_inf) n += VarintLength(key_hi.size()) + key_hi.size();
+  n += child.historical
+           ? 1 + VarintLength(child.addr.offset) + VarintLength(child.addr.length)
+           : 1 + 4;
+  return n;
+}
+
+std::string IndexEntry::ToString() const {
+  std::string s = "[" + key_lo + ", " + (key_hi_inf ? "+inf" : key_hi) +
+                  ") x [" + std::to_string(t_lo) + ", " +
+                  (t_hi == kInfiniteTs ? "+inf" : std::to_string(t_hi)) +
+                  ") -> " + child.ToString();
+  return s;
+}
+
+void EncodeIndexCell(std::string* out, const IndexEntry& e) {
+  out->push_back(static_cast<char>(e.key_hi_inf ? kFlagKeyHiInf : 0));
+  PutVarint32(out, static_cast<uint32_t>(e.key_lo.size()));
+  out->append(e.key_lo);
+  if (!e.key_hi_inf) {
+    PutVarint32(out, static_cast<uint32_t>(e.key_hi.size()));
+    out->append(e.key_hi);
+  }
+  PutFixed64(out, e.t_lo);
+  PutFixed64(out, e.t_hi);
+  EncodeNodeRef(out, e.child);
+}
+
+bool DecodeIndexCell(const Slice& cell, IndexEntry* e) {
+  Slice in = cell;
+  if (in.empty()) return false;
+  const uint8_t flags = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  e->key_hi_inf = (flags & kFlagKeyHiInf) != 0;
+  Slice klo;
+  if (!GetLengthPrefixedSlice(&in, &klo)) return false;
+  e->key_lo = klo.ToString();
+  if (!e->key_hi_inf) {
+    Slice khi;
+    if (!GetLengthPrefixedSlice(&in, &khi)) return false;
+    e->key_hi = khi.ToString();
+  } else {
+    e->key_hi.clear();
+  }
+  if (in.size() < 16) return false;
+  e->t_lo = DecodeFixed64(in.data());
+  e->t_hi = DecodeFixed64(in.data() + 8);
+  in.remove_prefix(16);
+  return DecodeNodeRef(&in, &e->child);
+}
+
+void IndexPageRef::Format(char* buf, uint32_t page_size, uint8_t level) {
+  SetTsbPageLevel(buf, level);
+  SlottedView(buf + kTsbSlotBase, page_size - kTsbSlotBase).Init();
+}
+
+Status IndexPageRef::At(int i, IndexEntry* e) const {
+  if (!DecodeIndexCell(slots_.Cell(i), e)) {
+    return Status::Corruption("bad index cell");
+  }
+  return Status::OK();
+}
+
+int IndexPageRef::FindContaining(const Slice& key, Timestamp t) const {
+  // Entries tile the node's region, so at most one contains the point.
+  // Linear scan: index pages hold at most a few hundred entries.
+  const int n = Count();
+  for (int i = 0; i < n; ++i) {
+    IndexEntry e;
+    if (!DecodeIndexCell(slots_.Cell(i), &e)) return -1;
+    if (e.Contains(key, t)) return i;
+  }
+  return -1;
+}
+
+int IndexPageRef::FindChild(uint32_t page_id) const {
+  const int n = Count();
+  for (int i = 0; i < n; ++i) {
+    IndexEntry e;
+    if (!DecodeIndexCell(slots_.Cell(i), &e)) return -1;
+    if (!e.child.historical && e.child.page_id == page_id) return i;
+  }
+  return -1;
+}
+
+bool IndexPageRef::Insert(const IndexEntry& e) {
+  std::string cell;
+  EncodeIndexCell(&cell, e);
+  // Keep (key_lo, t_lo) order.
+  int lo = 0, hi = Count();
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    IndexEntry m;
+    if (!DecodeIndexCell(slots_.Cell(mid), &m)) return false;
+    if (m < e) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return slots_.Insert(lo, cell);
+}
+
+bool IndexPageRef::Replace(int i, const IndexEntry& e) {
+  std::string cell;
+  EncodeIndexCell(&cell, e);
+  return slots_.Replace(i, cell);
+}
+
+Status IndexPageRef::DecodeAll(std::vector<IndexEntry>* out) const {
+  out->clear();
+  out->reserve(Count());
+  for (int i = 0; i < Count(); ++i) {
+    IndexEntry e;
+    TSB_RETURN_IF_ERROR(At(i, &e));
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+Status IndexPageRef::Load(const std::vector<IndexEntry>& entries) {
+  slots_.Clear();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::string cell;
+    EncodeIndexCell(&cell, entries[i]);
+    if (!slots_.Insert(static_cast<int>(i), cell)) {
+      return Status::OutOfSpace("index page bulk load overflow");
+    }
+  }
+  return Status::OK();
+}
+
+void SerializeHistIndexNode(uint8_t level,
+                            const std::vector<IndexEntry>& entries,
+                            std::string* out) {
+  out->clear();
+  out->push_back(static_cast<char>(level));
+  out->push_back(0);
+  PutVarint32(out, static_cast<uint32_t>(entries.size()));
+  std::string cell;
+  for (const IndexEntry& e : entries) {
+    cell.clear();
+    EncodeIndexCell(&cell, e);
+    PutVarint32(out, static_cast<uint32_t>(cell.size()));
+    out->append(cell);
+  }
+}
+
+Status DecodeHistIndexNode(const Slice& blob, uint8_t* level,
+                           std::vector<IndexEntry>* out) {
+  out->clear();
+  Slice in = blob;
+  if (in.size() < 2 || in[0] == 0) {
+    return Status::Corruption("not a historical index node");
+  }
+  *level = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(2);
+  uint32_t count = 0;
+  if (!GetVarint32(&in, &count)) {
+    return Status::Corruption("bad historical index count");
+  }
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice cell;
+    if (!GetLengthPrefixedSlice(&in, &cell)) {
+      return Status::Corruption("bad historical index cell");
+    }
+    IndexEntry e;
+    if (!DecodeIndexCell(cell, &e)) {
+      return Status::Corruption("bad historical index entry");
+    }
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace tsb_tree
+}  // namespace tsb

@@ -1,0 +1,127 @@
+// TSB-tree index node format.
+//
+// Every index entry describes the key-time *rectangle* its child is
+// responsible for: [key_lo, key_hi) x [t_lo, t_hi), with key_hi possibly
+// +infinity and t_hi == kInfiniteTs for current children. The 1989 paper
+// stores only the low bounds and searches by insertion order; its split
+// rules, however, are stated in terms of the key ranges' lower AND upper
+// bounds (section 3.5), which this encoding makes explicit. Search is by
+// unique containment of the (key, time) point. Entries with a finite t_hi
+// reference historical nodes; t_hi == infinity references current pages —
+// an invariant the checker enforces.
+//
+// Index cell:
+//   [u8 flags: bit0 = key_hi is +inf]
+//   [varint klen_lo][key_lo]  ([varint klen_hi][key_hi] unless bit0)
+//   [fixed64 t_lo][fixed64 t_hi]
+//   [NodeRef]
+// Historical index blob: [u8 level>0][u8 pad][varint32 count]
+//   { [varint32 cell_len][cell] } * count
+#ifndef TSBTREE_TSB_INDEX_PAGE_H_
+#define TSBTREE_TSB_INDEX_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/slotted.h"
+#include "tsb/data_page.h"
+#include "tsb/node_ref.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+/// One index entry (owning). The rectangle is half-open on both axes.
+struct IndexEntry {
+  std::string key_lo;
+  std::string key_hi;   // meaningful iff !key_hi_inf
+  bool key_hi_inf = false;
+  Timestamp t_lo = 0;
+  Timestamp t_hi = kInfiniteTs;  // kInfiniteTs <=> current child
+  NodeRef child;
+
+  bool current_child() const { return t_hi == kInfiniteTs; }
+
+  bool ContainsKey(const Slice& k) const {
+    if (Slice(key_lo) > k) return false;
+    return key_hi_inf || k < Slice(key_hi);
+  }
+  bool ContainsTime(Timestamp t) const { return t_lo <= t && t < t_hi; }
+  bool Contains(const Slice& k, Timestamp t) const {
+    return ContainsKey(k) && ContainsTime(t);
+  }
+  /// True if the key interval strictly contains `s` in its interior
+  /// (key_lo < s < key_hi) — the "straddler" test of the keyspace split
+  /// rule, clause 4.
+  bool KeyRangeStrictlyContains(const Slice& s) const {
+    if (Slice(key_lo) >= s) return false;
+    return key_hi_inf || s < Slice(key_hi);
+  }
+
+  size_t EncodedSize() const;
+  std::string ToString() const;
+
+  /// Order used in index pages: (key_lo, t_lo).
+  bool operator<(const IndexEntry& o) const {
+    const int c = Slice(key_lo).compare(Slice(o.key_lo));
+    if (c != 0) return c < 0;
+    return t_lo < o.t_lo;
+  }
+};
+
+void EncodeIndexCell(std::string* out, const IndexEntry& e);
+bool DecodeIndexCell(const Slice& cell, IndexEntry* e);
+
+/// Accessor over a current index page. Caller keeps the page pinned.
+class IndexPageRef {
+ public:
+  IndexPageRef(char* buf, uint32_t page_size)
+      : buf_(buf), slots_(buf + kTsbSlotBase, page_size - kTsbSlotBase) {}
+
+  static void Format(char* buf, uint32_t page_size, uint8_t level);
+
+  uint8_t Level() const { return TsbPageLevel(buf_); }
+  int Count() const { return slots_.count(); }
+  Status At(int i, IndexEntry* e) const;
+
+  /// Index of the unique entry containing (key, t); -1 if none (corrupt
+  /// tree or t outside the node's region).
+  int FindContaining(const Slice& key, Timestamp t) const;
+
+  /// Index of the entry referencing the current page `page_id`; -1 if
+  /// absent. (Current children have exactly one parent.)
+  int FindChild(uint32_t page_id) const;
+
+  bool HasRoomFor(const IndexEntry& e) const {
+    return slots_.HasRoomFor(static_cast<uint32_t>(e.EncodedSize()));
+  }
+  bool Insert(const IndexEntry& e);
+  bool Replace(int i, const IndexEntry& e);
+  void Remove(int i) { slots_.Remove(i); }
+
+  Status DecodeAll(std::vector<IndexEntry>* out) const;
+  Status Load(const std::vector<IndexEntry>& entries);
+
+  uint32_t UsedBytes() const { return slots_.capacity() - slots_.FreeBytes(); }
+  uint32_t FreeBytes() const { return slots_.FreeBytes(); }
+
+ private:
+  char* buf_;
+  SlottedView slots_;
+};
+
+/// Serializes a historical index node (level > 0).
+void SerializeHistIndexNode(uint8_t level, const std::vector<IndexEntry>& entries,
+                            std::string* out);
+
+/// Parses a historical index node blob.
+Status DecodeHistIndexNode(const Slice& blob, uint8_t* level,
+                           std::vector<IndexEntry>* out);
+
+}  // namespace tsb_tree
+}  // namespace tsb
+
+#endif  // TSBTREE_TSB_INDEX_PAGE_H_

@@ -1,0 +1,47 @@
+#include "tsb/node_ref.h"
+
+#include "common/coding.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+std::string NodeRef::ToString() const {
+  if (historical) {
+    return "hist@" + std::to_string(addr.offset) + "+" +
+           std::to_string(addr.length);
+  }
+  return "page#" + std::to_string(page_id);
+}
+
+void EncodeNodeRef(std::string* out, const NodeRef& ref) {
+  out->push_back(ref.historical ? 1 : 0);
+  if (ref.historical) {
+    PutVarint64(out, ref.addr.offset);
+    PutVarint32(out, ref.addr.length);
+  } else {
+    PutFixed32(out, ref.page_id);
+  }
+}
+
+bool DecodeNodeRef(Slice* in, NodeRef* ref) {
+  if (in->empty()) return false;
+  const bool historical = ((*in)[0] != 0);
+  in->remove_prefix(1);
+  ref->historical = historical;
+  if (historical) {
+    uint64_t off = 0;
+    uint32_t len = 0;
+    if (!GetVarint64(in, &off) || !GetVarint32(in, &len)) return false;
+    ref->addr = HistAddr{off, len};
+    ref->page_id = kInvalidPageId;
+  } else {
+    if (in->size() < 4) return false;
+    ref->page_id = DecodeFixed32(in->data());
+    in->remove_prefix(4);
+    ref->addr = HistAddr{};
+  }
+  return true;
+}
+
+}  // namespace tsb_tree
+}  // namespace tsb

@@ -1,0 +1,59 @@
+// NodeRef: a child pointer in the TSB-tree, which spans two devices.
+//
+// Current nodes live on the magnetic disk and are addressed by page id;
+// historical nodes live in the append store and are addressed by
+// <offset, length> (paper section 3.4: "The index pointer to a historical
+// node needs only to record its address on the optical disk and its
+// length").
+#ifndef TSBTREE_TSB_NODE_REF_H_
+#define TSBTREE_TSB_NODE_REF_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/append_store.h"
+#include "storage/pager.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+/// Two-device child pointer.
+struct NodeRef {
+  bool historical = false;
+  uint32_t page_id = kInvalidPageId;  // current nodes
+  HistAddr addr;                      // historical nodes
+
+  static NodeRef Current(uint32_t id) {
+    NodeRef r;
+    r.historical = false;
+    r.page_id = id;
+    return r;
+  }
+  static NodeRef Historical(const HistAddr& a) {
+    NodeRef r;
+    r.historical = true;
+    r.addr = a;
+    return r;
+  }
+
+  bool operator==(const NodeRef& o) const {
+    if (historical != o.historical) return false;
+    return historical ? (addr == o.addr) : (page_id == o.page_id);
+  }
+
+  std::string ToString() const;
+};
+
+/// Appends the wire encoding of `ref` (1 + 4 bytes current; 1 + varints
+/// historical).
+void EncodeNodeRef(std::string* out, const NodeRef& ref);
+
+/// Consumes a NodeRef from the front of `in`.
+bool DecodeNodeRef(Slice* in, NodeRef* ref);
+
+}  // namespace tsb_tree
+}  // namespace tsb
+
+#endif  // TSBTREE_TSB_NODE_REF_H_

@@ -1,0 +1,216 @@
+#include "tsb/tree_check.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace tsb {
+namespace tsb_tree {
+
+namespace {
+
+std::string Describe(const NodeRef& ref) { return ref.ToString(); }
+
+}  // namespace
+
+Status TreeChecker::Check() {
+  nodes_visited_ = 0;
+  current_parent_counts_.clear();
+  Window all;
+  const NodeRef root = tree_->root();
+  current_parent_counts_[root.page_id] = 1;
+  TSB_RETURN_IF_ERROR(
+      CheckNode(root, static_cast<uint8_t>(tree_->height() - 1), all));
+  for (const auto& [page, count] : current_parent_counts_) {
+    if (count != 1) {
+      return Status::Corruption(
+          "current page has wrong parent count",
+          "page " + std::to_string(page) + " count " + std::to_string(count));
+    }
+  }
+  return Status::OK();
+}
+
+Status TreeChecker::CheckNode(const NodeRef& ref, uint8_t expected_level,
+                              const Window& win) {
+  DecodedNode node;
+  TSB_RETURN_IF_ERROR(tree_->ReadNode(ref, &node));
+  nodes_visited_++;
+  if (node.level != expected_level) {
+    return Status::Corruption("node level mismatch",
+                              Describe(ref) + " level " +
+                                  std::to_string(node.level) + " expected " +
+                                  std::to_string(expected_level));
+  }
+  if (node.is_data()) return CheckDataNode(ref, node, win);
+  return CheckIndexNode(ref, node, win);
+}
+
+Status TreeChecker::CheckIndexNode(const NodeRef& ref, const DecodedNode& node,
+                                   const Window& win) {
+  const auto& entries = node.index;
+  if (entries.empty()) {
+    return Status::Corruption("empty index node", Describe(ref));
+  }
+
+  // Well-formedness, ordering, and the migration invariant.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const IndexEntry& e = entries[i];
+    if (!e.key_hi_inf && Slice(e.key_lo) >= Slice(e.key_hi)) {
+      return Status::Corruption("empty key range", e.ToString());
+    }
+    if (e.t_lo >= e.t_hi) {
+      return Status::Corruption("empty time range", e.ToString());
+    }
+    if (e.current_child() == e.child.historical) {
+      return Status::Corruption(
+          "t_hi/device mismatch (finite t_hi <=> historical)", e.ToString());
+    }
+    if (i > 0 && !(entries[i - 1] < e)) {
+      return Status::Corruption("index entries out of order", Describe(ref));
+    }
+    // Entries not fully inside the node window must be historical
+    // straddlers (duplicated by keyspace splits, rule 4) — on the key axis.
+    const bool inside_lo = Slice(e.key_lo) >= Slice(win.key_lo);
+    const bool inside_hi =
+        win.key_hi_inf || (!e.key_hi_inf && Slice(e.key_hi) <= Slice(win.key_hi));
+    if ((!inside_lo || !inside_hi) && !e.child.historical) {
+      return Status::Corruption("current child exceeds node key range",
+                                e.ToString());
+    }
+    // Time axis: entries may begin before the node's t_lo only if they are
+    // historical (local-time-split straddlers).
+    if (e.t_lo < win.t_lo && !e.child.historical) {
+      return Status::Corruption("current child predates node time range",
+                                e.ToString());
+    }
+  }
+
+  // ---- tiling check on the boundary grid ----
+  // Key boundaries: window low plus every entry bound strictly inside.
+  std::vector<std::string> kb = {win.key_lo};
+  auto add_key = [&](const std::string& k) {
+    if (Slice(k) <= Slice(win.key_lo)) return;
+    if (!win.key_hi_inf && Slice(k) >= Slice(win.key_hi)) return;
+    kb.push_back(k);
+  };
+  std::vector<Timestamp> tb = {win.t_lo};
+  auto add_time = [&](Timestamp t) {
+    if (t <= win.t_lo) return;
+    if (t >= win.t_hi) return;
+    tb.push_back(t);
+  };
+  for (const IndexEntry& e : entries) {
+    add_key(e.key_lo);
+    if (!e.key_hi_inf) add_key(e.key_hi);
+    add_time(e.t_lo);
+    if (e.t_hi != kInfiniteTs) add_time(e.t_hi);
+  }
+  std::sort(kb.begin(), kb.end(),
+            [](const std::string& a, const std::string& b) {
+              return Slice(a) < Slice(b);
+            });
+  kb.erase(std::unique(kb.begin(), kb.end()), kb.end());
+  std::sort(tb.begin(), tb.end());
+  tb.erase(std::unique(tb.begin(), tb.end()), tb.end());
+
+  for (const std::string& k : kb) {
+    for (const Timestamp t : tb) {
+      int cover = 0;
+      for (const IndexEntry& e : entries) {
+        if (e.Contains(Slice(k), t)) cover++;
+      }
+      if (cover != 1) {
+        return Status::Corruption(
+            "index region not tiled",
+            Describe(ref) + " point (" + k + ", " + std::to_string(t) +
+                ") covered " + std::to_string(cover) + " times");
+      }
+    }
+  }
+
+  // ---- recurse ----
+  for (const IndexEntry& e : entries) {
+    if (!e.child.historical) {
+      current_parent_counts_[e.child.page_id]++;
+    }
+    // The child's region is the ENTRY rectangle itself, not its clip by our
+    // window: straddler references duplicated by keyspace/time splits carry
+    // the full child rectangle into both hosting nodes (rule 4), and the
+    // child's contents answer to that rectangle. (Queries clip; structure
+    // does not.)
+    Window child;
+    child.key_lo = e.key_lo;
+    child.key_hi = e.key_hi;
+    child.key_hi_inf = e.key_hi_inf;
+    child.t_lo = e.t_lo;
+    child.t_hi = e.t_hi;
+    TSB_RETURN_IF_ERROR(
+        CheckNode(e.child, static_cast<uint8_t>(node.level - 1), child));
+  }
+  return Status::OK();
+}
+
+Status TreeChecker::CheckDataNode(const NodeRef& ref, const DecodedNode& node,
+                                  const Window& win) {
+  const auto& entries = node.data;
+  std::string prev_key;
+  Timestamp prev_ts = 0;
+  bool have_prev = false;
+  // Per key, committed records with ts < win.t_lo seen so far.
+  std::string run_key;
+  int run_below_tlo = 0;
+  Timestamp run_max_committed = 0;
+
+  for (const DataEntry& e : entries) {
+    const Slice k(e.key);
+    if (k < Slice(win.key_lo) ||
+        (!win.key_hi_inf && k >= Slice(win.key_hi))) {
+      return Status::Corruption("record outside node key range",
+                                Describe(ref) + " key " + e.key);
+    }
+    if (have_prev) {
+      const int c = Slice(prev_key).compare(k);
+      if (c > 0 || (c == 0 && prev_ts > e.ts)) {
+        return Status::Corruption("data records out of order", Describe(ref));
+      }
+    }
+    prev_key = e.key;
+    prev_ts = e.ts;
+    have_prev = true;
+
+    if (e.uncommitted()) {
+      if (ref.historical) {
+        return Status::Corruption("uncommitted record migrated to history",
+                                  Describe(ref));
+      }
+      continue;
+    }
+    if (e.ts >= win.t_hi) {
+      return Status::Corruption("record after node time range",
+                                Describe(ref) + " key " + e.key);
+    }
+    if (e.key != run_key) {
+      run_key = e.key;
+      run_below_tlo = 0;
+      run_max_committed = 0;
+    }
+    if (e.ts < win.t_lo) {
+      run_below_tlo++;
+      if (run_below_tlo > 1) {
+        return Status::Corruption(
+            "more than one pre-t_lo version of a key (TIME-SPLIT RULE 3)",
+            Describe(ref) + " key " + e.key);
+      }
+    }
+    if (e.ts < run_max_committed) {
+      return Status::Corruption("committed versions out of ts order",
+                                Describe(ref));
+    }
+    run_max_committed = e.ts;
+  }
+  return Status::OK();
+}
+
+}  // namespace tsb_tree
+}  // namespace tsb

@@ -1,0 +1,237 @@
+// The Time-Split B-tree (paper section 3): a single integrated index over
+// a current database on an erasable device and a historical database on an
+// append-only device, with key splits, time splits at a chooseable time,
+// and incremental one-node-at-a-time migration.
+#ifndef TSBTREE_TSB_TSB_TREE_H_
+#define TSBTREE_TSB_TSB_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/append_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "tsb/data_page.h"
+#include "tsb/index_page.h"
+#include "tsb/split_policy.h"
+#include "tsb/tsb_stats.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+class SnapshotIterator;
+class HistoryIterator;
+
+struct TsbOptions {
+  uint32_t page_size = kDefaultPageSize;
+  size_t buffer_pool_frames = 256;
+  /// Decoded-blob read cache for the historical store (0 = none).
+  size_t hist_cache_blobs = 8;
+  SplitPolicyConfig policy;
+};
+
+/// A fully decoded node, for iterators, the checker and tools. Either
+/// `data` (level == 0) or `index` (level > 0) is populated.
+struct DecodedNode {
+  uint8_t level = 0;
+  bool historical = false;
+  std::vector<DataEntry> data;
+  std::vector<IndexEntry> index;
+  bool is_data() const { return level == 0; }
+};
+
+/// The Time-Split B-tree.
+///
+/// Writes:
+///  - Put(key, value, ts)            committed version, ts non-decreasing
+///  - PutUncommitted(key, value, txn) version without timestamp (section 4)
+///  - StampCommitted(key, txn, ts)   commit an uncommitted version in place
+///  - EraseUncommitted(key, txn)     abort cleanup (erasable current DB)
+/// Reads:
+///  - GetCurrent / GetAsOf / GetUncommitted
+///  - NewSnapshotIterator(T)         key-ordered state as of T
+///  - NewHistoryIterator(key)        all committed versions, newest first
+///
+/// Not thread-safe; the paper's concurrency story (section 4.1) is
+/// timestamp-based read-only transactions layered above, not latching.
+class TsbTree {
+ public:
+  /// Opens a tree. `magnetic` (erasable) holds the current database,
+  /// `historical` (append-only; may be a WormDevice) holds migrated nodes.
+  /// Both must outlive the tree.
+  static Status Open(Device* magnetic, Device* historical,
+                     const TsbOptions& options, std::unique_ptr<TsbTree>* out);
+
+  ~TsbTree();
+
+  // ---- writes ----
+
+  /// Inserts a committed version. `ts` must be >= every previously written
+  /// timestamp (commit order; the tree advances its clock to ts).
+  Status Put(const Slice& key, const Slice& value, Timestamp ts);
+
+  /// Inserts an uncommitted version for transaction `txn`. At most one
+  /// uncommitted version per (key, txn); a second Put replaces it.
+  Status PutUncommitted(const Slice& key, const Slice& value, TxnId txn);
+
+  /// Stamps the uncommitted version of (key, txn) with commit time `ts`.
+  Status StampCommitted(const Slice& key, TxnId txn, Timestamp ts);
+
+  /// Erases the uncommitted version of (key, txn) — abort path.
+  Status EraseUncommitted(const Slice& key, TxnId txn);
+
+  // ---- reads ----
+
+  /// Latest committed version.
+  Status GetCurrent(const Slice& key, std::string* value,
+                    Timestamp* ts = nullptr);
+
+  /// Version valid at time `t` (stepwise-constant semantics, Fig 1).
+  Status GetAsOf(const Slice& key, Timestamp t, std::string* value,
+                 Timestamp* ts = nullptr);
+
+  /// Reads a transaction's own uncommitted version.
+  Status GetUncommitted(const Slice& key, TxnId txn, std::string* value);
+
+  /// Key-ordered iterator over the database state as of time `t`.
+  /// The iterator must not outlive writes (single-writer discipline).
+  std::unique_ptr<SnapshotIterator> NewSnapshotIterator(Timestamp t);
+
+  /// All committed versions of `key`, newest first.
+  std::unique_ptr<HistoryIterator> NewHistoryIterator(const Slice& key);
+
+  /// One record of a range-history scan.
+  struct VersionRecord {
+    std::string key;
+    Timestamp ts;
+    std::string value;
+  };
+
+  /// Every committed version WRITTEN during [t_lo, t_hi) whose key lies in
+  /// [key_lo, key_hi) (key_hi empty = unbounded), in (key, ts) order —
+  /// the audit-trail query over a key range and time window. Duplicated
+  /// copies (TIME-SPLIT RULE redundancy, straddler references) are emitted
+  /// once.
+  Status ScanHistoryRange(const Slice& key_lo, const Slice& key_hi,
+                          Timestamp t_lo, Timestamp t_hi,
+                          std::vector<VersionRecord>* out);
+
+  // ---- maintenance / stats ----
+
+  /// Persists tree meta and flushes dirty pages.
+  Status Flush();
+
+  /// Walks the whole DAG and computes the section-5 space metrics.
+  Status ComputeSpaceStats(SpaceStats* out);
+
+  const TsbCounters& counters() const { return counters_; }
+  const TsbOptions& options() const { return options_; }
+  LogicalClock& clock() { return clock_; }
+  Timestamp Now() const { return clock_.Now(); }
+
+  Pager* pager() { return pager_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  AppendStore* hist_store() { return hist_.get(); }
+
+  // ---- introspection (iterators, checker, tests) ----
+
+  NodeRef root() const { return NodeRef::Current(root_); }
+  uint32_t height() const { return height_; }
+
+  /// Decodes any node (current page or historical blob).
+  Status ReadNode(const NodeRef& ref, DecodedNode* out);
+
+ private:
+  TsbTree(Device* magnetic, Device* historical, const TsbOptions& options);
+
+  Status Load();
+
+  struct PathElem {
+    uint32_t page_id;
+    int entry_idx;  // entry followed in THIS page to reach the child (-1 leaf)
+  };
+
+  /// Descends the current axis (T = kUncommittedTs) to the leaf for `key`.
+  Status DescendCurrent(const Slice& key, std::vector<PathElem>* path);
+
+  /// Point lookup for (key, t); t <= kUncommittedTs. Fills value/ts.
+  Status SearchPoint(const Slice& key, Timestamp t, TxnId txn,
+                     std::string* value, Timestamp* ts);
+
+  /// Inserts `e` (committed or uncommitted), splitting as needed.
+  Status InsertEntry(const DataEntry& e);
+
+  /// Splits the full leaf at path.back(); posts to parents; the caller
+  /// re-descends afterwards.
+  Status SplitDataPage(const std::vector<PathElem>& path);
+
+  /// Ensures the index page at path[idx] can absorb `need` more bytes,
+  /// splitting it (and ancestors) if necessary. May grow the root. Sets
+  /// *changed when the structure was altered (the caller must re-descend).
+  Status EnsureIndexRoom(const std::vector<PathElem>& path, size_t idx,
+                         uint32_t need, bool* changed);
+
+  /// Splits the index page at path[idx] (key split or local time split).
+  Status SplitIndexPage(const std::vector<PathElem>& path, size_t idx);
+
+  /// Performs the local time split of an index page at `split_t` (Fig 8):
+  /// migrates entries with t_hi <= split_t plus straddlers to the append
+  /// store, keeps entries with t_hi > split_t, updates the parent.
+  Status TimeSplitIndexPage(const std::vector<PathElem>& path, size_t idx,
+                            const IndexEntry& pe, int pe_pos, uint8_t level,
+                            const std::vector<IndexEntry>& entries,
+                            Timestamp split_t);
+
+  /// Creates a new root above the current one (entry covering everything).
+  Status GrowRoot();
+
+  /// Returns the parent entry bounds for the child at path position idx
+  /// (identity rectangle for the root).
+  Status ParentEntryFor(const std::vector<PathElem>& path, size_t idx,
+                        IndexEntry* entry, int* pos_in_parent);
+
+  /// Applies a time split to decoded data entries: partitions into
+  /// historical and current sets per the TIME-SPLIT RULE.
+  static void PartitionByTime(const std::vector<DataEntry>& all, Timestamp t,
+                              std::vector<DataEntry>* hist,
+                              std::vector<DataEntry>* current,
+                              size_t* redundant);
+
+  Status ScanHistoryRangeRec(const NodeRef& ref, const Slice& key_lo,
+                             const Slice& key_hi, Timestamp t_lo,
+                             Timestamp t_hi,
+                             std::map<std::pair<std::string, Timestamp>,
+                                      std::string>* acc,
+                             std::vector<HistAddr>* seen);
+
+  Status WalkStats(const NodeRef& ref, SpaceStats* stats,
+                   std::vector<std::pair<std::string, Timestamp>>* versions,
+                   std::vector<HistAddr>* seen_hist);
+
+  TsbOptions options_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<AppendStore> hist_;
+  SplitPolicy policy_;
+  LogicalClock clock_;
+
+  uint32_t root_ = kInvalidPageId;
+  uint32_t height_ = 1;
+  TsbCounters counters_;
+
+  friend class SnapshotIterator;
+  friend class HistoryIterator;
+  friend class TreeChecker;
+};
+
+}  // namespace tsb_tree
+}  // namespace tsb
+
+#endif  // TSBTREE_TSB_TSB_TREE_H_

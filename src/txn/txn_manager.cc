@@ -1,0 +1,97 @@
+#include "txn/txn_manager.h"
+
+namespace tsb {
+namespace txn {
+
+Transaction::~Transaction() {
+  if (active_) {
+    Abort();  // best effort; destruction must not lose locks
+  }
+}
+
+Status Transaction::Put(const Slice& key, const Slice& value) {
+  if (!active_) return Status::TxnNotActive("Put on finished transaction");
+  TSB_RETURN_IF_ERROR(mgr_->LockKey(key.ToString(), id_));
+  TSB_RETURN_IF_ERROR(mgr_->tree_->PutUncommitted(key, value, id_));
+  writes_[key.ToString()] = value.ToString();
+  return Status::OK();
+}
+
+Status Transaction::Get(const Slice& key, std::string* value) {
+  if (!active_) return Status::TxnNotActive("Get on finished transaction");
+  auto it = writes_.find(key.ToString());
+  if (it != writes_.end()) {
+    *value = it->second;
+    return Status::OK();
+  }
+  return mgr_->tree_->GetCurrent(key, value);
+}
+
+Status Transaction::Commit(Timestamp* commit_ts) {
+  if (!active_) return Status::TxnNotActive("Commit on finished transaction");
+  return mgr_->CommitTxn(this, commit_ts);
+}
+
+Status Transaction::Abort() {
+  if (!active_) return Status::TxnNotActive("Abort on finished transaction");
+  return mgr_->AbortTxn(this);
+}
+
+Status TxnManager::Begin(std::unique_ptr<Transaction>* out) {
+  out->reset(new Transaction(this, next_txn_++));
+  active_count_++;
+  return Status::OK();
+}
+
+Status TxnManager::LockKey(const std::string& key, TxnId txn) {
+  auto [it, inserted] = lock_table_.emplace(key, txn);
+  if (!inserted && it->second != txn) {
+    return Status::TxnConflict("key locked by txn " +
+                               std::to_string(it->second), key);
+  }
+  return Status::OK();
+}
+
+void TxnManager::UnlockKeys(const Transaction& txn) {
+  for (const auto& [key, value] : txn.writes_) {
+    auto it = lock_table_.find(key);
+    if (it != lock_table_.end() && it->second == txn.id_) {
+      lock_table_.erase(it);
+    }
+  }
+}
+
+Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
+  // One commit timestamp for the whole transaction (rollback-database
+  // semantics: records are stamped with transaction commit time).
+  const Timestamp ts = tree_->clock().Tick();
+  for (const auto& [key, value] : txn->writes_) {
+    // Capture the previous committed version for the hook BEFORE stamping.
+    std::string old_value;
+    const bool had_old = tree_->GetCurrent(key, &old_value).ok();
+    TSB_RETURN_IF_ERROR(tree_->StampCommitted(key, txn->id_, ts));
+    if (hook_) {
+      TSB_RETURN_IF_ERROR(
+          hook_(key, had_old ? &old_value : nullptr, value, ts));
+    }
+  }
+  UnlockKeys(*txn);
+  txn->active_ = false;
+  active_count_--;
+  if (commit_ts != nullptr) *commit_ts = ts;
+  return Status::OK();
+}
+
+Status TxnManager::AbortTxn(Transaction* txn) {
+  for (const auto& [key, value] : txn->writes_) {
+    Status s = tree_->EraseUncommitted(key, txn->id_);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  UnlockKeys(*txn);
+  txn->active_ = false;
+  active_count_--;
+  return Status::OK();
+}
+
+}  // namespace txn
+}  // namespace tsb

@@ -1,0 +1,141 @@
+// Transaction support for the TSB-tree, paper section 4.
+//
+// Updaters write uncommitted records (no timestamp) through the tree; at
+// commit every written key is stamped with one commit timestamp issued by
+// the tree's logical clock; on abort the uncommitted records are erased —
+// possible precisely because the current database is erasable.
+//
+// Read-only transactions (section 4.1) take a start timestamp and read
+// versions as of that time WITHOUT any locks: they never see uncommitted
+// data (it has no timestamp) and never wait for updaters, because no
+// updater can commit at or before an already-issued timestamp.
+//
+// Write-write conflicts between concurrent transactions are rejected
+// eagerly (first-writer-wins lock table).
+#ifndef TSBTREE_TXN_TXN_MANAGER_H_
+#define TSBTREE_TXN_TXN_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "tsb/cursor.h"
+#include "tsb/tsb_tree.h"
+
+namespace tsb {
+namespace txn {
+
+class TxnManager;
+
+/// An updater transaction. Obtain via TxnManager::Begin; finish with
+/// Commit or Abort (destruction aborts a still-active transaction).
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  bool active() const { return active_; }
+
+  /// Buffers an uncommitted version of `key`. Fails with TxnConflict if
+  /// another active transaction wrote the key first.
+  Status Put(const Slice& key, const Slice& value);
+
+  /// Reads through the transaction: own uncommitted write first, then the
+  /// latest committed version.
+  Status Get(const Slice& key, std::string* value);
+
+  /// Stamps every written key with one new commit timestamp.
+  Status Commit(Timestamp* commit_ts = nullptr);
+
+  /// Erases every uncommitted record this transaction wrote.
+  Status Abort();
+
+  size_t write_count() const { return writes_.size(); }
+
+ private:
+  friend class TxnManager;
+  Transaction(TxnManager* mgr, TxnId id) : mgr_(mgr), id_(id) {}
+
+  TxnManager* mgr_;
+  TxnId id_;
+  bool active_ = true;
+  std::map<std::string, std::string> writes_;  // key -> newest value
+};
+
+/// A lock-free read-only transaction: a captured timestamp (section 4.1).
+class ReadTransaction {
+ public:
+  ReadTransaction(tsb_tree::TsbTree* tree, Timestamp ts)
+      : tree_(tree), ts_(ts) {}
+
+  Timestamp timestamp() const { return ts_; }
+
+  /// Reads the version of `key` valid at the transaction's timestamp.
+  Status Get(const Slice& key, std::string* value,
+             Timestamp* version_ts = nullptr) {
+    return tree_->GetAsOf(key, ts_, value, version_ts);
+  }
+
+  /// Key-ordered scan of the database as of the transaction's timestamp —
+  /// the paper's lock-free backup/unload use case.
+  std::unique_ptr<tsb_tree::SnapshotIterator> NewIterator() {
+    return tree_->NewSnapshotIterator(ts_);
+  }
+
+ private:
+  tsb_tree::TsbTree* tree_;
+  Timestamp ts_;
+};
+
+/// Issues transactions over one TsbTree. Single-threaded (transactions may
+/// interleave, but calls must not race).
+class TxnManager {
+ public:
+  /// Called once per committed key, after stamping, with the previous
+  /// committed value (nullptr if the key is new). Used by the DB layer to
+  /// maintain secondary indexes.
+  using CommitHook = std::function<Status(
+      const std::string& key, const std::string* old_value,
+      const std::string& new_value, Timestamp commit_ts)>;
+
+  explicit TxnManager(tsb_tree::TsbTree* tree) : tree_(tree) {}
+
+  /// Starts an updater transaction.
+  Status Begin(std::unique_ptr<Transaction>* out);
+
+  /// Starts a lock-free reader pinned at the current time.
+  ReadTransaction BeginReadOnly() {
+    return ReadTransaction(tree_, tree_->Now());
+  }
+
+  void SetCommitHook(CommitHook hook) { hook_ = std::move(hook); }
+
+  size_t active_txns() const { return active_count_; }
+  tsb_tree::TsbTree* tree() { return tree_; }
+
+ private:
+  friend class Transaction;
+
+  Status LockKey(const std::string& key, TxnId txn);
+  void UnlockKeys(const Transaction& txn);
+  Status CommitTxn(Transaction* txn, Timestamp* commit_ts);
+  Status AbortTxn(Transaction* txn);
+
+  tsb_tree::TsbTree* tree_;
+  CommitHook hook_;
+  TxnId next_txn_ = 1;
+  size_t active_count_ = 0;
+  std::map<std::string, TxnId> lock_table_;
+};
+
+}  // namespace txn
+}  // namespace tsb
+
+#endif  // TSBTREE_TXN_TXN_MANAGER_H_

@@ -1,0 +1,53 @@
+#include "util/workload.h"
+
+#include <cstdio>
+
+namespace tsb {
+namespace util {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec)
+    : spec_(spec), rnd_(spec.seed) {}
+
+std::string WorkloadGenerator::KeyFor(size_t i) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%s%08zu", spec_.key_prefix.c_str(), i);
+  return buf;
+}
+
+bool WorkloadGenerator::Next(Op* op) {
+  if (produced_ >= spec_.num_ops) return false;
+  op->ts = static_cast<Timestamp>(produced_ + 1);
+
+  const bool update =
+      keys_created_ > 0 && rnd_.NextDouble() < spec_.update_fraction;
+  if (update) {
+    op->type = OpType::kUpdate;
+    const size_t victim =
+        spec_.skewed_updates
+            ? keys_created_ - 1 - rnd_.Skewed(keys_created_)
+            : rnd_.Uniform(keys_created_);
+    op->key = KeyFor(victim);
+  } else {
+    op->type = OpType::kInsert;
+    op->key = KeyFor(keys_created_++);
+  }
+
+  size_t vs = spec_.value_size;
+  if (spec_.variable_value_size && vs > 1) {
+    vs = vs / 2 + rnd_.Uniform(vs);
+  }
+  op->value.assign(vs, static_cast<char>('a' + (produced_ % 26)));
+  produced_++;
+  return true;
+}
+
+std::vector<Op> WorkloadGenerator::All() {
+  std::vector<Op> ops;
+  ops.reserve(spec_.num_ops);
+  Op op;
+  while (Next(&op)) ops.push_back(op);
+  return ops;
+}
+
+}  // namespace util
+}  // namespace tsb

@@ -1,0 +1,74 @@
+// Workload generation for experiments E1-E9.
+//
+// The paper's planned evaluation (section 5) varies the RATE OF UPDATE
+// VERSUS INSERTION; this generator produces deterministic operation streams
+// parameterized exactly that way, so every bench and property test can
+// reproduce a row of the space/redundancy tables.
+#ifndef TSBTREE_UTIL_WORKLOAD_H_
+#define TSBTREE_UTIL_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace tsb {
+namespace util {
+
+enum class OpType : uint8_t {
+  kInsert = 0,  ///< a brand-new key
+  kUpdate = 1,  ///< a new version of an existing key
+};
+
+struct Op {
+  OpType type;
+  std::string key;
+  std::string value;
+  Timestamp ts;
+};
+
+struct WorkloadSpec {
+  uint64_t seed = 42;
+  size_t num_ops = 10000;
+  /// Fraction of operations that update existing keys (0.0 = pure inserts,
+  /// 1.0 = pure updates once a key exists).
+  double update_fraction = 0.5;
+  /// Uniformly random update victim vs skew toward recent keys.
+  bool skewed_updates = false;
+  size_t value_size = 20;
+  /// Value sizes vary uniformly in [value_size/2, value_size*3/2] if true.
+  bool variable_value_size = false;
+  /// Keys are zero-padded decimals under this prefix.
+  std::string key_prefix = "k";
+};
+
+/// Deterministic operation stream: op i carries timestamp i+1.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadSpec& spec);
+
+  /// Returns true and fills `op` until num_ops are produced.
+  bool Next(Op* op);
+
+  /// Generates the whole stream at once.
+  std::vector<Op> All();
+
+  size_t keys_created() const { return keys_created_; }
+  const WorkloadSpec& spec() const { return spec_; }
+
+  /// Formats the i-th key of this workload.
+  std::string KeyFor(size_t i) const;
+
+ private:
+  WorkloadSpec spec_;
+  Random rnd_;
+  size_t produced_ = 0;
+  size_t keys_created_ = 0;
+};
+
+}  // namespace util
+}  // namespace tsb
+
+#endif  // TSBTREE_UTIL_WORKLOAD_H_

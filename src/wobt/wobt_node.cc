@@ -1,0 +1,173 @@
+#include "wobt/wobt_node.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace tsb {
+namespace wobt {
+
+size_t WobtEntry::EncodedSize(bool is_leaf) const {
+  size_t n = VarintLength(key.size()) + key.size() + 8;
+  if (is_leaf) {
+    n += VarintLength(value.size()) + value.size();
+  } else {
+    n += 8;
+  }
+  return n;
+}
+
+void EncodeWobtEntry(std::string* out, const WobtEntry& e, bool is_leaf) {
+  PutVarint32(out, static_cast<uint32_t>(e.key.size()));
+  out->append(e.key);
+  PutFixed64(out, e.ts);
+  if (is_leaf) {
+    PutVarint32(out, static_cast<uint32_t>(e.value.size()));
+    out->append(e.value);
+  } else {
+    PutFixed64(out, e.child);
+  }
+}
+
+Status DecodeWobtEntries(const char* data, size_t n, uint16_t count,
+                         bool is_leaf, std::vector<WobtEntry>* out) {
+  Slice in(data, n);
+  for (uint16_t i = 0; i < count; ++i) {
+    WobtEntry e;
+    Slice key;
+    if (!GetLengthPrefixedSlice(&in, &key) || in.size() < 8) {
+      return Status::Corruption("bad WOBT entry (key)");
+    }
+    e.key = key.ToString();
+    e.ts = DecodeFixed64(in.data());
+    in.remove_prefix(8);
+    if (is_leaf) {
+      Slice value;
+      if (!GetLengthPrefixedSlice(&in, &value)) {
+        return Status::Corruption("bad WOBT entry (value)");
+      }
+      e.value = value.ToString();
+    } else {
+      if (in.size() < 8) return Status::Corruption("bad WOBT entry (child)");
+      e.child = DecodeFixed64(in.data());
+      in.remove_prefix(8);
+    }
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+Status WobtNodeIo::ReadNode(uint64_t addr, WobtNode* node) const {
+  const uint32_t ss = dev_->sector_size();
+  std::string extent(static_cast<size_t>(node_sectors_) * ss, 0);
+  // One sequential I/O for the whole extent (consecutive sectors).
+  TSB_RETURN_IF_ERROR(dev_->Read(addr * ss, extent.size(), extent.data()));
+
+  node->addr = addr;
+  node->entries.clear();
+  node->sectors_used = 0;
+  for (uint32_t s = 0; s < node_sectors_; ++s) {
+    const char* sec = extent.data() + static_cast<size_t>(s) * ss;
+    if (DecodeFixed16(sec) != kWobtSectorMagic) break;  // unburned
+    const uint8_t level = static_cast<uint8_t>(sec[2]);
+    const uint16_t count = DecodeFixed16(sec + 4);
+    const uint16_t used = DecodeFixed16(sec + 6);
+    if (used > ss - kWobtSectorHeader) {
+      return Status::Corruption("WOBT sector used-bytes out of range");
+    }
+    if (s == 0) {
+      node->level = level;
+      node->back = DecodeFixed64(sec + 8);
+    } else if (level != node->level) {
+      return Status::Corruption("WOBT sector level mismatch within node");
+    }
+    TSB_RETURN_IF_ERROR(DecodeWobtEntries(sec + kWobtSectorHeader, used, count,
+                                          level == 0, &node->entries));
+    node->sectors_used++;
+  }
+  if (node->sectors_used == 0) {
+    return Status::Corruption("WOBT node has no burned sectors",
+                              std::to_string(addr));
+  }
+  return Status::OK();
+}
+
+Status WobtNodeIo::WriteSector(
+    uint64_t sector, uint8_t level, uint64_t back,
+    const std::vector<const WobtEntry*>& entries) const {
+  const uint32_t ss = dev_->sector_size();
+  std::string buf;
+  buf.reserve(ss);
+  buf.resize(kWobtSectorHeader, 0);
+  for (const WobtEntry* e : entries) {
+    EncodeWobtEntry(&buf, *e, level == 0);
+  }
+  if (buf.size() > ss) {
+    return Status::InvalidArgument("WOBT sector overflow");
+  }
+  EncodeFixed16(buf.data(), kWobtSectorMagic);
+  buf[2] = static_cast<char>(level);
+  EncodeFixed16(buf.data() + 4, static_cast<uint16_t>(entries.size()));
+  EncodeFixed16(buf.data() + 6,
+                static_cast<uint16_t>(buf.size() - kWobtSectorHeader));
+  EncodeFixed64(buf.data() + 8, back);
+  return dev_->Write(sector * ss, buf);
+}
+
+Status WobtNodeIo::AppendEntry(WobtNode* node, const WobtEntry& entry) {
+  if (node->sectors_used >= node_sectors_) {
+    return Status::OutOfSpace("WOBT node extent full");
+  }
+  if (entry.EncodedSize(node->is_leaf()) > sector_payload()) {
+    return Status::InvalidArgument("WOBT entry exceeds one sector");
+  }
+  const uint64_t sector = node->addr + node->sectors_used;
+  TSB_RETURN_IF_ERROR(
+      WriteSector(sector, node->level, node->back, {&entry}));
+  node->entries.push_back(entry);
+  node->sectors_used++;
+  return Status::OK();
+}
+
+Status WobtNodeIo::WriteConsolidated(uint8_t level, uint64_t back,
+                                     const std::vector<WobtEntry>& entries,
+                                     uint64_t* addr) {
+  uint64_t first = 0;
+  TSB_RETURN_IF_ERROR(dev_->AllocateExtent(node_sectors_, &first));
+
+  // Greedily pack entries into sectors.
+  const uint32_t payload = sector_payload();
+  std::vector<const WobtEntry*> pending;
+  size_t pending_bytes = 0;
+  uint32_t sector = 0;
+  const bool is_leaf = (level == 0);
+  for (const WobtEntry& e : entries) {
+    const size_t sz = e.EncodedSize(is_leaf);
+    if (sz > payload) {
+      return Status::InvalidArgument("WOBT entry exceeds one sector");
+    }
+    if (pending_bytes + sz > payload) {
+      if (sector >= node_sectors_) {
+        return Status::OutOfSpace("consolidated WOBT node overflow");
+      }
+      TSB_RETURN_IF_ERROR(WriteSector(first + sector, level, back, pending));
+      sector++;
+      pending.clear();
+      pending_bytes = 0;
+    }
+    pending.push_back(&e);
+    pending_bytes += sz;
+  }
+  if (!pending.empty() || entries.empty()) {
+    if (sector >= node_sectors_) {
+      return Status::OutOfSpace("consolidated WOBT node overflow");
+    }
+    TSB_RETURN_IF_ERROR(WriteSector(first + sector, level, back, pending));
+    sector++;
+  }
+  *addr = first;
+  return Status::OK();
+}
+
+}  // namespace wobt
+}  // namespace tsb

@@ -1,0 +1,119 @@
+// WOBT node format (Easton's Write-Once B-tree, paper section 2).
+//
+// A node is a fixed extent of consecutive WORM sectors. Entries are kept
+// in *insertion order*; the same key may occur several times (Fig 2).
+// Because the sector is the smallest writable unit, each incremental
+// insertion burns one whole sector holding a single new entry; only when a
+// node is created by a split are the copied entries consolidated, packing
+// sectors full (section 2.1).
+//
+// Sector layout (every sector of a node):
+//   [0..2)   magic 0x574f ("WO")
+//   [2]      level (0 = data leaf)
+//   [3]      pad
+//   [4..6)   entry count in this sector
+//   [6..8)   payload bytes used in this sector
+//   [8..16)  back-pointer: address (first-sector index) of the node this
+//            node was split from, or kWobtNilAddr (meaningful in the first
+//            sector only; repeated in all sectors for simplicity)
+//   [16.. )  packed entries
+//
+// Entry encodings:
+//   data :  [varint klen][key][fixed64 ts][varint vlen][value]
+//   index:  [varint klen][key][fixed64 ts][fixed64 child-address]
+#ifndef TSBTREE_WOBT_WOBT_NODE_H_
+#define TSBTREE_WOBT_WOBT_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/worm_device.h"
+
+namespace tsb {
+namespace wobt {
+
+inline constexpr uint64_t kWobtNilAddr = UINT64_MAX;
+inline constexpr uint32_t kWobtSectorHeader = 16;
+inline constexpr uint16_t kWobtSectorMagic = 0x574f;
+
+/// One entry of a WOBT node (owned copies; nodes are decoded wholesale).
+struct WobtEntry {
+  std::string key;
+  Timestamp ts = 0;
+  std::string value;        // data entries
+  uint64_t child = kWobtNilAddr;  // index entries
+
+  /// Encoded size on disk for a node of the given level.
+  size_t EncodedSize(bool is_leaf) const;
+};
+
+/// Decoded image of a WOBT node.
+struct WobtNode {
+  uint64_t addr = kWobtNilAddr;  // first sector index
+  uint8_t level = 0;             // 0 = leaf
+  uint64_t back = kWobtNilAddr;  // node this one was split from
+  std::vector<WobtEntry> entries;  // insertion order
+  uint32_t sectors_used = 0;       // burned sectors within the extent
+
+  bool is_leaf() const { return level == 0; }
+};
+
+/// Node I/O helpers. All functions count I/O on `dev`.
+class WobtNodeIo {
+ public:
+  WobtNodeIo(WormDevice* dev, uint32_t node_sectors)
+      : dev_(dev), node_sectors_(node_sectors) {}
+
+  uint32_t node_sectors() const { return node_sectors_; }
+  uint32_t sector_payload() const {
+    return dev_->sector_size() - kWobtSectorHeader;
+  }
+  /// Total payload capacity of one node.
+  uint32_t node_capacity() const { return node_sectors_ * sector_payload(); }
+
+  /// Reads the whole extent in one sequential I/O and decodes all burned
+  /// sectors.
+  Status ReadNode(uint64_t addr, WobtNode* node) const;
+
+  /// True if the node still has an unburned sector for one more increment.
+  static bool HasRoom(const WobtNode& node, uint32_t node_sectors) {
+    return node.sectors_used < node_sectors;
+  }
+
+  /// Burns the next sector of `node`'s extent with a single new entry
+  /// (the incremental write path). Fails with OutOfSpace when the extent
+  /// is full and with InvalidArgument when the entry exceeds one sector.
+  Status AppendEntry(WobtNode* node, const WobtEntry& entry);
+
+  /// Allocates a fresh extent and writes `entries` consolidated (sectors
+  /// packed full). Returns the new node address. `copies_written` (if
+  /// non-null) is incremented by entries.size() for redundancy accounting.
+  Status WriteConsolidated(uint8_t level, uint64_t back,
+                           const std::vector<WobtEntry>& entries,
+                           uint64_t* addr);
+
+  WormDevice* device() const { return dev_; }
+
+ private:
+  Status WriteSector(uint64_t sector, uint8_t level, uint64_t back,
+                     const std::vector<const WobtEntry*>& entries) const;
+
+  WormDevice* dev_;
+  uint32_t node_sectors_;
+};
+
+/// Encodes one entry (exposed for tests).
+void EncodeWobtEntry(std::string* out, const WobtEntry& e, bool is_leaf);
+
+/// Decodes entries from a sector payload region.
+Status DecodeWobtEntries(const char* data, size_t n, uint16_t count,
+                         bool is_leaf, std::vector<WobtEntry>* out);
+
+}  // namespace wobt
+}  // namespace tsb
+
+#endif  // TSBTREE_WOBT_WOBT_NODE_H_

@@ -1,0 +1,333 @@
+#include "wobt/wobt_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logger.h"
+
+namespace tsb {
+namespace wobt {
+
+namespace {
+constexpr int kMaxSplitRetries = 64;
+}  // namespace
+
+WobtTree::WobtTree(WormDevice* device, const WobtOptions& options)
+    : io_(device, options.node_sectors), options_(options) {}
+
+int WobtTree::SearchIndexEntry(const WobtNode& node, const Slice& key,
+                               Timestamp t) {
+  // Ignore entries with ts > t; among the rest find the largest key <= key;
+  // then the last (insertion order) entry with that key (paper 2.2, 2.5).
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(node.entries.size()); ++i) {
+    const WobtEntry& e = node.entries[i];
+    if (e.ts > t) continue;
+    if (Slice(e.key) > key) continue;
+    if (best < 0 || Slice(e.key) >= Slice(node.entries[best].key)) {
+      best = i;  // >= keeps the *last* occurrence of the winning key
+    }
+  }
+  return best;
+}
+
+Status WobtTree::Descend(const Slice& key, Timestamp t,
+                         std::vector<PathElem>* path, WobtNode* leaf) const {
+  if (roots_.empty()) return Status::NotFound("empty tree");
+  path->clear();
+  uint64_t addr = roots_.back();
+  std::string low_key;  // root is reached via the implicit -inf entry
+  for (;;) {
+    WobtNode node;
+    TSB_RETURN_IF_ERROR(io_.ReadNode(addr, &node));
+    path->push_back(PathElem{addr, low_key});
+    if (node.is_leaf()) {
+      *leaf = std::move(node);
+      return Status::OK();
+    }
+    const int idx = SearchIndexEntry(node, key, t);
+    if (idx < 0) {
+      return Status::NotFound("no index entry covers key at time");
+    }
+    low_key = node.entries[idx].key;
+    addr = node.entries[idx].child;
+  }
+}
+
+std::vector<WobtEntry> WobtTree::CurrentVersions(const WobtNode& node) {
+  // Last entry per key in insertion order = most recent version.
+  std::map<std::string, WobtEntry> latest;
+  for (const WobtEntry& e : node.entries) {
+    latest[e.key] = e;
+  }
+  std::vector<WobtEntry> out;
+  out.reserve(latest.size());
+  for (auto& [k, e] : latest) out.push_back(std::move(e));
+  return out;
+}
+
+Status WobtTree::Insert(const Slice& key, const Slice& value, Timestamp ts) {
+  if (ts < last_ts_) {
+    return Status::InvalidArgument("WOBT timestamps must be non-decreasing");
+  }
+  WobtEntry entry;
+  entry.key = key.ToString();
+  entry.ts = ts;
+  entry.value = value.ToString();
+  if (entry.EncodedSize(true) > io_.sector_payload()) {
+    return Status::InvalidArgument("record exceeds one sector");
+  }
+
+  if (roots_.empty()) {
+    uint64_t addr = 0;
+    TSB_RETURN_IF_ERROR(io_.WriteConsolidated(0, kWobtNilAddr, {entry}, &addr));
+    roots_.push_back(addr);
+    height_ = 1;
+    counters_.nodes_created++;
+    counters_.record_copies++;
+    counters_.logical_inserts++;
+    last_ts_ = ts;
+    return Status::OK();
+  }
+
+  for (int attempt = 0; attempt < kMaxSplitRetries; ++attempt) {
+    std::vector<PathElem> path;
+    WobtNode leaf;
+    TSB_RETURN_IF_ERROR(Descend(key, kInfiniteTs, &path, &leaf));
+    if (WobtNodeIo::HasRoom(leaf, io_.node_sectors())) {
+      TSB_RETURN_IF_ERROR(io_.AppendEntry(&leaf, entry));
+      counters_.record_copies++;
+      counters_.logical_inserts++;
+      last_ts_ = ts;
+      return Status::OK();
+    }
+    const Timestamp now = std::max(last_ts_, ts);
+    TSB_RETURN_IF_ERROR(SplitNode(path, path.size() - 1, now));
+  }
+  return Status::Corruption("WOBT insert did not converge after splits");
+}
+
+Status WobtTree::SplitNode(const std::vector<PathElem>& path, size_t idx,
+                           Timestamp now) {
+  WobtNode node;
+  TSB_RETURN_IF_ERROR(io_.ReadNode(path[idx].addr, &node));
+  std::vector<WobtEntry> current = CurrentVersions(node);
+  if (current.empty()) {
+    return Status::Corruption("split of empty WOBT node");
+  }
+  size_t bytes = 0;
+  for (const WobtEntry& e : current) bytes += e.EncodedSize(node.is_leaf());
+
+  std::vector<WobtEntry> posted;
+  const bool key_split =
+      current.size() >= 2 &&
+      static_cast<double>(bytes) >
+          options_.key_split_threshold * io_.node_capacity();
+
+  if (key_split) {
+    // Split by key value and current time (Fig 3): two new nodes, the most
+    // recent versions divided at a key boundary near the byte midpoint.
+    size_t acc = 0;
+    size_t mid = current.size() / 2;
+    for (size_t i = 0; i < current.size(); ++i) {
+      acc += current[i].EncodedSize(node.is_leaf());
+      if (acc * 2 >= bytes) {
+        mid = i + 1;
+        break;
+      }
+    }
+    if (mid >= current.size()) mid = current.size() - 1;
+    if (mid == 0) mid = 1;
+    std::vector<WobtEntry> left(current.begin(), current.begin() + mid);
+    std::vector<WobtEntry> right(current.begin() + mid, current.end());
+    uint64_t a = 0, b = 0;
+    TSB_RETURN_IF_ERROR(io_.WriteConsolidated(node.level, node.addr, left, &a));
+    TSB_RETURN_IF_ERROR(io_.WriteConsolidated(node.level, node.addr, right, &b));
+    counters_.nodes_created += 2;
+    counters_.key_time_splits++;
+    if (node.is_leaf()) {
+      counters_.record_copies += current.size();
+    } else {
+      counters_.index_entries += current.size();
+    }
+    WobtEntry ea;
+    ea.key = path[idx].low_key;
+    ea.ts = now;
+    ea.child = a;
+    WobtEntry eb;
+    eb.key = right.front().key;
+    eb.ts = now;
+    eb.child = b;
+    posted = {ea, eb};
+  } else {
+    // Pure time split (Fig 4): one new node of current versions only.
+    uint64_t a = 0;
+    TSB_RETURN_IF_ERROR(
+        io_.WriteConsolidated(node.level, node.addr, current, &a));
+    counters_.nodes_created++;
+    counters_.time_splits++;
+    if (node.is_leaf()) {
+      counters_.record_copies += current.size();
+    } else {
+      counters_.index_entries += current.size();
+    }
+    WobtEntry ea;
+    ea.key = path[idx].low_key;
+    ea.ts = now;
+    ea.child = a;
+    posted = {ea};
+  }
+
+  if (idx == 0) {
+    // Root split (section 2.4): the new root points to the old root with
+    // the lowest key and lowest time value, then to the new node(s).
+    std::vector<WobtEntry> root_entries;
+    WobtEntry old_root;
+    old_root.key = "";  // minus infinity
+    old_root.ts = kMinTimestamp;
+    old_root.child = node.addr;
+    root_entries.push_back(old_root);
+    for (WobtEntry e : posted) {
+      if (e.key == path[0].low_key) e.key = "";  // lowest key at root level
+      root_entries.push_back(e);
+    }
+    uint64_t new_root = 0;
+    TSB_RETURN_IF_ERROR(io_.WriteConsolidated(
+        static_cast<uint8_t>(node.level + 1), kWobtNilAddr, root_entries,
+        &new_root));
+    roots_.push_back(new_root);
+    height_++;
+    counters_.nodes_created++;
+    counters_.root_splits++;
+    counters_.index_entries += root_entries.size();
+    return Status::OK();
+  }
+  const uint8_t parent_level = static_cast<uint8_t>(node.level + 1);
+  for (const WobtEntry& e : posted) {
+    TSB_RETURN_IF_ERROR(AppendAtLevel(parent_level, e, now));
+  }
+  return Status::OK();
+}
+
+Status WobtTree::AppendAtLevel(uint8_t level, const WobtEntry& e,
+                               Timestamp now) {
+  for (int attempt = 0; attempt < kMaxSplitRetries; ++attempt) {
+    // Walk from the live root to the node at `level` covering e.key.
+    std::vector<PathElem> path;
+    uint64_t addr = roots_.back();
+    std::string low_key;
+    WobtNode n;
+    for (;;) {
+      TSB_RETURN_IF_ERROR(io_.ReadNode(addr, &n));
+      path.push_back(PathElem{addr, low_key});
+      if (n.level == level) break;
+      if (n.level < level) {
+        return Status::Corruption("WOBT post descended below target level");
+      }
+      const int i = SearchIndexEntry(n, Slice(e.key), kInfiniteTs);
+      if (i < 0) return Status::Corruption("WOBT repost lost its way");
+      low_key = n.entries[i].key;
+      addr = n.entries[i].child;
+    }
+    if (WobtNodeIo::HasRoom(n, io_.node_sectors())) {
+      TSB_RETURN_IF_ERROR(io_.AppendEntry(&n, e));
+      counters_.index_entries++;
+      return Status::OK();
+    }
+    TSB_RETURN_IF_ERROR(SplitNode(path, path.size() - 1, now));
+  }
+  return Status::Corruption("WOBT index post did not converge");
+}
+
+Status WobtTree::GetCurrent(const Slice& key, std::string* value,
+                            Timestamp* ts) {
+  return GetAsOf(key, kInfiniteTs, value, ts);
+}
+
+Status WobtTree::GetAsOf(const Slice& key, Timestamp t, std::string* value,
+                         Timestamp* ts) {
+  std::vector<PathElem> path;
+  WobtNode leaf;
+  TSB_RETURN_IF_ERROR(Descend(key, t, &path, &leaf));
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(leaf.entries.size()); ++i) {
+    const WobtEntry& e = leaf.entries[i];
+    if (e.ts <= t && Slice(e.key) == key) best = i;  // last wins
+  }
+  if (best < 0) return Status::NotFound("no version at time");
+  value->assign(leaf.entries[best].value);
+  if (ts != nullptr) *ts = leaf.entries[best].ts;
+  return Status::OK();
+}
+
+Status WobtTree::GetVersions(
+    const Slice& key, std::vector<std::pair<Timestamp, std::string>>* out) {
+  out->clear();
+  std::vector<PathElem> path;
+  WobtNode leaf;
+  Status s = Descend(key, kInfiniteTs, &path, &leaf);
+  if (s.IsNotFound()) return Status::OK();
+  TSB_RETURN_IF_ERROR(s);
+
+  std::set<Timestamp> seen;
+  uint64_t addr = leaf.addr;
+  WobtNode node = std::move(leaf);
+  for (;;) {
+    bool found_any = false;
+    for (const WobtEntry& e : node.entries) {
+      if (Slice(e.key) == key) {
+        found_any = true;
+        if (seen.insert(e.ts).second) {
+          out->emplace_back(e.ts, e.value);
+        }
+      }
+    }
+    // Paper 2.5: stop at the first node along the back chain that contains
+    // no earlier version of the record.
+    if (!found_any || node.back == kWobtNilAddr) break;
+    addr = node.back;
+    WobtNode prev;
+    TSB_RETURN_IF_ERROR(io_.ReadNode(addr, &prev));
+    node = std::move(prev);
+  }
+  std::sort(out->begin(), out->end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return Status::OK();
+}
+
+Status WobtTree::SnapshotScan(
+    Timestamp t,
+    std::vector<std::tuple<std::string, Timestamp, std::string>>* out) {
+  out->clear();
+  if (roots_.empty()) return Status::OK();
+  return SnapshotRec(roots_.back(), t, out);
+}
+
+Status WobtTree::SnapshotRec(
+    uint64_t addr, Timestamp t,
+    std::vector<std::tuple<std::string, Timestamp, std::string>>* out) const {
+  WobtNode node;
+  TSB_RETURN_IF_ERROR(io_.ReadNode(addr, &node));
+  if (node.is_leaf()) {
+    std::map<std::string, const WobtEntry*> latest;
+    for (const WobtEntry& e : node.entries) {
+      if (e.ts <= t) latest[e.key] = &e;
+    }
+    for (const auto& [k, e] : latest) {
+      out->emplace_back(k, e->ts, e->value);
+    }
+    return Status::OK();
+  }
+  std::map<std::string, const WobtEntry*> children;
+  for (const WobtEntry& e : node.entries) {
+    if (e.ts <= t) children[e.key] = &e;  // last per key wins
+  }
+  for (const auto& [k, e] : children) {
+    TSB_RETURN_IF_ERROR(SnapshotRec(e->child, t, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace wobt
+}  // namespace tsb

@@ -1,0 +1,128 @@
+// Write-Once B-tree (Easton), paper section 2: the structure the TSB-tree
+// improves on. Lives entirely on a WORM device.
+//
+// Properties reproduced faithfully:
+//  - entries in insertion order, duplicate keys allowed (Fig 2);
+//  - one new entry burns one whole sector (smallest-writable-unit waste);
+//  - splits are by key value *and current time* (Fig 3) or by current time
+//    only (Fig 4); only the most recent versions are copied; the old node
+//    always remains in the database (nothing is erasable);
+//  - the structure is a DAG; root splits chain new roots to old roots, and
+//    a root-address list is kept (section 2.4);
+//  - leaf back-pointers support all-versions queries (section 2.5).
+#ifndef TSBTREE_WOBT_WOBT_TREE_H_
+#define TSBTREE_WOBT_WOBT_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "wobt/wobt_node.h"
+
+namespace tsb {
+namespace wobt {
+
+struct WobtOptions {
+  /// Sectors per node extent. Node capacity = node_sectors * (sector_size -
+  /// header).
+  uint32_t node_sectors = 4;
+  /// If consolidated current records exceed this fraction of node capacity,
+  /// the split is by key value and current time (two new nodes); otherwise
+  /// a pure time split (one new node) suffices (Figs 3 vs 4).
+  double key_split_threshold = 0.5;
+};
+
+/// Counters for space/redundancy experiments (E3, E5).
+struct WobtCounters {
+  uint64_t logical_inserts = 0;    ///< records inserted by the user
+  uint64_t record_copies = 0;      ///< record entries written to any sector
+  uint64_t index_entries = 0;      ///< index entries written to any sector
+  uint64_t time_splits = 0;        ///< pure time splits
+  uint64_t key_time_splits = 0;    ///< key + current-time splits
+  uint64_t nodes_created = 0;
+  uint64_t root_splits = 0;
+};
+
+/// The Write-Once B-tree.
+class WobtTree {
+ public:
+  /// `device` must outlive the tree.
+  WobtTree(WormDevice* device, const WobtOptions& options);
+
+  /// Inserts a new version of `key` stamped `ts`. Timestamps must be
+  /// non-decreasing across calls (commit order).
+  Status Insert(const Slice& key, const Slice& value, Timestamp ts);
+
+  /// Latest version of `key` (paper 2.2).
+  Status GetCurrent(const Slice& key, std::string* value,
+                    Timestamp* ts = nullptr);
+
+  /// Version of `key` valid at time `t` (paper 2.5).
+  Status GetAsOf(const Slice& key, Timestamp t, std::string* value,
+                 Timestamp* ts = nullptr);
+
+  /// All committed versions of `key`, newest first, via back-pointers.
+  Status GetVersions(const Slice& key,
+                     std::vector<std::pair<Timestamp, std::string>>* out);
+
+  /// Snapshot of the database as of time `t`: (key, ts, value) triples in
+  /// key order (paper 2.5 "obtain the last entries ... before or at T").
+  Status SnapshotScan(Timestamp t,
+                      std::vector<std::tuple<std::string, Timestamp,
+                                             std::string>>* out);
+
+  const WobtCounters& counters() const { return counters_; }
+  WormDevice* device() const { return io_.device(); }
+  uint64_t root() const { return roots_.empty() ? kWobtNilAddr : roots_.back(); }
+  const std::vector<uint64_t>& root_chain() const { return roots_; }
+  uint32_t height() const { return height_; }
+  Timestamp last_ts() const { return last_ts_; }
+
+  /// Test/bench introspection: decode the node at `addr`.
+  Status ReadNode(uint64_t addr, WobtNode* node) const {
+    return io_.ReadNode(addr, node);
+  }
+
+ private:
+  struct PathElem {
+    uint64_t addr;
+    std::string low_key;  // key of the index entry followed to reach it
+  };
+
+  Status Descend(const Slice& key, Timestamp t, std::vector<PathElem>* path,
+                 WobtNode* leaf) const;
+  /// Index-node search rule (2.2/2.5): ignore entries with ts > t, take the
+  /// largest key <= `key`, then the *last* entry with that key. Returns -1
+  /// if nothing qualifies.
+  static int SearchIndexEntry(const WobtNode& node, const Slice& key,
+                              Timestamp t);
+  /// Consolidated current versions (last entry per key, insertion order by
+  /// key of first occurrence replaced by sorted order for new nodes).
+  static std::vector<WobtEntry> CurrentVersions(const WobtNode& node);
+  Status SplitNode(const std::vector<PathElem>& path, size_t idx,
+                   Timestamp now);
+  /// Appends an index entry into the current node at `level` responsible
+  /// for e.key, splitting (and re-descending) as needed. Old full nodes are
+  /// immutable on WORM, so every retry re-walks from the live root.
+  Status AppendAtLevel(uint8_t level, const WobtEntry& e, Timestamp now);
+  Status SnapshotRec(uint64_t addr, Timestamp t,
+                     std::vector<std::tuple<std::string, Timestamp,
+                                            std::string>>* out) const;
+
+  WobtNodeIo io_;
+  WobtOptions options_;
+  std::vector<uint64_t> roots_;  // root-address list (section 2.4)
+  uint32_t height_ = 0;          // levels; 0 = empty tree
+  Timestamp last_ts_ = 0;
+  WobtCounters counters_;
+};
+
+}  // namespace wobt
+}  // namespace tsb
+
+#endif  // TSBTREE_WOBT_WOBT_TREE_H_

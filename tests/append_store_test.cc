@@ -1,0 +1,167 @@
+// AppendStore: the historical-database medium. Checks framing, CRC
+// verification, sector alignment on WORM vs byte-packing on erasable
+// devices, utilization accounting and the read cache.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "storage/append_store.h"
+#include "storage/mem_device.h"
+#include "storage/worm_device.h"
+
+namespace tsb {
+namespace {
+
+TEST(AppendStoreTest, AppendReadRoundTrip) {
+  MemDevice dev;
+  AppendStore store(&dev);
+  HistAddr addr;
+  ASSERT_TRUE(store.Append(Slice("historical node"), &addr).ok());
+  std::string out;
+  ASSERT_TRUE(store.Read(addr, &out).ok());
+  EXPECT_EQ("historical node", out);
+  EXPECT_EQ(15u, addr.length);
+}
+
+TEST(AppendStoreTest, ErasableDevicePacksByteContiguously) {
+  MemDevice dev;
+  AppendStore store(&dev);
+  HistAddr a, b;
+  ASSERT_TRUE(store.Append(Slice("aaa"), &a).ok());
+  ASSERT_TRUE(store.Append(Slice("bbbb"), &b).ok());
+  EXPECT_EQ(0u, a.offset);
+  EXPECT_EQ(AppendStore::kFrameHeaderSize + 3, b.offset);
+}
+
+TEST(AppendStoreTest, WormDeviceAlignsToSectors) {
+  WormDevice worm(64);
+  AppendStore store(&worm);
+  HistAddr a, b;
+  ASSERT_TRUE(store.Append(Slice(std::string(10, 'a')), &a).ok());
+  ASSERT_TRUE(store.Append(Slice(std::string(10, 'b')), &b).ok());
+  EXPECT_EQ(0u, a.offset);
+  EXPECT_EQ(64u, b.offset);  // sector-aligned, not byte 18
+  std::string out;
+  ASSERT_TRUE(store.Read(a, &out).ok());
+  EXPECT_EQ(std::string(10, 'a'), out);
+  ASSERT_TRUE(store.Read(b, &out).ok());
+  EXPECT_EQ(std::string(10, 'b'), out);
+}
+
+TEST(AppendStoreTest, WormNearSectorSizeNodesWasteLittle) {
+  // Paper section 3.4: consolidated nodes let utilization approach 1.
+  WormDevice worm(1024);
+  AppendStore store(&worm);
+  for (int i = 0; i < 16; ++i) {
+    HistAddr addr;
+    // 1016-byte payload + 8-byte frame = exactly one sector.
+    ASSERT_TRUE(store.Append(Slice(std::string(1016, 'n')), &addr).ok());
+  }
+  EXPECT_GT(worm.Utilization(), 0.99);
+}
+
+TEST(AppendStoreTest, LargeBlobSpansSectors) {
+  WormDevice worm(64);
+  AppendStore store(&worm);
+  std::string big(1000, 'B');
+  HistAddr addr;
+  ASSERT_TRUE(store.Append(big, &addr).ok());
+  std::string out;
+  ASSERT_TRUE(store.Read(addr, &out).ok());
+  EXPECT_EQ(big, out);
+}
+
+TEST(AppendStoreTest, CorruptionDetectedOnRead) {
+  MemDevice dev;
+  AppendStore store(&dev);
+  HistAddr addr;
+  ASSERT_TRUE(store.Append(Slice("precious"), &addr).ok());
+  char evil = 'X';
+  ASSERT_TRUE(dev.Write(addr.offset + AppendStore::kFrameHeaderSize + 2,
+                        Slice(&evil, 1))
+                  .ok());
+  std::string out;
+  EXPECT_TRUE(store.Read(addr, &out).IsCorruption());
+}
+
+TEST(AppendStoreTest, LengthMismatchDetected) {
+  MemDevice dev;
+  AppendStore store(&dev);
+  HistAddr addr;
+  ASSERT_TRUE(store.Append(Slice("12345"), &addr).ok());
+  HistAddr bogus{addr.offset, 4};  // wrong length
+  std::string out;
+  EXPECT_TRUE(store.Read(bogus, &out).IsCorruption());
+}
+
+TEST(AppendStoreTest, AccountingTracksPayloadAndDeviceBytes) {
+  MemDevice dev;
+  AppendStore store(&dev);
+  HistAddr addr;
+  ASSERT_TRUE(store.Append(Slice(std::string(100, 'x')), &addr).ok());
+  ASSERT_TRUE(store.Append(Slice(std::string(50, 'y')), &addr).ok());
+  EXPECT_EQ(150u, store.payload_bytes());
+  EXPECT_EQ(150u + 2 * AppendStore::kFrameHeaderSize, store.device_bytes());
+  EXPECT_EQ(2u, store.blob_count());
+}
+
+TEST(AppendStoreTest, ReadCacheHitsSkipDevice) {
+  MemDevice dev;
+  AppendStore store(&dev, /*cache_blobs=*/4);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice("cached blob"), &a).ok());
+  std::string out;
+  ASSERT_TRUE(store.Read(a, &out).ok());  // miss, fills cache
+  dev.ResetStats();
+  ASSERT_TRUE(store.Read(a, &out).ok());  // hit
+  EXPECT_EQ("cached blob", out);
+  EXPECT_EQ(0u, dev.stats().reads);
+  EXPECT_EQ(1u, store.cache_hits());
+}
+
+TEST(AppendStoreTest, CacheEvictsLru) {
+  MemDevice dev;
+  AppendStore store(&dev, /*cache_blobs=*/2);
+  HistAddr a, b, c;
+  ASSERT_TRUE(store.Append(Slice("A"), &a).ok());
+  ASSERT_TRUE(store.Append(Slice("B"), &b).ok());
+  ASSERT_TRUE(store.Append(Slice("C"), &c).ok());
+  std::string out;
+  ASSERT_TRUE(store.Read(a, &out).ok());
+  ASSERT_TRUE(store.Read(b, &out).ok());
+  ASSERT_TRUE(store.Read(c, &out).ok());  // evicts a
+  dev.ResetStats();
+  ASSERT_TRUE(store.Read(a, &out).ok());  // miss again
+  EXPECT_GE(dev.stats().reads, 1u);
+}
+
+TEST(AppendStoreTest, ResumesAfterReopenOnSameDevice) {
+  MemDevice dev;
+  HistAddr a;
+  {
+    AppendStore store(&dev);
+    ASSERT_TRUE(store.Append(Slice("first era"), &a).ok());
+  }
+  AppendStore reopened(&dev);
+  HistAddr b;
+  ASSERT_TRUE(reopened.Append(Slice("second era"), &b).ok());
+  EXPECT_GT(b.offset, a.offset);
+  std::string out;
+  ASSERT_TRUE(reopened.Read(a, &out).ok());
+  EXPECT_EQ("first era", out);
+  ASSERT_TRUE(reopened.Read(b, &out).ok());
+  EXPECT_EQ("second era", out);
+}
+
+TEST(AppendStoreTest, EmptyPayloadRoundTrip) {
+  MemDevice dev;
+  AppendStore store(&dev);
+  HistAddr addr;
+  ASSERT_TRUE(store.Append(Slice(), &addr).ok());
+  std::string out = "junk";
+  ASSERT_TRUE(store.Read(addr, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace tsb

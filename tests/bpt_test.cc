@@ -1,0 +1,261 @@
+// B+-tree baseline tests: CRUD, splits across many keys, iteration,
+// persistence across reopen, and invariant checking under random workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpt/bplus_tree.h"
+#include "common/random.h"
+#include "storage/mem_device.h"
+
+namespace tsb {
+namespace bpt {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "key%06d", i);
+  return buf;
+}
+
+class BptTest : public ::testing::Test {
+ protected:
+  void Open(uint32_t page_size = 1024) {
+    BptOptions opts;
+    opts.page_size = page_size;
+    opts.buffer_pool_frames = 32;
+    ASSERT_TRUE(BPlusTree::Open(&dev_, opts, &tree_).ok());
+  }
+  MemDevice dev_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BptTest, EmptyTreeGetNotFound) {
+  Open();
+  std::string v;
+  EXPECT_TRUE(tree_->Get("nope", &v).IsNotFound());
+  EXPECT_EQ(0u, tree_->num_keys());
+}
+
+TEST_F(BptTest, PutGetSingle) {
+  Open();
+  ASSERT_TRUE(tree_->Put("alpha", "1").ok());
+  std::string v;
+  ASSERT_TRUE(tree_->Get("alpha", &v).ok());
+  EXPECT_EQ("1", v);
+  EXPECT_EQ(1u, tree_->num_keys());
+}
+
+TEST_F(BptTest, UpdateInPlaceOverwrites) {
+  Open();
+  ASSERT_TRUE(tree_->Put("k", "old").ok());
+  ASSERT_TRUE(tree_->Put("k", "new").ok());
+  std::string v;
+  ASSERT_TRUE(tree_->Get("k", &v).ok());
+  EXPECT_EQ("new", v);
+  EXPECT_EQ(1u, tree_->num_keys());  // still one key: history is destroyed
+}
+
+TEST_F(BptTest, ManySequentialInsertsSplit) {
+  Open();
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_->Put(Key(i), "v" + std::to_string(i)).ok()) << i;
+  }
+  EXPECT_GT(tree_->height(), 1u);
+  for (int i = 0; i < n; ++i) {
+    std::string v;
+    ASSERT_TRUE(tree_->Get(Key(i), &v).ok()) << i;
+    EXPECT_EQ("v" + std::to_string(i), v);
+  }
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BptTest, ManyReverseInserts) {
+  Open();
+  for (int i = 1999; i >= 0; --i) {
+    ASSERT_TRUE(tree_->Put(Key(i), std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 2000; ++i) {
+    std::string v;
+    ASSERT_TRUE(tree_->Get(Key(i), &v).ok()) << i;
+  }
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BptTest, RandomInsertsMatchStdMap) {
+  Open();
+  Random rnd(123);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 3000; ++i) {
+    std::string k = Key(static_cast<int>(rnd.Uniform(1000)));
+    std::string v = "val" + std::to_string(rnd.Next() % 100000);
+    model[k] = v;
+    ASSERT_TRUE(tree_->Put(k, v).ok());
+  }
+  EXPECT_EQ(model.size(), tree_->num_keys());
+  for (const auto& [k, v] : model) {
+    std::string got;
+    ASSERT_TRUE(tree_->Get(k, &got).ok()) << k;
+    EXPECT_EQ(v, got);
+  }
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BptTest, IteratorFullScanInOrder) {
+  Open();
+  Random rnd(77);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 1500; ++i) {
+    std::string k = Key(static_cast<int>(rnd.Uniform(5000)));
+    model[k] = std::to_string(i);
+    ASSERT_TRUE(tree_->Put(k, std::to_string(i)).ok());
+  }
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it->SeekToFirst().ok());
+  auto mit = model.begin();
+  while (it->Valid()) {
+    ASSERT_NE(model.end(), mit);
+    EXPECT_EQ(mit->first, it->key().ToString());
+    EXPECT_EQ(mit->second, it->value().ToString());
+    ++mit;
+    ASSERT_TRUE(it->Next().ok());
+  }
+  EXPECT_EQ(model.end(), mit);
+}
+
+TEST_F(BptTest, IteratorSeekLandsAtLowerBound) {
+  Open();
+  for (int i = 0; i < 100; i += 2) {
+    ASSERT_TRUE(tree_->Put(Key(i), "x").ok());
+  }
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it->Seek(Key(31)).ok());  // odd key absent -> lands on 32
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(Key(32), it->key().ToString());
+  ASSERT_TRUE(it->Seek(Key(999)).ok());
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(BptTest, DeleteRemovesKey) {
+  Open();
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(tree_->Put(Key(i), "v").ok());
+  for (int i = 0; i < 500; i += 3) ASSERT_TRUE(tree_->Delete(Key(i)).ok());
+  for (int i = 0; i < 500; ++i) {
+    std::string v;
+    Status s = tree_->Get(Key(i), &v);
+    if (i % 3 == 0) {
+      EXPECT_TRUE(s.IsNotFound()) << i;
+    } else {
+      EXPECT_TRUE(s.ok()) << i;
+    }
+  }
+  EXPECT_TRUE(tree_->Delete("missing").IsNotFound());
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BptTest, PersistsAcrossReopen) {
+  {
+    Open();
+    for (int i = 0; i < 800; ++i) ASSERT_TRUE(tree_->Put(Key(i), Key(i)).ok());
+    ASSERT_TRUE(tree_->Flush().ok());
+    tree_.reset();
+  }
+  BptOptions opts;
+  opts.page_size = 1024;
+  std::unique_ptr<BPlusTree> reopened;
+  ASSERT_TRUE(BPlusTree::Open(&dev_, opts, &reopened).ok());
+  EXPECT_EQ(800u, reopened->num_keys());
+  for (int i = 0; i < 800; ++i) {
+    std::string v;
+    ASSERT_TRUE(reopened->Get(Key(i), &v).ok()) << i;
+    EXPECT_EQ(Key(i), v);
+  }
+}
+
+TEST_F(BptTest, VariableLengthValues) {
+  Open(2048);
+  Random rnd(5);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 400; ++i) {
+    std::string k = Key(i);
+    std::string v(rnd.Uniform(200) + 1, static_cast<char>('a' + (i % 26)));
+    model[k] = v;
+    ASSERT_TRUE(tree_->Put(k, v).ok());
+  }
+  for (const auto& [k, v] : model) {
+    std::string got;
+    ASSERT_TRUE(tree_->Get(k, &got).ok());
+    EXPECT_EQ(v, got);
+  }
+  EXPECT_TRUE(tree_->CheckInvariants().ok());
+}
+
+TEST_F(BptTest, OversizedRecordRejected) {
+  Open(512);
+  std::string huge(1000, 'h');
+  EXPECT_TRUE(tree_->Put("k", huge).IsInvalidArgument());
+}
+
+TEST_F(BptTest, EmptyValueAllowed) {
+  Open();
+  ASSERT_TRUE(tree_->Put("k", "").ok());
+  std::string v = "dirty";
+  ASSERT_TRUE(tree_->Get("k", &v).ok());
+  EXPECT_TRUE(v.empty());
+}
+
+// Parameterized sweep: tree matches a std::map oracle for several page
+// sizes (forcing different split frequencies) and key orders.
+class BptOracleTest : public ::testing::TestWithParam<std::tuple<uint32_t, int>> {};
+
+TEST_P(BptOracleTest, MatchesOracleUnderRandomWorkload) {
+  const uint32_t page_size = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  MemDevice dev;
+  BptOptions opts;
+  opts.page_size = page_size;
+  opts.buffer_pool_frames = 16;
+  std::unique_ptr<BPlusTree> tree;
+  ASSERT_TRUE(BPlusTree::Open(&dev, opts, &tree).ok());
+
+  Random rnd(static_cast<uint64_t>(seed));
+  std::map<std::string, std::string> model;
+  for (int op = 0; op < 2500; ++op) {
+    const int r = static_cast<int>(rnd.Uniform(10));
+    std::string k = Key(static_cast<int>(rnd.Uniform(600)));
+    if (r < 7) {  // put
+      std::string v = std::to_string(rnd.Next());
+      model[k] = v;
+      ASSERT_TRUE(tree->Put(k, v).ok());
+    } else if (r < 9) {  // get
+      std::string got;
+      Status s = tree->Get(k, &got);
+      auto it = model.find(k);
+      if (it == model.end()) {
+        EXPECT_TRUE(s.IsNotFound());
+      } else {
+        ASSERT_TRUE(s.ok());
+        EXPECT_EQ(it->second, got);
+      }
+    } else {  // delete
+      Status s = tree->Delete(k);
+      EXPECT_EQ(model.erase(k) > 0, s.ok());
+    }
+  }
+  EXPECT_EQ(model.size(), tree->num_keys());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PageSizesAndSeeds, BptOracleTest,
+    ::testing::Combine(::testing::Values(512u, 1024u, 4096u),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace bpt
+}  // namespace tsb

@@ -1,0 +1,208 @@
+// Failure injection: bit rot on either device must surface as Corruption
+// (never wrong answers or crashes); write-once violations are rejected;
+// free-list persistence and meta handling survive edge cases.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "storage/mem_device.h"
+#include "storage/pager.h"
+#include "storage/worm_device.h"
+#include "tsb/tsb_tree.h"
+
+namespace tsb {
+namespace tsb_tree {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%05d", i);
+  return buf;
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    magnetic_ = std::make_unique<MemDevice>();
+    hist_ = std::make_unique<MemDevice>(DeviceKind::kOpticalErasable,
+                                        CostParams::OpticalWorm());
+    TsbOptions opts;
+    opts.page_size = 512;
+    opts.hist_cache_blobs = 0;  // no cache: reads must hit the device
+    opts.policy.kind_policy = SplitKindPolicy::kWobtStyle;
+    ASSERT_TRUE(TsbTree::Open(magnetic_.get(), hist_.get(), opts, &tree_).ok());
+    // Build history: updates force migration to the historical device.
+    Timestamp ts = 0;
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(
+          tree_->Put(Key(i % 8), "v" + std::to_string(i), ++ts).ok());
+    }
+    ASSERT_GT(tree_->counters().hist_data_nodes, 0u);
+    ASSERT_TRUE(tree_->Flush().ok());
+  }
+
+  std::unique_ptr<MemDevice> magnetic_;
+  std::unique_ptr<MemDevice> hist_;
+  std::unique_ptr<TsbTree> tree_;
+};
+
+TEST_F(FaultTest, CurrentPageBitRotDetected) {
+  // Flip one byte in every non-meta page region; a subsequent cold read of
+  // that page must fail with Corruption, not return wrong data.
+  // (Reopen with a cold buffer pool so reads actually hit the device.)
+  const uint64_t offset = 512 * 3 + 200;  // inside page 3's payload
+  char byte;
+  ASSERT_TRUE(magnetic_->Read(offset, 1, &byte).ok());
+  byte ^= 0x40;
+  ASSERT_TRUE(magnetic_->Write(offset, Slice(&byte, 1)).ok());
+
+  tree_.reset();
+  TsbOptions opts;
+  opts.page_size = 512;
+  std::unique_ptr<TsbTree> reopened;
+  ASSERT_TRUE(TsbTree::Open(magnetic_.get(), hist_.get(), opts, &reopened).ok());
+  // Probe every key at many times: at least one path crosses page 3 and
+  // must report corruption; NO probe may return a wrong value silently.
+  bool saw_corruption = false;
+  for (int k = 0; k < 8; ++k) {
+    for (Timestamp t = 1; t <= reopened->Now(); t += 17) {
+      std::string v;
+      Status s = reopened->GetAsOf(Key(k), t, &v);
+      if (s.IsCorruption()) saw_corruption = true;
+      if (s.ok()) {
+        // Any successful read must be internally consistent: value suffix
+        // encodes the op ordinal, which must not exceed the clock.
+        EXPECT_EQ('v', v[0]);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST_F(FaultTest, HistoricalBlobBitRotDetected) {
+  // Corrupt the middle of the historical store; deep as-of reads crossing
+  // that node must fail with Corruption.
+  const uint64_t mid = hist_->Size() / 2;
+  char byte;
+  ASSERT_TRUE(hist_->Read(mid, 1, &byte).ok());
+  byte ^= 0x01;
+  ASSERT_TRUE(hist_->Write(mid, Slice(&byte, 1)).ok());
+  bool saw_corruption = false;
+  for (int k = 0; k < 8 && !saw_corruption; ++k) {
+    for (Timestamp t = 1; t <= tree_->Now(); ++t) {
+      std::string v;
+      Status s = tree_->GetAsOf(Key(k), t, &v);
+      if (s.IsCorruption()) {
+        saw_corruption = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST_F(FaultTest, CurrentReadsSurviveHistoricalRot) {
+  // The current database never depends on the historical device: even
+  // with a fully zeroed historical store, current lookups still work.
+  std::string zeros(hist_->Size(), 0);
+  ASSERT_TRUE(hist_->Write(0, zeros).ok());
+  for (int k = 0; k < 8; ++k) {
+    std::string v;
+    EXPECT_TRUE(tree_->GetCurrent(Key(k), &v).ok()) << k;
+  }
+}
+
+TEST_F(FaultTest, FreeListSurvivesReopen) {
+  // Erase enough uncommitted data to free pages... pages free via splits
+  // only; instead exercise Pager-level persistence directly.
+  MemDevice dev;
+  std::string blob;
+  {
+    Pager pager(&dev, 512);
+    uint32_t a, b, c;
+    std::string page(512, 0);
+    for (uint32_t* id : {&a, &b, &c}) {
+      ASSERT_TRUE(pager.Alloc(id).ok());
+      InitPage(page.data(), 512, *id, PageType::kTsbData);
+      ASSERT_TRUE(pager.Write(*id, page.data()).ok());
+    }
+    ASSERT_TRUE(pager.Free(b).ok());
+    ASSERT_TRUE(pager.Free(a).ok());
+    pager.EncodeFreeList(&blob, 512);
+  }
+  {
+    Pager pager(&dev, 512);
+    ASSERT_TRUE(pager.DecodeFreeList(Slice(blob)).ok());
+    uint32_t got;
+    ASSERT_TRUE(pager.Alloc(&got).ok());
+    EXPECT_TRUE(got == 1 || got == 2);  // reuses a freed page, not page 4
+    EXPECT_LT(got, 3u);
+  }
+}
+
+TEST_F(FaultTest, FreeListBoundedEncoding) {
+  MemDevice dev;
+  Pager pager(&dev, 512);
+  std::vector<uint32_t> ids;
+  std::string page(512, 0);
+  for (int i = 0; i < 100; ++i) {
+    uint32_t id;
+    ASSERT_TRUE(pager.Alloc(&id).ok());
+    InitPage(page.data(), 512, id, PageType::kTsbData);
+    ASSERT_TRUE(pager.Write(id, page.data()).ok());
+    ids.push_back(id);
+  }
+  for (uint32_t id : ids) ASSERT_TRUE(pager.Free(id).ok());
+  std::string blob;
+  pager.EncodeFreeList(&blob, 44);  // room for 10 ids
+  EXPECT_LE(blob.size(), 44u);
+  Pager pager2(&dev, 512);
+  ASSERT_TRUE(pager2.DecodeFreeList(Slice(blob)).ok());
+  // The 10 persisted ids are reusable; the rest leak (documented).
+  EXPECT_EQ(90u, pager2.live_pages());
+}
+
+TEST_F(FaultTest, DecodeFreeListRejectsGarbage) {
+  MemDevice dev;
+  Pager pager(&dev, 512);
+  EXPECT_TRUE(pager.DecodeFreeList(Slice("ab")).IsCorruption());
+  std::string lying;
+  lying.push_back(static_cast<char>(200));  // claims 200 entries
+  lying.append(3, '\0');
+  EXPECT_TRUE(pager.DecodeFreeList(Slice(lying)).IsCorruption());
+}
+
+TEST_F(FaultTest, WormViolationSurfacesThroughAppendStore) {
+  // If something corrupts the append-store offset bookkeeping so it tries
+  // to rewrite a burned sector, the device refuses.
+  WormDevice worm(64);
+  AppendStore store(&worm);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice("first"), &a).ok());
+  // A second store on the same device with stale state would collide:
+  ASSERT_TRUE(worm.Write(a.offset, Slice("overwrite")).IsWriteOnceViolation());
+}
+
+TEST_F(FaultTest, TruncatedHistoricalStoreYieldsIOError) {
+  // Cut the historical device short; reads past the cut fail with IOError
+  // (device-level) rather than returning partial frames.
+  const uint64_t cut = hist_->Size() / 2;
+  ASSERT_TRUE(hist_->Truncate(cut).ok());
+  bool saw_error = false;
+  for (int k = 0; k < 8 && !saw_error; ++k) {
+    for (Timestamp t = 1; t <= tree_->Now(); t += 3) {
+      std::string v;
+      Status s = tree_->GetAsOf(Key(k), t, &v);
+      if (s.IsIOError() || s.IsCorruption()) {
+        saw_error = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_error);
+}
+
+}  // namespace
+}  // namespace tsb_tree
+}  // namespace tsb

@@ -1,0 +1,185 @@
+// Secondary index tests (paper section 3.6): composite key encoding,
+// temporal lookups and counts answered without touching primary data, and
+// behaviour when the indexed field changes over time.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "db/secondary_index.h"
+#include "storage/mem_device.h"
+#include "storage/worm_device.h"
+
+namespace tsb {
+namespace db {
+namespace {
+
+// ---------------- composite key codec ----------------
+
+TEST(CompositeKeyTest, RoundTrip) {
+  std::string k = EncodeCompositeKey("smith", "acct-17");
+  std::string sk, pk;
+  ASSERT_TRUE(DecodeCompositeKey(k, &sk, &pk));
+  EXPECT_EQ("smith", sk);
+  EXPECT_EQ("acct-17", pk);
+}
+
+TEST(CompositeKeyTest, EmptyParts) {
+  std::string k = EncodeCompositeKey("", "");
+  std::string sk, pk;
+  ASSERT_TRUE(DecodeCompositeKey(k, &sk, &pk));
+  EXPECT_EQ("", sk);
+  EXPECT_EQ("", pk);
+}
+
+TEST(CompositeKeyTest, EmbeddedZerosInSecondary) {
+  std::string sec("a\0b", 3);
+  std::string k = EncodeCompositeKey(sec, "p");
+  std::string sk, pk;
+  ASSERT_TRUE(DecodeCompositeKey(k, &sk, &pk));
+  EXPECT_EQ(sec, sk);
+  EXPECT_EQ("p", pk);
+}
+
+TEST(CompositeKeyTest, OrderMatchesSecondaryThenPrimary) {
+  // Composite order must equal (secondary, primary) lexicographic order.
+  EXPECT_LT(EncodeCompositeKey("a", "z"), EncodeCompositeKey("b", "a"));
+  EXPECT_LT(EncodeCompositeKey("a", "x"), EncodeCompositeKey("a", "y"));
+  // "a" < "a\0..." boundary: a shorter secondary sorts before one that
+  // extends it.
+  EXPECT_LT(EncodeCompositeKey("a", "zzz"), EncodeCompositeKey("ab", ""));
+}
+
+TEST(CompositeKeyTest, PrefixCoversExactlyOneSecondaryKey) {
+  const std::string p = CompositePrefix("ann");
+  EXPECT_TRUE(Slice(EncodeCompositeKey("ann", "k1")).starts_with(Slice(p)));
+  EXPECT_FALSE(Slice(EncodeCompositeKey("anna", "k1")).starts_with(Slice(p)));
+  EXPECT_FALSE(Slice(EncodeCompositeKey("an", "nk1")).starts_with(Slice(p)));
+}
+
+TEST(CompositeKeyTest, MalformedRejected) {
+  std::string sk, pk;
+  EXPECT_FALSE(DecodeCompositeKey("no-separator", &sk, &pk));
+  std::string dangling("x\0", 2);
+  EXPECT_FALSE(DecodeCompositeKey(dangling, &sk, &pk));
+}
+
+// ---------------- SecondaryIndex over a TSB-tree ----------------
+
+class SecondaryIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    magnetic_ = std::make_unique<MemDevice>();
+    worm_ = std::make_unique<WormDevice>(512);
+    tsb_tree::TsbOptions opts;
+    opts.page_size = 512;
+    std::unique_ptr<tsb_tree::TsbTree> tree;
+    ASSERT_TRUE(
+        tsb_tree::TsbTree::Open(magnetic_.get(), worm_.get(), opts, &tree)
+            .ok());
+    index_ = std::make_unique<SecondaryIndex>(std::move(tree));
+  }
+
+  std::unique_ptr<MemDevice> magnetic_;
+  std::unique_ptr<WormDevice> worm_;
+  std::unique_ptr<SecondaryIndex> index_;
+};
+
+TEST_F(SecondaryIndexTest, AddAndLookup) {
+  ASSERT_TRUE(index_->Add("blue", "car-1", 1).ok());
+  ASSERT_TRUE(index_->Add("blue", "car-2", 2).ok());
+  ASSERT_TRUE(index_->Add("red", "car-3", 3).ok());
+  std::vector<std::string> pks;
+  ASSERT_TRUE(index_->Lookup("blue", &pks).ok());
+  ASSERT_EQ(2u, pks.size());
+  EXPECT_EQ("car-1", pks[0]);
+  EXPECT_EQ("car-2", pks[1]);
+  ASSERT_TRUE(index_->Lookup("red", &pks).ok());
+  ASSERT_EQ(1u, pks.size());
+  ASSERT_TRUE(index_->Lookup("green", &pks).ok());
+  EXPECT_TRUE(pks.empty());
+}
+
+TEST_F(SecondaryIndexTest, TemporalLookupSeesOldState) {
+  ASSERT_TRUE(index_->Add("teamA", "emp-1", 1).ok());
+  ASSERT_TRUE(index_->Add("teamA", "emp-2", 2).ok());
+  // emp-1 moves to teamB at ts 5.
+  ASSERT_TRUE(index_->Remove("teamA", "emp-1", 5).ok());
+  ASSERT_TRUE(index_->Add("teamB", "emp-1", 5).ok());
+
+  std::vector<std::string> pks;
+  ASSERT_TRUE(index_->LookupAsOf("teamA", 4, &pks).ok());
+  ASSERT_EQ(2u, pks.size());  // before the move
+  ASSERT_TRUE(index_->LookupAsOf("teamA", 5, &pks).ok());
+  ASSERT_EQ(1u, pks.size());  // after the move
+  EXPECT_EQ("emp-2", pks[0]);
+  ASSERT_TRUE(index_->LookupAsOf("teamB", 5, &pks).ok());
+  ASSERT_EQ(1u, pks.size());
+  EXPECT_EQ("emp-1", pks[0]);
+  ASSERT_TRUE(index_->LookupAsOf("teamB", 4, &pks).ok());
+  EXPECT_TRUE(pks.empty());
+}
+
+TEST_F(SecondaryIndexTest, CountWithoutPrimaryAccess) {
+  // Section 3.6: "how many records had a given secondary key at a given
+  // time using only the secondary time-split B-tree."
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(index_->Add("dept-42", "emp-" + std::to_string(i),
+                            static_cast<Timestamp>(i + 1))
+                    .ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(index_->Remove("dept-42", "emp-" + std::to_string(i),
+                               static_cast<Timestamp>(30 + i))
+                    .ok());
+  }
+  size_t count = 0;
+  ASSERT_TRUE(index_->CountAsOf("dept-42", 25, &count).ok());
+  EXPECT_EQ(20u, count);
+  ASSERT_TRUE(index_->CountAsOf("dept-42", 40, &count).ok());
+  EXPECT_EQ(12u, count);
+  ASSERT_TRUE(index_->CountAsOf("dept-42", 10, &count).ok());
+  EXPECT_EQ(10u, count);
+}
+
+TEST_F(SecondaryIndexTest, ReAddAfterRemove) {
+  ASSERT_TRUE(index_->Add("on-call", "alice", 1).ok());
+  ASSERT_TRUE(index_->Remove("on-call", "alice", 5).ok());
+  ASSERT_TRUE(index_->Add("on-call", "alice", 9).ok());
+  std::vector<std::string> pks;
+  ASSERT_TRUE(index_->LookupAsOf("on-call", 3, &pks).ok());
+  EXPECT_EQ(1u, pks.size());
+  ASSERT_TRUE(index_->LookupAsOf("on-call", 7, &pks).ok());
+  EXPECT_TRUE(pks.empty());
+  ASSERT_TRUE(index_->LookupAsOf("on-call", 9, &pks).ok());
+  EXPECT_EQ(1u, pks.size());
+}
+
+TEST_F(SecondaryIndexTest, ManyEntriesSurviveSplitsAndMigration) {
+  Timestamp ts = 0;
+  // Many adds/removes so the index tree splits and migrates.
+  for (int round = 0; round < 30; ++round) {
+    for (int e = 0; e < 10; ++e) {
+      const std::string who = "emp-" + std::to_string(e);
+      const std::string team = "team-" + std::to_string(round % 3);
+      const std::string prev_team = "team-" + std::to_string((round + 2) % 3);
+      if (round > 0) {
+        ASSERT_TRUE(index_->Remove(prev_team, who, ++ts).ok());
+      }
+      ASSERT_TRUE(index_->Add(team, who, ++ts).ok());
+    }
+  }
+  EXPECT_GT(index_->tree()->counters().data_time_splits +
+                index_->tree()->counters().data_key_splits,
+            0u);
+  // Everyone is on team-(29 % 3) == team-2 now.
+  size_t count = 0;
+  ASSERT_TRUE(index_->CountAsOf("team-2", ts, &count).ok());
+  EXPECT_EQ(10u, count);
+  ASSERT_TRUE(index_->CountAsOf("team-0", ts, &count).ok());
+  EXPECT_EQ(0u, count);
+}
+
+}  // namespace
+}  // namespace db
+}  // namespace tsb

@@ -1,0 +1,433 @@
+// Unit tests for devices (mem/file/WORM), pages, the slotted layout and the
+// pager. WORM write-once enforcement and utilization accounting get special
+// attention: they carry the paper's section-1 hardware argument.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "storage/device.h"
+#include "storage/file_device.h"
+#include "storage/mem_device.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "storage/slotted.h"
+#include "storage/worm_device.h"
+
+namespace tsb {
+namespace {
+
+// ---------- MemDevice ----------
+
+TEST(MemDeviceTest, WriteThenReadBack) {
+  MemDevice dev;
+  ASSERT_TRUE(dev.Write(0, Slice("hello")).ok());
+  char buf[5];
+  ASSERT_TRUE(dev.Read(0, 5, buf).ok());
+  EXPECT_EQ("hello", std::string(buf, 5));
+}
+
+TEST(MemDeviceTest, ReadPastEndFails) {
+  MemDevice dev;
+  ASSERT_TRUE(dev.Write(0, Slice("abc")).ok());
+  char buf[8];
+  EXPECT_TRUE(dev.Read(0, 8, buf).IsIOError());
+}
+
+TEST(MemDeviceTest, OverwriteAllowed) {
+  MemDevice dev;
+  ASSERT_TRUE(dev.Write(0, Slice("aaaa")).ok());
+  ASSERT_TRUE(dev.Write(1, Slice("bb")).ok());
+  char buf[4];
+  ASSERT_TRUE(dev.Read(0, 4, buf).ok());
+  EXPECT_EQ("abba", std::string(buf, 4));
+}
+
+TEST(MemDeviceTest, SparseWriteZeroFills) {
+  MemDevice dev;
+  ASSERT_TRUE(dev.Write(10, Slice("x")).ok());
+  char buf[1];
+  ASSERT_TRUE(dev.Read(5, 1, buf).ok());
+  EXPECT_EQ(0, buf[0]);
+  EXPECT_EQ(11u, dev.Size());
+}
+
+TEST(MemDeviceTest, TruncateShrinks) {
+  MemDevice dev;
+  ASSERT_TRUE(dev.Write(0, Slice("abcdef")).ok());
+  ASSERT_TRUE(dev.Truncate(3).ok());
+  EXPECT_EQ(3u, dev.Size());
+}
+
+TEST(MemDeviceTest, StatsCountOpsAndSeeks) {
+  MemDevice dev;
+  ASSERT_TRUE(dev.Write(0, Slice("aaaa")).ok());   // seek (first access)
+  ASSERT_TRUE(dev.Write(4, Slice("bbbb")).ok());   // sequential: no seek
+  ASSERT_TRUE(dev.Write(100, Slice("cc")).ok());   // seek
+  char buf[4];
+  ASSERT_TRUE(dev.Read(0, 4, buf).ok());           // seek
+  const IoStats& st = dev.stats();
+  EXPECT_EQ(3u, st.writes);
+  EXPECT_EQ(1u, st.reads);
+  EXPECT_EQ(10u, st.bytes_written);
+  EXPECT_EQ(4u, st.bytes_read);
+  EXPECT_EQ(3u, st.seeks);
+  EXPECT_GT(st.simulated_ms, 0.0);
+}
+
+TEST(MemDeviceTest, SimulatedTimeScalesWithSeekCost) {
+  MemDevice fast(DeviceKind::kMagnetic, CostParams::Magnetic());
+  MemDevice slow(DeviceKind::kOpticalErasable, CostParams::OpticalWorm());
+  char buf[16] = {0};
+  ASSERT_TRUE(fast.Write(0, Slice(buf, 16)).ok());
+  ASSERT_TRUE(slow.Write(0, Slice(buf, 16)).ok());
+  // One seek each; optical seek is 3x the magnetic seek (48 vs 16 ms).
+  EXPECT_GT(slow.stats().simulated_ms, 2.5 * fast.stats().simulated_ms);
+}
+
+TEST(MemDeviceTest, ResetStatsClears) {
+  MemDevice dev;
+  ASSERT_TRUE(dev.Write(0, Slice("abc")).ok());
+  dev.ResetStats();
+  EXPECT_EQ(0u, dev.stats().writes);
+  EXPECT_EQ(0.0, dev.stats().simulated_ms);
+}
+
+// ---------- FileDevice ----------
+
+class FileDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/tsb_file_device_test.bin";
+    ::remove(path_.c_str());
+  }
+  void TearDown() override { ::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(FileDeviceTest, PersistsAcrossReopen) {
+  {
+    FileDevice* raw = nullptr;
+    ASSERT_TRUE(FileDevice::Open(path_, &raw).ok());
+    std::unique_ptr<FileDevice> dev(raw);
+    ASSERT_TRUE(dev->Write(0, Slice("persist me")).ok());
+    ASSERT_TRUE(dev->Sync().ok());
+  }
+  FileDevice* raw = nullptr;
+  ASSERT_TRUE(FileDevice::Open(path_, &raw).ok());
+  std::unique_ptr<FileDevice> dev(raw);
+  EXPECT_EQ(10u, dev->Size());
+  char buf[10];
+  ASSERT_TRUE(dev->Read(0, 10, buf).ok());
+  EXPECT_EQ("persist me", std::string(buf, 10));
+}
+
+TEST_F(FileDeviceTest, TruncateAndSize) {
+  FileDevice* raw = nullptr;
+  ASSERT_TRUE(FileDevice::Open(path_, &raw).ok());
+  std::unique_ptr<FileDevice> dev(raw);
+  ASSERT_TRUE(dev->Write(0, Slice("0123456789")).ok());
+  ASSERT_TRUE(dev->Truncate(4).ok());
+  EXPECT_EQ(4u, dev->Size());
+  char buf[4];
+  ASSERT_TRUE(dev->Read(0, 4, buf).ok());
+  EXPECT_EQ("0123", std::string(buf, 4));
+}
+
+// ---------- WormDevice ----------
+
+TEST(WormDeviceTest, WriteThenRead) {
+  WormDevice worm(64);
+  ASSERT_TRUE(worm.Write(0, Slice("data")).ok());
+  char buf[4];
+  ASSERT_TRUE(worm.Read(0, 4, buf).ok());
+  EXPECT_EQ("data", std::string(buf, 4));
+}
+
+TEST(WormDeviceTest, RewriteBurnedSectorFails) {
+  WormDevice worm(64);
+  ASSERT_TRUE(worm.Write(0, Slice("first")).ok());
+  Status s = worm.Write(0, Slice("second"));
+  EXPECT_TRUE(s.IsWriteOnceViolation());
+  // Even a 1-byte write into the burned sector fails.
+  EXPECT_TRUE(worm.Write(63, Slice("x")).IsWriteOnceViolation());
+}
+
+TEST(WormDeviceTest, SmallWriteBurnsWholeSector) {
+  // The paper: "even when a small amount of data is written, the rest of
+  // the sector is unusable."
+  WormDevice worm(1024);
+  ASSERT_TRUE(worm.Write(0, Slice("tiny")).ok());
+  EXPECT_EQ(1u, worm.sectors_burned());
+  EXPECT_EQ(4u, worm.payload_bytes());
+  EXPECT_NEAR(4.0 / 1024.0, worm.Utilization(), 1e-9);
+}
+
+TEST(WormDeviceTest, MultiSectorWriteBurnsAllCovered) {
+  WormDevice worm(16);
+  std::string blob(40, 'z');  // covers 3 sectors
+  ASSERT_TRUE(worm.Write(0, blob).ok());
+  EXPECT_EQ(3u, worm.sectors_burned());
+  EXPECT_TRUE(worm.IsBurned(0));
+  EXPECT_TRUE(worm.IsBurned(2));
+  EXPECT_FALSE(worm.IsBurned(3));
+}
+
+TEST(WormDeviceTest, PartialOverlapWithBurnedFails) {
+  WormDevice worm(16);
+  ASSERT_TRUE(worm.Write(0, Slice("0123456789abcdef")).ok());
+  std::string blob(20, 'y');
+  // Starts in sector 0 (burned) -> must fail, nothing burned extra.
+  EXPECT_TRUE(worm.Write(8, blob).IsWriteOnceViolation());
+  EXPECT_EQ(1u, worm.sectors_burned());
+}
+
+TEST(WormDeviceTest, AppendAdvancesToSectorBoundary) {
+  WormDevice worm(16);
+  uint64_t off1 = 0, off2 = 0;
+  ASSERT_TRUE(worm.Append(Slice("abc"), &off1).ok());
+  ASSERT_TRUE(worm.Append(Slice("defg"), &off2).ok());
+  EXPECT_EQ(0u, off1);
+  EXPECT_EQ(16u, off2);  // next sector, not byte 3
+  EXPECT_EQ(2u, worm.sectors_burned());
+}
+
+TEST(WormDeviceTest, AllocateExtentReservesWithoutBurning) {
+  WormDevice worm(16);
+  uint64_t first = 0;
+  ASSERT_TRUE(worm.AllocateExtent(4, &first).ok());
+  EXPECT_EQ(0u, first);
+  EXPECT_FALSE(worm.IsBurned(0));
+  // Appends land after the extent.
+  uint64_t off = 0;
+  ASSERT_TRUE(worm.Append(Slice("x"), &off).ok());
+  EXPECT_EQ(64u, off);
+  // Sectors inside the extent are still individually writable once.
+  ASSERT_TRUE(worm.Write(16, Slice("in-extent")).ok());
+  EXPECT_TRUE(worm.Write(16, Slice("again")).IsWriteOnceViolation());
+}
+
+TEST(WormDeviceTest, UtilizationReflectsWaste) {
+  WormDevice worm(1024);
+  // Ten 100-byte increments, one sector each: ~9.8% utilization.
+  for (int i = 0; i < 10; ++i) {
+    uint64_t off;
+    ASSERT_TRUE(worm.Append(Slice(std::string(100, 'a')), &off).ok());
+  }
+  EXPECT_NEAR(100.0 / 1024.0, worm.Utilization(), 1e-9);
+  // One consolidated 1000-byte append: ~97.7% for that sector.
+  WormDevice packed(1024);
+  uint64_t off;
+  ASSERT_TRUE(packed.Append(Slice(std::string(1000, 'a')), &off).ok());
+  EXPECT_NEAR(1000.0 / 1024.0, packed.Utilization(), 1e-9);
+}
+
+// ---------- Page ----------
+
+TEST(PageTest, InitSealVerifyRoundTrip) {
+  std::string buf(kDefaultPageSize, 0);
+  InitPage(buf.data(), kDefaultPageSize, 7, PageType::kTsbData);
+  buf[100] = 'x';  // payload
+  SealPage(buf.data(), kDefaultPageSize);
+  EXPECT_TRUE(VerifyPage(buf.data(), kDefaultPageSize, 7).ok());
+  EXPECT_EQ(7u, PageId(buf.data()));
+  EXPECT_EQ(PageType::kTsbData, GetPageType(buf.data()));
+}
+
+TEST(PageTest, CorruptionDetected) {
+  std::string buf(kDefaultPageSize, 0);
+  InitPage(buf.data(), kDefaultPageSize, 3, PageType::kBptLeaf);
+  SealPage(buf.data(), kDefaultPageSize);
+  buf[2000] ^= 1;  // flip a payload bit
+  EXPECT_TRUE(VerifyPage(buf.data(), kDefaultPageSize, 3).IsCorruption());
+}
+
+TEST(PageTest, WrongIdDetected) {
+  std::string buf(kDefaultPageSize, 0);
+  InitPage(buf.data(), kDefaultPageSize, 3, PageType::kBptLeaf);
+  SealPage(buf.data(), kDefaultPageSize);
+  EXPECT_TRUE(VerifyPage(buf.data(), kDefaultPageSize, 4).IsCorruption());
+  EXPECT_TRUE(VerifyPage(buf.data(), kDefaultPageSize, UINT32_MAX).ok());
+}
+
+TEST(PageTest, BadMagicDetected) {
+  std::string buf(kDefaultPageSize, 0);
+  EXPECT_TRUE(VerifyPage(buf.data(), kDefaultPageSize, 0).IsCorruption());
+}
+
+TEST(PageTest, FlagsRoundTrip) {
+  std::string buf(kDefaultPageSize, 0);
+  InitPage(buf.data(), kDefaultPageSize, 1, PageType::kTsbIndex);
+  SetPageFlags(buf.data(), 0x1234);
+  EXPECT_EQ(0x1234, PageFlags(buf.data()));
+  SetPageType(buf.data(), PageType::kTsbData);
+  EXPECT_EQ(PageType::kTsbData, GetPageType(buf.data()));
+}
+
+// ---------- SlottedView ----------
+
+class SlottedTest : public ::testing::Test {
+ protected:
+  SlottedTest() : buf_(512, 0), view_(buf_.data(), 512) { view_.Init(); }
+  std::string buf_;
+  SlottedView view_;
+};
+
+TEST_F(SlottedTest, InsertAndReadBack) {
+  ASSERT_TRUE(view_.Insert(0, Slice("bravo")));
+  ASSERT_TRUE(view_.Insert(0, Slice("alpha")));
+  ASSERT_TRUE(view_.Insert(2, Slice("charlie")));
+  ASSERT_EQ(3, view_.count());
+  EXPECT_EQ("alpha", view_.Cell(0).ToString());
+  EXPECT_EQ("bravo", view_.Cell(1).ToString());
+  EXPECT_EQ("charlie", view_.Cell(2).ToString());
+}
+
+TEST_F(SlottedTest, RemoveKeepsOrder) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(view_.Insert(i, Slice(std::string(1, 'a' + i))));
+  }
+  view_.Remove(2);  // drop "c"
+  ASSERT_EQ(4, view_.count());
+  EXPECT_EQ("a", view_.Cell(0).ToString());
+  EXPECT_EQ("b", view_.Cell(1).ToString());
+  EXPECT_EQ("d", view_.Cell(2).ToString());
+  EXPECT_EQ("e", view_.Cell(3).ToString());
+}
+
+TEST_F(SlottedTest, FillUntilFullThenFail) {
+  int inserted = 0;
+  while (view_.Insert(inserted, Slice("0123456789"))) inserted++;
+  EXPECT_GT(inserted, 20);  // (10+2 cell + 2 slot) per insert in 506 bytes
+  EXPECT_FALSE(view_.HasRoomFor(10));
+  EXPECT_EQ(inserted, view_.count());
+  // Everything still readable.
+  for (int i = 0; i < inserted; ++i) {
+    EXPECT_EQ("0123456789", view_.Cell(i).ToString());
+  }
+}
+
+TEST_F(SlottedTest, RemoveThenReinsertReclaimsSpace) {
+  int inserted = 0;
+  while (view_.Insert(inserted, Slice("0123456789"))) inserted++;
+  for (int i = inserted - 1; i >= 0; --i) view_.Remove(i);
+  EXPECT_EQ(0, view_.count());
+  // Full capacity available again (compaction reclaims holes).
+  int again = 0;
+  while (view_.Insert(again, Slice("0123456789"))) again++;
+  EXPECT_EQ(inserted, again);
+}
+
+TEST_F(SlottedTest, CompactionPreservesContents) {
+  // Create fragmentation: interleave inserts and removals, then force a
+  // compaction by inserting a large cell.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(view_.Insert(i, Slice(std::string(20, 'a' + i))));
+  }
+  for (int i = 8; i >= 0; i -= 2) view_.Remove(i);  // remove 5 cells
+  ASSERT_EQ(5, view_.count());
+  ASSERT_TRUE(view_.Insert(0, Slice(std::string(100, 'Z'))));
+  EXPECT_EQ(std::string(100, 'Z'), view_.Cell(0).ToString());
+  EXPECT_EQ(std::string(20, 'b'), view_.Cell(1).ToString());
+  EXPECT_EQ(std::string(20, 'j'), view_.Cell(5).ToString());
+}
+
+TEST_F(SlottedTest, ReplaceGrowAndShrink) {
+  ASSERT_TRUE(view_.Insert(0, Slice("short")));
+  ASSERT_TRUE(view_.Replace(0, Slice(std::string(50, 'L'))));
+  EXPECT_EQ(std::string(50, 'L'), view_.Cell(0).ToString());
+  ASSERT_TRUE(view_.Replace(0, Slice("s")));
+  EXPECT_EQ("s", view_.Cell(0).ToString());
+}
+
+TEST_F(SlottedTest, ReplaceTooBigRollsBack) {
+  ASSERT_TRUE(view_.Insert(0, Slice("keepme")));
+  EXPECT_FALSE(view_.Replace(0, Slice(std::string(600, 'X'))));
+  ASSERT_EQ(1, view_.count());
+  EXPECT_EQ("keepme", view_.Cell(0).ToString());
+}
+
+TEST_F(SlottedTest, EmptyCellsSupported) {
+  ASSERT_TRUE(view_.Insert(0, Slice("")));
+  ASSERT_EQ(1, view_.count());
+  EXPECT_EQ(0u, view_.Cell(0).size());
+}
+
+// ---------- Pager ----------
+
+TEST(PagerTest, AllocWriteReadRoundTrip) {
+  MemDevice dev;
+  Pager pager(&dev, 1024);
+  uint32_t id = 0;
+  ASSERT_TRUE(pager.Alloc(&id).ok());
+  EXPECT_NE(kInvalidPageId, id);
+  std::string buf(1024, 0);
+  InitPage(buf.data(), 1024, id, PageType::kTsbData);
+  buf[200] = 'q';
+  ASSERT_TRUE(pager.Write(id, buf.data()).ok());
+  std::string got(1024, 0);
+  ASSERT_TRUE(pager.Read(id, got.data()).ok());
+  EXPECT_EQ('q', got[200]);
+}
+
+TEST(PagerTest, FreeListReuse) {
+  MemDevice dev;
+  Pager pager(&dev, 1024);
+  uint32_t a, b, c;
+  ASSERT_TRUE(pager.Alloc(&a).ok());
+  ASSERT_TRUE(pager.Alloc(&b).ok());
+  EXPECT_EQ(2u, pager.live_pages());
+  ASSERT_TRUE(pager.Free(a).ok());
+  EXPECT_EQ(1u, pager.live_pages());
+  ASSERT_TRUE(pager.Alloc(&c).ok());
+  EXPECT_EQ(a, c);  // reused
+  EXPECT_EQ(2u, pager.live_pages());
+}
+
+TEST(PagerTest, FreeInvalidIdFails) {
+  MemDevice dev;
+  Pager pager(&dev, 1024);
+  EXPECT_TRUE(pager.Free(0).IsInvalidArgument());
+  EXPECT_TRUE(pager.Free(99).IsInvalidArgument());
+}
+
+TEST(PagerTest, MetaPageSurvivesConstruction) {
+  MemDevice dev;
+  Pager pager(&dev, 1024);
+  std::string meta(1024, 0);
+  ASSERT_TRUE(pager.ReadMeta(meta.data()).ok());
+  EXPECT_EQ(PageType::kMeta, GetPageType(meta.data()));
+  // Write something into meta and read it back.
+  meta[kPageHeaderSize] = 'm';
+  ASSERT_TRUE(pager.WriteMeta(meta.data()).ok());
+  std::string again(1024, 0);
+  ASSERT_TRUE(pager.ReadMeta(again.data()).ok());
+  EXPECT_EQ('m', again[kPageHeaderSize]);
+}
+
+TEST(PagerTest, CorruptPageDetectedOnRead) {
+  MemDevice dev;
+  Pager pager(&dev, 1024);
+  uint32_t id;
+  ASSERT_TRUE(pager.Alloc(&id).ok());
+  std::string buf(1024, 0);
+  InitPage(buf.data(), 1024, id, PageType::kTsbData);
+  ASSERT_TRUE(pager.Write(id, buf.data()).ok());
+  // Flip a byte directly on the device.
+  char evil = 1;
+  ASSERT_TRUE(dev.Write(static_cast<uint64_t>(id) * 1024 + 512, Slice(&evil, 1)).ok());
+  std::string got(1024, 0);
+  EXPECT_TRUE(pager.Read(id, got.data()).IsCorruption());
+}
+
+TEST(PagerTest, LiveBytesTracksPageSize) {
+  MemDevice dev;
+  Pager pager(&dev, 2048);
+  uint32_t a;
+  ASSERT_TRUE(pager.Alloc(&a).ok());
+  EXPECT_EQ(2048u, pager.live_bytes());
+}
+
+}  // namespace
+}  // namespace tsb

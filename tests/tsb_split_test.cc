@@ -1,0 +1,403 @@
+// Data-node split tests: Fig 5 (pure key split, timestamp inheritance),
+// Fig 6 (time split with chosen time; redundancy depends on the choice),
+// the TIME-SPLIT RULE itself, and the split policies of sections 3.2-3.3.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "storage/mem_device.h"
+#include "storage/worm_device.h"
+#include "tsb/split_policy.h"
+#include "tsb/tree_check.h"
+#include "tsb/tsb_tree.h"
+
+namespace tsb {
+namespace tsb_tree {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%05d", i);
+  return buf;
+}
+
+DataEntry E(const std::string& k, Timestamp ts, const std::string& v = "v") {
+  return DataEntry{k, ts, kNoTxn, v};
+}
+DataEntry U(const std::string& k, TxnId txn, const std::string& v = "v") {
+  return DataEntry{k, kUncommittedTs, txn, v};
+}
+
+// ---------------- unit: ComputeDataNodeStats ----------------
+
+TEST(DataNodeStatsTest, AllInsertsAreCurrent) {
+  std::vector<DataEntry> es = {E("a", 1), E("b", 2), E("c", 3)};
+  DataNodeStats s = ComputeDataNodeStats(es);
+  EXPECT_EQ(3u, s.total_entries);
+  EXPECT_EQ(3u, s.distinct_keys);
+  EXPECT_EQ(3u, s.current_entries);
+  EXPECT_FALSE(s.has_superseded_versions());
+}
+
+TEST(DataNodeStatsTest, UpdatesCreateHistory) {
+  std::vector<DataEntry> es = {E("a", 1), E("a", 3), E("a", 5), E("b", 2)};
+  DataNodeStats s = ComputeDataNodeStats(es);
+  EXPECT_EQ(4u, s.total_entries);
+  EXPECT_EQ(2u, s.distinct_keys);
+  EXPECT_EQ(2u, s.current_entries);  // a@5 and b@2
+  EXPECT_TRUE(s.has_superseded_versions());
+}
+
+TEST(DataNodeStatsTest, UncommittedCountsAsCurrent) {
+  std::vector<DataEntry> es = {E("a", 1), U("a", 9), E("b", 2)};
+  DataNodeStats s = ComputeDataNodeStats(es);
+  EXPECT_EQ(3u, s.current_entries);  // a@1 (latest committed), a-dirty, b@2
+  EXPECT_EQ(1u, s.uncommitted_entries);
+  EXPECT_FALSE(s.has_superseded_versions());
+}
+
+// ---------------- unit: SplitPolicy decisions ----------------
+
+TEST(SplitPolicyTest, BoundaryAllCurrentForcesKeySplit) {
+  // Section 3.2: only insertions -> time splitting is useless.
+  SplitPolicyConfig cfg;
+  cfg.kind_policy = SplitKindPolicy::kWobtStyle;  // even the time-loving one
+  SplitPolicy policy(cfg);
+  std::vector<DataEntry> es = {E("a", 1), E("b", 2), E("c", 3)};
+  EXPECT_EQ(SplitKind::kKeySplit,
+            policy.DecideDataSplit(ComputeDataNodeStats(es), 4096));
+}
+
+TEST(SplitPolicyTest, BoundarySingleKeyForcesTimeSplit) {
+  // Section 3.2: a single key -> keyspace splitting is useless.
+  SplitPolicyConfig cfg;
+  cfg.kind_policy = SplitKindPolicy::kThreshold;
+  cfg.key_split_threshold = 0.0;  // would otherwise always key split
+  SplitPolicy policy(cfg);
+  std::vector<DataEntry> es = {E("a", 1), E("a", 2), E("a", 3)};
+  EXPECT_EQ(SplitKind::kTimeSplit,
+            policy.DecideDataSplit(ComputeDataNodeStats(es), 4096));
+}
+
+TEST(SplitPolicyTest, ThresholdSwitchesOnCurrentFraction) {
+  SplitPolicyConfig cfg;
+  cfg.kind_policy = SplitKindPolicy::kThreshold;
+  cfg.key_split_threshold = 0.5;
+  SplitPolicy policy(cfg);
+  // 2 keys, 6 versions: current fraction = 2/6 < 0.5 -> time split.
+  std::vector<DataEntry> history_heavy = {E("a", 1), E("a", 2), E("a", 3),
+                                          E("b", 4), E("b", 5), E("b", 6)};
+  EXPECT_EQ(SplitKind::kTimeSplit,
+            policy.DecideDataSplit(ComputeDataNodeStats(history_heavy), 4096));
+  // 3 keys, 4 versions: current fraction = 3/4 >= 0.5 -> key split.
+  std::vector<DataEntry> current_heavy = {E("a", 1), E("a", 2), E("b", 3),
+                                          E("c", 4)};
+  EXPECT_EQ(SplitKind::kKeySplit,
+            policy.DecideDataSplit(ComputeDataNodeStats(current_heavy), 4096));
+}
+
+TEST(SplitPolicyTest, CostBasedRespondsToPriceRatio) {
+  std::vector<DataEntry> es = {E("a", 1), E("a", 2), E("a", 3),
+                               E("b", 4), E("b", 5), E("c", 6)};
+  DataNodeStats stats = ComputeDataNodeStats(es);
+  // Expensive optical storage: migrating history is costly -> key split.
+  SplitPolicyConfig pricey;
+  pricey.kind_policy = SplitKindPolicy::kCostBased;
+  pricey.cost_magnetic = 1.0;
+  pricey.cost_optical = 1e6;
+  EXPECT_EQ(SplitKind::kKeySplit,
+            SplitPolicy(pricey).DecideDataSplit(stats, 4096));
+  // Nearly free optical storage -> time split.
+  SplitPolicyConfig cheap;
+  cheap.kind_policy = SplitKindPolicy::kCostBased;
+  cheap.cost_magnetic = 1.0;
+  cheap.cost_optical = 1e-6;
+  EXPECT_EQ(SplitKind::kTimeSplit,
+            SplitPolicy(cheap).DecideDataSplit(stats, 4096));
+}
+
+TEST(SplitPolicyTest, RedundantAtMatchesRule3) {
+  // Fig 6's example shape: versions at 1, 2, 4 for distinct keys plus an
+  // updated key.
+  std::vector<DataEntry> es = {E("joe", 1), E("mary", 4), E("pete", 2)};
+  // T=4: joe@1 and pete@2 persist (their latest <= 4 predates 4); mary@4
+  // satisfies rule 3 via rule 2 (ts == T) -> 2 redundant.
+  EXPECT_EQ(2u, SplitPolicy::RedundantAt(es, 4));
+  // T=5: all three latest versions predate 5 -> 3 redundant.
+  EXPECT_EQ(3u, SplitPolicy::RedundantAt(es, 5));
+  // T=1: nothing precedes 1 except nothing; joe@1 == T -> 0 redundant.
+  EXPECT_EQ(0u, SplitPolicy::RedundantAt(es, 1));
+}
+
+TEST(SplitPolicyTest, ChooseSplitTimeCurrentTime) {
+  SplitPolicyConfig cfg;
+  cfg.time_mode = SplitTimeMode::kCurrentTime;
+  SplitPolicy policy(cfg);
+  std::vector<DataEntry> es = {E("a", 1), E("a", 5), E("b", 3)};
+  EXPECT_EQ(9u, policy.ChooseSplitTime(es, /*t_lo=*/0, /*now=*/9));
+}
+
+TEST(SplitPolicyTest, ChooseSplitTimeLastUpdate) {
+  SplitPolicyConfig cfg;
+  cfg.time_mode = SplitTimeMode::kLastUpdate;
+  SplitPolicy policy(cfg);
+  // a updated at 5 (supersedes a@1); later pure inserts c@7, d@8.
+  std::vector<DataEntry> es = {E("a", 1), E("a", 5), E("c", 7), E("d", 8)};
+  // T = 5: the trailing inserts stay out of the historical node.
+  EXPECT_EQ(5u, policy.ChooseSplitTime(es, 0, 9));
+}
+
+TEST(SplitPolicyTest, ChooseSplitTimeLastUpdateFallsBackToNow) {
+  SplitPolicyConfig cfg;
+  cfg.time_mode = SplitTimeMode::kLastUpdate;
+  SplitPolicy policy(cfg);
+  std::vector<DataEntry> es = {E("a", 1), E("b", 2)};  // no updates
+  EXPECT_EQ(9u, policy.ChooseSplitTime(es, 0, 9));
+}
+
+TEST(SplitPolicyTest, ChooseSplitTimeMinRedundancy) {
+  SplitPolicyConfig cfg;
+  cfg.time_mode = SplitTimeMode::kMinRedundancy;
+  SplitPolicy policy(cfg);
+  // Fig 6: choosing T=4 gives no redundancy, T=5 duplicates "mary".
+  // Keys: joe@1 pete@2 mary@4, all superseded by updates at 6,7,8.
+  std::vector<DataEntry> es = {E("joe", 1),  E("joe", 6), E("mary", 4),
+                               E("mary", 8), E("pete", 2), E("pete", 7)};
+  const Timestamp t = policy.ChooseSplitTime(es, 0, 9);
+  // The chosen T must reach the minimum redundancy over the VALID range:
+  // T > min committed ts (1), so the sweep starts at 2.
+  size_t best = SIZE_MAX;
+  for (Timestamp c = 2; c <= 9; ++c) {
+    best = std::min(best, SplitPolicy::RedundantAt(es, c));
+  }
+  EXPECT_EQ(best, SplitPolicy::RedundantAt(es, t));
+  EXPECT_GT(t, 1u);  // never a no-op split time
+}
+
+TEST(SplitPolicyTest, ChooseSplitTimeRespectsLowerBound) {
+  SplitPolicyConfig cfg;
+  cfg.time_mode = SplitTimeMode::kLastUpdate;
+  SplitPolicy policy(cfg);
+  std::vector<DataEntry> es = {E("a", 4), E("a", 5)};
+  // t_lo = 5: T must exceed it.
+  const Timestamp t = policy.ChooseSplitTime(es, 5, 9);
+  EXPECT_GT(t, 5u);
+}
+
+// ---------------- integration: splits in a live tree ----------------
+
+class TsbSplitTest : public ::testing::Test {
+ protected:
+  void Open(SplitPolicyConfig policy, uint32_t page_size = 512) {
+    magnetic_ = std::make_unique<MemDevice>();
+    worm_ = std::make_unique<WormDevice>(512);
+    TsbOptions opts;
+    opts.page_size = page_size;
+    opts.buffer_pool_frames = 64;
+    opts.policy = policy;
+    ASSERT_TRUE(TsbTree::Open(magnetic_.get(), worm_.get(), opts, &tree_).ok());
+  }
+
+  Status Check() { return TreeChecker(tree_.get()).Check(); }
+
+  std::unique_ptr<MemDevice> magnetic_;
+  std::unique_ptr<WormDevice> worm_;
+  std::unique_ptr<TsbTree> tree_;
+};
+
+// Fig 5: a node filled purely by insertion key-splits; the new index entry
+// inherits the previous entry's timestamp (t_lo) rather than "now".
+TEST_F(TsbSplitTest, Fig5PureKeySplitInheritsTimestamp) {
+  SplitPolicyConfig cfg;  // threshold policy; all-current forces key split
+  Open(cfg);
+  int i = 0;
+  Timestamp ts = 0;
+  while (tree_->counters().data_key_splits == 0) {
+    ASSERT_TRUE(tree_->Put(Key(i++), std::string(40, 'v'), ++ts).ok());
+    ASSERT_LT(i, 200);
+  }
+  EXPECT_EQ(0u, tree_->counters().data_time_splits);
+  EXPECT_EQ(0u, tree_->counters().records_migrated);  // nothing migrated
+  // Inspect the root: both children's entries must carry t_lo = 0 (the
+  // original node's time), NOT the split time.
+  DecodedNode root;
+  ASSERT_TRUE(tree_->ReadNode(tree_->root(), &root).ok());
+  ASSERT_EQ(2u, root.index.size());
+  EXPECT_EQ(root.index[0].t_lo, root.index[1].t_lo);
+  EXPECT_EQ(kMinTimestamp, root.index[1].t_lo);
+  EXPECT_TRUE(root.index[0].current_child());
+  EXPECT_TRUE(root.index[1].current_child());
+  // The split key separates them.
+  EXPECT_EQ(root.index[0].key_hi, root.index[1].key_lo);
+  EXPECT_TRUE(Check().ok());
+}
+
+// Fig 6, T=4 variant: split time chosen at the last update -> in this
+// shape no redundancy is created.
+TEST_F(TsbSplitTest, Fig6TimeSplitAtLastUpdateNoRedundancy) {
+  SplitPolicyConfig cfg;
+  cfg.kind_policy = SplitKindPolicy::kWobtStyle;  // always time split
+  cfg.time_mode = SplitTimeMode::kLastUpdate;
+  Open(cfg);
+  // One key repeatedly updated, then fill to burst: every committed version
+  // of "a" except the last is historical; split at the last update leaves
+  // exactly the current version in the current node.
+  Timestamp ts = 0;
+  while (tree_->counters().data_time_splits == 0) {
+    ASSERT_TRUE(tree_->Put("a", std::string(40, 'v'), ++ts).ok());
+    ASSERT_LT(ts, 200u);
+  }
+  EXPECT_EQ(0u, tree_->counters().redundant_record_copies);
+  EXPECT_GT(tree_->counters().records_migrated, 0u);
+  // All old versions remain reachable.
+  std::string v;
+  for (Timestamp t = 1; t <= tree_->Now(); ++t) {
+    ASSERT_TRUE(tree_->GetAsOf("a", t, &v).ok()) << t;
+  }
+  EXPECT_TRUE(Check().ok());
+}
+
+// Fig 6, T=5 variant: splitting at the current time forces the version
+// valid at the split time into both nodes (redundancy).
+TEST_F(TsbSplitTest, Fig6TimeSplitAtCurrentTimeCreatesRedundancy) {
+  SplitPolicyConfig cfg;
+  cfg.kind_policy = SplitKindPolicy::kWobtStyle;
+  cfg.time_mode = SplitTimeMode::kCurrentTime;
+  Open(cfg);
+  // Two keys: "mary" written once early, "a" updated many times. At the
+  // split, mary's single version persists through T=now -> copied to both.
+  ASSERT_TRUE(tree_->Put("mary", std::string(40, 'm'), 1).ok());
+  Timestamp ts = 1;
+  while (tree_->counters().data_time_splits == 0) {
+    ASSERT_TRUE(tree_->Put("a", std::string(40, 'v'), ++ts).ok());
+    ASSERT_LT(ts, 200u);
+  }
+  EXPECT_GT(tree_->counters().redundant_record_copies, 0u);
+  // "mary" readable both before and after the split time.
+  std::string v;
+  ASSERT_TRUE(tree_->GetAsOf("mary", 1, &v).ok());
+  ASSERT_TRUE(tree_->GetCurrent("mary", &v).ok());
+  EXPECT_TRUE(Check().ok());
+}
+
+TEST_F(TsbSplitTest, TimeSplitRuleEntriesLandCorrectly) {
+  // Verify the three clauses directly on the migrated node contents.
+  SplitPolicyConfig cfg;
+  cfg.kind_policy = SplitKindPolicy::kWobtStyle;
+  cfg.time_mode = SplitTimeMode::kCurrentTime;
+  Open(cfg);
+  Timestamp ts = 0;
+  while (tree_->counters().data_time_splits == 0) {
+    const int k = static_cast<int>((ts + 1) % 3);
+    ++ts;
+    ASSERT_TRUE(tree_->Put(Key(k), std::string(40, 'x'), ts).ok());
+    ASSERT_LT(ts, 300u);
+  }
+  // Find the historical entry in the root and check clause 1 (all migrated
+  // records precede the split time).
+  DecodedNode root;
+  ASSERT_TRUE(tree_->ReadNode(tree_->root(), &root).ok());
+  bool found_hist = false;
+  for (const IndexEntry& e : root.index) {
+    if (!e.child.historical) continue;
+    found_hist = true;
+    DecodedNode hist;
+    ASSERT_TRUE(tree_->ReadNode(e.child, &hist).ok());
+    ASSERT_TRUE(hist.is_data());
+    EXPECT_FALSE(hist.data.empty());
+    for (const DataEntry& de : hist.data) {
+      EXPECT_LT(de.ts, e.t_hi);  // clause 1: ts < T
+    }
+  }
+  EXPECT_TRUE(found_hist);
+  EXPECT_TRUE(Check().ok());
+}
+
+TEST_F(TsbSplitTest, UncommittedNeverMigrates) {
+  SplitPolicyConfig cfg;
+  cfg.kind_policy = SplitKindPolicy::kWobtStyle;
+  cfg.time_mode = SplitTimeMode::kCurrentTime;
+  Open(cfg);
+  ASSERT_TRUE(tree_->PutUncommitted("dirty", std::string(40, 'd'), 77).ok());
+  Timestamp ts = 0;
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(tree_->Put("a", std::string(40, 'v'), ++ts).ok());
+  }
+  ASSERT_GT(tree_->counters().data_time_splits, 0u);
+  // The uncommitted record is still present, still uncommitted, on the
+  // magnetic side (checker verifies no uncommitted data in history).
+  std::string v;
+  ASSERT_TRUE(tree_->GetUncommitted("dirty", 77, &v).ok());
+  EXPECT_TRUE(Check().ok());
+}
+
+TEST_F(TsbSplitTest, WobtStylePolicyMinimizesCurrentSpace) {
+  // More time splits => smaller magnetic footprint than key-split-always,
+  // at the price of more total space (section 5 conclusions).
+  auto run = [&](SplitKindPolicy kind, double threshold) {
+    MemDevice mag;
+    WormDevice worm(512);
+    TsbOptions opts;
+    opts.page_size = 512;
+    opts.policy.kind_policy = kind;
+    opts.policy.key_split_threshold = threshold;
+    opts.policy.time_mode = SplitTimeMode::kCurrentTime;
+    std::unique_ptr<TsbTree> t;
+    EXPECT_TRUE(TsbTree::Open(&mag, &worm, opts, &t).ok());
+    Timestamp ts = 0;
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 12; ++i) {
+        EXPECT_TRUE(t->Put(Key(i), std::string(24, 'v'), ++ts).ok());
+      }
+    }
+    SpaceStats stats;
+    EXPECT_TRUE(t->ComputeSpaceStats(&stats).ok());
+    return stats;
+  };
+  SpaceStats time_heavy = run(SplitKindPolicy::kWobtStyle, 0.0);
+  SpaceStats key_heavy = run(SplitKindPolicy::kThreshold, 0.05);
+  EXPECT_LT(time_heavy.magnetic_bytes, key_heavy.magnetic_bytes);
+  EXPECT_GT(time_heavy.optical_device_bytes, key_heavy.optical_device_bytes);
+}
+
+TEST_F(TsbSplitTest, SingleKeyOverflowHandledByRepeatedTimeSplits) {
+  SplitPolicyConfig cfg;
+  Open(cfg);
+  // One key, hundreds of versions: only time splits are possible.
+  Timestamp ts = 0;
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree_->Put("solo", std::string(30, 'v'), ++ts).ok()) << i;
+  }
+  EXPECT_EQ(0u, tree_->counters().data_key_splits);
+  EXPECT_GT(tree_->counters().data_time_splits, 2u);
+  std::string v;
+  ASSERT_TRUE(tree_->GetAsOf("solo", 1, &v).ok());
+  ASSERT_TRUE(tree_->GetAsOf("solo", 200, &v).ok());
+  ASSERT_TRUE(tree_->GetCurrent("solo", &v).ok());
+  EXPECT_TRUE(Check().ok());
+}
+
+TEST_F(TsbSplitTest, MigrationIsOneNodeAtATime) {
+  // Section 3.1: "migration occurs incrementally, one node at a time, only
+  // when nodes are time-split". Every hist_data_node corresponds to one
+  // data_time_split.
+  SplitPolicyConfig cfg;
+  cfg.kind_policy = SplitKindPolicy::kWobtStyle;
+  Open(cfg);
+  Timestamp ts = 0;
+  for (int i = 0; i < 600; ++i) {
+    const int k = static_cast<int>((ts + 1) % 6);
+    ++ts;
+    ASSERT_TRUE(tree_->Put(Key(k), std::string(30, 'v'), ts).ok());
+  }
+  EXPECT_EQ(tree_->counters().data_time_splits,
+            tree_->counters().hist_data_nodes);
+  EXPECT_EQ(tree_->hist_store()->blob_count(),
+            tree_->counters().hist_data_nodes +
+                tree_->counters().hist_index_nodes);
+}
+
+}  // namespace
+}  // namespace tsb_tree
+}  // namespace tsb

@@ -1,0 +1,131 @@
+// Workload generator tests: determinism, update-fraction accuracy, key
+// lifecycle, value sizing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/workload.h"
+
+namespace tsb {
+namespace util {
+namespace {
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  spec.num_ops = 500;
+  WorkloadGenerator a(spec), b(spec);
+  Op oa, ob;
+  while (a.Next(&oa)) {
+    ASSERT_TRUE(b.Next(&ob));
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(oa.value, ob.value);
+    EXPECT_EQ(oa.ts, ob.ts);
+    EXPECT_EQ(oa.type, ob.type);
+  }
+  EXPECT_FALSE(b.Next(&ob));
+}
+
+TEST(WorkloadTest, TimestampsAreSequential) {
+  WorkloadSpec spec;
+  spec.num_ops = 100;
+  WorkloadGenerator gen(spec);
+  Op op;
+  Timestamp expect = 1;
+  while (gen.Next(&op)) {
+    EXPECT_EQ(expect++, op.ts);
+  }
+}
+
+TEST(WorkloadTest, PureInsertsCreateDistinctKeys) {
+  WorkloadSpec spec;
+  spec.num_ops = 300;
+  spec.update_fraction = 0.0;
+  WorkloadGenerator gen(spec);
+  std::set<std::string> keys;
+  Op op;
+  while (gen.Next(&op)) {
+    EXPECT_EQ(OpType::kInsert, op.type);
+    EXPECT_TRUE(keys.insert(op.key).second) << "duplicate " << op.key;
+  }
+  EXPECT_EQ(300u, gen.keys_created());
+}
+
+TEST(WorkloadTest, UpdatesTargetExistingKeys) {
+  WorkloadSpec spec;
+  spec.num_ops = 2000;
+  spec.update_fraction = 0.7;
+  WorkloadGenerator gen(spec);
+  std::set<std::string> created;
+  Op op;
+  size_t updates = 0;
+  while (gen.Next(&op)) {
+    if (op.type == OpType::kUpdate) {
+      updates++;
+      EXPECT_TRUE(created.count(op.key) > 0)
+          << "update of never-inserted key " << op.key;
+    } else {
+      created.insert(op.key);
+    }
+  }
+  // Update fraction within sampling noise.
+  const double frac = static_cast<double>(updates) / spec.num_ops;
+  EXPECT_NEAR(0.7, frac, 0.05);
+  EXPECT_EQ(created.size(), gen.keys_created());
+}
+
+TEST(WorkloadTest, VariableValueSizesStayInBand) {
+  WorkloadSpec spec;
+  spec.num_ops = 500;
+  spec.value_size = 40;
+  spec.variable_value_size = true;
+  WorkloadGenerator gen(spec);
+  Op op;
+  while (gen.Next(&op)) {
+    EXPECT_GE(op.value.size(), 20u);
+    EXPECT_LT(op.value.size(), 60u);
+  }
+}
+
+TEST(WorkloadTest, SkewedUpdatesFavorRecentKeys) {
+  WorkloadSpec spec;
+  spec.num_ops = 8000;
+  spec.update_fraction = 0.5;
+  spec.skewed_updates = true;
+  WorkloadGenerator gen(spec);
+  Op op;
+  size_t recent_hits = 0, updates = 0;
+  size_t created = 0;
+  while (gen.Next(&op)) {
+    if (op.type == OpType::kUpdate) {
+      updates++;
+      // "Recent" = newest quarter of the keys created so far.
+      const std::string threshold = gen.KeyFor(created - created / 4);
+      if (op.key >= threshold) recent_hits++;
+    } else {
+      created++;
+    }
+  }
+  ASSERT_GT(updates, 0u);
+  // Uniform would hit the newest quarter ~25% of the time; skew must beat it.
+  EXPECT_GT(static_cast<double>(recent_hits) / updates, 0.4);
+}
+
+TEST(WorkloadTest, AllMatchesIncrementalGeneration) {
+  WorkloadSpec spec;
+  spec.num_ops = 200;
+  spec.update_fraction = 0.3;
+  WorkloadGenerator a(spec);
+  std::vector<Op> all = WorkloadGenerator(spec).All();
+  ASSERT_EQ(200u, all.size());
+  Op op;
+  size_t i = 0;
+  while (a.Next(&op)) {
+    EXPECT_EQ(all[i].key, op.key);
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace tsb
