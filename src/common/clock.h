@@ -9,6 +9,7 @@
 #ifndef TSBTREE_COMMON_CLOCK_H_
 #define TSBTREE_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace tsb {
@@ -35,24 +36,57 @@ using TxnId = uint64_t;
 inline constexpr TxnId kNoTxn = 0;
 
 /// Strictly monotonic logical clock issuing commit timestamps.
+///
+/// Lock-free (paper section 4.1): read-only transactions capture their
+/// start timestamp with a single atomic load, updaters advance the clock
+/// with atomic RMW ops. No reader ever blocks on the clock.
+///
+/// The clock keeps TWO values. `Now()` is the allocator — the latest
+/// timestamp handed out, used for split-time decisions. `Visible()` is
+/// the committed watermark readers snapshot at: every commit with ts <=
+/// Visible() is fully stamped (all its keys, all its index maintenance).
+/// Updaters Publish() a timestamp only after the data stamped with it is
+/// completely in place, which is what makes the paper's guarantee hold:
+/// no updater can commit at or before an already-issued read timestamp.
 class LogicalClock {
  public:
-  explicit LogicalClock(Timestamp start = 0) : now_(start) {}
+  explicit LogicalClock(Timestamp start = 0)
+      : now_(start), visible_(start) {}
 
   /// Issues the next commit timestamp (strictly increasing).
-  Timestamp Tick() { return ++now_; }
+  Timestamp Tick() { return now_.fetch_add(1, std::memory_order_acq_rel) + 1; }
 
   /// The latest issued timestamp ("current time" in split decisions).
-  Timestamp Now() const { return now_; }
+  /// May exceed Visible() while a commit is in flight. Wait-free.
+  Timestamp Now() const { return now_.load(std::memory_order_acquire); }
 
-  /// Advances the clock to at least `t` (used when replaying workloads with
-  /// externally chosen timestamps).
+  /// The committed watermark: the start timestamp for lock-free readers.
+  /// Wait-free.
+  Timestamp Visible() const {
+    return visible_.load(std::memory_order_acquire);
+  }
+
+  /// Declares every timestamp <= `t` fully committed (monotone advance;
+  /// call only after the stamped data is reader-reachable).
+  void Publish(Timestamp t) {
+    Timestamp cur = visible_.load(std::memory_order_relaxed);
+    while (t > cur && !visible_.compare_exchange_weak(
+                          cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Advances the allocator to at least `t` (used when replaying
+  /// workloads with externally chosen timestamps).
   void AdvanceTo(Timestamp t) {
-    if (t > now_) now_ = t;
+    Timestamp cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
   }
 
  private:
-  Timestamp now_;
+  std::atomic<Timestamp> now_;
+  std::atomic<Timestamp> visible_;
 };
 
 }  // namespace tsb

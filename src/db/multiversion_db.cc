@@ -34,7 +34,10 @@ Status MultiVersionDB::Put(const Slice& key, const Slice& value,
 
 Status MultiVersionDB::Get(const Slice& key, std::string* value,
                            Timestamp* ts) {
-  return tree_->GetCurrent(key, value, ts);
+  // Read at the committed watermark, not the raw current axis: a reader
+  // must never observe the partial stamps of an in-flight (or failed)
+  // transaction. Quiesced, this is identical to a latest-version read.
+  return tree_->GetAsOf(key, tree_->VisibleNow(), value, ts);
 }
 
 Status MultiVersionDB::GetAsOf(const Slice& key, Timestamp t,

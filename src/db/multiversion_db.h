@@ -34,7 +34,17 @@ using KeyExtractor =
     std::function<std::optional<std::string>(const Slice& value)>;
 
 /// A multiversion database over one primary TSB-tree.
-/// Single-threaded; transactions may interleave but calls must not race.
+///
+/// Thread model (paper section 4.1):
+///  - Reads (Get, GetAsOf, BeginReadOnly, iterators, FindBySecondaryAsOf)
+///    are safe from any number of threads and never block on updaters:
+///    read-only transactions capture a timestamp with one atomic load and
+///    descend the tree under shared page latches only.
+///  - Writes (Put, transactions) are safe from multiple threads; the tree
+///    serializes page mutations internally (single-writer discipline) and
+///    the lock table resolves write-write conflicts first-writer-wins.
+///  - CreateSecondaryIndex must complete before concurrent writes begin
+///    (index registration is not latched — it is a schema operation).
 class MultiVersionDB {
  public:
   /// `magnetic` and `historical` back the PRIMARY index and must outlive
@@ -101,7 +111,9 @@ class MultiVersionDB {
 
   tsb_tree::TsbTree* primary() { return tree_.get(); }
   txn::TxnManager* txn_manager() { return txns_.get(); }
-  Timestamp Now() const { return tree_->Now(); }
+  /// Committed watermark — the time at which as-of queries see every
+  /// finished transaction and no in-flight one.
+  Timestamp Now() const { return tree_->VisibleNow(); }
 
  private:
   explicit MultiVersionDB(const DbOptions& options) : options_(options) {}

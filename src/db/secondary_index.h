@@ -38,7 +38,10 @@ bool DecodeCompositeKey(const Slice& composite, std::string* secondary,
 /// Lower bound of the range of composite keys with secondary key `s`.
 std::string CompositePrefix(const Slice& secondary);
 
-/// A secondary index over a primary TSB-tree.
+/// A secondary index over a primary TSB-tree. Thread-safe with the same
+/// guarantees as the underlying TsbTree: lock-free timestamped lookups,
+/// serialized updates (Add/Remove run inside the commit hook, on the
+/// committing transaction's thread).
 class SecondaryIndex {
  public:
   /// `tree` is the index's own TSB-tree (the index spans both devices just

@@ -29,6 +29,7 @@ Status AppendStore::Append(const Slice& payload, HistAddr* addr) {
              crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
   frame.append(payload.data(), payload.size());
 
+  std::lock_guard<std::mutex> lock(append_mu_);
   const uint64_t offset = AlignUp(next_offset_);
   TSB_RETURN_IF_ERROR(device_->Write(offset, frame));
   addr->offset = offset;
@@ -41,6 +42,7 @@ Status AppendStore::Append(const Slice& payload, HistAddr* addr) {
 
 Status AppendStore::Read(const HistAddr& addr, std::string* payload) {
   if (cache_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache_.find(addr.offset);
     if (it != cache_.end()) {
       cache_lru_.erase(it->second.lru_pos);
@@ -70,13 +72,18 @@ Status AppendStore::Read(const HistAddr& addr, std::string* payload) {
   }
 
   if (cache_capacity_ > 0) {
-    while (cache_.size() >= cache_capacity_) {
-      const uint64_t victim = cache_lru_.back();
-      cache_lru_.pop_back();
-      cache_.erase(victim);
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    // A concurrent reader may have inserted the same blob while we read it
+    // from the device; emplace is a no-op then.
+    if (cache_.find(addr.offset) == cache_.end()) {
+      while (cache_.size() >= cache_capacity_) {
+        const uint64_t victim = cache_lru_.back();
+        cache_lru_.pop_back();
+        cache_.erase(victim);
+      }
+      cache_lru_.push_front(addr.offset);
+      cache_.emplace(addr.offset, CacheEntry{*payload, cache_lru_.begin()});
     }
-    cache_lru_.push_front(addr.offset);
-    cache_.emplace(addr.offset, CacheEntry{*payload, cache_lru_.begin()});
   }
   return Status::OK();
 }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -35,6 +36,10 @@ struct HistAddr {
 /// Append-only store of checksummed variable-length blobs, with a small
 /// LRU read cache (historical data is read-mostly and slow; the cache
 /// models a modest staging buffer, not the magnetic-disk buffer pool).
+///
+/// Thread-safe: appends are serialized by a mutex; concurrent reads share
+/// the device (blobs are immutable once written) and the read cache is
+/// latch-guarded.
 class AppendStore {
  public:
   /// `device` outlives the store. If the device is a WORM, appends start at
@@ -50,14 +55,29 @@ class AppendStore {
   Status Read(const HistAddr& addr, std::string* payload);
 
   /// Total bytes of payload appended (excludes framing and sector residue).
-  uint64_t payload_bytes() const { return payload_bytes_; }
+  uint64_t payload_bytes() const {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    return payload_bytes_;
+  }
   /// Total bytes consumed on the device (framing + alignment included).
-  uint64_t device_bytes() const { return next_offset_; }
+  uint64_t device_bytes() const {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    return next_offset_;
+  }
   /// Number of blobs appended.
-  uint64_t blob_count() const { return blob_count_; }
+  uint64_t blob_count() const {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    return blob_count_;
+  }
 
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t cache_misses() const { return cache_misses_; }
+  uint64_t cache_hits() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_hits_;
+  }
+  uint64_t cache_misses() const {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    return cache_misses_;
+  }
 
   Device* device() const { return device_; }
 
@@ -68,11 +88,14 @@ class AppendStore {
 
   Device* device_;
   uint32_t sector_size_;  // 0 => no alignment (erasable device)
+
+  mutable std::mutex append_mu_;  // guards the append cursor and counters
   uint64_t next_offset_ = 0;
   uint64_t payload_bytes_ = 0;
   uint64_t blob_count_ = 0;
 
-  // Tiny LRU read cache keyed by offset.
+  // Tiny LRU read cache keyed by offset, latch-guarded.
+  mutable std::mutex cache_mu_;
   size_t cache_capacity_;
   std::list<uint64_t> cache_lru_;
   struct CacheEntry {

@@ -1,144 +1,294 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <iterator>
 
 namespace tsb {
+
+namespace {
+
+// Shards only kick in for pools large enough that per-shard LRU cannot
+// distort eviction behaviour; small pools (unit tests, tools) keep the
+// exact global-LRU semantics of a single shard.
+size_t PickShardCount(size_t capacity) {
+  size_t shards = 1;
+  while (shards < 16 && capacity / (shards * 2) >= 32) shards *= 2;
+  return shards;
+}
+
+}  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
   if (this != &o) {
     Release();
     pool_ = o.pool_;
+    frame_ = o.frame_;
     id_ = o.id_;
     data_ = o.data_;
+    mode_ = o.mode_;
     o.pool_ = nullptr;
+    o.frame_ = nullptr;
     o.data_ = nullptr;
+    o.mode_ = LatchMode::kNone;
   }
   return *this;
 }
 
 void PageHandle::MarkDirty() {
-  if (pool_ != nullptr) {
-    auto it = pool_->frames_.find(id_);
-    if (it != pool_->frames_.end()) it->second.dirty = true;
+  if (frame_ != nullptr) {
+    static_cast<BufferPool::Frame*>(frame_)->dirty.store(
+        true, std::memory_order_release);
   }
 }
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(id_, /*dirty=*/false);
+    auto* frame = static_cast<BufferPool::Frame*>(frame_);
+    switch (mode_) {
+      case LatchMode::kShared:
+        frame->latch.unlock_shared();
+        break;
+      case LatchMode::kExclusive:
+        frame->latch.unlock();
+        break;
+      case LatchMode::kNone:
+        break;
+    }
+    pool_->Unpin(frame);
     pool_ = nullptr;
+    frame_ = nullptr;
     data_ = nullptr;
+    mode_ = LatchMode::kNone;
   }
 }
 
-BufferPool::BufferPool(Pager* pager, size_t capacity)
-    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {}
+BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
+  if (capacity == 0) capacity = 1;
+  num_shards_ = PickShardCount(capacity);
+  shard_capacity_ = capacity / num_shards_;
+  if (shard_capacity_ == 0) shard_capacity_ = 1;
+  shards_.reset(new Shard[num_shards_]);
+}
 
 BufferPool::~BufferPool() { FlushAll(); }
 
-Status BufferPool::Fetch(uint32_t id, PageHandle* handle) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    Frame& f = it->second;
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
+Status BufferPool::PinFrame(uint32_t id, Frame** out) {
+  Shard& shard = ShardFor(id);
+  Frame* f = nullptr;
+  bool load_here = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      f = &it->second;
+      if (f->in_lru) {
+        shard.lru.erase(f->lru_pos);
+        f->in_lru = false;
+      }
+      f->pins++;
+      shard.stats.hits++;
+    } else {
+      shard.stats.misses++;
+      TSB_RETURN_IF_ERROR(EvictIfNeeded(&shard));
+      f = &shard.frames[id];  // constructed in place; map nodes are stable
+      f->id = id;
+      f->data.reset(new char[pager_->page_size()]);
+      f->pins = 1;
+      // The device read happens OUTSIDE the shard mutex so other pins in
+      // this shard don't stall behind the I/O. The frame is published
+      // pinned + exclusively latched + marked loading; concurrent
+      // fetchers of the same page pin it and wait on the latch.
+      f->loading.store(true, std::memory_order_release);
+      f->latch.lock();  // uncontended: the frame was just created
+      load_here = true;
     }
-    f.pins++;
-    stats_.hits++;
-    *handle = PageHandle(this, id, f.data.get());
-    return Status::OK();
   }
-  stats_.misses++;
-  TSB_RETURN_IF_ERROR(EvictIfNeeded());
-  Frame f;
-  f.id = id;
-  f.data.reset(new char[pager_->page_size()]);
-  TSB_RETURN_IF_ERROR(pager_->Read(id, f.data.get()));
-  f.pins = 1;
-  auto [pos, inserted] = frames_.emplace(id, std::move(f));
-  assert(inserted);
-  (void)inserted;
-  *handle = PageHandle(this, id, pos->second.data.get());
+  if (load_here) {
+    Status s = pager_->Read(id, f->data.get());
+    if (!s.ok()) f->load_failed.store(true, std::memory_order_release);
+    f->loading.store(false, std::memory_order_release);
+    f->latch.unlock();
+    if (!s.ok()) {
+      UnpinDiscard(f);
+      return s;
+    }
+  } else if (f->loading.load(std::memory_order_acquire)) {
+    // Wait for the loader to finish by passing through the latch.
+    f->latch.lock_shared();
+    f->latch.unlock_shared();
+  }
+  if (f->load_failed.load(std::memory_order_acquire)) {
+    UnpinDiscard(f);
+    return Status::IOError("page load failed", std::to_string(id));
+  }
+  *out = f;
+  return Status::OK();
+}
+
+// Drops a pin on a frame whose load failed; the last pinner removes the
+// frame so the bad page never enters the LRU.
+void BufferPool::UnpinDiscard(Frame* frame) {
+  Shard& shard = ShardFor(frame->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  assert(frame->pins > 0);
+  if (--frame->pins == 0) {
+    shard.frames.erase(frame->id);
+  }
+}
+
+Status BufferPool::Fetch(uint32_t id, PageHandle* handle) {
+  Frame* f = nullptr;
+  TSB_RETURN_IF_ERROR(PinFrame(id, &f));
+  *handle = PageHandle(this, f, id, f->data.get(), LatchMode::kNone);
+  return Status::OK();
+}
+
+Status BufferPool::FetchShared(uint32_t id, PageHandle* handle) {
+  Frame* f = nullptr;
+  TSB_RETURN_IF_ERROR(PinFrame(id, &f));
+  f->latch.lock_shared();  // outside the shard mutex: may block on writer
+  *handle = PageHandle(this, f, id, f->data.get(), LatchMode::kShared);
+  return Status::OK();
+}
+
+Status BufferPool::FetchExclusive(uint32_t id, PageHandle* handle) {
+  Frame* f = nullptr;
+  TSB_RETURN_IF_ERROR(PinFrame(id, &f));
+  f->latch.lock();  // outside the shard mutex: may block on readers
+  *handle = PageHandle(this, f, id, f->data.get(), LatchMode::kExclusive);
   return Status::OK();
 }
 
 Status BufferPool::New(PageType type, PageHandle* handle) {
   uint32_t id = 0;
   TSB_RETURN_IF_ERROR(pager_->Alloc(&id));
-  TSB_RETURN_IF_ERROR(EvictIfNeeded());
-  Frame f;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  TSB_RETURN_IF_ERROR(EvictIfNeeded(&shard));
+  Frame& f = shard.frames[id];
   f.id = id;
   f.data.reset(new char[pager_->page_size()]);
   InitPage(f.data.get(), pager_->page_size(), id, type);
   f.pins = 1;
-  f.dirty = true;
-  auto [pos, inserted] = frames_.emplace(id, std::move(f));
-  assert(inserted);
-  (void)inserted;
-  *handle = PageHandle(this, id, pos->second.data.get());
+  f.dirty.store(true, std::memory_order_release);
+  *handle = PageHandle(this, &f, id, f.data.get(), LatchMode::kNone);
   return Status::OK();
 }
 
 Status BufferPool::Flush(uint32_t id) {
-  auto it = frames_.find(id);
-  if (it == frames_.end()) return Status::OK();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) return Status::OK();
   return WriteBack(&it->second);
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [id, f] : frames_) {
-    TSB_RETURN_IF_ERROR(WriteBack(&f));
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, f] : shard.frames) {
+      TSB_RETURN_IF_ERROR(WriteBack(&f));
+    }
   }
   return Status::OK();
 }
 
 Status BufferPool::Drop(uint32_t id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    Frame& f = it->second;
-    if (f.pins > 0) {
-      return Status::Busy("Drop of pinned page", std::to_string(id));
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame& f = it->second;
+      if (f.pins > 0) {
+        return Status::Busy("Drop of pinned page", std::to_string(id));
+      }
+      if (f.in_lru) shard.lru.erase(f.lru_pos);
+      shard.frames.erase(it);
     }
-    if (f.in_lru) lru_.erase(f.lru_pos);
-    frames_.erase(it);
   }
   return pager_->Free(id);
 }
 
-void BufferPool::Unpin(uint32_t id, bool dirty) {
-  auto it = frames_.find(id);
-  if (it == frames_.end()) return;
-  Frame& f = it->second;
-  if (dirty) f.dirty = true;
-  assert(f.pins > 0);
-  if (--f.pins == 0) {
-    lru_.push_front(id);
-    f.lru_pos = lru_.begin();
-    f.in_lru = true;
+void BufferPool::Unpin(Frame* frame) {
+  Shard& shard = ShardFor(frame->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  assert(frame->pins > 0);
+  if (--frame->pins == 0) {
+    shard.lru.push_front(frame->id);
+    frame->lru_pos = shard.lru.begin();
+    frame->in_lru = true;
   }
 }
 
-Status BufferPool::EvictIfNeeded() {
-  while (frames_.size() >= capacity_ && !lru_.empty()) {
-    const uint32_t victim = lru_.back();
-    lru_.pop_back();
-    auto it = frames_.find(victim);
-    assert(it != frames_.end() && it->second.pins == 0);
+Status BufferPool::EvictIfNeeded(Shard* shard) {
+  while (shard->frames.size() >= shard_capacity_ && !shard->lru.empty()) {
+    // Prefer the coldest CLEAN frame: it evicts without device I/O, so
+    // the shard mutex (held by our caller) is never stretched across a
+    // write-back on the common read path. Only when every unpinned frame
+    // is dirty do we pay a write under the mutex.
+    auto victim_pos = shard->lru.end();
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      Frame& f = shard->frames.at(*it);
+      if (!f.dirty.load(std::memory_order_acquire)) {
+        victim_pos = std::next(it).base();
+        break;
+      }
+    }
+    if (victim_pos == shard->lru.end()) {
+      victim_pos = std::prev(shard->lru.end());  // all dirty: LRU tail
+    }
+    const uint32_t victim = *victim_pos;
+    shard->lru.erase(victim_pos);
+    auto it = shard->frames.find(victim);
+    assert(it != shard->frames.end() && it->second.pins == 0);
+    it->second.in_lru = false;
     TSB_RETURN_IF_ERROR(WriteBack(&it->second));
-    frames_.erase(it);
-    stats_.evictions++;
+    shard->frames.erase(it);
+    shard->stats.evictions++;
   }
   // If everything is pinned we silently over-allocate; correctness first.
   return Status::OK();
 }
 
 Status BufferPool::WriteBack(Frame* f) {
-  if (!f->dirty) return Status::OK();
+  if (!f->dirty.load(std::memory_order_acquire)) return Status::OK();
   TSB_RETURN_IF_ERROR(pager_->Write(f->id, f->data.get()));
-  f->dirty = false;
-  stats_.dirty_writebacks++;
+  f->dirty.store(false, std::memory_order_release);
+  ShardFor(f->id).stats.dirty_writebacks++;
   return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+    total.dirty_writebacks += shard.stats.dirty_writebacks;
+  }
+  return total;
+}
+
+size_t BufferPool::resident_frames() const {
+  size_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.frames.size();
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats = BufferPoolStats{};
+  }
 }
 
 }  // namespace tsb

@@ -1,14 +1,31 @@
-// Buffer pool: LRU page cache over a Pager with pin/unpin handles.
+// Buffer pool: shard-partitioned LRU page cache over a Pager with pin/unpin
+// handles and per-frame reader/writer latches.
 //
-// Single-threaded (the 1989 design is a single-site access method; the
-// paper's concurrency story is timestamp-based read-only transactions, not
-// latching). Dirty frames are written back on eviction and FlushAll.
+// Thread model (paper section 4.1: one updater, many lock-free timestamped
+// readers):
+//  - The hash table and LRU lists are partitioned into shards, each guarded
+//    by its own mutex; lookups and pin-count changes hold only the shard
+//    mutex.
+//  - Every frame carries a reader/writer latch. FetchShared pins the frame
+//    and acquires the latch shared (concurrent readers proceed in
+//    parallel); FetchExclusive acquires it exclusively (the single updater
+//    mutating the page). Latches are acquired AFTER pinning and outside the
+//    shard mutex, so a blocked latch never stalls the shard.
+//  - Fetch (no latch) remains for strictly single-threaded users (the B+
+//    and WOBT comparison trees, quiesced maintenance walks).
+//
+// Dirty frames are written back on eviction and FlushAll. When every frame
+// of a shard is pinned the pool temporarily over-allocates rather than
+// fail.
 #ifndef TSBTREE_STORAGE_BUFFER_POOL_H_
 #define TSBTREE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -18,8 +35,12 @@ namespace tsb {
 
 class BufferPool;
 
-/// RAII pin on a cached page. While a handle is live the frame cannot be
-/// evicted. Movable, not copyable.
+/// Latch held by a PageHandle on its frame.
+enum class LatchMode : uint8_t { kNone = 0, kShared = 1, kExclusive = 2 };
+
+/// RAII pin (and optional latch) on a cached page. While a handle is live
+/// the frame cannot be evicted; a latched handle additionally excludes (or
+/// shares with) other latch holders. Movable, not copyable.
 class PageHandle {
  public:
   PageHandle() = default;
@@ -33,21 +54,25 @@ class PageHandle {
   uint32_t id() const { return id_; }
   char* data() { return data_; }
   const char* data() const { return data_; }
+  LatchMode latch_mode() const { return mode_; }
 
   /// Marks the frame dirty so eviction/flush writes it back.
   void MarkDirty();
 
-  /// Drops the pin early.
+  /// Drops the latch (if any) and the pin early.
   void Release();
 
  private:
   friend class BufferPool;
-  PageHandle(BufferPool* pool, uint32_t id, char* data)
-      : pool_(pool), id_(id), data_(data) {}
+  PageHandle(BufferPool* pool, void* frame, uint32_t id, char* data,
+             LatchMode mode)
+      : pool_(pool), frame_(frame), id_(id), data_(data), mode_(mode) {}
 
   BufferPool* pool_ = nullptr;
+  void* frame_ = nullptr;  // Frame*, opaque to keep Frame private
   uint32_t id_ = 0;
   char* data_ = nullptr;
+  LatchMode mode_ = LatchMode::kNone;
 };
 
 /// Statistics for cache behaviour (benchmarks report these).
@@ -58,8 +83,8 @@ struct BufferPoolStats {
   uint64_t dirty_writebacks = 0;
 };
 
-/// LRU buffer pool. `capacity` is the number of resident frames; when all
-/// frames are pinned the pool temporarily over-allocates rather than fail.
+/// Sharded LRU buffer pool. `capacity` is the total number of resident
+/// frames across all shards.
 class BufferPool {
  public:
   BufferPool(Pager* pager, size_t capacity);
@@ -68,17 +93,27 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Fetches page `id` through the cache (reads on miss) and pins it.
+  /// Fetches page `id` through the cache (reads on miss) and pins it
+  /// without latching — single-threaded callers only.
   Status Fetch(uint32_t id, PageHandle* handle);
 
+  /// Fetches and pins page `id`, then acquires its frame latch shared.
+  /// Concurrent FetchShared calls on the same page proceed in parallel.
+  Status FetchShared(uint32_t id, PageHandle* handle);
+
+  /// Fetches and pins page `id`, then acquires its frame latch exclusively
+  /// (blocks until all shared holders release).
+  Status FetchExclusive(uint32_t id, PageHandle* handle);
+
   /// Allocates a fresh page, initializes its header to `type`, pins it and
-  /// marks it dirty.
+  /// marks it dirty. The page is invisible to other threads until the
+  /// caller links it into a shared structure, so no latch is taken.
   Status New(PageType type, PageHandle* handle);
 
   /// Writes back a dirty frame now (keeps it cached).
   Status Flush(uint32_t id);
 
-  /// Writes back every dirty frame.
+  /// Writes back every dirty frame. Must not race with page mutators.
   Status FlushAll();
 
   /// Drops page `id` from the cache (must be unpinned) and frees it in the
@@ -86,9 +121,12 @@ class BufferPool {
   Status Drop(uint32_t id);
 
   Pager* pager() const { return pager_; }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
-  size_t resident_frames() const { return frames_.size(); }
+
+  /// Aggregated snapshot across shards (exact only when quiesced).
+  BufferPoolStats stats() const;
+  void ResetStats();
+  size_t resident_frames() const;
+  size_t shard_count() const { return num_shards_; }
 
  private:
   friend class PageHandle;
@@ -96,21 +134,38 @@ class BufferPool {
   struct Frame {
     uint32_t id = 0;
     std::unique_ptr<char[]> data;
-    int pins = 0;
-    bool dirty = false;
+    int pins = 0;                    // guarded by the shard mutex
+    std::atomic<bool> dirty{false};
+    std::atomic<bool> loading{false};  // device read in flight
+    std::atomic<bool> load_failed{false};
+    std::shared_mutex latch;         // page-content reader/writer latch
     std::list<uint32_t>::iterator lru_pos;  // valid iff pins == 0
     bool in_lru = false;
   };
 
-  void Unpin(uint32_t id, bool dirty);
-  Status EvictIfNeeded();
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint32_t, Frame> frames;
+    std::list<uint32_t> lru;  // front = most recent
+    BufferPoolStats stats;
+  };
+
+  Shard& ShardFor(uint32_t id) { return shards_[id % num_shards_]; }
+
+  /// Looks up or loads `id` in its shard and pins it. Returns the frame.
+  /// Miss-path device reads run outside the shard mutex (frames are
+  /// published pinned + latched + `loading`; concurrent fetchers wait on
+  /// the frame latch, not the shard).
+  Status PinFrame(uint32_t id, Frame** out);
+  void Unpin(Frame* frame);
+  void UnpinDiscard(Frame* frame);
+  Status EvictIfNeeded(Shard* shard);
   Status WriteBack(Frame* f);
 
   Pager* pager_;
-  size_t capacity_;
-  std::unordered_map<uint32_t, Frame> frames_;
-  std::list<uint32_t> lru_;  // front = most recent
-  BufferPoolStats stats_;
+  size_t shard_capacity_;
+  size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace tsb

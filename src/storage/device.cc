@@ -31,12 +31,14 @@ void Device::AccountAccess(uint64_t offset, size_t n) {
 }
 
 void Device::AccountRead(uint64_t offset, size_t n) {
+  std::lock_guard<std::mutex> lock(account_mu_);
   AccountAccess(offset, n);
   stats_.reads++;
   stats_.bytes_read += n;
 }
 
 void Device::AccountWrite(uint64_t offset, size_t n) {
+  std::lock_guard<std::mutex> lock(account_mu_);
   AccountAccess(offset, n);
   stats_.writes++;
   stats_.bytes_written += n;

@@ -10,6 +10,7 @@
 #define TSBTREE_STORAGE_DEVICE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/slice.h"
@@ -59,13 +60,18 @@ class Device {
   DeviceKind kind() const { return kind_; }
   const CostParams& cost_params() const { return params_; }
 
+  /// Racy under concurrent I/O; read quiesced (or after joining workers)
+  /// for exact numbers.
   const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(account_mu_);
+    stats_.Reset();
+  }
 
  protected:
   /// Subclasses call these from Read/Write to maintain counters and the
   /// simulated clock. An access is a "seek" when it does not begin where
-  /// the previous access ended.
+  /// the previous access ended. Thread-safe (internal accounting mutex).
   void AccountRead(uint64_t offset, size_t n);
   void AccountWrite(uint64_t offset, size_t n);
 
@@ -74,6 +80,7 @@ class Device {
 
   DeviceKind kind_;
   CostParams params_;
+  mutable std::mutex account_mu_;  // guards stats_, last_end_, mounted_
   IoStats stats_;
   uint64_t last_end_ = UINT64_MAX;  // offset following the previous access
   bool mounted_ = false;

@@ -29,7 +29,7 @@ Status FileDevice::Open(const std::string& path, FileDevice** out,
 }
 
 Status FileDevice::Read(uint64_t offset, size_t n, char* scratch) {
-  if (offset + n > size_) {
+  if (offset + n > size_.load(std::memory_order_acquire)) {
     return Status::IOError("FileDevice read past end");
   }
   size_t done = 0;
@@ -58,7 +58,11 @@ Status FileDevice::Write(uint64_t offset, const Slice& data) {
     }
     done += static_cast<size_t>(w);
   }
-  if (offset + data.size() > size_) size_ = offset + data.size();
+  const uint64_t end = offset + data.size();
+  uint64_t cur = size_.load(std::memory_order_relaxed);
+  while (end > cur &&
+         !size_.compare_exchange_weak(cur, end, std::memory_order_release)) {
+  }
   AccountWrite(offset, data.size());
   return Status::OK();
 }
@@ -67,7 +71,7 @@ Status FileDevice::Truncate(uint64_t size) {
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return Status::IOError("ftruncate", strerror(errno));
   }
-  size_ = size;
+  size_.store(size, std::memory_order_release);
   return Status::OK();
 }
 

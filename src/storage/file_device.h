@@ -2,6 +2,7 @@
 #ifndef TSBTREE_STORAGE_FILE_DEVICE_H_
 #define TSBTREE_STORAGE_FILE_DEVICE_H_
 
+#include <atomic>
 #include <string>
 
 #include "storage/device.h"
@@ -9,6 +10,8 @@
 namespace tsb {
 
 /// Erasable device backed by a POSIX file (pread/pwrite).
+/// Thread-safe: pread/pwrite are atomic at the OS level; the size
+/// high-water mark is maintained with atomics.
 class FileDevice : public Device {
  public:
   ~FileDevice() override;
@@ -21,7 +24,7 @@ class FileDevice : public Device {
 
   Status Read(uint64_t offset, size_t n, char* scratch) override;
   Status Write(uint64_t offset, const Slice& data) override;
-  uint64_t Size() const override { return size_; }
+  uint64_t Size() const override { return size_.load(std::memory_order_acquire); }
   Status Truncate(uint64_t size) override;
   Status Sync() override;
 
@@ -30,7 +33,7 @@ class FileDevice : public Device {
       : Device(kind, params), fd_(fd), size_(size) {}
 
   int fd_;
-  uint64_t size_;
+  std::atomic<uint64_t> size_;
 };
 
 }  // namespace tsb

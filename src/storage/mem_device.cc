@@ -5,24 +5,31 @@
 namespace tsb {
 
 Status MemDevice::Read(uint64_t offset, size_t n, char* scratch) {
-  if (offset + n > buf_.size()) {
-    return Status::IOError("MemDevice read past end");
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (offset + n > buf_.size()) {
+      return Status::IOError("MemDevice read past end");
+    }
+    memcpy(scratch, buf_.data() + offset, n);
   }
-  memcpy(scratch, buf_.data() + offset, n);
   AccountRead(offset, n);
   return Status::OK();
 }
 
 Status MemDevice::Write(uint64_t offset, const Slice& data) {
-  if (offset + data.size() > buf_.size()) {
-    buf_.resize(offset + data.size(), 0);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (offset + data.size() > buf_.size()) {
+      buf_.resize(offset + data.size(), 0);
+    }
+    memcpy(buf_.data() + offset, data.data(), data.size());
   }
-  memcpy(buf_.data() + offset, data.data(), data.size());
   AccountWrite(offset, data.size());
   return Status::OK();
 }
 
 Status MemDevice::Truncate(uint64_t size) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   buf_.resize(size, 0);
   return Status::OK();
 }

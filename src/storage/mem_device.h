@@ -2,6 +2,7 @@
 #ifndef TSBTREE_STORAGE_MEM_DEVICE_H_
 #define TSBTREE_STORAGE_MEM_DEVICE_H_
 
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/device.h"
@@ -9,6 +10,8 @@
 namespace tsb {
 
 /// Byte-addressable erasable device backed by a growable buffer.
+/// Thread-safe: reads take a shared latch, writes (which may reallocate the
+/// buffer) an exclusive one.
 class MemDevice : public Device {
  public:
   explicit MemDevice(DeviceKind kind = DeviceKind::kMagnetic,
@@ -17,10 +20,14 @@ class MemDevice : public Device {
 
   Status Read(uint64_t offset, size_t n, char* scratch) override;
   Status Write(uint64_t offset, const Slice& data) override;
-  uint64_t Size() const override { return buf_.size(); }
+  uint64_t Size() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return buf_.size();
+  }
   Status Truncate(uint64_t size) override;
 
  private:
+  mutable std::shared_mutex mu_;
   std::vector<char> buf_;
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/coding.h"
+#include "common/logger.h"
 
 namespace tsb {
 
@@ -22,6 +23,7 @@ Pager::Pager(Device* device, uint32_t page_size)
 }
 
 Status Pager::Alloc(uint32_t* page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!free_list_.empty()) {
     *page_id = free_list_.back();
     free_list_.pop_back();
@@ -32,6 +34,7 @@ Status Pager::Alloc(uint32_t* page_id) {
 }
 
 Status Pager::Free(uint32_t page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id == kInvalidPageId || page_id >= next_page_) {
     return Status::InvalidArgument("Free of invalid page",
                                    std::to_string(page_id));
@@ -53,12 +56,21 @@ Status Pager::Write(uint32_t id, char* buf) {
 }
 
 void Pager::EncodeFreeList(std::string* out, size_t max_bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const size_t header = 4;
   size_t fit = max_bytes > header ? (max_bytes - header) / 4 : 0;
   if (fit > free_list_.size()) fit = free_list_.size();
   PutFixed32(out, static_cast<uint32_t>(fit));
   for (size_t i = 0; i < fit; ++i) {
     PutFixed32(out, free_list_[i]);
+  }
+  last_encode_leaked_ = free_list_.size() - fit;
+  if (last_encode_leaked_ > 0) {
+    TSB_LOG_WARN(
+        "free list overflow: %llu of %llu free pages do not fit in %zu "
+        "meta bytes and leak until the pages are freed again",
+        static_cast<unsigned long long>(last_encode_leaked_),
+        static_cast<unsigned long long>(free_list_.size()), max_bytes);
   }
 }
 
@@ -69,6 +81,7 @@ Status Pager::DecodeFreeList(Slice in) {
   if (in.size() < static_cast<size_t>(count) * 4) {
     return Status::Corruption("free list truncated");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   free_list_.clear();
   for (uint32_t i = 0; i < count; ++i) {
     const uint32_t id = DecodeFixed32(in.data() + static_cast<size_t>(i) * 4);

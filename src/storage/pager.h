@@ -3,10 +3,14 @@
 // Page 0 is a reserved meta page (trees persist their root pointer and
 // counters there). Freed pages go on a free list and are reused — this is
 // the "erasable medium" capability the current database depends on.
+//
+// Thread-safe: allocation, free-list mutation and the counters are guarded
+// by an internal mutex; page I/O delegates to the (thread-safe) Device.
 #ifndef TSBTREE_STORAGE_PAGER_H_
 #define TSBTREE_STORAGE_PAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -42,10 +46,14 @@ class Pager {
   Status WriteMeta(char* buf);
 
   /// Number of page slots ever allocated (excluding meta).
-  uint32_t high_water_pages() const { return next_page_ - 1; }
+  uint32_t high_water_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_page_ - 1;
+  }
   /// Currently live pages (allocated minus freed, excluding meta).
   uint32_t live_pages() const {
-    return high_water_pages() - static_cast<uint32_t>(free_list_.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    return (next_page_ - 1) - static_cast<uint32_t>(free_list_.size());
   }
   /// Bytes of magnetic storage occupied by live pages.
   uint64_t live_bytes() const {
@@ -53,9 +61,18 @@ class Pager {
   }
 
   /// Serializes the free list (for owners to persist in their meta page).
-  /// At most `max_bytes` are written; pages that do not fit leak until the
-  /// next reopen-free cycle (bounded meta space).
+  /// At most `max_bytes` are written; pages that do not fit LEAK until the
+  /// next reopen-free cycle (bounded meta space). Leaks are logged and
+  /// counted — see leaked_free_pages().
   void EncodeFreeList(std::string* out, size_t max_bytes) const;
+
+  /// Free pages dropped by the most recent EncodeFreeList because they did
+  /// not fit in the caller's meta budget (0 when everything fit). Surfaced
+  /// in SpaceStats so space accounting shows the loss.
+  uint64_t leaked_free_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_encode_leaked_;
+  }
 
   /// Restores a free list written by EncodeFreeList. Ignores ids outside
   /// the allocated range (robust to stale meta).
@@ -64,8 +81,10 @@ class Pager {
  private:
   Device* device_;
   uint32_t page_size_;
+  mutable std::mutex mu_;   // guards next_page_, free_list_, leak counter
   uint32_t next_page_ = 1;  // 0 is meta
   std::vector<uint32_t> free_list_;
+  mutable uint64_t last_encode_leaked_ = 0;
 };
 
 }  // namespace tsb

@@ -5,20 +5,32 @@
 namespace tsb {
 
 Status WormDevice::Read(uint64_t offset, size_t n, char* scratch) {
-  if (offset + n > buf_.size()) {
-    return Status::IOError("WormDevice read past end");
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (offset + n > buf_.size()) {
+      return Status::IOError("WormDevice read past end");
+    }
+    memcpy(scratch, buf_.data() + offset, n);
   }
-  memcpy(scratch, buf_.data() + offset, n);
   AccountRead(offset, n);
   return Status::OK();
 }
 
 Status WormDevice::Write(uint64_t offset, const Slice& data) {
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    TSB_RETURN_IF_ERROR(WriteLocked(offset, data));
+  }
+  if (!data.empty()) AccountWrite(offset, data.size());
+  return Status::OK();
+}
+
+Status WormDevice::WriteLocked(uint64_t offset, const Slice& data) {
   if (data.empty()) return Status::OK();
   const uint64_t first = SectorOf(offset);
   const uint64_t last = SectorOf(offset + data.size() - 1);
   for (uint64_t s = first; s <= last; ++s) {
-    if (IsBurned(s)) {
+    if (IsBurnedLocked(s)) {
       return Status::WriteOnceViolation("sector already burned",
                                         std::to_string(s));
     }
@@ -37,18 +49,23 @@ Status WormDevice::Write(uint64_t offset, const Slice& data) {
   }
   if (last + 1 > next_alloc_sector_) next_alloc_sector_ = last + 1;
   payload_bytes_ += data.size();
-  AccountWrite(offset, data.size());
   return Status::OK();
 }
 
 Status WormDevice::Append(const Slice& data, uint64_t* offset) {
-  const uint64_t start = next_alloc_sector_ * sector_size_;
-  TSB_RETURN_IF_ERROR(Write(start, data));
+  uint64_t start = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    start = next_alloc_sector_ * sector_size_;
+    TSB_RETURN_IF_ERROR(WriteLocked(start, data));
+  }
+  if (!data.empty()) AccountWrite(start, data.size());
   *offset = start;
   return Status::OK();
 }
 
 Status WormDevice::AllocateExtent(uint32_t n_sectors, uint64_t* first_sector) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   *first_sector = next_alloc_sector_;
   next_alloc_sector_ += n_sectors;
   const uint64_t end_byte = next_alloc_sector_ * sector_size_;
@@ -60,6 +77,7 @@ Status WormDevice::AllocateExtent(uint32_t n_sectors, uint64_t* first_sector) {
 }
 
 double WormDevice::Utilization() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (sectors_burned_ == 0) return 1.0;
   return static_cast<double>(payload_bytes_) /
          static_cast<double>(sectors_burned_ * sector_size_);

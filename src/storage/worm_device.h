@@ -10,6 +10,7 @@
 #ifndef TSBTREE_STORAGE_WORM_DEVICE_H_
 #define TSBTREE_STORAGE_WORM_DEVICE_H_
 
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/device.h"
@@ -17,6 +18,8 @@
 namespace tsb {
 
 /// Sector-granular write-once device backed by memory.
+/// Thread-safe: reads take a shared latch; writes and extent allocation an
+/// exclusive one (burning a sector is a state change).
 class WormDevice : public Device {
  public:
   explicit WormDevice(uint32_t sector_size = kDefaultSectorSize,
@@ -33,7 +36,10 @@ class WormDevice : public Device {
   /// is exactly the incremental-write waste the paper describes.
   Status Write(uint64_t offset, const Slice& data) override;
 
-  uint64_t Size() const override { return buf_.size(); }
+  uint64_t Size() const override {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return buf_.size();
+  }
 
   /// Appends `data` starting at the next unburned sector boundary; returns
   /// its byte offset. This is the "append to the end of the historical
@@ -47,18 +53,30 @@ class WormDevice : public Device {
 
   uint32_t sector_size() const { return sector_size_; }
   bool IsBurned(uint64_t sector) const {
-    return sector < burned_.size() && burned_[sector];
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return IsBurnedLocked(sector);
   }
 
-  uint64_t sectors_burned() const { return sectors_burned_; }
+  uint64_t sectors_burned() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return sectors_burned_;
+  }
   /// Bytes of caller payload actually written into burned sectors.
-  uint64_t payload_bytes() const { return payload_bytes_; }
+  uint64_t payload_bytes() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return payload_bytes_;
+  }
   /// payload / (sectors_burned * sector_size); 1.0 when nothing burned.
   double Utilization() const;
 
  private:
   uint64_t SectorOf(uint64_t offset) const { return offset / sector_size_; }
+  bool IsBurnedLocked(uint64_t sector) const {
+    return sector < burned_.size() && burned_[sector];
+  }
+  Status WriteLocked(uint64_t offset, const Slice& data);
 
+  mutable std::shared_mutex mu_;
   uint32_t sector_size_;
   std::vector<char> buf_;
   std::vector<bool> burned_;

@@ -31,7 +31,9 @@ Status SnapshotIterator::Seek(const Slice& target) {
   records_.clear();
   rec_idx_ = 0;
   valid_ = false;
+  emitted_any_ = false;
   seek_target_ = target.ToString();
+  epoch_ = tree_->structure_epoch();
   TSB_RETURN_IF_ERROR(
       PushNode(tree_->root(), std::string(), std::string(), true));
   return Advance();
@@ -96,12 +98,33 @@ Status SnapshotIterator::PushNode(const NodeRef& ref,
 
 Status SnapshotIterator::Advance() {
   for (;;) {
+    // Validate the structure epoch before emitting from a fresh leaf
+    // buffer, before descending further, and before concluding the scan.
+    // (A partially emitted buffer needs no re-check: passing the check
+    // once proves the buffer was decoded from an unbroken structure, and
+    // later splits cannot retroactively change that decode.) On mismatch,
+    // rebuild the descent stack from the successor of the last emitted
+    // key — the as-of-T state is immutable, so the restarted scan resumes
+    // exactly where it left off: no duplicates, no gaps.
+    if (rec_idx_ == 0 && tree_->structure_epoch() != epoch_) {
+      if (emitted_any_) {
+        seek_target_ = key_;
+        seek_target_.push_back('\0');
+      }
+      records_.clear();
+      stack_.clear();
+      epoch_ = tree_->structure_epoch();
+      TSB_RETURN_IF_ERROR(
+          PushNode(tree_->root(), std::string(), std::string(), true));
+      continue;
+    }
     if (rec_idx_ < records_.size()) {
       key_ = records_[rec_idx_].key;
       ts_ = records_[rec_idx_].ts;
       value_ = records_[rec_idx_].value;
       rec_idx_++;
       valid_ = true;
+      emitted_any_ = true;
       return Status::OK();
     }
     records_.clear();

@@ -29,7 +29,13 @@ namespace tsb_tree {
 /// Key-ordered scan of the database as of time `t`. Usage:
 ///   auto it = tree->NewSnapshotIterator(t);
 ///   for (it->SeekToFirst(); it->Valid(); it->Next()) { ... }
-/// Reads must not interleave with writes to the tree.
+///
+/// Safe under a concurrent updater: the iterator snapshots the tree's
+/// structure epoch when it builds its descent stack; if a split moves
+/// entries while the scan is in flight it transparently re-seeks to the
+/// successor of the last emitted key. Because the as-of-T state cannot
+/// change (new commits always carry larger timestamps), the restarted scan
+/// emits exactly the remaining keys — no duplicates, no gaps.
 class SnapshotIterator {
  public:
   SnapshotIterator(TsbTree* tree, Timestamp t);
@@ -70,6 +76,8 @@ class SnapshotIterator {
   std::string seek_target_;  // iteration emits only keys >= this
   std::string end_key_;      // ...and < this, unless end_inf_
   bool end_inf_ = true;
+  uint64_t epoch_ = 0;       // tree structure epoch the stack was built at
+  bool emitted_any_ = false;
   std::vector<Frame> stack_;
   std::vector<Record> records_;  // emission buffer from the current leaf
   size_t rec_idx_ = 0;

@@ -47,6 +47,9 @@ struct SpaceStats {
   uint64_t optical_payload_bytes = 0;
   uint64_t optical_device_bytes = 0;  ///< incl. framing + sector residue
   uint64_t hist_nodes = 0;
+  /// Free pages dropped by the last free-list persist because they did not
+  /// fit in the bounded meta space (see Pager::EncodeFreeList).
+  uint64_t leaked_free_pages = 0;
 
   uint64_t logical_versions = 0;        ///< distinct committed (key, ts)
   uint64_t physical_record_copies = 0;  ///< record cells, all nodes

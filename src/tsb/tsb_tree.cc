@@ -63,6 +63,7 @@ Status TsbTree::Load() {
     root_ = DecodeFixed32(p + 4);
     height_ = DecodeFixed32(p + 8);
     clock_.AdvanceTo(DecodeFixed64(p + 12));
+    clock_.Publish(DecodeFixed64(p + 12));  // persisted state is committed
     // Restore the free list persisted after the fixed fields.
     const size_t fixed = 20;
     Slice rest(p + fixed, options_.page_size - kPageHeaderSize - fixed);
@@ -82,12 +83,13 @@ Status TsbTree::Load() {
 }
 
 Status TsbTree::Flush() {
+  std::lock_guard<std::mutex> wl(writer_mu_);
   std::vector<char> meta(options_.page_size);
   TSB_RETURN_IF_ERROR(pager_->ReadMeta(meta.data()));
   char* p = meta.data() + kPageHeaderSize;
   EncodeFixed32(p, kMetaMagic);
-  EncodeFixed32(p + 4, root_);
-  EncodeFixed32(p + 8, height_);
+  EncodeFixed32(p + 4, root_.load(std::memory_order_acquire));
+  EncodeFixed32(p + 8, height_.load(std::memory_order_acquire));
   EncodeFixed64(p + 12, clock_.Now());
   const size_t fixed = 20;
   std::string free_list;
@@ -102,7 +104,7 @@ Status TsbTree::Flush() {
 
 Status TsbTree::DescendCurrent(const Slice& key, std::vector<PathElem>* path) {
   path->clear();
-  uint32_t id = root_;
+  uint32_t id = root_.load(std::memory_order_acquire);
   for (;;) {
     PageHandle h;
     TSB_RETURN_IF_ERROR(pool_->Fetch(id, &h));
@@ -129,10 +131,30 @@ Status TsbTree::DescendCurrent(const Slice& key, std::vector<PathElem>* path) {
 Status TsbTree::SearchPoint(const Slice& key, Timestamp t, TxnId txn,
                             std::string* value, Timestamp* ts) {
   // Phase 1: walk current pages until the point leaves the magnetic disk.
-  uint32_t id = root_;
+  // Latch coupling: each child's shared latch is acquired before the
+  // parent's is released, so the (parent entry, child content) pair is
+  // always from one structural state — the writer holds both exclusive
+  // latches while it restructures.
+  PageHandle parent_h;
+  uint32_t id = root_.load(std::memory_order_acquire);
+  bool at_root = true;
   for (;;) {
     PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(id, &h));
+    TSB_RETURN_IF_ERROR(pool_->FetchShared(id, &h));
+    if (at_root) {
+      // Validate the root AFTER latching it: any restructure of the old
+      // root goes through GrowRoot first, so a stale root pointer always
+      // shows up as root_ having moved. Once the check passes the page is
+      // the live root and latch coupling covers the rest of the descent.
+      const uint32_t cur_root = root_.load(std::memory_order_acquire);
+      if (cur_root != id) {
+        h.Release();
+        id = cur_root;
+        continue;
+      }
+      at_root = false;
+    }
+    parent_h.Release();
     if (TsbPageLevel(h.data()) == 0) {
       DataPageRef page(h.data(), options_.page_size);
       int pos;
@@ -155,11 +177,14 @@ Status TsbTree::SearchPoint(const Slice& key, Timestamp t, TxnId txn,
     TSB_RETURN_IF_ERROR(page.At(idx, &e));
     if (!e.child.historical) {
       id = e.child.page_id;
+      parent_h = std::move(h);  // hold the latch until the child is latched
       continue;
     }
     // Phase 2: continue inside the historical store; historical index
-    // nodes reference only historical children.
+    // nodes reference only historical children. Blobs are immutable, so
+    // no latches are needed past this point.
     HistAddr addr = e.child.addr;
+    h.Release();
     for (;;) {
       std::string blob;
       TSB_RETURN_IF_ERROR(hist_->Read(addr, &blob));
@@ -222,6 +247,7 @@ Status TsbTree::GetUncommitted(const Slice& key, TxnId txn,
 // ---------------------------------------------------------------- writes
 
 Status TsbTree::Put(const Slice& key, const Slice& value, Timestamp ts) {
+  std::lock_guard<std::mutex> wl(writer_mu_);
   if (ts == kMinTimestamp || ts > kMaxCommittedTs) {
     return Status::InvalidArgument("timestamp out of committed range");
   }
@@ -235,12 +261,15 @@ Status TsbTree::Put(const Slice& key, const Slice& value, Timestamp ts) {
   e.value = value.ToString();
   TSB_RETURN_IF_ERROR(InsertEntry(e));
   clock_.AdvanceTo(ts);
+  // A direct Put is a complete single-record commit: publish immediately.
+  clock_.Publish(ts);
   counters_.puts++;
   return Status::OK();
 }
 
 Status TsbTree::PutUncommitted(const Slice& key, const Slice& value,
                                TxnId txn) {
+  std::lock_guard<std::mutex> wl(writer_mu_);
   if (txn == kNoTxn) return Status::InvalidArgument("txn id required");
   DataEntry e;
   e.key = key.ToString();
@@ -260,8 +289,10 @@ Status TsbTree::InsertEntry(const DataEntry& e) {
   for (int attempt = 0; attempt < kMaxInsertRetries; ++attempt) {
     std::vector<PathElem> path;
     TSB_RETURN_IF_ERROR(DescendCurrent(Slice(e.key), &path));
+    // Exclusive leaf latch: concurrent readers of this page must not see
+    // the slotted layout mid-mutation.
     PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(path.back().page_id, &h));
+    TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
     DataPageRef page(h.data(), options_.page_size);
 
     // Region lower time bound: committed inserts must not predate it.
@@ -304,13 +335,28 @@ Status TsbTree::InsertEntry(const DataEntry& e) {
 }
 
 Status TsbTree::StampCommitted(const Slice& key, TxnId txn, Timestamp ts) {
+  std::lock_guard<std::mutex> wl(writer_mu_);
   if (ts == kMinTimestamp || ts > kMaxCommittedTs) {
     return Status::InvalidArgument("timestamp out of committed range");
   }
   std::vector<PathElem> path;
   TSB_RETURN_IF_ERROR(DescendCurrent(key, &path));
+  // Defense in depth: stamping below the region's time-split boundary
+  // would make the version unreachable for as-of reads (the region
+  // [t_lo, inf) no longer covers it). Serialized commits make this
+  // impossible — a split can never choose a boundary above an in-flight
+  // commit timestamp — so treat it as corruption, not data loss.
+  {
+    IndexEntry pe;
+    int pe_pos;
+    TSB_RETURN_IF_ERROR(ParentEntryFor(path, path.size() - 1, &pe, &pe_pos));
+    if (ts < pe.t_lo) {
+      return Status::Corruption(
+          "commit timestamp predates the node's time-split boundary");
+    }
+  }
   PageHandle h;
-  TSB_RETURN_IF_ERROR(pool_->Fetch(path.back().page_id, &h));
+  TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
   DataPageRef page(h.data(), options_.page_size);
   const int pos = page.FindUncommitted(key, txn);
   if (pos < 0) return Status::NotFound("no uncommitted version for txn");
@@ -332,10 +378,11 @@ Status TsbTree::StampCommitted(const Slice& key, TxnId txn, Timestamp ts) {
 }
 
 Status TsbTree::EraseUncommitted(const Slice& key, TxnId txn) {
+  std::lock_guard<std::mutex> wl(writer_mu_);
   std::vector<PathElem> path;
   TSB_RETURN_IF_ERROR(DescendCurrent(key, &path));
   PageHandle h;
-  TSB_RETURN_IF_ERROR(pool_->Fetch(path.back().page_id, &h));
+  TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
   DataPageRef page(h.data(), options_.page_size);
   const int pos = page.FindUncommitted(key, txn);
   if (pos < 0) return Status::NotFound("no uncommitted version for txn");
@@ -462,20 +509,24 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
       HistAddr addr;
       TSB_RETURN_IF_ERROR(hist_->Append(blob, &addr));
 
-      // Rewrite the current page with the TIME-SPLIT RULE survivors.
+      // Rewrite the leaf and repoint the parent while holding BOTH
+      // exclusive latches (top-down order, same as reader coupling), so a
+      // latch-coupled reader never pairs a stale parent entry with the
+      // rewritten leaf.
       {
-        PageHandle h;
-        TSB_RETURN_IF_ERROR(pool_->Fetch(path[leaf_idx].page_id, &h));
-        DataPageRef page(h.data(), options_.page_size);
+        PageHandle parent_h;
+        TSB_RETURN_IF_ERROR(
+            pool_->FetchExclusive(path[leaf_idx - 1].page_id, &parent_h));
+        PageHandle leaf_h;
+        TSB_RETURN_IF_ERROR(
+            pool_->FetchExclusive(path[leaf_idx].page_id, &leaf_h));
+        // Leaf keeps only the TIME-SPLIT RULE survivors.
+        DataPageRef page(leaf_h.data(), options_.page_size);
         TSB_RETURN_IF_ERROR(page.Load(cur_set));
-        h.MarkDirty();
-      }
-      // Parent: the child's region now starts at split_t; the prefix of its
-      // old region points at the migrated node.
-      {
-        PageHandle h;
-        TSB_RETURN_IF_ERROR(pool_->Fetch(path[leaf_idx - 1].page_id, &h));
-        IndexPageRef parent(h.data(), options_.page_size);
+        leaf_h.MarkDirty();
+        // Parent: the child's region now starts at split_t; the prefix of
+        // its old region points at the migrated node.
+        IndexPageRef parent(parent_h.data(), options_.page_size);
         IndexEntry cur_e = pe;
         cur_e.t_lo = split_t;
         if (!parent.Replace(pe_pos, cur_e)) {
@@ -485,7 +536,10 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
         if (!parent.Insert(he)) {
           return Status::Corruption("parent lost reserved space");
         }
-        h.MarkDirty();
+        parent_h.MarkDirty();
+        // Bump the epoch BEFORE dropping the latches: a reader that can
+        // observe the new structure must also observe the new epoch.
+        structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
       }
       counters_.data_time_splits++;
       counters_.hist_data_nodes++;
@@ -540,6 +594,7 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
 
   std::vector<DataEntry> left(entries.begin(), entries.begin() + split_at);
   std::vector<DataEntry> right(entries.begin() + split_at, entries.end());
+  // The right sibling is private until the parent publishes it: no latch.
   PageHandle right_h;
   TSB_RETURN_IF_ERROR(pool_->New(PageType::kTsbData, &right_h));
   DataPageRef::Format(right_h.data(), options_.page_size);
@@ -548,17 +603,18 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
     TSB_RETURN_IF_ERROR(rp.Load(right));
     right_h.MarkDirty();
   }
+  // Shrink the leaf and publish the sibling under both exclusive latches.
   {
-    PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(path[leaf_idx].page_id, &h));
-    DataPageRef page(h.data(), options_.page_size);
+    PageHandle parent_h;
+    TSB_RETURN_IF_ERROR(
+        pool_->FetchExclusive(path[leaf_idx - 1].page_id, &parent_h));
+    PageHandle leaf_h;
+    TSB_RETURN_IF_ERROR(
+        pool_->FetchExclusive(path[leaf_idx].page_id, &leaf_h));
+    DataPageRef page(leaf_h.data(), options_.page_size);
     TSB_RETURN_IF_ERROR(page.Load(left));
-    h.MarkDirty();
-  }
-  {
-    PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(path[leaf_idx - 1].page_id, &h));
-    IndexPageRef parent(h.data(), options_.page_size);
+    leaf_h.MarkDirty();
+    IndexPageRef parent(parent_h.data(), options_.page_size);
     IndexEntry left_e = pe;
     left_e.key_hi = split_key;
     left_e.key_hi_inf = false;
@@ -571,30 +627,37 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
     if (!parent.Insert(right_e)) {
       return Status::Corruption("parent lost reserved space (key split)");
     }
-    h.MarkDirty();
+    parent_h.MarkDirty();
+    // Epoch bump inside the latch scope (see time-split comment).
+    structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
   counters_.data_key_splits++;
   return Status::OK();
 }
 
 Status TsbTree::GrowRoot() {
+  // The new root is fully built before root_ publishes it; readers that
+  // loaded the old root id keep descending a still-valid subtree.
   PageHandle h;
   TSB_RETURN_IF_ERROR(pool_->New(PageType::kTsbIndex, &h));
   IndexPageRef::Format(h.data(), options_.page_size,
-                       static_cast<uint8_t>(height_));
+                       static_cast<uint8_t>(height_.load()));
   IndexPageRef page(h.data(), options_.page_size);
   IndexEntry e;
   e.key_lo.clear();
   e.key_hi_inf = true;
   e.t_lo = kMinTimestamp;
   e.t_hi = kInfiniteTs;
-  e.child = NodeRef::Current(root_);
+  e.child = NodeRef::Current(root_.load(std::memory_order_acquire));
   if (!page.Insert(e)) {
     return Status::Corruption("fresh root cannot hold one entry");
   }
   h.MarkDirty();
-  root_ = h.id();
-  height_++;
+  // Epoch first, then the root pointer: a reader that sees the new root
+  // must also see the new epoch.
+  structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  root_.store(h.id(), std::memory_order_release);
+  height_.fetch_add(1, std::memory_order_acq_rel);
   counters_.root_grows++;
   return Status::OK();
 }
@@ -715,6 +778,7 @@ Status TsbTree::SplitIndexPage(const std::vector<PathElem>& path, size_t idx) {
     return Status::OutOfSpace("index keyspace split produced an empty side");
   }
 
+  // The right sibling is private until the parent publishes it: no latch.
   PageHandle right_h;
   TSB_RETURN_IF_ERROR(pool_->New(PageType::kTsbIndex, &right_h));
   IndexPageRef::Format(right_h.data(), options_.page_size, level);
@@ -723,17 +787,17 @@ Status TsbTree::SplitIndexPage(const std::vector<PathElem>& path, size_t idx) {
     TSB_RETURN_IF_ERROR(rp.Load(right));
     right_h.MarkDirty();
   }
+  // Shrink the node and publish the sibling under both exclusive latches.
   {
+    PageHandle parent_h;
+    TSB_RETURN_IF_ERROR(
+        pool_->FetchExclusive(path[idx - 1].page_id, &parent_h));
     PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(path[idx].page_id, &h));
+    TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path[idx].page_id, &h));
     IndexPageRef page(h.data(), options_.page_size);
     TSB_RETURN_IF_ERROR(page.Load(left));
     h.MarkDirty();
-  }
-  {
-    PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(path[idx - 1].page_id, &h));
-    IndexPageRef parent(h.data(), options_.page_size);
+    IndexPageRef parent(parent_h.data(), options_.page_size);
     IndexEntry left_e = pe;
     left_e.key_hi = split_key;
     left_e.key_hi_inf = false;
@@ -746,7 +810,9 @@ Status TsbTree::SplitIndexPage(const std::vector<PathElem>& path, size_t idx) {
     if (!parent.Insert(right_e)) {
       return Status::Corruption("index key split: parent lost space");
     }
-    h.MarkDirty();
+    parent_h.MarkDirty();
+    // Epoch bump inside the latch scope (see time-split comment).
+    structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
   counters_.index_key_splits++;
   counters_.redundant_index_copies += dupes;
@@ -787,17 +853,18 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
   for (const IndexEntry& e : entries) {
     if (e.t_hi > split_t) keep.push_back(e);
   }
+  // Rewrite the node and repoint the parent under both exclusive latches
+  // (top-down order, matching reader latch coupling).
   {
+    PageHandle parent_h;
+    TSB_RETURN_IF_ERROR(
+        pool_->FetchExclusive(path[idx - 1].page_id, &parent_h));
     PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(path[idx].page_id, &h));
+    TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path[idx].page_id, &h));
     IndexPageRef page(h.data(), options_.page_size);
     TSB_RETURN_IF_ERROR(page.Load(keep));
     h.MarkDirty();
-  }
-  {
-    PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(path[idx - 1].page_id, &h));
-    IndexPageRef parent(h.data(), options_.page_size);
+    IndexPageRef parent(parent_h.data(), options_.page_size);
     IndexEntry cur_e = pe;
     cur_e.t_lo = split_t;
     if (!parent.Replace(pe_pos, cur_e)) {
@@ -807,7 +874,9 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
     if (!parent.Insert(he)) {
       return Status::Corruption("index time split: parent lost space");
     }
-    h.MarkDirty();
+    parent_h.MarkDirty();
+    // Epoch bump inside the latch scope (see time-split comment).
+    structure_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
   counters_.index_time_splits++;
   counters_.hist_index_nodes++;
@@ -823,8 +892,10 @@ Status TsbTree::ReadNode(const NodeRef& ref, DecodedNode* out) {
   out->index.clear();
   out->historical = ref.historical;
   if (!ref.historical) {
+    // Shared latch for the duration of the decode: the node is copied out
+    // as one consistent snapshot.
     PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(ref.page_id, &h));
+    TSB_RETURN_IF_ERROR(pool_->FetchShared(ref.page_id, &h));
     out->level = TsbPageLevel(h.data());
     if (out->level == 0) {
       DataPageRef page(h.data(), options_.page_size);
@@ -872,9 +943,13 @@ Status TsbTree::WalkStats(
 }
 
 Status TsbTree::ComputeSpaceStats(SpaceStats* out) {
+  // Maintenance walk: quiesce the writer for a consistent DAG traversal
+  // (readers may continue concurrently).
+  std::lock_guard<std::mutex> wl(writer_mu_);
   *out = SpaceStats{};
   out->magnetic_pages = pager_->live_pages();
   out->magnetic_bytes = pager_->live_bytes();
+  out->leaked_free_pages = pager_->leaked_free_pages();
   out->optical_payload_bytes = hist_->payload_bytes();
   out->hist_nodes = hist_->blob_count();
   auto* worm = dynamic_cast<WormDevice*>(hist_->device());
@@ -884,8 +959,7 @@ Status TsbTree::ComputeSpaceStats(SpaceStats* out) {
 
   std::vector<std::pair<std::string, Timestamp>> versions;
   std::vector<HistAddr> seen_hist;
-  TSB_RETURN_IF_ERROR(
-      WalkStats(NodeRef::Current(root_), out, &versions, &seen_hist));
+  TSB_RETURN_IF_ERROR(WalkStats(root(), out, &versions, &seen_hist));
   std::sort(versions.begin(), versions.end());
   versions.erase(std::unique(versions.begin(), versions.end()),
                  versions.end());
@@ -893,7 +967,7 @@ Status TsbTree::ComputeSpaceStats(SpaceStats* out) {
 
   // Used bytes inside live current pages: walk current pages only.
   // (Re-walk is cheap relative to the full DAG walk above.)
-  std::vector<uint32_t> stack = {root_};
+  std::vector<uint32_t> stack = {root_.load(std::memory_order_acquire)};
   std::set<uint32_t> seen_pages;
   uint64_t used = 0;
   while (!stack.empty()) {
@@ -924,15 +998,29 @@ Status TsbTree::ScanHistoryRange(const Slice& key_lo, const Slice& key_hi,
                                  std::vector<VersionRecord>* out) {
   out->clear();
   if (t_lo >= t_hi) return Status::OK();
-  std::map<std::pair<std::string, Timestamp>, std::string> acc;
-  std::vector<HistAddr> seen;
-  TSB_RETURN_IF_ERROR(ScanHistoryRangeRec(NodeRef::Current(root_), key_lo,
-                                          key_hi, t_lo, t_hi, &acc, &seen));
-  out->reserve(acc.size());
-  for (auto& [kt, value] : acc) {
-    out->push_back(VersionRecord{kt.first, kt.second, std::move(value)});
+  // The recursive walk decodes nodes without holding latches across
+  // levels, so a concurrent split could move entries out from under it.
+  // Optimistic epoch validation: retry when the structure changed; the
+  // last attempt quiesces the writer (the result set itself is stable —
+  // commit timestamps only grow).
+  constexpr int kOptimisticScanAttempts = 4;
+  for (int attempt = 0; attempt <= kOptimisticScanAttempts; ++attempt) {
+    const bool quiesce = attempt == kOptimisticScanAttempts;
+    std::unique_lock<std::mutex> wl(writer_mu_, std::defer_lock);
+    if (quiesce) wl.lock();
+    const uint64_t epoch = structure_epoch();
+    std::map<std::pair<std::string, Timestamp>, std::string> acc;
+    std::vector<HistAddr> seen;
+    TSB_RETURN_IF_ERROR(
+        ScanHistoryRangeRec(root(), key_lo, key_hi, t_lo, t_hi, &acc, &seen));
+    if (!quiesce && structure_epoch() != epoch) continue;
+    out->reserve(acc.size());
+    for (auto& [kt, value] : acc) {
+      out->push_back(VersionRecord{kt.first, kt.second, std::move(value)});
+    }
+    return Status::OK();
   }
-  return Status::OK();
+  return Status::Corruption("unreachable: quiesced scan did not return");
 }
 
 Status TsbTree::ScanHistoryRangeRec(

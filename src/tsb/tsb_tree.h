@@ -5,9 +5,11 @@
 #ifndef TSBTREE_TSB_TSB_TREE_H_
 #define TSBTREE_TSB_TSB_TREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,8 +61,22 @@ struct DecodedNode {
 ///  - NewSnapshotIterator(T)         key-ordered state as of T
 ///  - NewHistoryIterator(key)        all committed versions, newest first
 ///
-/// Not thread-safe; the paper's concurrency story (section 4.1) is
-/// timestamp-based read-only transactions layered above, not latching.
+/// Thread model (paper section 4.1: single updater, lock-free timestamped
+/// readers):
+///  - All write entry points serialize on an internal writer mutex
+///    (single-writer discipline; concurrent writers are safe but not
+///    parallel).
+///  - Read entry points never take the writer mutex. Point reads descend
+///    the current pages with latch coupling: the child's shared frame
+///    latch is acquired before the parent's is dropped, and every
+///    structural change holds the parent and child exclusive latches
+///    simultaneously, so a reader can never observe a parent entry and a
+///    child page from different structural states. Historical nodes are
+///    immutable blobs and need no latches.
+///  - Scans (SnapshotIterator, ScanHistoryRange) validate a structure
+///    epoch and transparently restart from their last position when a
+///    split moved entries underneath them; as-of-T results are stable
+///    because commit timestamps only grow (section 4.1).
 class TsbTree {
  public:
   /// Opens a tree. `magnetic` (erasable) holds the current database,
@@ -100,8 +116,10 @@ class TsbTree {
   /// Reads a transaction's own uncommitted version.
   Status GetUncommitted(const Slice& key, TxnId txn, std::string* value);
 
-  /// Key-ordered iterator over the database state as of time `t`.
-  /// The iterator must not outlive writes (single-writer discipline).
+  /// Key-ordered iterator over the database state as of time `t`. Safe to
+  /// use while an updater runs: the iterator detects structural changes
+  /// via the structure epoch and restarts from its last emitted key (the
+  /// as-of-T state is immutable, so the scan stays exact).
   std::unique_ptr<SnapshotIterator> NewSnapshotIterator(Timestamp t);
 
   /// All committed versions of `key`, newest first.
@@ -134,7 +152,12 @@ class TsbTree {
   const TsbCounters& counters() const { return counters_; }
   const TsbOptions& options() const { return options_; }
   LogicalClock& clock() { return clock_; }
+  /// Latest issued timestamp (allocator; may lead the committed state
+  /// while a transaction commit is in flight).
   Timestamp Now() const { return clock_.Now(); }
+  /// Committed watermark: the correct start timestamp for lock-free
+  /// readers — everything at or before it is fully stamped.
+  Timestamp VisibleNow() const { return clock_.Visible(); }
 
   Pager* pager() { return pager_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
@@ -142,8 +165,16 @@ class TsbTree {
 
   // ---- introspection (iterators, checker, tests) ----
 
-  NodeRef root() const { return NodeRef::Current(root_); }
-  uint32_t height() const { return height_; }
+  NodeRef root() const {
+    return NodeRef::Current(root_.load(std::memory_order_acquire));
+  }
+  uint32_t height() const { return height_.load(std::memory_order_acquire); }
+
+  /// Monotone counter bumped by every structural change (split, root
+  /// grow). Scans snapshot it to detect concurrent restructuring.
+  uint64_t structure_epoch() const {
+    return structure_epoch_.load(std::memory_order_acquire);
+  }
 
   /// Decodes any node (current page or historical blob).
   Status ReadNode(const NodeRef& ref, DecodedNode* out);
@@ -159,9 +190,11 @@ class TsbTree {
   };
 
   /// Descends the current axis (T = kUncommittedTs) to the leaf for `key`.
+  /// Writer-only (called with writer_mu_ held).
   Status DescendCurrent(const Slice& key, std::vector<PathElem>* path);
 
   /// Point lookup for (key, t); t <= kUncommittedTs. Fills value/ts.
+  /// Lock-free for callers: descends with shared latch coupling.
   Status SearchPoint(const Slice& key, Timestamp t, TxnId txn,
                      std::string* value, Timestamp* ts);
 
@@ -222,9 +255,12 @@ class TsbTree {
   SplitPolicy policy_;
   LogicalClock clock_;
 
-  uint32_t root_ = kInvalidPageId;
-  uint32_t height_ = 1;
-  TsbCounters counters_;
+  /// Serializes all mutating entry points (single-writer discipline).
+  std::mutex writer_mu_;
+  std::atomic<uint32_t> root_{kInvalidPageId};
+  std::atomic<uint32_t> height_{1};
+  std::atomic<uint64_t> structure_epoch_{0};
+  TsbCounters counters_;  // maintained by the writer; read quiesced
 
   friend class SnapshotIterator;
   friend class HistoryIterator;

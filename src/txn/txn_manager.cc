@@ -1,5 +1,7 @@
 #include "txn/txn_manager.h"
 
+#include "common/logger.h"
+
 namespace tsb {
 namespace txn {
 
@@ -38,12 +40,14 @@ Status Transaction::Abort() {
 }
 
 Status TxnManager::Begin(std::unique_ptr<Transaction>* out) {
-  out->reset(new Transaction(this, next_txn_++));
-  active_count_++;
+  out->reset(
+      new Transaction(this, next_txn_.fetch_add(1, std::memory_order_acq_rel)));
+  active_count_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Status TxnManager::LockKey(const std::string& key, TxnId txn) {
+  std::lock_guard<std::mutex> lock(lock_mu_);
   auto [it, inserted] = lock_table_.emplace(key, txn);
   if (!inserted && it->second != txn) {
     return Status::TxnConflict("key locked by txn " +
@@ -53,6 +57,7 @@ Status TxnManager::LockKey(const std::string& key, TxnId txn) {
 }
 
 void TxnManager::UnlockKeys(const Transaction& txn) {
+  std::lock_guard<std::mutex> lock(lock_mu_);
   for (const auto& [key, value] : txn.writes_) {
     auto it = lock_table_.find(key);
     if (it != lock_table_.end() && it->second == txn.id_) {
@@ -64,20 +69,48 @@ void TxnManager::UnlockKeys(const Transaction& txn) {
 Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
   // One commit timestamp for the whole transaction (rollback-database
   // semantics: records are stamped with transaction commit time).
+  //
+  // The whole commit — tick, stamps, index hooks, publish — runs under
+  // commit_mu_: the paper's model is a SINGLE updater (section 4.1), and
+  // serializing commits makes timestamp order equal commit order. That is
+  // what keeps every secondary-index Put monotone and guarantees a time
+  // split can never choose a boundary above a still-in-flight commit
+  // timestamp. Updaters may still build transactions concurrently (Put
+  // phases interleave under the key-lock table); only the commit point is
+  // serial.
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
   const Timestamp ts = tree_->clock().Tick();
+  Status status;
   for (const auto& [key, value] : txn->writes_) {
     // Capture the previous committed version for the hook BEFORE stamping.
     std::string old_value;
     const bool had_old = tree_->GetCurrent(key, &old_value).ok();
-    TSB_RETURN_IF_ERROR(tree_->StampCommitted(key, txn->id_, ts));
-    if (hook_) {
-      TSB_RETURN_IF_ERROR(
-          hook_(key, had_old ? &old_value : nullptr, value, ts));
+    status = tree_->StampCommitted(key, txn->id_, ts);
+    if (status.ok() && hook_) {
+      status = hook_(key, had_old ? &old_value : nullptr, value, ts);
     }
+    if (!status.ok()) break;
   }
+  if (!status.ok()) {
+    // A storage/hook error mid-commit may leave partial stamps behind.
+    // Those must never become reader-visible: poison the watermark so no
+    // later commit can publish past this torn timestamp. The database
+    // needs recovery at this point; readers keep a consistent (older)
+    // view, writers keep getting this commit's error surfaced.
+    if (publish_cap_ > ts - 1) publish_cap_ = ts - 1;
+    TSB_LOG_ERROR("commit at t=%llu failed mid-stamp (%s); freezing the "
+                  "read watermark at t=%llu",
+                  (unsigned long long)ts, status.ToString().c_str(),
+                  (unsigned long long)publish_cap_);
+    return status;
+  }
+  // Publish only once every key is stamped AND every secondary index is
+  // maintained: readers at the watermark see whole transactions or
+  // nothing (paper section 4.1).
+  tree_->clock().Publish(ts < publish_cap_ ? ts : publish_cap_);
   UnlockKeys(*txn);
   txn->active_ = false;
-  active_count_--;
+  active_count_.fetch_sub(1, std::memory_order_acq_rel);
   if (commit_ts != nullptr) *commit_ts = ts;
   return Status::OK();
 }
@@ -89,7 +122,7 @@ Status TxnManager::AbortTxn(Transaction* txn) {
   }
   UnlockKeys(*txn);
   txn->active_ = false;
-  active_count_--;
+  active_count_.fetch_sub(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 

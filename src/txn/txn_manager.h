@@ -15,10 +15,12 @@
 #ifndef TSBTREE_TXN_TXN_MANAGER_H_
 #define TSBTREE_TXN_TXN_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/clock.h"
@@ -34,6 +36,9 @@ class TxnManager;
 
 /// An updater transaction. Obtain via TxnManager::Begin; finish with
 /// Commit or Abort (destruction aborts a still-active transaction).
+/// A Transaction object belongs to one thread; different transactions may
+/// run on different threads concurrently (first-writer-wins key locks
+/// resolve conflicts, the tree serializes page mutations internally).
 class Transaction {
  public:
   ~Transaction();
@@ -94,8 +99,10 @@ class ReadTransaction {
   Timestamp ts_;
 };
 
-/// Issues transactions over one TsbTree. Single-threaded (transactions may
-/// interleave, but calls must not race).
+/// Issues transactions over one TsbTree. Thread-safe: the lock table is
+/// mutex-guarded, transaction ids and the active count are atomic, and
+/// BeginReadOnly is genuinely lock-free (one atomic clock load — paper
+/// section 4.1: readers never wait for updaters).
 class TxnManager {
  public:
   /// Called once per committed key, after stamping, with the previous
@@ -110,14 +117,22 @@ class TxnManager {
   /// Starts an updater transaction.
   Status Begin(std::unique_ptr<Transaction>* out);
 
-  /// Starts a lock-free reader pinned at the current time.
+  /// Starts a lock-free reader pinned at the committed watermark (one
+  /// atomic load; never blocks, never takes a mutex). The watermark only
+  /// covers fully-stamped commits, so the reader can never observe a torn
+  /// multi-key transaction — the paper's 4.1 guarantee that no updater
+  /// commits at or before an already-issued read timestamp.
   ReadTransaction BeginReadOnly() {
-    return ReadTransaction(tree_, tree_->Now());
+    return ReadTransaction(tree_, tree_->VisibleNow());
   }
 
+  /// Not thread-safe relative to in-flight commits; install before
+  /// concurrent use (the DB layer does this at Open).
   void SetCommitHook(CommitHook hook) { hook_ = std::move(hook); }
 
-  size_t active_txns() const { return active_count_; }
+  size_t active_txns() const {
+    return active_count_.load(std::memory_order_acquire);
+  }
   tsb_tree::TsbTree* tree() { return tree_; }
 
  private:
@@ -130,9 +145,15 @@ class TxnManager {
 
   tsb_tree::TsbTree* tree_;
   CommitHook hook_;
-  TxnId next_txn_ = 1;
-  size_t active_count_ = 0;
+  std::atomic<TxnId> next_txn_{1};
+  std::atomic<size_t> active_count_{0};
+  std::mutex lock_mu_;  // guards lock_table_
   std::map<std::string, TxnId> lock_table_;
+  // Serializes the commit point (tick -> stamps -> hooks -> publish); see
+  // CommitTxn. Also guards publish_cap_, which freezes the reader-visible
+  // watermark below any commit that failed mid-stamp.
+  std::mutex commit_mu_;
+  Timestamp publish_cap_ = kMaxCommittedTs;
 };
 
 }  // namespace txn

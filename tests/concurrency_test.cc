@@ -1,0 +1,320 @@
+// Engine-level concurrency: one updater + N lock-free timestamped readers
+// (paper section 4.1) running against the full stack — MultiVersionDB →
+// TxnManager → TsbTree → BufferPool → Pager → MemDevice. These tests are
+// the ThreadSanitizer targets for the latching protocol.
+//
+// Invariants checked while the writer runs:
+//  - a reader pinned at timestamp T sees, for every key, a version with
+//    commit time <= T whose payload decodes to a consistent (key, seq)
+//    pair;
+//  - per key, the sequence a reader observes across successive read
+//    transactions never goes backwards (commit order = timestamp order);
+//  - snapshot iteration at T yields strictly increasing keys, each with
+//    version timestamp <= T, even when splits restructure the tree mid
+//    scan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/multiversion_db.h"
+#include "storage/mem_device.h"
+#include "tsb/cursor.h"
+
+namespace tsb {
+namespace {
+
+std::string KeyOf(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "key%04d", i);
+  return buf;
+}
+
+std::string ValueOf(const std::string& key, uint64_t seq) {
+  return key + ":" + std::to_string(seq) + ":payload-padding-to-split-pages";
+}
+
+// Decodes "key:seq:..." back into (key, seq); false on malformed payloads
+// (which would indicate a torn read).
+bool DecodeValue(const std::string& v, std::string* key, uint64_t* seq) {
+  const size_t c1 = v.find(':');
+  if (c1 == std::string::npos) return false;
+  const size_t c2 = v.find(':', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  *key = v.substr(0, c1);
+  errno = 0;
+  *seq = strtoull(v.c_str() + c1 + 1, nullptr, 10);
+  return errno == 0;
+}
+
+struct Fixture {
+  MemDevice magnetic;
+  MemDevice optical{DeviceKind::kOpticalErasable, CostParams::OpticalWorm()};
+  std::unique_ptr<db::MultiVersionDB> db;
+
+  explicit Fixture(uint32_t page_size = 1024, size_t frames = 64) {
+    db::DbOptions options;
+    options.tree.page_size = page_size;
+    options.tree.buffer_pool_frames = frames;
+    Status s = db::MultiVersionDB::Open(&magnetic, &optical, options, &db);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+};
+
+TEST(ConcurrencyTest, ReadersNeverBlockAndSeeCommittedStateOnly) {
+  Fixture f;
+  constexpr int kKeys = 120;
+  constexpr int kRounds = 40;
+  constexpr int kReaders = 4;
+
+  // Seed every key once so readers always find something.
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(f.db->Put(KeyOf(i), ValueOf(KeyOf(i), 0)).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> reads_done{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t rng = 0x853C49E6748FEA9Bull * (r + 1);
+      // Last sequence observed per key: must never go backwards.
+      std::vector<uint64_t> last_seq(kKeys, 0);
+      while (!stop.load(std::memory_order_acquire) && !failed.load()) {
+        txn::ReadTransaction snap = f.db->BeginReadOnly();
+        for (int probe = 0; probe < 8; ++probe) {
+          rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+          const int ki = static_cast<int>((rng >> 33) % kKeys);
+          std::string value;
+          Timestamp version_ts = 0;
+          Status s = snap.Get(KeyOf(ki), &value, &version_ts);
+          if (!s.ok()) {
+            failed.store(true);
+            break;
+          }
+          std::string key;
+          uint64_t seq = 0;
+          if (!DecodeValue(value, &key, &seq) || key != KeyOf(ki) ||
+              version_ts > snap.timestamp() || seq < last_seq[ki]) {
+            failed.store(true);
+            break;
+          }
+          last_seq[ki] = seq;
+          reads_done.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // The single updater: rewrites every key each round through autocommit
+  // transactions, driving leaf time splits and key splits underneath the
+  // readers.
+  for (int round = 1; round <= kRounds && !failed.load(); ++round) {
+    for (int i = 0; i < kKeys; ++i) {
+      Status s = f.db->Put(KeyOf(i), ValueOf(KeyOf(i), round));
+      if (!s.ok()) {
+        ADD_FAILURE() << "writer Put failed: " << s.ToString();
+        failed.store(true);
+        break;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(reads_done.load(), 0u);
+  // Splits really happened under the readers (the interesting case).
+  EXPECT_GT(f.db->primary()->counters().data_time_splits +
+                f.db->primary()->counters().data_key_splits,
+            0u);
+}
+
+TEST(ConcurrencyTest, SnapshotScansStayExactUnderConcurrentSplits) {
+  Fixture f;
+  constexpr int kKeys = 150;
+  constexpr int kRounds = 25;
+  constexpr int kScanners = 3;
+
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(f.db->Put(KeyOf(i), ValueOf(KeyOf(i), 0)).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> scans_done{0};
+
+  std::vector<std::thread> scanners;
+  for (int r = 0; r < kScanners; ++r) {
+    scanners.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire) && !failed.load()) {
+        txn::ReadTransaction snap = f.db->BeginReadOnly();
+        auto it = snap.NewIterator();
+        Status s = it->SeekToFirst();
+        int count = 0;
+        std::string prev_key;
+        while (s.ok() && it->Valid()) {
+          if (!prev_key.empty() && it->key().ToString() <= prev_key) {
+            failed.store(true);  // out of order or duplicate
+            break;
+          }
+          if (it->ts() > snap.timestamp()) {
+            failed.store(true);  // future version leaked into the snapshot
+            break;
+          }
+          prev_key = it->key().ToString();
+          count++;
+          s = it->Next();
+        }
+        if (!s.ok() || count != kKeys) {
+          // Every key was seeded before any snapshot began, so every
+          // snapshot must contain all of them exactly once.
+          failed.store(true);
+        }
+        scans_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int round = 1; round <= kRounds && !failed.load(); ++round) {
+    for (int i = 0; i < kKeys; ++i) {
+      Status s = f.db->Put(KeyOf(i), ValueOf(KeyOf(i), round));
+      if (!s.ok()) {
+        ADD_FAILURE() << "writer Put failed: " << s.ToString();
+        failed.store(true);
+        break;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : scanners) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(scans_done.load(), 0u);
+}
+
+// A multi-key transaction must be all-or-nothing to lock-free readers:
+// the commit timestamp is published to the reader watermark only after
+// every key is stamped, so a snapshot can never see key A from a commit
+// without key B (paper 4.1: no updater commits at or before an issued
+// read timestamp).
+TEST(ConcurrencyTest, MultiKeyCommitsAreAtomicToReaders) {
+  Fixture f;
+  constexpr int kPairs = 30;
+  constexpr int kRounds = 60;
+
+  auto a_key = [](int i) { return "a-" + KeyOf(i); };
+  auto b_key = [](int i) { return "b-" + KeyOf(i); };
+  for (int i = 0; i < kPairs; ++i) {
+    std::unique_ptr<txn::Transaction> t;
+    ASSERT_TRUE(f.db->Begin(&t).ok());
+    ASSERT_TRUE(t->Put(a_key(i), ValueOf(a_key(i), 0)).ok());
+    ASSERT_TRUE(t->Put(b_key(i), ValueOf(b_key(i), 0)).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> checks{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t rng = 0xD1B54A32D192ED03ull * (r + 1);
+      while (!stop.load(std::memory_order_acquire) && !failed.load()) {
+        txn::ReadTransaction snap = f.db->BeginReadOnly();
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const int i = static_cast<int>((rng >> 33) % kPairs);
+        std::string va, vb, ka, kb;
+        uint64_t sa = 0, sb = 0;
+        if (!snap.Get(a_key(i), &va).ok() || !snap.Get(b_key(i), &vb).ok() ||
+            !DecodeValue(va, &ka, &sa) || !DecodeValue(vb, &kb, &sb) ||
+            sa != sb) {
+          failed.store(true);  // torn commit: pair out of sync at snapshot
+          break;
+        }
+        checks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Each round rewrites every pair in ONE transaction with a new seq.
+  for (int round = 1; round <= kRounds && !failed.load(); ++round) {
+    for (int i = 0; i < kPairs; ++i) {
+      std::unique_ptr<txn::Transaction> t;
+      ASSERT_TRUE(f.db->Begin(&t).ok());
+      Status s = t->Put(a_key(i), ValueOf(a_key(i), round));
+      if (s.ok()) s = t->Put(b_key(i), ValueOf(b_key(i), round));
+      if (s.ok()) s = t->Commit();
+      if (!s.ok()) {
+        ADD_FAILURE() << "pair commit failed: " << s.ToString();
+        failed.store(true);
+        break;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(checks.load(), 0u);
+}
+
+// Two updater threads racing on overlapping key ranges: first-writer-wins
+// conflicts surface as TxnConflict, never as corruption, and committed
+// state stays decodable.
+TEST(ConcurrencyTest, ConcurrentUpdatersConflictCleanly) {
+  Fixture f;
+  constexpr int kKeys = 40;
+  constexpr int kOpsPerWriter = 300;
+
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> conflicts{0};
+
+  auto writer = [&](int wid) {
+    uint64_t rng = 0xA0761D64ull * (wid + 3);
+    for (int i = 0; i < kOpsPerWriter && !failed.load(); ++i) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      const int ki = static_cast<int>((rng >> 33) % kKeys);
+      std::unique_ptr<txn::Transaction> t;
+      if (!f.db->Begin(&t).ok()) {
+        failed.store(true);
+        return;
+      }
+      Status s = t->Put(KeyOf(ki), ValueOf(KeyOf(ki), i));
+      if (s.IsTxnConflict()) {
+        conflicts.fetch_add(1);
+        t->Abort();
+        continue;
+      }
+      if (!s.ok() || !t->Commit().ok()) {
+        failed.store(true);
+        return;
+      }
+      commits.fetch_add(1);
+    }
+  };
+  std::thread w1(writer, 1), w2(writer, 2);
+  w1.join();
+  w2.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(commits.load(), 0u);
+  // All keys that were committed decode cleanly.
+  for (int i = 0; i < kKeys; ++i) {
+    std::string value, key;
+    uint64_t seq = 0;
+    Status s = f.db->Get(KeyOf(i), &value);
+    if (s.IsNotFound()) continue;
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_TRUE(DecodeValue(value, &key, &seq));
+    EXPECT_EQ(KeyOf(i), key);
+  }
+}
+
+}  // namespace
+}  // namespace tsb

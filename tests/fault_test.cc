@@ -5,7 +5,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/logger.h"
 #include "storage/mem_device.h"
 #include "storage/pager.h"
 #include "storage/worm_device.h"
@@ -154,13 +156,26 @@ TEST_F(FaultTest, FreeListBoundedEncoding) {
     ids.push_back(id);
   }
   for (uint32_t id : ids) ASSERT_TRUE(pager.Free(id).ok());
+  EXPECT_EQ(0u, pager.leaked_free_pages());
+  // Overflowing the meta budget warns and counts the leaked pages.
+  std::vector<std::string> captured;
+  Logger::SetSink(
+      [&](LogLevel, const std::string& m) { captured.push_back(m); });
   std::string blob;
   pager.EncodeFreeList(&blob, 44);  // room for 10 ids
+  Logger::SetSink(nullptr);
   EXPECT_LE(blob.size(), 44u);
+  EXPECT_EQ(90u, pager.leaked_free_pages());
+  ASSERT_EQ(1u, captured.size());
+  EXPECT_NE(std::string::npos, captured[0].find("free list overflow"));
   Pager pager2(&dev, 512);
   ASSERT_TRUE(pager2.DecodeFreeList(Slice(blob)).ok());
   // The 10 persisted ids are reusable; the rest leak (documented).
   EXPECT_EQ(90u, pager2.live_pages());
+  // A roomy re-encode clears the leak counter.
+  std::string big;
+  pager.EncodeFreeList(&big, 4096);
+  EXPECT_EQ(0u, pager.leaked_free_pages());
 }
 
 TEST_F(FaultTest, DecodeFreeListRejectsGarbage) {
