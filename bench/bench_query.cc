@@ -7,15 +7,61 @@
 // cost model: magnetic vs 3x-slower optical seeks).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "bpt/bplus_tree.h"
 #include "common/random.h"
 #include "tsb/cursor.h"
 #include "wobt/wobt_tree.h"
+
+// ---- binary-wide allocation counter ----
+// Counts every operator-new call so the historical as-of section can
+// report allocations per lookup: the zero-copy read path must show ~0 on
+// the cache-hit path, the legacy owning-decode baseline shows the per-
+// entry materialization cost.
+//
+// All replacement news below are malloc/aligned_alloc-backed, so free()
+// in the deletes is correct; GCC's pairing heuristic cannot see that.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+static std::atomic<uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
 
 namespace tsb {
 namespace bench {
@@ -135,6 +181,132 @@ void PrintIoTable() {
          "seeks; the WOBT pays optical seeks for EVERYTHING)\n\n");
 }
 
+// ---- historical as-of workload: zero-copy views vs owning decodes ----
+//
+// Measures SearchPoint phase 2 on its cache-hit path (the shared-blob
+// cache is sized to the whole historical working set) and writes
+// BENCH_query.json: ops/sec and allocations per op for the zero-copy view
+// path and for the legacy owning-decode baseline (the pre-change read
+// path, kept behind TsbOptions::zero_copy_hist_reads = false).
+
+struct HistAsOfResult {
+  double ops_per_sec = 0;
+  double allocs_per_op = 0;
+  double cache_hit_ratio = 0;
+};
+
+HistAsOfResult MeasureHistAsOf(
+    tsb_tree::TsbTree* tree,
+    const std::vector<std::pair<std::string, Timestamp>>& probes,
+    int rounds) {
+  std::string v;
+  // Warmup populates the shared-blob cache; the measured loop then runs
+  // entirely on cache hits.
+  for (const auto& [k, t] : probes) tree->GetAsOf(k, t, &v);
+  const HistReadStats before_stats = tree->HistStats();
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  size_t ops = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& [k, t] : probes) {
+      benchmark::DoNotOptimize(tree->GetAsOf(k, t, &v));
+      ++ops;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  const double secs = std::chrono::duration<double>(end - start).count();
+  const HistReadStats after_stats = tree->HistStats();
+  HistAsOfResult r;
+  r.ops_per_sec = secs > 0 ? static_cast<double>(ops) / secs : 0;
+  r.allocs_per_op = static_cast<double>(allocs) / static_cast<double>(ops);
+  const uint64_t lookups = (after_stats.cache_hits + after_stats.cache_misses) -
+                           (before_stats.cache_hits + before_stats.cache_misses);
+  const uint64_t hits = after_stats.cache_hits - before_stats.cache_hits;
+  r.cache_hit_ratio =
+      lookups == 0 ? 1.0
+                   : static_cast<double>(hits) / static_cast<double>(lookups);
+  return r;
+}
+
+void WriteHistAsOfJson() {
+  tsb_tree::TsbOptions topts;
+  topts.page_size = 2048;
+  topts.buffer_pool_frames = 1024;  // current axis fully resident
+  topts.hist_cache_blobs = 4096;    // whole historical working set cached
+  TsbFixture view_f = TsbFixture::Build(QuerySpec(), topts);
+  tsb_tree::TsbOptions owned_opts = topts;
+  owned_opts.zero_copy_hist_reads = false;
+  TsbFixture owned_f = TsbFixture::Build(QuerySpec(), owned_opts);
+
+  // Probe set: deep-past as-of lookups that land on a version, so the
+  // measured loop exercises full descents into historical data nodes.
+  size_t keys = 0;
+  {
+    util::WorkloadGenerator gen(QuerySpec());
+    util::Op op;
+    while (gen.Next(&op)) {
+    }
+    keys = gen.keys_created();
+  }
+  util::WorkloadGenerator gen(QuerySpec());
+  Random rnd(29);
+  std::vector<std::pair<std::string, Timestamp>> probes;
+  std::string v;
+  for (int attempt = 0; attempt < 20000 && probes.size() < 512; ++attempt) {
+    std::string k = gen.KeyFor(rnd.Uniform(keys));
+    const Timestamp t = 1 + rnd.Uniform(kOps / 4);  // oldest quarter
+    if (view_f.tree->GetAsOf(k, t, &v).ok()) {
+      probes.emplace_back(std::move(k), t);
+    }
+  }
+  if (probes.empty()) {
+    fprintf(stderr, "hist as-of bench: no probes found, skipping JSON\n");
+    return;
+  }
+  const int rounds =
+      static_cast<int>(200000 / probes.size()) + 1;  // ~200k measured ops
+
+  const HistAsOfResult view = MeasureHistAsOf(view_f.tree.get(), probes, rounds);
+  const HistAsOfResult owned =
+      MeasureHistAsOf(owned_f.tree.get(), probes, rounds);
+  const double speedup =
+      owned.ops_per_sec > 0 ? view.ops_per_sec / owned.ops_per_sec : 0;
+
+  printf("== historical as-of lookups: zero-copy views vs owning decodes ==\n");
+  printf("(%zu probes x %d rounds, shared-blob cache covers the working set)\n",
+         probes.size(), rounds);
+  printf("view path : %12.0f ops/s  %6.2f allocs/op  hit ratio %.3f\n",
+         view.ops_per_sec, view.allocs_per_op, view.cache_hit_ratio);
+  printf("owned path: %12.0f ops/s  %6.2f allocs/op  hit ratio %.3f\n",
+         owned.ops_per_sec, owned.allocs_per_op, owned.cache_hit_ratio);
+  printf("speedup: %.2fx\n\n", speedup);
+
+  const char* path = std::getenv("BENCH_QUERY_JSON");
+  if (path == nullptr) path = "BENCH_query.json";
+  FILE* f = fopen(path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  fprintf(f,
+          "{\n"
+          "  \"workload\": {\"ops\": %zu, \"update_fraction\": %.2f, "
+          "\"probes\": %zu, \"rounds\": %d},\n"
+          "  \"hist_asof_view\": {\"ops_per_sec\": %.1f, "
+          "\"allocs_per_op\": %.4f, \"cache_hit_ratio\": %.4f},\n"
+          "  \"hist_asof_owned_baseline\": {\"ops_per_sec\": %.1f, "
+          "\"allocs_per_op\": %.4f, \"cache_hit_ratio\": %.4f},\n"
+          "  \"speedup_view_vs_owned\": %.3f\n"
+          "}\n",
+          kOps, kUpdateFraction, probes.size(), rounds, view.ops_per_sec,
+          view.allocs_per_op, view.cache_hit_ratio, owned.ops_per_sec,
+          owned.allocs_per_op, owned.cache_hit_ratio, speedup);
+  fclose(f);
+  printf("wrote %s\n\n", path);
+}
+
 void BM_TsbGetCurrent(benchmark::State& state) {
   Fixtures& f = Fixtures::Get();
   Random rnd(2);
@@ -215,6 +387,7 @@ BENCHMARK(BM_TsbSnapshotScan)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   tsb::bench::PrintIoTable();
+  tsb::bench::WriteHistAsOfJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

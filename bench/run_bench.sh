@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release mode and runs the query + concurrency
+# benches as a smoke test. bench_query writes BENCH_query.json (historical
+# as-of ops/sec and allocations per lookup for the zero-copy view path vs
+# the legacy owning-decode baseline), which is copied to the repo root for
+# CI artifact upload.
+#
+# Usage: bench/run_bench.sh [build-dir]   (default: <repo>/build-release)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-release}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j --target bench_query bench_concurrency || {
+  echo "error: bench build failed (if the targets are missing entirely," >&2
+  echo "check that libbenchmark-dev is installed)" >&2
+  exit 1
+}
+
+# Full google-benchmark timings are opt-in (slow); the smoke run executes
+# each binary's deterministic table + JSON section only.
+FILTER="${BENCH_FILTER:-NONE}"
+
+(cd "$BUILD" && BENCH_QUERY_JSON="$ROOT/BENCH_query.json" \
+    ./bench_query --benchmark_filter="$FILTER")
+(cd "$BUILD" && ./bench_concurrency --benchmark_filter="$FILTER")
+
+echo "wrote $ROOT/BENCH_query.json"

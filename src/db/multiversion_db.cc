@@ -126,6 +126,14 @@ Status MultiVersionDB::FindBySecondaryAsOf(
   return Status::OK();
 }
 
+HistReadStats MultiVersionDB::HistStats() const {
+  HistReadStats s = tree_->HistStats();
+  for (const auto& [name, def] : indexes_) {
+    s.Add(def.index->tree()->HistStats());
+  }
+  return s;
+}
+
 Status MultiVersionDB::Flush() {
   TSB_RETURN_IF_ERROR(tree_->Flush());
   for (auto& [name, def] : indexes_) {

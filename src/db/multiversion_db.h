@@ -109,6 +109,11 @@ class MultiVersionDB {
     return tree_->ComputeSpaceStats(out);
   }
 
+  /// Historical read-path counters for the primary index plus every
+  /// secondary index: blob reads/bytes, shared-blob cache hit ratio, and
+  /// view vs. owned node decodes. Safe to call concurrently with readers.
+  HistReadStats HistStats() const;
+
   tsb_tree::TsbTree* primary() { return tree_.get(); }
   txn::TxnManager* txn_manager() { return txns_.get(); }
   /// Committed watermark — the time at which as-of queries see every

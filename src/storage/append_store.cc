@@ -40,21 +40,8 @@ Status AppendStore::Append(const Slice& payload, HistAddr* addr) {
   return Status::OK();
 }
 
-Status AppendStore::Read(const HistAddr& addr, std::string* payload) {
-  if (cache_capacity_ > 0) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = cache_.find(addr.offset);
-    if (it != cache_.end()) {
-      cache_lru_.erase(it->second.lru_pos);
-      cache_lru_.push_front(addr.offset);
-      it->second.lru_pos = cache_lru_.begin();
-      *payload = it->second.payload;
-      cache_hits_++;
-      return Status::OK();
-    }
-    cache_misses_++;
-  }
-
+Status AppendStore::ReadFromDevice(const HistAddr& addr,
+                                   std::string* payload) {
   char header[kFrameHeaderSize];
   TSB_RETURN_IF_ERROR(device_->Read(addr.offset, kFrameHeaderSize, header));
   const uint32_t len = DecodeFixed32(header);
@@ -70,22 +57,65 @@ Status AppendStore::Read(const HistAddr& addr, std::string* payload) {
     return Status::Corruption("historical blob checksum mismatch",
                               "at offset " + std::to_string(addr.offset));
   }
+  return Status::OK();
+}
+
+Status AppendStore::ReadView(const HistAddr& addr, BlobHandle* out) {
+  blob_reads_.fetch_add(1, std::memory_order_relaxed);
+  blob_bytes_read_.fetch_add(addr.length, std::memory_order_relaxed);
+  if (cache_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(addr.offset);
+    if (it != cache_.end()) {
+      // splice, not erase+push: the LRU bump must not allocate.
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_pos);
+      *out = BlobHandle(it->second.payload);  // pin, no copy
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  auto payload = std::make_shared<std::string>();
+  TSB_RETURN_IF_ERROR(ReadFromDevice(addr, payload.get()));
+  std::shared_ptr<const std::string> blob = std::move(payload);
 
   if (cache_capacity_ > 0) {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    // A concurrent reader may have inserted the same blob while we read it
-    // from the device; emplace is a no-op then.
-    if (cache_.find(addr.offset) == cache_.end()) {
+    auto it = cache_.find(addr.offset);
+    if (it != cache_.end()) {
+      // A concurrent reader published the same blob while we read it from
+      // the device; share theirs so all pins reference one buffer.
+      blob = it->second.payload;
+    } else {
       while (cache_.size() >= cache_capacity_) {
         const uint64_t victim = cache_lru_.back();
         cache_lru_.pop_back();
-        cache_.erase(victim);
+        cache_.erase(victim);  // pinned readers keep the blob alive
       }
       cache_lru_.push_front(addr.offset);
-      cache_.emplace(addr.offset, CacheEntry{*payload, cache_lru_.begin()});
+      cache_.emplace(addr.offset, CacheEntry{blob, cache_lru_.begin()});
     }
   }
+  *out = BlobHandle(std::move(blob));
   return Status::OK();
+}
+
+Status AppendStore::Read(const HistAddr& addr, std::string* payload) {
+  BlobHandle handle;
+  TSB_RETURN_IF_ERROR(ReadView(addr, &handle));
+  const Slice data = handle.data();
+  payload->assign(data.data(), data.size());  // copy outside the cache latch
+  return Status::OK();
+}
+
+HistReadStats AppendStore::hist_stats() const {
+  HistReadStats s;
+  s.blob_reads = blob_reads_.load(std::memory_order_relaxed);
+  s.blob_bytes = blob_bytes_read_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace tsb

@@ -11,8 +11,10 @@
 #ifndef TSBTREE_STORAGE_APPEND_STORE_H_
 #define TSBTREE_STORAGE_APPEND_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -20,6 +22,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "storage/device.h"
+#include "storage/io_stats.h"
 
 namespace tsb {
 
@@ -33,13 +36,43 @@ struct HistAddr {
   }
 };
 
+/// A pinned, immutable historical blob. Cache hits hand out the cached
+/// string by shared_ptr — no memcpy — and the pin keeps the bytes alive
+/// even if the cache evicts the entry, so views built over data() stay
+/// valid for the handle's lifetime. Cheap to copy (one refcount bump).
+class BlobHandle {
+ public:
+  BlobHandle() = default;
+
+  /// The blob's payload bytes; valid while this handle (or any copy) lives.
+  Slice data() const { return blob_ ? Slice(*blob_) : Slice(); }
+  bool valid() const { return blob_ != nullptr; }
+  void Release() { blob_.reset(); }
+
+  /// True when two handles pin the same underlying buffer (shared cache
+  /// entry rather than separate copies) — used by tests.
+  bool SharesBufferWith(const BlobHandle& o) const {
+    return blob_ != nullptr && blob_ == o.blob_;
+  }
+
+ private:
+  friend class AppendStore;
+  explicit BlobHandle(std::shared_ptr<const std::string> blob)
+      : blob_(std::move(blob)) {}
+
+  std::shared_ptr<const std::string> blob_;
+};
+
 /// Append-only store of checksummed variable-length blobs, with a small
-/// LRU read cache (historical data is read-mostly and slow; the cache
-/// models a modest staging buffer, not the magnetic-disk buffer pool).
+/// LRU read cache of shared immutable blobs (historical data is
+/// read-mostly and slow; the cache models a modest staging buffer, not the
+/// magnetic-disk buffer pool).
 ///
 /// Thread-safe: appends are serialized by a mutex; concurrent reads share
 /// the device (blobs are immutable once written) and the read cache is
-/// latch-guarded.
+/// latch-guarded. Cache hits never copy or verify the payload under the
+/// latch — they pin the cached blob; misses read and CRC-check outside the
+/// latch and publish the blob once.
 class AppendStore {
  public:
   /// `device` outlives the store. If the device is a WORM, appends start at
@@ -51,7 +84,13 @@ class AppendStore {
   /// Appends `payload` and returns its address.
   Status Append(const Slice& payload, HistAddr* addr);
 
+  /// Pins the blob at `addr` without copying it. Cache hits pin the cached
+  /// string (no memcpy, no CRC work under the cache latch); misses read
+  /// and verify outside the latch, then publish the blob for sharing.
+  Status ReadView(const HistAddr& addr, BlobHandle* out);
+
   /// Reads the blob at `addr` into `*payload`, verifying length and CRC.
+  /// Thin wrapper over ReadView: the copy happens outside the cache latch.
   Status Read(const HistAddr& addr, std::string* payload);
 
   /// Total bytes of payload appended (excludes framing and sector residue).
@@ -71,13 +110,15 @@ class AppendStore {
   }
 
   uint64_t cache_hits() const {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    return cache_hits_;
+    return cache_hits_.load(std::memory_order_relaxed);
   }
   uint64_t cache_misses() const {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    return cache_misses_;
+    return cache_misses_.load(std::memory_order_relaxed);
   }
+
+  /// Read-path counters (blob reads/bytes served, cache hit/miss). The
+  /// decode counters are zero here — the tree layers them on top.
+  HistReadStats hist_stats() const;
 
   Device* device() const { return device_; }
 
@@ -85,6 +126,9 @@ class AppendStore {
 
  private:
   uint64_t AlignUp(uint64_t offset) const;
+
+  /// Reads and CRC-verifies the framed blob at `addr` from the device.
+  Status ReadFromDevice(const HistAddr& addr, std::string* payload);
 
   Device* device_;
   uint32_t sector_size_;  // 0 => no alignment (erasable device)
@@ -94,17 +138,21 @@ class AppendStore {
   uint64_t payload_bytes_ = 0;
   uint64_t blob_count_ = 0;
 
-  // Tiny LRU read cache keyed by offset, latch-guarded.
+  // Tiny LRU read cache keyed by offset, latch-guarded. Entries are
+  // shared_ptrs so readers pin blobs instead of copying them; eviction
+  // only drops the cache's reference.
   mutable std::mutex cache_mu_;
   size_t cache_capacity_;
   std::list<uint64_t> cache_lru_;
   struct CacheEntry {
-    std::string payload;
+    std::shared_ptr<const std::string> payload;
     std::list<uint64_t>::iterator lru_pos;
   };
   std::unordered_map<uint64_t, CacheEntry> cache_;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> blob_reads_{0};
+  std::atomic<uint64_t> blob_bytes_read_{0};
 };
 
 }  // namespace tsb

@@ -82,7 +82,10 @@ Status BufferPool::PinFrame(uint32_t id, Frame** out) {
     if (it != shard.frames.end()) {
       f = &it->second;
       if (f->in_lru) {
-        shard.lru.erase(f->lru_pos);
+        // Park the node instead of erasing it: the steady-state pin/unpin
+        // cycle then performs no allocation at all.
+        shard.pinned_nodes.splice(shard.pinned_nodes.begin(), shard.lru,
+                                  f->lru_pos);
         f->in_lru = false;
       }
       f->pins++;
@@ -94,6 +97,8 @@ Status BufferPool::PinFrame(uint32_t id, Frame** out) {
       f->id = id;
       f->data.reset(new char[pager_->page_size()]);
       f->pins = 1;
+      shard.pinned_nodes.push_front(id);  // the frame's one list node
+      f->lru_pos = shard.pinned_nodes.begin();
       // The device read happens OUTSIDE the shard mutex so other pins in
       // this shard don't stall behind the I/O. The frame is published
       // pinned + exclusively latched + marked loading; concurrent
@@ -132,6 +137,7 @@ void BufferPool::UnpinDiscard(Frame* frame) {
   std::lock_guard<std::mutex> lock(shard.mu);
   assert(frame->pins > 0);
   if (--frame->pins == 0) {
+    shard.pinned_nodes.erase(frame->lru_pos);
     shard.frames.erase(frame->id);
   }
 }
@@ -170,6 +176,8 @@ Status BufferPool::New(PageType type, PageHandle* handle) {
   f.data.reset(new char[pager_->page_size()]);
   InitPage(f.data.get(), pager_->page_size(), id, type);
   f.pins = 1;
+  shard.pinned_nodes.push_front(id);  // the frame's one list node
+  f.lru_pos = shard.pinned_nodes.begin();
   f.dirty.store(true, std::memory_order_release);
   *handle = PageHandle(this, &f, id, f.data.get(), LatchMode::kNone);
   return Status::OK();
@@ -204,7 +212,11 @@ Status BufferPool::Drop(uint32_t id) {
       if (f.pins > 0) {
         return Status::Busy("Drop of pinned page", std::to_string(id));
       }
-      if (f.in_lru) shard.lru.erase(f.lru_pos);
+      if (f.in_lru) {
+        shard.lru.erase(f.lru_pos);
+      } else {
+        shard.pinned_nodes.erase(f.lru_pos);
+      }
       shard.frames.erase(it);
     }
   }
@@ -216,8 +228,7 @@ void BufferPool::Unpin(Frame* frame) {
   std::lock_guard<std::mutex> lock(shard.mu);
   assert(frame->pins > 0);
   if (--frame->pins == 0) {
-    shard.lru.push_front(frame->id);
-    frame->lru_pos = shard.lru.begin();
+    shard.lru.splice(shard.lru.begin(), shard.pinned_nodes, frame->lru_pos);
     frame->in_lru = true;
   }
 }
@@ -240,11 +251,14 @@ Status BufferPool::EvictIfNeeded(Shard* shard) {
       victim_pos = std::prev(shard->lru.end());  // all dirty: LRU tail
     }
     const uint32_t victim = *victim_pos;
-    shard->lru.erase(victim_pos);
     auto it = shard->frames.find(victim);
     assert(it != shard->frames.end() && it->second.pins == 0);
-    it->second.in_lru = false;
+    // Write back BEFORE unlinking the LRU node: on failure the frame must
+    // stay fully consistent (in_lru with a valid lru_pos), or later
+    // pin/unpin splices would operate on a dangling iterator.
     TSB_RETURN_IF_ERROR(WriteBack(&it->second));
+    shard->lru.erase(victim_pos);
+    it->second.in_lru = false;
     shard->frames.erase(it);
     shard->stats.evictions++;
   }

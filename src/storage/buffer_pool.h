@@ -139,7 +139,10 @@ class BufferPool {
     std::atomic<bool> loading{false};  // device read in flight
     std::atomic<bool> load_failed{false};
     std::shared_mutex latch;         // page-content reader/writer latch
-    std::list<uint32_t>::iterator lru_pos;  // valid iff pins == 0
+    // List node carrying this frame's id; lives in `lru` while unpinned
+    // (in_lru) and is parked in `pinned_nodes` while pinned, so pin/unpin
+    // splice the node instead of freeing and reallocating it.
+    std::list<uint32_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
@@ -147,6 +150,7 @@ class BufferPool {
     mutable std::mutex mu;
     std::unordered_map<uint32_t, Frame> frames;
     std::list<uint32_t> lru;  // front = most recent
+    std::list<uint32_t> pinned_nodes;  // parked nodes of pinned frames
     BufferPoolStats stats;
   };
 

@@ -18,4 +18,19 @@ std::string IoStats::ToString() const {
   return std::string(buf);
 }
 
+std::string HistReadStats::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "blob_reads=%llu blob_bytes=%llu cache_hits=%llu "
+           "cache_misses=%llu hit_ratio=%.3f view_decodes=%llu "
+           "owned_decodes=%llu",
+           static_cast<unsigned long long>(blob_reads),
+           static_cast<unsigned long long>(blob_bytes),
+           static_cast<unsigned long long>(cache_hits),
+           static_cast<unsigned long long>(cache_misses), hit_ratio(),
+           static_cast<unsigned long long>(view_decodes),
+           static_cast<unsigned long long>(owned_decodes));
+  return std::string(buf);
+}
+
 }  // namespace tsb

@@ -54,6 +54,39 @@ struct IoStats {
   std::string ToString() const;
 };
 
+/// Counters for the historical (append-store) read path: how many blob
+/// reads were served, how many bytes, how often the shared-blob cache hit,
+/// and whether nodes were parsed zero-copy (view) or materialized (owned).
+/// Blob/cache numbers come from the AppendStore; decode numbers from the
+/// tree's read paths.
+struct HistReadStats {
+  uint64_t blob_reads = 0;     ///< ReadView/Read calls served
+  uint64_t blob_bytes = 0;     ///< payload bytes served (incl. cache hits)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t view_decodes = 0;   ///< nodes parsed zero-copy over pinned blobs
+  uint64_t owned_decodes = 0;  ///< nodes materialized into owning vectors
+
+  /// Cache hits per lookup; 1.0 when the cache was never consulted.
+  double hit_ratio() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 1.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+
+  void Add(const HistReadStats& o) {
+    blob_reads += o.blob_reads;
+    blob_bytes += o.blob_bytes;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    view_decodes += o.view_decodes;
+    owned_decodes += o.owned_decodes;
+  }
+
+  std::string ToString() const;
+};
+
 }  // namespace tsb
 
 #endif  // TSBTREE_STORAGE_IO_STATS_H_

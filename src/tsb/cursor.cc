@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/buffer_pool.h"
+
 namespace tsb {
 namespace tsb_tree {
 
@@ -28,7 +30,7 @@ Status SnapshotIterator::SeekRange(const Slice& start,
 
 Status SnapshotIterator::Seek(const Slice& target) {
   stack_.clear();
-  records_.clear();
+  rec_count_ = 0;
   rec_idx_ = 0;
   valid_ = false;
   emitted_any_ = false;
@@ -39,54 +41,76 @@ Status SnapshotIterator::Seek(const Slice& target) {
   return Advance();
 }
 
-Status SnapshotIterator::PushNode(const NodeRef& ref,
+template <typename DataAccessor>
+Status SnapshotIterator::EmitLeaf(const DataAccessor& node,
                                   const std::string& win_lo,
                                   const std::string& win_hi,
                                   bool win_hi_inf) {
-  DecodedNode node;
-  TSB_RETURN_IF_ERROR(tree_->ReadNode(ref, &node));
-  if (node.is_data()) {
-    // Emit per key the latest committed version with ts <= t, clipped to
-    // the window and the seek target. Entries are (key, ts) sorted.
-    records_.clear();
-    rec_idx_ = 0;
-    size_t i = 0;
-    while (i < node.data.size()) {
-      size_t j = i;
-      const DataEntry* best = nullptr;
-      while (j < node.data.size() && node.data[j].key == node.data[i].key) {
-        const DataEntry& e = node.data[j];
-        if (!e.uncommitted() && e.ts <= t_) best = &e;
-        ++j;
+  // Emit per key the latest committed version with ts <= t, clipped to
+  // the window and the seek target. Entries are (key, ts) sorted. Views
+  // stay valid for the whole loop (the caller holds the page latch or the
+  // blob pin); only emitted records are copied, into reused slots.
+  rec_count_ = 0;
+  rec_idx_ = 0;
+  const int n = node.Count();
+  int i = 0;
+  while (i < n) {
+    DataEntryView first;
+    TSB_RETURN_IF_ERROR(node.At(i, &first));
+    const Slice run_key = first.key;
+    bool have_best = false;
+    Timestamp best_ts = 0;
+    Slice best_value;
+    int j = i;
+    for (; j < n; ++j) {
+      DataEntryView e;
+      TSB_RETURN_IF_ERROR(node.At(j, &e));
+      if (e.key != run_key) break;
+      if (!e.uncommitted() && e.ts <= t_) {
+        have_best = true;
+        best_ts = e.ts;
+        best_value = e.value;
       }
-      if (best != nullptr) {
-        const Slice k(best->key);
-        const bool in_window = k >= Slice(win_lo) &&
-                               (win_hi_inf || k < Slice(win_hi)) &&
-                               k >= Slice(seek_target_) &&
-                               (end_inf_ || k < Slice(end_key_));
-        if (in_window) {
-          records_.push_back(Record{best->key, best->ts, best->value});
-        }
-      }
-      i = j;
     }
-    return Status::OK();
+    if (have_best) {
+      const bool in_window = run_key >= Slice(win_lo) &&
+                             (win_hi_inf || run_key < Slice(win_hi)) &&
+                             run_key >= Slice(seek_target_) &&
+                             (end_inf_ || run_key < Slice(end_key_));
+      if (in_window) {
+        if (rec_count_ == records_.size()) records_.emplace_back();
+        Record& r = records_[rec_count_++];
+        r.key.assign(run_key.data(), run_key.size());
+        r.ts = best_ts;
+        r.value.assign(best_value.data(), best_value.size());
+      }
+    }
+    i = j;
   }
+  return Status::OK();
+}
 
+template <typename IndexAccessor>
+Status SnapshotIterator::PushIndexFrame(const IndexAccessor& node,
+                                        const std::string& win_lo,
+                                        const std::string& win_hi,
+                                        bool win_hi_inf) {
   Frame f;
   f.win_lo = win_lo;
   f.win_hi = win_hi;
   f.win_hi_inf = win_hi_inf;
-  for (const IndexEntry& e : node.index) {
+  const int n = node.Count();
+  for (int i = 0; i < n; ++i) {
+    IndexEntryView e;
+    TSB_RETURN_IF_ERROR(node.AtView(i, &e));
     if (!e.ContainsTime(t_)) continue;
     // Key overlap with the window?
-    if (!win_hi_inf && Slice(e.key_lo) >= Slice(win_hi)) continue;
-    if (!e.key_hi_inf && Slice(e.key_hi) <= Slice(win_lo)) continue;
+    if (!win_hi_inf && e.key_lo >= Slice(win_hi)) continue;
+    if (!e.key_hi_inf && e.key_hi <= Slice(win_lo)) continue;
     // Skip subtrees entirely below the seek target or past the end bound.
-    if (!e.key_hi_inf && Slice(e.key_hi) <= Slice(seek_target_)) continue;
-    if (!end_inf_ && Slice(e.key_lo) >= Slice(end_key_)) continue;
-    f.entries.push_back(e);
+    if (!e.key_hi_inf && e.key_hi <= Slice(seek_target_)) continue;
+    if (!end_inf_ && e.key_lo >= Slice(end_key_)) continue;
+    f.entries.push_back(e.ToOwned());  // only survivors are materialized
   }
   std::sort(f.entries.begin(), f.entries.end(),
             [](const IndexEntry& a, const IndexEntry& b) {
@@ -94,6 +118,39 @@ Status SnapshotIterator::PushNode(const NodeRef& ref,
             });
   stack_.push_back(std::move(f));
   return Status::OK();
+}
+
+Status SnapshotIterator::PushNode(const NodeRef& ref,
+                                  const std::string& win_lo,
+                                  const std::string& win_hi,
+                                  bool win_hi_inf) {
+  if (ref.historical) {
+    // Historical nodes: pin the blob (shared with the append-store cache)
+    // and walk it through view refs — nothing is materialized besides the
+    // emitted records / surviving frame entries.
+    BlobHandle blob;
+    TSB_RETURN_IF_ERROR(tree_->ReadHistBlob(ref.addr, &blob));
+    uint8_t level = 0;
+    TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &level));
+    if (level == 0) {
+      HistDataNodeRef node;
+      TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+      return EmitLeaf(node, win_lo, win_hi, win_hi_inf);
+    }
+    HistIndexNodeRef node;
+    TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+    return PushIndexFrame(node, win_lo, win_hi, win_hi_inf);
+  }
+  // Current pages: walk the page views under the shared frame latch.
+  PageHandle h;
+  TSB_RETURN_IF_ERROR(tree_->pool_->FetchShared(ref.page_id, &h));
+  const uint32_t page_size = tree_->options_.page_size;
+  if (TsbPageLevel(h.data()) == 0) {
+    DataPageRef page(h.data(), page_size);
+    return EmitLeaf(page, win_lo, win_hi, win_hi_inf);
+  }
+  IndexPageRef page(h.data(), page_size);
+  return PushIndexFrame(page, win_lo, win_hi, win_hi_inf);
 }
 
 Status SnapshotIterator::Advance() {
@@ -111,14 +168,14 @@ Status SnapshotIterator::Advance() {
         seek_target_ = key_;
         seek_target_.push_back('\0');
       }
-      records_.clear();
+      rec_count_ = 0;
       stack_.clear();
       epoch_ = tree_->structure_epoch();
       TSB_RETURN_IF_ERROR(
           PushNode(tree_->root(), std::string(), std::string(), true));
       continue;
     }
-    if (rec_idx_ < records_.size()) {
+    if (rec_idx_ < rec_count_) {
       key_ = records_[rec_idx_].key;
       ts_ = records_[rec_idx_].ts;
       value_ = records_[rec_idx_].value;
@@ -127,7 +184,7 @@ Status SnapshotIterator::Advance() {
       emitted_any_ = true;
       return Status::OK();
     }
-    records_.clear();
+    rec_count_ = 0;
     rec_idx_ = 0;
     if (stack_.empty()) {
       valid_ = false;

@@ -71,6 +71,22 @@ class SnapshotIterator {
                   const std::string& win_hi, bool win_hi_inf);
   Status Advance();
 
+  /// Fills the emission buffer from a leaf accessor (DataPageRef over a
+  /// latched page, or HistDataNodeRef over a pinned blob): per key the
+  /// latest committed version with ts <= t, clipped to the window. Only
+  /// emitted records are copied; record slots reuse their string capacity
+  /// across leaves instead of reallocating per visited version.
+  template <typename DataAccessor>
+  Status EmitLeaf(const DataAccessor& node, const std::string& win_lo,
+                  const std::string& win_hi, bool win_hi_inf);
+
+  /// Builds and pushes a descent frame from an index accessor
+  /// (IndexPageRef or HistIndexNodeRef): filters entry views against the
+  /// window/seek bounds and materializes only the survivors.
+  template <typename IndexAccessor>
+  Status PushIndexFrame(const IndexAccessor& node, const std::string& win_lo,
+                        const std::string& win_hi, bool win_hi_inf);
+
   TsbTree* tree_;
   Timestamp t_;
   std::string seek_target_;  // iteration emits only keys >= this
@@ -79,7 +95,8 @@ class SnapshotIterator {
   uint64_t epoch_ = 0;       // tree structure epoch the stack was built at
   bool emitted_any_ = false;
   std::vector<Frame> stack_;
-  std::vector<Record> records_;  // emission buffer from the current leaf
+  std::vector<Record> records_;  // emission slots; capacity reused
+  size_t rec_count_ = 0;         // live records in records_
   size_t rec_idx_ = 0;
   bool valid_ = false;
   std::string key_, value_;

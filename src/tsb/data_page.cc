@@ -131,9 +131,19 @@ Status DataPageRef::Load(const std::vector<DataEntry>& entries) {
 
 void SerializeHistDataNode(const std::vector<DataEntry>& entries,
                            std::string* out) {
+  HistNodeBuilder builder(0, static_cast<uint32_t>(entries.size()), out);
+  for (const DataEntry& e : entries) {
+    builder.BeginCell();
+    EncodeDataCell(builder.out(), e.key, e.ts, e.txn, e.value);
+  }
+  builder.Finish();
+}
+
+void SerializeHistDataNodeV1(const std::vector<DataEntry>& entries,
+                             std::string* out) {
   out->clear();
   out->push_back(0);  // level 0 = data
-  out->push_back(0);  // pad
+  out->push_back(0);  // pad == 0 marks the v1 wire format
   PutVarint32(out, static_cast<uint32_t>(entries.size()));
   std::string cell;
   for (const DataEntry& e : entries) {
@@ -150,27 +160,71 @@ Status HistNodeLevel(const Slice& blob, uint8_t* level) {
   return Status::OK();
 }
 
-Status DecodeHistDataNode(const Slice& blob, std::vector<DataEntry>* out) {
-  out->clear();
-  Slice in = blob;
-  if (in.size() < 2 || in[0] != 0) {
+Status HistDataNodeRef::Parse(const Slice& blob) {
+  TSB_RETURN_IF_ERROR(node_.Parse(blob));
+  if (node_.level() != 0) {
     return Status::Corruption("not a historical data node");
   }
-  in.remove_prefix(2);
-  uint32_t count = 0;
-  if (!GetVarint32(&in, &count)) {
-    return Status::Corruption("bad historical node count");
+  return Status::OK();
+}
+
+Status HistDataNodeRef::At(int i, DataEntryView* view) const {
+  if (!DecodeDataCell(node_.Cell(i), view)) {
+    return Status::Corruption("bad historical record cell");
   }
-  out->reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    Slice cell;
-    if (!GetLengthPrefixedSlice(&in, &cell)) {
-      return Status::Corruption("bad historical node cell");
-    }
+  return Status::OK();
+}
+
+Status HistDataNodeRef::LowerBound(const Slice& key, Timestamp t,
+                                   int* pos) const {
+  int lo = 0, hi = Count();
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
     DataEntryView v;
-    if (!DecodeDataCell(cell, &v)) {
-      return Status::Corruption("bad historical record cell");
+    TSB_RETURN_IF_ERROR(At(mid, &v));
+    const int c = v.key.compare(key);
+    if (c < 0 || (c == 0 && v.ts < t)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
     }
+  }
+  *pos = lo;
+  return Status::OK();
+}
+
+Status HistDataNodeRef::FindVersion(const Slice& key, Timestamp t,
+                                    int* pos) const {
+  // Same logic as DataPageRef::FindVersion: entries are (key, ts) sorted,
+  // so the candidate is the last entry before LowerBound(key, t+1).
+  // Uncommitted sentinels never migrate but are skipped defensively.
+  const Timestamp upper = (t == kInfiniteTs) ? kInfiniteTs : t + 1;
+  int p = 0;
+  TSB_RETURN_IF_ERROR(LowerBound(key, upper, &p));
+  --p;
+  while (p >= 0) {
+    DataEntryView v;
+    TSB_RETURN_IF_ERROR(At(p, &v));
+    if (v.key != key) break;
+    if (v.uncommitted()) {
+      --p;
+      continue;
+    }
+    *pos = (v.ts <= t) ? p : -1;
+    return Status::OK();
+  }
+  *pos = -1;
+  return Status::OK();
+}
+
+Status DecodeHistDataNode(const Slice& blob, std::vector<DataEntry>* out) {
+  out->clear();
+  HistDataNodeRef node;
+  TSB_RETURN_IF_ERROR(node.Parse(blob));
+  out->reserve(node.Count());
+  for (int i = 0; i < node.Count(); ++i) {
+    DataEntryView v;
+    TSB_RETURN_IF_ERROR(node.At(i, &v));
     out->push_back(v.ToOwned());
   }
   return Status::OK();

@@ -10,8 +10,8 @@
 // entries into an exactly-sized blob for the append store (section 3.4).
 //
 // Record cell: [varint klen][key][fixed64 ts][varint64 txn][value...]
-// Historical blob: [u8 level=0][u8 pad][varint32 count]
-//                  { [varint32 cell_len][cell] } * count
+// Historical blob: the v2 slotted container of hist_node.h holding record
+// cells (v1 length-prefixed blobs remain decodable).
 #ifndef TSBTREE_TSB_DATA_PAGE_H_
 #define TSBTREE_TSB_DATA_PAGE_H_
 
@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "storage/page.h"
 #include "storage/slotted.h"
+#include "tsb/hist_node.h"
 
 namespace tsb {
 namespace tsb_tree {
@@ -126,15 +127,48 @@ class DataPageRef {
   SlottedView slots_;
 };
 
-/// Serializes entries as a consolidated historical data node.
+/// Serializes entries as a consolidated historical data node (v2 slotted).
 void SerializeHistDataNode(const std::vector<DataEntry>& entries,
                            std::string* out);
 
+/// Serializes the legacy v1 wire format (no slot directory). Kept for
+/// compatibility tests; new nodes are always written as v2.
+void SerializeHistDataNodeV1(const std::vector<DataEntry>& entries,
+                             std::string* out);
+
 /// Parses a historical node blob of either kind; returns its level.
-/// For level 0 use DecodeHistDataNode instead.
+/// For level 0 use HistDataNodeRef (zero-copy) or DecodeHistDataNode.
 Status HistNodeLevel(const Slice& blob, uint8_t* level);
 
-/// Parses a historical data node blob.
+/// Zero-copy accessor over a historical data node blob (v1 or v2). The
+/// caller keeps the blob alive (pinned BlobHandle) while the ref and any
+/// views from it are in use. v2 blobs binary-search the trailing slot
+/// directory with no allocation; v1 blobs fall back to a one-pass offset
+/// table.
+class HistDataNodeRef {
+ public:
+  /// Parses `blob`; fails unless it is a level-0 historical node.
+  Status Parse(const Slice& blob);
+
+  int Count() const { return node_.Count(); }
+  bool v2() const { return node_.v2(); }
+  Status At(int i, DataEntryView* view) const;
+
+  /// First index with (key, ts) >= (k, t) into *pos; Count() if none.
+  /// Binary search over the slot directory. Unlike the in-page
+  /// DataPageRef search, a bad cell is reported as Corruption rather than
+  /// folded into a miss — historical blobs are supposed to be immutable.
+  Status LowerBound(const Slice& key, Timestamp t, int* pos) const;
+
+  /// Index of the version of `key` valid at time `t` into *pos: the last
+  /// committed entry with this key and ts <= t. -1 if none.
+  Status FindVersion(const Slice& key, Timestamp t, int* pos) const;
+
+ private:
+  HistNodeRef node_;
+};
+
+/// Parses a historical data node blob (v1 or v2) into owning entries.
 Status DecodeHistDataNode(const Slice& blob, std::vector<DataEntry>* out);
 
 }  // namespace tsb_tree

@@ -1,0 +1,94 @@
+#include "tsb/hist_node.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+namespace {
+constexpr uint32_t kV2HeaderSize = 6;  // level + version + fixed32 count
+}  // namespace
+
+HistNodeBuilder::HistNodeBuilder(uint8_t level, uint32_t count,
+                                 std::string* out)
+    : out_(out), count_(count) {
+  out_->clear();
+  out_->push_back(static_cast<char>(level));
+  out_->push_back(static_cast<char>(kHistNodeVersion2));
+  PutFixed32(out_, count);
+  offsets_.reserve(count);
+}
+
+void HistNodeBuilder::Finish() {
+  assert(offsets_.size() == count_);
+  for (const uint32_t off : offsets_) PutFixed32(out_, off);
+}
+
+Status HistNodeRef::Parse(const Slice& blob) {
+  blob_ = blob;
+  dir_ = nullptr;
+  v1_cells_.clear();
+  count_ = 0;
+  if (blob.size() < 2) {
+    return Status::Corruption("historical node too short");
+  }
+  level_ = static_cast<uint8_t>(blob[0]);
+  const uint8_t version = static_cast<uint8_t>(blob[1]);
+  if (version == kHistNodeVersion2) {
+    is_v2_ = true;
+    if (blob.size() < kV2HeaderSize) {
+      return Status::Corruption("historical v2 node truncated header");
+    }
+    count_ = DecodeFixed32(blob.data() + 2);
+    const uint64_t dir_bytes = 4ull * count_;
+    if (kV2HeaderSize + dir_bytes > blob.size()) {
+      return Status::Corruption("historical v2 node truncated directory");
+    }
+    cells_end_ = static_cast<uint32_t>(blob.size() - dir_bytes);
+    dir_ = blob.data() + cells_end_;
+    return Status::OK();
+  }
+  if (version != 0) {
+    return Status::Corruption("unknown historical node version",
+                              std::to_string(version));
+  }
+  // v1: one linear walk over the length-prefixed cells builds the offset
+  // table (per-node vector; no per-entry materialization).
+  is_v2_ = false;
+  Slice in = blob_;
+  in.remove_prefix(2);
+  if (!GetVarint32(&in, &count_)) {
+    return Status::Corruption("bad historical node count");
+  }
+  v1_cells_.reserve(count_);
+  for (uint32_t i = 0; i < count_; ++i) {
+    Slice cell;
+    if (!GetLengthPrefixedSlice(&in, &cell)) {
+      return Status::Corruption("bad historical node cell");
+    }
+    v1_cells_.emplace_back(static_cast<uint32_t>(cell.data() - blob_.data()),
+                           static_cast<uint32_t>(cell.size()));
+  }
+  return Status::OK();
+}
+
+Slice HistNodeRef::Cell(int i) const {
+  if (i < 0 || static_cast<uint32_t>(i) >= count_) return Slice();
+  if (dir_ != nullptr) {
+    const uint32_t start = DecodeFixed32(dir_ + 4 * i);
+    const uint32_t end = (static_cast<uint32_t>(i) + 1 < count_)
+                             ? DecodeFixed32(dir_ + 4 * (i + 1))
+                             : cells_end_;
+    if (start < kV2HeaderSize || start > end || end > cells_end_) {
+      return Slice();  // corrupt directory; decoders report it
+    }
+    return Slice(blob_.data() + start, end - start);
+  }
+  const auto& [off, len] = v1_cells_[i];
+  return Slice(blob_.data() + off, len);
+}
+
+}  // namespace tsb_tree
+}  // namespace tsb

@@ -1,0 +1,87 @@
+// Historical node container format.
+//
+// Historical nodes are immutable consolidated blobs in the append store
+// (paper section 3.4). Two wire versions exist, distinguished by byte 1:
+//
+//  v1 (legacy, byte1 == 0):
+//    [u8 level][u8 0][varint32 count] { [varint32 cell_len][cell] } * count
+//    Cells can only be found by a linear front-to-back walk.
+//
+//  v2 (byte1 == kHistNodeVersion2) — slotted, mirrors SlottedView:
+//    [u8 level][u8 2][u32 count]
+//    [cells back-to-back, no per-cell framing]
+//    [u32 cell_offset] * count      <- trailing slot directory
+//    Cell i spans [dir[i], dir[i+1]) (the last cell ends where the
+//    directory starts), so views can random-access and binary-search cells
+//    directly over the pinned blob with no decode pass and no allocation.
+//
+// HistNodeRef parses either version; v2 needs O(1) setup, v1 falls back to
+// one linear walk that builds a per-node offset table (no per-entry string
+// materialization either way). New nodes are always written as v2; v1
+// support exists so stores written before the format change open unchanged.
+#ifndef TSBTREE_TSB_HIST_NODE_H_
+#define TSBTREE_TSB_HIST_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+inline constexpr uint8_t kHistNodeVersion2 = 2;
+
+/// Serializes a v2 historical node: construct with the level and cell
+/// count, call BeginCell() before appending each cell's bytes to out(),
+/// then Finish() to emit the trailing slot directory.
+class HistNodeBuilder {
+ public:
+  HistNodeBuilder(uint8_t level, uint32_t count, std::string* out);
+
+  std::string* out() { return out_; }
+  /// Marks the start of the next cell at the current end of out().
+  void BeginCell() { offsets_.push_back(static_cast<uint32_t>(out_->size())); }
+  /// Appends the slot directory. Must be called exactly once, after
+  /// `count` BeginCell() calls.
+  void Finish();
+
+ private:
+  std::string* out_;
+  uint32_t count_;
+  std::vector<uint32_t> offsets_;
+};
+
+/// Zero-copy accessor over a historical node blob of either version. The
+/// caller keeps the blob alive (pinned BlobHandle or owning string) while
+/// the ref and any Slices obtained through it are in use.
+class HistNodeRef {
+ public:
+  /// Parses the container framing. O(1) for v2; one linear walk for v1.
+  Status Parse(const Slice& blob);
+
+  uint8_t level() const { return level_; }
+  bool v2() const { return is_v2_; }
+  int Count() const { return static_cast<int>(count_); }
+
+  /// Cell i's payload (view into the blob); empty on out-of-range or a
+  /// corrupt directory entry (cell decoders then report corruption).
+  Slice Cell(int i) const;
+
+ private:
+  Slice blob_;
+  uint8_t level_ = 0;
+  bool is_v2_ = false;
+  uint32_t count_ = 0;
+  const char* dir_ = nullptr;   // v2: count_ fixed32 cell offsets
+  uint32_t cells_end_ = 0;      // v2: blob offset where the directory starts
+  std::vector<std::pair<uint32_t, uint32_t>> v1_cells_;  // v1: offset, len
+};
+
+}  // namespace tsb_tree
+}  // namespace tsb
+
+#endif  // TSBTREE_TSB_HIST_NODE_H_

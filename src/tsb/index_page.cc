@@ -41,19 +41,15 @@ void EncodeIndexCell(std::string* out, const IndexEntry& e) {
   EncodeNodeRef(out, e.child);
 }
 
-bool DecodeIndexCell(const Slice& cell, IndexEntry* e) {
+bool DecodeIndexCellView(const Slice& cell, IndexEntryView* e) {
   Slice in = cell;
   if (in.empty()) return false;
   const uint8_t flags = static_cast<uint8_t>(in[0]);
   in.remove_prefix(1);
   e->key_hi_inf = (flags & kFlagKeyHiInf) != 0;
-  Slice klo;
-  if (!GetLengthPrefixedSlice(&in, &klo)) return false;
-  e->key_lo = klo.ToString();
+  if (!GetLengthPrefixedSlice(&in, &e->key_lo)) return false;
   if (!e->key_hi_inf) {
-    Slice khi;
-    if (!GetLengthPrefixedSlice(&in, &khi)) return false;
-    e->key_hi = khi.ToString();
+    if (!GetLengthPrefixedSlice(&in, &e->key_hi)) return false;
   } else {
     e->key_hi.clear();
   }
@@ -62,6 +58,13 @@ bool DecodeIndexCell(const Slice& cell, IndexEntry* e) {
   e->t_hi = DecodeFixed64(in.data() + 8);
   in.remove_prefix(16);
   return DecodeNodeRef(&in, &e->child);
+}
+
+bool DecodeIndexCell(const Slice& cell, IndexEntry* e) {
+  IndexEntryView v;
+  if (!DecodeIndexCellView(cell, &v)) return false;
+  *e = v.ToOwned();
+  return true;
 }
 
 void IndexPageRef::Format(char* buf, uint32_t page_size, uint8_t level) {
@@ -76,13 +79,21 @@ Status IndexPageRef::At(int i, IndexEntry* e) const {
   return Status::OK();
 }
 
+Status IndexPageRef::AtView(int i, IndexEntryView* e) const {
+  if (!DecodeIndexCellView(slots_.Cell(i), e)) {
+    return Status::Corruption("bad index cell");
+  }
+  return Status::OK();
+}
+
 int IndexPageRef::FindContaining(const Slice& key, Timestamp t) const {
   // Entries tile the node's region, so at most one contains the point.
-  // Linear scan: index pages hold at most a few hundred entries.
+  // View decode: no allocation per probed cell (this is the descent hot
+  // path). Linear scan: index pages hold at most a few hundred entries.
   const int n = Count();
   for (int i = 0; i < n; ++i) {
-    IndexEntry e;
-    if (!DecodeIndexCell(slots_.Cell(i), &e)) return -1;
+    IndexEntryView e;
+    if (!DecodeIndexCellView(slots_.Cell(i), &e)) return -1;
     if (e.Contains(key, t)) return i;
   }
   return -1;
@@ -91,8 +102,8 @@ int IndexPageRef::FindContaining(const Slice& key, Timestamp t) const {
 int IndexPageRef::FindChild(uint32_t page_id) const {
   const int n = Count();
   for (int i = 0; i < n; ++i) {
-    IndexEntry e;
-    if (!DecodeIndexCell(slots_.Cell(i), &e)) return -1;
+    IndexEntryView e;
+    if (!DecodeIndexCellView(slots_.Cell(i), &e)) return -1;
     if (!e.child.historical && e.child.page_id == page_id) return i;
   }
   return -1;
@@ -105,9 +116,10 @@ bool IndexPageRef::Insert(const IndexEntry& e) {
   int lo = 0, hi = Count();
   while (lo < hi) {
     const int mid = (lo + hi) / 2;
-    IndexEntry m;
-    if (!DecodeIndexCell(slots_.Cell(mid), &m)) return false;
-    if (m < e) {
+    IndexEntryView m;
+    if (!DecodeIndexCellView(slots_.Cell(mid), &m)) return false;
+    const int c = m.key_lo.compare(Slice(e.key_lo));
+    if (c < 0 || (c == 0 && m.t_lo < e.t_lo)) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -148,9 +160,20 @@ Status IndexPageRef::Load(const std::vector<IndexEntry>& entries) {
 void SerializeHistIndexNode(uint8_t level,
                             const std::vector<IndexEntry>& entries,
                             std::string* out) {
+  HistNodeBuilder builder(level, static_cast<uint32_t>(entries.size()), out);
+  for (const IndexEntry& e : entries) {
+    builder.BeginCell();
+    EncodeIndexCell(builder.out(), e);
+  }
+  builder.Finish();
+}
+
+void SerializeHistIndexNodeV1(uint8_t level,
+                              const std::vector<IndexEntry>& entries,
+                              std::string* out) {
   out->clear();
   out->push_back(static_cast<char>(level));
-  out->push_back(0);
+  out->push_back(0);  // pad == 0 marks the v1 wire format
   PutVarint32(out, static_cast<uint32_t>(entries.size()));
   std::string cell;
   for (const IndexEntry& e : entries) {
@@ -161,30 +184,62 @@ void SerializeHistIndexNode(uint8_t level,
   }
 }
 
+Status HistIndexNodeRef::Parse(const Slice& blob) {
+  TSB_RETURN_IF_ERROR(node_.Parse(blob));
+  if (node_.level() == 0) {
+    return Status::Corruption("not a historical index node");
+  }
+  return Status::OK();
+}
+
+Status HistIndexNodeRef::AtView(int i, IndexEntryView* e) const {
+  if (!DecodeIndexCellView(node_.Cell(i), e)) {
+    return Status::Corruption("bad historical index entry");
+  }
+  return Status::OK();
+}
+
+Status HistIndexNodeRef::FindContaining(const Slice& key, Timestamp t,
+                                        int* pos) const {
+  // Entries are (key_lo, t_lo)-sorted and tile the node's region: the
+  // unique containing entry has key_lo <= key. Binary-search the first
+  // entry with key_lo > key, then walk backwards over the prefix — the
+  // match is almost always within the run of entries sharing the nearest
+  // key_lo, so the walk is short in practice.
+  int lo = 0, hi = Count();
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    IndexEntryView v;
+    TSB_RETURN_IF_ERROR(AtView(mid, &v));
+    if (v.key_lo <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (int i = lo - 1; i >= 0; --i) {
+    IndexEntryView v;
+    TSB_RETURN_IF_ERROR(AtView(i, &v));
+    if (v.Contains(key, t)) {
+      *pos = i;
+      return Status::OK();
+    }
+  }
+  *pos = -1;
+  return Status::OK();
+}
+
 Status DecodeHistIndexNode(const Slice& blob, uint8_t* level,
                            std::vector<IndexEntry>* out) {
   out->clear();
-  Slice in = blob;
-  if (in.size() < 2 || in[0] == 0) {
-    return Status::Corruption("not a historical index node");
-  }
-  *level = static_cast<uint8_t>(in[0]);
-  in.remove_prefix(2);
-  uint32_t count = 0;
-  if (!GetVarint32(&in, &count)) {
-    return Status::Corruption("bad historical index count");
-  }
-  out->reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    Slice cell;
-    if (!GetLengthPrefixedSlice(&in, &cell)) {
-      return Status::Corruption("bad historical index cell");
-    }
-    IndexEntry e;
-    if (!DecodeIndexCell(cell, &e)) {
-      return Status::Corruption("bad historical index entry");
-    }
-    out->push_back(std::move(e));
+  HistIndexNodeRef node;
+  TSB_RETURN_IF_ERROR(node.Parse(blob));
+  *level = node.Level();
+  out->reserve(node.Count());
+  for (int i = 0; i < node.Count(); ++i) {
+    IndexEntryView v;
+    TSB_RETURN_IF_ERROR(node.AtView(i, &v));
+    out->push_back(v.ToOwned());
   }
   return Status::OK();
 }

@@ -15,8 +15,8 @@
 //   [varint klen_lo][key_lo]  ([varint klen_hi][key_hi] unless bit0)
 //   [fixed64 t_lo][fixed64 t_hi]
 //   [NodeRef]
-// Historical index blob: [u8 level>0][u8 pad][varint32 count]
-//   { [varint32 cell_len][cell] } * count
+// Historical index blob: the v2 slotted container of hist_node.h holding
+// index cells (v1 length-prefixed blobs remain decodable).
 #ifndef TSBTREE_TSB_INDEX_PAGE_H_
 #define TSBTREE_TSB_INDEX_PAGE_H_
 
@@ -72,8 +72,41 @@ struct IndexEntry {
   }
 };
 
+/// Non-owning view of an index cell (Slices point into the cell's buffer).
+struct IndexEntryView {
+  Slice key_lo;
+  Slice key_hi;  // meaningful iff !key_hi_inf
+  bool key_hi_inf = false;
+  Timestamp t_lo = 0;
+  Timestamp t_hi = kInfiniteTs;
+  NodeRef child;
+
+  bool current_child() const { return t_hi == kInfiniteTs; }
+
+  bool ContainsKey(const Slice& k) const {
+    if (key_lo > k) return false;
+    return key_hi_inf || k < key_hi;
+  }
+  bool ContainsTime(Timestamp t) const { return t_lo <= t && t < t_hi; }
+  bool Contains(const Slice& k, Timestamp t) const {
+    return ContainsKey(k) && ContainsTime(t);
+  }
+
+  IndexEntry ToOwned() const {
+    IndexEntry e;
+    e.key_lo = key_lo.ToString();
+    e.key_hi = key_hi.ToString();
+    e.key_hi_inf = key_hi_inf;
+    e.t_lo = t_lo;
+    e.t_hi = t_hi;
+    e.child = child;
+    return e;
+  }
+};
+
 void EncodeIndexCell(std::string* out, const IndexEntry& e);
 bool DecodeIndexCell(const Slice& cell, IndexEntry* e);
+bool DecodeIndexCellView(const Slice& cell, IndexEntryView* e);
 
 /// Accessor over a current index page. Caller keeps the page pinned.
 class IndexPageRef {
@@ -86,6 +119,8 @@ class IndexPageRef {
   uint8_t Level() const { return TsbPageLevel(buf_); }
   int Count() const { return slots_.count(); }
   Status At(int i, IndexEntry* e) const;
+  /// Non-owning variant; the view is valid while the page stays pinned.
+  Status AtView(int i, IndexEntryView* e) const;
 
   /// Index of the unique entry containing (key, t); -1 if none (corrupt
   /// tree or t outside the node's region).
@@ -113,11 +148,41 @@ class IndexPageRef {
   SlottedView slots_;
 };
 
-/// Serializes a historical index node (level > 0).
+/// Serializes a historical index node (level > 0, v2 slotted).
 void SerializeHistIndexNode(uint8_t level, const std::vector<IndexEntry>& entries,
                             std::string* out);
 
-/// Parses a historical index node blob.
+/// Serializes the legacy v1 wire format. Kept for compatibility tests;
+/// new nodes are always written as v2.
+void SerializeHistIndexNodeV1(uint8_t level,
+                              const std::vector<IndexEntry>& entries,
+                              std::string* out);
+
+/// Zero-copy accessor over a historical index node blob (v1 or v2). The
+/// caller keeps the blob alive while the ref and its views are in use.
+class HistIndexNodeRef {
+ public:
+  /// Parses `blob`; fails unless it is a level>0 historical node.
+  Status Parse(const Slice& blob);
+
+  uint8_t Level() const { return node_.level(); }
+  int Count() const { return node_.Count(); }
+  bool v2() const { return node_.v2(); }
+  /// Named like IndexPageRef::AtView so generic code can use either.
+  Status AtView(int i, IndexEntryView* e) const;
+
+  /// Index of the unique entry containing (key, t) into *pos; -1 if none.
+  /// Binary search on key_lo (entries are (key_lo, t_lo)-sorted), then a
+  /// backward scan over the candidates whose key_lo <= key. A bad cell is
+  /// Corruption, not a miss — historical blobs are supposed to be
+  /// immutable.
+  Status FindContaining(const Slice& key, Timestamp t, int* pos) const;
+
+ private:
+  HistNodeRef node_;
+};
+
+/// Parses a historical index node blob (v1 or v2) into owning entries.
 Status DecodeHistIndexNode(const Slice& blob, uint8_t* level,
                            std::vector<IndexEntry>* out);
 

@@ -11,6 +11,29 @@ namespace {
 
 std::string Describe(const NodeRef& ref) { return ref.ToString(); }
 
+// The check functions run over entry views so historical nodes are
+// validated directly on the pinned blob (no per-entry materialization);
+// current pages are copied out under their latch once and viewed.
+IndexEntryView ViewOf(const IndexEntry& e) {
+  IndexEntryView v;
+  v.key_lo = Slice(e.key_lo);
+  v.key_hi = Slice(e.key_hi);
+  v.key_hi_inf = e.key_hi_inf;
+  v.t_lo = e.t_lo;
+  v.t_hi = e.t_hi;
+  v.child = e.child;
+  return v;
+}
+
+DataEntryView ViewOf(const DataEntry& e) {
+  DataEntryView v;
+  v.key = Slice(e.key);
+  v.ts = e.ts;
+  v.txn = e.txn;
+  v.value = Slice(e.value);
+  return v;
+}
+
 }  // namespace
 
 Status TreeChecker::Check() {
@@ -33,65 +56,108 @@ Status TreeChecker::Check() {
 
 Status TreeChecker::CheckNode(const NodeRef& ref, uint8_t expected_level,
                               const Window& win) {
+  nodes_visited_++;
+  if (ref.historical) {
+    // Historical nodes are validated zero-copy: the blob stays pinned for
+    // the duration of the check (including the recursion into children).
+    BlobHandle blob;
+    TSB_RETURN_IF_ERROR(tree_->ReadHistBlob(ref.addr, &blob));
+    uint8_t level = 0;
+    TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &level));
+    if (level != expected_level) {
+      return Status::Corruption("node level mismatch",
+                                Describe(ref) + " level " +
+                                    std::to_string(level) + " expected " +
+                                    std::to_string(expected_level));
+    }
+    if (level == 0) {
+      HistDataNodeRef node;
+      TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+      std::vector<DataEntryView> entries(node.Count());
+      for (int i = 0; i < node.Count(); ++i) {
+        TSB_RETURN_IF_ERROR(node.At(i, &entries[i]));
+      }
+      return CheckDataEntries(ref, entries, win);
+    }
+    HistIndexNodeRef node;
+    TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+    std::vector<IndexEntryView> entries(node.Count());
+    for (int i = 0; i < node.Count(); ++i) {
+      TSB_RETURN_IF_ERROR(node.AtView(i, &entries[i]));
+    }
+    return CheckIndexEntries(ref, level, entries, win);
+  }
   DecodedNode node;
   TSB_RETURN_IF_ERROR(tree_->ReadNode(ref, &node));
-  nodes_visited_++;
   if (node.level != expected_level) {
     return Status::Corruption("node level mismatch",
                               Describe(ref) + " level " +
                                   std::to_string(node.level) + " expected " +
                                   std::to_string(expected_level));
   }
-  if (node.is_data()) return CheckDataNode(ref, node, win);
-  return CheckIndexNode(ref, node, win);
+  if (node.is_data()) {
+    std::vector<DataEntryView> entries;
+    entries.reserve(node.data.size());
+    for (const DataEntry& e : node.data) entries.push_back(ViewOf(e));
+    return CheckDataEntries(ref, entries, win);
+  }
+  std::vector<IndexEntryView> entries;
+  entries.reserve(node.index.size());
+  for (const IndexEntry& e : node.index) entries.push_back(ViewOf(e));
+  return CheckIndexEntries(ref, node.level, entries, win);
 }
 
-Status TreeChecker::CheckIndexNode(const NodeRef& ref, const DecodedNode& node,
-                                   const Window& win) {
-  const auto& entries = node.index;
+Status TreeChecker::CheckIndexEntries(
+    const NodeRef& ref, uint8_t level,
+    const std::vector<IndexEntryView>& entries, const Window& win) {
   if (entries.empty()) {
     return Status::Corruption("empty index node", Describe(ref));
   }
 
   // Well-formedness, ordering, and the migration invariant.
   for (size_t i = 0; i < entries.size(); ++i) {
-    const IndexEntry& e = entries[i];
-    if (!e.key_hi_inf && Slice(e.key_lo) >= Slice(e.key_hi)) {
-      return Status::Corruption("empty key range", e.ToString());
+    const IndexEntryView& e = entries[i];
+    if (!e.key_hi_inf && e.key_lo >= e.key_hi) {
+      return Status::Corruption("empty key range", e.ToOwned().ToString());
     }
     if (e.t_lo >= e.t_hi) {
-      return Status::Corruption("empty time range", e.ToString());
+      return Status::Corruption("empty time range", e.ToOwned().ToString());
     }
     if (e.current_child() == e.child.historical) {
       return Status::Corruption(
-          "t_hi/device mismatch (finite t_hi <=> historical)", e.ToString());
+          "t_hi/device mismatch (finite t_hi <=> historical)",
+          e.ToOwned().ToString());
     }
-    if (i > 0 && !(entries[i - 1] < e)) {
-      return Status::Corruption("index entries out of order", Describe(ref));
+    if (i > 0) {
+      const IndexEntryView& p = entries[i - 1];
+      const int c = p.key_lo.compare(e.key_lo);
+      if (c > 0 || (c == 0 && p.t_lo >= e.t_lo)) {
+        return Status::Corruption("index entries out of order", Describe(ref));
+      }
     }
     // Entries not fully inside the node window must be historical
     // straddlers (duplicated by keyspace splits, rule 4) — on the key axis.
-    const bool inside_lo = Slice(e.key_lo) >= Slice(win.key_lo);
+    const bool inside_lo = e.key_lo >= Slice(win.key_lo);
     const bool inside_hi =
-        win.key_hi_inf || (!e.key_hi_inf && Slice(e.key_hi) <= Slice(win.key_hi));
+        win.key_hi_inf || (!e.key_hi_inf && e.key_hi <= Slice(win.key_hi));
     if ((!inside_lo || !inside_hi) && !e.child.historical) {
       return Status::Corruption("current child exceeds node key range",
-                                e.ToString());
+                                e.ToOwned().ToString());
     }
     // Time axis: entries may begin before the node's t_lo only if they are
     // historical (local-time-split straddlers).
     if (e.t_lo < win.t_lo && !e.child.historical) {
       return Status::Corruption("current child predates node time range",
-                                e.ToString());
+                                e.ToOwned().ToString());
     }
   }
 
   // ---- tiling check on the boundary grid ----
   // Key boundaries: window low plus every entry bound strictly inside.
-  std::vector<std::string> kb = {win.key_lo};
-  auto add_key = [&](const std::string& k) {
-    if (Slice(k) <= Slice(win.key_lo)) return;
-    if (!win.key_hi_inf && Slice(k) >= Slice(win.key_hi)) return;
+  std::vector<Slice> kb = {Slice(win.key_lo)};
+  auto add_key = [&](const Slice& k) {
+    if (k <= Slice(win.key_lo)) return;
+    if (!win.key_hi_inf && k >= Slice(win.key_hi)) return;
     kb.push_back(k);
   };
   std::vector<Timestamp> tb = {win.t_lo};
@@ -100,37 +166,35 @@ Status TreeChecker::CheckIndexNode(const NodeRef& ref, const DecodedNode& node,
     if (t >= win.t_hi) return;
     tb.push_back(t);
   };
-  for (const IndexEntry& e : entries) {
+  for (const IndexEntryView& e : entries) {
     add_key(e.key_lo);
     if (!e.key_hi_inf) add_key(e.key_hi);
     add_time(e.t_lo);
     if (e.t_hi != kInfiniteTs) add_time(e.t_hi);
   }
-  std::sort(kb.begin(), kb.end(),
-            [](const std::string& a, const std::string& b) {
-              return Slice(a) < Slice(b);
-            });
+  std::sort(kb.begin(), kb.end());
   kb.erase(std::unique(kb.begin(), kb.end()), kb.end());
   std::sort(tb.begin(), tb.end());
   tb.erase(std::unique(tb.begin(), tb.end()), tb.end());
 
-  for (const std::string& k : kb) {
+  for (const Slice& k : kb) {
     for (const Timestamp t : tb) {
       int cover = 0;
-      for (const IndexEntry& e : entries) {
-        if (e.Contains(Slice(k), t)) cover++;
+      for (const IndexEntryView& e : entries) {
+        if (e.Contains(k, t)) cover++;
       }
       if (cover != 1) {
         return Status::Corruption(
             "index region not tiled",
-            Describe(ref) + " point (" + k + ", " + std::to_string(t) +
-                ") covered " + std::to_string(cover) + " times");
+            Describe(ref) + " point (" + k.ToString() + ", " +
+                std::to_string(t) + ") covered " + std::to_string(cover) +
+                " times");
       }
     }
   }
 
   // ---- recurse ----
-  for (const IndexEntry& e : entries) {
+  for (const IndexEntryView& e : entries) {
     if (!e.child.historical) {
       current_parent_counts_[e.child.page_id]++;
     }
@@ -140,42 +204,43 @@ Status TreeChecker::CheckIndexNode(const NodeRef& ref, const DecodedNode& node,
     // child's contents answer to that rectangle. (Queries clip; structure
     // does not.)
     Window child;
-    child.key_lo = e.key_lo;
-    child.key_hi = e.key_hi;
+    child.key_lo = e.key_lo.ToString();
+    child.key_hi = e.key_hi.ToString();
     child.key_hi_inf = e.key_hi_inf;
     child.t_lo = e.t_lo;
     child.t_hi = e.t_hi;
     TSB_RETURN_IF_ERROR(
-        CheckNode(e.child, static_cast<uint8_t>(node.level - 1), child));
+        CheckNode(e.child, static_cast<uint8_t>(level - 1), child));
   }
   return Status::OK();
 }
 
-Status TreeChecker::CheckDataNode(const NodeRef& ref, const DecodedNode& node,
-                                  const Window& win) {
-  const auto& entries = node.data;
-  std::string prev_key;
+Status TreeChecker::CheckDataEntries(const NodeRef& ref,
+                                     const std::vector<DataEntryView>& entries,
+                                     const Window& win) {
+  Slice prev_key;
   Timestamp prev_ts = 0;
   bool have_prev = false;
   // Per key, committed records with ts < win.t_lo seen so far.
-  std::string run_key;
+  Slice run_key;
+  bool have_run = false;
   int run_below_tlo = 0;
   Timestamp run_max_committed = 0;
 
-  for (const DataEntry& e : entries) {
-    const Slice k(e.key);
+  for (const DataEntryView& e : entries) {
+    const Slice k = e.key;
     if (k < Slice(win.key_lo) ||
         (!win.key_hi_inf && k >= Slice(win.key_hi))) {
       return Status::Corruption("record outside node key range",
-                                Describe(ref) + " key " + e.key);
+                                Describe(ref) + " key " + k.ToString());
     }
     if (have_prev) {
-      const int c = Slice(prev_key).compare(k);
+      const int c = prev_key.compare(k);
       if (c > 0 || (c == 0 && prev_ts > e.ts)) {
         return Status::Corruption("data records out of order", Describe(ref));
       }
     }
-    prev_key = e.key;
+    prev_key = k;
     prev_ts = e.ts;
     have_prev = true;
 
@@ -188,10 +253,11 @@ Status TreeChecker::CheckDataNode(const NodeRef& ref, const DecodedNode& node,
     }
     if (e.ts >= win.t_hi) {
       return Status::Corruption("record after node time range",
-                                Describe(ref) + " key " + e.key);
+                                Describe(ref) + " key " + k.ToString());
     }
-    if (e.key != run_key) {
-      run_key = e.key;
+    if (!have_run || k != run_key) {
+      run_key = k;
+      have_run = true;
       run_below_tlo = 0;
       run_max_committed = 0;
     }
@@ -200,7 +266,7 @@ Status TreeChecker::CheckDataNode(const NodeRef& ref, const DecodedNode& node,
       if (run_below_tlo > 1) {
         return Status::Corruption(
             "more than one pre-t_lo version of a key (TIME-SPLIT RULE 3)",
-            Describe(ref) + " key " + e.key);
+            Describe(ref) + " key " + k.ToString());
       }
     }
     if (e.ts < run_max_committed) {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "tsb/tsb_tree.h"
@@ -52,10 +53,15 @@ class TreeChecker {
 
   Status CheckNode(const NodeRef& ref, uint8_t expected_level,
                    const Window& win);
-  Status CheckIndexNode(const NodeRef& ref, const DecodedNode& node,
-                        const Window& win);
-  Status CheckDataNode(const NodeRef& ref, const DecodedNode& node,
-                       const Window& win);
+  // The entry checks run over views: historical nodes are validated
+  // directly on the pinned blob; current pages are copied out under their
+  // latch once and then viewed.
+  Status CheckIndexEntries(const NodeRef& ref, uint8_t level,
+                           const std::vector<IndexEntryView>& entries,
+                           const Window& win);
+  Status CheckDataEntries(const NodeRef& ref,
+                          const std::vector<DataEntryView>& entries,
+                          const Window& win);
 
   TsbTree* tree_;
   uint64_t nodes_visited_ = 0;

@@ -5,11 +5,20 @@
 #ifndef TSBTREE_TSB_TSB_STATS_H_
 #define TSBTREE_TSB_TSB_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace tsb {
 namespace tsb_tree {
+
+/// How historical nodes were parsed on the read paths. Atomic because the
+/// lock-free readers bump these concurrently (unlike TsbCounters, which
+/// only the single writer maintains). Snapshot through TsbTree::HistStats.
+struct HistDecodeCounters {
+  std::atomic<uint64_t> view_decodes{0};   ///< zero-copy ref parses
+  std::atomic<uint64_t> owned_decodes{0};  ///< materializing decodes
+};
 
 /// Running operation counters (cheap, maintained inline).
 struct TsbCounters {

@@ -173,8 +173,10 @@ Status TsbTree::SearchPoint(const Slice& key, Timestamp t, TxnId txn,
     IndexPageRef page(h.data(), options_.page_size);
     const int idx = page.FindContaining(key, t);
     if (idx < 0) return Status::NotFound("time precedes database");
-    IndexEntry e;
-    TSB_RETURN_IF_ERROR(page.At(idx, &e));
+    // View decode: only the POD child ref is copied out of the latched
+    // page, so the whole descent performs no per-level heap allocation.
+    IndexEntryView e;
+    TSB_RETURN_IF_ERROR(page.AtView(idx, &e));
     if (!e.child.historical) {
       id = e.child.page_id;
       parent_h = std::move(h);  // hold the latch until the child is latched
@@ -183,43 +185,96 @@ Status TsbTree::SearchPoint(const Slice& key, Timestamp t, TxnId txn,
     // Phase 2: continue inside the historical store; historical index
     // nodes reference only historical children. Blobs are immutable, so
     // no latches are needed past this point.
-    HistAddr addr = e.child.addr;
+    const HistAddr addr = e.child.addr;
     h.Release();
-    for (;;) {
-      std::string blob;
-      TSB_RETURN_IF_ERROR(hist_->Read(addr, &blob));
-      uint8_t level = 0;
-      TSB_RETURN_IF_ERROR(HistNodeLevel(Slice(blob), &level));
-      if (level == 0) {
-        std::vector<DataEntry> entries;
-        TSB_RETURN_IF_ERROR(DecodeHistDataNode(Slice(blob), &entries));
-        const DataEntry* best = nullptr;
-        for (const DataEntry& de : entries) {
-          if (de.uncommitted()) continue;
-          if (Slice(de.key) == key && de.ts <= t) {
-            if (best == nullptr || de.ts > best->ts) best = &de;
-          }
-        }
-        if (best == nullptr) return Status::NotFound("no version at time");
-        *value = best->value;
-        if (ts != nullptr) *ts = best->ts;
-        return Status::OK();
-      }
-      std::vector<IndexEntry> entries;
-      TSB_RETURN_IF_ERROR(DecodeHistIndexNode(Slice(blob), &level, &entries));
-      const IndexEntry* next = nullptr;
-      for (const IndexEntry& ie : entries) {
-        if (ie.Contains(key, t)) {
-          next = &ie;
-          break;
-        }
-      }
-      if (next == nullptr) return Status::NotFound("time precedes database");
-      if (!next->child.historical) {
-        return Status::Corruption("historical index references current node");
-      }
-      addr = next->child.addr;
+    if (options_.zero_copy_hist_reads) {
+      return SearchHistPoint(addr, key, t, value, ts);
     }
+    return SearchHistPointOwned(addr, key, t, value, ts);
+  }
+}
+
+Status TsbTree::ReadHistBlob(const HistAddr& addr, BlobHandle* blob) {
+  TSB_RETURN_IF_ERROR(hist_->ReadView(addr, blob));
+  hist_decodes_.view_decodes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TsbTree::SearchHistPoint(HistAddr addr, const Slice& key, Timestamp t,
+                                std::string* value, Timestamp* ts) {
+  // Zero-copy descent: every visited node stays a pinned blob; data nodes
+  // are binary-searched through the v2 slot directory, index nodes
+  // binary-search key_lo. On the cache-hit path no per-entry heap
+  // allocation happens — the only write is the final value->assign.
+  for (;;) {
+    BlobHandle blob;
+    TSB_RETURN_IF_ERROR(ReadHistBlob(addr, &blob));
+    uint8_t level = 0;
+    TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &level));
+    if (level == 0) {
+      HistDataNodeRef node;
+      TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+      int pos = -1;
+      TSB_RETURN_IF_ERROR(node.FindVersion(key, t, &pos));
+      if (pos < 0) return Status::NotFound("no version at time");
+      DataEntryView v;
+      TSB_RETURN_IF_ERROR(node.At(pos, &v));
+      value->assign(v.value.data(), v.value.size());
+      if (ts != nullptr) *ts = v.ts;
+      return Status::OK();
+    }
+    HistIndexNodeRef node;
+    TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+    int pos = -1;
+    TSB_RETURN_IF_ERROR(node.FindContaining(key, t, &pos));
+    if (pos < 0) return Status::NotFound("time precedes database");
+    IndexEntryView next;
+    TSB_RETURN_IF_ERROR(node.AtView(pos, &next));
+    if (!next.child.historical) {
+      return Status::Corruption("historical index references current node");
+    }
+    addr = next.child.addr;
+  }
+}
+
+Status TsbTree::SearchHistPointOwned(HistAddr addr, const Slice& key,
+                                     Timestamp t, std::string* value,
+                                     Timestamp* ts) {
+  for (;;) {
+    std::string blob;
+    TSB_RETURN_IF_ERROR(hist_->Read(addr, &blob));
+    hist_decodes_.owned_decodes.fetch_add(1, std::memory_order_relaxed);
+    uint8_t level = 0;
+    TSB_RETURN_IF_ERROR(HistNodeLevel(Slice(blob), &level));
+    if (level == 0) {
+      std::vector<DataEntry> entries;
+      TSB_RETURN_IF_ERROR(DecodeHistDataNode(Slice(blob), &entries));
+      const DataEntry* best = nullptr;
+      for (const DataEntry& de : entries) {
+        if (de.uncommitted()) continue;
+        if (Slice(de.key) == key && de.ts <= t) {
+          if (best == nullptr || de.ts > best->ts) best = &de;
+        }
+      }
+      if (best == nullptr) return Status::NotFound("no version at time");
+      *value = best->value;
+      if (ts != nullptr) *ts = best->ts;
+      return Status::OK();
+    }
+    std::vector<IndexEntry> entries;
+    TSB_RETURN_IF_ERROR(DecodeHistIndexNode(Slice(blob), &level, &entries));
+    const IndexEntry* next = nullptr;
+    for (const IndexEntry& ie : entries) {
+      if (ie.Contains(key, t)) {
+        next = &ie;
+        break;
+      }
+    }
+    if (next == nullptr) return Status::NotFound("time precedes database");
+    if (!next->child.historical) {
+      return Status::Corruption("historical index references current node");
+    }
+    addr = next->child.addr;
   }
 }
 
@@ -904,14 +959,23 @@ Status TsbTree::ReadNode(const NodeRef& ref, DecodedNode* out) {
     IndexPageRef page(h.data(), options_.page_size);
     return page.DecodeAll(&out->index);
   }
-  std::string blob;
-  TSB_RETURN_IF_ERROR(hist_->Read(ref.addr, &blob));
-  TSB_RETURN_IF_ERROR(HistNodeLevel(Slice(blob), &out->level));
+  BlobHandle blob;
+  TSB_RETURN_IF_ERROR(hist_->ReadView(ref.addr, &blob));
+  hist_decodes_.owned_decodes.fetch_add(1, std::memory_order_relaxed);
+  TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &out->level));
   if (out->level == 0) {
-    return DecodeHistDataNode(Slice(blob), &out->data);
+    return DecodeHistDataNode(blob.data(), &out->data);
   }
   uint8_t level = 0;
-  return DecodeHistIndexNode(Slice(blob), &level, &out->index);
+  return DecodeHistIndexNode(blob.data(), &level, &out->index);
+}
+
+HistReadStats TsbTree::HistStats() const {
+  HistReadStats s = hist_->hist_stats();
+  s.view_decodes = hist_decodes_.view_decodes.load(std::memory_order_relaxed);
+  s.owned_decodes =
+      hist_decodes_.owned_decodes.load(std::memory_order_relaxed);
+  return s;
 }
 
 Status TsbTree::WalkStats(
@@ -1033,6 +1097,40 @@ Status TsbTree::ScanHistoryRangeRec(
       if (a == ref.addr) return Status::OK();  // DAG: visit each node once
     }
     seen->push_back(ref.addr);
+    // Historical nodes scan zero-copy over the pinned blob: only entries
+    // matching the window are materialized into the accumulator; the pin
+    // outlives the recursion into children below.
+    BlobHandle blob;
+    TSB_RETURN_IF_ERROR(ReadHistBlob(ref.addr, &blob));
+    uint8_t level = 0;
+    TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &level));
+    if (level == 0) {
+      HistDataNodeRef node;
+      TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+      for (int i = 0; i < node.Count(); ++i) {
+        DataEntryView v;
+        TSB_RETURN_IF_ERROR(node.At(i, &v));
+        if (v.uncommitted()) continue;
+        if (v.ts < t_lo || v.ts >= t_hi) continue;
+        if (v.key < key_lo) continue;
+        if (!key_hi.empty() && v.key >= key_hi) continue;
+        acc->emplace(std::make_pair(v.key.ToString(), v.ts),
+                     v.value.ToString());
+      }
+      return Status::OK();
+    }
+    HistIndexNodeRef node;
+    TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+    for (int i = 0; i < node.Count(); ++i) {
+      IndexEntryView e;
+      TSB_RETURN_IF_ERROR(node.AtView(i, &e));
+      if (e.t_hi <= t_lo || e.t_lo >= t_hi) continue;
+      if (!key_hi.empty() && e.key_lo >= key_hi) continue;
+      if (!e.key_hi_inf && e.key_hi <= key_lo) continue;
+      TSB_RETURN_IF_ERROR(ScanHistoryRangeRec(e.child, key_lo, key_hi, t_lo,
+                                              t_hi, acc, seen));
+    }
+    return Status::OK();
   }
   DecodedNode node;
   TSB_RETURN_IF_ERROR(ReadNode(ref, &node));

@@ -34,8 +34,14 @@ class HistoryIterator;
 struct TsbOptions {
   uint32_t page_size = kDefaultPageSize;
   size_t buffer_pool_frames = 256;
-  /// Decoded-blob read cache for the historical store (0 = none).
+  /// Shared-blob read cache for the historical store (0 = none). Cache
+  /// hits pin the cached blob — no copy, no decode — so sizing this to the
+  /// historical working set makes as-of reads allocation-free.
   size_t hist_cache_blobs = 8;
+  /// Point lookups into the historical store binary-search pinned blobs
+  /// through view refs (zero-copy). Off = legacy owning decode of every
+  /// visited node; kept only as a measurable baseline for benchmarks.
+  bool zero_copy_hist_reads = true;
   SplitPolicyConfig policy;
 };
 
@@ -150,6 +156,9 @@ class TsbTree {
   Status ComputeSpaceStats(SpaceStats* out);
 
   const TsbCounters& counters() const { return counters_; }
+  /// Historical read-path counters: blob reads/bytes, cache hit ratio and
+  /// view vs. owned node decodes. Safe to call concurrently with readers.
+  HistReadStats HistStats() const;
   const TsbOptions& options() const { return options_; }
   LogicalClock& clock() { return clock_; }
   /// Latest issued timestamp (allocator; may lead the committed state
@@ -197,6 +206,20 @@ class TsbTree {
   /// Lock-free for callers: descends with shared latch coupling.
   Status SearchPoint(const Slice& key, Timestamp t, TxnId txn,
                      std::string* value, Timestamp* ts);
+
+  /// Phase 2 of SearchPoint: continues a point lookup inside the
+  /// historical store from `addr`, zero-copy (pinned blobs + view refs,
+  /// binary-search descent).
+  Status SearchHistPoint(HistAddr addr, const Slice& key, Timestamp t,
+                         std::string* value, Timestamp* ts);
+
+  /// Legacy phase 2 using owning decodes of every visited node; kept as a
+  /// measurable baseline (options_.zero_copy_hist_reads == false).
+  Status SearchHistPointOwned(HistAddr addr, const Slice& key, Timestamp t,
+                              std::string* value, Timestamp* ts);
+
+  /// Pins the historical blob at `addr` and counts a zero-copy decode.
+  Status ReadHistBlob(const HistAddr& addr, BlobHandle* blob);
 
   /// Inserts `e` (committed or uncommitted), splitting as needed.
   Status InsertEntry(const DataEntry& e);
@@ -261,6 +284,7 @@ class TsbTree {
   std::atomic<uint32_t> height_{1};
   std::atomic<uint64_t> structure_epoch_{0};
   TsbCounters counters_;  // maintained by the writer; read quiesced
+  mutable HistDecodeCounters hist_decodes_;  // bumped by lock-free readers
 
   friend class SnapshotIterator;
   friend class HistoryIterator;

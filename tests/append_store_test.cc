@@ -153,6 +153,62 @@ TEST(AppendStoreTest, ResumesAfterReopenOnSameDevice) {
   EXPECT_EQ("second era", out);
 }
 
+TEST(AppendStoreTest, ReadViewSharesOneCachedBuffer) {
+  MemDevice dev;
+  AppendStore store(&dev, /*cache_blobs=*/4);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice("shared blob"), &a).ok());
+  BlobHandle h1, h2;
+  ASSERT_TRUE(store.ReadView(a, &h1).ok());  // miss: reads, publishes
+  dev.ResetStats();
+  ASSERT_TRUE(store.ReadView(a, &h2).ok());  // hit: pins, no device I/O
+  EXPECT_EQ(0u, dev.stats().reads);
+  EXPECT_EQ(Slice("shared blob"), h1.data());
+  EXPECT_TRUE(h1.SharesBufferWith(h2));  // one buffer, two pins — no copy
+}
+
+TEST(AppendStoreTest, PinnedViewSurvivesCacheEviction) {
+  MemDevice dev;
+  AppendStore store(&dev, /*cache_blobs=*/1);
+  HistAddr a, b;
+  ASSERT_TRUE(store.Append(Slice("evicted soon"), &a).ok());
+  ASSERT_TRUE(store.Append(Slice("the evictor"), &b).ok());
+  BlobHandle pinned;
+  ASSERT_TRUE(store.ReadView(a, &pinned).ok());
+  BlobHandle other;
+  ASSERT_TRUE(store.ReadView(b, &other).ok());  // evicts a's cache entry
+  EXPECT_EQ(Slice("evicted soon"), pinned.data());  // pin keeps bytes alive
+}
+
+TEST(AppendStoreTest, ReadViewWorksWithoutCache) {
+  MemDevice dev;
+  AppendStore store(&dev, /*cache_blobs=*/0);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice("uncached"), &a).ok());
+  BlobHandle h;
+  ASSERT_TRUE(store.ReadView(a, &h).ok());
+  EXPECT_EQ(Slice("uncached"), h.data());
+  EXPECT_EQ(0u, store.cache_hits());
+  EXPECT_EQ(0u, store.cache_misses());
+}
+
+TEST(AppendStoreTest, HistStatsCountReadsBytesAndHits) {
+  MemDevice dev;
+  AppendStore store(&dev, /*cache_blobs=*/4);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice(std::string(100, 'z')), &a).ok());
+  BlobHandle h;
+  ASSERT_TRUE(store.ReadView(a, &h).ok());
+  std::string owned;
+  ASSERT_TRUE(store.Read(a, &owned).ok());
+  const HistReadStats s = store.hist_stats();
+  EXPECT_EQ(2u, s.blob_reads);
+  EXPECT_EQ(200u, s.blob_bytes);
+  EXPECT_EQ(1u, s.cache_hits);
+  EXPECT_EQ(1u, s.cache_misses);
+  EXPECT_DOUBLE_EQ(0.5, s.hit_ratio());
+}
+
 TEST(AppendStoreTest, EmptyPayloadRoundTrip) {
   MemDevice dev;
   AppendStore store(&dev);

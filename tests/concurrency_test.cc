@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "db/multiversion_db.h"
+#include "storage/append_store.h"
 #include "storage/mem_device.h"
 #include "tsb/cursor.h"
 
@@ -314,6 +315,63 @@ TEST(ConcurrencyTest, ConcurrentUpdatersConflictCleanly) {
     EXPECT_TRUE(DecodeValue(value, &key, &seq));
     EXPECT_EQ(KeyOf(i), key);
   }
+}
+
+// The shared-blob read path under TSan: N readers pin and walk the SAME
+// cached blob through ReadView while a writer keeps appending (rotating
+// the LRU cache underneath them). Exercises the pin-vs-evict and
+// publish-once races in AppendStore.
+TEST(ConcurrencyTest, AppendStoreSharedBlobReadersWhileWriterAppends) {
+  MemDevice dev;
+  AppendStore store(&dev, /*cache_blobs=*/2);
+
+  constexpr int kSharedBlobs = 4;
+  std::vector<HistAddr> addrs(kSharedBlobs);
+  std::vector<std::string> payloads(kSharedBlobs);
+  for (int i = 0; i < kSharedBlobs; ++i) {
+    payloads[i] = "blob-" + std::to_string(i) + "-" +
+                  std::string(200 + i * 37, static_cast<char>('a' + i));
+    ASSERT_TRUE(store.Append(payloads[i], &addrs[i]).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> reads{0};
+
+  std::thread writer([&] {
+    HistAddr scratch;
+    for (int i = 0; i < 500 && !stop.load(std::memory_order_acquire); ++i) {
+      if (!store.Append(Slice("writer-era-" + std::to_string(i)), &scratch)
+               .ok()) {
+        failed.store(true);
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      for (int i = 0; i < 400; ++i) {
+        const int b = (r + i) % kSharedBlobs;
+        BlobHandle h;
+        if (!store.ReadView(addrs[b], &h).ok() ||
+            h.data() != Slice(payloads[b])) {
+          failed.store(true);
+          return;
+        }
+        reads.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(4u * 400u, reads.load());
+  const HistReadStats s = store.hist_stats();
+  EXPECT_GT(s.cache_hits + s.cache_misses, 0u);
 }
 
 }  // namespace

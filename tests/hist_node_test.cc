@@ -1,0 +1,283 @@
+// The v2 slotted historical node format and its zero-copy view refs:
+// v1 <-> v2 compat decode, view binary-search parity against the legacy
+// linear scan on randomized entry sets, and container corruption handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "tsb/data_page.h"
+#include "tsb/hist_node.h"
+#include "tsb/index_page.h"
+
+namespace tsb {
+namespace tsb_tree {
+namespace {
+
+std::vector<DataEntry> MakeEntries(Random* rnd, int keys, int max_versions) {
+  std::vector<DataEntry> entries;
+  Timestamp ts = 1;
+  for (int k = 0; k < keys; ++k) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%05d", k * 3);
+    const int versions = 1 + static_cast<int>(rnd->Uniform(max_versions));
+    for (int v = 0; v < versions; ++v) {
+      DataEntry e;
+      e.key = key;
+      e.ts = ts;
+      ts += 1 + rnd->Uniform(3);
+      e.value = "value-" + e.key + "-" + std::to_string(e.ts);
+      entries.push_back(std::move(e));
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+// Reference implementation: the pre-view linear scan over owned entries.
+int LinearFindVersion(const std::vector<DataEntry>& entries, const Slice& key,
+                      Timestamp t) {
+  int best = -1;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const DataEntry& e = entries[i];
+    if (e.uncommitted()) continue;
+    if (Slice(e.key) == key && e.ts <= t) {
+      if (best < 0 || e.ts > entries[best].ts) best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+TEST(HistDataNodeTest, V2RoundTrip) {
+  Random rnd(7);
+  const std::vector<DataEntry> entries = MakeEntries(&rnd, 40, 5);
+  std::string blob;
+  SerializeHistDataNode(entries, &blob);
+
+  std::vector<DataEntry> decoded;
+  ASSERT_TRUE(DecodeHistDataNode(Slice(blob), &decoded).ok());
+  ASSERT_EQ(entries.size(), decoded.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].key, decoded[i].key);
+    EXPECT_EQ(entries[i].ts, decoded[i].ts);
+    EXPECT_EQ(entries[i].value, decoded[i].value);
+  }
+
+  HistDataNodeRef ref;
+  ASSERT_TRUE(ref.Parse(Slice(blob)).ok());
+  EXPECT_TRUE(ref.v2());
+  ASSERT_EQ(static_cast<int>(entries.size()), ref.Count());
+  for (int i = 0; i < ref.Count(); ++i) {
+    DataEntryView v;
+    ASSERT_TRUE(ref.At(i, &v).ok());
+    EXPECT_EQ(Slice(entries[i].key), v.key);
+    EXPECT_EQ(entries[i].ts, v.ts);
+    EXPECT_EQ(Slice(entries[i].value), v.value);
+  }
+}
+
+TEST(HistDataNodeTest, V1BlobsStillDecode) {
+  Random rnd(11);
+  const std::vector<DataEntry> entries = MakeEntries(&rnd, 25, 4);
+  std::string v1_blob;
+  SerializeHistDataNodeV1(entries, &v1_blob);
+  std::string v2_blob;
+  SerializeHistDataNode(entries, &v2_blob);
+  ASSERT_NE(v1_blob, v2_blob);
+
+  // The owning decoder and the view ref both accept the legacy format.
+  std::vector<DataEntry> decoded;
+  ASSERT_TRUE(DecodeHistDataNode(Slice(v1_blob), &decoded).ok());
+  ASSERT_EQ(entries.size(), decoded.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].key, decoded[i].key);
+    EXPECT_EQ(entries[i].value, decoded[i].value);
+  }
+
+  HistDataNodeRef ref;
+  ASSERT_TRUE(ref.Parse(Slice(v1_blob)).ok());
+  EXPECT_FALSE(ref.v2());
+  ASSERT_EQ(static_cast<int>(entries.size()), ref.Count());
+  DataEntryView v;
+  ASSERT_TRUE(ref.At(ref.Count() - 1, &v).ok());
+  EXPECT_EQ(Slice(entries.back().value), v.value);
+}
+
+TEST(HistDataNodeTest, FindVersionParityRandomized) {
+  Random rnd(13);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<DataEntry> entries =
+        MakeEntries(&rnd, 1 + static_cast<int>(rnd.Uniform(30)), 6);
+    std::string v2_blob, v1_blob;
+    SerializeHistDataNode(entries, &v2_blob);
+    SerializeHistDataNodeV1(entries, &v1_blob);
+    HistDataNodeRef v2_ref, v1_ref;
+    ASSERT_TRUE(v2_ref.Parse(Slice(v2_blob)).ok());
+    ASSERT_TRUE(v1_ref.Parse(Slice(v1_blob)).ok());
+
+    const Timestamp max_ts = entries.back().ts + 2;
+    for (int q = 0; q < 200; ++q) {
+      char key[16];
+      snprintf(key, sizeof(key), "key%05d",
+               static_cast<int>(rnd.Uniform(35 * 3)));
+      const Timestamp t = 1 + rnd.Uniform(max_ts);
+      const int expected = LinearFindVersion(entries, key, t);
+      int got_v2 = -2, got_v1 = -2;
+      ASSERT_TRUE(v2_ref.FindVersion(key, t, &got_v2).ok());
+      ASSERT_TRUE(v1_ref.FindVersion(key, t, &got_v1).ok());
+      EXPECT_EQ(expected, got_v2) << "key=" << key << " t=" << t;
+      EXPECT_EQ(expected, got_v1) << "key=" << key << " t=" << t;
+    }
+  }
+}
+
+TEST(HistDataNodeTest, EmptyNodeRoundTrips) {
+  std::string blob;
+  SerializeHistDataNode({}, &blob);
+  HistDataNodeRef ref;
+  ASSERT_TRUE(ref.Parse(Slice(blob)).ok());
+  EXPECT_EQ(0, ref.Count());
+  int pos = -2;
+  ASSERT_TRUE(ref.FindVersion("any", 100, &pos).ok());
+  EXPECT_EQ(-1, pos);
+  std::vector<DataEntry> decoded;
+  ASSERT_TRUE(DecodeHistDataNode(Slice(blob), &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(HistNodeTest, CorruptContainersRejected) {
+  std::vector<DataEntry> entries;
+  DataEntry e;
+  e.key = "k";
+  e.ts = 5;
+  e.value = "v";
+  entries.push_back(e);
+  std::string blob;
+  SerializeHistDataNode(entries, &blob);
+
+  HistNodeRef ref;
+  // Truncated below the fixed header.
+  EXPECT_TRUE(ref.Parse(Slice(blob.data(), 1)).IsCorruption());
+  // Too short to hold the slot directory.
+  EXPECT_TRUE(ref.Parse(Slice(blob.data(), 9)).IsCorruption());
+  // A directory entry pointing outside the cell area parses (the container
+  // cannot know cell sizes) but fails at access time.
+  std::string bad_dir = blob;
+  bad_dir[bad_dir.size() - 4] = static_cast<char>(0xff);
+  bad_dir[bad_dir.size() - 3] = static_cast<char>(0xff);
+  HistDataNodeRef data_ref;
+  ASSERT_TRUE(data_ref.Parse(Slice(bad_dir)).ok());
+  DataEntryView v;
+  EXPECT_TRUE(data_ref.At(0, &v).IsCorruption());
+  // Unknown version byte.
+  std::string bad = blob;
+  bad[1] = 9;
+  EXPECT_TRUE(ref.Parse(Slice(bad)).IsCorruption());
+  // An index decoder must reject a data node and vice versa.
+  uint8_t level = 0;
+  std::vector<IndexEntry> ignored;
+  EXPECT_TRUE(DecodeHistIndexNode(Slice(blob), &level, &ignored)
+                  .IsCorruption());
+}
+
+// ---------------- index nodes ----------------
+
+// A tiling set of entries: `key_cuts`+1 key stripes x per-stripe time
+// cells, mirroring what time/key splits produce. Entries are
+// (key_lo, t_lo)-sorted as index pages keep them.
+std::vector<IndexEntry> MakeTiling(Random* rnd, int key_stripes,
+                                   int time_cells, Timestamp t_max) {
+  std::vector<IndexEntry> entries;
+  uint64_t next_addr = 64;
+  for (int s = 0; s < key_stripes; ++s) {
+    std::string lo =
+        s == 0 ? std::string() : "key" + std::to_string(1000 + s * 7);
+    std::string hi = "key" + std::to_string(1000 + (s + 1) * 7);
+    const bool hi_inf = (s == key_stripes - 1);
+    Timestamp t = 0;
+    for (int c = 0; c < time_cells; ++c) {
+      IndexEntry e;
+      e.key_lo = lo;
+      e.key_hi = hi_inf ? std::string() : hi;
+      e.key_hi_inf = hi_inf;
+      e.t_lo = t;
+      t += 1 + rnd->Uniform(t_max / time_cells);
+      e.t_hi = (c == time_cells - 1) ? kInfiniteTs : t;
+      if (e.t_hi == kInfiniteTs) {
+        e.child = NodeRef::Current(static_cast<uint32_t>(next_addr));
+      } else {
+        e.child = NodeRef::Historical(HistAddr{next_addr, 32});
+      }
+      next_addr += 64;
+      entries.push_back(std::move(e));
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+int LinearFindContaining(const std::vector<IndexEntry>& entries,
+                         const Slice& key, Timestamp t) {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].Contains(key, t)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST(HistIndexNodeTest, RoundTripAndV1Compat) {
+  Random rnd(17);
+  const std::vector<IndexEntry> entries = MakeTiling(&rnd, 4, 3, 300);
+  std::string v2_blob, v1_blob;
+  SerializeHistIndexNode(2, entries, &v2_blob);
+  SerializeHistIndexNodeV1(2, entries, &v1_blob);
+
+  for (const std::string& blob : {v2_blob, v1_blob}) {
+    uint8_t level = 0;
+    std::vector<IndexEntry> decoded;
+    ASSERT_TRUE(DecodeHistIndexNode(Slice(blob), &level, &decoded).ok());
+    EXPECT_EQ(2, level);
+    ASSERT_EQ(entries.size(), decoded.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(entries[i].key_lo, decoded[i].key_lo);
+      EXPECT_EQ(entries[i].key_hi_inf, decoded[i].key_hi_inf);
+      EXPECT_EQ(entries[i].t_lo, decoded[i].t_lo);
+      EXPECT_EQ(entries[i].t_hi, decoded[i].t_hi);
+      EXPECT_EQ(entries[i].child, decoded[i].child);
+    }
+  }
+}
+
+TEST(HistIndexNodeTest, FindContainingParityRandomized) {
+  Random rnd(19);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<IndexEntry> entries =
+        MakeTiling(&rnd, 1 + static_cast<int>(rnd.Uniform(6)),
+                   1 + static_cast<int>(rnd.Uniform(5)), 400);
+    std::string v2_blob, v1_blob;
+    SerializeHistIndexNode(1, entries, &v2_blob);
+    SerializeHistIndexNodeV1(1, entries, &v1_blob);
+    HistIndexNodeRef v2_ref, v1_ref;
+    ASSERT_TRUE(v2_ref.Parse(Slice(v2_blob)).ok());
+    ASSERT_TRUE(v1_ref.Parse(Slice(v1_blob)).ok());
+    EXPECT_EQ(1, v2_ref.Level());
+
+    for (int q = 0; q < 200; ++q) {
+      const std::string key =
+          "key" + std::to_string(990 + rnd.Uniform(60));
+      const Timestamp t = rnd.Uniform(500);
+      const int expected = LinearFindContaining(entries, key, t);
+      int got_v2 = -2, got_v1 = -2;
+      ASSERT_TRUE(v2_ref.FindContaining(key, t, &got_v2).ok());
+      ASSERT_TRUE(v1_ref.FindContaining(key, t, &got_v1).ok());
+      EXPECT_EQ(expected, got_v2) << "key=" << key << " t=" << t;
+      EXPECT_EQ(expected, got_v1) << "key=" << key << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsb_tree
+}  // namespace tsb
