@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/append_store_test.dir/tests/append_store_test.cc.o"
+  "CMakeFiles/append_store_test.dir/tests/append_store_test.cc.o.d"
+  "append_store_test"
+  "append_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/append_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

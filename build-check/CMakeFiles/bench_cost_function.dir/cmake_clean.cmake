@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_function.dir/bench/bench_cost_function.cc.o"
+  "CMakeFiles/bench_cost_function.dir/bench/bench_cost_function.cc.o.d"
+  "bench_cost_function"
+  "bench_cost_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

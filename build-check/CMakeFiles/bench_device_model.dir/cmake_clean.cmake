@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_model.dir/bench/bench_device_model.cc.o"
+  "CMakeFiles/bench_device_model.dir/bench/bench_device_model.cc.o.d"
+  "bench_device_model"
+  "bench_device_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redundancy.dir/bench/bench_redundancy.cc.o"
+  "CMakeFiles/bench_redundancy.dir/bench/bench_redundancy.cc.o.d"
+  "bench_redundancy"
+  "bench_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

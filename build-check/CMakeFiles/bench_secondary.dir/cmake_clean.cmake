@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secondary.dir/bench/bench_secondary.cc.o"
+  "CMakeFiles/bench_secondary.dir/bench/bench_secondary.cc.o.d"
+  "bench_secondary"
+  "bench_secondary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secondary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_space_policy.dir/bench/bench_space_policy.cc.o"
+  "CMakeFiles/bench_space_policy.dir/bench/bench_space_policy.cc.o.d"
+  "bench_space_policy"
+  "bench_space_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_space_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_worm_utilization.dir/bench/bench_worm_utilization.cc.o"
+  "CMakeFiles/bench_worm_utilization.dir/bench/bench_worm_utilization.cc.o.d"
+  "bench_worm_utilization"
+  "bench_worm_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worm_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpt_test.dir/tests/bpt_test.cc.o"
+  "CMakeFiles/bpt_test.dir/tests/bpt_test.cc.o.d"
+  "bpt_test"
+  "bpt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

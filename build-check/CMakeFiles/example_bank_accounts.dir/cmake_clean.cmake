@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bank_accounts.dir/examples/bank_accounts.cpp.o"
+  "CMakeFiles/example_bank_accounts.dir/examples/bank_accounts.cpp.o.d"
+  "example_bank_accounts"
+  "example_bank_accounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bank_accounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_course_transcripts.dir/examples/course_transcripts.cpp.o"
+  "CMakeFiles/example_course_transcripts.dir/examples/course_transcripts.cpp.o.d"
+  "example_course_transcripts"
+  "example_course_transcripts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_course_transcripts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_versions.dir/examples/design_versions.cpp.o"
+  "CMakeFiles/example_design_versions.dir/examples/design_versions.cpp.o.d"
+  "example_design_versions"
+  "example_design_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

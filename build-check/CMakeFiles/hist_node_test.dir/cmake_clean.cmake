@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hist_node_test.dir/tests/hist_node_test.cc.o"
+  "CMakeFiles/hist_node_test.dir/tests/hist_node_test.cc.o.d"
+  "hist_node_test"
+  "hist_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hist_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

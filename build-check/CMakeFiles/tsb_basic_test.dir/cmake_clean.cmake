@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_basic_test.dir/tests/tsb_basic_test.cc.o"
+  "CMakeFiles/tsb_basic_test.dir/tests/tsb_basic_test.cc.o.d"
+  "tsb_basic_test"
+  "tsb_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_check_test.dir/tests/tsb_check_test.cc.o"
+  "CMakeFiles/tsb_check_test.dir/tests/tsb_check_test.cc.o.d"
+  "tsb_check_test"
+  "tsb_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

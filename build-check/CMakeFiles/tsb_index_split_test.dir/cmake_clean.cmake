@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_index_split_test.dir/tests/tsb_index_split_test.cc.o"
+  "CMakeFiles/tsb_index_split_test.dir/tests/tsb_index_split_test.cc.o.d"
+  "tsb_index_split_test"
+  "tsb_index_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_index_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_property_test.dir/tests/tsb_property_test.cc.o"
+  "CMakeFiles/tsb_property_test.dir/tests/tsb_property_test.cc.o.d"
+  "tsb_property_test"
+  "tsb_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

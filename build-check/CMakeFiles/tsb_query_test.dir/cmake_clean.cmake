@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_query_test.dir/tests/tsb_query_test.cc.o"
+  "CMakeFiles/tsb_query_test.dir/tests/tsb_query_test.cc.o.d"
+  "tsb_query_test"
+  "tsb_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

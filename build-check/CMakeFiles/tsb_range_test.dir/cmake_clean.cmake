@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsb_range_test.dir/tests/tsb_range_test.cc.o"
+  "CMakeFiles/tsb_range_test.dir/tests/tsb_range_test.cc.o.d"
+  "tsb_range_test"
+  "tsb_range_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsb_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

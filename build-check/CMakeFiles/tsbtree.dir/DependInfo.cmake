@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpt/bplus_tree.cc" "CMakeFiles/tsbtree.dir/src/bpt/bplus_tree.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/bpt/bplus_tree.cc.o.d"
+  "/root/repo/src/common/arena.cc" "CMakeFiles/tsbtree.dir/src/common/arena.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/common/arena.cc.o.d"
+  "/root/repo/src/common/clock.cc" "CMakeFiles/tsbtree.dir/src/common/clock.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/common/clock.cc.o.d"
+  "/root/repo/src/common/coding.cc" "CMakeFiles/tsbtree.dir/src/common/coding.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "CMakeFiles/tsbtree.dir/src/common/crc32c.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/common/crc32c.cc.o.d"
+  "/root/repo/src/common/logger.cc" "CMakeFiles/tsbtree.dir/src/common/logger.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/common/logger.cc.o.d"
+  "/root/repo/src/common/slice.cc" "CMakeFiles/tsbtree.dir/src/common/slice.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/common/slice.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/tsbtree.dir/src/common/status.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/common/status.cc.o.d"
+  "/root/repo/src/db/multiversion_db.cc" "CMakeFiles/tsbtree.dir/src/db/multiversion_db.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/db/multiversion_db.cc.o.d"
+  "/root/repo/src/db/secondary_index.cc" "CMakeFiles/tsbtree.dir/src/db/secondary_index.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/db/secondary_index.cc.o.d"
+  "/root/repo/src/storage/append_store.cc" "CMakeFiles/tsbtree.dir/src/storage/append_store.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/append_store.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "CMakeFiles/tsbtree.dir/src/storage/buffer_pool.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/device.cc" "CMakeFiles/tsbtree.dir/src/storage/device.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/device.cc.o.d"
+  "/root/repo/src/storage/file_device.cc" "CMakeFiles/tsbtree.dir/src/storage/file_device.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/file_device.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "CMakeFiles/tsbtree.dir/src/storage/io_stats.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/mem_device.cc" "CMakeFiles/tsbtree.dir/src/storage/mem_device.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/mem_device.cc.o.d"
+  "/root/repo/src/storage/page.cc" "CMakeFiles/tsbtree.dir/src/storage/page.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/page.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "CMakeFiles/tsbtree.dir/src/storage/pager.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/pager.cc.o.d"
+  "/root/repo/src/storage/slotted.cc" "CMakeFiles/tsbtree.dir/src/storage/slotted.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/slotted.cc.o.d"
+  "/root/repo/src/storage/worm_device.cc" "CMakeFiles/tsbtree.dir/src/storage/worm_device.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/storage/worm_device.cc.o.d"
+  "/root/repo/src/tsb/cursor.cc" "CMakeFiles/tsbtree.dir/src/tsb/cursor.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/tsb/cursor.cc.o.d"
+  "/root/repo/src/tsb/data_page.cc" "CMakeFiles/tsbtree.dir/src/tsb/data_page.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/tsb/data_page.cc.o.d"
+  "/root/repo/src/tsb/hist_node.cc" "CMakeFiles/tsbtree.dir/src/tsb/hist_node.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/tsb/hist_node.cc.o.d"
+  "/root/repo/src/tsb/index_page.cc" "CMakeFiles/tsbtree.dir/src/tsb/index_page.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/tsb/index_page.cc.o.d"
+  "/root/repo/src/tsb/node_ref.cc" "CMakeFiles/tsbtree.dir/src/tsb/node_ref.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/tsb/node_ref.cc.o.d"
+  "/root/repo/src/tsb/split_policy.cc" "CMakeFiles/tsbtree.dir/src/tsb/split_policy.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/tsb/split_policy.cc.o.d"
+  "/root/repo/src/tsb/tree_check.cc" "CMakeFiles/tsbtree.dir/src/tsb/tree_check.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/tsb/tree_check.cc.o.d"
+  "/root/repo/src/tsb/tsb_tree.cc" "CMakeFiles/tsbtree.dir/src/tsb/tsb_tree.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/tsb/tsb_tree.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "CMakeFiles/tsbtree.dir/src/txn/txn_manager.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/txn/txn_manager.cc.o.d"
+  "/root/repo/src/util/workload.cc" "CMakeFiles/tsbtree.dir/src/util/workload.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/util/workload.cc.o.d"
+  "/root/repo/src/wobt/wobt_node.cc" "CMakeFiles/tsbtree.dir/src/wobt/wobt_node.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/wobt/wobt_node.cc.o.d"
+  "/root/repo/src/wobt/wobt_tree.cc" "CMakeFiles/tsbtree.dir/src/wobt/wobt_tree.cc.o" "gcc" "CMakeFiles/tsbtree.dir/src/wobt/wobt_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wobt_test.dir/tests/wobt_test.cc.o"
+  "CMakeFiles/wobt_test.dir/tests/wobt_test.cc.o.d"
+  "wobt_test"
+  "wobt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wobt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
