@@ -7,6 +7,9 @@
 // cost model: magnetic vs 3x-slower optical seeks).
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -20,6 +23,7 @@
 #include "bench_common.h"
 #include "bpt/bplus_tree.h"
 #include "common/random.h"
+#include "storage/file_device.h"
 #include "tsb/cursor.h"
 #include "wobt/wobt_tree.h"
 
@@ -195,6 +199,146 @@ struct HistAsOfResult {
   double cache_hit_ratio = 0;
 };
 
+// ---- cold-read fixtures: FileDevice-backed historical store ----
+//
+// The cold phase measures SearchPoint phase 2 with the shared-blob cache
+// disabled, so every historical pin goes to the device: once through the
+// mmap read path (pins served straight from the file mapping; CRC paid on
+// each blob's first pin ever) and once on the same device class with mmap
+// off (the copying pread + CRC baseline). The blob cache is also cleared
+// between rounds, so enabling it would not leak warmth across rounds.
+
+struct ColdFixture {
+  std::string path;
+  std::unique_ptr<MemDevice> magnetic;
+  std::unique_ptr<FileDevice> hist;
+  std::unique_ptr<tsb_tree::TsbTree> tree;  // declared last: destroyed
+                                            // (and flushed) before devices
+
+  ColdFixture() = default;
+  ColdFixture(ColdFixture&&) = default;
+  ColdFixture& operator=(ColdFixture&&) = default;
+
+  ~ColdFixture() {
+    tree.reset();
+    hist.reset();
+    if (!path.empty()) ::unlink(path.c_str());
+  }
+};
+
+ColdFixture BuildColdFixture(bool enable_mmap, const char* suffix) {
+  ColdFixture f;
+  f.path = "/tmp/tsb_bench_cold_" + std::to_string(::getpid()) + "_" +
+           suffix + ".dat";
+  ::unlink(f.path.c_str());  // fresh store
+  f.magnetic = std::make_unique<MemDevice>();
+  FileDevice* raw = nullptr;
+  Status s = FileDevice::Open(f.path, &raw, DeviceKind::kOpticalErasable,
+                              CostParams::OpticalWorm(), enable_mmap);
+  if (!s.ok()) {
+    fprintf(stderr, "cold fixture open failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+  f.hist.reset(raw);
+
+  tsb_tree::TsbOptions topts;
+  topts.page_size = 2048;
+  topts.buffer_pool_frames = 1024;  // current axis fully resident
+  topts.hist_cache_blobs = 0;       // every historical pin is cold
+  s = tsb_tree::TsbTree::Open(f.magnetic.get(), f.hist.get(), topts,
+                              &f.tree);
+  if (!s.ok()) {
+    fprintf(stderr, "cold fixture tree open failed: %s\n",
+            s.ToString().c_str());
+    abort();
+  }
+  util::WorkloadGenerator gen(QuerySpec());
+  util::Op op;
+  while (gen.Next(&op)) {
+    if (!f.tree->Put(op.key, op.value, op.ts).ok()) abort();
+  }
+  return f;
+}
+
+struct ColdReadResult {
+  double ops_per_sec = 0;
+  double allocs_per_op = 0;  // measured after the first (verifying) pass
+};
+
+ColdReadResult MeasureColdRead(
+    tsb_tree::TsbTree* tree,
+    const std::vector<std::pair<std::string, Timestamp>>& probes,
+    int rounds) {
+  std::string v;
+  // First pass pays the one-time costs (CRC verification on the mmap
+  // path, value capacity growth); the measured rounds are pure re-pins.
+  for (const auto& [k, t] : probes) tree->GetAsOf(k, t, &v);
+  tree->hist_store()->ClearCache();
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  size_t ops = 0;
+  for (int r = 0; r < rounds; ++r) {
+    tree->hist_store()->ClearCache();  // no warmth across rounds
+    for (const auto& [k, t] : probes) {
+      benchmark::DoNotOptimize(tree->GetAsOf(k, t, &v));
+      ++ops;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  const double secs = std::chrono::duration<double>(end - start).count();
+  ColdReadResult r;
+  r.ops_per_sec = secs > 0 ? static_cast<double>(ops) / secs : 0;
+  r.allocs_per_op = static_cast<double>(allocs) / static_cast<double>(ops);
+  return r;
+}
+
+// ---- v3 vs v2 node bytes on a prefix-heavy key workload ----
+//
+// Mirrors what time splits consolidate: runs of versions for keys that
+// share long prefixes, chunked into node-sized blobs.
+
+struct NodeBytesResult {
+  uint64_t v2_bytes = 0;
+  uint64_t v3_bytes = 0;
+};
+
+NodeBytesResult MeasureHistNodeBytes() {
+  using tsb_tree::DataEntry;
+  Random rnd(97);
+  std::vector<DataEntry> entries;
+  Timestamp ts = 1;
+  for (int k = 0; k < 400; ++k) {
+    char key[48];
+    snprintf(key, sizeof(key), "tenant-0042/user-%08d/balance", k * 7);
+    const int versions = 2 + static_cast<int>(rnd.Uniform(4));
+    for (int v = 0; v < versions; ++v) {
+      DataEntry e;
+      e.key = key;
+      e.ts = ts;
+      ts += 1 + rnd.Uniform(3);
+      e.value = "balance=" + std::to_string(1000 + ts);
+      entries.push_back(std::move(e));
+    }
+  }
+  NodeBytesResult r;
+  constexpr size_t kEntriesPerNode = 32;  // ~2 KiB consolidated nodes
+  std::string blob;
+  for (size_t i = 0; i < entries.size(); i += kEntriesPerNode) {
+    const size_t n = std::min(kEntriesPerNode, entries.size() - i);
+    const std::vector<DataEntry> node(entries.begin() + i,
+                                      entries.begin() + i + n);
+    tsb_tree::SerializeHistDataNode(node, &blob,
+                                    tsb_tree::HistNodeFormat::kV2);
+    r.v2_bytes += blob.size();
+    tsb_tree::SerializeHistDataNode(node, &blob,
+                                    tsb_tree::HistNodeFormat::kV3);
+    r.v3_bytes += blob.size();
+  }
+  return r;
+}
+
 HistAsOfResult MeasureHistAsOf(
     tsb_tree::TsbTree* tree,
     const std::vector<std::pair<std::string, Timestamp>>& probes,
@@ -283,6 +427,48 @@ void WriteHistAsOfJson() {
          owned.ops_per_sec, owned.allocs_per_op, owned.cache_hit_ratio);
   printf("speedup: %.2fx\n\n", speedup);
 
+  // ---- cold reads: mmap pins vs pread copies, cache disabled ----
+  ColdFixture mmap_f = BuildColdFixture(/*enable_mmap=*/true, "mmap");
+  ColdFixture copy_f = BuildColdFixture(/*enable_mmap=*/false, "copy");
+  const int cold_rounds = static_cast<int>(60000 / probes.size()) + 1;
+  const ColdReadResult cold_mmap =
+      MeasureColdRead(mmap_f.tree.get(), probes, cold_rounds);
+  const ColdReadResult cold_copy =
+      MeasureColdRead(copy_f.tree.get(), probes, cold_rounds);
+  const double cold_speedup = cold_copy.ops_per_sec > 0
+                                  ? cold_mmap.ops_per_sec / cold_copy.ops_per_sec
+                                  : 0;
+  const HistReadStats mmap_stats = mmap_f.tree->HistStats();
+  const HistReadStats copy_stats = copy_f.tree->HistStats();
+  const BufferPoolStats cold_pool = mmap_f.tree->PoolStats();
+
+  printf("== historical cold reads: mmap pins vs pread copies ==\n");
+  printf("(%zu probes x %d rounds, blob cache disabled + cleared per round)\n",
+         probes.size(), cold_rounds);
+  printf("mmap path : %12.0f ops/s  %6.2f allocs/op (re-pin)  "
+         "mapped %llu KiB\n",
+         cold_mmap.ops_per_sec, cold_mmap.allocs_per_op,
+         static_cast<unsigned long long>(mmap_stats.mapped_bytes / 1024));
+  printf("copy path : %12.0f ops/s  %6.2f allocs/op          "
+         "copied %llu KiB\n",
+         cold_copy.ops_per_sec, cold_copy.allocs_per_op,
+         static_cast<unsigned long long>(copy_stats.copied_bytes / 1024));
+  printf("cold speedup: %.2fx; buffer-pool hit ratio (magnetic axis): %.3f\n",
+         cold_speedup, cold_pool.hit_ratio());
+  printf("written-node compression (workload keys, v3): %.3f\n\n",
+         mmap_stats.compression_ratio());
+
+  // ---- node bytes: v3 prefix compression vs v2 ----
+  const NodeBytesResult nb = MeasureHistNodeBytes();
+  const double v3_over_v2 =
+      nb.v2_bytes > 0
+          ? static_cast<double>(nb.v3_bytes) / static_cast<double>(nb.v2_bytes)
+          : 1.0;
+  printf("== historical node bytes, prefix-heavy keys ==\n");
+  printf("v2: %llu bytes  v3: %llu bytes  ratio %.3f\n\n",
+         static_cast<unsigned long long>(nb.v2_bytes),
+         static_cast<unsigned long long>(nb.v3_bytes), v3_over_v2);
+
   const char* path = std::getenv("BENCH_QUERY_JSON");
   if (path == nullptr) path = "BENCH_query.json";
   FILE* f = fopen(path, "w");
@@ -298,11 +484,26 @@ void WriteHistAsOfJson() {
           "\"allocs_per_op\": %.4f, \"cache_hit_ratio\": %.4f},\n"
           "  \"hist_asof_owned_baseline\": {\"ops_per_sec\": %.1f, "
           "\"allocs_per_op\": %.4f, \"cache_hit_ratio\": %.4f},\n"
-          "  \"speedup_view_vs_owned\": %.3f\n"
+          "  \"speedup_view_vs_owned\": %.3f,\n"
+          "  \"hist_cold_read\": {\"mmap_ops_per_sec\": %.1f, "
+          "\"copy_ops_per_sec\": %.1f, \"speedup_mmap_vs_copy\": %.3f, "
+          "\"allocs_per_op_repin\": %.4f, \"mapped_bytes\": %llu, "
+          "\"copied_bytes\": %llu, \"rounds\": %d},\n"
+          "  \"hist_node_bytes\": {\"workload\": \"prefix-heavy\", "
+          "\"v2_bytes\": %llu, \"v3_bytes\": %llu, \"v3_over_v2\": %.3f, "
+          "\"tree_compression_ratio\": %.3f}\n"
           "}\n",
           kOps, kUpdateFraction, probes.size(), rounds, view.ops_per_sec,
           view.allocs_per_op, view.cache_hit_ratio, owned.ops_per_sec,
-          owned.allocs_per_op, owned.cache_hit_ratio, speedup);
+          owned.allocs_per_op, owned.cache_hit_ratio, speedup,
+          cold_mmap.ops_per_sec, cold_copy.ops_per_sec, cold_speedup,
+          cold_mmap.allocs_per_op,
+          static_cast<unsigned long long>(mmap_stats.mapped_bytes),
+          static_cast<unsigned long long>(copy_stats.copied_bytes),
+          cold_rounds,
+          static_cast<unsigned long long>(nb.v2_bytes),
+          static_cast<unsigned long long>(nb.v3_bytes), v3_over_v2,
+          mmap_stats.compression_ratio());
   fclose(f);
   printf("wrote %s\n\n", path);
 }

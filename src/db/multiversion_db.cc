@@ -134,6 +134,14 @@ HistReadStats MultiVersionDB::HistStats() const {
   return s;
 }
 
+BufferPoolStats MultiVersionDB::PoolStats() const {
+  BufferPoolStats s = tree_->PoolStats();
+  for (const auto& [name, def] : indexes_) {
+    s.Add(def.index->tree()->PoolStats());
+  }
+  return s;
+}
+
 Status MultiVersionDB::Flush() {
   TSB_RETURN_IF_ERROR(tree_->Flush());
   for (auto& [name, def] : indexes_) {

@@ -110,9 +110,15 @@ class MultiVersionDB {
   }
 
   /// Historical read-path counters for the primary index plus every
-  /// secondary index: blob reads/bytes, shared-blob cache hit ratio, and
-  /// view vs. owned node decodes. Safe to call concurrently with readers.
+  /// secondary index: blob reads/bytes, shared-blob cache hit ratio,
+  /// mapped vs copied miss bytes, and view vs. owned node decodes. Safe
+  /// to call concurrently with readers.
   HistReadStats HistStats() const;
+
+  /// Buffer-pool counters (magnetic axis) aggregated over the primary and
+  /// every secondary index — together with HistStats this makes mixed
+  /// current/historical workloads diagnosable end to end.
+  BufferPoolStats PoolStats() const;
 
   tsb_tree::TsbTree* primary() { return tree_.get(); }
   txn::TxnManager* txn_manager() { return txns_.get(); }

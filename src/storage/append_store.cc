@@ -60,6 +60,53 @@ Status AppendStore::ReadFromDevice(const HistAddr& addr,
   return Status::OK();
 }
 
+Status AppendStore::PinFromDevice(const HistAddr& addr, BlobHandle* out) {
+  if (device_->SupportsMappedReads()) {
+    MappedRead m;
+    Status s = device_->ReadMapped(
+        addr.offset, kFrameHeaderSize + addr.length, &m);
+    if (s.ok()) {
+      const char* frame = m.data.data();
+      const uint32_t len = DecodeFixed32(frame);
+      if (len != addr.length) {
+        return Status::Corruption("historical blob length mismatch",
+                                  "at offset " + std::to_string(addr.offset));
+      }
+      const Slice payload(frame + kFrameHeaderSize, len);
+      bool verified;
+      {
+        std::lock_guard<std::mutex> lock(verified_mu_);
+        verified = verified_.count(addr.offset) != 0;
+      }
+      if (!verified) {
+        const uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(frame + 4));
+        if (crc32c::Value(payload.data(), len) != stored_crc) {
+          return Status::Corruption(
+              "historical blob checksum mismatch",
+              "at offset " + std::to_string(addr.offset));
+        }
+        std::lock_guard<std::mutex> lock(verified_mu_);
+        verified_.insert(addr.offset);
+      }
+      mapped_bytes_.fetch_add(len, std::memory_order_relaxed);
+      // Re-alias the pin to the payload start so handles for the same blob
+      // compare equal in SharesBufferWith regardless of the mapping they
+      // came from being shared with other blobs.
+      *out = BlobHandle(
+          std::shared_ptr<const void>(std::move(m.pin), payload.data()),
+          payload);
+      return Status::OK();
+    }
+    // Mapped read unavailable (e.g. device grew no mapping yet failed);
+    // fall through to the copying path.
+  }
+  auto payload = std::make_shared<std::string>();
+  TSB_RETURN_IF_ERROR(ReadFromDevice(addr, payload.get()));
+  copied_bytes_.fetch_add(payload->size(), std::memory_order_relaxed);
+  *out = BlobHandle::FromString(std::move(payload));
+  return Status::OK();
+}
+
 Status AppendStore::ReadView(const HistAddr& addr, BlobHandle* out) {
   blob_reads_.fetch_add(1, std::memory_order_relaxed);
   blob_bytes_read_.fetch_add(addr.length, std::memory_order_relaxed);
@@ -69,16 +116,15 @@ Status AppendStore::ReadView(const HistAddr& addr, BlobHandle* out) {
     if (it != cache_.end()) {
       // splice, not erase+push: the LRU bump must not allocate.
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_pos);
-      *out = BlobHandle(it->second.payload);  // pin, no copy
+      *out = it->second.handle;  // pin, no copy
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  auto payload = std::make_shared<std::string>();
-  TSB_RETURN_IF_ERROR(ReadFromDevice(addr, payload.get()));
-  std::shared_ptr<const std::string> blob = std::move(payload);
+  BlobHandle fresh;
+  TSB_RETURN_IF_ERROR(PinFromDevice(addr, &fresh));
 
   if (cache_capacity_ > 0) {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -86,7 +132,7 @@ Status AppendStore::ReadView(const HistAddr& addr, BlobHandle* out) {
     if (it != cache_.end()) {
       // A concurrent reader published the same blob while we read it from
       // the device; share theirs so all pins reference one buffer.
-      blob = it->second.payload;
+      fresh = it->second.handle;
     } else {
       while (cache_.size() >= cache_capacity_) {
         const uint64_t victim = cache_lru_.back();
@@ -94,11 +140,17 @@ Status AppendStore::ReadView(const HistAddr& addr, BlobHandle* out) {
         cache_.erase(victim);  // pinned readers keep the blob alive
       }
       cache_lru_.push_front(addr.offset);
-      cache_.emplace(addr.offset, CacheEntry{blob, cache_lru_.begin()});
+      cache_.emplace(addr.offset, CacheEntry{fresh, cache_lru_.begin()});
     }
   }
-  *out = BlobHandle(std::move(blob));
+  *out = std::move(fresh);
   return Status::OK();
+}
+
+void AppendStore::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+  cache_lru_.clear();
 }
 
 Status AppendStore::Read(const HistAddr& addr, std::string* payload) {
@@ -115,6 +167,8 @@ HistReadStats AppendStore::hist_stats() const {
   s.blob_bytes = blob_bytes_read_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.mapped_bytes = mapped_bytes_.load(std::memory_order_relaxed);
+  s.copied_bytes = copied_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 

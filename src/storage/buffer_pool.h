@@ -75,12 +75,29 @@ class PageHandle {
   LatchMode mode_ = LatchMode::kNone;
 };
 
-/// Statistics for cache behaviour (benchmarks report these).
+/// Statistics for cache behaviour (benchmarks report these; the tree and
+/// DB surface them next to HistReadStats so the magnetic axis of a mixed
+/// workload is diagnosable alongside the historical one).
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+
+  /// Frame-cache hits per lookup; 1.0 when the pool was never consulted.
+  double hit_ratio() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 1.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+
+  void Add(const BufferPoolStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    dirty_writebacks += o.dirty_writebacks;
+  }
 };
 
 /// Sharded LRU buffer pool. `capacity` is the total number of resident

@@ -14,6 +14,13 @@ const char* DeviceKindName(DeviceKind kind) {
   return "?";
 }
 
+Status Device::ReadMapped(uint64_t offset, size_t n, MappedRead* out) {
+  (void)offset;
+  (void)n;
+  (void)out;
+  return Status::NotSupported("ReadMapped", DeviceKindName(kind_));
+}
+
 void Device::AccountAccess(uint64_t offset, size_t n) {
   if (!mounted_) {
     mounted_ = true;

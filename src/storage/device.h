@@ -10,6 +10,7 @@
 #define TSBTREE_STORAGE_DEVICE_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -26,6 +27,14 @@ enum class DeviceKind : uint8_t {
 };
 
 const char* DeviceKindName(DeviceKind kind);
+
+/// A pinned, zero-copy view of device bytes returned by ReadMapped. `pin`
+/// refcounts the underlying mapping: `data` stays valid until every copy
+/// of the pin is released, even if the device grows and remaps afterwards.
+struct MappedRead {
+  Slice data;
+  std::shared_ptr<const void> pin;
+};
 
 /// Abstract random-access device with I/O accounting.
 class Device {
@@ -44,6 +53,15 @@ class Device {
   /// Writes `data` at `offset`. Erasable devices may overwrite; write-once
   /// devices fail with WriteOnceViolation when a burned sector is touched.
   virtual Status Write(uint64_t offset, const Slice& data) = 0;
+
+  /// True when ReadMapped is available (memory-mappable devices).
+  virtual bool SupportsMappedReads() const { return false; }
+
+  /// Pins a zero-copy view of [offset, offset+n). The bytes are served
+  /// straight from a page-aligned mapping — no copy into caller memory.
+  /// Devices that cannot map (or whose buffers may move) keep the default
+  /// NotSupported and callers fall back to Read.
+  virtual Status ReadMapped(uint64_t offset, size_t n, MappedRead* out);
 
   /// High-water mark: one past the last written byte.
   virtual uint64_t Size() const = 0;

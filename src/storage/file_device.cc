@@ -1,6 +1,7 @@
 #include "storage/file_device.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -9,12 +10,19 @@
 
 namespace tsb {
 
+FileDevice::Mapping::~Mapping() {
+  if (base != nullptr) ::munmap(base, len);
+}
+
 FileDevice::~FileDevice() {
   if (fd_ >= 0) ::close(fd_);
+  // map_ (and any pinned Mapping) outlives the fd; a file mapping stays
+  // valid after close(2).
 }
 
 Status FileDevice::Open(const std::string& path, FileDevice** out,
-                        DeviceKind kind, CostParams params) {
+                        DeviceKind kind, CostParams params,
+                        bool enable_mmap) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) {
     return Status::IOError("open " + path, strerror(errno));
@@ -24,7 +32,8 @@ Status FileDevice::Open(const std::string& path, FileDevice** out,
     ::close(fd);
     return Status::IOError("fstat " + path, strerror(errno));
   }
-  *out = new FileDevice(fd, static_cast<uint64_t>(st.st_size), kind, params);
+  *out = new FileDevice(fd, static_cast<uint64_t>(st.st_size), kind, params,
+                        enable_mmap);
   return Status::OK();
 }
 
@@ -67,11 +76,54 @@ Status FileDevice::Write(uint64_t offset, const Slice& data) {
   return Status::OK();
 }
 
+Status FileDevice::ReadMapped(uint64_t offset, size_t n, MappedRead* out) {
+  if (!enable_mmap_) {
+    return Status::NotSupported("ReadMapped", "mmap disabled");
+  }
+  const uint64_t file_size = size_.load(std::memory_order_acquire);
+  // Overflow-safe bounds check: a corrupt address with offset near
+  // UINT64_MAX must fail cleanly here, not wrap past the check and fault
+  // on a wild mapped pointer.
+  if (n > file_size || offset > file_size - n) {
+    return Status::IOError("FileDevice mapped read past end");
+  }
+  std::shared_ptr<const Mapping> map;
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    if (map_ == nullptr || offset + n > map_->len) {
+      // Remap the whole file, rounded up to the page grid. Pins on the old
+      // mapping keep it alive through their shared_ptr; nothing existing
+      // is invalidated. MAP_SHARED keeps the view coherent with pwrite
+      // appends landing inside the mapped length.
+      const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+      const size_t len = ((file_size + page - 1) / page) * page;
+      void* base = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd_, 0);
+      if (base == MAP_FAILED) {
+        return Status::IOError("mmap", strerror(errno));
+      }
+      auto m = std::make_shared<Mapping>();
+      m->base = static_cast<char*>(base);
+      m->len = len;
+      map_ = std::move(m);
+    }
+    map = map_;
+  }
+  out->data = Slice(map->base + offset, n);
+  const void* start = map->base + offset;
+  out->pin = std::shared_ptr<const void>(std::move(map), start);
+  AccountRead(offset, n);
+  return Status::OK();
+}
+
 Status FileDevice::Truncate(uint64_t size) {
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return Status::IOError("ftruncate", strerror(errno));
   }
   size_.store(size, std::memory_order_release);
+  // Mapped bytes beyond the new end would fault on access; drop the
+  // mapping so later ReadMapped calls rebuild it at the new length.
+  std::lock_guard<std::mutex> lock(map_mu_);
+  map_.reset();
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 #define TSBTREE_STORAGE_FILE_DEVICE_H_
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "storage/device.h"
@@ -12,15 +14,27 @@ namespace tsb {
 /// Erasable device backed by a POSIX file (pread/pwrite).
 /// Thread-safe: pread/pwrite are atomic at the OS level; the size
 /// high-water mark is maintained with atomics.
+///
+/// When mmap is enabled (the default) ReadMapped serves pinned zero-copy
+/// views out of a PROT_READ MAP_SHARED mapping of the file. The mapping is
+/// refcounted: when the file grows past the mapped length a fresh mapping
+/// of the whole file replaces it, and the old one stays alive until its
+/// last pin releases — file growth never invalidates live pins. Truncate
+/// drops the current mapping; bytes a pin covered that the truncate cut
+/// away must not be accessed afterwards (the historical append path never
+/// truncates).
 class FileDevice : public Device {
  public:
   ~FileDevice() override;
 
   /// Opens (creating if absent) `path`. On success returns a new device via
-  /// `*out`.
+  /// `*out`. `enable_mmap` = false forces every read through pread (the
+  /// copying path) — used as a measurable baseline and for filesystems
+  /// where mapping is undesirable.
   static Status Open(const std::string& path, FileDevice** out,
                      DeviceKind kind = DeviceKind::kMagnetic,
-                     CostParams params = CostParams::Magnetic());
+                     CostParams params = CostParams::Magnetic(),
+                     bool enable_mmap = true);
 
   Status Read(uint64_t offset, size_t n, char* scratch) override;
   Status Write(uint64_t offset, const Slice& data) override;
@@ -28,12 +42,30 @@ class FileDevice : public Device {
   Status Truncate(uint64_t size) override;
   Status Sync() override;
 
+  bool SupportsMappedReads() const override { return enable_mmap_; }
+  Status ReadMapped(uint64_t offset, size_t n, MappedRead* out) override;
+
  private:
-  FileDevice(int fd, uint64_t size, DeviceKind kind, CostParams params)
-      : Device(kind, params), fd_(fd), size_(size) {}
+  /// One mmap of a prefix of the file; unmapped when the last pin drops.
+  struct Mapping {
+    char* base = nullptr;
+    size_t len = 0;
+    ~Mapping();
+  };
+
+  FileDevice(int fd, uint64_t size, DeviceKind kind, CostParams params,
+             bool enable_mmap)
+      : Device(kind, params),
+        fd_(fd),
+        size_(size),
+        enable_mmap_(enable_mmap) {}
 
   int fd_;
   std::atomic<uint64_t> size_;
+  bool enable_mmap_;
+
+  std::mutex map_mu_;                   // guards map_ (re)creation
+  std::shared_ptr<const Mapping> map_;  // covers [0, map_->len)
 };
 
 }  // namespace tsb

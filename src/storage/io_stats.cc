@@ -19,17 +19,21 @@ std::string IoStats::ToString() const {
 }
 
 std::string HistReadStats::ToString() const {
-  char buf[256];
+  char buf[384];
   snprintf(buf, sizeof(buf),
            "blob_reads=%llu blob_bytes=%llu cache_hits=%llu "
-           "cache_misses=%llu hit_ratio=%.3f view_decodes=%llu "
-           "owned_decodes=%llu",
+           "cache_misses=%llu hit_ratio=%.3f mapped_bytes=%llu "
+           "copied_bytes=%llu view_decodes=%llu owned_decodes=%llu "
+           "compression_ratio=%.3f",
            static_cast<unsigned long long>(blob_reads),
            static_cast<unsigned long long>(blob_bytes),
            static_cast<unsigned long long>(cache_hits),
            static_cast<unsigned long long>(cache_misses), hit_ratio(),
+           static_cast<unsigned long long>(mapped_bytes),
+           static_cast<unsigned long long>(copied_bytes),
            static_cast<unsigned long long>(view_decodes),
-           static_cast<unsigned long long>(owned_decodes));
+           static_cast<unsigned long long>(owned_decodes),
+           compression_ratio());
   return std::string(buf);
 }
 

@@ -64,8 +64,12 @@ struct HistReadStats {
   uint64_t blob_bytes = 0;     ///< payload bytes served (incl. cache hits)
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t mapped_bytes = 0;   ///< miss bytes pinned from a device mapping
+  uint64_t copied_bytes = 0;   ///< miss bytes copied into heap buffers
   uint64_t view_decodes = 0;   ///< nodes parsed zero-copy over pinned blobs
   uint64_t owned_decodes = 0;  ///< nodes materialized into owning vectors
+  uint64_t node_raw_bytes = 0;     ///< v2-equivalent bytes of written nodes
+  uint64_t node_stored_bytes = 0;  ///< bytes actually written (v3 compresses)
 
   /// Cache hits per lookup; 1.0 when the cache was never consulted.
   double hit_ratio() const {
@@ -75,13 +79,26 @@ struct HistReadStats {
                               static_cast<double>(lookups);
   }
 
+  /// Stored bytes per raw (uncompressed v2-equivalent) byte of written
+  /// historical nodes; 1.0 when nothing was written.
+  double compression_ratio() const {
+    return node_raw_bytes == 0
+               ? 1.0
+               : static_cast<double>(node_stored_bytes) /
+                     static_cast<double>(node_raw_bytes);
+  }
+
   void Add(const HistReadStats& o) {
     blob_reads += o.blob_reads;
     blob_bytes += o.blob_bytes;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    mapped_bytes += o.mapped_bytes;
+    copied_bytes += o.copied_bytes;
     view_decodes += o.view_decodes;
     owned_decodes += o.owned_decodes;
+    node_raw_bytes += o.node_raw_bytes;
+    node_stored_bytes += o.node_stored_bytes;
   }
 
   std::string ToString() const;

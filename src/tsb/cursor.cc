@@ -7,15 +7,6 @@
 namespace tsb {
 namespace tsb_tree {
 
-namespace {
-
-// max(a, b) on key strings.
-const std::string& MaxKey(const std::string& a, const std::string& b) {
-  return Slice(a) < Slice(b) ? b : a;
-}
-
-}  // namespace
-
 SnapshotIterator::SnapshotIterator(TsbTree* tree, Timestamp t)
     : tree_(tree), t_(t) {}
 
@@ -47,9 +38,11 @@ Status SnapshotIterator::EmitLeaf(const DataAccessor& node,
                                   const std::string& win_hi,
                                   bool win_hi_inf) {
   // Emit per key the latest committed version with ts <= t, clipped to
-  // the window and the seek target. Entries are (key, ts) sorted. Views
-  // stay valid for the whole loop (the caller holds the page latch or the
-  // blob pin); only emitted records are copied, into reused slots.
+  // the window and the seek target. Entries are (key, ts) sorted. A view
+  // is only guaranteed valid until the accessor's next At (v3 historical
+  // cells may live in the ref's scratch), so the run key is copied into a
+  // reused buffer and the best version is re-fetched by index when the
+  // run ends; only emitted records are copied, into reused slots.
   rec_count_ = 0;
   rec_idx_ = 0;
   const int n = node.Count();
@@ -57,32 +50,35 @@ Status SnapshotIterator::EmitLeaf(const DataAccessor& node,
   while (i < n) {
     DataEntryView first;
     TSB_RETURN_IF_ERROR(node.At(i, &first));
-    const Slice run_key = first.key;
+    run_key_.assign(first.key.data(), first.key.size());
     bool have_best = false;
     Timestamp best_ts = 0;
-    Slice best_value;
+    int best_j = -1;
     int j = i;
     for (; j < n; ++j) {
       DataEntryView e;
       TSB_RETURN_IF_ERROR(node.At(j, &e));
-      if (e.key != run_key) break;
+      if (e.key != Slice(run_key_)) break;
       if (!e.uncommitted() && e.ts <= t_) {
         have_best = true;
         best_ts = e.ts;
-        best_value = e.value;
+        best_j = j;
       }
     }
     if (have_best) {
+      const Slice run_key(run_key_);
       const bool in_window = run_key >= Slice(win_lo) &&
                              (win_hi_inf || run_key < Slice(win_hi)) &&
                              run_key >= Slice(seek_target_) &&
                              (end_inf_ || run_key < Slice(end_key_));
       if (in_window) {
+        DataEntryView best;
+        TSB_RETURN_IF_ERROR(node.At(best_j, &best));
         if (rec_count_ == records_.size()) records_.emplace_back();
         Record& r = records_[rec_count_++];
         r.key.assign(run_key.data(), run_key.size());
         r.ts = best_ts;
-        r.value.assign(best_value.data(), best_value.size());
+        r.value.assign(best.value.data(), best.value.size());
       }
     }
     i = j;
@@ -90,8 +86,21 @@ Status SnapshotIterator::EmitLeaf(const DataAccessor& node,
   return Status::OK();
 }
 
-template <typename IndexAccessor>
-Status SnapshotIterator::PushIndexFrame(const IndexAccessor& node,
+bool SnapshotIterator::EntrySurvives(const IndexEntryView& e,
+                                     const std::string& win_lo,
+                                     const std::string& win_hi,
+                                     bool win_hi_inf) const {
+  if (!e.ContainsTime(t_)) return false;
+  // Key overlap with the window?
+  if (!win_hi_inf && e.key_lo >= Slice(win_hi)) return false;
+  if (!e.key_hi_inf && e.key_hi <= Slice(win_lo)) return false;
+  // Skip subtrees entirely below the seek target or past the end bound.
+  if (!e.key_hi_inf && e.key_hi <= Slice(seek_target_)) return false;
+  if (!end_inf_ && e.key_lo >= Slice(end_key_)) return false;
+  return true;
+}
+
+Status SnapshotIterator::PushIndexFrame(const IndexPageRef& node,
                                         const std::string& win_lo,
                                         const std::string& win_hi,
                                         bool win_hi_inf) {
@@ -103,13 +112,7 @@ Status SnapshotIterator::PushIndexFrame(const IndexAccessor& node,
   for (int i = 0; i < n; ++i) {
     IndexEntryView e;
     TSB_RETURN_IF_ERROR(node.AtView(i, &e));
-    if (!e.ContainsTime(t_)) continue;
-    // Key overlap with the window?
-    if (!win_hi_inf && e.key_lo >= Slice(win_hi)) continue;
-    if (!e.key_hi_inf && e.key_hi <= Slice(win_lo)) continue;
-    // Skip subtrees entirely below the seek target or past the end bound.
-    if (!e.key_hi_inf && e.key_hi <= Slice(seek_target_)) continue;
-    if (!end_inf_ && e.key_lo >= Slice(end_key_)) continue;
+    if (!EntrySurvives(e, win_lo, win_hi, win_hi_inf)) continue;
     f.entries.push_back(e.ToOwned());  // only survivors are materialized
   }
   std::sort(f.entries.begin(), f.entries.end(),
@@ -120,26 +123,49 @@ Status SnapshotIterator::PushIndexFrame(const IndexAccessor& node,
   return Status::OK();
 }
 
+Status SnapshotIterator::PushHistIndexFrame(BlobHandle blob,
+                                            HistIndexNodeRef node,
+                                            const std::string& win_lo,
+                                            const std::string& win_hi,
+                                            bool win_hi_inf) {
+  Frame f;
+  f.historical = true;
+  f.win_lo = win_lo;
+  f.win_hi = win_hi;
+  f.win_hi_inf = win_hi_inf;
+  const int n = node.Count();
+  for (int i = 0; i < n; ++i) {
+    IndexEntryView e;
+    TSB_RETURN_IF_ERROR(node.AtView(i, &e));
+    if (!EntrySurvives(e, win_lo, win_hi, win_hi_inf)) continue;
+    f.order.push_back(i);
+  }
+  // Stored entries are (key_lo, t_lo)-sorted and survivors have distinct
+  // key_lo (the rectangles tile, so only one cell per key stripe contains
+  // t_), hence `order` is already key_lo-ordered — no sort, no copies.
+  f.blob = std::move(blob);
+  f.hist_node = std::move(node);
+  stack_.push_back(std::move(f));
+  return Status::OK();
+}
+
 Status SnapshotIterator::PushNode(const NodeRef& ref,
                                   const std::string& win_lo,
                                   const std::string& win_hi,
                                   bool win_hi_inf) {
   if (ref.historical) {
-    // Historical nodes: pin the blob (shared with the append-store cache)
-    // and walk it through view refs — nothing is materialized besides the
-    // emitted records / surviving frame entries.
-    BlobHandle blob;
-    TSB_RETURN_IF_ERROR(tree_->ReadHistBlob(ref.addr, &blob));
-    uint8_t level = 0;
-    TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &level));
-    if (level == 0) {
-      HistDataNodeRef node;
-      TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
-      return EmitLeaf(node, win_lo, win_hi, win_hi_inf);
-    }
-    HistIndexNodeRef node;
-    TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
-    return PushIndexFrame(node, win_lo, win_hi, win_hi_inf);
+    // Historical nodes: the dispatch pins the blob (shared with the
+    // append-store cache / device mapping) and hands us the parsed view
+    // ref; index frames keep both alive for the subtree's lifetime.
+    return DispatchHistNode(
+        tree_->hist_.get(), &tree_->hist_decodes_, ref.addr,
+        [&](BlobHandle&, HistDataNodeRef& node) -> Status {
+          return EmitLeaf(node, win_lo, win_hi, win_hi_inf);
+        },
+        [&](BlobHandle& blob, HistIndexNodeRef& node) -> Status {
+          return PushHistIndexFrame(std::move(blob), std::move(node),
+                                    win_lo, win_hi, win_hi_inf);
+        });
   }
   // Current pages: walk the page views under the shared frame latch.
   PageHandle h;
@@ -191,27 +217,49 @@ Status SnapshotIterator::Advance() {
       return Status::OK();
     }
     Frame& f = stack_.back();
-    if (f.next >= f.entries.size()) {
+    const size_t avail = f.historical ? f.order.size() : f.entries.size();
+    if (f.next >= avail) {
       stack_.pop_back();
       continue;
     }
-    const IndexEntry e = f.entries[f.next++];
-    // Child window = entry rectangle's key range clipped by ours.
-    std::string child_lo = MaxKey(f.win_lo, e.key_lo);
-    std::string child_hi;
+    // Copy everything needed out of the frame entry before PushNode: the
+    // push may grow the stack (invalidating `f`) and, for historical
+    // frames, the next AtView invalidates the current view.
+    Slice e_key_lo, e_key_hi;
+    bool e_key_hi_inf;
+    NodeRef child;
+    if (f.historical) {
+      IndexEntryView e;
+      TSB_RETURN_IF_ERROR(f.hist_node.AtView(f.order[f.next++], &e));
+      e_key_lo = e.key_lo;
+      e_key_hi = e.key_hi;
+      e_key_hi_inf = e.key_hi_inf;
+      child = e.child;
+    } else {
+      const IndexEntry& e = f.entries[f.next++];
+      e_key_lo = Slice(e.key_lo);
+      e_key_hi = Slice(e.key_hi);
+      e_key_hi_inf = e.key_hi_inf;
+      child = e.child;
+    }
+    // Child window = entry rectangle's key range clipped by ours. The
+    // slices stay valid here: nothing touches the frame or the view
+    // between the reads above and the assigns below.
+    std::string child_lo, child_hi;
     bool child_hi_inf;
-    if (e.key_hi_inf) {
+    const Slice lo = e_key_lo < Slice(f.win_lo) ? Slice(f.win_lo) : e_key_lo;
+    child_lo.assign(lo.data(), lo.size());
+    if (e_key_hi_inf) {
       child_hi = f.win_hi;
       child_hi_inf = f.win_hi_inf;
-    } else if (f.win_hi_inf) {
-      child_hi = e.key_hi;
-      child_hi_inf = false;
     } else {
-      child_hi = Slice(e.key_hi) < Slice(f.win_hi) ? e.key_hi : f.win_hi;
+      const Slice hi = f.win_hi_inf || e_key_hi < Slice(f.win_hi)
+                           ? e_key_hi
+                           : Slice(f.win_hi);
+      child_hi.assign(hi.data(), hi.size());
       child_hi_inf = false;
     }
-    TSB_RETURN_IF_ERROR(
-        PushNode(e.child, child_lo, child_hi, child_hi_inf));
+    TSB_RETURN_IF_ERROR(PushNode(child, child_lo, child_hi, child_hi_inf));
   }
 }
 

@@ -53,7 +53,20 @@ class SnapshotIterator {
   Timestamp ts() const { return ts_; }
 
  private:
+  /// One level of the descent stack. Historical frames keep the blob
+  /// pinned and re-read surviving entry views on demand — zero-copy, and
+  /// safe because historical blobs are immutable. Current-page frames
+  /// still materialize owned entries under the shared latch: pinning a
+  /// mutable page without its latch would let the writer rewrite it under
+  /// the scan, and holding a latch across user-paced iteration could
+  /// block the writer indefinitely.
   struct Frame {
+    bool historical = false;
+    // Historical frames:
+    BlobHandle blob;             // pins the node bytes
+    HistIndexNodeRef hist_node;  // parsed over `blob`
+    std::vector<int> order;      // surviving cells (already key_lo-sorted)
+    // Current-page frames:
     std::vector<IndexEntry> entries;  // filtered & ordered by key_lo
     size_t next = 0;
     std::string win_lo;
@@ -80,12 +93,22 @@ class SnapshotIterator {
   Status EmitLeaf(const DataAccessor& node, const std::string& win_lo,
                   const std::string& win_hi, bool win_hi_inf);
 
-  /// Builds and pushes a descent frame from an index accessor
-  /// (IndexPageRef or HistIndexNodeRef): filters entry views against the
-  /// window/seek bounds and materializes only the survivors.
-  template <typename IndexAccessor>
-  Status PushIndexFrame(const IndexAccessor& node, const std::string& win_lo,
+  /// Builds and pushes a descent frame from a current index page: filters
+  /// entry views against the window/seek bounds and materializes only the
+  /// survivors (owned — see Frame).
+  Status PushIndexFrame(const IndexPageRef& node, const std::string& win_lo,
                         const std::string& win_hi, bool win_hi_inf);
+
+  /// Builds and pushes a historical descent frame: filters entry views in
+  /// place and keeps only surviving cell indices plus the pinned blob —
+  /// nothing is materialized.
+  Status PushHistIndexFrame(BlobHandle blob, HistIndexNodeRef node,
+                            const std::string& win_lo,
+                            const std::string& win_hi, bool win_hi_inf);
+
+  /// True when the entry view survives the window/seek/end filters.
+  bool EntrySurvives(const IndexEntryView& e, const std::string& win_lo,
+                     const std::string& win_hi, bool win_hi_inf) const;
 
   TsbTree* tree_;
   Timestamp t_;
@@ -98,6 +121,7 @@ class SnapshotIterator {
   std::vector<Record> records_;  // emission slots; capacity reused
   size_t rec_count_ = 0;         // live records in records_
   size_t rec_idx_ = 0;
+  std::string run_key_;          // EmitLeaf's current key run (reused)
   bool valid_ = false;
   std::string key_, value_;
   Timestamp ts_ = 0;

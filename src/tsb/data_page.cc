@@ -130,13 +130,18 @@ Status DataPageRef::Load(const std::vector<DataEntry>& entries) {
 }
 
 void SerializeHistDataNode(const std::vector<DataEntry>& entries,
-                           std::string* out) {
-  HistNodeBuilder builder(0, static_cast<uint32_t>(entries.size()), out);
+                           std::string* out, HistNodeFormat format,
+                           uint64_t* raw_bytes) {
+  HistNodeBuilder builder(0, static_cast<uint32_t>(entries.size()), out,
+                          format);
+  std::string cell;
   for (const DataEntry& e : entries) {
-    builder.BeginCell();
-    EncodeDataCell(builder.out(), e.key, e.ts, e.txn, e.value);
+    cell.clear();
+    EncodeDataCell(&cell, e.key, e.ts, e.txn, e.value);
+    builder.AddCell(cell);
   }
   builder.Finish();
+  if (raw_bytes != nullptr) *raw_bytes = builder.raw_bytes();
 }
 
 void SerializeHistDataNodeV1(const std::vector<DataEntry>& entries,
@@ -169,7 +174,7 @@ Status HistDataNodeRef::Parse(const Slice& blob) {
 }
 
 Status HistDataNodeRef::At(int i, DataEntryView* view) const {
-  if (!DecodeDataCell(node_.Cell(i), view)) {
+  if (!DecodeDataCell(node_.Cell(i, &scratch_), view)) {
     return Status::Corruption("bad historical record cell");
   }
   return Status::OK();
@@ -178,6 +183,27 @@ Status HistDataNodeRef::At(int i, DataEntryView* view) const {
 Status HistDataNodeRef::LowerBound(const Slice& key, Timestamp t,
                                    int* pos) const {
   int lo = 0, hi = Count();
+  if (node_.v3() && node_.RestartCount() > 1) {
+    // Phase 1: binary-search restart cells (always stored whole, O(1) to
+    // decode) for the last block whose restart entry precedes (key, t).
+    // The lower bound then lies inside that block or exactly at the next
+    // restart, so phase 2 only ever decodes cells of one block.
+    int blo = 0, bhi = node_.RestartCount() - 1, best = 0;
+    while (blo <= bhi) {
+      const int mid = (blo + bhi) / 2;
+      DataEntryView v;
+      TSB_RETURN_IF_ERROR(At(node_.RestartIndex(mid), &v));
+      const int c = v.key.compare(key);
+      if (c < 0 || (c == 0 && v.ts < t)) {
+        best = mid;
+        blo = mid + 1;
+      } else {
+        bhi = mid - 1;
+      }
+    }
+    lo = node_.RestartIndex(best);
+    hi = std::min(Count(), node_.RestartIndex(best + 1));
+  }
   while (lo < hi) {
     const int mid = (lo + hi) / 2;
     DataEntryView v;

@@ -10,8 +10,9 @@
 // entries into an exactly-sized blob for the append store (section 3.4).
 //
 // Record cell: [varint klen][key][fixed64 ts][varint64 txn][value...]
-// Historical blob: the v2 slotted container of hist_node.h holding record
-// cells (v1 length-prefixed blobs remain decodable).
+// Historical blob: a hist_node.h container (v2 slotted or v3
+// prefix-compressed) holding record cells; legacy v1 length-prefixed
+// blobs remain decodable.
 #ifndef TSBTREE_TSB_DATA_PAGE_H_
 #define TSBTREE_TSB_DATA_PAGE_H_
 
@@ -127,12 +128,17 @@ class DataPageRef {
   SlottedView slots_;
 };
 
-/// Serializes entries as a consolidated historical data node (v2 slotted).
+/// Serializes entries as a consolidated historical data node in `format`
+/// (v2 slotted or v3 prefix-compressed). When `raw_bytes` is non-null it
+/// receives the v2-equivalent size, for compression accounting.
 void SerializeHistDataNode(const std::vector<DataEntry>& entries,
-                           std::string* out);
+                           std::string* out,
+                           HistNodeFormat format = HistNodeFormat::kV3,
+                           uint64_t* raw_bytes = nullptr);
 
 /// Serializes the legacy v1 wire format (no slot directory). Kept for
-/// compatibility tests; new nodes are always written as v2.
+/// compatibility tests; new nodes are written as v2 or v3 (see
+/// TsbOptions::hist_node_format).
 void SerializeHistDataNodeV1(const std::vector<DataEntry>& entries,
                              std::string* out);
 
@@ -140,24 +146,32 @@ void SerializeHistDataNodeV1(const std::vector<DataEntry>& entries,
 /// For level 0 use HistDataNodeRef (zero-copy) or DecodeHistDataNode.
 Status HistNodeLevel(const Slice& blob, uint8_t* level);
 
-/// Zero-copy accessor over a historical data node blob (v1 or v2). The
+/// Zero-copy accessor over a historical data node blob (any version). The
 /// caller keeps the blob alive (pinned BlobHandle) while the ref and any
 /// views from it are in use. v2 blobs binary-search the trailing slot
-/// directory with no allocation; v1 blobs fall back to a one-pass offset
-/// table.
+/// directory with no allocation; v3 blobs binary-search restart blocks and
+/// reassemble delta-encoded cells into the ref's scratch buffer; v1 blobs
+/// fall back to a one-pass offset table.
+///
+/// View lifetime: because v3 cells may live in the shared scratch, a
+/// DataEntryView is valid only until the NEXT At/LowerBound/FindVersion
+/// call on the same ref. Callers that need two entries at once (or an
+/// entry across another probe) must copy first.
 class HistDataNodeRef {
  public:
   /// Parses `blob`; fails unless it is a level-0 historical node.
   Status Parse(const Slice& blob);
 
   int Count() const { return node_.Count(); }
+  uint8_t version() const { return node_.version(); }
   bool v2() const { return node_.v2(); }
   Status At(int i, DataEntryView* view) const;
 
   /// First index with (key, ts) >= (k, t) into *pos; Count() if none.
-  /// Binary search over the slot directory. Unlike the in-page
-  /// DataPageRef search, a bad cell is reported as Corruption rather than
-  /// folded into a miss — historical blobs are supposed to be immutable.
+  /// Binary search over the slot directory (v3: restart blocks first, then
+  /// within one block). Unlike the in-page DataPageRef search, a bad cell
+  /// is reported as Corruption rather than folded into a miss — historical
+  /// blobs are supposed to be immutable.
   Status LowerBound(const Slice& key, Timestamp t, int* pos) const;
 
   /// Index of the version of `key` valid at time `t` into *pos: the last
@@ -166,9 +180,10 @@ class HistDataNodeRef {
 
  private:
   HistNodeRef node_;
+  mutable CellScratch scratch_;
 };
 
-/// Parses a historical data node blob (v1 or v2) into owning entries.
+/// Parses a historical data node blob (any version) into owning entries.
 Status DecodeHistDataNode(const Slice& blob, std::vector<DataEntry>* out);
 
 }  // namespace tsb_tree

@@ -1,6 +1,8 @@
 #include "tsb/hist_node.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "common/coding.h"
 
@@ -9,54 +11,107 @@ namespace tsb_tree {
 
 namespace {
 constexpr uint32_t kV2HeaderSize = 6;  // level + version + fixed32 count
+constexpr uint32_t kV3HeaderSize = 8;  // ... + fixed16 restart interval
+
+size_t SharedPrefix(const Slice& a, const Slice& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
 }  // namespace
 
 HistNodeBuilder::HistNodeBuilder(uint8_t level, uint32_t count,
-                                 std::string* out)
-    : out_(out), count_(count) {
+                                 std::string* out, HistNodeFormat format,
+                                 uint32_t restart_interval)
+    : out_(out),
+      format_(format),
+      count_(count),
+      // The interval is fixed16 on the wire: clamp to what Parse can read
+      // back, so no legal builder call can write an unreadable node.
+      interval_(restart_interval == 0
+                    ? 1
+                    : std::min<uint32_t>(restart_interval, UINT16_MAX)) {
   out_->clear();
   out_->push_back(static_cast<char>(level));
-  out_->push_back(static_cast<char>(kHistNodeVersion2));
+  out_->push_back(static_cast<char>(format_));
   PutFixed32(out_, count);
-  offsets_.reserve(count);
+  if (format_ == HistNodeFormat::kV3) {
+    PutFixed16(out_, static_cast<uint16_t>(interval_));
+    offsets_.reserve((count + interval_ - 1) / interval_);
+  } else {
+    offsets_.reserve(count);
+  }
+}
+
+void HistNodeBuilder::AddCell(const Slice& cell) {
+  cell_bytes_ += cell.size();
+  if (format_ != HistNodeFormat::kV3) {
+    offsets_.push_back(static_cast<uint32_t>(out_->size()));
+    out_->append(cell.data(), cell.size());
+  } else if (in_block_ == 0) {
+    offsets_.push_back(static_cast<uint32_t>(out_->size()));
+    restart_cell_.assign(cell.data(), cell.size());
+    PutVarint32(out_, 0);
+    PutVarint32(out_, static_cast<uint32_t>(cell.size()));
+    out_->append(cell.data(), cell.size());
+  } else {
+    const size_t shared = SharedPrefix(Slice(restart_cell_), cell);
+    PutVarint32(out_, static_cast<uint32_t>(shared));
+    PutVarint32(out_, static_cast<uint32_t>(cell.size() - shared));
+    out_->append(cell.data() + shared, cell.size() - shared);
+  }
+  if (++in_block_ == interval_) in_block_ = 0;
+  ++added_;
 }
 
 void HistNodeBuilder::Finish() {
-  assert(offsets_.size() == count_);
+  assert(added_ == count_);
   for (const uint32_t off : offsets_) PutFixed32(out_, off);
 }
 
 Status HistNodeRef::Parse(const Slice& blob) {
   blob_ = blob;
   dir_ = nullptr;
+  dir_entries_ = 0;
   v1_cells_.clear();
   count_ = 0;
+  interval_ = 1;
   if (blob.size() < 2) {
     return Status::Corruption("historical node too short");
   }
   level_ = static_cast<uint8_t>(blob[0]);
-  const uint8_t version = static_cast<uint8_t>(blob[1]);
-  if (version == kHistNodeVersion2) {
-    is_v2_ = true;
-    if (blob.size() < kV2HeaderSize) {
-      return Status::Corruption("historical v2 node truncated header");
+  version_ = static_cast<uint8_t>(blob[1]);
+  if (version_ == kHistNodeVersion2 || version_ == kHistNodeVersion3) {
+    const uint32_t header =
+        version_ == kHistNodeVersion2 ? kV2HeaderSize : kV3HeaderSize;
+    if (blob.size() < header) {
+      return Status::Corruption("historical node truncated header");
     }
     count_ = DecodeFixed32(blob.data() + 2);
-    const uint64_t dir_bytes = 4ull * count_;
-    if (kV2HeaderSize + dir_bytes > blob.size()) {
-      return Status::Corruption("historical v2 node truncated directory");
+    if (version_ == kHistNodeVersion3) {
+      interval_ = DecodeFixed16(blob.data() + 6);
+      if (interval_ == 0) {
+        return Status::Corruption("historical v3 node zero restart interval");
+      }
+      dir_entries_ = count_ == 0 ? 0 : (count_ + interval_ - 1) / interval_;
+    } else {
+      dir_entries_ = count_;
+    }
+    const uint64_t dir_bytes = 4ull * dir_entries_;
+    if (header + dir_bytes > blob.size()) {
+      return Status::Corruption("historical node truncated directory");
     }
     cells_end_ = static_cast<uint32_t>(blob.size() - dir_bytes);
     dir_ = blob.data() + cells_end_;
     return Status::OK();
   }
-  if (version != 0) {
+  if (version_ != 0) {
     return Status::Corruption("unknown historical node version",
-                              std::to_string(version));
+                              std::to_string(version_));
   }
   // v1: one linear walk over the length-prefixed cells builds the offset
   // table (per-node vector; no per-entry materialization).
-  is_v2_ = false;
   Slice in = blob_;
   in.remove_prefix(2);
   if (!GetVarint32(&in, &count_)) {
@@ -74,9 +129,9 @@ Status HistNodeRef::Parse(const Slice& blob) {
   return Status::OK();
 }
 
-Slice HistNodeRef::Cell(int i) const {
+Slice HistNodeRef::Cell(int i, CellScratch* scratch) const {
   if (i < 0 || static_cast<uint32_t>(i) >= count_) return Slice();
-  if (dir_ != nullptr) {
+  if (version_ == kHistNodeVersion2) {
     const uint32_t start = DecodeFixed32(dir_ + 4 * i);
     const uint32_t end = (static_cast<uint32_t>(i) + 1 < count_)
                              ? DecodeFixed32(dir_ + 4 * (i + 1))
@@ -85,6 +140,42 @@ Slice HistNodeRef::Cell(int i) const {
       return Slice();  // corrupt directory; decoders report it
     }
     return Slice(blob_.data() + start, end - start);
+  }
+  if (version_ == kHistNodeVersion3) {
+    const uint32_t block = static_cast<uint32_t>(i) / interval_;
+    const uint32_t start = DecodeFixed32(dir_ + 4 * block);
+    const uint32_t end = (block + 1 < dir_entries_)
+                             ? DecodeFixed32(dir_ + 4 * (block + 1))
+                             : cells_end_;
+    if (start < kV3HeaderSize || start > end || end > cells_end_) {
+      return Slice();
+    }
+    Slice in(blob_.data() + start, end - start);
+    // Decode the restart cell (stored whole: shared must be 0).
+    uint32_t shared0 = 0, len0 = 0;
+    if (!GetVarint32(&in, &shared0) || shared0 != 0 ||
+        !GetVarint32(&in, &len0) || in.size() < len0) {
+      return Slice();
+    }
+    const char* restart_body = in.data();
+    const uint32_t target = static_cast<uint32_t>(i) % interval_;
+    if (target == 0) return Slice(restart_body, len0);
+    in.remove_prefix(len0);
+    for (uint32_t j = 1;; ++j) {
+      uint32_t shared = 0, rest = 0;
+      if (!GetVarint32(&in, &shared) || !GetVarint32(&in, &rest) ||
+          in.size() < rest || shared > len0) {
+        return Slice();
+      }
+      if (j == target) {
+        if (shared == 0) return Slice(in.data(), rest);
+        char* buf = scratch->Acquire(shared + rest);
+        memcpy(buf, restart_body, shared);
+        memcpy(buf + shared, in.data(), rest);
+        return Slice(buf, shared + rest);
+      }
+      in.remove_prefix(rest);
+    }
   }
   const auto& [off, len] = v1_cells_[i];
   return Slice(blob_.data() + off, len);

@@ -87,11 +87,24 @@ Status IndexPageRef::AtView(int i, IndexEntryView* e) const {
 }
 
 int IndexPageRef::FindContaining(const Slice& key, Timestamp t) const {
-  // Entries tile the node's region, so at most one contains the point.
-  // View decode: no allocation per probed cell (this is the descent hot
-  // path). Linear scan: index pages hold at most a few hundred entries.
-  const int n = Count();
-  for (int i = 0; i < n; ++i) {
+  // Entries tile the node's region, so at most one contains the point,
+  // and it has key_lo <= key. Binary-search the first entry with
+  // key_lo > key (entries are (key_lo, t_lo)-sorted), then walk backwards
+  // over the prefix — the match is almost always within the run of
+  // entries sharing the nearest key_lo, so the walk is short. View
+  // decode: no allocation per probed cell (this is the descent hot path).
+  int lo = 0, hi = Count();
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    IndexEntryView e;
+    if (!DecodeIndexCellView(slots_.Cell(mid), &e)) return -1;
+    if (e.key_lo <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (int i = lo - 1; i >= 0; --i) {
     IndexEntryView e;
     if (!DecodeIndexCellView(slots_.Cell(i), &e)) return -1;
     if (e.Contains(key, t)) return i;
@@ -159,13 +172,18 @@ Status IndexPageRef::Load(const std::vector<IndexEntry>& entries) {
 
 void SerializeHistIndexNode(uint8_t level,
                             const std::vector<IndexEntry>& entries,
-                            std::string* out) {
-  HistNodeBuilder builder(level, static_cast<uint32_t>(entries.size()), out);
+                            std::string* out, HistNodeFormat format,
+                            uint64_t* raw_bytes) {
+  HistNodeBuilder builder(level, static_cast<uint32_t>(entries.size()), out,
+                          format);
+  std::string cell;
   for (const IndexEntry& e : entries) {
-    builder.BeginCell();
-    EncodeIndexCell(builder.out(), e);
+    cell.clear();
+    EncodeIndexCell(&cell, e);
+    builder.AddCell(cell);
   }
   builder.Finish();
+  if (raw_bytes != nullptr) *raw_bytes = builder.raw_bytes();
 }
 
 void SerializeHistIndexNodeV1(uint8_t level,
@@ -193,7 +211,7 @@ Status HistIndexNodeRef::Parse(const Slice& blob) {
 }
 
 Status HistIndexNodeRef::AtView(int i, IndexEntryView* e) const {
-  if (!DecodeIndexCellView(node_.Cell(i), e)) {
+  if (!DecodeIndexCellView(node_.Cell(i, &scratch_), e)) {
     return Status::Corruption("bad historical index entry");
   }
   return Status::OK();
@@ -207,6 +225,28 @@ Status HistIndexNodeRef::FindContaining(const Slice& key, Timestamp t,
   // match is almost always within the run of entries sharing the nearest
   // key_lo, so the walk is short in practice.
   int lo = 0, hi = Count();
+  if (node_.v3() && node_.RestartCount() > 1) {
+    // Restart phase: the first entry with key_lo > key lies inside (or at
+    // the far edge of) the last block whose restart key_lo <= key.
+    int blo = 0, bhi = node_.RestartCount() - 1, best = -1;
+    while (blo <= bhi) {
+      const int mid = (blo + bhi) / 2;
+      IndexEntryView v;
+      TSB_RETURN_IF_ERROR(AtView(node_.RestartIndex(mid), &v));
+      if (v.key_lo <= key) {
+        best = mid;
+        blo = mid + 1;
+      } else {
+        bhi = mid - 1;
+      }
+    }
+    if (best < 0) {
+      lo = hi = 0;  // every entry has key_lo > key
+    } else {
+      lo = node_.RestartIndex(best);
+      hi = std::min(Count(), node_.RestartIndex(best + 1));
+    }
+  }
   while (lo < hi) {
     const int mid = (lo + hi) / 2;
     IndexEntryView v;

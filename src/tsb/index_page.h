@@ -15,8 +15,9 @@
 //   [varint klen_lo][key_lo]  ([varint klen_hi][key_hi] unless bit0)
 //   [fixed64 t_lo][fixed64 t_hi]
 //   [NodeRef]
-// Historical index blob: the v2 slotted container of hist_node.h holding
-// index cells (v1 length-prefixed blobs remain decodable).
+// Historical index blob: a hist_node.h container (v2 slotted or v3
+// prefix-compressed) holding index cells; legacy v1 length-prefixed
+// blobs remain decodable.
 #ifndef TSBTREE_TSB_INDEX_PAGE_H_
 #define TSBTREE_TSB_INDEX_PAGE_H_
 
@@ -123,7 +124,9 @@ class IndexPageRef {
   Status AtView(int i, IndexEntryView* e) const;
 
   /// Index of the unique entry containing (key, t); -1 if none (corrupt
-  /// tree or t outside the node's region).
+  /// tree or t outside the node's region). Binary search on key_lo over
+  /// the slotted directory, then a backward scan over the candidate
+  /// prefix — the same algorithm historical index nodes use.
   int FindContaining(const Slice& key, Timestamp t) const;
 
   /// Index of the entry referencing the current page `page_id`; -1 if
@@ -148,18 +151,25 @@ class IndexPageRef {
   SlottedView slots_;
 };
 
-/// Serializes a historical index node (level > 0, v2 slotted).
+/// Serializes a historical index node (level > 0) in `format`. When
+/// `raw_bytes` is non-null it receives the v2-equivalent size.
 void SerializeHistIndexNode(uint8_t level, const std::vector<IndexEntry>& entries,
-                            std::string* out);
+                            std::string* out,
+                            HistNodeFormat format = HistNodeFormat::kV3,
+                            uint64_t* raw_bytes = nullptr);
 
 /// Serializes the legacy v1 wire format. Kept for compatibility tests;
-/// new nodes are always written as v2.
+/// new nodes are written as v2 or v3 (see TsbOptions::hist_node_format).
 void SerializeHistIndexNodeV1(uint8_t level,
                               const std::vector<IndexEntry>& entries,
                               std::string* out);
 
-/// Zero-copy accessor over a historical index node blob (v1 or v2). The
-/// caller keeps the blob alive while the ref and its views are in use.
+/// Zero-copy accessor over a historical index node blob (any version).
+/// The caller keeps the blob alive while the ref and its views are in use.
+///
+/// View lifetime: as with HistDataNodeRef, a v3 cell may live in the
+/// ref's scratch buffer, so an IndexEntryView is valid only until the
+/// next AtView/FindContaining call on the same ref.
 class HistIndexNodeRef {
  public:
   /// Parses `blob`; fails unless it is a level>0 historical node.
@@ -167,22 +177,24 @@ class HistIndexNodeRef {
 
   uint8_t Level() const { return node_.level(); }
   int Count() const { return node_.Count(); }
+  uint8_t version() const { return node_.version(); }
   bool v2() const { return node_.v2(); }
   /// Named like IndexPageRef::AtView so generic code can use either.
   Status AtView(int i, IndexEntryView* e) const;
 
   /// Index of the unique entry containing (key, t) into *pos; -1 if none.
-  /// Binary search on key_lo (entries are (key_lo, t_lo)-sorted), then a
-  /// backward scan over the candidates whose key_lo <= key. A bad cell is
-  /// Corruption, not a miss — historical blobs are supposed to be
-  /// immutable.
+  /// Binary search on key_lo (entries are (key_lo, t_lo)-sorted; v3 nodes
+  /// search restart blocks first), then a backward scan over the
+  /// candidates whose key_lo <= key. A bad cell is Corruption, not a
+  /// miss — historical blobs are supposed to be immutable.
   Status FindContaining(const Slice& key, Timestamp t, int* pos) const;
 
  private:
   HistNodeRef node_;
+  mutable CellScratch scratch_;
 };
 
-/// Parses a historical index node blob (v1 or v2) into owning entries.
+/// Parses a historical index node blob (any version) into owning entries.
 Status DecodeHistIndexNode(const Slice& blob, uint8_t* level,
                            std::vector<IndexEntry>* out);
 

@@ -1,6 +1,9 @@
 #include "tsb/node_ref.h"
 
 #include "common/coding.h"
+#include "tsb/data_page.h"
+#include "tsb/index_page.h"
+#include "tsb/tsb_stats.h"
 
 namespace tsb {
 namespace tsb_tree {
@@ -41,6 +44,26 @@ bool DecodeNodeRef(Slice* in, NodeRef* ref) {
     ref->addr = HistAddr{};
   }
   return true;
+}
+
+Status DispatchHistNode(AppendStore* store, HistDecodeCounters* counters,
+                        const HistAddr& addr, HistDataVisitor on_data,
+                        HistIndexVisitor on_index) {
+  BlobHandle blob;
+  TSB_RETURN_IF_ERROR(store->ReadView(addr, &blob));
+  if (counters != nullptr) {
+    counters->view_decodes.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint8_t level = 0;
+  TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &level));
+  if (level == 0) {
+    HistDataNodeRef node;
+    TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+    return on_data(blob, node);
+  }
+  HistIndexNodeRef node;
+  TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
+  return on_index(blob, node);
 }
 
 }  // namespace tsb_tree

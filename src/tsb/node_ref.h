@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -52,6 +54,57 @@ void EncodeNodeRef(std::string* out, const NodeRef& ref);
 
 /// Consumes a NodeRef from the front of `in`.
 bool DecodeNodeRef(Slice* in, NodeRef* ref);
+
+// ---------------------------------------------------------------- dispatch
+
+class HistDataNodeRef;        // tsb/data_page.h
+class HistIndexNodeRef;       // tsb/index_page.h
+struct HistDecodeCounters;    // tsb/tsb_stats.h
+
+/// Minimal non-owning callable reference — no allocation, no std::function
+/// overhead. The referenced callable must outlive the FnRef (the dispatch
+/// below only ever invokes it within the calling expression).
+template <typename Sig>
+class FnRef;
+
+template <typename R, typename... Args>
+class FnRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FnRef>>>
+  FnRef(F&& f)  // NOLINT(google-explicit-constructor): bind-site sugar
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+using HistDataVisitor = FnRef<Status(BlobHandle&, HistDataNodeRef&)>;
+using HistIndexVisitor = FnRef<Status(BlobHandle&, HistIndexNodeRef&)>;
+
+/// The single edit site for reading a historical node: pins the blob at
+/// `addr`, counts the decode in `counters` (may be null), probes the level
+/// byte and parses the matching ref type — any wire version, v1 through
+/// v3 — then invokes the corresponding visitor. The blob stays pinned for
+/// the duration of the visit; a visitor may move the handle and ref into
+/// longer-lived state to extend the pin (snapshot-scan frames do).
+///
+/// Every historical reader (point lookups, range scans, snapshot
+/// iterators, the tree checker) funnels through here, so a future v4
+/// format changes exactly one descent path.
+Status DispatchHistNode(AppendStore* store, HistDecodeCounters* counters,
+                        const HistAddr& addr, HistDataVisitor on_data,
+                        HistIndexVisitor on_index);
 
 }  // namespace tsb_tree
 }  // namespace tsb

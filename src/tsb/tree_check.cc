@@ -58,34 +58,49 @@ Status TreeChecker::CheckNode(const NodeRef& ref, uint8_t expected_level,
                               const Window& win) {
   nodes_visited_++;
   if (ref.historical) {
-    // Historical nodes are validated zero-copy: the blob stays pinned for
-    // the duration of the check (including the recursion into children).
-    BlobHandle blob;
-    TSB_RETURN_IF_ERROR(tree_->ReadHistBlob(ref.addr, &blob));
-    uint8_t level = 0;
-    TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &level));
-    if (level != expected_level) {
-      return Status::Corruption("node level mismatch",
-                                Describe(ref) + " level " +
-                                    std::to_string(level) + " expected " +
-                                    std::to_string(expected_level));
-    }
-    if (level == 0) {
-      HistDataNodeRef node;
-      TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
-      std::vector<DataEntryView> entries(node.Count());
-      for (int i = 0; i < node.Count(); ++i) {
-        TSB_RETURN_IF_ERROR(node.At(i, &entries[i]));
-      }
-      return CheckDataEntries(ref, entries, win);
-    }
-    HistIndexNodeRef node;
-    TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
-    std::vector<IndexEntryView> entries(node.Count());
-    for (int i = 0; i < node.Count(); ++i) {
-      TSB_RETURN_IF_ERROR(node.AtView(i, &entries[i]));
-    }
-    return CheckIndexEntries(ref, level, entries, win);
+    // Historical nodes go through the shared dispatch like every other
+    // reader. The checker needs all entries of a node alive at once (the
+    // tiling check cross-references them), and v3 views are only valid
+    // one at a time, so entries are copied out — fine for a maintenance
+    // walk.
+    return DispatchHistNode(
+        tree_->hist_.get(), &tree_->hist_decodes_, ref.addr,
+        [&](BlobHandle&, HistDataNodeRef& node) -> Status {
+          if (expected_level != 0) {
+            return Status::Corruption(
+                "node level mismatch",
+                Describe(ref) + " level 0 expected " +
+                    std::to_string(expected_level));
+          }
+          std::vector<DataEntry> owned(node.Count());
+          for (int i = 0; i < node.Count(); ++i) {
+            DataEntryView v;
+            TSB_RETURN_IF_ERROR(node.At(i, &v));
+            owned[i] = v.ToOwned();
+          }
+          std::vector<DataEntryView> entries;
+          entries.reserve(owned.size());
+          for (const DataEntry& e : owned) entries.push_back(ViewOf(e));
+          return CheckDataEntries(ref, entries, win);
+        },
+        [&](BlobHandle&, HistIndexNodeRef& node) -> Status {
+          if (node.Level() != expected_level) {
+            return Status::Corruption(
+                "node level mismatch",
+                Describe(ref) + " level " + std::to_string(node.Level()) +
+                    " expected " + std::to_string(expected_level));
+          }
+          std::vector<IndexEntry> owned(node.Count());
+          for (int i = 0; i < node.Count(); ++i) {
+            IndexEntryView v;
+            TSB_RETURN_IF_ERROR(node.AtView(i, &v));
+            owned[i] = v.ToOwned();
+          }
+          std::vector<IndexEntryView> entries;
+          entries.reserve(owned.size());
+          for (const IndexEntry& e : owned) entries.push_back(ViewOf(e));
+          return CheckIndexEntries(ref, node.Level(), entries, win);
+        });
   }
   DecodedNode node;
   TSB_RETURN_IF_ERROR(tree_->ReadNode(ref, &node));

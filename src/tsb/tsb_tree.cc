@@ -194,46 +194,44 @@ Status TsbTree::SearchPoint(const Slice& key, Timestamp t, TxnId txn,
   }
 }
 
-Status TsbTree::ReadHistBlob(const HistAddr& addr, BlobHandle* blob) {
-  TSB_RETURN_IF_ERROR(hist_->ReadView(addr, blob));
-  hist_decodes_.view_decodes.fetch_add(1, std::memory_order_relaxed);
-  return Status::OK();
-}
-
 Status TsbTree::SearchHistPoint(HistAddr addr, const Slice& key, Timestamp t,
                                 std::string* value, Timestamp* ts) {
-  // Zero-copy descent: every visited node stays a pinned blob; data nodes
-  // are binary-searched through the v2 slot directory, index nodes
-  // binary-search key_lo. On the cache-hit path no per-entry heap
-  // allocation happens — the only write is the final value->assign.
+  // Zero-copy descent through the shared dispatch: every visited node
+  // stays a pinned blob; data nodes are binary-searched through the slot
+  // (or restart) directory, index nodes binary-search key_lo. On the
+  // cache-hit path no per-entry heap allocation happens — the only write
+  // is the final value->assign.
   for (;;) {
-    BlobHandle blob;
-    TSB_RETURN_IF_ERROR(ReadHistBlob(addr, &blob));
-    uint8_t level = 0;
-    TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &level));
-    if (level == 0) {
-      HistDataNodeRef node;
-      TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
-      int pos = -1;
-      TSB_RETURN_IF_ERROR(node.FindVersion(key, t, &pos));
-      if (pos < 0) return Status::NotFound("no version at time");
-      DataEntryView v;
-      TSB_RETURN_IF_ERROR(node.At(pos, &v));
-      value->assign(v.value.data(), v.value.size());
-      if (ts != nullptr) *ts = v.ts;
-      return Status::OK();
-    }
-    HistIndexNodeRef node;
-    TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
-    int pos = -1;
-    TSB_RETURN_IF_ERROR(node.FindContaining(key, t, &pos));
-    if (pos < 0) return Status::NotFound("time precedes database");
-    IndexEntryView next;
-    TSB_RETURN_IF_ERROR(node.AtView(pos, &next));
-    if (!next.child.historical) {
-      return Status::Corruption("historical index references current node");
-    }
-    addr = next.child.addr;
+    bool done = false;
+    HistAddr next_addr{};
+    TSB_RETURN_IF_ERROR(DispatchHistNode(
+        hist_.get(), &hist_decodes_, addr,
+        [&](BlobHandle&, HistDataNodeRef& node) -> Status {
+          int pos = -1;
+          TSB_RETURN_IF_ERROR(node.FindVersion(key, t, &pos));
+          if (pos < 0) return Status::NotFound("no version at time");
+          DataEntryView v;
+          TSB_RETURN_IF_ERROR(node.At(pos, &v));
+          value->assign(v.value.data(), v.value.size());
+          if (ts != nullptr) *ts = v.ts;
+          done = true;
+          return Status::OK();
+        },
+        [&](BlobHandle&, HistIndexNodeRef& node) -> Status {
+          int pos = -1;
+          TSB_RETURN_IF_ERROR(node.FindContaining(key, t, &pos));
+          if (pos < 0) return Status::NotFound("time precedes database");
+          IndexEntryView next;
+          TSB_RETURN_IF_ERROR(node.AtView(pos, &next));
+          if (!next.child.historical) {
+            return Status::Corruption(
+                "historical index references current node");
+          }
+          next_addr = next.child.addr;
+          return Status::OK();
+        }));
+    if (done) return Status::OK();
+    addr = next_addr;
   }
 }
 
@@ -560,9 +558,11 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
 
       // Migrate: consolidate and append one node (section 3.1).
       std::string blob;
-      SerializeHistDataNode(hist_set, &blob);
+      uint64_t raw_bytes = 0;
+      SerializeHistDataNode(hist_set, &blob, options_.hist_node_format,
+                            &raw_bytes);
       HistAddr addr;
-      TSB_RETURN_IF_ERROR(hist_->Append(blob, &addr));
+      TSB_RETURN_IF_ERROR(AppendHistNode(blob, raw_bytes, &addr));
 
       // Rewrite the leaf and repoint the parent while holding BOTH
       // exclusive latches (top-down order, same as reader coupling), so a
@@ -900,9 +900,11 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
   }
   std::sort(hist_entries.begin(), hist_entries.end());
   std::string blob;
-  SerializeHistIndexNode(level, hist_entries, &blob);
+  uint64_t raw_bytes = 0;
+  SerializeHistIndexNode(level, hist_entries, &blob,
+                         options_.hist_node_format, &raw_bytes);
   HistAddr addr;
-  TSB_RETURN_IF_ERROR(hist_->Append(blob, &addr));
+  TSB_RETURN_IF_ERROR(AppendHistNode(blob, raw_bytes, &addr));
 
   std::vector<IndexEntry> keep;
   for (const IndexEntry& e : entries) {
@@ -942,6 +944,14 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
 
 // ---------------------------------------------------------------- tools
 
+Status TsbTree::AppendHistNode(const std::string& blob, uint64_t raw_bytes,
+                               HistAddr* addr) {
+  TSB_RETURN_IF_ERROR(hist_->Append(blob, addr));
+  hist_node_raw_bytes_.fetch_add(raw_bytes, std::memory_order_relaxed);
+  hist_node_stored_bytes_.fetch_add(blob.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status TsbTree::ReadNode(const NodeRef& ref, DecodedNode* out) {
   out->data.clear();
   out->index.clear();
@@ -975,6 +985,9 @@ HistReadStats TsbTree::HistStats() const {
   s.view_decodes = hist_decodes_.view_decodes.load(std::memory_order_relaxed);
   s.owned_decodes =
       hist_decodes_.owned_decodes.load(std::memory_order_relaxed);
+  s.node_raw_bytes = hist_node_raw_bytes_.load(std::memory_order_relaxed);
+  s.node_stored_bytes =
+      hist_node_stored_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -1098,39 +1111,38 @@ Status TsbTree::ScanHistoryRangeRec(
     }
     seen->push_back(ref.addr);
     // Historical nodes scan zero-copy over the pinned blob: only entries
-    // matching the window are materialized into the accumulator; the pin
-    // outlives the recursion into children below.
-    BlobHandle blob;
-    TSB_RETURN_IF_ERROR(ReadHistBlob(ref.addr, &blob));
-    uint8_t level = 0;
-    TSB_RETURN_IF_ERROR(HistNodeLevel(blob.data(), &level));
-    if (level == 0) {
-      HistDataNodeRef node;
-      TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
-      for (int i = 0; i < node.Count(); ++i) {
-        DataEntryView v;
-        TSB_RETURN_IF_ERROR(node.At(i, &v));
-        if (v.uncommitted()) continue;
-        if (v.ts < t_lo || v.ts >= t_hi) continue;
-        if (v.key < key_lo) continue;
-        if (!key_hi.empty() && v.key >= key_hi) continue;
-        acc->emplace(std::make_pair(v.key.ToString(), v.ts),
-                     v.value.ToString());
-      }
-      return Status::OK();
-    }
-    HistIndexNodeRef node;
-    TSB_RETURN_IF_ERROR(node.Parse(blob.data()));
-    for (int i = 0; i < node.Count(); ++i) {
-      IndexEntryView e;
-      TSB_RETURN_IF_ERROR(node.AtView(i, &e));
-      if (e.t_hi <= t_lo || e.t_lo >= t_hi) continue;
-      if (!key_hi.empty() && e.key_lo >= key_hi) continue;
-      if (!e.key_hi_inf && e.key_hi <= key_lo) continue;
-      TSB_RETURN_IF_ERROR(ScanHistoryRangeRec(e.child, key_lo, key_hi, t_lo,
-                                              t_hi, acc, seen));
-    }
-    return Status::OK();
+    // matching the window are materialized into the accumulator; the
+    // dispatch keeps the pin alive across the recursion into children.
+    return DispatchHistNode(
+        hist_.get(), &hist_decodes_, ref.addr,
+        [&](BlobHandle&, HistDataNodeRef& node) -> Status {
+          for (int i = 0; i < node.Count(); ++i) {
+            DataEntryView v;
+            TSB_RETURN_IF_ERROR(node.At(i, &v));
+            if (v.uncommitted()) continue;
+            if (v.ts < t_lo || v.ts >= t_hi) continue;
+            if (v.key < key_lo) continue;
+            if (!key_hi.empty() && v.key >= key_hi) continue;
+            acc->emplace(std::make_pair(v.key.ToString(), v.ts),
+                         v.value.ToString());
+          }
+          return Status::OK();
+        },
+        [&](BlobHandle&, HistIndexNodeRef& node) -> Status {
+          for (int i = 0; i < node.Count(); ++i) {
+            IndexEntryView e;
+            TSB_RETURN_IF_ERROR(node.AtView(i, &e));
+            if (e.t_hi <= t_lo || e.t_lo >= t_hi) continue;
+            if (!key_hi.empty() && e.key_lo >= key_hi) continue;
+            if (!e.key_hi_inf && e.key_hi <= key_lo) continue;
+            // The recursion only needs the POD child ref; the view itself
+            // dies at the next AtView.
+            const NodeRef child = e.child;
+            TSB_RETURN_IF_ERROR(ScanHistoryRangeRec(child, key_lo, key_hi,
+                                                    t_lo, t_hi, acc, seen));
+          }
+          return Status::OK();
+        });
   }
   DecodedNode node;
   TSB_RETURN_IF_ERROR(ReadNode(ref, &node));

@@ -42,6 +42,11 @@ struct TsbOptions {
   /// through view refs (zero-copy). Off = legacy owning decode of every
   /// visited node; kept only as a measurable baseline for benchmarks.
   bool zero_copy_hist_reads = true;
+  /// Wire format for NEWLY written historical nodes. v3 prefix-compresses
+  /// keys per restart block (smaller nodes, slightly more decode work);
+  /// v2 is the uncompressed slotted format. Every format ever written
+  /// stays readable, so the knob can change between runs freely.
+  HistNodeFormat hist_node_format = HistNodeFormat::kV3;
   SplitPolicyConfig policy;
 };
 
@@ -156,9 +161,14 @@ class TsbTree {
   Status ComputeSpaceStats(SpaceStats* out);
 
   const TsbCounters& counters() const { return counters_; }
-  /// Historical read-path counters: blob reads/bytes, cache hit ratio and
-  /// view vs. owned node decodes. Safe to call concurrently with readers.
+  /// Historical read-path counters: blob reads/bytes, cache hit ratio,
+  /// mapped vs copied miss bytes, view vs. owned node decodes and the
+  /// written-node compression ratio. Safe to call concurrently with
+  /// readers.
   HistReadStats HistStats() const;
+  /// Buffer-pool counters for the magnetic (current-page) axis — the
+  /// companion of HistStats so mixed workloads are diagnosable end to end.
+  BufferPoolStats PoolStats() const { return pool_->stats(); }
   const TsbOptions& options() const { return options_; }
   LogicalClock& clock() { return clock_; }
   /// Latest issued timestamp (allocator; may lead the committed state
@@ -218,8 +228,10 @@ class TsbTree {
   Status SearchHistPointOwned(HistAddr addr, const Slice& key, Timestamp t,
                               std::string* value, Timestamp* ts);
 
-  /// Pins the historical blob at `addr` and counts a zero-copy decode.
-  Status ReadHistBlob(const HistAddr& addr, BlobHandle* blob);
+  /// Serializes + appends one consolidated historical node in the
+  /// configured wire format and maintains the compression counters.
+  Status AppendHistNode(const std::string& blob, uint64_t raw_bytes,
+                        HistAddr* addr);
 
   /// Inserts `e` (committed or uncommitted), splitting as needed.
   Status InsertEntry(const DataEntry& e);
@@ -285,6 +297,10 @@ class TsbTree {
   std::atomic<uint64_t> structure_epoch_{0};
   TsbCounters counters_;  // maintained by the writer; read quiesced
   mutable HistDecodeCounters hist_decodes_;  // bumped by lock-free readers
+  // Written-node compression accounting (writer-only stores, but read by
+  // HistStats concurrently, hence atomic).
+  std::atomic<uint64_t> hist_node_raw_bytes_{0};
+  std::atomic<uint64_t> hist_node_stored_bytes_{0};
 
   friend class SnapshotIterator;
   friend class HistoryIterator;

@@ -1,16 +1,45 @@
 // AppendStore: the historical-database medium. Checks framing, CRC
 // verification, sector alignment on WORM vs byte-packing on erasable
-// devices, utilization accounting and the read cache.
+// devices, utilization accounting, the read cache, and the mmap-backed
+// zero-copy cold read path (pin lifetime across file growth/remap and
+// store close, plus the non-mmap fallback).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <memory>
 #include <string>
 
 #include "storage/append_store.h"
+#include "storage/file_device.h"
 #include "storage/mem_device.h"
 #include "storage/worm_device.h"
 
 namespace tsb {
 namespace {
+
+// Temp file fixture for FileDevice-backed stores.
+class MmapAppendStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/tsb_append_store_XXXXXX";
+    const int fd = ::mkstemp(tmpl);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    path_ = tmpl;
+  }
+  void TearDown() override { ::unlink(path_.c_str()); }
+
+  std::unique_ptr<FileDevice> OpenDevice(bool enable_mmap) {
+    FileDevice* raw = nullptr;
+    Status s = FileDevice::Open(path_, &raw, DeviceKind::kOpticalErasable,
+                                CostParams::OpticalWorm(), enable_mmap);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return std::unique_ptr<FileDevice>(raw);
+  }
+
+  std::string path_;
+};
 
 TEST(AppendStoreTest, AppendReadRoundTrip) {
   MemDevice dev;
@@ -207,6 +236,112 @@ TEST(AppendStoreTest, HistStatsCountReadsBytesAndHits) {
   EXPECT_EQ(1u, s.cache_hits);
   EXPECT_EQ(1u, s.cache_misses);
   EXPECT_DOUBLE_EQ(0.5, s.hit_ratio());
+}
+
+TEST_F(MmapAppendStoreTest, MappedReadViewServesBytesWithoutCopy) {
+  auto dev = OpenDevice(/*enable_mmap=*/true);
+  AppendStore store(dev.get(), /*cache_blobs=*/0);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice("mapped blob"), &a).ok());
+  BlobHandle h1, h2;
+  ASSERT_TRUE(store.ReadView(a, &h1).ok());
+  ASSERT_TRUE(store.ReadView(a, &h2).ok());
+  EXPECT_EQ(Slice("mapped blob"), h1.data());
+  // Both pins alias the same mapped bytes — no per-read buffer.
+  EXPECT_EQ(static_cast<const void*>(h1.data().data()),
+            static_cast<const void*>(h2.data().data()));
+  EXPECT_TRUE(h1.SharesBufferWith(h2));
+  const HistReadStats s = store.hist_stats();
+  EXPECT_EQ(2u * 11u, s.mapped_bytes);
+  EXPECT_EQ(0u, s.copied_bytes);
+}
+
+TEST_F(MmapAppendStoreTest, PinSurvivesFileGrowthAndRemap) {
+  auto dev = OpenDevice(/*enable_mmap=*/true);
+  AppendStore store(dev.get(), /*cache_blobs=*/0);
+  HistAddr first;
+  ASSERT_TRUE(store.Append(Slice("first blob"), &first).ok());
+  BlobHandle pinned;
+  ASSERT_TRUE(store.ReadView(first, &pinned).ok());
+  const Slice before = pinned.data();
+
+  // Grow the file well past the first mapping so later reads remap.
+  HistAddr last{};
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store.Append(Slice(std::string(512, 'g')), &last).ok());
+  }
+  BlobHandle far;
+  ASSERT_TRUE(store.ReadView(last, &far).ok());
+  EXPECT_EQ(std::string(512, 'g'), far.data().ToString());
+
+  // The old pin still reads the same bytes at the same address: the
+  // refcounted old mapping stays alive until the pin drops.
+  EXPECT_EQ(static_cast<const void*>(before.data()),
+            static_cast<const void*>(pinned.data().data()));
+  EXPECT_EQ(Slice("first blob"), pinned.data());
+}
+
+TEST_F(MmapAppendStoreTest, PinOutlivesStoreAndDeviceClose) {
+  BlobHandle pinned;
+  {
+    auto dev = OpenDevice(/*enable_mmap=*/true);
+    AppendStore store(dev.get(), /*cache_blobs=*/4);
+    HistAddr a;
+    ASSERT_TRUE(store.Append(Slice("outlives the store"), &a).ok());
+    ASSERT_TRUE(store.ReadView(a, &pinned).ok());
+  }  // store and device destroyed; fd closed
+  EXPECT_EQ(Slice("outlives the store"), pinned.data());
+  pinned.Release();
+  EXPECT_FALSE(pinned.valid());
+}
+
+TEST_F(MmapAppendStoreTest, CorruptionDetectedOnFirstMappedPin) {
+  auto dev = OpenDevice(/*enable_mmap=*/true);
+  AppendStore store(dev.get(), /*cache_blobs=*/0);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice("precious"), &a).ok());
+  char evil = 'X';
+  ASSERT_TRUE(dev->Write(a.offset + AppendStore::kFrameHeaderSize + 2,
+                         Slice(&evil, 1))
+                  .ok());
+  BlobHandle h;
+  EXPECT_TRUE(store.ReadView(a, &h).IsCorruption());
+}
+
+TEST_F(MmapAppendStoreTest, NonMmapFallbackCopiesAndVerifies) {
+  {
+    auto dev = OpenDevice(/*enable_mmap=*/true);
+    AppendStore store(dev.get(), /*cache_blobs=*/0);
+    HistAddr a;
+    ASSERT_TRUE(store.Append(Slice("fallback bytes"), &a).ok());
+  }
+  auto dev = OpenDevice(/*enable_mmap=*/false);
+  EXPECT_FALSE(dev->SupportsMappedReads());
+  AppendStore store(dev.get(), /*cache_blobs=*/0);
+  HistAddr a{0, 14};
+  BlobHandle h;
+  ASSERT_TRUE(store.ReadView(a, &h).ok());
+  EXPECT_EQ(Slice("fallback bytes"), h.data());
+  const HistReadStats s = store.hist_stats();
+  EXPECT_EQ(0u, s.mapped_bytes);
+  EXPECT_EQ(14u, s.copied_bytes);
+}
+
+TEST_F(MmapAppendStoreTest, ClearCacheDropsEntriesButKeepsPins) {
+  auto dev = OpenDevice(/*enable_mmap=*/true);
+  AppendStore store(dev.get(), /*cache_blobs=*/4);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice("cleared"), &a).ok());
+  BlobHandle pinned;
+  ASSERT_TRUE(store.ReadView(a, &pinned).ok());  // miss, publishes
+  store.ClearCache();
+  EXPECT_EQ(Slice("cleared"), pinned.data());  // pin unaffected
+  BlobHandle again;
+  ASSERT_TRUE(store.ReadView(a, &again).ok());  // miss again (cache empty)
+  EXPECT_EQ(2u, store.cache_misses());
+  EXPECT_EQ(0u, store.cache_hits());
+  // Mapped re-pin of the same blob aliases the same bytes.
+  EXPECT_TRUE(pinned.SharesBufferWith(again));
 }
 
 TEST(AppendStoreTest, EmptyPayloadRoundTrip) {

@@ -14,6 +14,8 @@
 //    scan.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <memory>
 #include <string>
@@ -22,6 +24,7 @@
 
 #include "db/multiversion_db.h"
 #include "storage/append_store.h"
+#include "storage/file_device.h"
 #include "storage/mem_device.h"
 #include "tsb/cursor.h"
 
@@ -372,6 +375,83 @@ TEST(ConcurrencyTest, AppendStoreSharedBlobReadersWhileWriterAppends) {
   EXPECT_EQ(4u * 400u, reads.load());
   const HistReadStats s = store.hist_stats();
   EXPECT_GT(s.cache_hits + s.cache_misses, 0u);
+}
+
+// The mmap read path under TSan: N readers pin blobs straight out of the
+// file mapping (cache disabled, so every read takes the mapped cold path)
+// while a writer keeps appending — forcing remaps whose old mappings must
+// stay valid for outstanding pins. Exercises the mapping-refcount,
+// verified-set and size/high-water races in FileDevice + AppendStore.
+TEST(ConcurrencyTest, AppendStoreMappedReadersWhileWriterAppends) {
+  char tmpl[] = "/tmp/tsb_concurrency_mmap_XXXXXX";
+  const int tmp_fd = ::mkstemp(tmpl);
+  ASSERT_GE(tmp_fd, 0);
+  ::close(tmp_fd);
+  const std::string path = tmpl;
+
+  FileDevice* raw = nullptr;
+  ASSERT_TRUE(FileDevice::Open(path, &raw, DeviceKind::kOpticalErasable,
+                               CostParams::OpticalWorm(),
+                               /*enable_mmap=*/true)
+                  .ok());
+  std::unique_ptr<FileDevice> dev(raw);
+  AppendStore store(dev.get(), /*cache_blobs=*/0);
+
+  constexpr int kSharedBlobs = 4;
+  std::vector<HistAddr> addrs(kSharedBlobs);
+  std::vector<std::string> payloads(kSharedBlobs);
+  for (int i = 0; i < kSharedBlobs; ++i) {
+    payloads[i] = "mapped-blob-" + std::to_string(i) + "-" +
+                  std::string(300 + i * 53, static_cast<char>('a' + i));
+    ASSERT_TRUE(store.Append(payloads[i], &addrs[i]).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> reads{0};
+
+  std::thread writer([&] {
+    // Each append grows the file; crossing page boundaries forces readers
+    // of later blobs to remap while earlier pins are still live.
+    HistAddr scratch;
+    for (int i = 0; i < 500 && !stop.load(std::memory_order_acquire); ++i) {
+      if (!store.Append(Slice(std::string(600, 'w')), &scratch).ok()) {
+        failed.store(true);
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      BlobHandle held;  // keep one pin across iterations (old mappings)
+      for (int i = 0; i < 400; ++i) {
+        const int b = (r + i) % kSharedBlobs;
+        BlobHandle h;
+        if (!store.ReadView(addrs[b], &h).ok() ||
+            h.data() != Slice(payloads[b])) {
+          failed.store(true);
+          return;
+        }
+        if (i % 16 == 0) held = h;
+        if (held.valid() && held.data().empty()) {
+          failed.store(true);
+          return;
+        }
+        reads.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(4u * 400u, reads.load());
+  const HistReadStats s = store.hist_stats();
+  EXPECT_GT(s.mapped_bytes, 0u);
+  ::unlink(path.c_str());
 }
 
 }  // namespace

@@ -40,6 +40,44 @@ class DbTest : public ::testing::Test {
   std::unique_ptr<MultiVersionDB> db_;
 };
 
+TEST_F(DbTest, PoolAndHistStatsDiagnoseBothAxes) {
+  // Drive enough versions through the tree to force time splits, then
+  // read both axes: buffer-pool counters cover the magnetic (current)
+  // side, HistStats the historical side — together the mixed workload is
+  // observable end to end.
+  Timestamp first_round_done = 0;
+  for (int round = 0; round < 30; ++round) {
+    for (int k = 0; k < 8; ++k) {
+      const std::string key = "acct-" + std::to_string(k);
+      Timestamp cts = 0;
+      ASSERT_TRUE(
+          db_->Put(key, "owner=o" + std::to_string(k) + ";balance=" +
+                            std::to_string(round),
+                   &cts)
+              .ok());
+      if (round == 0) first_round_done = cts;
+    }
+  }
+  std::string v;
+  for (int k = 0; k < 8; ++k) {
+    ASSERT_TRUE(db_->Get("acct-" + std::to_string(k), &v).ok());
+    ASSERT_TRUE(
+        db_->GetAsOf("acct-" + std::to_string(k), first_round_done, &v).ok());
+  }
+  const BufferPoolStats pool = db_->PoolStats();
+  EXPECT_GT(pool.hits, 0u);
+  EXPECT_GE(pool.hit_ratio(), 0.0);
+  EXPECT_LE(pool.hit_ratio(), 1.0);
+  const HistReadStats hist = db_->HistStats();
+  EXPECT_GT(hist.blob_reads, 0u);
+  // The WORM device cannot mmap: every miss takes the copying path.
+  EXPECT_EQ(0u, hist.mapped_bytes);
+  EXPECT_GT(hist.copied_bytes, 0u);
+  // v3 is the default write format; written nodes shrink vs raw.
+  EXPECT_GT(hist.node_stored_bytes, 0u);
+  EXPECT_LT(hist.compression_ratio(), 1.0);
+}
+
 TEST_F(DbTest, AutocommitPutGet) {
   Timestamp cts = 0;
   ASSERT_TRUE(db_->Put("acct-1", "owner=ann;balance=100", &cts).ok());

@@ -1,6 +1,9 @@
-// The v2 slotted historical node format and its zero-copy view refs:
-// v1 <-> v2 compat decode, view binary-search parity against the legacy
-// linear scan on randomized entry sets, and container corruption handling.
+// The slotted (v2) and restart-block prefix-compressed (v3) historical
+// node formats and their zero-copy view refs: v1 <-> v2 <-> v3 compat
+// decode, view binary-search parity against the legacy linear scan on
+// randomized entry sets (including prefix-heavy keys and single-cell
+// restart blocks), container corruption handling, and the current index
+// page's binary-search FindContaining parity against a linear scan.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -37,6 +40,28 @@ std::vector<DataEntry> MakeEntries(Random* rnd, int keys, int max_versions) {
   return entries;
 }
 
+// Keys sharing a long common prefix — the workload v3 exists for.
+std::vector<DataEntry> MakePrefixHeavyEntries(Random* rnd, int keys,
+                                              int max_versions) {
+  std::vector<DataEntry> entries;
+  Timestamp ts = 1;
+  for (int k = 0; k < keys; ++k) {
+    char key[48];
+    snprintf(key, sizeof(key), "tenant-0042/user-%08d/balance", k * 7);
+    const int versions = 1 + static_cast<int>(rnd->Uniform(max_versions));
+    for (int v = 0; v < versions; ++v) {
+      DataEntry e;
+      e.key = key;
+      e.ts = ts;
+      ts += 1 + rnd->Uniform(3);
+      e.value = "v" + std::to_string(ts);
+      entries.push_back(std::move(e));
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
 // Reference implementation: the pre-view linear scan over owned entries.
 int LinearFindVersion(const std::vector<DataEntry>& entries, const Slice& key,
                       Timestamp t) {
@@ -51,20 +76,25 @@ int LinearFindVersion(const std::vector<DataEntry>& entries, const Slice& key,
   return best;
 }
 
+void ExpectSameEntries(const std::vector<DataEntry>& expected,
+                       const std::vector<DataEntry>& got) {
+  ASSERT_EQ(expected.size(), got.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].key, got[i].key);
+    EXPECT_EQ(expected[i].ts, got[i].ts);
+    EXPECT_EQ(expected[i].value, got[i].value);
+  }
+}
+
 TEST(HistDataNodeTest, V2RoundTrip) {
   Random rnd(7);
   const std::vector<DataEntry> entries = MakeEntries(&rnd, 40, 5);
   std::string blob;
-  SerializeHistDataNode(entries, &blob);
+  SerializeHistDataNode(entries, &blob, HistNodeFormat::kV2);
 
   std::vector<DataEntry> decoded;
   ASSERT_TRUE(DecodeHistDataNode(Slice(blob), &decoded).ok());
-  ASSERT_EQ(entries.size(), decoded.size());
-  for (size_t i = 0; i < entries.size(); ++i) {
-    EXPECT_EQ(entries[i].key, decoded[i].key);
-    EXPECT_EQ(entries[i].ts, decoded[i].ts);
-    EXPECT_EQ(entries[i].value, decoded[i].value);
-  }
+  ExpectSameEntries(entries, decoded);
 
   HistDataNodeRef ref;
   ASSERT_TRUE(ref.Parse(Slice(blob)).ok());
@@ -79,13 +109,59 @@ TEST(HistDataNodeTest, V2RoundTrip) {
   }
 }
 
+TEST(HistDataNodeTest, V3RoundTrip) {
+  Random rnd(7);
+  const std::vector<DataEntry> entries = MakePrefixHeavyEntries(&rnd, 40, 5);
+  std::string blob;
+  SerializeHistDataNode(entries, &blob, HistNodeFormat::kV3);
+
+  std::vector<DataEntry> decoded;
+  ASSERT_TRUE(DecodeHistDataNode(Slice(blob), &decoded).ok());
+  ExpectSameEntries(entries, decoded);
+
+  HistDataNodeRef ref;
+  ASSERT_TRUE(ref.Parse(Slice(blob)).ok());
+  EXPECT_EQ(kHistNodeVersion3, ref.version());
+  ASSERT_EQ(static_cast<int>(entries.size()), ref.Count());
+  // One view at a time (the v3 contract): compare then move on.
+  for (int i = 0; i < ref.Count(); ++i) {
+    DataEntryView v;
+    ASSERT_TRUE(ref.At(i, &v).ok());
+    EXPECT_EQ(Slice(entries[i].key), v.key);
+    EXPECT_EQ(entries[i].ts, v.ts);
+    EXPECT_EQ(Slice(entries[i].value), v.value);
+  }
+  // Random access out of order exercises per-block reassembly.
+  Random probe(23);
+  for (int q = 0; q < 200; ++q) {
+    const int i = static_cast<int>(probe.Uniform(ref.Count()));
+    DataEntryView v;
+    ASSERT_TRUE(ref.At(i, &v).ok());
+    EXPECT_EQ(Slice(entries[i].key), v.key);
+    EXPECT_EQ(Slice(entries[i].value), v.value);
+  }
+}
+
+TEST(HistDataNodeTest, V3CompressesPrefixHeavyKeys) {
+  Random rnd(31);
+  const std::vector<DataEntry> entries = MakePrefixHeavyEntries(&rnd, 30, 6);
+  std::string v2_blob, v3_blob;
+  uint64_t raw2 = 0, raw3 = 0;
+  SerializeHistDataNode(entries, &v2_blob, HistNodeFormat::kV2, &raw2);
+  SerializeHistDataNode(entries, &v3_blob, HistNodeFormat::kV3, &raw3);
+  EXPECT_EQ(raw2, v2_blob.size());  // raw_bytes == the v2-equivalent size
+  EXPECT_EQ(raw2, raw3);
+  EXPECT_LE(v3_blob.size() * 10, v2_blob.size() * 8)
+      << "v3 should be <= 0.8x of v2 on prefix-heavy keys";
+}
+
 TEST(HistDataNodeTest, V1BlobsStillDecode) {
   Random rnd(11);
   const std::vector<DataEntry> entries = MakeEntries(&rnd, 25, 4);
   std::string v1_blob;
   SerializeHistDataNodeV1(entries, &v1_blob);
   std::string v2_blob;
-  SerializeHistDataNode(entries, &v2_blob);
+  SerializeHistDataNode(entries, &v2_blob, HistNodeFormat::kV2);
   ASSERT_NE(v1_blob, v2_blob);
 
   // The owning decoder and the view ref both accept the legacy format.
@@ -106,46 +182,132 @@ TEST(HistDataNodeTest, V1BlobsStillDecode) {
   EXPECT_EQ(Slice(entries.back().value), v.value);
 }
 
-TEST(HistDataNodeTest, FindVersionParityRandomized) {
+TEST(HistDataNodeTest, FindVersionParityRandomizedAcrossFormats) {
   Random rnd(13);
   for (int round = 0; round < 20; ++round) {
     const std::vector<DataEntry> entries =
-        MakeEntries(&rnd, 1 + static_cast<int>(rnd.Uniform(30)), 6);
-    std::string v2_blob, v1_blob;
-    SerializeHistDataNode(entries, &v2_blob);
+        round % 2 == 0
+            ? MakeEntries(&rnd, 1 + static_cast<int>(rnd.Uniform(30)), 6)
+            : MakePrefixHeavyEntries(
+                  &rnd, 1 + static_cast<int>(rnd.Uniform(30)), 6);
+    std::string v3_blob, v2_blob, v1_blob;
+    SerializeHistDataNode(entries, &v3_blob, HistNodeFormat::kV3);
+    SerializeHistDataNode(entries, &v2_blob, HistNodeFormat::kV2);
     SerializeHistDataNodeV1(entries, &v1_blob);
-    HistDataNodeRef v2_ref, v1_ref;
+    HistDataNodeRef v3_ref, v2_ref, v1_ref;
+    ASSERT_TRUE(v3_ref.Parse(Slice(v3_blob)).ok());
     ASSERT_TRUE(v2_ref.Parse(Slice(v2_blob)).ok());
     ASSERT_TRUE(v1_ref.Parse(Slice(v1_blob)).ok());
 
     const Timestamp max_ts = entries.back().ts + 2;
     for (int q = 0; q < 200; ++q) {
-      char key[16];
-      snprintf(key, sizeof(key), "key%05d",
-               static_cast<int>(rnd.Uniform(35 * 3)));
+      std::string key;
+      if (round % 2 == 0) {
+        char buf[16];
+        snprintf(buf, sizeof(buf), "key%05d",
+                 static_cast<int>(rnd.Uniform(35 * 3)));
+        key = buf;
+      } else {
+        char buf[48];
+        snprintf(buf, sizeof(buf), "tenant-0042/user-%08d/balance",
+                 static_cast<int>(rnd.Uniform(35 * 7)));
+        key = buf;
+      }
       const Timestamp t = 1 + rnd.Uniform(max_ts);
       const int expected = LinearFindVersion(entries, key, t);
-      int got_v2 = -2, got_v1 = -2;
+      int got_v3 = -2, got_v2 = -2, got_v1 = -2;
+      ASSERT_TRUE(v3_ref.FindVersion(key, t, &got_v3).ok());
       ASSERT_TRUE(v2_ref.FindVersion(key, t, &got_v2).ok());
       ASSERT_TRUE(v1_ref.FindVersion(key, t, &got_v1).ok());
+      EXPECT_EQ(expected, got_v3) << "key=" << key << " t=" << t;
       EXPECT_EQ(expected, got_v2) << "key=" << key << " t=" << t;
       EXPECT_EQ(expected, got_v1) << "key=" << key << " t=" << t;
     }
   }
 }
 
-TEST(HistDataNodeTest, EmptyNodeRoundTrips) {
+TEST(HistDataNodeTest, V3SingleCellBlocksRoundTrip) {
+  // restart_interval == 1: every cell is a restart (stored whole); the
+  // directory indexes every cell, degenerating to v2-with-framing.
+  Random rnd(41);
+  const std::vector<DataEntry> entries = MakePrefixHeavyEntries(&rnd, 12, 3);
   std::string blob;
-  SerializeHistDataNode({}, &blob);
-  HistDataNodeRef ref;
-  ASSERT_TRUE(ref.Parse(Slice(blob)).ok());
-  EXPECT_EQ(0, ref.Count());
-  int pos = -2;
-  ASSERT_TRUE(ref.FindVersion("any", 100, &pos).ok());
-  EXPECT_EQ(-1, pos);
+  {
+    HistNodeBuilder builder(0, static_cast<uint32_t>(entries.size()), &blob,
+                            HistNodeFormat::kV3, /*restart_interval=*/1);
+    std::string cell;
+    for (const DataEntry& e : entries) {
+      cell.clear();
+      EncodeDataCell(&cell, e.key, e.ts, e.txn, e.value);
+      builder.AddCell(cell);
+    }
+    builder.Finish();
+  }
   std::vector<DataEntry> decoded;
   ASSERT_TRUE(DecodeHistDataNode(Slice(blob), &decoded).ok());
-  EXPECT_TRUE(decoded.empty());
+  ExpectSameEntries(entries, decoded);
+
+  HistDataNodeRef ref;
+  ASSERT_TRUE(ref.Parse(Slice(blob)).ok());
+  EXPECT_EQ(static_cast<int>(entries.size()), ref.Count());
+  {
+    HistNodeRef container;
+    ASSERT_TRUE(container.Parse(Slice(blob)).ok());
+    EXPECT_EQ(container.Count(), container.RestartCount());  // K == 1
+  }
+  const Timestamp max_ts = entries.back().ts + 2;
+  for (int q = 0; q < 100; ++q) {
+    const DataEntry& probe = entries[rnd.Uniform(entries.size())];
+    const Timestamp t = 1 + rnd.Uniform(max_ts);
+    int got = -2;
+    ASSERT_TRUE(ref.FindVersion(probe.key, t, &got).ok());
+    EXPECT_EQ(LinearFindVersion(entries, probe.key, t), got);
+  }
+}
+
+TEST(HistDataNodeTest, V3FewerCellsThanOneBlock) {
+  // count < restart_interval: a single restart block.
+  std::vector<DataEntry> entries;
+  DataEntry e;
+  e.key = "shared/prefix/key-a";
+  e.ts = 5;
+  e.value = "va";
+  entries.push_back(e);
+  e.key = "shared/prefix/key-b";
+  e.ts = 7;
+  e.value = "vb";
+  entries.push_back(e);
+  std::string blob;
+  SerializeHistDataNode(entries, &blob, HistNodeFormat::kV3);
+  HistDataNodeRef ref;
+  ASSERT_TRUE(ref.Parse(Slice(blob)).ok());
+  ASSERT_EQ(2, ref.Count());
+  {
+    HistNodeRef container;
+    ASSERT_TRUE(container.Parse(Slice(blob)).ok());
+    EXPECT_EQ(1, container.RestartCount());
+  }
+  DataEntryView v;
+  ASSERT_TRUE(ref.At(1, &v).ok());
+  EXPECT_EQ(Slice("shared/prefix/key-b"), v.key);
+  EXPECT_EQ(Slice("vb"), v.value);
+}
+
+TEST(HistDataNodeTest, EmptyNodeRoundTripsAllFormats) {
+  for (const HistNodeFormat format :
+       {HistNodeFormat::kV2, HistNodeFormat::kV3}) {
+    std::string blob;
+    SerializeHistDataNode({}, &blob, format);
+    HistDataNodeRef ref;
+    ASSERT_TRUE(ref.Parse(Slice(blob)).ok());
+    EXPECT_EQ(0, ref.Count());
+    int pos = -2;
+    ASSERT_TRUE(ref.FindVersion("any", 100, &pos).ok());
+    EXPECT_EQ(-1, pos);
+    std::vector<DataEntry> decoded;
+    ASSERT_TRUE(DecodeHistDataNode(Slice(blob), &decoded).ok());
+    EXPECT_TRUE(decoded.empty());
+  }
 }
 
 TEST(HistNodeTest, CorruptContainersRejected) {
@@ -156,7 +318,7 @@ TEST(HistNodeTest, CorruptContainersRejected) {
   e.value = "v";
   entries.push_back(e);
   std::string blob;
-  SerializeHistDataNode(entries, &blob);
+  SerializeHistDataNode(entries, &blob, HistNodeFormat::kV2);
 
   HistNodeRef ref;
   // Truncated below the fixed header.
@@ -181,6 +343,37 @@ TEST(HistNodeTest, CorruptContainersRejected) {
   std::vector<IndexEntry> ignored;
   EXPECT_TRUE(DecodeHistIndexNode(Slice(blob), &level, &ignored)
                   .IsCorruption());
+}
+
+TEST(HistNodeTest, CorruptV3ContainersRejected) {
+  std::vector<DataEntry> entries;
+  for (int i = 0; i < 20; ++i) {
+    DataEntry e;
+    e.key = "prefix/key-" + std::to_string(100 + i);
+    e.ts = 10 + i;
+    e.value = "v" + std::to_string(i);
+    entries.push_back(e);
+  }
+  std::string blob;
+  SerializeHistDataNode(entries, &blob, HistNodeFormat::kV3);
+
+  HistNodeRef ref;
+  // Truncated below the v3 header (level/version/count/interval).
+  EXPECT_TRUE(ref.Parse(Slice(blob.data(), 7)).IsCorruption());
+  // A restart directory entry pointing outside the cell area fails at
+  // access time for every cell of that block.
+  std::string bad_dir = blob;
+  bad_dir[bad_dir.size() - 4] = static_cast<char>(0xff);
+  bad_dir[bad_dir.size() - 3] = static_cast<char>(0xff);
+  HistDataNodeRef data_ref;
+  ASSERT_TRUE(data_ref.Parse(Slice(bad_dir)).ok());
+  DataEntryView v;
+  EXPECT_TRUE(data_ref.At(0, &v).IsCorruption());
+  // Zero restart interval is rejected at parse time.
+  std::string bad_interval = blob;
+  bad_interval[6] = 0;
+  bad_interval[7] = 0;
+  EXPECT_TRUE(ref.Parse(Slice(bad_interval)).IsCorruption());
 }
 
 // ---------------- index nodes ----------------
@@ -227,14 +420,15 @@ int LinearFindContaining(const std::vector<IndexEntry>& entries,
   return -1;
 }
 
-TEST(HistIndexNodeTest, RoundTripAndV1Compat) {
+TEST(HistIndexNodeTest, RoundTripAndCompatAllFormats) {
   Random rnd(17);
   const std::vector<IndexEntry> entries = MakeTiling(&rnd, 4, 3, 300);
-  std::string v2_blob, v1_blob;
-  SerializeHistIndexNode(2, entries, &v2_blob);
+  std::string v3_blob, v2_blob, v1_blob;
+  SerializeHistIndexNode(2, entries, &v3_blob, HistNodeFormat::kV3);
+  SerializeHistIndexNode(2, entries, &v2_blob, HistNodeFormat::kV2);
   SerializeHistIndexNodeV1(2, entries, &v1_blob);
 
-  for (const std::string& blob : {v2_blob, v1_blob}) {
+  for (const std::string& blob : {v3_blob, v2_blob, v1_blob}) {
     uint8_t level = 0;
     std::vector<IndexEntry> decoded;
     ASSERT_TRUE(DecodeHistIndexNode(Slice(blob), &level, &decoded).ok());
@@ -250,30 +444,58 @@ TEST(HistIndexNodeTest, RoundTripAndV1Compat) {
   }
 }
 
-TEST(HistIndexNodeTest, FindContainingParityRandomized) {
+TEST(HistIndexNodeTest, FindContainingParityRandomizedAcrossFormats) {
   Random rnd(19);
   for (int round = 0; round < 20; ++round) {
     const std::vector<IndexEntry> entries =
         MakeTiling(&rnd, 1 + static_cast<int>(rnd.Uniform(6)),
                    1 + static_cast<int>(rnd.Uniform(5)), 400);
-    std::string v2_blob, v1_blob;
-    SerializeHistIndexNode(1, entries, &v2_blob);
+    std::string v3_blob, v2_blob, v1_blob;
+    SerializeHistIndexNode(1, entries, &v3_blob, HistNodeFormat::kV3);
+    SerializeHistIndexNode(1, entries, &v2_blob, HistNodeFormat::kV2);
     SerializeHistIndexNodeV1(1, entries, &v1_blob);
-    HistIndexNodeRef v2_ref, v1_ref;
+    HistIndexNodeRef v3_ref, v2_ref, v1_ref;
+    ASSERT_TRUE(v3_ref.Parse(Slice(v3_blob)).ok());
     ASSERT_TRUE(v2_ref.Parse(Slice(v2_blob)).ok());
     ASSERT_TRUE(v1_ref.Parse(Slice(v1_blob)).ok());
-    EXPECT_EQ(1, v2_ref.Level());
+    EXPECT_EQ(1, v3_ref.Level());
 
     for (int q = 0; q < 200; ++q) {
       const std::string key =
           "key" + std::to_string(990 + rnd.Uniform(60));
       const Timestamp t = rnd.Uniform(500);
       const int expected = LinearFindContaining(entries, key, t);
-      int got_v2 = -2, got_v1 = -2;
+      int got_v3 = -2, got_v2 = -2, got_v1 = -2;
+      ASSERT_TRUE(v3_ref.FindContaining(key, t, &got_v3).ok());
       ASSERT_TRUE(v2_ref.FindContaining(key, t, &got_v2).ok());
       ASSERT_TRUE(v1_ref.FindContaining(key, t, &got_v1).ok());
+      EXPECT_EQ(expected, got_v3) << "key=" << key << " t=" << t;
       EXPECT_EQ(expected, got_v2) << "key=" << key << " t=" << t;
       EXPECT_EQ(expected, got_v1) << "key=" << key << " t=" << t;
+    }
+  }
+}
+
+// ---------------- current index pages ----------------
+
+TEST(IndexPageFindContainingTest, BinarySearchParityWithLinearScan) {
+  Random rnd(53);
+  for (int round = 0; round < 20; ++round) {
+    const std::vector<IndexEntry> entries =
+        MakeTiling(&rnd, 1 + static_cast<int>(rnd.Uniform(6)),
+                   1 + static_cast<int>(rnd.Uniform(5)), 400);
+    std::vector<char> buf(8192);
+    IndexPageRef::Format(buf.data(), static_cast<uint32_t>(buf.size()), 1);
+    IndexPageRef page(buf.data(), static_cast<uint32_t>(buf.size()));
+    ASSERT_TRUE(page.Load(entries).ok());
+
+    for (int q = 0; q < 200; ++q) {
+      const std::string key =
+          "key" + std::to_string(990 + rnd.Uniform(60));
+      const Timestamp t = rnd.Uniform(500);
+      EXPECT_EQ(LinearFindContaining(entries, key, t),
+                page.FindContaining(key, t))
+          << "key=" << key << " t=" << t;
     }
   }
 }
