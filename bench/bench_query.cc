@@ -339,6 +339,53 @@ NodeBytesResult MeasureHistNodeBytes() {
   return r;
 }
 
+// ---- pinned-Get phase: the zero-copy public read surface ----
+//
+// Same warm-cache workload as the view phase, but through
+// Get(ReadOptions, key, PinnableValue*): the blob pin moves into the
+// result and the value stays a view, so a cache-hit lookup does ZERO
+// value memcpys and zero heap allocations (the reused PinnableValue's
+// scratch absorbs v3 delta cells inline).
+
+HistAsOfResult MeasureHistAsOfPinned(
+    tsb_tree::TsbTree* tree,
+    const std::vector<std::pair<std::string, Timestamp>>& probes,
+    int rounds) {
+  tsb_tree::PinnableValue pv;
+  tsb_tree::ReadOptions opts;
+  // Warmup populates the shared-blob cache and the scratch capacity.
+  for (const auto& [k, t] : probes) {
+    opts.as_of = t;
+    tree->Get(opts, k, &pv);
+  }
+  const HistReadStats before_stats = tree->HistStats();
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  size_t ops = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (const auto& [k, t] : probes) {
+      opts.as_of = t;
+      benchmark::DoNotOptimize(tree->Get(opts, k, &pv));
+      ++ops;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  const double secs = std::chrono::duration<double>(end - start).count();
+  const HistReadStats after_stats = tree->HistStats();
+  HistAsOfResult r;
+  r.ops_per_sec = secs > 0 ? static_cast<double>(ops) / secs : 0;
+  r.allocs_per_op = static_cast<double>(allocs) / static_cast<double>(ops);
+  const uint64_t lookups = (after_stats.cache_hits + after_stats.cache_misses) -
+                           (before_stats.cache_hits + before_stats.cache_misses);
+  const uint64_t hits = after_stats.cache_hits - before_stats.cache_hits;
+  r.cache_hit_ratio =
+      lookups == 0 ? 1.0
+                   : static_cast<double>(hits) / static_cast<double>(lookups);
+  return r;
+}
+
 HistAsOfResult MeasureHistAsOf(
     tsb_tree::TsbTree* tree,
     const std::vector<std::pair<std::string, Timestamp>>& probes,
@@ -413,19 +460,26 @@ void WriteHistAsOfJson() {
       static_cast<int>(200000 / probes.size()) + 1;  // ~200k measured ops
 
   const HistAsOfResult view = MeasureHistAsOf(view_f.tree.get(), probes, rounds);
+  const HistAsOfResult pinned =
+      MeasureHistAsOfPinned(view_f.tree.get(), probes, rounds);
   const HistAsOfResult owned =
       MeasureHistAsOf(owned_f.tree.get(), probes, rounds);
   const double speedup =
       owned.ops_per_sec > 0 ? view.ops_per_sec / owned.ops_per_sec : 0;
+  const double pinned_speedup =
+      owned.ops_per_sec > 0 ? pinned.ops_per_sec / owned.ops_per_sec : 0;
 
   printf("== historical as-of lookups: zero-copy views vs owning decodes ==\n");
   printf("(%zu probes x %d rounds, shared-blob cache covers the working set)\n",
          probes.size(), rounds);
   printf("view path : %12.0f ops/s  %6.2f allocs/op  hit ratio %.3f\n",
          view.ops_per_sec, view.allocs_per_op, view.cache_hit_ratio);
+  printf("pinned Get: %12.0f ops/s  %6.2f allocs/op  hit ratio %.3f "
+         "(zero value memcpy)\n",
+         pinned.ops_per_sec, pinned.allocs_per_op, pinned.cache_hit_ratio);
   printf("owned path: %12.0f ops/s  %6.2f allocs/op  hit ratio %.3f\n",
          owned.ops_per_sec, owned.allocs_per_op, owned.cache_hit_ratio);
-  printf("speedup: %.2fx\n\n", speedup);
+  printf("speedup: %.2fx (pinned %.2fx)\n\n", speedup, pinned_speedup);
 
   // ---- cold reads: mmap pins vs pread copies, cache disabled ----
   ColdFixture mmap_f = BuildColdFixture(/*enable_mmap=*/true, "mmap");
@@ -482,9 +536,12 @@ void WriteHistAsOfJson() {
           "\"probes\": %zu, \"rounds\": %d},\n"
           "  \"hist_asof_view\": {\"ops_per_sec\": %.1f, "
           "\"allocs_per_op\": %.4f, \"cache_hit_ratio\": %.4f},\n"
+          "  \"hist_asof_pinned\": {\"ops_per_sec\": %.1f, "
+          "\"allocs_per_op\": %.4f, \"cache_hit_ratio\": %.4f},\n"
           "  \"hist_asof_owned_baseline\": {\"ops_per_sec\": %.1f, "
           "\"allocs_per_op\": %.4f, \"cache_hit_ratio\": %.4f},\n"
           "  \"speedup_view_vs_owned\": %.3f,\n"
+          "  \"speedup_pinned_vs_owned\": %.3f,\n"
           "  \"hist_cold_read\": {\"mmap_ops_per_sec\": %.1f, "
           "\"copy_ops_per_sec\": %.1f, \"speedup_mmap_vs_copy\": %.3f, "
           "\"allocs_per_op_repin\": %.4f, \"mapped_bytes\": %llu, "
@@ -494,8 +551,10 @@ void WriteHistAsOfJson() {
           "\"tree_compression_ratio\": %.3f}\n"
           "}\n",
           kOps, kUpdateFraction, probes.size(), rounds, view.ops_per_sec,
-          view.allocs_per_op, view.cache_hit_ratio, owned.ops_per_sec,
+          view.allocs_per_op, view.cache_hit_ratio, pinned.ops_per_sec,
+          pinned.allocs_per_op, pinned.cache_hit_ratio, owned.ops_per_sec,
           owned.allocs_per_op, owned.cache_hit_ratio, speedup,
+          pinned_speedup,
           cold_mmap.ops_per_sec, cold_copy.ops_per_sec, cold_speedup,
           cold_mmap.allocs_per_op,
           static_cast<unsigned long long>(mmap_stats.mapped_bytes),

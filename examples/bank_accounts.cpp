@@ -2,12 +2,15 @@
 // stepwise-constant data stamped with transaction commit times, under a
 // non-deletion policy (financial records must be kept forever).
 //
-// Shows: multi-account transfers as atomic transactions, point-in-time
-// audits ("what was the balance when?"), a lock-free auditor scanning a
+// Shows: opening the ledger atomically with one WriteBatch, multi-account
+// transfers as transactions, point-in-time audits over a VersionCursor
+// ("what was every balance when?"), a lock-free auditor scanning a
 // consistent snapshot while transfers keep committing (section 4.1), and
-// the migration of old balance versions to the write-once archive.
+// the migration of old balance versions to the write-once archive file.
 //
 //   ./example_bank_accounts
+#include <unistd.h>
+
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -15,8 +18,6 @@
 
 #include "common/random.h"
 #include "db/multiversion_db.h"
-#include "storage/mem_device.h"
-#include "storage/worm_device.h"
 
 using namespace tsb;
 
@@ -43,23 +44,27 @@ long ParseBalance(const std::string& v) { return std::stol(v); }
 }  // namespace
 
 int main() {
-  MemDevice magnetic;
-  WormDevice archive(1024);
+  const std::string path = "/tmp/tsb_bank." + std::to_string(::getpid());
   db::DbOptions options;
   options.tree.page_size = 1024;  // small pages: watch migration happen
+  options.worm_historical = true;  // the vault is write-once
   // Favor time splits: keep the magnetic footprint small, archive history.
   options.tree.policy.kind_policy = tsb_tree::SplitKindPolicy::kThreshold;
   options.tree.policy.key_split_threshold = 0.6;
   options.tree.policy.time_mode = tsb_tree::SplitTimeMode::kLastUpdate;
 
   std::unique_ptr<db::MultiVersionDB> bank;
-  CHECK_OK(db::MultiVersionDB::Open(&magnetic, &archive, options, &bank));
+  CHECK_OK(db::MultiVersionDB::Open(path, options, &bank));
 
+  // Ledger genesis: every account appears atomically, at ONE timestamp.
   const int kAccounts = 40;
+  db::WriteBatch genesis;
   for (int i = 0; i < kAccounts; ++i) {
-    CHECK_OK(bank->Put(Acct(i), "1000"));
+    genesis.Put(Acct(i), "1000");
   }
-  printf("opened %d accounts with balance 1000\n", kAccounts);
+  CHECK_OK(bank->Write(genesis));
+  printf("opened %d accounts with balance 1000 (one atomic batch)\n",
+         kAccounts);
 
   // A day of transfers: each is an atomic two-account transaction.
   Random rnd(2026);
@@ -93,7 +98,7 @@ int main() {
   // stays open (no locks taken, per section 4.1).
   txn::ReadTransaction auditor = bank->BeginReadOnly();
   long total_now = 0;
-  auto it = auditor.NewIterator();
+  auto it = auditor.NewCursor();
   CHECK_OK(it->SeekToFirst());
   while (it->Valid()) {
     total_now += ParseBalance(it->value().ToString());
@@ -104,8 +109,10 @@ int main() {
 
   // Same audit against the mid-day snapshot, reconstructed from history —
   // much of which has migrated to the write-once archive by now.
+  db::ReadOptions mid;
+  mid.as_of = mid_day;
   long total_mid = 0;
-  auto mid_it = bank->NewSnapshotIterator(mid_day);
+  auto mid_it = bank->NewCursor(mid);
   CHECK_OK(mid_it->SeekToFirst());
   while (mid_it->Valid()) {
     total_mid += ParseBalance(mid_it->value().ToString());
@@ -114,14 +121,15 @@ int main() {
   printf("audit @mid-day   : total=%ld (%s)\n", total_mid,
          total_mid == 1000L * kAccounts ? "conserved" : "VIOLATION!");
 
-  // Statement for one account: its full committed history, newest first.
+  // Statement for one account: stop the key-axis cursor on the account
+  // and drill into its past along the time axis — one cursor, both axes.
   printf("statement for %s (newest 5 entries):\n", Acct(7).c_str());
-  auto hist = bank->NewHistoryIterator(Acct(7));
-  CHECK_OK(hist->SeekToNewest());
-  for (int n = 0; n < 5 && hist->Valid(); ++n) {
-    printf("  t=%-6llu balance=%s\n", (unsigned long long)hist->ts(),
-           hist->value().ToString().c_str());
-    CHECK_OK(hist->Next());
+  auto stmt = bank->NewCursor();
+  CHECK_OK(stmt->Seek(Acct(7)));
+  for (int n = 0; n < 5 && stmt->Valid(); ++n) {
+    printf("  t=%-6llu balance=%s\n", (unsigned long long)stmt->ts(),
+           stmt->value().ToString().c_str());
+    CHECK_OK(stmt->NextVersion());
   }
 
   tsb_tree::SpaceStats stats;
@@ -139,5 +147,8 @@ int main() {
          (unsigned long long)c.data_time_splits,
          (unsigned long long)c.records_migrated,
          (unsigned long long)c.hist_data_nodes);
+
+  bank.reset();
+  CHECK_OK(db::MultiVersionDB::Destroy(path));
   return 0;
 }

@@ -5,6 +5,11 @@
 // complete past design states ("give me the bill of materials exactly as
 // it was when we taped out v2").
 //
+// This example drives the TREE layer directly (raw simulated devices, so
+// the device cost model is visible) through the unified read surface: one
+// VersionCursor walks the v2 snapshot forward, backward (Prev), and down
+// each part's revision history (NextVersion / SeekTimestamp).
+//
 //   ./example_design_versions
 #include <cstdio>
 #include <memory>
@@ -77,8 +82,10 @@ int main() {
   // Reconstruct the complete design state at an old tape-out: every part,
   // exactly the version that shipped. Much of it now lives on the archive.
   const Timestamp v2 = tapeouts[1];
+  ReadOptions at_v2;
+  at_v2.as_of = v2;
   size_t total = 0, revised_since_baseline = 0;
-  auto snap = designs->NewSnapshotIterator(v2);
+  auto snap = designs->NewCursor(at_v2);
   CHECK_OK(snap->SeekToFirst());
   while (snap->Valid()) {
     total++;
@@ -90,15 +97,38 @@ int main() {
   printf("tape-out v2 snapshot: %zu parts (%zu revised since baseline)\n",
          total, revised_since_baseline);
 
-  // Deep-history drill-down on the hottest part.
+  // The same cursor walks BACKWARD too: the last three parts of the v2
+  // bill of materials, in reverse key order.
+  printf("v2 BOM, last three parts in reverse:\n");
+  CHECK_OK(snap->Seek(Part(kParts - 1)));
+  for (int n = 0; n < 3 && snap->Valid(); ++n) {
+    printf("  %s  %s\n", snap->key().ToString().c_str(),
+           snap->value().ToString().c_str());
+    CHECK_OK(snap->Prev());
+  }
+
+  // Deep-history drill-down on the hottest part: park the cursor on the
+  // key, walk its time axis newest-first.
   size_t versions = 0;
-  auto hist = designs->NewHistoryIterator(Part(0));
-  CHECK_OK(hist->SeekToNewest());
+  auto hist = designs->NewCursor(ReadOptions());
+  CHECK_OK(hist->Seek(Part(0)));
   while (hist->Valid()) {
     versions++;
-    CHECK_OK(hist->Next());
+    CHECK_OK(hist->NextVersion());
   }
   printf("part-00000 has %zu archived revisions\n", versions);
+
+  // "Which revision shipped at each tape-out?" — SeekTimestamp jumps the
+  // time axis straight to the version valid at each milestone.
+  printf("part-00000 at each tape-out:\n");
+  for (size_t m = 0; m < tapeouts.size(); ++m) {
+    CHECK_OK(hist->Seek(Part(0)));
+    if (!hist->Valid()) break;
+    CHECK_OK(hist->SeekTimestamp(tapeouts[m]));
+    if (!hist->Valid()) continue;
+    printf("  v%zu: t=%-6llu %s\n", m + 1, (unsigned long long)hist->ts(),
+           hist->value().ToString().c_str());
+  }
 
   // What the two-device layout bought us.
   SpaceStats stats;

@@ -1,15 +1,18 @@
-// Quickstart: open a MultiVersionDB over a simulated magnetic disk
-// (current database) and WORM optical disk (historical database), write a
-// few versions, and run the three temporal query classes the TSB-tree
-// supports: current lookup, as-of lookup, and full version history.
+// Quickstart: open a MultiVersionDB from a path (the DB creates and owns
+// its devices — a file-backed magnetic current database and a write-once
+// historical archive), write versions atomically, and run the temporal
+// query classes the TSB-tree supports through the unified read surface:
+// ReadOptions point reads (copying and zero-copy pinned), and one
+// VersionCursor that walks both the key axis and the time axis.
 //
 //   ./example_quickstart
+#include <unistd.h>
+
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "db/multiversion_db.h"
-#include "storage/mem_device.h"
-#include "storage/worm_device.h"
 
 using namespace tsb;
 
@@ -24,15 +27,16 @@ using namespace tsb;
   } while (0)
 
 int main() {
-  // The current database lives on an erasable device; history is appended
-  // to a write-once device — rewriting a burned sector would fail.
-  MemDevice magnetic;
-  WormDevice optical(/*sector_size=*/1024);
+  const std::string path =
+      "/tmp/tsb_quickstart." + std::to_string(::getpid());
 
+  // The current database lives on an erasable file; history is appended
+  // to a write-once file — rewriting a burned sector would fail.
   db::DbOptions options;
   options.tree.page_size = 4096;
+  options.worm_historical = true;
   std::unique_ptr<db::MultiVersionDB> mvdb;
-  CHECK_OK(db::MultiVersionDB::Open(&magnetic, &optical, options, &mvdb));
+  CHECK_OK(db::MultiVersionDB::Open(path, options, &mvdb));
 
   // Every Put commits a new VERSION; nothing is ever overwritten.
   Timestamp t1, t2, t3;
@@ -40,41 +44,69 @@ int main() {
   CHECK_OK(mvdb->Put("greeting", "hello, WORM world", &t2));
   CHECK_OK(mvdb->Put("greeting", "hello, time-split b-tree", &t3));
 
+  // Point reads: the read timestamp is an explicit ReadOptions choice.
   std::string v;
-  CHECK_OK(mvdb->Get("greeting", &v));
+  CHECK_OK(mvdb->Get(db::ReadOptions(), "greeting", &v));
   printf("current          : %s\n", v.c_str());
 
-  CHECK_OK(mvdb->GetAsOf("greeting", t1, &v));
+  db::ReadOptions asof1;
+  asof1.as_of = t1;
+  CHECK_OK(mvdb->Get(asof1, "greeting", &v));
   printf("as of t=%llu        : %s\n", (unsigned long long)t1, v.c_str());
 
+  // Zero-copy read: once the version has migrated to the archive, the
+  // PinnableValue pins the node blob and the value is a view into it.
+  db::PinnableValue pinned;
+  CHECK_OK(mvdb->Get(asof1, "greeting", &pinned));
+  printf("pinned read      : %.*s (ts=%llu, %s)\n",
+         (int)pinned.data().size(), pinned.data().data(),
+         (unsigned long long)pinned.timestamp(),
+         pinned.pinned() ? "zero-copy view" : "copied from current page");
+
+  // One cursor for both axes: Seek/Next walk keys at the as-of time,
+  // NextVersion walks the current key's past.
   printf("full history     :\n");
-  auto hist = mvdb->NewHistoryIterator("greeting");
-  CHECK_OK(hist->SeekToNewest());
-  while (hist->Valid()) {
-    printf("  t=%llu  %s\n", (unsigned long long)hist->ts(),
-           hist->value().ToString().c_str());
-    CHECK_OK(hist->Next());
+  auto cursor = mvdb->NewCursor();
+  CHECK_OK(cursor->Seek("greeting"));
+  while (cursor->Valid()) {
+    printf("  t=%llu  %s\n", (unsigned long long)cursor->ts(),
+           cursor->value().ToString().c_str());
+    CHECK_OK(cursor->NextVersion());
   }
 
-  // Transactions: atomic multi-key commit, abort leaves no trace.
-  std::unique_ptr<txn::Transaction> txn;
-  CHECK_OK(mvdb->Begin(&txn));
-  CHECK_OK(txn->Put("a", "1"));
-  CHECK_OK(txn->Put("b", "2"));
+  // WriteBatch: atomic multi-key commit under ONE timestamp.
+  db::WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
   Timestamp commit_ts;
-  CHECK_OK(txn->Commit(&commit_ts));
-  printf("txn committed at : t=%llu\n", (unsigned long long)commit_ts);
+  CHECK_OK(mvdb->Write(batch, &commit_ts));
+  printf("batch committed  : 2 keys at t=%llu\n",
+         (unsigned long long)commit_ts);
 
+  // Transactions are still there for read-modify-write; abort leaves no
+  // trace (the current database is erasable).
+  std::unique_ptr<txn::Transaction> txn;
   CHECK_OK(mvdb->Begin(&txn));
   CHECK_OK(txn->Put("c", "never happened"));
   CHECK_OK(txn->Abort());
   printf("aborted write    : %s\n",
-         mvdb->Get("c", &v).IsNotFound() ? "erased (good)" : "LEAKED");
+         mvdb->Get(db::ReadOptions(), "c", &v).IsNotFound() ? "erased (good)"
+                                                            : "LEAKED");
 
-  printf("devices          : magnetic=%llu bytes, optical=%llu sectors "
-         "(%.1f%% utilized)\n",
-         (unsigned long long)magnetic.Size(),
-         (unsigned long long)optical.sectors_burned(),
-         100.0 * optical.Utilization());
+  // Reopen from the path: both databases persist.
+  mvdb.reset();
+  CHECK_OK(db::MultiVersionDB::Open(path, options, &mvdb));
+  CHECK_OK(mvdb->Get(db::ReadOptions(), "greeting", &v));
+  printf("after reopen     : %s\n", v.c_str());
+
+  tsb_tree::SpaceStats stats;
+  CHECK_OK(mvdb->ComputeSpaceStats(&stats));
+  printf("storage          : magnetic=%llu bytes, archive=%llu bytes "
+         "(write-once)\n",
+         (unsigned long long)stats.magnetic_bytes,
+         (unsigned long long)stats.optical_device_bytes);
+
+  mvdb.reset();
+  CHECK_OK(db::MultiVersionDB::Destroy(path));
   return 0;
 }

@@ -1,7 +1,19 @@
 #include "db/multiversion_db.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/file_device.h"
+#include "storage/worm_file_device.h"
+
 namespace tsb {
 namespace db {
+
+MultiVersionDB::~MultiVersionDB() = default;
 
 Status MultiVersionDB::Open(Device* magnetic, Device* historical,
                             const DbOptions& options,
@@ -20,29 +32,142 @@ Status MultiVersionDB::Open(Device* magnetic, Device* historical,
   return Status::OK();
 }
 
+namespace {
+
+/// Opens the file-backed historical device per options: WORM sector
+/// semantics when requested, else a plain erasable file that still pays
+/// optical cost parameters (the simulated 1989 archive medium).
+Status OpenHistoricalFile(const std::string& file, const DbOptions& options,
+                          std::unique_ptr<Device>* out) {
+  if (options.worm_historical) {
+    WormFileDevice* dev = nullptr;
+    TSB_RETURN_IF_ERROR(WormFileDevice::Open(file, &dev,
+                                             options.worm_sector_size,
+                                             CostParams::OpticalWorm(),
+                                             options.enable_mmap));
+    out->reset(dev);
+    return Status::OK();
+  }
+  FileDevice* dev = nullptr;
+  TSB_RETURN_IF_ERROR(FileDevice::Open(file, &dev,
+                                       DeviceKind::kOpticalErasable,
+                                       CostParams::OpticalWorm(),
+                                       options.enable_mmap));
+  out->reset(dev);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MultiVersionDB::Open(const std::string& path, const DbOptions& options,
+                            std::unique_ptr<MultiVersionDB>* out) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    // Only a genuinely absent path is a create candidate; EACCES/ENOTDIR
+    // and friends are real errors, not "missing database".
+    if (errno != ENOENT) {
+      return Status::IOError("stat " + path, strerror(errno));
+    }
+    if (!options.create_if_missing) {
+      return Status::IOError("no such database", path);
+    }
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError("mkdir " + path, strerror(errno));
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("database path is not a directory", path);
+  }
+
+  FileDevice* mag = nullptr;
+  TSB_RETURN_IF_ERROR(FileDevice::Open(path + "/current.tsb", &mag,
+                                       DeviceKind::kMagnetic,
+                                       CostParams::Magnetic(),
+                                       options.enable_mmap));
+  std::unique_ptr<Device> magnetic(mag);
+  std::unique_ptr<Device> historical;
+  TSB_RETURN_IF_ERROR(
+      OpenHistoricalFile(path + "/history.tsb", options, &historical));
+
+  std::unique_ptr<MultiVersionDB> mvdb;
+  TSB_RETURN_IF_ERROR(Open(magnetic.get(), historical.get(), options, &mvdb));
+  mvdb->path_ = path;
+  mvdb->owned_magnetic_ = std::move(magnetic);
+  mvdb->owned_historical_ = std::move(historical);
+  *out = std::move(mvdb);
+  return Status::OK();
+}
+
+Status MultiVersionDB::Destroy(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::OK();  // nothing to destroy
+    return Status::IOError("opendir " + path, strerror(errno));
+  }
+  Status status = Status::OK();
+  const std::string suffix = ".tsb";
+  while (struct dirent* e = ::readdir(dir)) {
+    const std::string name = e->d_name;
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;  // not ours; the rmdir below will surface it
+    }
+    const std::string file = path + "/" + name;
+    if (::unlink(file.c_str()) != 0) {
+      status = Status::IOError("unlink " + file, strerror(errno));
+    }
+  }
+  ::closedir(dir);
+  TSB_RETURN_IF_ERROR(status);
+  if (::rmdir(path.c_str()) != 0) {
+    return Status::IOError("rmdir " + path, strerror(errno));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- writes
+
+Status MultiVersionDB::Write(const WriteBatch& batch, Timestamp* commit_ts) {
+  return txns_->Write(batch, commit_ts);
+}
+
 Status MultiVersionDB::Put(const Slice& key, const Slice& value,
                            Timestamp* commit_ts) {
-  std::unique_ptr<txn::Transaction> t;
-  TSB_RETURN_IF_ERROR(Begin(&t));
-  Status s = t->Put(key, value);
-  if (!s.ok()) {
-    t->Abort();
-    return s;
-  }
-  return t->Commit(commit_ts);
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(batch, commit_ts);
+}
+
+// ---------------------------------------------------------------- reads
+
+Status MultiVersionDB::Get(const ReadOptions& options, const Slice& key,
+                           std::string* value, Timestamp* ts) {
+  return tree_->Get(options, key, value, ts);
+}
+
+Status MultiVersionDB::Get(const ReadOptions& options, const Slice& key,
+                           PinnableValue* value) {
+  return tree_->Get(options, key, value);
 }
 
 Status MultiVersionDB::Get(const Slice& key, std::string* value,
                            Timestamp* ts) {
-  // Read at the committed watermark, not the raw current axis: a reader
-  // must never observe the partial stamps of an in-flight (or failed)
+  // Default ReadOptions read at the committed watermark: a reader must
+  // never observe the partial stamps of an in-flight (or failed)
   // transaction. Quiesced, this is identical to a latest-version read.
-  return tree_->GetAsOf(key, tree_->VisibleNow(), value, ts);
+  return Get(ReadOptions(), key, value, ts);
 }
 
 Status MultiVersionDB::GetAsOf(const Slice& key, Timestamp t,
                                std::string* value, Timestamp* ts) {
-  return tree_->GetAsOf(key, t, value, ts);
+  ReadOptions options;
+  options.as_of = t;
+  return Get(options, key, value, ts);
+}
+
+std::unique_ptr<VersionCursor> MultiVersionDB::NewCursor(
+    const ReadOptions& options) {
+  return tree_->NewCursor(options);
 }
 
 std::unique_ptr<tsb_tree::SnapshotIterator> MultiVersionDB::NewSnapshotIterator(
@@ -55,6 +180,8 @@ std::unique_ptr<tsb_tree::HistoryIterator> MultiVersionDB::NewHistoryIterator(
   return tree_->NewHistoryIterator(key);
 }
 
+// ---------------------------------------------------------------- indexes
+
 Status MultiVersionDB::CreateSecondaryIndex(const std::string& name,
                                             KeyExtractor extract,
                                             Device* magnetic,
@@ -65,12 +192,31 @@ Status MultiVersionDB::CreateSecondaryIndex(const std::string& name,
   IndexEntryDef def;
   def.extract = std::move(extract);
   if (magnetic == nullptr) {
-    def.owned_magnetic = std::make_unique<MemDevice>();
+    if (!path_.empty()) {
+      // Path-backed DB: the index persists alongside the primary.
+      FileDevice* dev = nullptr;
+      TSB_RETURN_IF_ERROR(FileDevice::Open(
+          path_ + "/index-" + name + ".current.tsb", &dev,
+          DeviceKind::kMagnetic, CostParams::Magnetic(),
+          options_.enable_mmap));
+      def.owned_magnetic.reset(dev);
+    } else {
+      def.owned_magnetic = std::make_unique<MemDevice>();
+    }
     magnetic = def.owned_magnetic.get();
   }
   if (historical == nullptr) {
-    def.owned_historical = std::make_unique<MemDevice>(
-        DeviceKind::kOpticalErasable, CostParams::OpticalWorm());
+    if (!path_.empty()) {
+      FileDevice* dev = nullptr;
+      TSB_RETURN_IF_ERROR(FileDevice::Open(
+          path_ + "/index-" + name + ".hist.tsb", &dev,
+          DeviceKind::kOpticalErasable, CostParams::OpticalWorm(),
+          options_.enable_mmap));
+      def.owned_historical.reset(dev);
+    } else {
+      def.owned_historical = std::make_unique<MemDevice>(
+          DeviceKind::kOpticalErasable, CostParams::OpticalWorm());
+    }
     historical = def.owned_historical.get();
   }
   std::unique_ptr<tsb_tree::TsbTree> tree;
@@ -104,27 +250,43 @@ Status MultiVersionDB::OnCommit(const std::string& key,
   return Status::OK();
 }
 
-Status MultiVersionDB::FindBySecondaryAsOf(
-    const std::string& index_name, const Slice& secondary, Timestamp t,
+Status MultiVersionDB::FindBySecondary(
+    const ReadOptions& options, const std::string& index_name,
+    const Slice& secondary,
     std::vector<std::pair<std::string, std::string>>* key_values) {
   key_values->clear();
   SecondaryIndex* idx = index(index_name);
   if (idx == nullptr) {
     return Status::InvalidArgument("no such index", index_name);
   }
+  // Resolve the sentinel ONCE against the primary's watermark so the
+  // index lookup and the primary fetches observe the same time.
+  const Timestamp t = tree_->ResolveAsOf(options.as_of);
   std::vector<std::string> pks;
   TSB_RETURN_IF_ERROR(idx->LookupAsOf(secondary, t, &pks));
+  ReadOptions fetch = options;
+  fetch.as_of = t;
   for (const std::string& pk : pks) {
     std::string value;
     // The timestamps in the secondary index locate the primary version
     // (section 3.6): read the primary record as of the same time.
-    Status s = tree_->GetAsOf(pk, t, &value);
+    Status s = tree_->Get(fetch, pk, &value);
     if (s.IsNotFound()) continue;  // index entry newer than primary? skip
     TSB_RETURN_IF_ERROR(s);
     key_values->emplace_back(pk, std::move(value));
   }
   return Status::OK();
 }
+
+Status MultiVersionDB::FindBySecondaryAsOf(
+    const std::string& index_name, const Slice& secondary, Timestamp t,
+    std::vector<std::pair<std::string, std::string>>* key_values) {
+  ReadOptions options;
+  options.as_of = t;
+  return FindBySecondary(options, index_name, secondary, key_values);
+}
+
+// ---------------------------------------------------------------- stats
 
 HistReadStats MultiVersionDB::HistStats() const {
   HistReadStats s = tree_->HistStats();

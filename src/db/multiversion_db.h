@@ -6,6 +6,13 @@
 // Composes the TSB-tree primary index, the transaction layer (commit-time
 // stamping, abort erase, lock-free readers) and secondary TSB-tree indexes
 // maintained through a commit hook.
+//
+// The public surface in one breath:
+//   Open(path, options)          — file-backed DB that OWNS its devices
+//   Write(batch) / Put           — atomic writes under one commit time
+//   Get(ReadOptions, key, ...)   — point reads; PinnableValue = zero-copy
+//   NewCursor(ReadOptions)       — key-axis + time-axis traversal
+//   Begin() / BeginReadOnly()    — explicit transactions
 #ifndef TSBTREE_DB_MULTIVERSION_DB_H_
 #define TSBTREE_DB_MULTIVERSION_DB_H_
 
@@ -18,14 +25,41 @@
 
 #include "db/secondary_index.h"
 #include "storage/mem_device.h"
+#include "tsb/pinnable_value.h"
 #include "tsb/tsb_tree.h"
 #include "txn/txn_manager.h"
+#include "txn/write_batch.h"
 
 namespace tsb {
 namespace db {
 
+/// Per-read options (the read timestamp is the explicit choice point of
+/// every multiversion query; see tsb_tree::ReadOptions for the fields).
+using ReadOptions = tsb_tree::ReadOptions;
+/// Zero-copy point-read result slot (see tsb/pinnable_value.h).
+using PinnableValue = tsb_tree::PinnableValue;
+/// Atomic multi-key write (see txn/write_batch.h).
+using WriteBatch = txn::WriteBatch;
+/// Unified key x time cursor (see tsb/cursor.h).
+using VersionCursor = tsb_tree::VersionCursor;
+
 struct DbOptions {
   tsb_tree::TsbOptions tree;
+
+  // ---- path-based Open only (ignored by the raw-device overload) ----
+
+  /// Create the database directory when absent; when false, opening a
+  /// missing path fails.
+  bool create_if_missing = true;
+  /// Serve reads zero-copy out of file mappings (madvise-hinted). Off =
+  /// every device read goes through pread (measurable baseline).
+  bool enable_mmap = true;
+  /// Enforce write-once sector semantics on the historical file — the
+  /// paper's optical archive, with real durability. Off = plain erasable
+  /// file carrying optical cost parameters.
+  bool worm_historical = false;
+  /// Sector grid for worm_historical.
+  uint32_t worm_sector_size = 1024;
 };
 
 /// Extracts the secondary key from a record value; return std::nullopt if
@@ -36,39 +70,79 @@ using KeyExtractor =
 /// A multiversion database over one primary TSB-tree.
 ///
 /// Thread model (paper section 4.1):
-///  - Reads (Get, GetAsOf, BeginReadOnly, iterators, FindBySecondaryAsOf)
-///    are safe from any number of threads and never block on updaters:
-///    read-only transactions capture a timestamp with one atomic load and
-///    descend the tree under shared page latches only.
-///  - Writes (Put, transactions) are safe from multiple threads; the tree
-///    serializes page mutations internally (single-writer discipline) and
-///    the lock table resolves write-write conflicts first-writer-wins.
+///  - Reads (Get, cursors, BeginReadOnly, FindBySecondary) are safe from
+///    any number of threads and never block on updaters: read-only
+///    transactions capture a timestamp with one atomic load and descend
+///    the tree under shared page latches only.
+///  - Writes (Put, Write(batch), transactions) are safe from multiple
+///    threads; the tree serializes page mutations internally
+///    (single-writer discipline) and the lock table resolves write-write
+///    conflicts first-writer-wins.
 ///  - CreateSecondaryIndex must complete before concurrent writes begin
 ///    (index registration is not latched — it is a schema operation).
 class MultiVersionDB {
  public:
-  /// `magnetic` and `historical` back the PRIMARY index and must outlive
-  /// the DB.
+  /// Opens (creating, per options) the database directory `path`. The DB
+  /// creates and OWNS its devices: a file-backed magnetic device for the
+  /// current database and a file-backed historical device (WORM sector
+  /// semantics when options.worm_historical), both honoring
+  /// options.enable_mmap. State persists across reopen.
+  static Status Open(const std::string& path, const DbOptions& options,
+                     std::unique_ptr<MultiVersionDB>* out);
+
+  /// Raw-device overload (tests, simulations): `magnetic` and
+  /// `historical` back the PRIMARY index and must outlive the DB.
   static Status Open(Device* magnetic, Device* historical,
                      const DbOptions& options,
                      std::unique_ptr<MultiVersionDB>* out);
 
-  // ---- autocommit writes ----
+  /// Deletes a path-based database: every device file the DB layout owns
+  /// (`*.tsb` — primary and secondary-index devices) and then the
+  /// directory itself. Refuses to touch unrecognized files (the rmdir
+  /// then fails, surfacing them). The DB must be closed first.
+  static Status Destroy(const std::string& path);
 
-  /// Writes one record in its own transaction (secondary indexes update
-  /// atomically with it). Returns the commit timestamp via `commit_ts`.
+  ~MultiVersionDB();
+
+  // ---- writes ----
+
+  /// Applies `batch` atomically: one commit timestamp stamps every
+  /// record, secondary indexes update with it, readers see all of it or
+  /// none. A write-write conflict with an open transaction fails the
+  /// whole batch with nothing applied.
+  Status Write(const WriteBatch& batch, Timestamp* commit_ts = nullptr);
+
+  /// Writes one record in its own atomic commit (a one-entry batch).
   Status Put(const Slice& key, const Slice& value,
              Timestamp* commit_ts = nullptr);
 
   // ---- reads ----
 
+  /// Point read at options.as_of (default: latest committed state),
+  /// copying the value.
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value, Timestamp* ts = nullptr);
+
+  /// Zero-copy point read: when the version lives in the historical
+  /// store, the PinnableValue pins the node blob (shared-blob cache or
+  /// file mapping) and the value is a view into it — no value memcpy.
+  Status Get(const ReadOptions& options, const Slice& key,
+             PinnableValue* value);
+
+  /// Legacy wrappers over the ReadOptions surface.
   Status Get(const Slice& key, std::string* value, Timestamp* ts = nullptr);
   Status GetAsOf(const Slice& key, Timestamp t, std::string* value,
                  Timestamp* ts = nullptr);
 
-  /// Key-ordered state as of time `t`.
+  /// The unified traversal surface: Seek/Next/Prev over keys as of
+  /// options.as_of, NextVersion/SeekTimestamp along the current key's
+  /// time axis.
+  std::unique_ptr<VersionCursor> NewCursor(
+      const ReadOptions& options = ReadOptions());
+
+  /// Legacy wrappers: key-ordered state as of `t` (a VersionCursor), and
+  /// all committed versions of `key`, newest first.
   std::unique_ptr<tsb_tree::SnapshotIterator> NewSnapshotIterator(Timestamp t);
-  /// All committed versions of `key`, newest first.
   std::unique_ptr<tsb_tree::HistoryIterator> NewHistoryIterator(
       const Slice& key);
 
@@ -85,8 +159,10 @@ class MultiVersionDB {
 
   // ---- secondary indexes (section 3.6) ----
 
-  /// Registers a secondary index maintained from `extract`. If devices are
-  /// null the DB creates (and owns) in-memory devices for the index.
+  /// Registers a secondary index maintained from `extract`. If devices
+  /// are null the DB creates (and owns) devices for the index: files
+  /// under the database directory for a path-opened DB (so the index
+  /// persists with the primary), in-memory devices otherwise.
   /// Must be called before any writes touch indexed records.
   Status CreateSecondaryIndex(const std::string& name, KeyExtractor extract,
                               Device* magnetic = nullptr,
@@ -95,8 +171,16 @@ class MultiVersionDB {
   /// Returns the named index (nullptr if absent).
   SecondaryIndex* index(const std::string& name);
 
-  /// Convenience: records whose secondary key under `index_name` was
-  /// `secondary` at time `t`, with their primary values fetched as of `t`.
+  /// Records whose secondary key under `index_name` was `secondary` at
+  /// options.as_of, with their primary values fetched as of the same
+  /// time.
+  Status FindBySecondary(const ReadOptions& options,
+                         const std::string& index_name,
+                         const Slice& secondary,
+                         std::vector<std::pair<std::string, std::string>>*
+                             key_values);
+
+  /// Legacy wrapper over FindBySecondary.
   Status FindBySecondaryAsOf(const std::string& index_name,
                              const Slice& secondary, Timestamp t,
                              std::vector<std::pair<std::string, std::string>>*
@@ -125,6 +209,8 @@ class MultiVersionDB {
   /// Committed watermark — the time at which as-of queries see every
   /// finished transaction and no in-flight one.
   Timestamp Now() const { return tree_->VisibleNow(); }
+  /// Directory backing a path-opened DB; empty for raw-device DBs.
+  const std::string& path() const { return path_; }
 
  private:
   explicit MultiVersionDB(const DbOptions& options) : options_(options) {}
@@ -142,6 +228,12 @@ class MultiVersionDB {
   };
 
   DbOptions options_;
+  std::string path_;  // set by path-based Open
+  // Primary devices owned by path-based Open. Declared BEFORE tree_ /
+  // indexes_: destruction runs in reverse, so the trees flush to live
+  // devices.
+  std::unique_ptr<Device> owned_magnetic_;
+  std::unique_ptr<Device> owned_historical_;
   std::unique_ptr<tsb_tree::TsbTree> tree_;
   std::unique_ptr<txn::TxnManager> txns_;
   std::map<std::string, IndexEntryDef> indexes_;

@@ -4,14 +4,12 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
-#include "storage/worm_device.h"
 
 namespace tsb {
 
 AppendStore::AppendStore(Device* device, size_t cache_blobs)
     : device_(device), cache_capacity_(cache_blobs) {
-  auto* worm = dynamic_cast<WormDevice*>(device);
-  sector_size_ = (worm != nullptr) ? worm->sector_size() : 0;
+  sector_size_ = device->write_once_sector_size();
   next_offset_ = device->Size();
 }
 
@@ -60,11 +58,15 @@ Status AppendStore::ReadFromDevice(const HistAddr& addr,
   return Status::OK();
 }
 
-Status AppendStore::PinFromDevice(const HistAddr& addr, BlobHandle* out) {
+Status AppendStore::PinFromDevice(const HistAddr& addr,
+                                  const BlobReadHints& hints,
+                                  BlobHandle* out) {
   if (device_->SupportsMappedReads()) {
     MappedRead m;
     Status s = device_->ReadMapped(
-        addr.offset, kFrameHeaderSize + addr.length, &m);
+        addr.offset, kFrameHeaderSize + addr.length, &m,
+        hints.sequential ? AccessPattern::kSequential
+                         : AccessPattern::kRandom);
     if (s.ok()) {
       const char* frame = m.data.data();
       const uint32_t len = DecodeFixed32(frame);
@@ -78,7 +80,7 @@ Status AppendStore::PinFromDevice(const HistAddr& addr, BlobHandle* out) {
         std::lock_guard<std::mutex> lock(verified_mu_);
         verified = verified_.count(addr.offset) != 0;
       }
-      if (!verified) {
+      if (!verified || hints.verify_checksums) {
         const uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(frame + 4));
         if (crc32c::Value(payload.data(), len) != stored_crc) {
           return Status::Corruption(
@@ -86,7 +88,9 @@ Status AppendStore::PinFromDevice(const HistAddr& addr, BlobHandle* out) {
               "at offset " + std::to_string(addr.offset));
         }
         std::lock_guard<std::mutex> lock(verified_mu_);
-        verified_.insert(addr.offset);
+        if (verified_.size() < verified_capacity_) {
+          verified_.insert(addr.offset);
+        }
       }
       mapped_bytes_.fetch_add(len, std::memory_order_relaxed);
       // Re-alias the pin to the payload start so handles for the same blob
@@ -107,10 +111,16 @@ Status AppendStore::PinFromDevice(const HistAddr& addr, BlobHandle* out) {
   return Status::OK();
 }
 
-Status AppendStore::ReadView(const HistAddr& addr, BlobHandle* out) {
+Status AppendStore::ReadView(const HistAddr& addr, BlobHandle* out,
+                             const BlobReadHints& hints) {
   blob_reads_.fetch_add(1, std::memory_order_relaxed);
   blob_bytes_read_.fetch_add(addr.length, std::memory_order_relaxed);
-  if (cache_capacity_ > 0) {
+  // A verifying read must not be satisfied (or influenced) by the shared
+  // cache: the point of the hint is to check the bytes the DEVICE holds
+  // now, and a cached handle — or another reader's concurrently published
+  // one — was verified in the past. Bypass the cache entirely.
+  const bool verify = hints.verify_checksums;
+  if (cache_capacity_ > 0 && !verify) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache_.find(addr.offset);
     if (it != cache_.end()) {
@@ -124,9 +134,9 @@ Status AppendStore::ReadView(const HistAddr& addr, BlobHandle* out) {
   }
 
   BlobHandle fresh;
-  TSB_RETURN_IF_ERROR(PinFromDevice(addr, &fresh));
+  TSB_RETURN_IF_ERROR(PinFromDevice(addr, hints, &fresh));
 
-  if (cache_capacity_ > 0) {
+  if (cache_capacity_ > 0 && hints.fill_cache && !verify) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache_.find(addr.offset);
     if (it != cache_.end()) {

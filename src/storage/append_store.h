@@ -73,6 +73,22 @@ class BlobHandle {
   Slice data_;
 };
 
+/// Per-read behavior knobs threaded down from the public ReadOptions.
+struct BlobReadHints {
+  /// Re-verify the CRC against the device bytes even when this blob was
+  /// verified before. Bypasses the shared cache (a cached handle was
+  /// verified in the past — the point here is the bytes as stored NOW)
+  /// and the first-pin memo on the mapped path.
+  bool verify_checksums = false;
+  /// Publish cache-miss blobs into the shared read cache. Scans that
+  /// should not evict the point-lookup working set pass false (hits are
+  /// still served from the cache either way).
+  bool fill_cache = true;
+  /// The caller is range-scanning: mapped reads advise MADV_SEQUENTIAL
+  /// over the range instead of the point-pin MADV_RANDOM default.
+  bool sequential = false;
+};
+
 /// Append-only store of checksummed variable-length blobs, with a small
 /// LRU read cache of shared immutable blobs (historical data is
 /// read-mostly and slow; the cache models a modest staging buffer, not the
@@ -101,8 +117,10 @@ class AppendStore {
   /// CRC verified once, on the blob's first pin ever (blobs are immutable,
   /// so verification is sticky across cache eviction). Misses on other
   /// devices read + verify into a heap buffer outside the latch. Either
-  /// way the blob is then published for sharing.
-  Status ReadView(const HistAddr& addr, BlobHandle* out);
+  /// way the blob is then published for sharing (unless
+  /// `hints.fill_cache` is off).
+  Status ReadView(const HistAddr& addr, BlobHandle* out,
+                  const BlobReadHints& hints = BlobReadHints());
 
   /// Drops every cache entry (pinned readers keep their blobs alive).
   /// Benchmarks use this to measure the cold read path; CRC verification
@@ -142,7 +160,23 @@ class AppendStore {
 
   Device* device() const { return device_; }
 
+  /// Number of blob offsets whose first-pin CRC verification is cached
+  /// (mapped read path); bounded by set_verified_capacity.
+  size_t verified_size() const {
+    std::lock_guard<std::mutex> lock(verified_mu_);
+    return verified_.size();
+  }
+  /// Caps the verified-offset set. Once full, additional blobs simply
+  /// re-verify on every cold pin (correctness unaffected; the memory
+  /// ceiling is ~8 B * capacity instead of unbounded growth).
+  void set_verified_capacity(size_t cap) {
+    std::lock_guard<std::mutex> lock(verified_mu_);
+    verified_capacity_ = cap;
+  }
+
   static constexpr uint32_t kFrameHeaderSize = 8;
+  /// Default bound on the verified-offset set (~8 MiB of offsets).
+  static constexpr size_t kDefaultVerifiedCapacity = size_t{1} << 20;
 
  private:
   uint64_t AlignUp(uint64_t offset) const;
@@ -153,7 +187,8 @@ class AppendStore {
   /// Cache-miss path: pins the blob zero-copy from the device mapping when
   /// the device supports it (CRC checked on first pin only), else reads +
   /// verifies into a heap buffer.
-  Status PinFromDevice(const HistAddr& addr, BlobHandle* out);
+  Status PinFromDevice(const HistAddr& addr, const BlobReadHints& hints,
+                       BlobHandle* out);
 
   Device* device_;
   uint32_t sector_size_;  // 0 => no alignment (erasable device)
@@ -176,9 +211,12 @@ class AppendStore {
   std::unordered_map<uint64_t, CacheEntry> cache_;
 
   // Blob offsets whose CRC has been verified on the mapped read path.
-  // Sticky by design (immutable bytes); ~8 bytes per distinct blob read.
+  // Sticky by design (immutable bytes) but bounded: once the set reaches
+  // verified_capacity_, later blobs re-verify on every cold pin instead
+  // of growing the set ~8 bytes per distinct blob forever.
   mutable std::mutex verified_mu_;
   std::unordered_set<uint64_t> verified_;
+  size_t verified_capacity_ = kDefaultVerifiedCapacity;
 
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};

@@ -14,10 +14,12 @@ const char* DeviceKindName(DeviceKind kind) {
   return "?";
 }
 
-Status Device::ReadMapped(uint64_t offset, size_t n, MappedRead* out) {
+Status Device::ReadMapped(uint64_t offset, size_t n, MappedRead* out,
+                          AccessPattern pattern) {
   (void)offset;
   (void)n;
   (void)out;
+  (void)pattern;
   return Status::NotSupported("ReadMapped", DeviceKindName(kind_));
 }
 

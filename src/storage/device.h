@@ -36,6 +36,15 @@ struct MappedRead {
   std::shared_ptr<const void> pin;
 };
 
+/// How the caller is about to touch a mapped range — devices turn this
+/// into paging advice (madvise). Point pins default to kRandom; range
+/// scans that will walk the range forward pass kSequential so the kernel
+/// reads ahead instead of faulting one page at a time.
+enum class AccessPattern : uint8_t {
+  kRandom = 0,
+  kSequential = 1,
+};
+
 /// Abstract random-access device with I/O accounting.
 class Device {
  public:
@@ -59,9 +68,16 @@ class Device {
 
   /// Pins a zero-copy view of [offset, offset+n). The bytes are served
   /// straight from a page-aligned mapping — no copy into caller memory.
-  /// Devices that cannot map (or whose buffers may move) keep the default
-  /// NotSupported and callers fall back to Read.
-  virtual Status ReadMapped(uint64_t offset, size_t n, MappedRead* out);
+  /// `pattern` is advisory (paging hints only). Devices that cannot map
+  /// (or whose buffers may move) keep the default NotSupported and callers
+  /// fall back to Read.
+  virtual Status ReadMapped(uint64_t offset, size_t n, MappedRead* out,
+                            AccessPattern pattern = AccessPattern::kRandom);
+
+  /// Sector granularity of a write-once medium (0 = erasable device,
+  /// byte-addressable overwrites allowed). Append stores align their
+  /// frames to this grid.
+  virtual uint32_t write_once_sector_size() const { return 0; }
 
   /// High-water mark: one past the last written byte.
   virtual uint64_t Size() const = 0;

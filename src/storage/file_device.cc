@@ -20,20 +20,28 @@ FileDevice::~FileDevice() {
   // valid after close(2).
 }
 
-Status FileDevice::Open(const std::string& path, FileDevice** out,
-                        DeviceKind kind, CostParams params,
-                        bool enable_mmap) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
+Status FileDevice::OpenFd(const std::string& path, int* fd, uint64_t* size) {
+  *fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (*fd < 0) {
     return Status::IOError("open " + path, strerror(errno));
   }
   struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
+  if (::fstat(*fd, &st) != 0) {
+    ::close(*fd);
+    *fd = -1;
     return Status::IOError("fstat " + path, strerror(errno));
   }
-  *out = new FileDevice(fd, static_cast<uint64_t>(st.st_size), kind, params,
-                        enable_mmap);
+  *size = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status FileDevice::Open(const std::string& path, FileDevice** out,
+                        DeviceKind kind, CostParams params,
+                        bool enable_mmap) {
+  int fd = -1;
+  uint64_t size = 0;
+  TSB_RETURN_IF_ERROR(OpenFd(path, &fd, &size));
+  *out = new FileDevice(fd, size, kind, params, enable_mmap);
   return Status::OK();
 }
 
@@ -76,7 +84,8 @@ Status FileDevice::Write(uint64_t offset, const Slice& data) {
   return Status::OK();
 }
 
-Status FileDevice::ReadMapped(uint64_t offset, size_t n, MappedRead* out) {
+Status FileDevice::ReadMapped(uint64_t offset, size_t n, MappedRead* out,
+                              AccessPattern pattern) {
   if (!enable_mmap_) {
     return Status::NotSupported("ReadMapped", "mmap disabled");
   }
@@ -101,12 +110,33 @@ Status FileDevice::ReadMapped(uint64_t offset, size_t n, MappedRead* out) {
       if (base == MAP_FAILED) {
         return Status::IOError("mmap", strerror(errno));
       }
+      // Default the whole mapping to random access: point pins touch
+      // exactly the pages they need, and readahead for them is waste.
+      // Sequential readers re-advise their own range below.
+      ::madvise(base, len, MADV_RANDOM);
       auto m = std::make_shared<Mapping>();
       m->base = static_cast<char*>(base);
       m->len = len;
       map_ = std::move(m);
     }
     map = map_;
+  }
+  if (pattern == AccessPattern::kSequential) {
+    // Prefetch the scanned range with MADV_WILLNEED rather than flipping
+    // it to MADV_SEQUENTIAL: sequential advice is a sticky per-range
+    // regime on this long-lived shared mapping and would keep penalizing
+    // later point reads of the same pages (aggressive readahead + eager
+    // reclaim behind the fault point) long after the scan ended.
+    // WILLNEED triggers the readahead a scan wants, changes no steady
+    // state, and needs no undo. Page-align; best-effort, errors ignored.
+    const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    const uint64_t lo = (offset / page) * page;
+    const uint64_t hi = ((offset + n + page - 1) / page) * page;
+    const uint64_t end = hi < map->len ? hi : map->len;
+    if (end > lo) {
+      ::madvise(map->base + lo, static_cast<size_t>(end - lo),
+                MADV_WILLNEED);
+    }
   }
   out->data = Slice(map->base + offset, n);
   const void* start = map->base + offset;

@@ -43,7 +43,24 @@ class FileDevice : public Device {
   Status Sync() override;
 
   bool SupportsMappedReads() const override { return enable_mmap_; }
-  Status ReadMapped(uint64_t offset, size_t n, MappedRead* out) override;
+  /// Fresh mappings are advised MADV_RANDOM once (point pins fault exactly
+  /// the pages they touch, no wasted readahead); a kSequential read
+  /// prefetches its own range with MADV_WILLNEED — readahead for the scan
+  /// without leaving sticky sequential advice behind on pages later point
+  /// reads will hit. kRandom reads after mapping creation cost no syscall.
+  Status ReadMapped(uint64_t offset, size_t n, MappedRead* out,
+                    AccessPattern pattern = AccessPattern::kRandom) override;
+
+ protected:
+  FileDevice(int fd, uint64_t size, DeviceKind kind, CostParams params,
+             bool enable_mmap)
+      : Device(kind, params),
+        fd_(fd),
+        size_(size),
+        enable_mmap_(enable_mmap) {}
+
+  /// open(2) + fstat for Open and subclasses (WormFileDevice).
+  static Status OpenFd(const std::string& path, int* fd, uint64_t* size);
 
  private:
   /// One mmap of a prefix of the file; unmapped when the last pin drops.
@@ -52,13 +69,6 @@ class FileDevice : public Device {
     size_t len = 0;
     ~Mapping();
   };
-
-  FileDevice(int fd, uint64_t size, DeviceKind kind, CostParams params,
-             bool enable_mmap)
-      : Device(kind, params),
-        fd_(fd),
-        size_(size),
-        enable_mmap_(enable_mmap) {}
 
   int fd_;
   std::atomic<uint64_t> size_;

@@ -52,6 +52,7 @@ class WormDevice : public Device {
   Status AllocateExtent(uint32_t n_sectors, uint64_t* first_sector);
 
   uint32_t sector_size() const { return sector_size_; }
+  uint32_t write_once_sector_size() const override { return sector_size_; }
   bool IsBurned(uint64_t sector) const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     return IsBurnedLocked(sector);

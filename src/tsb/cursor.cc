@@ -1,29 +1,39 @@
 #include "tsb/cursor.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "storage/buffer_pool.h"
 
 namespace tsb {
 namespace tsb_tree {
 
-SnapshotIterator::SnapshotIterator(TsbTree* tree, Timestamp t)
-    : tree_(tree), t_(t) {}
+VersionCursor::VersionCursor(TsbTree* tree, const ReadOptions& options)
+    : tree_(tree), opts_(options), t_(tree->ResolveAsOf(options.as_of)) {}
 
-Status SnapshotIterator::SeekToFirst() { return Seek(Slice()); }
+Status VersionCursor::SeekToFirst() { return Seek(Slice()); }
 
-Status SnapshotIterator::SeekRange(const Slice& start,
-                                   const Slice& end_exclusive) {
-  end_key_ = end_exclusive.ToString();
-  end_inf_ = false;
-  return Seek(start);
+Status VersionCursor::Seek(const Slice& target) {
+  end_key_.clear();
+  end_inf_ = true;
+  range_lo_.clear();
+  return SeekInternal(target);
 }
 
-Status SnapshotIterator::Seek(const Slice& target) {
+Status VersionCursor::SeekRange(const Slice& start,
+                                const Slice& end_exclusive) {
+  end_key_ = end_exclusive.ToString();
+  end_inf_ = false;
+  range_lo_ = start.ToString();
+  return SeekInternal(start);
+}
+
+Status VersionCursor::SeekInternal(const Slice& target) {
   stack_.clear();
   rec_count_ = 0;
   rec_idx_ = 0;
   valid_ = false;
+  key_anchored_ = false;
   emitted_any_ = false;
   seek_target_ = target.ToString();
   epoch_ = tree_->structure_epoch();
@@ -33,10 +43,10 @@ Status SnapshotIterator::Seek(const Slice& target) {
 }
 
 template <typename DataAccessor>
-Status SnapshotIterator::EmitLeaf(const DataAccessor& node,
-                                  const std::string& win_lo,
-                                  const std::string& win_hi,
-                                  bool win_hi_inf) {
+Status VersionCursor::EmitLeaf(const DataAccessor& node,
+                               const std::string& win_lo,
+                               const std::string& win_hi,
+                               bool win_hi_inf) {
   // Emit per key the latest committed version with ts <= t, clipped to
   // the window and the seek target. Entries are (key, ts) sorted. A view
   // is only guaranteed valid until the accessor's next At (v3 historical
@@ -86,10 +96,10 @@ Status SnapshotIterator::EmitLeaf(const DataAccessor& node,
   return Status::OK();
 }
 
-bool SnapshotIterator::EntrySurvives(const IndexEntryView& e,
-                                     const std::string& win_lo,
-                                     const std::string& win_hi,
-                                     bool win_hi_inf) const {
+bool VersionCursor::EntrySurvives(const IndexEntryView& e,
+                                  const std::string& win_lo,
+                                  const std::string& win_hi,
+                                  bool win_hi_inf) const {
   if (!e.ContainsTime(t_)) return false;
   // Key overlap with the window?
   if (!win_hi_inf && e.key_lo >= Slice(win_hi)) return false;
@@ -100,10 +110,10 @@ bool SnapshotIterator::EntrySurvives(const IndexEntryView& e,
   return true;
 }
 
-Status SnapshotIterator::PushIndexFrame(const IndexPageRef& node,
-                                        const std::string& win_lo,
-                                        const std::string& win_hi,
-                                        bool win_hi_inf) {
+Status VersionCursor::PushIndexFrame(const IndexPageRef& node,
+                                     const std::string& win_lo,
+                                     const std::string& win_hi,
+                                     bool win_hi_inf) {
   Frame f;
   f.win_lo = win_lo;
   f.win_hi = win_hi;
@@ -123,11 +133,11 @@ Status SnapshotIterator::PushIndexFrame(const IndexPageRef& node,
   return Status::OK();
 }
 
-Status SnapshotIterator::PushHistIndexFrame(BlobHandle blob,
-                                            HistIndexNodeRef node,
-                                            const std::string& win_lo,
-                                            const std::string& win_hi,
-                                            bool win_hi_inf) {
+Status VersionCursor::PushHistIndexFrame(BlobHandle blob,
+                                         HistIndexNodeRef node,
+                                         const std::string& win_lo,
+                                         const std::string& win_hi,
+                                         bool win_hi_inf) {
   Frame f;
   f.historical = true;
   f.win_lo = win_lo;
@@ -149,14 +159,15 @@ Status SnapshotIterator::PushHistIndexFrame(BlobHandle blob,
   return Status::OK();
 }
 
-Status SnapshotIterator::PushNode(const NodeRef& ref,
-                                  const std::string& win_lo,
-                                  const std::string& win_hi,
-                                  bool win_hi_inf) {
+Status VersionCursor::PushNode(const NodeRef& ref,
+                               const std::string& win_lo,
+                               const std::string& win_hi,
+                               bool win_hi_inf) {
   if (ref.historical) {
     // Historical nodes: the dispatch pins the blob (shared with the
     // append-store cache / device mapping) and hands us the parsed view
-    // ref; index frames keep both alive for the subtree's lifetime.
+    // ref; index frames keep both alive for the subtree's lifetime. The
+    // cursor is a range scan: mapped reads advise sequential access.
     return DispatchHistNode(
         tree_->hist_.get(), &tree_->hist_decodes_, ref.addr,
         [&](BlobHandle&, HistDataNodeRef& node) -> Status {
@@ -165,7 +176,8 @@ Status SnapshotIterator::PushNode(const NodeRef& ref,
         [&](BlobHandle& blob, HistIndexNodeRef& node) -> Status {
           return PushHistIndexFrame(std::move(blob), std::move(node),
                                     win_lo, win_hi, win_hi_inf);
-        });
+        },
+        MakeBlobReadHints(opts_, /*sequential=*/true));
   }
   // Current pages: walk the page views under the shared frame latch.
   PageHandle h;
@@ -179,7 +191,7 @@ Status SnapshotIterator::PushNode(const NodeRef& ref,
   return PushIndexFrame(page, win_lo, win_hi, win_hi_inf);
 }
 
-Status SnapshotIterator::Advance() {
+Status VersionCursor::Advance() {
   for (;;) {
     // Validate the structure epoch before emitting from a fresh leaf
     // buffer, before descending further, and before concluding the scan.
@@ -207,6 +219,7 @@ Status SnapshotIterator::Advance() {
       value_ = records_[rec_idx_].value;
       rec_idx_++;
       valid_ = true;
+      key_anchored_ = true;
       emitted_any_ = true;
       return Status::OK();
     }
@@ -214,6 +227,7 @@ Status SnapshotIterator::Advance() {
     rec_idx_ = 0;
     if (stack_.empty()) {
       valid_ = false;
+      key_anchored_ = false;
       return Status::OK();
     }
     Frame& f = stack_.back();
@@ -263,10 +277,190 @@ Status SnapshotIterator::Advance() {
   }
 }
 
-Status SnapshotIterator::Next() {
-  if (!valid_) return Status::InvalidArgument("Next on invalid iterator");
+Status VersionCursor::Next() {
+  // Version-axis moves may have invalidated the cursor (no older
+  // version), but the key axis stays anchored: Next() resumes the scan
+  // from the current key. Only a concluded/never-started scan errors.
+  if (!key_anchored_) return Status::InvalidArgument("Next on invalid cursor");
   return Advance();
 }
+
+// ---------------------------------------------------------------- prev
+
+Status VersionCursor::Prev() {
+  if (!key_anchored_) return Status::InvalidArgument("Prev on invalid cursor");
+  // Find the predecessor with a fresh descent, then re-anchor the forward
+  // stack exactly there (the predecessor has a version at t_, so the seek
+  // lands on it) — Next() afterwards continues normally.
+  const std::string upper = key_;
+  bool found = false;
+  std::string pred_key;
+  TSB_RETURN_IF_ERROR(PrevLookup(Slice(upper), &found, &pred_key));
+  if (!found) {
+    valid_ = false;
+    key_anchored_ = false;  // walked off the front: the scan is over
+    return Status::OK();
+  }
+  return SeekInternal(Slice(pred_key));
+}
+
+Status VersionCursor::PrevLookup(const Slice& upper, bool* found,
+                                 std::string* pred_key) {
+  // The descent holds no latch across levels, so a concurrent split could
+  // move entries underneath it. Optimistic epoch validation, exactly like
+  // ScanHistoryRange: retry on change, quiesce the writer on the last
+  // attempt. The answer itself is stable — the as-of state is immutable.
+  constexpr int kOptimisticAttempts = 4;
+  for (int attempt = 0; attempt <= kOptimisticAttempts; ++attempt) {
+    const bool quiesce = attempt == kOptimisticAttempts;
+    std::unique_lock<std::mutex> wl(tree_->writer_mu_, std::defer_lock);
+    if (quiesce) wl.lock();
+    const uint64_t epoch = tree_->structure_epoch();
+    *found = false;
+    TSB_RETURN_IF_ERROR(PrevInNode(tree_->root(), upper, found, pred_key));
+    if (quiesce || tree_->structure_epoch() == epoch) return Status::OK();
+  }
+  return Status::Corruption("unreachable: quiesced Prev did not return");
+}
+
+Status VersionCursor::PrevInNode(const NodeRef& ref, const Slice& upper,
+                                 bool* found, std::string* pred_key) {
+  // Children whose rectangle contains t_ tile the key space; visiting
+  // them in descending key_lo order makes the first hit the predecessor.
+  std::vector<NodeRef> kids;  // empty after a leaf visit: loop is a no-op
+  if (ref.historical) {
+    TSB_RETURN_IF_ERROR(DispatchHistNode(
+        tree_->hist_.get(), &tree_->hist_decodes_, ref.addr,
+        [&](BlobHandle&, HistDataNodeRef& node) -> Status {
+          return PrevInLeaf(node, upper, found, pred_key);
+        },
+        [&](BlobHandle&, HistIndexNodeRef& node) -> Status {
+          // Copy the POD child refs out first: the recursion below would
+          // reuse the ref's scratch, and stored order is (key_lo, t_lo)
+          // ascending, so a reverse walk is descending key order.
+          for (int i = 0; i < node.Count(); ++i) {
+            IndexEntryView e;
+            TSB_RETURN_IF_ERROR(node.AtView(i, &e));
+            if (!e.ContainsTime(t_)) continue;
+            if (e.key_lo >= upper) continue;  // subtree has no key < upper
+            kids.push_back(e.child);
+          }
+          return Status::OK();
+        },
+        MakeBlobReadHints(opts_)));
+  } else {
+    PageHandle h;
+    TSB_RETURN_IF_ERROR(tree_->pool_->FetchShared(ref.page_id, &h));
+    const uint32_t page_size = tree_->options_.page_size;
+    if (TsbPageLevel(h.data()) == 0) {
+      DataPageRef page(h.data(), page_size);
+      return PrevInLeaf(page, upper, found, pred_key);
+    }
+    IndexPageRef page(h.data(), page_size);
+    for (int i = 0; i < page.Count(); ++i) {
+      IndexEntryView e;
+      TSB_RETURN_IF_ERROR(page.AtView(i, &e));
+      if (!e.ContainsTime(t_)) continue;
+      if (e.key_lo >= upper) continue;
+      kids.push_back(e.child);
+    }
+    // The latch drops before recursing (holding it across an arbitrary
+    // subtree walk could stall the writer); PrevLookup's epoch check
+    // catches any restructuring this opens the door to.
+  }
+  for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+    TSB_RETURN_IF_ERROR(PrevInNode(*it, upper, found, pred_key));
+    if (*found) return Status::OK();
+  }
+  return Status::OK();
+}
+
+namespace {
+// Uniform lower-bound shim over the two leaf accessors.
+Status NodeLowerBound(const DataPageRef& node, const Slice& key, Timestamp t,
+                      int* pos) {
+  *pos = node.LowerBound(key, t);
+  return Status::OK();
+}
+Status NodeLowerBound(const HistDataNodeRef& node, const Slice& key,
+                      Timestamp t, int* pos) {
+  return node.LowerBound(key, t, pos);
+}
+}  // namespace
+
+template <typename DataAccessor>
+Status VersionCursor::PrevInLeaf(const DataAccessor& node, const Slice& upper,
+                                 bool* found, std::string* pred_key) {
+  // Entries are (key asc, ts asc); everything before LowerBound(upper, 0)
+  // has key < upper. Walk key runs backward (largest key first); within a
+  // run the first committed ts <= t_ seen while walking down is the
+  // newest one, so the first qualifying run is the predecessor.
+  int pos = 0;
+  TSB_RETURN_IF_ERROR(NodeLowerBound(node, upper, kMinTimestamp, &pos));
+  int j = pos - 1;
+  if (j < 0) return Status::OK();
+  // Each entry decodes exactly once: when the inner walk crosses a run
+  // boundary, `e` already holds the next (smaller) run's newest entry.
+  DataEntryView e;
+  TSB_RETURN_IF_ERROR(node.At(j, &e));
+  while (j >= 0) {
+    run_key_.assign(e.key.data(), e.key.size());
+    if (!range_lo_.empty() && Slice(run_key_) < Slice(range_lo_)) {
+      return Status::OK();  // below the range floor; smaller keys only left
+    }
+    // Walk the run downward (descending ts): the first committed version
+    // at or before t_ is the newest qualifying one.
+    for (;;) {
+      if (!e.uncommitted() && e.ts <= t_) {
+        *found = true;
+        *pred_key = run_key_;
+        return Status::OK();
+      }
+      if (--j < 0) return Status::OK();
+      TSB_RETURN_IF_ERROR(node.At(j, &e));
+      if (e.key != Slice(run_key_)) break;  // next run's head is in `e`
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- time axis
+
+Status VersionCursor::NextVersion() {
+  if (!valid_) return Status::InvalidArgument("NextVersion on invalid cursor");
+  if (ts_ <= 1) {
+    valid_ = false;
+    return Status::OK();
+  }
+  return ProbeVersion(ts_ - 1);
+}
+
+Status VersionCursor::SeekTimestamp(Timestamp t) {
+  if (!valid_) {
+    return Status::InvalidArgument("SeekTimestamp on invalid cursor");
+  }
+  return ProbeVersion(t);
+}
+
+Status VersionCursor::ProbeVersion(Timestamp t) {
+  // As-of probe for the current key (each probe lands in the node holding
+  // that version, so consecutive versions usually share nodes). Only
+  // value_/ts_ move; the key-axis stack stays anchored where it was.
+  ReadOptions probe = opts_;
+  probe.as_of = t;
+  Timestamp got_ts = 0;
+  Status s = tree_->Get(probe, Slice(key_), &value_, &got_ts);
+  if (s.IsNotFound()) {
+    valid_ = false;
+    return Status::OK();
+  }
+  TSB_RETURN_IF_ERROR(s);
+  ts_ = got_ts;
+  valid_ = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- shims
 
 HistoryIterator::HistoryIterator(TsbTree* tree, const Slice& key)
     : tree_(tree), key_(key.ToString()) {}
@@ -274,8 +468,10 @@ HistoryIterator::HistoryIterator(TsbTree* tree, const Slice& key)
 Status HistoryIterator::SeekToNewest() { return Probe(kMaxCommittedTs); }
 
 Status HistoryIterator::Probe(Timestamp t) {
+  ReadOptions options;
+  options.as_of = t;
   Timestamp got_ts = 0;
-  Status s = tree_->GetAsOf(Slice(key_), t, &value_, &got_ts);
+  Status s = tree_->Get(options, Slice(key_), &value_, &got_ts);
   if (s.IsNotFound()) {
     valid_ = false;
     return Status::OK();

@@ -1,15 +1,26 @@
-// Iterators over the TSB-tree.
+// VersionCursor: the one traversal surface over the TSB-tree's key x time
+// rectangle.
 //
-// SnapshotIterator walks the database state as of one time T in key order
-// (the paper's snapshot query, section 2.5, carried over to the TSB-tree).
-// Because index keyspace splits duplicate straddling historical references
-// into both siblings (section 3.5 rule 4), the walk clips every child's
-// emission to the intersection of the ancestor entries' key ranges — each
-// region is visited exactly once.
+// A cursor is pinned at one as-of time (ReadOptions::as_of). Along the
+// KEY axis it behaves like the paper's snapshot query (section 2.5):
+// Seek/SeekToFirst/Next/Prev walk the database state as of that time in
+// key order. Along the TIME axis, NextVersion/SeekTimestamp move through
+// the committed versions of the *current* key — the version-history
+// query — without disturbing the key-axis position, so a scan can stop
+// at any record and drill into its past.
 //
-// HistoryIterator yields all committed versions of one key, newest first,
-// by chaining as-of probes (each probe lands in the node holding that
-// version, so consecutive versions usually share nodes).
+// Forward key movement uses a descent stack of pinned historical frames
+// (zero-copy, blobs stay pinned for the subtree's lifetime) and filtered
+// current-page frames. Because index keyspace splits duplicate straddling
+// historical references into both siblings (section 3.5 rule 4), the walk
+// clips every child's emission to the intersection of the ancestor
+// entries' key ranges — each region is visited exactly once. Prev is a
+// fresh predecessor descent that re-anchors the forward stack (O(height)
+// per call); version moves are as-of probes at the current key.
+//
+// The legacy iterators are thin shims: SnapshotIterator is an alias for
+// VersionCursor (declared in tsb_tree.h) and HistoryIterator drives the
+// cursor's time axis.
 #ifndef TSBTREE_TSB_CURSOR_H_
 #define TSBTREE_TSB_CURSOR_H_
 
@@ -26,31 +37,55 @@
 namespace tsb {
 namespace tsb_tree {
 
-/// Key-ordered scan of the database as of time `t`. Usage:
-///   auto it = tree->NewSnapshotIterator(t);
-///   for (it->SeekToFirst(); it->Valid(); it->Next()) { ... }
+/// Usage:
+///   auto c = tree->NewCursor({.as_of = t});
+///   for (c->SeekToFirst(); c->Valid(); ) {                     // key axis
+///     for (; c->Valid(); c->NextVersion()) { ... }             // time axis
+///     c->Next();  // resumes the key scan even though the version walk
+///   }             // ran the cursor dry — the key axis stays anchored
 ///
-/// Safe under a concurrent updater: the iterator snapshots the tree's
+/// Safe under a concurrent updater: the cursor snapshots the tree's
 /// structure epoch when it builds its descent stack; if a split moves
 /// entries while the scan is in flight it transparently re-seeks to the
 /// successor of the last emitted key. Because the as-of-T state cannot
 /// change (new commits always carry larger timestamps), the restarted scan
 /// emits exactly the remaining keys — no duplicates, no gaps.
-class SnapshotIterator {
+class VersionCursor {
  public:
-  SnapshotIterator(TsbTree* tree, Timestamp t);
+  VersionCursor(TsbTree* tree, const ReadOptions& options);
+
+  // ---- key axis (at the cursor's as-of time) ----
 
   Status SeekToFirst();
-  /// Positions at the first key >= target.
+  /// Positions at the first key >= target (clearing any range bounds).
   Status Seek(const Slice& target);
   /// Scans only keys in [start, end_exclusive).
   Status SeekRange(const Slice& start, const Slice& end_exclusive);
-  bool Valid() const { return valid_; }
+  /// Advances to the next key.
   Status Next();
+  /// Moves to the largest key smaller than the current one (that has a
+  /// version at the as-of time and lies within the range bounds);
+  /// invalidates the cursor at the front. Unlike Next, each Prev is a
+  /// fresh O(height) descent that then re-anchors the forward stack.
+  Status Prev();
 
+  // ---- time axis (of the current key) ----
+
+  /// Moves to the next-older committed version of the current key;
+  /// invalidates the cursor when none remains. The key-axis position is
+  /// untouched: a later Next() resumes the key scan.
+  Status NextVersion();
+  /// Positions at the current key's version valid at time `t` (any
+  /// committed time, including times newer than the cursor's as-of);
+  /// invalidates the cursor if the key has no version at `t`.
+  Status SeekTimestamp(Timestamp t);
+
+  bool Valid() const { return valid_; }
   Slice key() const { return Slice(key_); }
   Slice value() const { return Slice(value_); }
   Timestamp ts() const { return ts_; }
+  /// The time the key axis reads at (resolved; fixed at construction).
+  Timestamp as_of() const { return t_; }
 
  private:
   /// One level of the descent stack. Historical frames keep the blob
@@ -79,6 +114,10 @@ class SnapshotIterator {
     Timestamp ts;
     std::string value;
   };
+
+  /// (Re)builds the forward stack for keys >= target, preserving the
+  /// range bounds (Seek/SeekRange/Prev all funnel through here).
+  Status SeekInternal(const Slice& target);
 
   Status PushNode(const NodeRef& ref, const std::string& win_lo,
                   const std::string& win_hi, bool win_hi_inf);
@@ -110,24 +149,47 @@ class SnapshotIterator {
   bool EntrySurvives(const IndexEntryView& e, const std::string& win_lo,
                      const std::string& win_hi, bool win_hi_inf) const;
 
+  /// Predecessor search: the largest key < `upper` (and >= range_lo_)
+  /// with a committed version at t_. Epoch-validated like
+  /// ScanHistoryRange: optimistic attempts, final attempt quiesced.
+  Status PrevLookup(const Slice& upper, bool* found, std::string* pred_key);
+  Status PrevInNode(const NodeRef& ref, const Slice& upper, bool* found,
+                    std::string* pred_key);
+  template <typename DataAccessor>
+  Status PrevInLeaf(const DataAccessor& node, const Slice& upper,
+                    bool* found, std::string* pred_key);
+
+  /// Time-axis probe: repositions value_/ts_ at the current key's version
+  /// valid at `t` (key-axis state untouched).
+  Status ProbeVersion(Timestamp t);
+
   TsbTree* tree_;
-  Timestamp t_;
+  ReadOptions opts_;
+  Timestamp t_ = 0;          // resolved as-of time of the key axis
+  // The key axis stays anchored (Next/Prev legal) even while valid_ is
+  // false from a version-axis move that ran dry — that is what lets a
+  // scan drill into one key's past and then resume walking keys.
+  bool key_anchored_ = false;
   std::string seek_target_;  // iteration emits only keys >= this
   std::string end_key_;      // ...and < this, unless end_inf_
   bool end_inf_ = true;
+  std::string range_lo_;     // SeekRange start; floor for Prev ("" = none)
   uint64_t epoch_ = 0;       // tree structure epoch the stack was built at
   bool emitted_any_ = false;
   std::vector<Frame> stack_;
   std::vector<Record> records_;  // emission slots; capacity reused
   size_t rec_count_ = 0;         // live records in records_
   size_t rec_idx_ = 0;
-  std::string run_key_;          // EmitLeaf's current key run (reused)
+  std::string run_key_;          // EmitLeaf/PrevInLeaf key run (reused)
   bool valid_ = false;
   std::string key_, value_;
   Timestamp ts_ = 0;
 };
 
-/// Newest-first scan of all committed versions of one key.
+/// Legacy shim: newest-first scan of all committed versions of one key.
+/// Chained as-of point probes through the ReadOptions read surface —
+/// deliberately NOT a key-axis cursor seek, which would materialize a
+/// whole leaf's worth of records to use one.
 class HistoryIterator {
  public:
   HistoryIterator(TsbTree* tree, const Slice& key);

@@ -131,9 +131,9 @@ Status DataPageRef::Load(const std::vector<DataEntry>& entries) {
 
 void SerializeHistDataNode(const std::vector<DataEntry>& entries,
                            std::string* out, HistNodeFormat format,
-                           uint64_t* raw_bytes) {
+                           uint64_t* raw_bytes, uint32_t restart_interval) {
   HistNodeBuilder builder(0, static_cast<uint32_t>(entries.size()), out,
-                          format);
+                          format, restart_interval);
   std::string cell;
   for (const DataEntry& e : entries) {
     cell.clear();
@@ -174,7 +174,12 @@ Status HistDataNodeRef::Parse(const Slice& blob) {
 }
 
 Status HistDataNodeRef::At(int i, DataEntryView* view) const {
-  if (!DecodeDataCell(node_.Cell(i, &scratch_), view)) {
+  return At(i, view, &scratch_);
+}
+
+Status HistDataNodeRef::At(int i, DataEntryView* view,
+                           CellScratch* scratch) const {
+  if (!DecodeDataCell(node_.Cell(i, scratch), view)) {
     return Status::Corruption("bad historical record cell");
   }
   return Status::OK();

@@ -131,10 +131,12 @@ class DataPageRef {
 /// Serializes entries as a consolidated historical data node in `format`
 /// (v2 slotted or v3 prefix-compressed). When `raw_bytes` is non-null it
 /// receives the v2-equivalent size, for compression accounting.
+/// `restart_interval` sets the v3 restart-block size (ignored for v2).
 void SerializeHistDataNode(const std::vector<DataEntry>& entries,
                            std::string* out,
                            HistNodeFormat format = HistNodeFormat::kV3,
-                           uint64_t* raw_bytes = nullptr);
+                           uint64_t* raw_bytes = nullptr,
+                           uint32_t restart_interval = kHistRestartInterval);
 
 /// Serializes the legacy v1 wire format (no slot directory). Kept for
 /// compatibility tests; new nodes are written as v2 or v3 (see
@@ -166,6 +168,12 @@ class HistDataNodeRef {
   uint8_t version() const { return node_.version(); }
   bool v2() const { return node_.v2(); }
   Status At(int i, DataEntryView* view) const;
+
+  /// Like At, but reassembles a delta-encoded v3 cell into the CALLER's
+  /// scratch: the returned view stays valid as long as `scratch` and the
+  /// blob live, surviving later calls on this ref. Pinned point lookups
+  /// use this to hand the user a stable zero-copy view.
+  Status At(int i, DataEntryView* view, CellScratch* scratch) const;
 
   /// First index with (key, ts) >= (k, t) into *pos; Count() if none.
   /// Binary search over the slot directory (v3: restart blocks first, then

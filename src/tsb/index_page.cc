@@ -173,9 +173,9 @@ Status IndexPageRef::Load(const std::vector<IndexEntry>& entries) {
 void SerializeHistIndexNode(uint8_t level,
                             const std::vector<IndexEntry>& entries,
                             std::string* out, HistNodeFormat format,
-                            uint64_t* raw_bytes) {
+                            uint64_t* raw_bytes, uint32_t restart_interval) {
   HistNodeBuilder builder(level, static_cast<uint32_t>(entries.size()), out,
-                          format);
+                          format, restart_interval);
   std::string cell;
   for (const IndexEntry& e : entries) {
     cell.clear();

@@ -153,10 +153,12 @@ class IndexPageRef {
 
 /// Serializes a historical index node (level > 0) in `format`. When
 /// `raw_bytes` is non-null it receives the v2-equivalent size.
+/// `restart_interval` sets the v3 restart-block size (ignored for v2).
 void SerializeHistIndexNode(uint8_t level, const std::vector<IndexEntry>& entries,
                             std::string* out,
                             HistNodeFormat format = HistNodeFormat::kV3,
-                            uint64_t* raw_bytes = nullptr);
+                            uint64_t* raw_bytes = nullptr,
+                            uint32_t restart_interval = kHistRestartInterval);
 
 /// Serializes the legacy v1 wire format. Kept for compatibility tests;
 /// new nodes are written as v2 or v3 (see TsbOptions::hist_node_format).

@@ -48,9 +48,10 @@ bool DecodeNodeRef(Slice* in, NodeRef* ref) {
 
 Status DispatchHistNode(AppendStore* store, HistDecodeCounters* counters,
                         const HistAddr& addr, HistDataVisitor on_data,
-                        HistIndexVisitor on_index) {
+                        HistIndexVisitor on_index,
+                        const BlobReadHints& hints) {
   BlobHandle blob;
-  TSB_RETURN_IF_ERROR(store->ReadView(addr, &blob));
+  TSB_RETURN_IF_ERROR(store->ReadView(addr, &blob, hints));
   if (counters != nullptr) {
     counters->view_decodes.fetch_add(1, std::memory_order_relaxed);
   }

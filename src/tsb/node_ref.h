@@ -93,18 +93,21 @@ using HistDataVisitor = FnRef<Status(BlobHandle&, HistDataNodeRef&)>;
 using HistIndexVisitor = FnRef<Status(BlobHandle&, HistIndexNodeRef&)>;
 
 /// The single edit site for reading a historical node: pins the blob at
-/// `addr`, counts the decode in `counters` (may be null), probes the level
-/// byte and parses the matching ref type — any wire version, v1 through
-/// v3 — then invokes the corresponding visitor. The blob stays pinned for
-/// the duration of the visit; a visitor may move the handle and ref into
-/// longer-lived state to extend the pin (snapshot-scan frames do).
+/// `addr` (ReadView with `hints` — checksum/cache/access-pattern behavior
+/// threaded down from the public ReadOptions), counts the decode in
+/// `counters` (may be null), probes the level byte and parses the matching
+/// ref type — any wire version, v1 through v3 — then invokes the
+/// corresponding visitor. The blob stays pinned for the duration of the
+/// visit; a visitor may move the handle and ref into longer-lived state to
+/// extend the pin (cursor frames do).
 ///
-/// Every historical reader (point lookups, range scans, snapshot
-/// iterators, the tree checker) funnels through here, so a future v4
-/// format changes exactly one descent path.
+/// Every historical reader (point lookups, range scans, cursors, the tree
+/// checker) funnels through here, so a future v4 format changes exactly
+/// one descent path.
 Status DispatchHistNode(AppendStore* store, HistDecodeCounters* counters,
                         const HistAddr& addr, HistDataVisitor on_data,
-                        HistIndexVisitor on_index);
+                        HistIndexVisitor on_index,
+                        const BlobReadHints& hints = BlobReadHints());
 
 }  // namespace tsb_tree
 }  // namespace tsb

@@ -1,0 +1,90 @@
+// PinnableValue: a zero-copy result slot for point lookups.
+//
+// When a lookup resolves inside the historical store, the value bytes
+// already live in a pinned immutable blob (shared-blob cache entry or
+// device mapping); copying them into a std::string — what the legacy
+// string Get does — is the last memcpy on an otherwise zero-copy read
+// path. PinnableValue removes it: the handle keeps the blob pinned and
+// the value is a Slice straight into it. Values found in mutable current
+// pages are copied into an internal buffer under the page latch (a pin
+// without a latch would let the writer rewrite the page underneath the
+// caller); the buffer's capacity is reused across lookups, so a reused
+// PinnableValue makes repeated lookups allocation-free either way.
+#ifndef TSBTREE_TSB_PINNABLE_VALUE_H_
+#define TSBTREE_TSB_PINNABLE_VALUE_H_
+
+#include <string>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/slice.h"
+#include "storage/append_store.h"
+#include "tsb/hist_node.h"
+
+namespace tsb {
+namespace tsb_tree {
+
+class TsbTree;
+
+class PinnableValue {
+ public:
+  PinnableValue() = default;
+  // The value Slice may point into scratch_/buf_; moving or copying the
+  // object would dangle it, and a pin-sharing copy is never what a result
+  // slot means. Reuse one slot and Reset() between lookups instead.
+  PinnableValue(const PinnableValue&) = delete;
+  PinnableValue& operator=(const PinnableValue&) = delete;
+
+  /// The value bytes; valid until the next lookup into this object (or
+  /// Reset). No lifetime coupling to the database's caches: the pin keeps
+  /// blob-backed bytes alive even across cache eviction or store close.
+  Slice data() const { return value_; }
+  /// Commit timestamp of the version read.
+  Timestamp timestamp() const { return ts_; }
+  /// True when the bytes are served from a pinned blob (no value copy was
+  /// made); false when they were copied from a mutable current page.
+  bool pinned() const { return pin_.valid(); }
+
+  std::string ToString() const { return value_.ToString(); }
+
+  void Reset() {
+    pin_.Release();
+    value_ = Slice();
+    ts_ = 0;
+  }
+
+ private:
+  friend class TsbTree;
+
+  /// Current-page result: copy `value` (the page latch is held by the
+  /// caller for the duration of this call).
+  void SetCopied(const Slice& value, Timestamp ts) {
+    pin_.Release();
+    buf_.assign(value.data(), value.size());
+    value_ = Slice(buf_);
+    ts_ = ts;
+  }
+
+  /// Historical result: adopt the blob pin; `value` points into the blob
+  /// or into scratch_ (delta-decoded v3 cells).
+  void SetPinned(BlobHandle blob, const Slice& value, Timestamp ts) {
+    pin_ = std::move(blob);
+    value_ = value;
+    ts_ = ts;
+  }
+
+  /// Reassembly target for delta-encoded v3 cells: the tree decodes the
+  /// final cell into THIS scratch so the view survives the lookup.
+  CellScratch* scratch() { return &scratch_; }
+
+  BlobHandle pin_;
+  CellScratch scratch_;
+  Slice value_;
+  std::string buf_;
+  Timestamp ts_ = 0;
+};
+
+}  // namespace tsb_tree
+}  // namespace tsb
+
+#endif  // TSBTREE_TSB_PINNABLE_VALUE_H_

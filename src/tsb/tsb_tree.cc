@@ -129,7 +129,8 @@ Status TsbTree::DescendCurrent(const Slice& key, std::vector<PathElem>* path) {
 }
 
 Status TsbTree::SearchPoint(const Slice& key, Timestamp t, TxnId txn,
-                            std::string* value, Timestamp* ts) {
+                            const BlobReadHints& hints,
+                            const PointSink& sink) {
   // Phase 1: walk current pages until the point leaves the magnetic disk.
   // Latch coupling: each child's shared latch is acquired before the
   // parent's is released, so the (parent entry, child content) pair is
@@ -166,8 +167,15 @@ Status TsbTree::SearchPoint(const Slice& key, Timestamp t, TxnId txn,
       if (pos < 0) return Status::NotFound("no version at time");
       DataEntryView v;
       TSB_RETURN_IF_ERROR(page.At(pos, &v));
-      value->assign(v.value.data(), v.value.size());
-      if (ts != nullptr) *ts = v.ts;
+      // Current pages are mutable: the value must leave the page before
+      // the latch drops. A pinned sink copies into its reused buffer (no
+      // allocation once the capacity is warm), never into a pin.
+      if (sink.pinned != nullptr) {
+        sink.pinned->SetCopied(v.value, v.ts);
+      } else {
+        sink.value->assign(v.value.data(), v.value.size());
+      }
+      if (sink.ts != nullptr) *sink.ts = v.ts;
       return Status::OK();
     }
     IndexPageRef page(h.data(), options_.page_size);
@@ -188,32 +196,43 @@ Status TsbTree::SearchPoint(const Slice& key, Timestamp t, TxnId txn,
     const HistAddr addr = e.child.addr;
     h.Release();
     if (options_.zero_copy_hist_reads) {
-      return SearchHistPoint(addr, key, t, value, ts);
+      return SearchHistPoint(addr, key, t, hints, sink);
     }
-    return SearchHistPointOwned(addr, key, t, value, ts);
+    return SearchHistPointOwned(addr, key, t, sink);
   }
 }
 
 Status TsbTree::SearchHistPoint(HistAddr addr, const Slice& key, Timestamp t,
-                                std::string* value, Timestamp* ts) {
+                                const BlobReadHints& hints,
+                                const PointSink& sink) {
   // Zero-copy descent through the shared dispatch: every visited node
   // stays a pinned blob; data nodes are binary-searched through the slot
   // (or restart) directory, index nodes binary-search key_lo. On the
-  // cache-hit path no per-entry heap allocation happens — the only write
-  // is the final value->assign.
+  // cache-hit path no per-entry heap allocation happens — and with a
+  // pinned sink not even a value copy: the blob pin moves into the
+  // PinnableValue and the value stays a view.
   for (;;) {
     bool done = false;
     HistAddr next_addr{};
     TSB_RETURN_IF_ERROR(DispatchHistNode(
         hist_.get(), &hist_decodes_, addr,
-        [&](BlobHandle&, HistDataNodeRef& node) -> Status {
+        [&](BlobHandle& blob, HistDataNodeRef& node) -> Status {
           int pos = -1;
           TSB_RETURN_IF_ERROR(node.FindVersion(key, t, &pos));
           if (pos < 0) return Status::NotFound("no version at time");
           DataEntryView v;
-          TSB_RETURN_IF_ERROR(node.At(pos, &v));
-          value->assign(v.value.data(), v.value.size());
-          if (ts != nullptr) *ts = v.ts;
+          if (sink.pinned != nullptr) {
+            // Decode into the sink's own scratch so the view outlives
+            // this dispatch (v3 delta cells reassemble there; v1/v2
+            // cells stay views into the pinned blob).
+            TSB_RETURN_IF_ERROR(node.At(pos, &v, sink.pinned->scratch()));
+            if (sink.ts != nullptr) *sink.ts = v.ts;
+            sink.pinned->SetPinned(std::move(blob), v.value, v.ts);
+          } else {
+            TSB_RETURN_IF_ERROR(node.At(pos, &v));
+            sink.value->assign(v.value.data(), v.value.size());
+            if (sink.ts != nullptr) *sink.ts = v.ts;
+          }
           done = true;
           return Status::OK();
         },
@@ -229,15 +248,15 @@ Status TsbTree::SearchHistPoint(HistAddr addr, const Slice& key, Timestamp t,
           }
           next_addr = next.child.addr;
           return Status::OK();
-        }));
+        },
+        hints));
     if (done) return Status::OK();
     addr = next_addr;
   }
 }
 
 Status TsbTree::SearchHistPointOwned(HistAddr addr, const Slice& key,
-                                     Timestamp t, std::string* value,
-                                     Timestamp* ts) {
+                                     Timestamp t, const PointSink& sink) {
   for (;;) {
     std::string blob;
     TSB_RETURN_IF_ERROR(hist_->Read(addr, &blob));
@@ -255,8 +274,12 @@ Status TsbTree::SearchHistPointOwned(HistAddr addr, const Slice& key,
         }
       }
       if (best == nullptr) return Status::NotFound("no version at time");
-      *value = best->value;
-      if (ts != nullptr) *ts = best->ts;
+      if (sink.pinned != nullptr) {
+        sink.pinned->SetCopied(Slice(best->value), best->ts);
+      } else {
+        *sink.value = best->value;
+      }
+      if (sink.ts != nullptr) *sink.ts = best->ts;
       return Status::OK();
     }
     std::vector<IndexEntry> entries;
@@ -278,9 +301,41 @@ Status TsbTree::SearchHistPointOwned(HistAddr addr, const Slice& key,
 
 // ---------------------------------------------------------------- reads
 
+Status TsbTree::Get(const ReadOptions& options, const Slice& key,
+                    std::string* value, Timestamp* ts) {
+  const Timestamp t = ResolveAsOf(options.as_of);
+  if (t > kMaxCommittedTs) {
+    return Status::InvalidArgument("as-of time out of range");
+  }
+  PointSink sink;
+  sink.value = value;
+  sink.ts = ts;
+  return SearchPoint(key, t, kNoTxn, MakeBlobReadHints(options), sink);
+}
+
+Status TsbTree::Get(const ReadOptions& options, const Slice& key,
+                    PinnableValue* value) {
+  // Clear the slot up front: a failed lookup must not leave the PREVIOUS
+  // result readable through it — nor keep that result's blob (and,
+  // transitively, a whole file mapping) pinned.
+  value->Reset();
+  const Timestamp t = ResolveAsOf(options.as_of);
+  if (t > kMaxCommittedTs) {
+    return Status::InvalidArgument("as-of time out of range");
+  }
+  PointSink sink;
+  sink.pinned = value;
+  return SearchPoint(key, t, kNoTxn, MakeBlobReadHints(options), sink);
+}
+
 Status TsbTree::GetCurrent(const Slice& key, std::string* value,
                            Timestamp* ts) {
-  return SearchPoint(key, kMaxCommittedTs, kNoTxn, value, ts);
+  // kMaxCommittedTs, not the watermark: internal callers (commit-time
+  // old-value capture, transaction reads) must observe versions stamped
+  // by a commit that has not published yet.
+  ReadOptions options;
+  options.as_of = kMaxCommittedTs;
+  return Get(options, key, value, ts);
 }
 
 Status TsbTree::GetAsOf(const Slice& key, Timestamp t, std::string* value,
@@ -288,13 +343,17 @@ Status TsbTree::GetAsOf(const Slice& key, Timestamp t, std::string* value,
   if (t > kMaxCommittedTs) {
     return Status::InvalidArgument("as-of time out of range");
   }
-  return SearchPoint(key, t, kNoTxn, value, ts);
+  ReadOptions options;
+  options.as_of = t;
+  return Get(options, key, value, ts);
 }
 
 Status TsbTree::GetUncommitted(const Slice& key, TxnId txn,
                                std::string* value) {
   if (txn == kNoTxn) return Status::InvalidArgument("txn id required");
-  return SearchPoint(key, kUncommittedTs, txn, value, nullptr);
+  PointSink sink;
+  sink.value = value;
+  return SearchPoint(key, kUncommittedTs, txn, BlobReadHints(), sink);
 }
 
 // ---------------------------------------------------------------- writes
@@ -560,7 +619,7 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
       std::string blob;
       uint64_t raw_bytes = 0;
       SerializeHistDataNode(hist_set, &blob, options_.hist_node_format,
-                            &raw_bytes);
+                            &raw_bytes, options_.hist_restart_interval);
       HistAddr addr;
       TSB_RETURN_IF_ERROR(AppendHistNode(blob, raw_bytes, &addr));
 
@@ -902,7 +961,8 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
   std::string blob;
   uint64_t raw_bytes = 0;
   SerializeHistIndexNode(level, hist_entries, &blob,
-                         options_.hist_node_format, &raw_bytes);
+                         options_.hist_node_format, &raw_bytes,
+                         options_.hist_restart_interval);
   HistAddr addr;
   TSB_RETURN_IF_ERROR(AppendHistNode(blob, raw_bytes, &addr));
 
@@ -1113,6 +1173,9 @@ Status TsbTree::ScanHistoryRangeRec(
     // Historical nodes scan zero-copy over the pinned blob: only entries
     // matching the window are materialized into the accumulator; the
     // dispatch keeps the pin alive across the recursion into children.
+    // Range scans advise sequential access so the mapping gets readahead.
+    BlobReadHints scan_hints;
+    scan_hints.sequential = true;
     return DispatchHistNode(
         hist_.get(), &hist_decodes_, ref.addr,
         [&](BlobHandle&, HistDataNodeRef& node) -> Status {
@@ -1142,7 +1205,8 @@ Status TsbTree::ScanHistoryRangeRec(
                                                     t_lo, t_hi, acc, seen));
           }
           return Status::OK();
-        });
+        },
+        scan_hints);
   }
   DecodedNode node;
   TSB_RETURN_IF_ERROR(ReadNode(ref, &node));
@@ -1171,8 +1235,14 @@ Status TsbTree::ScanHistoryRangeRec(
   return Status::OK();
 }
 
+std::unique_ptr<VersionCursor> TsbTree::NewCursor(const ReadOptions& options) {
+  return std::make_unique<VersionCursor>(this, options);
+}
+
 std::unique_ptr<SnapshotIterator> TsbTree::NewSnapshotIterator(Timestamp t) {
-  return std::make_unique<SnapshotIterator>(this, t);
+  ReadOptions options;
+  options.as_of = t;
+  return NewCursor(options);
 }
 
 std::unique_ptr<HistoryIterator> TsbTree::NewHistoryIterator(

@@ -22,14 +22,38 @@
 #include "storage/pager.h"
 #include "tsb/data_page.h"
 #include "tsb/index_page.h"
+#include "tsb/pinnable_value.h"
 #include "tsb/split_policy.h"
 #include "tsb/tsb_stats.h"
 
 namespace tsb {
 namespace tsb_tree {
 
-class SnapshotIterator;
+class VersionCursor;
 class HistoryIterator;
+
+/// Legacy name: a key-ordered snapshot scan is a VersionCursor pinned at
+/// one as-of time (the cursor subsumed the old iterator).
+using SnapshotIterator = VersionCursor;
+
+/// Sentinel for ReadOptions::as_of: read at the committed watermark (the
+/// newest time at which every finished transaction is visible and no
+/// in-flight one is).
+inline constexpr Timestamp kAsOfLatest = kInfiniteTs;
+
+/// Per-read options, threaded through every read entry point. The read
+/// timestamp is the explicit choice point every multiversion query has;
+/// making it an option (instead of method variants) keeps one read
+/// surface for "now", "as of t" and snapshot-handle reads.
+struct ReadOptions {
+  /// Timestamp the read observes (stepwise-constant semantics, Fig 1).
+  /// kAsOfLatest = the committed watermark.
+  Timestamp as_of = kAsOfLatest;
+  /// Re-verify blob checksums even when a previous pin already did.
+  bool verify_checksums = false;
+  /// Publish cold historical blobs into the shared read cache.
+  bool fill_cache = true;
+};
 
 struct TsbOptions {
   uint32_t page_size = kDefaultPageSize;
@@ -47,8 +71,25 @@ struct TsbOptions {
   /// v2 is the uncompressed slotted format. Every format ever written
   /// stays readable, so the knob can change between runs freely.
   HistNodeFormat hist_node_format = HistNodeFormat::kV3;
+  /// Cells per restart block in newly written v3 nodes. Smaller blocks
+  /// decode fewer cells per lookup (long-key workloads); larger blocks
+  /// compress better (many short versions per key). Read-compatible in
+  /// every direction — the interval is stored per node.
+  uint32_t hist_restart_interval = kHistRestartInterval;
   SplitPolicyConfig policy;
 };
+
+/// Converts public read options into the blob-read hints the node layer
+/// consumes. `sequential` marks range scans (mapped reads then advise
+/// kernel readahead over the scanned range).
+inline BlobReadHints MakeBlobReadHints(const ReadOptions& options,
+                                       bool sequential = false) {
+  BlobReadHints h;
+  h.verify_checksums = options.verify_checksums;
+  h.fill_cache = options.fill_cache;
+  h.sequential = sequential;
+  return h;
+}
 
 /// A fully decoded node, for iterators, the checker and tools. Either
 /// `data` (level == 0) or `index` (level > 0) is populated.
@@ -116,25 +157,48 @@ class TsbTree {
 
   // ---- reads ----
 
-  /// Latest committed version.
+  /// Point lookup at options.as_of, copying the value into `*value`.
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value, Timestamp* ts = nullptr);
+
+  /// Zero-copy point lookup at options.as_of: when the version resolves
+  /// in the historical store the PinnableValue pins the node blob and the
+  /// value is a view into it — no value memcpy on blob-cache/mmap hits.
+  /// Values in mutable current pages are copied under the page latch.
+  Status Get(const ReadOptions& options, const Slice& key,
+             PinnableValue* value);
+
+  /// Legacy wrapper: latest committed version (including any not yet
+  /// published by an in-flight multi-key commit — internal callers rely
+  /// on this; user code should prefer Get with default ReadOptions).
   Status GetCurrent(const Slice& key, std::string* value,
                     Timestamp* ts = nullptr);
 
-  /// Version valid at time `t` (stepwise-constant semantics, Fig 1).
+  /// Legacy wrapper: version valid at time `t`.
   Status GetAsOf(const Slice& key, Timestamp t, std::string* value,
                  Timestamp* ts = nullptr);
 
   /// Reads a transaction's own uncommitted version.
   Status GetUncommitted(const Slice& key, TxnId txn, std::string* value);
 
-  /// Key-ordered iterator over the database state as of time `t`. Safe to
-  /// use while an updater runs: the iterator detects structural changes
-  /// via the structure epoch and restarts from its last emitted key (the
-  /// as-of-T state is immutable, so the scan stays exact).
+  /// The unified traversal surface: key-ordered Seek/Next/Prev at
+  /// options.as_of plus NextVersion/SeekTimestamp along the current key's
+  /// time axis. Safe to use while an updater runs (structure-epoch
+  /// restarts; the as-of state is immutable).
+  std::unique_ptr<VersionCursor> NewCursor(const ReadOptions& options);
+
+  /// Legacy wrapper: key-ordered state as of time `t` (a VersionCursor).
   std::unique_ptr<SnapshotIterator> NewSnapshotIterator(Timestamp t);
 
-  /// All committed versions of `key`, newest first.
+  /// Legacy wrapper: all committed versions of `key`, newest first (a
+  /// VersionCursor walking the time axis).
   std::unique_ptr<HistoryIterator> NewHistoryIterator(const Slice& key);
+
+  /// Resolves a ReadOptions::as_of value (kAsOfLatest = the committed
+  /// watermark) into a concrete timestamp.
+  Timestamp ResolveAsOf(Timestamp as_of) const {
+    return as_of == kAsOfLatest ? VisibleNow() : as_of;
+  }
 
   /// One record of a range-history scan.
   struct VersionRecord {
@@ -212,21 +276,29 @@ class TsbTree {
   /// Writer-only (called with writer_mu_ held).
   Status DescendCurrent(const Slice& key, std::vector<PathElem>* path);
 
-  /// Point lookup for (key, t); t <= kUncommittedTs. Fills value/ts.
+  /// Where a point lookup delivers its result: exactly one of `value`
+  /// (copying) or `pinned` (zero-copy blob view) is non-null.
+  struct PointSink {
+    std::string* value = nullptr;
+    PinnableValue* pinned = nullptr;
+    Timestamp* ts = nullptr;
+  };
+
+  /// Point lookup for (key, t); t <= kUncommittedTs. Fills the sink.
   /// Lock-free for callers: descends with shared latch coupling.
   Status SearchPoint(const Slice& key, Timestamp t, TxnId txn,
-                     std::string* value, Timestamp* ts);
+                     const BlobReadHints& hints, const PointSink& sink);
 
   /// Phase 2 of SearchPoint: continues a point lookup inside the
   /// historical store from `addr`, zero-copy (pinned blobs + view refs,
   /// binary-search descent).
   Status SearchHistPoint(HistAddr addr, const Slice& key, Timestamp t,
-                         std::string* value, Timestamp* ts);
+                         const BlobReadHints& hints, const PointSink& sink);
 
   /// Legacy phase 2 using owning decodes of every visited node; kept as a
   /// measurable baseline (options_.zero_copy_hist_reads == false).
   Status SearchHistPointOwned(HistAddr addr, const Slice& key, Timestamp t,
-                              std::string* value, Timestamp* ts);
+                              const PointSink& sink);
 
   /// Serializes + appends one consolidated historical node in the
   /// configured wire format and maintains the compression counters.
@@ -302,8 +374,7 @@ class TsbTree {
   std::atomic<uint64_t> hist_node_raw_bytes_{0};
   std::atomic<uint64_t> hist_node_stored_bytes_{0};
 
-  friend class SnapshotIterator;
-  friend class HistoryIterator;
+  friend class VersionCursor;
   friend class TreeChecker;
 };
 

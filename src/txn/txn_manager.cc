@@ -46,6 +46,24 @@ Status TxnManager::Begin(std::unique_ptr<Transaction>* out) {
   return Status::OK();
 }
 
+Status TxnManager::Write(const WriteBatch& batch, Timestamp* commit_ts) {
+  if (batch.empty()) {
+    // Nothing to stamp; report the current watermark as "when".
+    if (commit_ts != nullptr) *commit_ts = tree_->VisibleNow();
+    return Status::OK();
+  }
+  std::unique_ptr<Transaction> txn;
+  TSB_RETURN_IF_ERROR(Begin(&txn));
+  for (const auto& [key, value] : batch.ops()) {
+    Status s = txn->Put(key, value);
+    if (!s.ok()) {
+      txn->Abort();  // all-or-nothing: a conflict undoes the whole batch
+      return s;
+    }
+  }
+  return txn->Commit(commit_ts);
+}
+
 Status TxnManager::LockKey(const std::string& key, TxnId txn) {
   std::lock_guard<std::mutex> lock(lock_mu_);
   auto [it, inserted] = lock_table_.emplace(key, txn);

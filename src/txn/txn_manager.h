@@ -27,7 +27,9 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "tsb/cursor.h"
+#include "tsb/pinnable_value.h"
 #include "tsb/tsb_tree.h"
+#include "txn/write_batch.h"
 
 namespace tsb {
 namespace txn {
@@ -88,6 +90,22 @@ class ReadTransaction {
     return tree_->GetAsOf(key, ts_, value, version_ts);
   }
 
+  /// Zero-copy read at the transaction's timestamp (see
+  /// TsbTree::Get(ReadOptions, key, PinnableValue*)).
+  Status Get(const Slice& key, tsb_tree::PinnableValue* value) {
+    tsb_tree::ReadOptions options;
+    options.as_of = ts_;
+    return tree_->Get(options, key, value);
+  }
+
+  /// Cursor over the key x time rectangle pinned at the transaction's
+  /// timestamp.
+  std::unique_ptr<tsb_tree::VersionCursor> NewCursor() {
+    tsb_tree::ReadOptions options;
+    options.as_of = ts_;
+    return tree_->NewCursor(options);
+  }
+
   /// Key-ordered scan of the database as of the transaction's timestamp —
   /// the paper's lock-free backup/unload use case.
   std::unique_ptr<tsb_tree::SnapshotIterator> NewIterator() {
@@ -116,6 +134,13 @@ class TxnManager {
 
   /// Starts an updater transaction.
   Status Begin(std::unique_ptr<Transaction>* out);
+
+  /// Applies `batch` atomically under one commit timestamp: every key is
+  /// locked (first-writer-wins; a conflict fails the WHOLE batch with
+  /// nothing applied), written uncommitted, then stamped and published as
+  /// one transaction — secondary indexes update with the same timestamp
+  /// through the commit hook.
+  Status Write(const WriteBatch& batch, Timestamp* commit_ts = nullptr);
 
   /// Starts a lock-free reader pinned at the committed watermark (one
   /// atomic load; never blocks, never takes a mutex). The watermark only

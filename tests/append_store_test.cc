@@ -354,5 +354,75 @@ TEST(AppendStoreTest, EmptyPayloadRoundTrip) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST_F(MmapAppendStoreTest, VerifiedSetIsBoundedAndDegradesGracefully) {
+  auto dev = OpenDevice(/*enable_mmap=*/true);
+  AppendStore store(dev.get(), /*cache_blobs=*/0);
+  store.set_verified_capacity(2);
+  HistAddr a[4];
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        store.Append("blob-" + std::to_string(i) + "-payload", &a[i]).ok());
+  }
+  BlobHandle h;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(store.ReadView(a[i], &h).ok());
+  }
+  // Only the first two first-pin verifications were memoized; the rest
+  // degrade to re-verification, which must keep working indefinitely.
+  EXPECT_EQ(2u, store.verified_size());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(store.ReadView(a[i], &h).ok());
+      EXPECT_EQ("blob-" + std::to_string(i) + "-payload",
+                h.data().ToString());
+    }
+  }
+  EXPECT_EQ(2u, store.verified_size());
+}
+
+TEST_F(MmapAppendStoreTest, VerifyChecksumsHintForcesRecheck) {
+  auto dev = OpenDevice(/*enable_mmap=*/true);
+  // Cache ON: the verifying read must bypass both the shared cache and
+  // the first-pin memo, not just the memo.
+  AppendStore store(dev.get(), /*cache_blobs=*/8);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice("trusted bytes"), &a).ok());
+  BlobHandle h;
+  ASSERT_TRUE(store.ReadView(a, &h).ok());  // verifies + memoizes + caches
+  h.Release();
+  // Corrupt the payload AFTER the first verification. The cached handle
+  // and the sticky memo would both serve the bytes unchecked...
+  char evil = '!';
+  ASSERT_TRUE(dev->Write(a.offset + AppendStore::kFrameHeaderSize + 1,
+                         Slice(&evil, 1))
+                  .ok());
+  ASSERT_TRUE(store.ReadView(a, &h).ok());
+  h.Release();
+  // ...unless the caller asks for re-verification (ReadOptions::
+  // verify_checksums threads down to this hint).
+  BlobReadHints verify;
+  verify.verify_checksums = true;
+  EXPECT_TRUE(store.ReadView(a, &h, verify).IsCorruption());
+}
+
+TEST_F(MmapAppendStoreTest, FillCacheOffServesButDoesNotPublish) {
+  auto dev = OpenDevice(/*enable_mmap=*/true);
+  AppendStore store(dev.get(), /*cache_blobs=*/8);
+  HistAddr a;
+  ASSERT_TRUE(store.Append(Slice("uncached scan bytes"), &a).ok());
+  BlobReadHints no_fill;
+  no_fill.fill_cache = false;
+  no_fill.sequential = true;  // scan-shaped read; madvise path is advisory
+  BlobHandle h;
+  ASSERT_TRUE(store.ReadView(a, &h, no_fill).ok());
+  EXPECT_EQ(Slice("uncached scan bytes"), h.data());
+  ASSERT_TRUE(store.ReadView(a, &h, no_fill).ok());
+  EXPECT_EQ(2u, store.cache_misses());  // nothing was published
+  // A default read publishes; a later no-fill read then HITS the cache.
+  ASSERT_TRUE(store.ReadView(a, &h).ok());
+  ASSERT_TRUE(store.ReadView(a, &h, no_fill).ok());
+  EXPECT_EQ(1u, store.cache_hits());
+}
+
 }  // namespace
 }  // namespace tsb

@@ -500,6 +500,90 @@ TEST(IndexPageFindContainingTest, BinarySearchParityWithLinearScan) {
   }
 }
 
+TEST(HistDataNodeTest, ConfigurableRestartIntervalRoundTrips) {
+  // TsbOptions::hist_restart_interval plumbs through to the builder: tiny
+  // blocks (4) and huge blocks (64, larger than the node) must both
+  // round-trip cell-exactly and binary-search correctly. The interval is
+  // stored per node, so mixed-interval stores decode freely.
+  Random rnd(31);
+  const std::vector<DataEntry> entries = MakePrefixHeavyEntries(&rnd, 40, 5);
+  const Timestamp max_ts = entries.back().ts + 2;
+  for (uint32_t interval : {4u, 64u}) {
+    std::string blob;
+    SerializeHistDataNode(entries, &blob, HistNodeFormat::kV3,
+                          /*raw_bytes=*/nullptr, interval);
+    HistDataNodeRef ref;
+    ASSERT_TRUE(ref.Parse(Slice(blob)).ok()) << "interval=" << interval;
+    ASSERT_EQ(static_cast<int>(entries.size()), ref.Count());
+    for (int i = 0; i < ref.Count(); ++i) {
+      DataEntryView v;
+      ASSERT_TRUE(ref.At(i, &v).ok());
+      EXPECT_EQ(Slice(entries[i].key), v.key) << "interval=" << interval;
+      EXPECT_EQ(entries[i].ts, v.ts);
+      EXPECT_EQ(Slice(entries[i].value), v.value);
+    }
+    std::vector<DataEntry> decoded;
+    ASSERT_TRUE(DecodeHistDataNode(Slice(blob), &decoded).ok());
+    ExpectSameEntries(entries, decoded);
+    for (int q = 0; q < 200; ++q) {
+      char buf[48];
+      snprintf(buf, sizeof(buf), "tenant-0042/user-%08d/balance",
+               static_cast<int>(rnd.Uniform(40 * 7)));
+      const Timestamp t = 1 + rnd.Uniform(max_ts);
+      int got = -2;
+      ASSERT_TRUE(ref.FindVersion(Slice(buf), t, &got).ok());
+      EXPECT_EQ(LinearFindVersion(entries, Slice(buf), t), got)
+          << "interval=" << interval << " key=" << buf << " t=" << t;
+    }
+  }
+  // Smaller blocks must not compress better than bigger ones on this
+  // prefix-heavy set (more restarts = more whole cells stored).
+  std::string blob4, blob64;
+  SerializeHistDataNode(entries, &blob4, HistNodeFormat::kV3, nullptr, 4);
+  SerializeHistDataNode(entries, &blob64, HistNodeFormat::kV3, nullptr, 64);
+  EXPECT_GT(blob4.size(), blob64.size());
+}
+
+TEST(HistIndexNodeTest, ConfigurableRestartIntervalRoundTrips) {
+  Random rnd(37);
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 30; ++i) {
+    IndexEntry e;
+    char lo[32];
+    snprintf(lo, sizeof(lo), "region-%04d/key-%04d", i / 5, i * 3);
+    e.key_lo = lo;
+    e.key_hi = std::string(lo) + "~";
+    e.key_hi_inf = i == 29;
+    e.t_lo = 1 + i;
+    e.t_hi = 100 + i;
+    e.child = NodeRef::Historical(HistAddr{uint64_t(i) * 512, 128});
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end());
+  for (uint32_t interval : {4u, 64u}) {
+    std::string blob;
+    SerializeHistIndexNode(3, entries, &blob, HistNodeFormat::kV3,
+                           /*raw_bytes=*/nullptr, interval);
+    uint8_t level = 0;
+    std::vector<IndexEntry> decoded;
+    ASSERT_TRUE(DecodeHistIndexNode(Slice(blob), &level, &decoded).ok());
+    EXPECT_EQ(3, level);
+    ASSERT_EQ(entries.size(), decoded.size());
+    HistIndexNodeRef ref;
+    ASSERT_TRUE(ref.Parse(Slice(blob)).ok());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(entries[i].key_lo, decoded[i].key_lo);
+      EXPECT_EQ(entries[i].t_lo, decoded[i].t_lo);
+      EXPECT_EQ(entries[i].child, decoded[i].child);
+      IndexEntryView v;
+      ASSERT_TRUE(ref.AtView(static_cast<int>(i), &v).ok());
+      EXPECT_EQ(Slice(entries[i].key_lo), v.key_lo)
+          << "interval=" << interval;
+      EXPECT_EQ(entries[i].t_hi, v.t_hi);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tsb_tree
 }  // namespace tsb
