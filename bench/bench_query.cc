@@ -339,6 +339,77 @@ NodeBytesResult MeasureHistNodeBytes() {
   return r;
 }
 
+// ---- scan phase: zero-copy frames forward, true backward walk reverse ----
+//
+// Measures full snapshot scans through the VersionCursor in both
+// directions. Forward scans ride pinned-page-view frames (no owned index
+// entries, no latch across iteration); reverse scans ride the same stack
+// walked leftward (one O(height) descent at the direction switch, then
+// amortized O(1) per key like Next). Warm rounds reuse every capacity in
+// the cursor, so allocations per emitted entry must be ~0; cold rounds
+// clear the blob cache so historical frames re-pin from the mapping.
+
+struct ScanResult {
+  double entries_per_sec = 0;
+  double allocs_per_entry = 0;
+  size_t entries_per_scan = 0;
+};
+
+ScanResult MeasureScan(tsb_tree::TsbTree* tree, Timestamp t, bool reverse,
+                       int rounds, AppendStore* clear_cache) {
+  tsb_tree::ReadOptions opts;
+  opts.as_of = t;
+  auto c = tree->NewCursor(opts);
+  // Find the snapshot's last key once — the reverse walk's anchor.
+  std::string last_key;
+  size_t per_scan = 0;
+  if (!c->SeekToFirst().ok()) return {};
+  while (c->Valid()) {
+    last_key.assign(c->key().data(), c->key().size());
+    ++per_scan;
+    if (!c->Next().ok()) return {};
+  }
+  if (per_scan == 0) return {};
+  auto pass = [&]() -> size_t {
+    size_t n = 0;
+    if (reverse) {
+      if (!c->Seek(Slice(last_key)).ok()) return 0;
+      while (c->Valid()) {
+        benchmark::DoNotOptimize(c->value().data());
+        ++n;
+        if (!c->Prev().ok()) return 0;
+      }
+    } else {
+      if (!c->SeekToFirst().ok()) return 0;
+      while (c->Valid()) {
+        benchmark::DoNotOptimize(c->value().data());
+        ++n;
+        if (!c->Next().ok()) return 0;
+      }
+    }
+    return n;
+  };
+  pass();  // warmup: emission slots, frame pool and value capacities grow once
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  size_t total = 0;
+  for (int r = 0; r < rounds; ++r) {
+    if (clear_cache != nullptr) clear_cache->ClearCache();
+    total += pass();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  const double secs = std::chrono::duration<double>(end - start).count();
+  ScanResult r;
+  r.entries_per_sec = secs > 0 ? static_cast<double>(total) / secs : 0;
+  r.allocs_per_entry =
+      total == 0 ? 0
+                 : static_cast<double>(allocs) / static_cast<double>(total);
+  r.entries_per_scan = per_scan;
+  return r;
+}
+
 // ---- pinned-Get phase: the zero-copy public read surface ----
 //
 // Same warm-cache workload as the view phase, but through
@@ -523,6 +594,57 @@ void WriteHistAsOfJson() {
          static_cast<unsigned long long>(nb.v2_bytes),
          static_cast<unsigned long long>(nb.v3_bytes), v3_over_v2);
 
+  // ---- snapshot scans: zero-copy frames, forward and reverse ----
+  const Timestamp t_now = view_f.tree->VisibleNow();
+  const Timestamp t_old = 1 + kOps / 4;
+  const ScanResult scan_fwd_cur =
+      MeasureScan(view_f.tree.get(), t_now, /*reverse=*/false, 30, nullptr);
+  const ScanResult scan_rev_cur =
+      MeasureScan(view_f.tree.get(), t_now, /*reverse=*/true, 30, nullptr);
+  const ScanResult scan_fwd_old =
+      MeasureScan(view_f.tree.get(), t_old, /*reverse=*/false, 30, nullptr);
+  const ScanResult scan_rev_old =
+      MeasureScan(view_f.tree.get(), t_old, /*reverse=*/true, 30, nullptr);
+  const ScanResult scan_fwd_cold = MeasureScan(
+      mmap_f.tree.get(), t_old, /*reverse=*/false, 8,
+      mmap_f.tree->hist_store());
+  const ScanResult scan_rev_cold = MeasureScan(
+      mmap_f.tree.get(), t_old, /*reverse=*/true, 8,
+      mmap_f.tree->hist_store());
+  auto ratio = [](const ScanResult& rev, const ScanResult& fwd) {
+    return fwd.entries_per_sec > 0 ? rev.entries_per_sec / fwd.entries_per_sec
+                                   : 0.0;
+  };
+  const double rev_over_fwd_cur = ratio(scan_rev_cur, scan_fwd_cur);
+  const double rev_over_fwd_old = ratio(scan_rev_old, scan_fwd_old);
+  const double rev_over_fwd_cold = ratio(scan_rev_cold, scan_fwd_cold);
+
+  printf("== snapshot scans: zero-copy frames + true backward walk ==\n");
+  printf("(warm = blob cache covers the working set; cold = cache cleared "
+         "per round, mmap pins)\n");
+  printf("forward current : %12.0f entries/s  %6.3f allocs/entry  "
+         "(%zu keys/scan)\n",
+         scan_fwd_cur.entries_per_sec, scan_fwd_cur.allocs_per_entry,
+         scan_fwd_cur.entries_per_scan);
+  printf("reverse current : %12.0f entries/s  %6.3f allocs/entry  "
+         "(%.2fx forward)\n",
+         scan_rev_cur.entries_per_sec, scan_rev_cur.allocs_per_entry,
+         rev_over_fwd_cur);
+  printf("forward old     : %12.0f entries/s  %6.3f allocs/entry  "
+         "(%zu keys/scan)\n",
+         scan_fwd_old.entries_per_sec, scan_fwd_old.allocs_per_entry,
+         scan_fwd_old.entries_per_scan);
+  printf("reverse old     : %12.0f entries/s  %6.3f allocs/entry  "
+         "(%.2fx forward)\n",
+         scan_rev_old.entries_per_sec, scan_rev_old.allocs_per_entry,
+         rev_over_fwd_old);
+  printf("forward cold    : %12.0f entries/s  %6.3f allocs/entry\n",
+         scan_fwd_cold.entries_per_sec, scan_fwd_cold.allocs_per_entry);
+  printf("reverse cold    : %12.0f entries/s  %6.3f allocs/entry  "
+         "(%.2fx forward)\n\n",
+         scan_rev_cold.entries_per_sec, scan_rev_cold.allocs_per_entry,
+         rev_over_fwd_cold);
+
   const char* path = std::getenv("BENCH_QUERY_JSON");
   if (path == nullptr) path = "BENCH_query.json";
   FILE* f = fopen(path, "w");
@@ -548,7 +670,24 @@ void WriteHistAsOfJson() {
           "\"copied_bytes\": %llu, \"rounds\": %d},\n"
           "  \"hist_node_bytes\": {\"workload\": \"prefix-heavy\", "
           "\"v2_bytes\": %llu, \"v3_bytes\": %llu, \"v3_over_v2\": %.3f, "
-          "\"tree_compression_ratio\": %.3f}\n"
+          "\"tree_compression_ratio\": %.3f},\n"
+          "  \"scan\": {\n"
+          "    \"forward_current\": {\"entries_per_sec\": %.1f, "
+          "\"allocs_per_entry\": %.4f, \"entries_per_scan\": %zu},\n"
+          "    \"reverse_current\": {\"entries_per_sec\": %.1f, "
+          "\"allocs_per_entry\": %.4f, \"entries_per_scan\": %zu},\n"
+          "    \"reverse_over_forward_current\": %.3f,\n"
+          "    \"forward_old\": {\"entries_per_sec\": %.1f, "
+          "\"allocs_per_entry\": %.4f, \"entries_per_scan\": %zu},\n"
+          "    \"reverse_old\": {\"entries_per_sec\": %.1f, "
+          "\"allocs_per_entry\": %.4f, \"entries_per_scan\": %zu},\n"
+          "    \"reverse_over_forward_old\": %.3f,\n"
+          "    \"forward_cold\": {\"entries_per_sec\": %.1f, "
+          "\"allocs_per_entry\": %.4f},\n"
+          "    \"reverse_cold\": {\"entries_per_sec\": %.1f, "
+          "\"allocs_per_entry\": %.4f},\n"
+          "    \"reverse_over_forward_cold\": %.3f\n"
+          "  }\n"
           "}\n",
           kOps, kUpdateFraction, probes.size(), rounds, view.ops_per_sec,
           view.allocs_per_op, view.cache_hit_ratio, pinned.ops_per_sec,
@@ -562,7 +701,18 @@ void WriteHistAsOfJson() {
           cold_rounds,
           static_cast<unsigned long long>(nb.v2_bytes),
           static_cast<unsigned long long>(nb.v3_bytes), v3_over_v2,
-          mmap_stats.compression_ratio());
+          mmap_stats.compression_ratio(),
+          scan_fwd_cur.entries_per_sec, scan_fwd_cur.allocs_per_entry,
+          scan_fwd_cur.entries_per_scan,
+          scan_rev_cur.entries_per_sec, scan_rev_cur.allocs_per_entry,
+          scan_rev_cur.entries_per_scan, rev_over_fwd_cur,
+          scan_fwd_old.entries_per_sec, scan_fwd_old.allocs_per_entry,
+          scan_fwd_old.entries_per_scan,
+          scan_rev_old.entries_per_sec, scan_rev_old.allocs_per_entry,
+          scan_rev_old.entries_per_scan, rev_over_fwd_old,
+          scan_fwd_cold.entries_per_sec, scan_fwd_cold.allocs_per_entry,
+          scan_rev_cold.entries_per_sec, scan_rev_cold.allocs_per_entry,
+          rev_over_fwd_cold);
   fclose(f);
   printf("wrote %s\n\n", path);
 }

@@ -2,8 +2,10 @@
 # Builds the benchmarks in Release mode and runs the query + concurrency
 # benches as a smoke test. bench_query writes BENCH_query.json (historical
 # as-of ops/sec and allocations per lookup for the zero-copy view path vs
-# the legacy owning-decode baseline), which is copied to the repo root for
-# CI artifact upload.
+# the legacy owning-decode baseline, cold mmap reads, v3 node bytes, and
+# the scan phase: forward/reverse snapshot scans — warm, old-snapshot and
+# cold — with entries/sec and allocs per emitted entry), which is copied
+# to the repo root for CI artifact upload.
 #
 # Usage: bench/run_bench.sh [build-dir]   (default: <repo>/build-release)
 set -euo pipefail
@@ -27,3 +29,18 @@ FILTER="${BENCH_FILTER:-NONE}"
 (cd "$BUILD" && ./bench_concurrency --benchmark_filter="$FILTER")
 
 echo "wrote $ROOT/BENCH_query.json"
+
+# One-line scan recap (the numbers CI gates on), when python3 is around.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ROOT/BENCH_query.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1])).get("scan")
+if s:
+    print("scan recap: forward %.0f entries/s (%.3f allocs/entry), "
+          "reverse %.2fx forward; old-snapshot reverse %.2fx forward"
+          % (s["forward_current"]["entries_per_sec"],
+             s["forward_current"]["allocs_per_entry"],
+             s["reverse_over_forward_current"],
+             s["reverse_over_forward_old"]))
+EOF
+fi

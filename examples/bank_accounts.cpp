@@ -148,6 +148,11 @@ int main() {
          (unsigned long long)c.records_migrated,
          (unsigned long long)c.hist_data_nodes);
 
+  // Cursors pin pages in the bank's buffer pool: release them before the
+  // DB closes (standard iterator-before-DB destruction order).
+  stmt.reset();
+  mid_it.reset();
+  it.reset();
   bank.reset();
   CHECK_OK(db::MultiVersionDB::Destroy(path));
   return 0;

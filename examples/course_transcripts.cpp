@@ -129,6 +129,7 @@ int main() {
            now);
   }
 
+  cursor.reset();  // cursors release their page pins before the DB closes
   registrar.reset();
   CHECK_OK(db::MultiVersionDB::Destroy(path));
   return 0;

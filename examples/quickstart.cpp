@@ -93,7 +93,9 @@ int main() {
          mvdb->Get(db::ReadOptions(), "c", &v).IsNotFound() ? "erased (good)"
                                                             : "LEAKED");
 
-  // Reopen from the path: both databases persist.
+  // Reopen from the path: both databases persist. Cursors pin pages in
+  // the DB's buffer pool, so they are released BEFORE the DB closes.
+  cursor.reset();
   mvdb.reset();
   CHECK_OK(db::MultiVersionDB::Open(path, options, &mvdb));
   CHECK_OK(mvdb->Get(db::ReadOptions(), "greeting", &v));

@@ -34,6 +34,132 @@ Status MultiVersionDB::Open(Device* magnetic, Device* historical,
 
 namespace {
 
+constexpr char kManifestName[] = "MANIFEST";
+
+/// The manifest records the device geometry a path-backed database was
+/// created with, so reopen verifies it instead of relying on caller
+/// discipline: a mismatched page size or WORM sector grid would silently
+/// corrupt (or refuse) the stored files. Hard geometry (page_size,
+/// worm_historical, worm_sector_size) is ENFORCED; enable_mmap is a pure
+/// read-path choice with no on-disk footprint, so it is recorded for
+/// diagnostics and refreshed when it changes.
+struct Manifest {
+  uint32_t page_size = 0;
+  bool worm_historical = false;
+  uint32_t worm_sector_size = 0;
+  bool enable_mmap = false;
+};
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + kManifestName;
+}
+
+Status WriteManifest(const std::string& dir, const DbOptions& options) {
+  char body[256];
+  snprintf(body, sizeof(body),
+           "tsb-manifest v1\n"
+           "page_size=%u\n"
+           "worm_historical=%d\n"
+           "worm_sector_size=%u\n"
+           "enable_mmap=%d\n",
+           options.tree.page_size, options.worm_historical ? 1 : 0,
+           options.worm_sector_size, options.enable_mmap ? 1 : 0);
+  // Write-temp-fsync-rename: a crash never leaves a torn manifest behind
+  // (without the fsync, the rename can survive a power cut while the
+  // data blocks do not, leaving an empty MANIFEST that fails every
+  // subsequent Open).
+  const std::string tmp = ManifestPath(dir) + ".tmp";
+  FILE* f = fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("create " + tmp, strerror(errno));
+  }
+  const size_t len = strlen(body);
+  const bool wrote = fwrite(body, 1, len, f) == len && fflush(f) == 0 &&
+                     ::fsync(fileno(f)) == 0;
+  fclose(f);
+  if (!wrote) return Status::IOError("write " + tmp, strerror(errno));
+  if (::rename(tmp.c_str(), ManifestPath(dir).c_str()) != 0) {
+    return Status::IOError("rename " + tmp, strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
+  *exists = false;
+  FILE* f = fopen(ManifestPath(dir).c_str(), "r");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::IOError("open " + ManifestPath(dir), strerror(errno));
+  }
+  char line[128];
+  bool header_ok = false;
+  while (fgets(line, sizeof(line), f) != nullptr) {
+    if (!header_ok) {
+      if (strncmp(line, "tsb-manifest v1", 15) != 0) break;
+      header_ok = true;
+      continue;
+    }
+    unsigned value = 0;
+    if (sscanf(line, "page_size=%u", &value) == 1) {
+      out->page_size = value;
+    } else if (sscanf(line, "worm_historical=%u", &value) == 1) {
+      out->worm_historical = value != 0;
+    } else if (sscanf(line, "worm_sector_size=%u", &value) == 1) {
+      out->worm_sector_size = value;
+    } else if (sscanf(line, "enable_mmap=%u", &value) == 1) {
+      out->enable_mmap = value != 0;
+    }
+  }
+  fclose(f);
+  if (!header_ok) {
+    return Status::Corruption("unrecognized manifest", ManifestPath(dir));
+  }
+  *exists = true;
+  return Status::OK();
+}
+
+/// Creates the manifest on first open; on reopen verifies the recorded
+/// geometry against `options` and fails fast BEFORE any device file is
+/// touched with the wrong parameters.
+Status CheckOrWriteManifest(const std::string& dir, const DbOptions& options) {
+  bool exists = false;
+  Manifest m;
+  TSB_RETURN_IF_ERROR(ReadManifest(dir, &exists, &m));
+  if (exists) {
+    // The manifest is only authoritative once a device file exists: if a
+    // first Open wrote the manifest and then failed to create its
+    // devices (disk full, permissions), the recorded geometry guards
+    // nothing and must not lock out a retry with corrected options.
+    struct stat st;
+    if (::stat((dir + "/current.tsb").c_str(), &st) != 0) exists = false;
+  }
+  if (!exists) return WriteManifest(dir, options);
+  if (m.page_size != options.tree.page_size) {
+    return Status::InvalidArgument(
+        "page_size mismatch with manifest",
+        "manifest " + std::to_string(m.page_size) + " vs options " +
+            std::to_string(options.tree.page_size));
+  }
+  if (m.worm_historical != options.worm_historical) {
+    return Status::InvalidArgument(
+        "worm_historical mismatch with manifest",
+        m.worm_historical ? "database was created write-once"
+                          : "database was created erasable");
+  }
+  if (options.worm_historical &&
+      m.worm_sector_size != options.worm_sector_size) {
+    return Status::InvalidArgument(
+        "worm_sector_size mismatch with manifest",
+        "manifest " + std::to_string(m.worm_sector_size) + " vs options " +
+            std::to_string(options.worm_sector_size));
+  }
+  if (m.enable_mmap != options.enable_mmap) {
+    // Read-path choice, not geometry: allowed, but keep the record fresh.
+    return WriteManifest(dir, options);
+  }
+  return Status::OK();
+}
+
 /// Opens the file-backed historical device per options: WORM sector
 /// semantics when requested, else a plain erasable file that still pays
 /// optical cost parameters (the simulated 1989 archive medium).
@@ -78,6 +204,10 @@ Status MultiVersionDB::Open(const std::string& path, const DbOptions& options,
     return Status::InvalidArgument("database path is not a directory", path);
   }
 
+  // Geometry gate: verify (or create) the manifest before any device file
+  // is opened with possibly-wrong parameters.
+  TSB_RETURN_IF_ERROR(CheckOrWriteManifest(path, options));
+
   FileDevice* mag = nullptr;
   TSB_RETURN_IF_ERROR(FileDevice::Open(path + "/current.tsb", &mag,
                                        DeviceKind::kMagnetic,
@@ -107,9 +237,12 @@ Status MultiVersionDB::Destroy(const std::string& path) {
   const std::string suffix = ".tsb";
   while (struct dirent* e = ::readdir(dir)) {
     const std::string name = e->d_name;
-    if (name.size() <= suffix.size() ||
-        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
-            0) {
+    const bool manifest = name == kManifestName ||
+                          name == std::string(kManifestName) + ".tmp";
+    const bool device_file =
+        name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+    if (!manifest && !device_file) {
       continue;  // not ours; the rmdir below will surface it
     }
     const std::string file = path + "/" + name;

@@ -86,7 +86,11 @@ class MultiVersionDB {
   /// creates and OWNS its devices: a file-backed magnetic device for the
   /// current database and a file-backed historical device (WORM sector
   /// semantics when options.worm_historical), both honoring
-  /// options.enable_mmap. State persists across reopen.
+  /// options.enable_mmap. State persists across reopen. A MANIFEST file
+  /// in the directory records the device geometry (page size, WORM mode +
+  /// sector grid, mmap flag); reopening with mismatched geometry fails
+  /// with InvalidArgument instead of corrupting the stored files
+  /// (enable_mmap is a read-path choice and may change freely).
   static Status Open(const std::string& path, const DbOptions& options,
                      std::unique_ptr<MultiVersionDB>* out);
 

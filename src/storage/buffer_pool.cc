@@ -36,9 +36,42 @@ PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
 
 void PageHandle::MarkDirty() {
   if (frame_ != nullptr) {
-    static_cast<BufferPool::Frame*>(frame_)->dirty.store(
-        true, std::memory_order_release);
+    auto* frame = static_cast<BufferPool::Frame*>(frame_);
+    frame->dirty.store(true, std::memory_order_release);
+    // Every content mutation marks dirty (inside the writer's exclusive
+    // latch scope on shared structures), so this one bump site versions
+    // all of them.
+    frame->version.fetch_add(1, std::memory_order_release);
   }
+}
+
+uint64_t PageHandle::version() const {
+  return frame_ == nullptr
+             ? 0
+             : static_cast<BufferPool::Frame*>(frame_)->version.load(
+                   std::memory_order_acquire);
+}
+
+void PageHandle::LatchShared() {
+  assert(frame_ != nullptr && mode_ == LatchMode::kNone);
+  static_cast<BufferPool::Frame*>(frame_)->latch.lock_shared();
+  mode_ = LatchMode::kShared;
+}
+
+void PageHandle::Unlatch() {
+  if (frame_ == nullptr) return;
+  auto* frame = static_cast<BufferPool::Frame*>(frame_);
+  switch (mode_) {
+    case LatchMode::kShared:
+      frame->latch.unlock_shared();
+      break;
+    case LatchMode::kExclusive:
+      frame->latch.unlock();
+      break;
+    case LatchMode::kNone:
+      break;
+  }
+  mode_ = LatchMode::kNone;
 }
 
 void PageHandle::Release() {

@@ -56,8 +56,25 @@ class PageHandle {
   const char* data() const { return data_; }
   LatchMode latch_mode() const { return mode_; }
 
-  /// Marks the frame dirty so eviction/flush writes it back.
+  /// Marks the frame dirty so eviction/flush writes it back, and bumps the
+  /// frame's mutation counter (see version()).
   void MarkDirty();
+
+  /// The frame's mutation counter: bumped by every MarkDirty, i.e. by
+  /// every content mutation (the writer marks inside its exclusive latch
+  /// scope). A reader that sampled the counter under a shared latch can
+  /// later revalidate a pinned-but-unlatched view: an unchanged counter
+  /// proves nothing mutated the bytes since the sample. Cursors use this
+  /// to keep zero-copy frames across user-paced iteration without holding
+  /// any latch.
+  uint64_t version() const;
+
+  /// Re-acquires the frame latch shared on an already-pinned, unlatched
+  /// handle (pins survive latch cycling; eviction stays blocked).
+  void LatchShared();
+
+  /// Drops the latch but keeps the pin, so the handle can relatch later.
+  void Unlatch();
 
   /// Drops the latch (if any) and the pin early.
   void Release();
@@ -153,6 +170,11 @@ class BufferPool {
     std::unique_ptr<char[]> data;
     int pins = 0;                    // guarded by the shard mutex
     std::atomic<bool> dirty{false};
+    // Mutation counter (see PageHandle::version). Monotone over the
+    // frame's residency; a frame cannot be evicted and reloaded while any
+    // pin — hence any recorded baseline — exists, so comparisons never
+    // cross a reload.
+    std::atomic<uint64_t> version{0};
     std::atomic<bool> loading{false};  // device read in flight
     std::atomic<bool> load_failed{false};
     std::shared_mutex latch;         // page-content reader/writer latch

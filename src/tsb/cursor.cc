@@ -1,9 +1,7 @@
 #include "tsb/cursor.h"
 
-#include <algorithm>
 #include <mutex>
-
-#include "storage/buffer_pool.h"
+#include <utility>
 
 namespace tsb {
 namespace tsb_tree {
@@ -22,24 +20,53 @@ Status VersionCursor::Seek(const Slice& target) {
 
 Status VersionCursor::SeekRange(const Slice& start,
                                 const Slice& end_exclusive) {
-  end_key_ = end_exclusive.ToString();
+  end_key_.assign(end_exclusive.data(), end_exclusive.size());
   end_inf_ = false;
-  range_lo_ = start.ToString();
+  range_lo_.assign(start.data(), start.size());
   return SeekInternal(start);
 }
 
 Status VersionCursor::SeekInternal(const Slice& target) {
-  stack_.clear();
-  rec_count_ = 0;
-  rec_idx_ = 0;
+  reverse_ = false;
   valid_ = false;
   key_anchored_ = false;
   emitted_any_ = false;
-  seek_target_ = target.ToString();
-  epoch_ = tree_->structure_epoch();
-  TSB_RETURN_IF_ERROR(
-      PushNode(tree_->root(), std::string(), std::string(), true));
+  seek_target_.assign(target.data(), target.size());
+  TSB_RETURN_IF_ERROR(BuildStack());
   return Advance();
+}
+
+Status VersionCursor::BuildStack() {
+  ClearStack();
+  const NodeRef root = tree_->root();
+  root_page_ = root.page_id;
+  static const std::string kNoBound;
+  return PushNode(root, kNoBound, kNoBound, true);
+}
+
+// ---------------------------------------------------------------- frames
+
+VersionCursor::Frame& VersionCursor::EmplaceFrame() {
+  if (depth_ == stack_.size()) stack_.emplace_back();
+  Frame& f = stack_[depth_++];
+  f.order.clear();  // pins were already dropped when the frame was popped
+  return f;
+}
+
+void VersionCursor::PopFrame() {
+  Frame& f = stack_[--depth_];
+  // Drop the pins now (frames beyond depth_ must not hold pages or blobs
+  // hostage), but keep the capacity-bearing members: a steady-state scan
+  // pushes and pops frames without allocating.
+  f.page.Release();
+  f.blob.Release();
+  f.order.clear();
+}
+
+void VersionCursor::ClearStack() {
+  while (depth_ > 0) PopFrame();
+  rec_count_ = 0;
+  rec_idx_ = 0;
 }
 
 template <typename DataAccessor>
@@ -48,13 +75,14 @@ Status VersionCursor::EmitLeaf(const DataAccessor& node,
                                const std::string& win_hi,
                                bool win_hi_inf) {
   // Emit per key the latest committed version with ts <= t, clipped to
-  // the window and the seek target. Entries are (key, ts) sorted. A view
-  // is only guaranteed valid until the accessor's next At (v3 historical
-  // cells may live in the ref's scratch), so the run key is copied into a
-  // reused buffer and the best version is re-fetched by index when the
-  // run ends; only emitted records are copied, into reused slots.
+  // the window and the direction's bounds. Entries are (key, ts) sorted.
+  // A view is only guaranteed valid until the accessor's next At (v3
+  // historical cells may live in the ref's scratch), so the run key is
+  // copied into a reused buffer and the best version is re-fetched by
+  // index when the run ends; only emitted records are copied, into reused
+  // slots. The buffer is always filled in ascending key order; reverse
+  // iteration serves it back-to-front.
   rec_count_ = 0;
-  rec_idx_ = 0;
   const int n = node.Count();
   int i = 0;
   while (i < n) {
@@ -77,10 +105,18 @@ Status VersionCursor::EmitLeaf(const DataAccessor& node,
     }
     if (have_best) {
       const Slice run_key(run_key_);
-      const bool in_window = run_key >= Slice(win_lo) &&
-                             (win_hi_inf || run_key < Slice(win_hi)) &&
-                             run_key >= Slice(seek_target_) &&
-                             (end_inf_ || run_key < Slice(end_key_));
+      bool in_window = run_key >= Slice(win_lo) &&
+                       (win_hi_inf || run_key < Slice(win_hi));
+      if (in_window) {
+        // Forward emits [seek_target_, end); reverse emits [range floor,
+        // rev_upper_) — backward movement may pass below the original
+        // seek target, but never below a SeekRange start.
+        in_window =
+            reverse_ ? run_key < Slice(rev_upper_) &&
+                           run_key >= Slice(range_lo_)
+                     : run_key >= Slice(seek_target_) &&
+                           (end_inf_ || run_key < Slice(end_key_));
+      }
       if (in_window) {
         DataEntryView best;
         TSB_RETURN_IF_ERROR(node.At(best_j, &best));
@@ -93,6 +129,7 @@ Status VersionCursor::EmitLeaf(const DataAccessor& node,
     }
     i = j;
   }
+  rec_idx_ = reverse_ ? rec_count_ : 0;
   return Status::OK();
 }
 
@@ -104,32 +141,53 @@ bool VersionCursor::EntrySurvives(const IndexEntryView& e,
   // Key overlap with the window?
   if (!win_hi_inf && e.key_lo >= Slice(win_hi)) return false;
   if (!e.key_hi_inf && e.key_hi <= Slice(win_lo)) return false;
+  if (reverse_) {
+    // Skip subtrees entirely at/above the backward anchor or below the
+    // range floor.
+    if (e.key_lo >= Slice(rev_upper_)) return false;
+    if (!range_lo_.empty() && !e.key_hi_inf && e.key_hi <= Slice(range_lo_)) {
+      return false;
+    }
+    return true;
+  }
   // Skip subtrees entirely below the seek target or past the end bound.
   if (!e.key_hi_inf && e.key_hi <= Slice(seek_target_)) return false;
   if (!end_inf_ && e.key_lo >= Slice(end_key_)) return false;
   return true;
 }
 
-Status VersionCursor::PushIndexFrame(const IndexPageRef& node,
+Status VersionCursor::PushIndexFrame(PageHandle page,
                                      const std::string& win_lo,
                                      const std::string& win_hi,
                                      bool win_hi_inf) {
-  Frame f;
-  f.win_lo = win_lo;
-  f.win_hi = win_hi;
+  Frame& f = EmplaceFrame();
+  f.historical = false;
+  f.win_lo.assign(win_lo);
+  f.win_hi.assign(win_hi);
   f.win_hi_inf = win_hi_inf;
+  IndexPageRef node(page.data(), tree_->options_.page_size);
   const int n = node.Count();
   for (int i = 0; i < n; ++i) {
     IndexEntryView e;
-    TSB_RETURN_IF_ERROR(node.AtView(i, &e));
+    Status s = node.AtView(i, &e);
+    if (!s.ok()) {
+      PopFrame();
+      return s;
+    }
     if (!EntrySurvives(e, win_lo, win_hi, win_hi_inf)) continue;
-    f.entries.push_back(e.ToOwned());  // only survivors are materialized
+    f.order.push_back(i);
   }
-  std::sort(f.entries.begin(), f.entries.end(),
-            [](const IndexEntry& a, const IndexEntry& b) {
-              return Slice(a.key_lo) < Slice(b.key_lo);
-            });
-  stack_.push_back(std::move(f));
+  // Stored entries are (key_lo, t_lo)-sorted and the rectangles that
+  // contain t_ tile the key space (one per key stripe), hence `order` is
+  // already key_lo-ordered — no sort, no copies.
+  //
+  // Sample the mutation counter while the build latch is still held, then
+  // drop the latch but KEEP the pin: later entry reads relatch briefly
+  // and compare against this baseline.
+  f.page_version = page.version();
+  page.Unlatch();
+  f.page = std::move(page);
+  f.next = reverse_ ? f.order.size() : 0;
   return Status::OK();
 }
 
@@ -138,24 +196,26 @@ Status VersionCursor::PushHistIndexFrame(BlobHandle blob,
                                          const std::string& win_lo,
                                          const std::string& win_hi,
                                          bool win_hi_inf) {
-  Frame f;
+  Frame& f = EmplaceFrame();
   f.historical = true;
-  f.win_lo = win_lo;
-  f.win_hi = win_hi;
+  f.win_lo.assign(win_lo);
+  f.win_hi.assign(win_hi);
   f.win_hi_inf = win_hi_inf;
   const int n = node.Count();
   for (int i = 0; i < n; ++i) {
     IndexEntryView e;
-    TSB_RETURN_IF_ERROR(node.AtView(i, &e));
+    Status s = node.AtView(i, &e);
+    if (!s.ok()) {
+      PopFrame();
+      return s;
+    }
     if (!EntrySurvives(e, win_lo, win_hi, win_hi_inf)) continue;
     f.order.push_back(i);
   }
-  // Stored entries are (key_lo, t_lo)-sorted and survivors have distinct
-  // key_lo (the rectangles tile, so only one cell per key stripe contains
-  // t_), hence `order` is already key_lo-ordered — no sort, no copies.
+  // Survivors are key_lo-ordered for the same reason as above.
   f.blob = std::move(blob);
   f.hist_node = std::move(node);
-  stack_.push_back(std::move(f));
+  f.next = reverse_ ? f.order.size() : 0;
   return Status::OK();
 }
 
@@ -179,7 +239,8 @@ Status VersionCursor::PushNode(const NodeRef& ref,
         },
         MakeBlobReadHints(opts_, /*sequential=*/true));
   }
-  // Current pages: walk the page views under the shared frame latch.
+  // Current pages: leaves are emitted under the shared latch; index pages
+  // become pinned-but-unlatched frames.
   PageHandle h;
   TSB_RETURN_IF_ERROR(tree_->pool_->FetchShared(ref.page_id, &h));
   const uint32_t page_size = tree_->options_.page_size;
@@ -187,37 +248,106 @@ Status VersionCursor::PushNode(const NodeRef& ref,
     DataPageRef page(h.data(), page_size);
     return EmitLeaf(page, win_lo, win_hi, win_hi_inf);
   }
-  IndexPageRef page(h.data(), page_size);
-  return PushIndexFrame(page, win_lo, win_hi, win_hi_inf);
+  return PushIndexFrame(std::move(h), win_lo, win_hi, win_hi_inf);
+}
+
+// ---------------------------------------------------------------- walking
+
+bool VersionCursor::StackValid() const {
+  // Root moved (GrowRoot): restart conservatively. This is also the only
+  // signal for a time split of a LEAF root — a root data page can only be
+  // rewritten after GrowRoot gave it a parent, so the root pointer always
+  // moves before its content can change structurally.
+  if (tree_->root().page_id != root_page_) return false;
+  for (size_t i = 0; i < depth_; ++i) {
+    const Frame& f = stack_[i];
+    if (!f.historical && f.page.version() != f.page_version) return false;
+  }
+  return true;
+}
+
+Status VersionCursor::Restart() {
+  // Invalidation fallback: one fresh O(height) descent from the walk's
+  // anchor. Forward resumes at the successor of the last emitted key;
+  // reverse resumes just below it (rev_upper_ tracks the last emitted key
+  // already). The as-of-T state is immutable, so the restarted walk emits
+  // exactly the remaining keys: no duplicates, no gaps.
+  if (!reverse_ && emitted_any_) {
+    seek_target_.assign(key_);
+    seek_target_.push_back('\0');
+  }
+  return BuildStack();
+}
+
+Status VersionCursor::ReadFrameEntry(Frame& f, int cell, NodeRef* child,
+                                     bool* stale) {
+  *stale = false;
+  IndexEntryView e;
+  if (f.historical) {
+    // Immutable blob: no latch needed. The view dies at the frame's next
+    // AtView, so the bounds are copied into scratch before any descent.
+    TSB_RETURN_IF_ERROR(f.hist_node.AtView(cell, &e));
+    entry_lo_.assign(e.key_lo.data(), e.key_lo.size());
+    entry_hi_.assign(e.key_hi.data(), e.key_hi.size());
+    entry_hi_inf_ = e.key_hi_inf;
+    *child = e.child;
+    return Status::OK();
+  }
+  // Mutable page: relatch for the instant of the read and revalidate the
+  // mutation counter first. On mismatch the stored slot indices may no
+  // longer mean what they did — report stale (the caller re-seeks),
+  // never decode.
+  f.page.LatchShared();
+  if (f.page.version() != f.page_version) {
+    f.page.Unlatch();
+    *stale = true;
+    return Status::OK();
+  }
+  IndexPageRef page(f.page.data(), tree_->options_.page_size);
+  Status s = page.AtView(cell, &e);
+  if (s.ok()) {
+    entry_lo_.assign(e.key_lo.data(), e.key_lo.size());
+    entry_hi_.assign(e.key_hi.data(), e.key_hi.size());
+    entry_hi_inf_ = e.key_hi_inf;
+    *child = e.child;
+  }
+  f.page.Unlatch();
+  return s;
 }
 
 Status VersionCursor::Advance() {
+  // Liveness: invalidation restarts are optimistic a bounded number of
+  // times, then the walk quiesces the writer (like ScanHistoryRange's
+  // final attempt) for the remainder of this Advance — with writer_mu_
+  // held no page version can move, so the rebuilt stack validates and
+  // the call is guaranteed to emit or conclude. The lock drops when
+  // Advance returns; user-paced iteration never holds it.
+  constexpr int kOptimisticRestarts = 4;
+  int restarts = 0;
+  std::unique_lock<std::mutex> quiesce(tree_->writer_mu_, std::defer_lock);
+  auto restart = [&]() -> Status {
+    if (++restarts > kOptimisticRestarts && !quiesce.owns_lock()) {
+      quiesce.lock();
+    }
+    return Restart();
+  };
   for (;;) {
-    // Validate the structure epoch before emitting from a fresh leaf
-    // buffer, before descending further, and before concluding the scan.
-    // (A partially emitted buffer needs no re-check: passing the check
-    // once proves the buffer was decoded from an unbroken structure, and
-    // later splits cannot retroactively change that decode.) On mismatch,
-    // rebuild the descent stack from the successor of the last emitted
-    // key — the as-of-T state is immutable, so the restarted scan resumes
-    // exactly where it left off: no duplicates, no gaps.
-    if (rec_idx_ == 0 && tree_->structure_epoch() != epoch_) {
-      if (emitted_any_) {
-        seek_target_ = key_;
-        seek_target_.push_back('\0');
-      }
-      rec_count_ = 0;
-      stack_.clear();
-      epoch_ = tree_->structure_epoch();
-      TSB_RETURN_IF_ERROR(
-          PushNode(tree_->root(), std::string(), std::string(), true));
+    // Validate the stack before serving from a fresh leaf buffer, before
+    // advancing frames, and before concluding the scan. (A partially
+    // served buffer needs no re-check: passing the check once proves the
+    // buffer was decoded from an unbroken structure, and later splits
+    // cannot retroactively change that decode.)
+    const bool fresh = reverse_ ? rec_idx_ == rec_count_ : rec_idx_ == 0;
+    if (fresh && !StackValid()) {
+      TSB_RETURN_IF_ERROR(restart());
       continue;
     }
-    if (rec_idx_ < rec_count_) {
-      key_ = records_[rec_idx_].key;
-      ts_ = records_[rec_idx_].ts;
-      value_ = records_[rec_idx_].value;
-      rec_idx_++;
+    if (reverse_ ? rec_idx_ > 0 : rec_idx_ < rec_count_) {
+      const Record& r = records_[reverse_ ? --rec_idx_ : rec_idx_++];
+      key_ = r.key;
+      ts_ = r.ts;
+      value_ = r.value;
+      if (reverse_) rev_upper_ = key_;  // backward anchor follows the walk
       valid_ = true;
       key_anchored_ = true;
       emitted_any_ = true;
@@ -225,55 +355,48 @@ Status VersionCursor::Advance() {
     }
     rec_count_ = 0;
     rec_idx_ = 0;
-    if (stack_.empty()) {
+    if (depth_ == 0) {
       valid_ = false;
       key_anchored_ = false;
       return Status::OK();
     }
-    Frame& f = stack_.back();
-    const size_t avail = f.historical ? f.order.size() : f.entries.size();
-    if (f.next >= avail) {
-      stack_.pop_back();
+    Frame& f = stack_[depth_ - 1];
+    if (reverse_ ? f.next == 0 : f.next >= f.order.size()) {
+      PopFrame();
       continue;
     }
-    // Copy everything needed out of the frame entry before PushNode: the
-    // push may grow the stack (invalidating `f`) and, for historical
-    // frames, the next AtView invalidates the current view.
-    Slice e_key_lo, e_key_hi;
-    bool e_key_hi_inf;
+    const int cell = f.order[reverse_ ? f.next - 1 : f.next];
     NodeRef child;
-    if (f.historical) {
-      IndexEntryView e;
-      TSB_RETURN_IF_ERROR(f.hist_node.AtView(f.order[f.next++], &e));
-      e_key_lo = e.key_lo;
-      e_key_hi = e.key_hi;
-      e_key_hi_inf = e.key_hi_inf;
-      child = e.child;
+    bool stale = false;
+    TSB_RETURN_IF_ERROR(ReadFrameEntry(f, cell, &child, &stale));
+    if (stale) {
+      TSB_RETURN_IF_ERROR(restart());
+      continue;
+    }
+    if (reverse_) {
+      --f.next;
     } else {
-      const IndexEntry& e = f.entries[f.next++];
-      e_key_lo = Slice(e.key_lo);
-      e_key_hi = Slice(e.key_hi);
-      e_key_hi_inf = e.key_hi_inf;
-      child = e.child;
+      ++f.next;
     }
     // Child window = entry rectangle's key range clipped by ours. The
-    // slices stay valid here: nothing touches the frame or the view
-    // between the reads above and the assigns below.
-    std::string child_lo, child_hi;
+    // entry bounds live in scratch (copied out under the latch), so
+    // nothing below touches the frame's page or view — and `f` itself
+    // must not be touched past PushNode, which may grow the frame pool.
+    const Slice e_lo(entry_lo_);
+    const Slice lo = e_lo < Slice(f.win_lo) ? Slice(f.win_lo) : e_lo;
+    child_lo_.assign(lo.data(), lo.size());
     bool child_hi_inf;
-    const Slice lo = e_key_lo < Slice(f.win_lo) ? Slice(f.win_lo) : e_key_lo;
-    child_lo.assign(lo.data(), lo.size());
-    if (e_key_hi_inf) {
-      child_hi = f.win_hi;
+    if (entry_hi_inf_) {
+      child_hi_.assign(f.win_hi);
       child_hi_inf = f.win_hi_inf;
     } else {
-      const Slice hi = f.win_hi_inf || e_key_hi < Slice(f.win_hi)
-                           ? e_key_hi
-                           : Slice(f.win_hi);
-      child_hi.assign(hi.data(), hi.size());
+      const Slice e_hi(entry_hi_);
+      const Slice hi =
+          f.win_hi_inf || e_hi < Slice(f.win_hi) ? e_hi : Slice(f.win_hi);
+      child_hi_.assign(hi.data(), hi.size());
       child_hi_inf = false;
     }
-    TSB_RETURN_IF_ERROR(PushNode(child, child_lo, child_hi, child_hi_inf));
+    TSB_RETURN_IF_ERROR(PushNode(child, child_lo_, child_hi_, child_hi_inf));
   }
 }
 
@@ -282,146 +405,28 @@ Status VersionCursor::Next() {
   // version), but the key axis stays anchored: Next() resumes the scan
   // from the current key. Only a concluded/never-started scan errors.
   if (!key_anchored_) return Status::InvalidArgument("Next on invalid cursor");
+  if (reverse_) {
+    // Direction switch: one fresh forward descent anchored just past the
+    // current key. The SeekRange bounds survive the turn.
+    reverse_ = false;
+    seek_target_.assign(key_);
+    seek_target_.push_back('\0');
+    TSB_RETURN_IF_ERROR(BuildStack());
+  }
   return Advance();
 }
 
-// ---------------------------------------------------------------- prev
-
 Status VersionCursor::Prev() {
   if (!key_anchored_) return Status::InvalidArgument("Prev on invalid cursor");
-  // Find the predecessor with a fresh descent, then re-anchor the forward
-  // stack exactly there (the predecessor has a version at t_, so the seek
-  // lands on it) — Next() afterwards continues normally.
-  const std::string upper = key_;
-  bool found = false;
-  std::string pred_key;
-  TSB_RETURN_IF_ERROR(PrevLookup(Slice(upper), &found, &pred_key));
-  if (!found) {
-    valid_ = false;
-    key_anchored_ = false;  // walked off the front: the scan is over
-    return Status::OK();
+  if (!reverse_) {
+    // Direction switch: ONE O(height) descent anchored just below the
+    // current key; afterwards the backward walk steps frames leftward and
+    // is amortized O(1) per key, exactly like Next.
+    reverse_ = true;
+    rev_upper_.assign(key_);
+    TSB_RETURN_IF_ERROR(BuildStack());
   }
-  return SeekInternal(Slice(pred_key));
-}
-
-Status VersionCursor::PrevLookup(const Slice& upper, bool* found,
-                                 std::string* pred_key) {
-  // The descent holds no latch across levels, so a concurrent split could
-  // move entries underneath it. Optimistic epoch validation, exactly like
-  // ScanHistoryRange: retry on change, quiesce the writer on the last
-  // attempt. The answer itself is stable — the as-of state is immutable.
-  constexpr int kOptimisticAttempts = 4;
-  for (int attempt = 0; attempt <= kOptimisticAttempts; ++attempt) {
-    const bool quiesce = attempt == kOptimisticAttempts;
-    std::unique_lock<std::mutex> wl(tree_->writer_mu_, std::defer_lock);
-    if (quiesce) wl.lock();
-    const uint64_t epoch = tree_->structure_epoch();
-    *found = false;
-    TSB_RETURN_IF_ERROR(PrevInNode(tree_->root(), upper, found, pred_key));
-    if (quiesce || tree_->structure_epoch() == epoch) return Status::OK();
-  }
-  return Status::Corruption("unreachable: quiesced Prev did not return");
-}
-
-Status VersionCursor::PrevInNode(const NodeRef& ref, const Slice& upper,
-                                 bool* found, std::string* pred_key) {
-  // Children whose rectangle contains t_ tile the key space; visiting
-  // them in descending key_lo order makes the first hit the predecessor.
-  std::vector<NodeRef> kids;  // empty after a leaf visit: loop is a no-op
-  if (ref.historical) {
-    TSB_RETURN_IF_ERROR(DispatchHistNode(
-        tree_->hist_.get(), &tree_->hist_decodes_, ref.addr,
-        [&](BlobHandle&, HistDataNodeRef& node) -> Status {
-          return PrevInLeaf(node, upper, found, pred_key);
-        },
-        [&](BlobHandle&, HistIndexNodeRef& node) -> Status {
-          // Copy the POD child refs out first: the recursion below would
-          // reuse the ref's scratch, and stored order is (key_lo, t_lo)
-          // ascending, so a reverse walk is descending key order.
-          for (int i = 0; i < node.Count(); ++i) {
-            IndexEntryView e;
-            TSB_RETURN_IF_ERROR(node.AtView(i, &e));
-            if (!e.ContainsTime(t_)) continue;
-            if (e.key_lo >= upper) continue;  // subtree has no key < upper
-            kids.push_back(e.child);
-          }
-          return Status::OK();
-        },
-        MakeBlobReadHints(opts_)));
-  } else {
-    PageHandle h;
-    TSB_RETURN_IF_ERROR(tree_->pool_->FetchShared(ref.page_id, &h));
-    const uint32_t page_size = tree_->options_.page_size;
-    if (TsbPageLevel(h.data()) == 0) {
-      DataPageRef page(h.data(), page_size);
-      return PrevInLeaf(page, upper, found, pred_key);
-    }
-    IndexPageRef page(h.data(), page_size);
-    for (int i = 0; i < page.Count(); ++i) {
-      IndexEntryView e;
-      TSB_RETURN_IF_ERROR(page.AtView(i, &e));
-      if (!e.ContainsTime(t_)) continue;
-      if (e.key_lo >= upper) continue;
-      kids.push_back(e.child);
-    }
-    // The latch drops before recursing (holding it across an arbitrary
-    // subtree walk could stall the writer); PrevLookup's epoch check
-    // catches any restructuring this opens the door to.
-  }
-  for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-    TSB_RETURN_IF_ERROR(PrevInNode(*it, upper, found, pred_key));
-    if (*found) return Status::OK();
-  }
-  return Status::OK();
-}
-
-namespace {
-// Uniform lower-bound shim over the two leaf accessors.
-Status NodeLowerBound(const DataPageRef& node, const Slice& key, Timestamp t,
-                      int* pos) {
-  *pos = node.LowerBound(key, t);
-  return Status::OK();
-}
-Status NodeLowerBound(const HistDataNodeRef& node, const Slice& key,
-                      Timestamp t, int* pos) {
-  return node.LowerBound(key, t, pos);
-}
-}  // namespace
-
-template <typename DataAccessor>
-Status VersionCursor::PrevInLeaf(const DataAccessor& node, const Slice& upper,
-                                 bool* found, std::string* pred_key) {
-  // Entries are (key asc, ts asc); everything before LowerBound(upper, 0)
-  // has key < upper. Walk key runs backward (largest key first); within a
-  // run the first committed ts <= t_ seen while walking down is the
-  // newest one, so the first qualifying run is the predecessor.
-  int pos = 0;
-  TSB_RETURN_IF_ERROR(NodeLowerBound(node, upper, kMinTimestamp, &pos));
-  int j = pos - 1;
-  if (j < 0) return Status::OK();
-  // Each entry decodes exactly once: when the inner walk crosses a run
-  // boundary, `e` already holds the next (smaller) run's newest entry.
-  DataEntryView e;
-  TSB_RETURN_IF_ERROR(node.At(j, &e));
-  while (j >= 0) {
-    run_key_.assign(e.key.data(), e.key.size());
-    if (!range_lo_.empty() && Slice(run_key_) < Slice(range_lo_)) {
-      return Status::OK();  // below the range floor; smaller keys only left
-    }
-    // Walk the run downward (descending ts): the first committed version
-    // at or before t_ is the newest qualifying one.
-    for (;;) {
-      if (!e.uncommitted() && e.ts <= t_) {
-        *found = true;
-        *pred_key = run_key_;
-        return Status::OK();
-      }
-      if (--j < 0) return Status::OK();
-      TSB_RETURN_IF_ERROR(node.At(j, &e));
-      if (e.key != Slice(run_key_)) break;  // next run's head is in `e`
-    }
-  }
-  return Status::OK();
+  return Advance();
 }
 
 // ---------------------------------------------------------------- time axis

@@ -9,14 +9,25 @@
 // query — without disturbing the key-axis position, so a scan can stop
 // at any record and drill into its past.
 //
-// Forward key movement uses a descent stack of pinned historical frames
-// (zero-copy, blobs stay pinned for the subtree's lifetime) and filtered
-// current-page frames. Because index keyspace splits duplicate straddling
-// historical references into both siblings (section 3.5 rule 4), the walk
-// clips every child's emission to the intersection of the ancestor
-// entries' key ranges — each region is visited exactly once. Prev is a
-// fresh predecessor descent that re-anchors the forward stack (O(height)
-// per call); version moves are as-of probes at the current key.
+// Key movement — forward AND backward — uses one descent stack of
+// zero-copy frames. Historical frames keep the node blob pinned and
+// re-read surviving entry views on demand (blobs are immutable).
+// Current-page frames keep the page PINNED but NOT latched, plus the
+// frame's mutation counter sampled under a shared latch: every entry read
+// relatches for an instant, revalidates the counter, and on mismatch the
+// whole walk re-seeks from its anchor key — so no latch is ever held
+// across user-paced iteration, and nothing is materialized per entry.
+// Because index keyspace splits duplicate straddling historical
+// references into both siblings (section 3.5 rule 4), the walk clips
+// every child's emission to the intersection of the ancestor entries' key
+// ranges — each region is visited exactly once, in either direction.
+//
+// Prev is a real backward walk: the first Prev after forward movement
+// rebuilds the stack in reverse mode with ONE O(height) descent anchored
+// just below the current key; every further Prev steps frames leftward
+// and is amortized O(1) like Next. The O(height) descent recurs only as
+// the invalidation fallback (a frame's page version moved) and on
+// direction switches.
 //
 // The legacy iterators are thin shims: SnapshotIterator is an alias for
 // VersionCursor (declared in tsb_tree.h) and HistoryIterator drives the
@@ -31,6 +42,7 @@
 #include "common/clock.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "storage/buffer_pool.h"
 #include "tsb/index_page.h"
 #include "tsb/tsb_tree.h"
 
@@ -44,12 +56,16 @@ namespace tsb_tree {
 ///     c->Next();  // resumes the key scan even though the version walk
 ///   }             // ran the cursor dry — the key axis stays anchored
 ///
-/// Safe under a concurrent updater: the cursor snapshots the tree's
-/// structure epoch when it builds its descent stack; if a split moves
-/// entries while the scan is in flight it transparently re-seeks to the
-/// successor of the last emitted key. Because the as-of-T state cannot
-/// change (new commits always carry larger timestamps), the restarted scan
-/// emits exactly the remaining keys — no duplicates, no gaps.
+/// Safe under a concurrent updater: current-page frames revalidate a
+/// per-page mutation counter before every use; when a split rewrote a
+/// page underneath the scan the cursor transparently re-seeks to the
+/// successor (predecessor, when walking backward) of the last emitted
+/// key. Because the as-of-T state cannot change (new commits always carry
+/// larger timestamps), the restarted scan emits exactly the remaining
+/// keys — no duplicates, no gaps.
+///
+/// Lifetime: frames pin buffer-pool pages and historical blobs, so a
+/// cursor must not outlive its tree.
 class VersionCursor {
  public:
   VersionCursor(TsbTree* tree, const ReadOptions& options);
@@ -65,8 +81,9 @@ class VersionCursor {
   Status Next();
   /// Moves to the largest key smaller than the current one (that has a
   /// version at the as-of time and lies within the range bounds);
-  /// invalidates the cursor at the front. Unlike Next, each Prev is a
-  /// fresh O(height) descent that then re-anchors the forward stack.
+  /// invalidates the cursor at the front. The first Prev after forward
+  /// movement re-anchors with one O(height) descent; consecutive Prevs
+  /// walk the descent stack backward and are amortized O(1) like Next.
   Status Prev();
 
   // ---- time axis (of the current key) ----
@@ -88,21 +105,29 @@ class VersionCursor {
   Timestamp as_of() const { return t_; }
 
  private:
-  /// One level of the descent stack. Historical frames keep the blob
-  /// pinned and re-read surviving entry views on demand — zero-copy, and
-  /// safe because historical blobs are immutable. Current-page frames
-  /// still materialize owned entries under the shared latch: pinning a
-  /// mutable page without its latch would let the writer rewrite it under
-  /// the scan, and holding a latch across user-paced iteration could
-  /// block the writer indefinitely.
+  /// One level of the descent stack — zero-copy in BOTH axes' node kinds.
+  /// Historical frames keep the blob pinned and re-read surviving entry
+  /// views on demand (immutable). Current-page frames keep the page
+  /// pinned but UNLATCHED plus the mutation counter sampled when the
+  /// frame was built; entry reads relatch briefly and revalidate it.
+  /// `order` holds the surviving cell/slot indices (already
+  /// key_lo-sorted, see PushIndexFrame); `next` is the walk position:
+  /// forward consumes order[next] and increments, backward consumes
+  /// order[next - 1] and decrements.
+  ///
+  /// Frames are pooled: PopFrame drops pins but keeps the containers'
+  /// capacity, so a steady-state scan pushes and pops frames without
+  /// allocating.
   struct Frame {
     bool historical = false;
     // Historical frames:
     BlobHandle blob;             // pins the node bytes
     HistIndexNodeRef hist_node;  // parsed over `blob`
-    std::vector<int> order;      // surviving cells (already key_lo-sorted)
     // Current-page frames:
-    std::vector<IndexEntry> entries;  // filtered & ordered by key_lo
+    PageHandle page;             // pinned, NOT latched
+    uint64_t page_version = 0;   // counter sampled under the build latch
+    // Both:
+    std::vector<int> order;      // surviving cells (key_lo-sorted)
     size_t next = 0;
     std::string win_lo;
     std::string win_hi;
@@ -116,8 +141,12 @@ class VersionCursor {
   };
 
   /// (Re)builds the forward stack for keys >= target, preserving the
-  /// range bounds (Seek/SeekRange/Prev all funnel through here).
+  /// range bounds (Seek/SeekRange and forward re-anchors funnel here).
   Status SeekInternal(const Slice& target);
+
+  /// Clears the stack and pushes the root under the CURRENT direction's
+  /// bounds (forward: keys >= seek_target_; reverse: keys < rev_upper_).
+  Status BuildStack();
 
   Status PushNode(const NodeRef& ref, const std::string& win_lo,
                   const std::string& win_hi, bool win_hi_inf);
@@ -125,39 +154,50 @@ class VersionCursor {
 
   /// Fills the emission buffer from a leaf accessor (DataPageRef over a
   /// latched page, or HistDataNodeRef over a pinned blob): per key the
-  /// latest committed version with ts <= t, clipped to the window. Only
-  /// emitted records are copied; record slots reuse their string capacity
-  /// across leaves instead of reallocating per visited version.
+  /// latest committed version with ts <= t, clipped to the window and the
+  /// direction's bounds. Only emitted records are copied; record slots
+  /// reuse their string capacity across leaves instead of reallocating
+  /// per visited version.
   template <typename DataAccessor>
   Status EmitLeaf(const DataAccessor& node, const std::string& win_lo,
                   const std::string& win_hi, bool win_hi_inf);
 
   /// Builds and pushes a descent frame from a current index page: filters
-  /// entry views against the window/seek bounds and materializes only the
-  /// survivors (owned — see Frame).
-  Status PushIndexFrame(const IndexPageRef& node, const std::string& win_lo,
+  /// entry views against the window/direction bounds under the handle's
+  /// (still held) shared latch, keeps only surviving slot indices, then
+  /// drops the latch but KEEPS the pin — nothing is materialized.
+  Status PushIndexFrame(PageHandle page, const std::string& win_lo,
                         const std::string& win_hi, bool win_hi_inf);
 
   /// Builds and pushes a historical descent frame: filters entry views in
-  /// place and keeps only surviving cell indices plus the pinned blob —
-  /// nothing is materialized.
+  /// place and keeps only surviving cell indices plus the pinned blob.
   Status PushHistIndexFrame(BlobHandle blob, HistIndexNodeRef node,
                             const std::string& win_lo,
                             const std::string& win_hi, bool win_hi_inf);
 
-  /// True when the entry view survives the window/seek/end filters.
+  /// True when the entry view survives the window and the current
+  /// direction's seek/end (forward) or upper/floor (reverse) bounds.
   bool EntrySurvives(const IndexEntryView& e, const std::string& win_lo,
                      const std::string& win_hi, bool win_hi_inf) const;
 
-  /// Predecessor search: the largest key < `upper` (and >= range_lo_)
-  /// with a committed version at t_. Epoch-validated like
-  /// ScanHistoryRange: optimistic attempts, final attempt quiesced.
-  Status PrevLookup(const Slice& upper, bool* found, std::string* pred_key);
-  Status PrevInNode(const NodeRef& ref, const Slice& upper, bool* found,
-                    std::string* pred_key);
-  template <typename DataAccessor>
-  Status PrevInLeaf(const DataAccessor& node, const Slice& upper,
-                    bool* found, std::string* pred_key);
+  /// Reads entry `cell` of the top frame into entry_lo_/entry_hi_/
+  /// entry_hi_inf_ and *child. Current frames relatch and revalidate the
+  /// page version; *stale reports a mismatch (caller re-seeks, no error).
+  Status ReadFrameEntry(Frame& f, int cell, NodeRef* child, bool* stale);
+
+  /// All current frames still carry their sampled page versions and the
+  /// root has not moved. Checked before serving a freshly emitted buffer
+  /// and before concluding the scan (the root check is what catches a
+  /// time split of a leaf-root, which has no parent frame to version).
+  bool StackValid() const;
+
+  /// Re-seek fallback after an invalidation: forward from the successor
+  /// of the last emitted key, reverse from just below it.
+  Status Restart();
+
+  Frame& EmplaceFrame();
+  void PopFrame();
+  void ClearStack();
 
   /// Time-axis probe: repositions value_/ts_ at the current key's version
   /// valid at `t` (key-axis state untouched).
@@ -170,17 +210,24 @@ class VersionCursor {
   // false from a version-axis move that ran dry — that is what lets a
   // scan drill into one key's past and then resume walking keys.
   bool key_anchored_ = false;
-  std::string seek_target_;  // iteration emits only keys >= this
+  bool reverse_ = false;     // key-axis walk direction
+  std::string seek_target_;  // forward: emit only keys >= this
   std::string end_key_;      // ...and < this, unless end_inf_
   bool end_inf_ = true;
   std::string range_lo_;     // SeekRange start; floor for Prev ("" = none)
-  uint64_t epoch_ = 0;       // tree structure epoch the stack was built at
+  std::string rev_upper_;    // reverse: emit only keys < this (exclusive)
+  uint32_t root_page_ = 0;   // root page id the stack was built from
   bool emitted_any_ = false;
-  std::vector<Frame> stack_;
+  std::vector<Frame> stack_;     // frame pool; [0, depth_) is the stack
+  size_t depth_ = 0;
   std::vector<Record> records_;  // emission slots; capacity reused
   size_t rec_count_ = 0;         // live records in records_
-  size_t rec_idx_ = 0;
-  std::string run_key_;          // EmitLeaf/PrevInLeaf key run (reused)
+  size_t rec_idx_ = 0;           // forward: next to serve; reverse: served
+                                 // records are [rec_idx_, rec_count_)
+  std::string run_key_;          // EmitLeaf key run (reused)
+  std::string entry_lo_, entry_hi_;    // ReadFrameEntry scratch
+  bool entry_hi_inf_ = true;
+  std::string child_lo_, child_hi_;    // Advance window-clip scratch
   bool valid_ = false;
   std::string key_, value_;
   Timestamp ts_ = 0;

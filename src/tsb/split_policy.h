@@ -57,6 +57,13 @@ struct SplitPolicyConfig {
   /// kCostBased: per-byte storage prices.
   double cost_magnetic = 1.0;
   double cost_optical = 0.2;
+  /// Pick the v3 restart-block size per consolidated node instead of
+  /// using TsbOptions::hist_restart_interval verbatim: long-key nodes get
+  /// small blocks (fewer cells decoded per probe), dense version-run
+  /// nodes get large blocks (the shared key compresses across more
+  /// cells). Read-compatible either way — the interval is stored per
+  /// node.
+  bool adaptive_restart_interval = true;
 };
 
 /// What a full data node looks like to the policy.
@@ -93,6 +100,15 @@ class SplitPolicy {
   /// entry exists). `entries` must be (key, ts) sorted.
   Timestamp ChooseSplitTime(const std::vector<DataEntry>& entries,
                             Timestamp t_lo, Timestamp now) const;
+
+  /// The v3 restart-block size for ONE consolidated historical node about
+  /// to be written. `base` is the tree-level default
+  /// (TsbOptions::hist_restart_interval); `entries`, `distinct_keys` and
+  /// `key_bytes` describe the node's cells. Returns `base` unchanged when
+  /// adaptive_restart_interval is off.
+  uint32_t ChooseRestartInterval(uint32_t base, size_t entries,
+                                 size_t distinct_keys,
+                                 size_t key_bytes) const;
 
   /// Number of entries that would be stored redundantly (in both the
   /// historical and the current node) if the node split at time T — i.e.

@@ -25,6 +25,10 @@ struct TsbCounters {
   uint64_t puts = 0;               ///< committed record versions inserted
   uint64_t uncommitted_puts = 0;
   uint64_t stamps = 0;             ///< uncommitted records committed in place
+  /// Leaf descents performed to stamp them: batched commits stamp every
+  /// key landing on one leaf in a single descent, so for large batches
+  /// this grows with leaves touched, not keys stamped.
+  uint64_t stamp_descents = 0;
   uint64_t erases = 0;             ///< uncommitted records erased (aborts)
 
   uint64_t data_key_splits = 0;

@@ -29,6 +29,28 @@ size_t IndexEntrySizeBound(const IndexEntry& prototype) {
 // Slot + length-prefix overhead of one slotted cell.
 constexpr uint32_t kCellOverhead = 4;
 
+// Node-shape inputs (distinct keys, total key bytes) for the per-node
+// restart-interval choice; `entries` are sorted, so runs are adjacent.
+void DataNodeShape(const std::vector<DataEntry>& entries, size_t* distinct,
+                   size_t* key_bytes) {
+  *distinct = 0;
+  *key_bytes = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    *key_bytes += entries[i].key.size();
+    if (i == 0 || entries[i].key != entries[i - 1].key) ++*distinct;
+  }
+}
+
+void IndexNodeShape(const std::vector<IndexEntry>& entries, size_t* distinct,
+                    size_t* key_bytes) {
+  *distinct = 0;
+  *key_bytes = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    *key_bytes += entries[i].key_lo.size();
+    if (i == 0 || entries[i].key_lo != entries[i - 1].key_lo) ++*distinct;
+  }
+}
+
 }  // namespace
 
 TsbTree::TsbTree(Device* magnetic, Device* historical,
@@ -486,6 +508,61 @@ Status TsbTree::StampCommitted(const Slice& key, TxnId txn, Timestamp ts) {
   h.MarkDirty();
   clock_.AdvanceTo(ts);
   counters_.stamps++;
+  counters_.stamp_descents++;
+  return Status::OK();
+}
+
+Status TsbTree::StampCommittedBatch(const std::vector<Slice>& keys,
+                                    TxnId txn, Timestamp ts) {
+  std::lock_guard<std::mutex> wl(writer_mu_);
+  if (ts == kMinTimestamp || ts > kMaxCommittedTs) {
+    return Status::InvalidArgument("timestamp out of committed range");
+  }
+  size_t i = 0;
+  while (i < keys.size()) {
+    assert(i == 0 || keys[i - 1] < keys[i]);  // sorted + distinct
+    std::vector<PathElem> path;
+    TSB_RETURN_IF_ERROR(DescendCurrent(keys[i], &path));
+    // The region boundary check of StampCommitted, hoisted per leaf: every
+    // key stamped below shares this leaf's region.
+    IndexEntry pe;
+    int pe_pos;
+    TSB_RETURN_IF_ERROR(ParentEntryFor(path, path.size() - 1, &pe, &pe_pos));
+    if (ts < pe.t_lo) {
+      return Status::Corruption(
+          "commit timestamp predates the node's time-split boundary");
+    }
+    PageHandle h;
+    TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
+    // Dirty (and version-bump) the leaf BEFORE mutating it: an error
+    // return mid-leaf must leave the already-applied stamps flagged for
+    // write-back, exactly like per-key stamping would (the caller
+    // poisons the watermark, so they stay invisible either way). A
+    // spurious mark when the very first lookup fails costs one rewrite.
+    h.MarkDirty();
+    DataPageRef page(h.data(), options_.page_size);
+    // One descent stamps this key and every following key whose point
+    // falls inside the same leaf's key region.
+    do {
+      const int pos = page.FindUncommitted(keys[i], txn);
+      if (pos < 0) return Status::NotFound("no uncommitted version for txn");
+      DataEntryView v;
+      TSB_RETURN_IF_ERROR(page.At(pos, &v));
+      DataEntry committed;
+      committed.key = v.key.ToString();
+      committed.ts = ts;
+      committed.txn = kNoTxn;
+      committed.value = v.value.ToString();
+      page.Remove(pos);
+      if (!page.Insert(committed)) {
+        return Status::Corruption("stamp lost space on rewrite");
+      }
+      counters_.stamps++;
+      ++i;
+    } while (i < keys.size() && pe.ContainsKey(keys[i]));
+    counters_.stamp_descents++;
+  }
+  clock_.AdvanceTo(ts);
   return Status::OK();
 }
 
@@ -615,11 +692,17 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
       TSB_RETURN_IF_ERROR(EnsureIndexRoom(path, leaf_idx - 1, need, &changed));
       if (changed) return Status::OK();
 
-      // Migrate: consolidate and append one node (section 3.1).
+      // Migrate: consolidate and append one node (section 3.1). The v3
+      // restart interval is chosen per node from its key shape.
+      size_t distinct = 0, key_bytes = 0;
+      DataNodeShape(hist_set, &distinct, &key_bytes);
+      const uint32_t interval = policy_.ChooseRestartInterval(
+          options_.hist_restart_interval, hist_set.size(), distinct,
+          key_bytes);
       std::string blob;
       uint64_t raw_bytes = 0;
       SerializeHistDataNode(hist_set, &blob, options_.hist_node_format,
-                            &raw_bytes, options_.hist_restart_interval);
+                            &raw_bytes, interval);
       HistAddr addr;
       TSB_RETURN_IF_ERROR(AppendHistNode(blob, raw_bytes, &addr));
 
@@ -958,11 +1041,15 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
     }
   }
   std::sort(hist_entries.begin(), hist_entries.end());
+  size_t distinct = 0, key_bytes = 0;
+  IndexNodeShape(hist_entries, &distinct, &key_bytes);
+  const uint32_t interval = policy_.ChooseRestartInterval(
+      options_.hist_restart_interval, hist_entries.size(), distinct,
+      key_bytes);
   std::string blob;
   uint64_t raw_bytes = 0;
   SerializeHistIndexNode(level, hist_entries, &blob,
-                         options_.hist_node_format, &raw_bytes,
-                         options_.hist_restart_interval);
+                         options_.hist_node_format, &raw_bytes, interval);
   HistAddr addr;
   TSB_RETURN_IF_ERROR(AppendHistNode(blob, raw_bytes, &addr));
 

@@ -152,6 +152,16 @@ class TsbTree {
   /// Stamps the uncommitted version of (key, txn) with commit time `ts`.
   Status StampCommitted(const Slice& key, TxnId txn, Timestamp ts);
 
+  /// Stamps every (key, txn) pair in `keys` with the same commit time.
+  /// `keys` must be sorted ascending and distinct (a WriteBatch commit);
+  /// all keys landing on the same leaf are stamped in ONE descent, so a
+  /// large batch costs O(leaves touched) descents instead of O(keys) —
+  /// see counters().stamp_descents. Equivalent to per-key StampCommitted
+  /// calls, including the mid-batch failure behavior (the caller poisons
+  /// the watermark on error, so partial stamps never become visible).
+  Status StampCommittedBatch(const std::vector<Slice>& keys, TxnId txn,
+                             Timestamp ts);
+
   /// Erases the uncommitted version of (key, txn) — abort path.
   Status EraseUncommitted(const Slice& key, TxnId txn);
 

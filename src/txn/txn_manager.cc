@@ -1,5 +1,8 @@
 #include "txn/txn_manager.h"
 
+#include <utility>
+#include <vector>
+
 #include "common/logger.h"
 
 namespace tsb {
@@ -99,15 +102,33 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
   std::lock_guard<std::mutex> commit_lock(commit_mu_);
   const Timestamp ts = tree_->clock().Tick();
   Status status;
-  for (const auto& [key, value] : txn->writes_) {
-    // Capture the previous committed version for the hook BEFORE stamping.
-    std::string old_value;
-    const bool had_old = tree_->GetCurrent(key, &old_value).ok();
-    status = tree_->StampCommitted(key, txn->id_, ts);
-    if (status.ok() && hook_) {
-      status = hook_(key, had_old ? &old_value : nullptr, value, ts);
+  // Capture the previous committed versions for the hook BEFORE any
+  // stamping — and only when a hook is installed (no secondary indexes =
+  // no pre-commit read descents at all).
+  std::vector<std::pair<bool, std::string>> old_values;
+  if (hook_) {
+    old_values.reserve(txn->writes_.size());
+    for (const auto& [key, value] : txn->writes_) {
+      std::string old_value;
+      const bool had_old = tree_->GetCurrent(key, &old_value).ok();
+      old_values.emplace_back(had_old, std::move(old_value));
     }
-    if (!status.ok()) break;
+  }
+  // Batched stamping: writes_ is a std::map, so the keys arrive sorted
+  // and every key landing on the same leaf is stamped in one descent
+  // (see TsbTree::StampCommittedBatch).
+  std::vector<Slice> keys;
+  keys.reserve(txn->writes_.size());
+  for (const auto& [key, value] : txn->writes_) keys.emplace_back(key);
+  status = tree_->StampCommittedBatch(keys, txn->id_, ts);
+  if (status.ok() && hook_) {
+    size_t i = 0;
+    for (const auto& [key, value] : txn->writes_) {
+      status = hook_(key, old_values[i].first ? &old_values[i].second : nullptr,
+                     value, ts);
+      if (!status.ok()) break;
+      ++i;
+    }
   }
   if (!status.ok()) {
     // A storage/hook error mid-commit may leave partial stamps behind.

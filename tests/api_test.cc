@@ -359,6 +359,178 @@ TEST_F(ApiTest, CursorPrevRespectsRangeFloor) {
   EXPECT_FALSE(c->Valid());
 }
 
+TEST_F(ApiTest, CursorReverseScanMatchesReversedForward) {
+  LoadWorkload();
+  const Timestamp now = db_->Now();
+  for (Timestamp t : {Timestamp(now / 3), Timestamp(now / 2), now}) {
+    ReadOptions opts;
+    opts.as_of = t;
+    std::vector<std::tuple<std::string, Timestamp, std::string>> forward;
+    auto c = db_->NewCursor(opts);
+    ASSERT_TRUE(c->SeekToFirst().ok());
+    while (c->Valid()) {
+      forward.emplace_back(c->key().ToString(), c->ts(),
+                           c->value().ToString());
+      ASSERT_TRUE(c->Next().ok());
+    }
+    ASSERT_FALSE(forward.empty()) << "as of t=" << t;
+    // One cursor, one seek to the last key, then a pure backward walk.
+    std::vector<std::tuple<std::string, Timestamp, std::string>> backward;
+    ASSERT_TRUE(c->Seek(std::get<0>(forward.back())).ok());
+    while (c->Valid()) {
+      backward.emplace_back(c->key().ToString(), c->ts(),
+                            c->value().ToString());
+      ASSERT_TRUE(c->Prev().ok());
+    }
+    std::reverse(backward.begin(), backward.end());
+    EXPECT_EQ(forward, backward) << "as of t=" << t;
+  }
+}
+
+TEST_F(ApiTest, CursorZigZagSwitchesDirectionAnywhere) {
+  LoadWorkload();
+  ReadOptions opts;
+  opts.as_of = db_->Now();
+  std::vector<std::string> keys;
+  auto c = db_->NewCursor(opts);
+  ASSERT_TRUE(c->SeekToFirst().ok());
+  while (c->Valid()) {
+    keys.push_back(c->key().ToString());
+    ASSERT_TRUE(c->Next().ok());
+  }
+  ASSERT_GE(keys.size(), 6u);
+  // Walk a forward-forward-forward-back-back pattern across the whole
+  // keyspace, checking every position against the collected key list.
+  ASSERT_TRUE(c->SeekToFirst().ok());
+  size_t pos = 0;
+  EXPECT_EQ(keys[pos], c->key().ToString());
+  int steps = 0;
+  while (pos + 3 < keys.size() && steps < 200) {
+    for (int fwd = 0; fwd < 3; ++fwd) {
+      ASSERT_TRUE(c->Next().ok());
+      ++pos;
+      ASSERT_TRUE(c->Valid());
+      EXPECT_EQ(keys[pos], c->key().ToString()) << "after Next, pos " << pos;
+    }
+    for (int back = 0; back < 2; ++back) {
+      ASSERT_TRUE(c->Prev().ok());
+      --pos;
+      ASSERT_TRUE(c->Valid());
+      EXPECT_EQ(keys[pos], c->key().ToString()) << "after Prev, pos " << pos;
+    }
+    ++steps;
+  }
+  // Mixing in a version-axis excursion does not derail either direction.
+  ASSERT_TRUE(c->NextVersion().ok());
+  ASSERT_TRUE(c->Prev().ok());
+  ASSERT_TRUE(c->Valid());
+  EXPECT_EQ(keys[pos - 1], c->key().ToString());
+}
+
+TEST_F(ApiTest, CursorRevalidatesPinnedFramesAcrossForcedSplits) {
+  LoadWorkload();
+  const Timestamp t = db_->Now();
+  // Oracle BEFORE the mid-scan churn: the as-of-t state is immutable, so
+  // the scan must produce exactly this, splits or not.
+  std::map<std::string, std::pair<Timestamp, std::string>> oracle;
+  {
+    ReadOptions at;
+    at.as_of = t;
+    auto it = db_->NewCursor(at);
+    EXPECT_TRUE(it->SeekToFirst().ok());
+    while (it->Valid()) {
+      oracle[it->key().ToString()] = {it->ts(), it->value().ToString()};
+      EXPECT_TRUE(it->Next().ok());
+    }
+  }
+  ASSERT_FALSE(oracle.empty());
+
+  const auto split_count = [&] {
+    const auto& counters = db_->primary()->counters();
+    return counters.data_time_splits + counters.data_key_splits +
+           counters.index_time_splits + counters.index_key_splits;
+  };
+
+  // Forward scan, writing a burst of NEW versions (invisible at t) after
+  // every emitted key to force splits under the cursor's pinned frames.
+  const uint64_t splits_before = split_count();
+  ReadOptions opts;
+  opts.as_of = t;
+  auto c = db_->NewCursor(opts);
+  std::map<std::string, std::pair<Timestamp, std::string>> seen;
+  ASSERT_TRUE(c->SeekToFirst().ok());
+  int burst = 0;
+  while (c->Valid()) {
+    ASSERT_TRUE(
+        seen.emplace(c->key().ToString(),
+                     std::make_pair(c->ts(), c->value().ToString()))
+            .second)
+        << "duplicate key " << c->key().ToString();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          db_->Put(Key(burst % kKeys), "churn-" + std::to_string(burst))
+              .ok());
+      ++burst;
+    }
+    ASSERT_TRUE(c->Next().ok());
+  }
+  EXPECT_EQ(oracle, seen);
+  EXPECT_GT(split_count(), splits_before)
+      << "churn too small: no split ever invalidated a pinned frame";
+
+  // Same discipline backward: churn between Prev steps.
+  const std::string last = oracle.rbegin()->first;
+  seen.clear();
+  ASSERT_TRUE(c->Seek(last).ok());
+  while (c->Valid()) {
+    ASSERT_TRUE(
+        seen.emplace(c->key().ToString(),
+                     std::make_pair(c->ts(), c->value().ToString()))
+            .second);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          db_->Put(Key(burst % kKeys), "churn-" + std::to_string(burst))
+              .ok());
+      ++burst;
+    }
+    ASSERT_TRUE(c->Prev().ok());
+  }
+  EXPECT_EQ(oracle, seen);
+}
+
+TEST_F(ApiTest, WriteBatchStampsPerLeafNotPerKey) {
+  // Spread the keyspace over several leaves first.
+  LoadWorkload();
+  const auto& counters = db_->primary()->counters();
+  WriteBatch batch;
+  for (int k = 0; k < kKeys; ++k) {
+    batch.Put(Key(k), "batched-" + std::to_string(k));
+  }
+  const uint64_t descents_before = counters.stamp_descents;
+  const uint64_t stamps_before = counters.stamps;
+  Timestamp cts = 0;
+  ASSERT_TRUE(db_->Write(batch, &cts).ok());
+  const uint64_t descents = counters.stamp_descents - descents_before;
+  EXPECT_EQ(static_cast<uint64_t>(kKeys), counters.stamps - stamps_before);
+  // The workload's splits spread kKeys keys across a handful of leaves;
+  // batched stamping must descend once per LEAF, not once per key.
+  EXPECT_LT(descents, static_cast<uint64_t>(kKeys));
+  EXPECT_GE(descents, 1u);
+  // Equivalence with per-key commits: every key carries the batch's one
+  // commit timestamp and the new value; the previous versions survive.
+  for (int k = 0; k < kKeys; ++k) {
+    std::string v;
+    Timestamp ts = 0;
+    ASSERT_TRUE(db_->Get(ReadOptions(), Key(k), &v, &ts).ok());
+    EXPECT_EQ("batched-" + std::to_string(k), v);
+    EXPECT_EQ(cts, ts);
+    ReadOptions before;
+    before.as_of = cts - 1;
+    ASSERT_TRUE(db_->Get(before, Key(k), &v, &ts).ok());
+    EXPECT_EQ(std::get<2>(commits_[commits_.size() - kKeys + k]), v);
+  }
+}
+
 TEST_F(ApiTest, CursorSeekTimestampJumpsTheTimeAxis) {
   LoadWorkload();
   // Pick the recorded commits of one key.
@@ -530,6 +702,78 @@ TEST_F(PathApiTest, SecondaryIndexPersistsUnderPath) {
   EXPECT_EQ("acct-1", kvs[0].first);
   ASSERT_TRUE(db->FindBySecondary(ReadOptions(), "by_owner", "ada", &kvs).ok());
   EXPECT_TRUE(kvs.empty());  // ada no longer owns it now
+}
+
+TEST_F(PathApiTest, ManifestGuardsDeviceGeometryAcrossReopen) {
+  const DbOptions opts = SmallPages(/*worm=*/true);
+  {
+    std::unique_ptr<MultiVersionDB> db;
+    ASSERT_TRUE(MultiVersionDB::Open(path_, opts, &db).ok());
+    ASSERT_TRUE(db->Put(Key(0), "v").ok());
+  }
+  // Mismatched page size: refused before any device file is touched.
+  {
+    DbOptions bad = opts;
+    bad.tree.page_size = 1024;
+    std::unique_ptr<MultiVersionDB> db;
+    const Status s = MultiVersionDB::Open(path_, bad, &db);
+    ASSERT_TRUE(s.IsInvalidArgument()) << s.ToString();
+    EXPECT_NE(s.ToString().find("page_size"), std::string::npos);
+  }
+  // Mismatched WORM sector grid.
+  {
+    DbOptions bad = opts;
+    bad.worm_sector_size = 1024;
+    std::unique_ptr<MultiVersionDB> db;
+    EXPECT_TRUE(MultiVersionDB::Open(path_, bad, &db).IsInvalidArgument());
+  }
+  // Erasable reopen of a write-once database.
+  {
+    DbOptions bad = opts;
+    bad.worm_historical = false;
+    std::unique_ptr<MultiVersionDB> db;
+    EXPECT_TRUE(MultiVersionDB::Open(path_, bad, &db).IsInvalidArgument());
+  }
+  // enable_mmap is a read-path choice, not geometry: toggling it reopens
+  // fine (and the manifest record follows it).
+  {
+    DbOptions toggled = opts;
+    toggled.enable_mmap = !opts.enable_mmap;
+    std::unique_ptr<MultiVersionDB> db;
+    ASSERT_TRUE(MultiVersionDB::Open(path_, toggled, &db).ok());
+    std::string v;
+    EXPECT_TRUE(db->Get(ReadOptions(), Key(0), &v).ok());
+    EXPECT_EQ("v", v);
+  }
+  // The matching geometry still opens, and the data survived the refusals.
+  std::unique_ptr<MultiVersionDB> db;
+  ASSERT_TRUE(MultiVersionDB::Open(path_, opts, &db).ok());
+  std::string v;
+  EXPECT_TRUE(db->Get(ReadOptions(), Key(0), &v).ok());
+  EXPECT_EQ("v", v);
+}
+
+TEST_F(PathApiTest, ManifestWithoutDevicesDoesNotLockGeometry) {
+  // A first Open that records its geometry but never produces device
+  // files (simulated by deleting them) guards nothing: a retry with
+  // different options must succeed and re-record.
+  {
+    std::unique_ptr<MultiVersionDB> db;
+    ASSERT_TRUE(MultiVersionDB::Open(path_, SmallPages(false), &db).ok());
+  }
+  ASSERT_EQ(0, ::unlink((path_ + "/current.tsb").c_str()));
+  ASSERT_EQ(0, ::unlink((path_ + "/history.tsb").c_str()));
+  DbOptions other = SmallPages(false);
+  other.tree.page_size = 1024;
+  std::unique_ptr<MultiVersionDB> db;
+  ASSERT_TRUE(MultiVersionDB::Open(path_, other, &db).ok());
+  ASSERT_TRUE(db->Put(Key(0), "fresh").ok());
+  db.reset();
+  // ...and the re-recorded geometry is now the enforced one.
+  std::unique_ptr<MultiVersionDB> again;
+  EXPECT_TRUE(
+      MultiVersionDB::Open(path_, SmallPages(false), &again).IsInvalidArgument());
+  EXPECT_TRUE(MultiVersionDB::Open(path_, other, &again).ok());
 }
 
 // ------------------------------------------------------------- worm file

@@ -202,6 +202,83 @@ TEST(ConcurrencyTest, SnapshotScansStayExactUnderConcurrentSplits) {
   EXPECT_GT(scans_done.load(), 0u);
 }
 
+// Reverse scans ride the same pinned-frame machinery as forward ones:
+// current-page frames revalidate a per-page mutation counter and re-seek
+// on invalidation. Under a splitting writer, a backward walk taken inside
+// one read snapshot must equal the reversed forward walk of the SAME
+// snapshot — exact count, exact order, no version from the future.
+TEST(ConcurrencyTest, ReverseScansMatchReversedForwardUnderSplits) {
+  Fixture f;
+  constexpr int kKeys = 150;
+  constexpr int kRounds = 25;
+  constexpr int kScanners = 3;
+
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(f.db->Put(KeyOf(i), ValueOf(KeyOf(i), 0)).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> scans_done{0};
+
+  std::vector<std::thread> scanners;
+  for (int r = 0; r < kScanners; ++r) {
+    scanners.emplace_back([&] {
+      std::vector<std::pair<std::string, Timestamp>> forward, backward;
+      while (!stop.load(std::memory_order_acquire) && !failed.load()) {
+        txn::ReadTransaction snap = f.db->BeginReadOnly();
+        auto c = snap.NewCursor();
+        forward.clear();
+        backward.clear();
+        Status s = c->SeekToFirst();
+        while (s.ok() && c->Valid()) {
+          forward.emplace_back(c->key().ToString(), c->ts());
+          s = c->Next();
+        }
+        if (!s.ok() || forward.size() != static_cast<size_t>(kKeys)) {
+          failed.store(true);
+          break;
+        }
+        // Same snapshot, walked backward from the last key.
+        s = c->Seek(Slice(forward.back().first));
+        while (s.ok() && c->Valid()) {
+          if (c->ts() > snap.timestamp()) {
+            failed.store(true);  // future version leaked into the snapshot
+            break;
+          }
+          backward.emplace_back(c->key().ToString(), c->ts());
+          s = c->Prev();
+        }
+        std::reverse(backward.begin(), backward.end());
+        if (!s.ok() || backward != forward) {
+          failed.store(true);
+          break;
+        }
+        scans_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int round = 1; round <= kRounds && !failed.load(); ++round) {
+    for (int i = 0; i < kKeys; ++i) {
+      Status s = f.db->Put(KeyOf(i), ValueOf(KeyOf(i), round));
+      if (!s.ok()) {
+        ADD_FAILURE() << "writer Put failed: " << s.ToString();
+        failed.store(true);
+        break;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : scanners) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(scans_done.load(), 0u);
+  EXPECT_GT(f.db->primary()->counters().data_time_splits +
+                f.db->primary()->counters().data_key_splits,
+            0u);
+}
+
 // A multi-key transaction must be all-or-nothing to lock-free readers:
 // the commit timestamp is published to the reader watermark only after
 // every key is stamped, so a snapshot can never see key A from a commit

@@ -130,6 +130,26 @@ TEST(SplitPolicyTest, RedundantAtMatchesRule3) {
   EXPECT_EQ(0u, SplitPolicy::RedundantAt(es, 1));
 }
 
+TEST(SplitPolicyTest, RestartIntervalAdaptsToNodeShape) {
+  SplitPolicyConfig cfg;
+  SplitPolicy policy(cfg);
+  // Short keys, few versions per key: the base interval stands.
+  EXPECT_EQ(16u, policy.ChooseRestartInterval(16, 100, 50, 100 * 8));
+  // Long keys (avg >= 48 bytes): small blocks bound per-probe decodes.
+  EXPECT_EQ(4u, policy.ChooseRestartInterval(16, 100, 100, 100 * 64));
+  // Dense version runs (>= 4 versions/key): large blocks compress better.
+  EXPECT_EQ(64u, policy.ChooseRestartInterval(16, 100, 10, 100 * 8));
+  // Clamps: never below 4, never above 128.
+  EXPECT_EQ(4u, policy.ChooseRestartInterval(8, 10, 10, 10 * 64));
+  EXPECT_EQ(128u, policy.ChooseRestartInterval(64, 100, 10, 100 * 8));
+  // Degenerate inputs pass the base through.
+  EXPECT_EQ(16u, policy.ChooseRestartInterval(16, 0, 0, 0));
+  // Knob off: the tree-level default is used verbatim.
+  cfg.adaptive_restart_interval = false;
+  SplitPolicy fixed(cfg);
+  EXPECT_EQ(16u, fixed.ChooseRestartInterval(16, 100, 100, 100 * 64));
+}
+
 TEST(SplitPolicyTest, ChooseSplitTimeCurrentTime) {
   SplitPolicyConfig cfg;
   cfg.time_mode = SplitTimeMode::kCurrentTime;
