@@ -4,13 +4,21 @@
 // count grows — with per-frame shared latches and a sharded buffer pool,
 // point reads should scale nearly linearly until the memory bus saturates.
 //
-// The deterministic table is the acceptance artifact: reader scaling at 4
-// threads (1 writer running) vs 1 thread (1 writer running).
+// Second phase: N committing WRITERS, serial mode (single-writer
+// discipline, the paper's model) vs optimistic latch coupling
+// (concurrent_writers), on disjoint key ranges and on one contended key
+// space. Emits BENCH_concurrency.json (BENCH_CONCURRENCY_JSON overrides
+// the path) with the scaling ratios CI gates on.
+//
+// The deterministic tables are the acceptance artifacts: reader scaling at
+// 4 threads vs 1, and 4-writer OLC throughput vs 1-writer on disjoint
+// ranges.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,6 +27,8 @@
 #include "bench_common.h"
 #include "common/random.h"
 #include "tsb/cursor.h"
+#include "txn/txn_manager.h"
+#include "txn/write_batch.h"
 
 namespace tsb {
 namespace bench {
@@ -161,6 +171,225 @@ void PrintTable() {
   printf("\n");
 }
 
+// ---- writer scaling (optimistic latch coupling vs serial) -------------
+
+struct WriterFixture {
+  std::unique_ptr<MemDevice> magnetic;
+  std::unique_ptr<MemDevice> optical;
+  std::unique_ptr<tsb_tree::TsbTree> tree;
+  std::unique_ptr<txn::TxnManager> txns;
+
+  static WriterFixture Build(bool concurrent) {
+    WriterFixture f;
+    f.magnetic = std::make_unique<MemDevice>();
+    f.optical = std::make_unique<MemDevice>(DeviceKind::kOpticalErasable,
+                                            CostParams::OpticalWorm());
+    tsb_tree::TsbOptions options = Options();
+    options.concurrent_writers = concurrent;
+    Status s = tsb_tree::TsbTree::Open(f.magnetic.get(), f.optical.get(),
+                                       options, &f.tree);
+    if (!s.ok()) {
+      fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+    f.txns = std::make_unique<txn::TxnManager>(f.tree.get());
+    for (int i = 0; i < kKeys; ++i) {
+      const Timestamp ts = f.tree->clock().Tick();
+      s = f.tree->Put(KeyOf(i), "v0-initial-payload-for-key-" + KeyOf(i), ts);
+      if (!s.ok()) {
+        fprintf(stderr, "seed put failed: %s\n", s.ToString().c_str());
+        abort();
+      }
+    }
+    f.tree->clock().Publish(f.tree->clock().Now());
+    return f;
+  }
+};
+
+struct WriterRun {
+  double commits_per_sec = 0;
+  uint64_t conflicts = 0;
+  uint64_t olc_restarts = 0;
+  uint64_t olc_sidesteps = 0;
+};
+
+// Runs `n_writers` threads committing single-key transactions for
+// kMeasureMs. Disjoint = each writer owns kKeys/n_writers keys (the
+// scaling case); contended = every writer draws from the whole key space
+// (first-writer-wins conflicts are counted, not fatal).
+WriterRun RunWriters(WriterFixture* f, int n_writers, bool disjoint) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> conflicts{0};
+  std::atomic<bool> failed{false};
+  const uint64_t restarts0 = f->tree->counters().olc_restarts.load();
+  const uint64_t sidesteps0 = f->tree->counters().olc_sidesteps.load();
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < n_writers; ++w) {
+    writers.emplace_back([&, w] {
+      const int shard = kKeys / n_writers;
+      const int lo = w * shard;
+      uint64_t rng = 0x9E3779B97F4A7C15ull * (w + 1);
+      uint64_t seq = 0;
+      uint64_t local_commits = 0;
+      uint64_t local_conflicts = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        int ki;
+        if (disjoint) {
+          ki = lo + static_cast<int>(seq % shard);
+        } else {
+          rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+          ki = static_cast<int>((rng >> 33) % kKeys);
+        }
+        txn::WriteBatch batch;
+        batch.Put(KeyOf(ki),
+                  "w" + std::to_string(w) + "-v" + std::to_string(seq));
+        Status s = f->txns->Write(batch);
+        seq++;
+        if (s.IsTxnConflict()) {
+          local_conflicts++;
+          continue;
+        }
+        if (!s.ok()) {
+          fprintf(stderr, "writer commit failed: %s\n", s.ToString().c_str());
+          failed.store(true);
+          break;
+        }
+        local_commits++;
+      }
+      commits.fetch_add(local_commits, std::memory_order_relaxed);
+      conflicts.fetch_add(local_conflicts, std::memory_order_relaxed);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(kMeasureMs));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) t.join();
+  if (failed.load()) {
+    fprintf(stderr, "writer run failed\n");
+    abort();
+  }
+
+  WriterRun res;
+  res.commits_per_sec =
+      static_cast<double>(commits.load()) * 1000.0 / kMeasureMs;
+  res.conflicts = conflicts.load();
+  res.olc_restarts = f->tree->counters().olc_restarts.load() - restarts0;
+  res.olc_sidesteps = f->tree->counters().olc_sidesteps.load() - sidesteps0;
+  return res;
+}
+
+void PrintWriterTableAndJson() {
+  printf("# E10 writer scaling: N single-key committing writers\n");
+  printf("# keys=%d page=4096 frames=512 measure=%dms cores=%u\n", kKeys,
+         kMeasureMs, std::thread::hardware_concurrency());
+  if (std::thread::hardware_concurrency() < 4) {
+    printf(
+        "# NOTE: <4 cores — writer threads time-share; scaling is capped\n"
+        "# by the scheduler, not by the latching protocol.\n");
+  }
+  printf("%-8s %-10s %-8s %14s %10s %10s %10s\n", "mode", "pattern",
+         "writers", "commits/s", "conflicts", "restarts", "sidesteps");
+
+  struct Row {
+    bool concurrent;
+    bool disjoint;
+    int n;
+    WriterRun r;
+  };
+  std::vector<Row> rows;
+  for (const bool concurrent : {false, true}) {
+    for (const bool disjoint : {true, false}) {
+      for (const int n : {1, 2, 4, 8}) {
+        // Fresh tree per run: every configuration pays the same seed
+        // state instead of inheriting the previous run's versions/splits.
+        WriterFixture f = WriterFixture::Build(concurrent);
+        Row row{concurrent, disjoint, n, RunWriters(&f, n, disjoint)};
+        printf("%-8s %-10s %-8d %14.0f %10llu %10llu %10llu\n",
+               concurrent ? "olc" : "serial",
+               disjoint ? "disjoint" : "contended", n, row.r.commits_per_sec,
+               (unsigned long long)row.r.conflicts,
+               (unsigned long long)row.r.olc_restarts,
+               (unsigned long long)row.r.olc_sidesteps);
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  printf("\n");
+
+  auto find = [&](bool concurrent, bool disjoint, int n) -> const WriterRun& {
+    for (const Row& row : rows) {
+      if (row.concurrent == concurrent && row.disjoint == disjoint &&
+          row.n == n) {
+        return row.r;
+      }
+    }
+    abort();
+  };
+  const double olc_1w = find(true, true, 1).commits_per_sec;
+  const double olc_4w = find(true, true, 4).commits_per_sec;
+  const double serial_1w = find(false, true, 1).commits_per_sec;
+  const double speedup_4w = olc_1w > 0 ? olc_4w / olc_1w : 0.0;
+  const double olc_over_serial = serial_1w > 0 ? olc_1w / serial_1w : 0.0;
+  printf("4-writer OLC vs 1-writer (disjoint): %.2fx\n", speedup_4w);
+  printf("1-writer OLC vs 1-writer serial:     %.2fx\n\n", olc_over_serial);
+
+  const char* path = std::getenv("BENCH_CONCURRENCY_JSON");
+  if (path == nullptr) path = "BENCH_concurrency.json";
+  FILE* out = fopen(path, "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  fprintf(out,
+          "{\n"
+          "  \"hardware_concurrency\": %u,\n"
+          "  \"keys\": %d,\n"
+          "  \"measure_ms\": %d,\n"
+          "  \"runs\": [\n",
+          std::thread::hardware_concurrency(), kKeys, kMeasureMs);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    fprintf(out,
+            "    {\"mode\": \"%s\", \"pattern\": \"%s\", \"writers\": %d, "
+            "\"commits_per_sec\": %.1f, \"conflicts\": %llu, "
+            "\"olc_restarts\": %llu, \"olc_sidesteps\": %llu}%s\n",
+            row.concurrent ? "olc" : "serial",
+            row.disjoint ? "disjoint" : "contended", row.n,
+            row.r.commits_per_sec, (unsigned long long)row.r.conflicts,
+            (unsigned long long)row.r.olc_restarts,
+            (unsigned long long)row.r.olc_sidesteps,
+            i + 1 < rows.size() ? "," : "");
+  }
+  fprintf(out,
+          "  ],\n"
+          "  \"speedup_4w_disjoint_vs_1w\": %.3f,\n"
+          "  \"olc_1w_over_serial_1w\": %.3f\n"
+          "}\n",
+          speedup_4w, olc_over_serial);
+  fclose(out);
+  printf("wrote %s\n\n", path);
+}
+
+void BM_ConcurrentWriters(benchmark::State& state) {
+  const int n_writers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WriterFixture f = WriterFixture::Build(/*concurrent=*/true);
+    const WriterRun r = RunWriters(&f, n_writers, /*disjoint=*/true);
+    state.counters["commits_per_sec"] = r.commits_per_sec;
+    state.counters["olc_restarts"] = static_cast<double>(r.olc_restarts);
+  }
+}
+BENCHMARK(BM_ConcurrentWriters)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void BM_ConcurrentReaders(benchmark::State& state) {
   static ConcurrencyFixture* f = [] {
     auto* fix = new ConcurrencyFixture(ConcurrencyFixture::Build());
@@ -188,6 +417,7 @@ BENCHMARK(BM_ConcurrentReaders)
 
 int main(int argc, char** argv) {
   tsb::bench::PrintTable();
+  tsb::bench::PrintWriterTableAndJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -390,6 +390,27 @@ ScanResult MeasureScan(tsb_tree::TsbTree* tree, Timestamp t, bool reverse,
     return n;
   };
   pass();  // warmup: emission slots, frame pool and value capacities grow once
+  // BENCH_SCAN_DEBUG=1 prints one scan's IO profile per direction — the
+  // node-visit asymmetry this exposes is how the old-snapshot forward-scan
+  // gap (fixed by the index-entry content-floor hints) was diagnosed.
+  if (getenv("BENCH_SCAN_DEBUG") != nullptr) {
+    const HistReadStats h0 = tree->HistStats();
+    const BufferPoolStats p0 = tree->PoolStats();
+    pass();
+    const HistReadStats h1 = tree->HistStats();
+    const BufferPoolStats p1 = tree->PoolStats();
+    fprintf(stderr,
+            "[scan-debug] reverse=%d t=%llu keys=%zu blob_reads=%llu "
+            "blob_bytes=%llu view_decodes=%llu owned_decodes=%llu "
+            "pool_lookups=%llu\n",
+            reverse ? 1 : 0, (unsigned long long)t, per_scan,
+            (unsigned long long)(h1.blob_reads - h0.blob_reads),
+            (unsigned long long)(h1.blob_bytes - h0.blob_bytes),
+            (unsigned long long)(h1.view_decodes - h0.view_decodes),
+            (unsigned long long)(h1.owned_decodes - h0.owned_decodes),
+            (unsigned long long)((p1.hits + p1.misses) -
+                                 (p0.hits + p0.misses)));
+  }
   const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
   const auto start = std::chrono::steady_clock::now();
   size_t total = 0;

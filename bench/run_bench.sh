@@ -5,7 +5,9 @@
 # the legacy owning-decode baseline, cold mmap reads, v3 node bytes, and
 # the scan phase: forward/reverse snapshot scans — warm, old-snapshot and
 # cold — with entries/sec and allocs per emitted entry), which is copied
-# to the repo root for CI artifact upload.
+# to the repo root for CI artifact upload. bench_concurrency writes
+# BENCH_concurrency.json (N-writer scaling, serial vs optimistic latch
+# coupling, with conflict/restart/side-step counters).
 #
 # Usage: bench/run_bench.sh [build-dir]   (default: <repo>/build-release)
 set -euo pipefail
@@ -26,9 +28,11 @@ FILTER="${BENCH_FILTER:-NONE}"
 
 (cd "$BUILD" && BENCH_QUERY_JSON="$ROOT/BENCH_query.json" \
     ./bench_query --benchmark_filter="$FILTER")
-(cd "$BUILD" && ./bench_concurrency --benchmark_filter="$FILTER")
+(cd "$BUILD" && BENCH_CONCURRENCY_JSON="$ROOT/BENCH_concurrency.json" \
+    ./bench_concurrency --benchmark_filter="$FILTER")
 
 echo "wrote $ROOT/BENCH_query.json"
+echo "wrote $ROOT/BENCH_concurrency.json"
 
 # One-line scan recap (the numbers CI gates on), when python3 is around.
 if command -v python3 >/dev/null 2>&1; then
@@ -42,5 +46,13 @@ if s:
              s["forward_current"]["allocs_per_entry"],
              s["reverse_over_forward_current"],
              s["reverse_over_forward_old"]))
+EOF
+  python3 - "$ROOT/BENCH_concurrency.json" <<'EOF'
+import json, sys
+c = json.load(open(sys.argv[1]))
+print("writer recap: %d cores, 4-writer OLC %.2fx of 1-writer (disjoint), "
+      "1-writer OLC %.2fx of serial"
+      % (c["hardware_concurrency"], c["speedup_4w_disjoint_vs_1w"],
+         c["olc_1w_over_serial_1w"]))
 EOF
 fi

@@ -7,13 +7,14 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "storage/append_store.h"
 #include "storage/file_device.h"
 #include "storage/worm_file_device.h"
 
 namespace tsb {
 namespace db {
-
-MultiVersionDB::~MultiVersionDB() = default;
 
 Status MultiVersionDB::Open(Device* magnetic, Device* historical,
                             const DbOptions& options,
@@ -22,14 +23,22 @@ Status MultiVersionDB::Open(Device* magnetic, Device* historical,
   TSB_RETURN_IF_ERROR(tsb_tree::TsbTree::Open(magnetic, historical,
                                               options.tree, &mvdb->tree_));
   mvdb->txns_ = std::make_unique<txn::TxnManager>(mvdb->tree_.get());
-  MultiVersionDB* raw = mvdb.get();
-  mvdb->txns_->SetCommitHook(
+  // No commit hook yet: it is installed lazily with the first secondary
+  // index (InstallCommitHook). A hook forces commits onto the serial
+  // path, so an index-less DB keeps concurrent commits available.
+  *out = std::move(mvdb);
+  return Status::OK();
+}
+
+void MultiVersionDB::InstallCommitHook() {
+  if (hook_installed_) return;
+  hook_installed_ = true;
+  MultiVersionDB* raw = this;
+  txns_->SetCommitHook(
       [raw](const std::string& key, const std::string* old_value,
             const std::string& new_value, Timestamp ts) {
         return raw->OnCommit(key, old_value, new_value, ts);
       });
-  *out = std::move(mvdb);
-  return Status::OK();
 }
 
 namespace {
@@ -48,15 +57,20 @@ struct Manifest {
   bool worm_historical = false;
   uint32_t worm_sector_size = 0;
   bool enable_mmap = false;
+  /// Names of the secondary indexes whose device files live in the
+  /// directory. Open re-attaches each one so index data never becomes an
+  /// orphaned pair of .tsb files after a reopen.
+  std::vector<std::string> indexes;
 };
 
 std::string ManifestPath(const std::string& dir) {
   return dir + "/" + kManifestName;
 }
 
-Status WriteManifest(const std::string& dir, const DbOptions& options) {
-  char body[256];
-  snprintf(body, sizeof(body),
+Status WriteManifest(const std::string& dir, const DbOptions& options,
+                     const std::vector<std::string>& indexes) {
+  char head[256];
+  snprintf(head, sizeof(head),
            "tsb-manifest v1\n"
            "page_size=%u\n"
            "worm_historical=%d\n"
@@ -64,6 +78,10 @@ Status WriteManifest(const std::string& dir, const DbOptions& options) {
            "enable_mmap=%d\n",
            options.tree.page_size, options.worm_historical ? 1 : 0,
            options.worm_sector_size, options.enable_mmap ? 1 : 0);
+  std::string body = head;
+  for (const std::string& name : indexes) {
+    body += "index=" + name + "\n";
+  }
   // Write-temp-fsync-rename: a crash never leaves a torn manifest behind
   // (without the fsync, the rename can survive a power cut while the
   // data blocks do not, leaving an empty MANIFEST that fails every
@@ -73,9 +91,8 @@ Status WriteManifest(const std::string& dir, const DbOptions& options) {
   if (f == nullptr) {
     return Status::IOError("create " + tmp, strerror(errno));
   }
-  const size_t len = strlen(body);
-  const bool wrote = fwrite(body, 1, len, f) == len && fflush(f) == 0 &&
-                     ::fsync(fileno(f)) == 0;
+  const bool wrote = fwrite(body.data(), 1, body.size(), f) == body.size() &&
+                     fflush(f) == 0 && ::fsync(fileno(f)) == 0;
   fclose(f);
   if (!wrote) return Status::IOError("write " + tmp, strerror(errno));
   if (::rename(tmp.c_str(), ManifestPath(dir).c_str()) != 0) {
@@ -108,6 +125,12 @@ Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
       out->worm_sector_size = value;
     } else if (sscanf(line, "enable_mmap=%u", &value) == 1) {
       out->enable_mmap = value != 0;
+    } else if (strncmp(line, "index=", 6) == 0) {
+      std::string name(line + 6);
+      while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+        name.pop_back();
+      }
+      if (!name.empty()) out->indexes.push_back(std::move(name));
     }
   }
   fclose(f);
@@ -121,9 +144,10 @@ Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
 /// Creates the manifest on first open; on reopen verifies the recorded
 /// geometry against `options` and fails fast BEFORE any device file is
 /// touched with the wrong parameters.
-Status CheckOrWriteManifest(const std::string& dir, const DbOptions& options) {
+Status CheckOrWriteManifest(const std::string& dir, const DbOptions& options,
+                            Manifest* out) {
   bool exists = false;
-  Manifest m;
+  Manifest& m = *out;
   TSB_RETURN_IF_ERROR(ReadManifest(dir, &exists, &m));
   if (exists) {
     // The manifest is only authoritative once a device file exists: if a
@@ -133,7 +157,10 @@ Status CheckOrWriteManifest(const std::string& dir, const DbOptions& options) {
     struct stat st;
     if (::stat((dir + "/current.tsb").c_str(), &st) != 0) exists = false;
   }
-  if (!exists) return WriteManifest(dir, options);
+  if (!exists) {
+    m.indexes.clear();
+    return WriteManifest(dir, options, m.indexes);
+  }
   if (m.page_size != options.tree.page_size) {
     return Status::InvalidArgument(
         "page_size mismatch with manifest",
@@ -154,10 +181,91 @@ Status CheckOrWriteManifest(const std::string& dir, const DbOptions& options) {
             std::to_string(options.worm_sector_size));
   }
   if (m.enable_mmap != options.enable_mmap) {
-    // Read-path choice, not geometry: allowed, but keep the record fresh.
-    return WriteManifest(dir, options);
+    // Read-path choice, not geometry: allowed, but keep the record fresh
+    // (preserving the index catalog).
+    return WriteManifest(dir, options, m.indexes);
   }
   return Status::OK();
+}
+
+// ---- verified-blob sidecar -------------------------------------------
+//
+// The historical store CRC-checks each blob once, on its first mapped
+// pin, then serves it zero-copy forever (the bytes are immutable). That
+// memo used to die with the process: every reopen re-paid one checksum
+// pass per blob before cold reads reached memory speed. The sidecar
+// persists the memo. Format (all little-endian):
+//   [u32 magic "TSBV"][u32 version][u64 store_size][u64 count]
+//   [count x u64 sorted offsets][u32 masked crc32c of preceding bytes]
+
+constexpr char kVerifiedSidecarName[] = "verified.tsb";
+constexpr uint32_t kVerifiedMagic = 0x56425354;  // "TSBV"
+constexpr uint32_t kVerifiedVersion = 1;
+constexpr size_t kVerifiedHeaderSize = 24;
+
+Status WriteVerifiedSidecar(const std::string& dir, AppendStore* hist) {
+  std::vector<uint64_t> offsets;
+  uint64_t store_size = 0;
+  hist->SnapshotVerified(&offsets, &store_size);
+  std::string body;
+  body.reserve(kVerifiedHeaderSize + offsets.size() * 8 + 4);
+  PutFixed32(&body, kVerifiedMagic);
+  PutFixed32(&body, kVerifiedVersion);
+  PutFixed64(&body, store_size);
+  PutFixed64(&body, offsets.size());
+  for (const uint64_t off : offsets) PutFixed64(&body, off);
+  PutFixed32(&body, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  // The tmp name keeps the .tsb suffix so Destroy recognizes a leftover
+  // from a crashed rename as ours.
+  const std::string file = dir + "/" + kVerifiedSidecarName;
+  const std::string tmp = dir + "/verified.tmp.tsb";
+  FILE* f = fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("create " + tmp, strerror(errno));
+  const bool wrote = fwrite(body.data(), 1, body.size(), f) == body.size() &&
+                     fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  fclose(f);
+  if (!wrote) return Status::IOError("write " + tmp, strerror(errno));
+  if (::rename(tmp.c_str(), file.c_str()) != 0) {
+    return Status::IOError("rename " + tmp, strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Seeds the verified set from the sidecar. Purely a performance hint:
+/// any validation failure just means cold pins re-verify lazily, so
+/// every suspect condition is a silent return, never an Open error.
+void LoadVerifiedSidecar(const std::string& dir, AppendStore* hist) {
+  FILE* f = fopen((dir + "/" + kVerifiedSidecarName).c_str(), "rb");
+  if (f == nullptr) return;
+  std::string body;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  fclose(f);
+  if (body.size() < kVerifiedHeaderSize + 4) return;
+  const size_t crc_pos = body.size() - 4;
+  if (crc32c::Value(body.data(), crc_pos) !=
+      crc32c::Unmask(DecodeFixed32(body.data() + crc_pos))) {
+    return;
+  }
+  const char* p = body.data();
+  if (DecodeFixed32(p) != kVerifiedMagic) return;
+  if (DecodeFixed32(p + 4) != kVerifiedVersion) return;
+  const uint64_t store_size = DecodeFixed64(p + 8);
+  const uint64_t count = DecodeFixed64(p + 16);
+  if (count != (body.size() - kVerifiedHeaderSize - 4) / 8 ||
+      body.size() != kVerifiedHeaderSize + count * 8 + 4) {
+    return;
+  }
+  // A snapshot larger than the store can only describe a different file;
+  // the store is append-only, so a valid snapshot never shrinks.
+  if (store_size > hist->device_bytes()) return;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    offsets.push_back(DecodeFixed64(p + kVerifiedHeaderSize + i * 8));
+  }
+  hist->PreloadVerified(offsets);
 }
 
 /// Opens the file-backed historical device per options: WORM sector
@@ -206,7 +314,8 @@ Status MultiVersionDB::Open(const std::string& path, const DbOptions& options,
 
   // Geometry gate: verify (or create) the manifest before any device file
   // is opened with possibly-wrong parameters.
-  TSB_RETURN_IF_ERROR(CheckOrWriteManifest(path, options));
+  Manifest manifest;
+  TSB_RETURN_IF_ERROR(CheckOrWriteManifest(path, options, &manifest));
 
   FileDevice* mag = nullptr;
   TSB_RETURN_IF_ERROR(FileDevice::Open(path + "/current.tsb", &mag,
@@ -223,8 +332,34 @@ Status MultiVersionDB::Open(const std::string& path, const DbOptions& options,
   mvdb->path_ = path;
   mvdb->owned_magnetic_ = std::move(magnetic);
   mvdb->owned_historical_ = std::move(historical);
+
+  // Re-attach every cataloged secondary index: with the registry extractor
+  // when options provide one, extractor-less otherwise (readable via
+  // FindBySecondary, unwritable until CreateSecondaryIndex binds code).
+  for (const std::string& name : manifest.indexes) {
+    KeyExtractor extract;
+    auto reg = options.index_extractors.find(name);
+    if (reg != options.index_extractors.end()) extract = reg->second;
+    TSB_RETURN_IF_ERROR(mvdb->RegisterIndex(name, std::move(extract),
+                                            /*from_catalog=*/true,
+                                            /*magnetic=*/nullptr,
+                                            /*historical=*/nullptr));
+  }
+
+  // Warm-start hint: seed the historical store's verified-blob memo so
+  // cold mapped reads skip the per-blob first-pin checksum pass.
+  LoadVerifiedSidecar(path, mvdb->tree_->hist_store());
+
   *out = std::move(mvdb);
   return Status::OK();
+}
+
+MultiVersionDB::~MultiVersionDB() {
+  // Best-effort: losing the sidecar only costs re-verification after the
+  // next open, so a failed write must not throw from a destructor path.
+  if (!path_.empty() && tree_ != nullptr) {
+    (void)WriteVerifiedSidecar(path_, tree_->hist_store());
+  }
 }
 
 Status MultiVersionDB::Destroy(const std::string& path) {
@@ -319,11 +454,40 @@ Status MultiVersionDB::CreateSecondaryIndex(const std::string& name,
                                             KeyExtractor extract,
                                             Device* magnetic,
                                             Device* historical) {
-  if (indexes_.count(name) > 0) {
-    return Status::InvalidArgument("index already exists", name);
+  return RegisterIndex(name, std::move(extract), /*from_catalog=*/false,
+                       magnetic, historical);
+}
+
+Status MultiVersionDB::PersistManifest() {
+  if (path_.empty()) return Status::OK();
+  std::vector<std::string> names;
+  names.reserve(indexes_.size());
+  for (const auto& [name, def] : indexes_) names.push_back(name);
+  return WriteManifest(path_, options_, names);
+}
+
+Status MultiVersionDB::RegisterIndex(const std::string& name,
+                                     KeyExtractor extract, bool from_catalog,
+                                     Device* magnetic, Device* historical) {
+  // Index names become file names and MANIFEST lines.
+  if (name.empty() || name.find('/') != std::string::npos ||
+      name.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("invalid index name", name);
+  }
+  auto existing = indexes_.find(name);
+  if (existing != indexes_.end()) {
+    if (!existing->second.from_catalog) {
+      return Status::InvalidArgument("index already exists", name);
+    }
+    // Cataloged index re-attached at Open: this call binds its extractor
+    // (extractors are code and cannot persist in the MANIFEST).
+    existing->second.extract = std::move(extract);
+    existing->second.from_catalog = false;
+    return Status::OK();
   }
   IndexEntryDef def;
   def.extract = std::move(extract);
+  def.from_catalog = from_catalog;
   if (magnetic == nullptr) {
     if (!path_.empty()) {
       // Path-backed DB: the index persists alongside the primary.
@@ -357,6 +521,13 @@ Status MultiVersionDB::CreateSecondaryIndex(const std::string& name,
       tsb_tree::TsbTree::Open(magnetic, historical, options_.tree, &tree));
   def.index = std::make_unique<SecondaryIndex>(std::move(tree));
   indexes_.emplace(name, std::move(def));
+  // The hook goes in with the FIRST index (even an extractor-less one:
+  // OnCommit must be able to reject writes it cannot maintain).
+  InstallCommitHook();
+  if (!from_catalog) {
+    // A newly created index enters the catalog so reopen re-attaches it.
+    TSB_RETURN_IF_ERROR(PersistManifest());
+  }
   return Status::OK();
 }
 
@@ -369,6 +540,14 @@ Status MultiVersionDB::OnCommit(const std::string& key,
                                 const std::string* old_value,
                                 const std::string& new_value, Timestamp ts) {
   for (auto& [name, def] : indexes_) {
+    if (!def.extract) {
+      // Letting the write through would silently leave this index stale
+      // (= corrupt). Rejecting makes it a loud schema-setup error: bind
+      // the extractor (DbOptions::index_extractors or
+      // CreateSecondaryIndex) before writing.
+      return Status::InvalidArgument("secondary index has no extractor",
+                                     name);
+    }
     std::optional<std::string> old_sk;
     if (old_value != nullptr) old_sk = def.extract(Slice(*old_value));
     std::optional<std::string> new_sk = def.extract(Slice(new_value));
@@ -441,6 +620,10 @@ Status MultiVersionDB::Flush() {
   TSB_RETURN_IF_ERROR(tree_->Flush());
   for (auto& [name, def] : indexes_) {
     TSB_RETURN_IF_ERROR(def.index->tree()->Flush());
+  }
+  if (!path_.empty()) {
+    // Persist the verified-blob memo with the data it describes.
+    TSB_RETURN_IF_ERROR(WriteVerifiedSidecar(path_, tree_->hist_store()));
   }
   return Status::OK();
 }

@@ -43,6 +43,11 @@ using WriteBatch = txn::WriteBatch;
 /// Unified key x time cursor (see tsb/cursor.h).
 using VersionCursor = tsb_tree::VersionCursor;
 
+/// Extracts the secondary key from a record value; return std::nullopt if
+/// the record is not indexed.
+using KeyExtractor =
+    std::function<std::optional<std::string>(const Slice& value)>;
+
 struct DbOptions {
   tsb_tree::TsbOptions tree;
 
@@ -60,12 +65,15 @@ struct DbOptions {
   bool worm_historical = false;
   /// Sector grid for worm_historical.
   uint32_t worm_sector_size = 1024;
+  /// Extractors for secondary indexes the MANIFEST catalogs, keyed by
+  /// index name. Open re-registers every cataloged index automatically;
+  /// an index found here is immediately queryable AND maintained. An
+  /// index absent from this registry is attached extractor-less: reads
+  /// (FindBySecondary) work, but a commit touching the primary fails
+  /// until CreateSecondaryIndex installs its extractor — silently
+  /// letting the index go stale would corrupt it.
+  std::map<std::string, KeyExtractor> index_extractors;
 };
-
-/// Extracts the secondary key from a record value; return std::nullopt if
-/// the record is not indexed.
-using KeyExtractor =
-    std::function<std::optional<std::string>(const Slice& value)>;
 
 /// A multiversion database over one primary TSB-tree.
 ///
@@ -75,9 +83,12 @@ using KeyExtractor =
 ///    transactions capture a timestamp with one atomic load and descend
 ///    the tree under shared page latches only.
 ///  - Writes (Put, Write(batch), transactions) are safe from multiple
-///    threads; the tree serializes page mutations internally
-///    (single-writer discipline) and the lock table resolves write-write
-///    conflicts first-writer-wins.
+///    threads; the lock table resolves write-write conflicts
+///    first-writer-wins. With TsbOptions::concurrent_writers the tree
+///    runs writer descents in parallel under optimistic latch coupling;
+///    otherwise page mutations serialize internally (single-writer
+///    discipline). A DB with secondary indexes commits serially either
+///    way — index maintenance must apply in timestamp order.
 ///  - CreateSecondaryIndex must complete before concurrent writes begin
 ///    (index registration is not latched — it is a schema operation).
 class MultiVersionDB {
@@ -90,7 +101,13 @@ class MultiVersionDB {
   /// in the directory records the device geometry (page size, WORM mode +
   /// sector grid, mmap flag); reopening with mismatched geometry fails
   /// with InvalidArgument instead of corrupting the stored files
-  /// (enable_mmap is a read-path choice and may change freely).
+  /// (enable_mmap is a read-path choice and may change freely). The
+  /// MANIFEST also catalogs secondary indexes: Open re-registers each one
+  /// automatically (see DbOptions::index_extractors), so index data is
+  /// never silently orphaned by a reopen. A `verified.tsb` sidecar
+  /// persists the historical store's CRC-verified blob set across
+  /// restarts, so a reopened DB serves cold mapped reads at memory speed
+  /// instead of re-checksumming every blob on first touch.
   static Status Open(const std::string& path, const DbOptions& options,
                      std::unique_ptr<MultiVersionDB>* out);
 
@@ -166,8 +183,13 @@ class MultiVersionDB {
   /// Registers a secondary index maintained from `extract`. If devices
   /// are null the DB creates (and owns) devices for the index: files
   /// under the database directory for a path-opened DB (so the index
-  /// persists with the primary), in-memory devices otherwise.
+  /// persists with the primary and is cataloged in the MANIFEST),
+  /// in-memory devices otherwise.
   /// Must be called before any writes touch indexed records.
+  /// Calling it for an index the MANIFEST re-attached at Open installs
+  /// `extract` on the existing index and returns OK (extractors are code,
+  /// not data — they cannot persist, so reopen re-binds them here or via
+  /// DbOptions::index_extractors).
   Status CreateSecondaryIndex(const std::string& name, KeyExtractor extract,
                               Device* magnetic = nullptr,
                               Device* historical = nullptr);
@@ -224,6 +246,9 @@ class MultiVersionDB {
 
   struct IndexEntryDef {
     KeyExtractor extract;
+    // True while the index was re-attached from the MANIFEST catalog and
+    // no explicit CreateSecondaryIndex call has claimed it yet.
+    bool from_catalog = false;
     // Devices owned iff created internally. Declared BEFORE the index so
     // they outlive the tree's destructor (which flushes to them).
     std::unique_ptr<Device> owned_magnetic;
@@ -231,7 +256,23 @@ class MultiVersionDB {
     std::unique_ptr<SecondaryIndex> index;
   };
 
+  /// Shared body of CreateSecondaryIndex and the Open-time catalog
+  /// re-attachment.
+  Status RegisterIndex(const std::string& name, KeyExtractor extract,
+                       bool from_catalog, Device* magnetic,
+                       Device* historical);
+
+  /// Rewrites the MANIFEST with the current geometry + index catalog
+  /// (path-backed DBs only).
+  Status PersistManifest();
+
+  /// Installs the TxnManager commit hook once the first index exists.
+  /// Deliberately lazy: a hook forces commits onto the serial path, so an
+  /// index-less DB keeps the concurrent commit path available.
+  void InstallCommitHook();
+
   DbOptions options_;
+  bool hook_installed_ = false;
   std::string path_;  // set by path-based Open
   // Primary devices owned by path-based Open. Declared BEFORE tree_ /
   // indexes_: destruction runs in reverse, so the trees flush to live

@@ -1,5 +1,6 @@
 #include "storage/append_store.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/coding.h"
@@ -169,6 +170,31 @@ Status AppendStore::Read(const HistAddr& addr, std::string* payload) {
   const Slice data = handle.data();
   payload->assign(data.data(), data.size());  // copy outside the cache latch
   return Status::OK();
+}
+
+void AppendStore::SnapshotVerified(std::vector<uint64_t>* offsets,
+                                   uint64_t* store_size) const {
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    *store_size = next_offset_;
+  }
+  std::lock_guard<std::mutex> lock(verified_mu_);
+  offsets->assign(verified_.begin(), verified_.end());
+  std::sort(offsets->begin(), offsets->end());
+}
+
+void AppendStore::PreloadVerified(const std::vector<uint64_t>& offsets) {
+  uint64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    size = next_offset_;
+  }
+  std::lock_guard<std::mutex> lock(verified_mu_);
+  for (const uint64_t off : offsets) {
+    if (off >= size) continue;
+    if (verified_.size() >= verified_capacity_) break;
+    verified_.insert(off);
+  }
 }
 
 HistReadStats AppendStore::hist_stats() const {

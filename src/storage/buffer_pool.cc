@@ -58,6 +58,29 @@ void PageHandle::LatchShared() {
   mode_ = LatchMode::kShared;
 }
 
+void PageHandle::LatchExclusive() {
+  assert(frame_ != nullptr && mode_ == LatchMode::kNone);
+  static_cast<BufferPool::Frame*>(frame_)->latch.lock();
+  mode_ = LatchMode::kExclusive;
+}
+
+bool PageHandle::TryUpgrade() {
+  assert(frame_ != nullptr && mode_ == LatchMode::kShared);
+  auto* frame = static_cast<BufferPool::Frame*>(frame_);
+  // std::shared_mutex has no atomic upgrade: drop shared, then try to take
+  // the exclusive latch without blocking (blocking here could deadlock
+  // against another upgrader). The gap means a writer may slip in, so
+  // callers that positioned under the shared latch must revalidate via
+  // version() after a successful upgrade.
+  frame->latch.unlock_shared();
+  if (frame->latch.try_lock()) {
+    mode_ = LatchMode::kExclusive;
+    return true;
+  }
+  mode_ = LatchMode::kNone;
+  return false;
+}
+
 void PageHandle::Unlatch() {
   if (frame_ == nullptr) return;
   auto* frame = static_cast<BufferPool::Frame*>(frame_);

@@ -8,9 +8,11 @@
 //    mutex.
 //  - Every frame carries a reader/writer latch. FetchShared pins the frame
 //    and acquires the latch shared (concurrent readers proceed in
-//    parallel); FetchExclusive acquires it exclusively (the single updater
-//    mutating the page). Latches are acquired AFTER pinning and outside the
-//    shard mutex, so a blocked latch never stalls the shard.
+//    parallel); FetchExclusive acquires it exclusively (an updater
+//    mutating the page — with TsbOptions::concurrent_writers several
+//    updaters hold exclusive latches on DIFFERENT pages at once). Latches
+//    are acquired AFTER pinning and outside the shard mutex, so a blocked
+//    latch never stalls the shard.
 //  - Fetch (no latch) remains for strictly single-threaded users (the B+
 //    and WOBT comparison trees, quiesced maintenance walks).
 //
@@ -72,6 +74,17 @@ class PageHandle {
   /// Re-acquires the frame latch shared on an already-pinned, unlatched
   /// handle (pins survive latch cycling; eviction stays blocked).
   void LatchShared();
+
+  /// Re-acquires the frame latch exclusively on an already-pinned,
+  /// unlatched handle (blocks until all shared holders release).
+  void LatchExclusive();
+
+  /// Upgrades a shared latch to exclusive WITHOUT blocking. Not atomic:
+  /// the shared latch is dropped first, so on success a concurrent writer
+  /// may have mutated the page in the gap — revalidate with version().
+  /// On failure the handle is left UNLATCHED (still pinned); the caller
+  /// must re-latch and re-position.
+  bool TryUpgrade();
 
   /// Drops the latch but keeps the pin, so the handle can relatch later.
   void Unlatch();

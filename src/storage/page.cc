@@ -51,4 +51,10 @@ uint16_t PageFlags(const char* buf) { return DecodeFixed16(buf + 14); }
 
 void SetPageFlags(char* buf, uint16_t flags) { EncodeFixed16(buf + 14, flags); }
 
+uint32_t PageSibling(const char* buf) { return DecodeFixed32(buf + 16); }
+
+void SetPageSibling(char* buf, uint32_t sibling_id) {
+  EncodeFixed32(buf + 16, sibling_id);
+}
+
 }  // namespace tsb

@@ -6,7 +6,8 @@
 //   [8..12)  page id
 //   [12..14) page type
 //   [14..16) flags
-//   [16..24) reserved (0)
+//   [16..20) right-sibling page id (B-link; 0 = none)
+//   [20..24) reserved (0)
 //   [24.. )  type-specific payload
 #ifndef TSBTREE_STORAGE_PAGE_H_
 #define TSBTREE_STORAGE_PAGE_H_
@@ -46,6 +47,13 @@ PageType GetPageType(const char* buf);
 void SetPageType(char* buf, PageType type);
 uint16_t PageFlags(const char* buf);
 void SetPageFlags(char* buf, uint16_t flags);
+
+/// Right-sibling page id set when a key split creates a sibling to this
+/// page's right (B-link link; covered by the page CRC, so it persists).
+/// kInvalidPageId (0, the meta page — never a node) means "none": fresh
+/// pages read as link-less because InitPage zeroes the header.
+uint32_t PageSibling(const char* buf);
+void SetPageSibling(char* buf, uint32_t sibling_id);
 
 }  // namespace tsb
 

@@ -1,6 +1,7 @@
 #include "tsb/cursor.h"
 
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 namespace tsb {
@@ -138,6 +139,10 @@ bool VersionCursor::EntrySurvives(const IndexEntryView& e,
                                   const std::string& win_hi,
                                   bool win_hi_inf) const {
   if (!e.ContainsTime(t_)) return false;
+  // Content floor: the rectangle may contain t_ (time floors stay loose
+  // across key splits), but if every committed record in the subtree is
+  // younger than t_ there is nothing to emit there.
+  if (e.min_ts > t_) return false;
   // Key overlap with the window?
   if (!win_hi_inf && e.key_lo >= Slice(win_hi)) return false;
   if (!e.key_hi_inf && e.key_hi <= Slice(win_lo)) return false;
@@ -324,7 +329,7 @@ Status VersionCursor::Advance() {
   // Advance returns; user-paced iteration never holds it.
   constexpr int kOptimisticRestarts = 4;
   int restarts = 0;
-  std::unique_lock<std::mutex> quiesce(tree_->writer_mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> quiesce(tree_->writer_mu_, std::defer_lock);
   auto restart = [&]() -> Status {
     if (++restarts > kOptimisticRestarts && !quiesce.owns_lock()) {
       quiesce.lock();

@@ -17,6 +17,7 @@ size_t IndexEntry::EncodedSize() const {
   n += child.historical
            ? 1 + VarintLength(child.addr.offset) + VarintLength(child.addr.length)
            : 1 + 4;
+  n += VarintLength(min_ts);
   return n;
 }
 
@@ -25,6 +26,7 @@ std::string IndexEntry::ToString() const {
                   ") x [" + std::to_string(t_lo) + ", " +
                   (t_hi == kInfiniteTs ? "+inf" : std::to_string(t_hi)) +
                   ") -> " + child.ToString();
+  if (min_ts != 0) s += " min_ts=" + std::to_string(min_ts);
   return s;
 }
 
@@ -39,6 +41,7 @@ void EncodeIndexCell(std::string* out, const IndexEntry& e) {
   PutFixed64(out, e.t_lo);
   PutFixed64(out, e.t_hi);
   EncodeNodeRef(out, e.child);
+  PutVarint64(out, e.min_ts);
 }
 
 bool DecodeIndexCellView(const Slice& cell, IndexEntryView* e) {
@@ -57,7 +60,11 @@ bool DecodeIndexCellView(const Slice& cell, IndexEntryView* e) {
   e->t_lo = DecodeFixed64(in.data());
   e->t_hi = DecodeFixed64(in.data() + 8);
   in.remove_prefix(16);
-  return DecodeNodeRef(&in, &e->child);
+  if (!DecodeNodeRef(&in, &e->child)) return false;
+  // Trailing content-floor hint; legacy cells end at the NodeRef.
+  e->min_ts = 0;
+  if (!in.empty() && !GetVarint64(&in, &e->min_ts)) return false;
+  return true;
 }
 
 bool DecodeIndexCell(const Slice& cell, IndexEntry* e) {

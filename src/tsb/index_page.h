@@ -15,6 +15,17 @@
 //   [varint klen_lo][key_lo]  ([varint klen_hi][key_hi] unless bit0)
 //   [fixed64 t_lo][fixed64 t_hi]
 //   [NodeRef]
+//   [varint64 min_ts]   (optional; absent in legacy cells == 0)
+//
+// min_ts is a content-floor hint: no committed record anywhere in the
+// child's subtree has a timestamp below it (0 = unknown, claim nothing).
+// It is computed when the entry is created at a split — commit timestamps
+// are monotonic, so later inserts can only raise the true floor — and it
+// lets as-of readers skip subtrees whose rectangle contains the query
+// time but whose content is entirely younger (rectangles inherit loose
+// time floors across key splits; the hint is tight where the rectangle
+// is not). Cells are length-delimited by their slotted container, so the
+// trailing varint decodes iff present and legacy cells stay readable.
 // Historical index blob: a hist_node.h container (v2 slotted or v3
 // prefix-compressed) holding index cells; legacy v1 length-prefixed
 // blobs remain decodable.
@@ -43,6 +54,7 @@ struct IndexEntry {
   Timestamp t_lo = 0;
   Timestamp t_hi = kInfiniteTs;  // kInfiniteTs <=> current child
   NodeRef child;
+  Timestamp min_ts = 0;  ///< subtree content floor; 0 = unknown
 
   bool current_child() const { return t_hi == kInfiniteTs; }
 
@@ -81,6 +93,7 @@ struct IndexEntryView {
   Timestamp t_lo = 0;
   Timestamp t_hi = kInfiniteTs;
   NodeRef child;
+  Timestamp min_ts = 0;  ///< subtree content floor; 0 = unknown
 
   bool current_child() const { return t_hi == kInfiniteTs; }
 
@@ -101,6 +114,7 @@ struct IndexEntryView {
     e.t_lo = t_lo;
     e.t_hi = t_hi;
     e.child = child;
+    e.min_ts = min_ts;
     return e;
   }
 };

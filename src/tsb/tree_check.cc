@@ -22,6 +22,7 @@ IndexEntryView ViewOf(const IndexEntry& e) {
   v.t_lo = e.t_lo;
   v.t_hi = e.t_hi;
   v.child = e.child;
+  v.min_ts = e.min_ts;
   return v;
 }
 
@@ -224,6 +225,9 @@ Status TreeChecker::CheckIndexEntries(
     child.key_hi_inf = e.key_hi_inf;
     child.t_lo = e.t_lo;
     child.t_hi = e.t_hi;
+    // Claims compose: every entry on the path bounds the whole subtree
+    // under it, so the child answers to the strongest one seen so far.
+    child.min_ts = std::max(win.min_ts, e.min_ts);
     TSB_RETURN_IF_ERROR(
         CheckNode(e.child, static_cast<uint8_t>(level - 1), child));
   }
@@ -269,6 +273,13 @@ Status TreeChecker::CheckDataEntries(const NodeRef& ref,
     if (e.ts >= win.t_hi) {
       return Status::Corruption("record after node time range",
                                 Describe(ref) + " key " + k.ToString());
+    }
+    if (e.ts < win.min_ts) {
+      return Status::Corruption(
+          "committed record predates content-floor hint",
+          Describe(ref) + " key " + k.ToString() + " ts " +
+              std::to_string(e.ts) + " min_ts " +
+              std::to_string(win.min_ts));
     }
     if (!have_run || k != run_key) {
       run_key = k;

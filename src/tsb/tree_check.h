@@ -14,7 +14,9 @@
 //  - data records lie inside their node's key range; committed records
 //    below the node's t_lo are exactly the TIME-SPLIT-RULE redundant
 //    copies: per key the single latest version preceding t_lo;
-//  - historical data records all precede the node's t_hi.
+//  - historical data records all precede the node's t_hi;
+//  - content-floor hints hold: no committed record in a subtree predates
+//    the strongest min_ts claim on the path to it (0 claims nothing).
 #ifndef TSBTREE_TSB_TREE_CHECK_H_
 #define TSBTREE_TSB_TREE_CHECK_H_
 
@@ -49,6 +51,7 @@ class TreeChecker {
     bool key_hi_inf = true;
     Timestamp t_lo = 0;
     Timestamp t_hi = kInfiniteTs;
+    Timestamp min_ts = 0;  ///< strongest content-floor claim on the path
   };
 
   Status CheckNode(const NodeRef& ref, uint8_t expected_level,

@@ -13,40 +13,50 @@ namespace tsb {
 namespace tsb_tree {
 
 /// How historical nodes were parsed on the read paths. Atomic because the
-/// lock-free readers bump these concurrently (unlike TsbCounters, which
-/// only the single writer maintains). Snapshot through TsbTree::HistStats.
+/// lock-free readers bump these concurrently. Snapshot through
+/// TsbTree::HistStats.
 struct HistDecodeCounters {
   std::atomic<uint64_t> view_decodes{0};   ///< zero-copy ref parses
   std::atomic<uint64_t> owned_decodes{0};  ///< materializing decodes
 };
 
-/// Running operation counters (cheap, maintained inline).
+/// Running operation counters (cheap, maintained inline). Atomic fields:
+/// with TsbOptions::concurrent_writers multiple writer threads bump them
+/// in parallel; fields convert implicitly to uint64_t for reading.
 struct TsbCounters {
-  uint64_t puts = 0;               ///< committed record versions inserted
-  uint64_t uncommitted_puts = 0;
-  uint64_t stamps = 0;             ///< uncommitted records committed in place
+  std::atomic<uint64_t> puts{0};   ///< committed record versions inserted
+  std::atomic<uint64_t> uncommitted_puts{0};
+  std::atomic<uint64_t> stamps{0}; ///< uncommitted records committed in place
   /// Leaf descents performed to stamp them: batched commits stamp every
   /// key landing on one leaf in a single descent, so for large batches
   /// this grows with leaves touched, not keys stamped.
-  uint64_t stamp_descents = 0;
-  uint64_t erases = 0;             ///< uncommitted records erased (aborts)
+  std::atomic<uint64_t> stamp_descents{0};
+  std::atomic<uint64_t> erases{0}; ///< uncommitted records erased (aborts)
 
-  uint64_t data_key_splits = 0;
-  uint64_t data_time_splits = 0;
-  uint64_t index_key_splits = 0;
-  uint64_t index_time_splits = 0;
-  uint64_t root_grows = 0;
+  std::atomic<uint64_t> data_key_splits{0};
+  std::atomic<uint64_t> data_time_splits{0};
+  std::atomic<uint64_t> index_key_splits{0};
+  std::atomic<uint64_t> index_time_splits{0};
+  std::atomic<uint64_t> root_grows{0};
 
-  uint64_t hist_data_nodes = 0;    ///< consolidated data nodes migrated
-  uint64_t hist_index_nodes = 0;   ///< index nodes migrated
-  uint64_t records_migrated = 0;   ///< record versions written historically
-  uint64_t index_entries_migrated = 0;
+  std::atomic<uint64_t> hist_data_nodes{0};   ///< data nodes migrated
+  std::atomic<uint64_t> hist_index_nodes{0};  ///< index nodes migrated
+  /// Record versions written historically.
+  std::atomic<uint64_t> records_migrated{0};
+  std::atomic<uint64_t> index_entries_migrated{0};
 
   /// Record versions kept in BOTH nodes by TIME-SPLIT RULE clause 3.
-  uint64_t redundant_record_copies = 0;
+  std::atomic<uint64_t> redundant_record_copies{0};
   /// Index entries duplicated into both siblings (keyspace-split clause 4
   /// and local-time-split straddlers).
-  uint64_t redundant_index_copies = 0;
+  std::atomic<uint64_t> redundant_index_copies{0};
+
+  /// Optimistic-latch-coupling writer descents that restarted from the
+  /// root because the structure changed underneath them (concurrent mode).
+  std::atomic<uint64_t> olc_restarts{0};
+  /// Descents that resolved a concurrent key split by stepping laterally
+  /// to the just-split page's right sibling instead of restarting.
+  std::atomic<uint64_t> olc_sidesteps{0};
 };
 
 /// Space snapshot computed by walking the tree (see

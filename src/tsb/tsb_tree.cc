@@ -4,9 +4,11 @@
 #include <cassert>
 #include <cstring>
 #include <set>
+#include <thread>
 
 #include "common/coding.h"
 #include "common/logger.h"
+#include "storage/page.h"
 #include "storage/worm_device.h"
 #include "tsb/cursor.h"
 
@@ -17,13 +19,43 @@ namespace {
 
 constexpr uint32_t kMetaMagic = 0x54534231;  // "TSB1"
 constexpr int kMaxInsertRetries = 64;
+// Yield budget while waiting for in-flight commits to publish so a
+// watermark-capped time split can migrate history (concurrent mode only).
+constexpr int kMaxWatermarkSpins = 4096;
 
 // Upper bound on the encoded size of an index entry we are about to create
-// whose historical address is not yet known (varints at their widest).
+// whose historical address and content-floor hint are not yet known
+// (varints at their widest).
 size_t IndexEntrySizeBound(const IndexEntry& prototype) {
   IndexEntry e = prototype;
   e.child = NodeRef::Historical(HistAddr{UINT64_MAX / 2, UINT32_MAX / 2});
+  e.min_ts = UINT64_MAX / 2;
   return e.EncodedSize() + 8;
+}
+
+// Content-floor hint for an entry about to reference a data node holding
+// exactly `entries`: the smallest committed timestamp present, or
+// `fallback` when nothing is committed yet (uncommitted records stamp
+// with a later timestamp than every commit so far, so any floor at or
+// below the current clock is sound).
+Timestamp DataContentFloor(const std::vector<DataEntry>& entries,
+                           Timestamp fallback) {
+  Timestamp min_ts = kInfiniteTs;
+  for (const DataEntry& e : entries) {
+    if (!e.uncommitted() && e.ts < min_ts) min_ts = e.ts;
+  }
+  return min_ts == kInfiniteTs ? fallback : min_ts;
+}
+
+// Content-floor hint for an entry about to reference an index node holding
+// exactly `entries`: the subtree floor is the weakest child claim — and a
+// single unknown child (0) makes the whole claim unknown.
+Timestamp IndexContentFloor(const std::vector<IndexEntry>& entries) {
+  Timestamp min_ts = kInfiniteTs;
+  for (const IndexEntry& e : entries) {
+    if (e.min_ts < min_ts) min_ts = e.min_ts;
+  }
+  return min_ts == kInfiniteTs ? 0 : min_ts;
 }
 
 // Slot + length-prefix overhead of one slotted cell.
@@ -105,7 +137,9 @@ Status TsbTree::Load() {
 }
 
 Status TsbTree::Flush() {
-  std::lock_guard<std::mutex> wl(writer_mu_);
+  // Exclusive writer lock: quiesces every mutator in both writer modes so
+  // the meta snapshot and the page flush are mutually consistent.
+  std::lock_guard<std::shared_mutex> wl(writer_mu_);
   std::vector<char> meta(options_.page_size);
   TSB_RETURN_IF_ERROR(pager_->ReadMeta(meta.data()));
   char* p = meta.data() + kPageHeaderSize;
@@ -124,12 +158,18 @@ Status TsbTree::Flush() {
 
 // ---------------------------------------------------------------- descent
 
-Status TsbTree::DescendCurrent(const Slice& key, std::vector<PathElem>* path) {
+Status TsbTree::DescendCurrent(const Slice& key, std::vector<PathElem>* path,
+                               bool latched) {
   path->clear();
   uint32_t id = root_.load(std::memory_order_acquire);
   for (;;) {
     PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(id, &h));
+    // `latched` reads each page under a shared latch: required when other
+    // writers may mutate leaves concurrently (split re-descents under
+    // structure_mu_ in concurrent mode; index pages are stable there but
+    // the leaf level byte is not).
+    TSB_RETURN_IF_ERROR(latched ? pool_->FetchShared(id, &h)
+                                : pool_->Fetch(id, &h));
     if (TsbPageLevel(h.data()) == 0) {
       path->push_back(PathElem{id, -1});
       return Status::OK();
@@ -148,6 +188,144 @@ Status TsbTree::DescendCurrent(const Slice& key, std::vector<PathElem>* path) {
     path->push_back(PathElem{id, idx});
     id = e.child.page_id;
   }
+}
+
+// Optimistic latch-coupled writer descent (concurrent_writers mode). At
+// most ONE page latch is held at any moment: internal pages are read under
+// a brief shared latch, their routing entry copied out, and only the pin
+// (not the latch) carried to the next level; after latching the child, the
+// parent's mutation counter is revalidated — a change means the routing
+// entry may be stale, so the descent restarts from the root
+// (counters_.olc_restarts). The target leaf is latched exclusively
+// (TryUpgrade, falling back to a blocking exclusive fetch). If the parent
+// changed while the leaf latch was being acquired, the descent first tries
+// to resolve locally: a concurrent key split leaves the shed upper range
+// reachable through the leaf's B-link right sibling, so the parent entry
+// is re-read and a lateral step (counters_.olc_sidesteps) replaces a full
+// restart. The leaf latch is always RELEASED before relatching the parent
+// — a splitter holds parent-exclusive while waiting for leaf-exclusive,
+// so holding the leaf while waiting on the parent would deadlock.
+// On success `*leaf` holds the exclusive latch and `*pe` the parent's
+// routing entry (identity rectangle when the root is the leaf), valid as
+// of a moment at which the leaf latch was already held.
+Status TsbTree::LatchLeafOLC(const Slice& key, PageHandle* leaf,
+                             IndexEntry* pe) {
+  constexpr int kMaxOlcRestarts = 64;
+  constexpr int kMaxSideSteps = 4;
+  for (int restart = 0; restart < kMaxOlcRestarts; ++restart) {
+    if (restart > 0) counters_.olc_restarts++;
+    PageHandle parent_h;  // pinned, UNLATCHED between levels
+    uint64_t parent_ver = 0;
+    bool have_parent = false;
+    pe->key_lo.clear();
+    pe->key_hi.clear();
+    pe->key_hi_inf = true;
+    pe->t_lo = kMinTimestamp;
+    pe->t_hi = kInfiniteTs;
+    pe->child = NodeRef::Current(root_.load(std::memory_order_acquire));
+
+    uint32_t id = pe->child.page_id;
+    bool at_root = true;
+    bool restart_descent = false;
+    while (!restart_descent) {
+      PageHandle h;
+      TSB_RETURN_IF_ERROR(pool_->FetchShared(id, &h));
+      if (at_root) {
+        // Post-latch root validation, same as the reader descent.
+        const uint32_t cur_root = root_.load(std::memory_order_acquire);
+        if (cur_root != id) {
+          h.Release();
+          id = cur_root;
+          pe->child = NodeRef::Current(id);
+          continue;
+        }
+        at_root = false;
+      } else if (parent_h.version() != parent_ver) {
+        // Parent mutated between copying its entry and latching the child:
+        // the child id itself may be stale. Start over.
+        h.Release();
+        restart_descent = true;
+        break;
+      }
+      if (TsbPageLevel(h.data()) != 0) {
+        // Internal page: copy the routing entry and the mutation counter
+        // under the shared latch, then carry only the pin downward.
+        IndexPageRef page(h.data(), options_.page_size);
+        const int idx = page.FindContaining(key, kUncommittedTs);
+        if (idx < 0) {
+          // Transiently possible mid-restructure; never permanent.
+          h.Release();
+          restart_descent = true;
+          break;
+        }
+        IndexEntry e;
+        TSB_RETURN_IF_ERROR(page.At(idx, &e));
+        if (e.child.historical) {
+          return Status::Corruption("current axis routed to historical node");
+        }
+        const uint64_t ver = h.version();
+        h.Unlatch();  // the pin survives; eviction stays blocked
+        parent_h = std::move(h);
+        parent_ver = ver;
+        have_parent = true;
+        *pe = e;
+        id = e.child.page_id;
+        continue;
+      }
+      // Leaf: upgrade to exclusive without blocking; on contention fall
+      // back to a blocking exclusive fetch (we hold no other latch, so
+      // blocking here cannot deadlock).
+      if (!h.TryUpgrade()) {
+        h.Release();
+        TSB_RETURN_IF_ERROR(pool_->FetchExclusive(id, &h));
+      }
+      if (!have_parent) {
+        // Root leaf: valid iff still the root (a concurrent split moves
+        // keys to a sibling reachable only through a new root).
+        if (root_.load(std::memory_order_acquire) != id) {
+          h.Release();
+          restart_descent = true;
+          break;
+        }
+        *leaf = std::move(h);
+        return Status::OK();
+      }
+      if (parent_h.version() == parent_ver) {
+        *leaf = std::move(h);
+        return Status::OK();
+      }
+      // The parent changed while the leaf latch was being acquired.
+      // Resolve locally: re-read the parent's routing entry; if it now
+      // points at this leaf's right sibling, the key moved in a concurrent
+      // key split — step laterally instead of restarting.
+      for (int step = 0; step < kMaxSideSteps; ++step) {
+        const uint32_t sibling = PageSibling(h.data());
+        h.Release();  // ALWAYS before relatching the parent (lock order)
+        parent_h.LatchShared();
+        IndexPageRef parent(parent_h.data(), options_.page_size);
+        const int idx = parent.FindContaining(key, kUncommittedTs);
+        IndexEntry cand;
+        Status ps = idx >= 0 ? parent.At(idx, &cand) : Status::OK();
+        parent_ver = parent_h.version();
+        parent_h.Unlatch();
+        TSB_RETURN_IF_ERROR(ps);
+        if (idx < 0 || cand.child.historical) break;  // parent restructured
+        const uint32_t target = cand.child.page_id;
+        if (target != id && target != sibling) break;  // non-local change
+        if (target == sibling) counters_.olc_sidesteps++;
+        id = target;
+        *pe = cand;
+        TSB_RETURN_IF_ERROR(pool_->FetchExclusive(id, &h));
+        if (parent_h.version() == parent_ver) {
+          *leaf = std::move(h);
+          return Status::OK();
+        }
+      }
+      h.Release();
+      restart_descent = true;
+    }
+  }
+  return Status::Busy("writer descent did not converge");
 }
 
 Status TsbTree::SearchPoint(const Slice& key, Timestamp t, TxnId txn,
@@ -381,7 +559,7 @@ Status TsbTree::GetUncommitted(const Slice& key, TxnId txn,
 // ---------------------------------------------------------------- writes
 
 Status TsbTree::Put(const Slice& key, const Slice& value, Timestamp ts) {
-  std::lock_guard<std::mutex> wl(writer_mu_);
+  WriterGuard wl(this);
   if (ts == kMinTimestamp || ts > kMaxCommittedTs) {
     return Status::InvalidArgument("timestamp out of committed range");
   }
@@ -403,7 +581,7 @@ Status TsbTree::Put(const Slice& key, const Slice& value, Timestamp ts) {
 
 Status TsbTree::PutUncommitted(const Slice& key, const Slice& value,
                                TxnId txn) {
-  std::lock_guard<std::mutex> wl(writer_mu_);
+  WriterGuard wl(this);
   if (txn == kNoTxn) return Status::InvalidArgument("txn id required");
   DataEntry e;
   e.key = key.ToString();
@@ -420,19 +598,28 @@ Status TsbTree::InsertEntry(const DataEntry& e) {
   if (e.EncodedSize() + kCellOverhead > capacity / 3) {
     return Status::InvalidArgument("record too large for page size");
   }
+  const bool concurrent = options_.concurrent_writers;
   for (int attempt = 0; attempt < kMaxInsertRetries; ++attempt) {
-    std::vector<PathElem> path;
-    TSB_RETURN_IF_ERROR(DescendCurrent(Slice(e.key), &path));
-    // Exclusive leaf latch: concurrent readers of this page must not see
-    // the slotted layout mid-mutation.
     PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
+    IndexEntry pe;
+    if (concurrent) {
+      // Optimistic descent: exclusive latch on the target leaf only; the
+      // routing entry is captured during the descent (index pages may not
+      // be read unlatched while other writers split).
+      TSB_RETURN_IF_ERROR(LatchLeafOLC(Slice(e.key), &h, &pe));
+    } else {
+      std::vector<PathElem> path;
+      TSB_RETURN_IF_ERROR(DescendCurrent(Slice(e.key), &path));
+      // Exclusive leaf latch: concurrent readers of this page must not
+      // see the slotted layout mid-mutation.
+      TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
+      int pe_pos;
+      TSB_RETURN_IF_ERROR(
+          ParentEntryFor(path, path.size() - 1, &pe, &pe_pos));
+    }
     DataPageRef page(h.data(), options_.page_size);
 
     // Region lower time bound: committed inserts must not predate it.
-    IndexEntry pe;
-    int pe_pos;
-    TSB_RETURN_IF_ERROR(ParentEntryFor(path, path.size() - 1, &pe, &pe_pos));
     if (!e.uncommitted() && e.ts < pe.t_lo) {
       return Status::InvalidArgument(
           "timestamp predates the node's time-split boundary");
@@ -463,34 +650,77 @@ Status TsbTree::InsertEntry(const DataEntry& e) {
       return Status::OK();
     }
     h.Release();
-    TSB_RETURN_IF_ERROR(SplitDataPage(path));
+    Status split = SplitForInsert(e);
+    if (concurrent && split.IsOutOfSpace() &&
+        clock_.Visible() < clock_.Now()) {
+      // The page looks wedged only because the time-split boundary is
+      // capped at the PUBLISHED watermark and in-flight commits are still
+      // holding it back. Those commits finish without our help (we hold
+      // no latch here and only a shared writer lock), so yield until the
+      // watermark catches up and the split can migrate history again.
+      for (int spin = 0;
+           spin < kMaxWatermarkSpins && clock_.Visible() < clock_.Now();
+           ++spin) {
+        std::this_thread::yield();
+      }
+      split = SplitForInsert(e);
+    }
+    TSB_RETURN_IF_ERROR(split);
   }
   return Status::Corruption("insert did not converge after splits");
 }
 
+Status TsbTree::SplitForInsert(const DataEntry& e) {
+  // Structural changes are serialized on structure_mu_ (uncontended in
+  // single-writer mode). Index pages are mutated ONLY by the split/grow
+  // code running under this mutex, so the unlatched index reads below it
+  // (DescendCurrent's routing, ParentEntryFor, EnsureIndexRoom) are safe;
+  // LEAVES still change under other writers' latches in concurrent mode,
+  // so the re-descent latches pages and SplitDataPage revalidates the
+  // leaf's mutation counter before installing its rewrite.
+  std::lock_guard<std::mutex> sl(structure_mu_);
+  std::vector<PathElem> path;
+  TSB_RETURN_IF_ERROR(
+      DescendCurrent(Slice(e.key), &path, options_.concurrent_writers));
+  {
+    // Another writer may have split this leaf while we waited on the
+    // mutex: skip when the entry now fits (the caller retries the insert
+    // with a fresh descent either way).
+    PageHandle h;
+    TSB_RETURN_IF_ERROR(pool_->FetchShared(path.back().page_id, &h));
+    DataPageRef page(h.data(), options_.page_size);
+    if (page.HasRoomFor(e)) return Status::OK();
+  }
+  return SplitDataPage(path);
+}
+
 Status TsbTree::StampCommitted(const Slice& key, TxnId txn, Timestamp ts) {
-  std::lock_guard<std::mutex> wl(writer_mu_);
+  WriterGuard wl(this);
   if (ts == kMinTimestamp || ts > kMaxCommittedTs) {
     return Status::InvalidArgument("timestamp out of committed range");
   }
-  std::vector<PathElem> path;
-  TSB_RETURN_IF_ERROR(DescendCurrent(key, &path));
-  // Defense in depth: stamping below the region's time-split boundary
-  // would make the version unreachable for as-of reads (the region
-  // [t_lo, inf) no longer covers it). Serialized commits make this
-  // impossible — a split can never choose a boundary above an in-flight
-  // commit timestamp — so treat it as corruption, not data loss.
-  {
-    IndexEntry pe;
+  PageHandle h;
+  IndexEntry pe;
+  if (options_.concurrent_writers) {
+    TSB_RETURN_IF_ERROR(LatchLeafOLC(key, &h, &pe));
+  } else {
+    std::vector<PathElem> path;
+    TSB_RETURN_IF_ERROR(DescendCurrent(key, &path));
     int pe_pos;
     TSB_RETURN_IF_ERROR(ParentEntryFor(path, path.size() - 1, &pe, &pe_pos));
-    if (ts < pe.t_lo) {
-      return Status::Corruption(
-          "commit timestamp predates the node's time-split boundary");
-    }
+    TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
   }
-  PageHandle h;
-  TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
+  // Defense in depth: stamping below the region's time-split boundary
+  // would make the version unreachable for as-of reads (the region
+  // [t_lo, inf) no longer covers it). Commits can never legally hit this
+  // — serialized commits never split above an in-flight timestamp, and
+  // concurrent-mode splits cap the boundary at the published watermark,
+  // which trails every in-flight commit — so treat it as corruption, not
+  // data loss.
+  if (ts < pe.t_lo) {
+    return Status::Corruption(
+        "commit timestamp predates the node's time-split boundary");
+  }
   DataPageRef page(h.data(), options_.page_size);
   const int pos = page.FindUncommitted(key, txn);
   if (pos < 0) return Status::NotFound("no uncommitted version for txn");
@@ -514,26 +744,32 @@ Status TsbTree::StampCommitted(const Slice& key, TxnId txn, Timestamp ts) {
 
 Status TsbTree::StampCommittedBatch(const std::vector<Slice>& keys,
                                     TxnId txn, Timestamp ts) {
-  std::lock_guard<std::mutex> wl(writer_mu_);
+  WriterGuard wl(this);
   if (ts == kMinTimestamp || ts > kMaxCommittedTs) {
     return Status::InvalidArgument("timestamp out of committed range");
   }
+  const bool concurrent = options_.concurrent_writers;
   size_t i = 0;
   while (i < keys.size()) {
     assert(i == 0 || keys[i - 1] < keys[i]);  // sorted + distinct
-    std::vector<PathElem> path;
-    TSB_RETURN_IF_ERROR(DescendCurrent(keys[i], &path));
+    PageHandle h;
     // The region boundary check of StampCommitted, hoisted per leaf: every
     // key stamped below shares this leaf's region.
     IndexEntry pe;
-    int pe_pos;
-    TSB_RETURN_IF_ERROR(ParentEntryFor(path, path.size() - 1, &pe, &pe_pos));
+    if (concurrent) {
+      TSB_RETURN_IF_ERROR(LatchLeafOLC(keys[i], &h, &pe));
+    } else {
+      std::vector<PathElem> path;
+      TSB_RETURN_IF_ERROR(DescendCurrent(keys[i], &path));
+      int pe_pos;
+      TSB_RETURN_IF_ERROR(
+          ParentEntryFor(path, path.size() - 1, &pe, &pe_pos));
+      TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
+    }
     if (ts < pe.t_lo) {
       return Status::Corruption(
           "commit timestamp predates the node's time-split boundary");
     }
-    PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
     // Dirty (and version-bump) the leaf BEFORE mutating it: an error
     // return mid-leaf must leave the already-applied stamps flagged for
     // write-back, exactly like per-key stamping would (the caller
@@ -567,11 +803,16 @@ Status TsbTree::StampCommittedBatch(const std::vector<Slice>& keys,
 }
 
 Status TsbTree::EraseUncommitted(const Slice& key, TxnId txn) {
-  std::lock_guard<std::mutex> wl(writer_mu_);
-  std::vector<PathElem> path;
-  TSB_RETURN_IF_ERROR(DescendCurrent(key, &path));
+  WriterGuard wl(this);
   PageHandle h;
-  TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
+  if (options_.concurrent_writers) {
+    IndexEntry pe;
+    TSB_RETURN_IF_ERROR(LatchLeafOLC(key, &h, &pe));
+  } else {
+    std::vector<PathElem> path;
+    TSB_RETURN_IF_ERROR(DescendCurrent(key, &path));
+    TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path.back().page_id, &h));
+  }
   DataPageRef page(h.data(), options_.page_size);
   const int pos = page.FindUncommitted(key, txn);
   if (pos < 0) return Status::NotFound("no uncommitted version for txn");
@@ -662,19 +903,31 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
   TSB_RETURN_IF_ERROR(ParentEntryFor(path, leaf_idx, &pe, &pe_pos));
 
   std::vector<DataEntry> entries;
+  uint64_t leaf_ver = 0;
   {
     PageHandle h;
-    TSB_RETURN_IF_ERROR(pool_->Fetch(path[leaf_idx].page_id, &h));
+    TSB_RETURN_IF_ERROR(pool_->FetchShared(path[leaf_idx].page_id, &h));
     DataPageRef page(h.data(), options_.page_size);
     TSB_RETURN_IF_ERROR(page.DecodeAll(&entries));
+    // Mutation counter baseline: the installs below re-check it under the
+    // exclusive leaf latch and abandon the split if a concurrent writer
+    // mutated the leaf after this decode (rewriting from the stale
+    // snapshot would lose that write).
+    leaf_ver = h.version();
   }
   const DataNodeStats stats = ComputeDataNodeStats(entries);
   const uint32_t capacity = options_.page_size - kTsbSlotBase;
   SplitKind kind = policy_.DecideDataSplit(stats, capacity);
 
   if (kind == SplitKind::kTimeSplit) {
+    // Concurrent mode caps the split time at the PUBLISHED watermark, not
+    // the raw clock: Now() may already exceed an in-flight commit's
+    // timestamp, and a boundary above it would later make that commit's
+    // stamp land below t_lo (unreachable for as-of reads).
+    const Timestamp now_cap =
+        options_.concurrent_writers ? clock_.Visible() : clock_.Now();
     const Timestamp split_t =
-        policy_.ChooseSplitTime(entries, pe.t_lo, clock_.Now());
+        policy_.ChooseSplitTime(entries, pe.t_lo, now_cap);
     std::vector<DataEntry> hist_set, cur_set;
     size_t redundant = 0;
     PartitionByTime(entries, split_t, &hist_set, &cur_set, &redundant);
@@ -686,6 +939,7 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
       // irreversible work; if the structure changed, retry from the top.
       IndexEntry he = pe;
       he.t_hi = split_t;
+      he.min_ts = DataContentFloor(hist_set, pe.min_ts);
       const uint32_t need =
           static_cast<uint32_t>(IndexEntrySizeBound(he)) + kCellOverhead;
       bool changed = false;
@@ -717,6 +971,13 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
         PageHandle leaf_h;
         TSB_RETURN_IF_ERROR(
             pool_->FetchExclusive(path[leaf_idx].page_id, &leaf_h));
+        if (leaf_h.version() != leaf_ver) {
+          // Stale decode (concurrent writer): abandon; the caller retries
+          // with a fresh descent. The appended blob stays unreferenced in
+          // the append-only store — bounded garbage, the same state a
+          // crash between append and install leaves behind.
+          return Status::OK();
+        }
         // Leaf keeps only the TIME-SPLIT RULE survivors.
         DataPageRef page(leaf_h.data(), options_.page_size);
         TSB_RETURN_IF_ERROR(page.Load(cur_set));
@@ -726,6 +987,10 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
         IndexPageRef parent(parent_h.data(), options_.page_size);
         IndexEntry cur_e = pe;
         cur_e.t_lo = split_t;
+        // Retained-alive records can predate split_t; with nothing
+        // committed, split_t is sound — the watermark cap keeps every
+        // in-flight stamp above it.
+        cur_e.min_ts = DataContentFloor(cur_set, split_t);
         if (!parent.Replace(pe_pos, cur_e)) {
           return Status::Corruption("parent entry replace failed");
         }
@@ -808,19 +1073,39 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
     PageHandle leaf_h;
     TSB_RETURN_IF_ERROR(
         pool_->FetchExclusive(path[leaf_idx].page_id, &leaf_h));
+    if (leaf_h.version() != leaf_ver) {
+      // Stale decode (see the time-split bail-out): drop the unpublished
+      // sibling and let the caller retry.
+      leaf_h.Release();
+      parent_h.Release();
+      const uint32_t right_id = right_h.id();
+      right_h.Release();
+      return pool_->Drop(right_id);
+    }
+    // B-link chain: the sibling inherits the leaf's old right link, then
+    // the leaf links to the sibling — both set before the parent entry
+    // makes the sibling reachable, so a concurrent OLC descent that finds
+    // its routing stale can step laterally instead of restarting.
+    SetPageSibling(right_h.data(), PageSibling(leaf_h.data()));
     DataPageRef page(leaf_h.data(), options_.page_size);
     TSB_RETURN_IF_ERROR(page.Load(left));
+    SetPageSibling(leaf_h.data(), right_h.id());
     leaf_h.MarkDirty();
     IndexPageRef parent(parent_h.data(), options_.page_size);
     IndexEntry left_e = pe;
     left_e.key_hi = split_key;
     left_e.key_hi_inf = false;
+    left_e.min_ts = DataContentFloor(left, pe.min_ts);
     if (!parent.Replace(pe_pos, left_e)) {
       return Status::Corruption("parent entry replace failed");
     }
     IndexEntry right_e = pe;  // the new entry inherits the predecessor's
     right_e.key_lo = split_key;  // timestamp (Fig 5): t_lo stays pe.t_lo
     right_e.child = NodeRef::Current(right_h.id());
+    // The rectangle keeps the predecessor's loose time floor, but the
+    // content floor is tight: old-snapshot readers skip siblings whose
+    // records are all younger than their as-of time.
+    right_e.min_ts = DataContentFloor(right, pe.min_ts);
     if (!parent.Insert(right_e)) {
       return Status::Corruption("parent lost reserved space (key split)");
     }
@@ -991,19 +1276,25 @@ Status TsbTree::SplitIndexPage(const std::vector<PathElem>& path, size_t idx) {
         pool_->FetchExclusive(path[idx - 1].page_id, &parent_h));
     PageHandle h;
     TSB_RETURN_IF_ERROR(pool_->FetchExclusive(path[idx].page_id, &h));
+    // Keep the B-link chain at the index level too (uniform invariant;
+    // only leaf links are consulted by the OLC side-step today).
+    SetPageSibling(right_h.data(), PageSibling(h.data()));
     IndexPageRef page(h.data(), options_.page_size);
     TSB_RETURN_IF_ERROR(page.Load(left));
+    SetPageSibling(h.data(), right_h.id());
     h.MarkDirty();
     IndexPageRef parent(parent_h.data(), options_.page_size);
     IndexEntry left_e = pe;
     left_e.key_hi = split_key;
     left_e.key_hi_inf = false;
+    left_e.min_ts = IndexContentFloor(left);
     if (!parent.Replace(pe_pos, left_e)) {
       return Status::Corruption("index key split: parent replace failed");
     }
     IndexEntry right_e = pe;  // rule 1: a copy of the time used for the
     right_e.key_lo = split_key;  // previous reference is posted
     right_e.child = NodeRef::Current(right_h.id());
+    right_e.min_ts = IndexContentFloor(right);
     if (!parent.Insert(right_e)) {
       return Status::Corruption("index key split: parent lost space");
     }
@@ -1041,6 +1332,7 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
     }
   }
   std::sort(hist_entries.begin(), hist_entries.end());
+  he.min_ts = IndexContentFloor(hist_entries);
   size_t distinct = 0, key_bytes = 0;
   IndexNodeShape(hist_entries, &distinct, &key_bytes);
   const uint32_t interval = policy_.ChooseRestartInterval(
@@ -1071,6 +1363,7 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
     IndexPageRef parent(parent_h.data(), options_.page_size);
     IndexEntry cur_e = pe;
     cur_e.t_lo = split_t;
+    cur_e.min_ts = IndexContentFloor(keep);
     if (!parent.Replace(pe_pos, cur_e)) {
       return Status::Corruption("index time split: parent replace failed");
     }
@@ -1167,9 +1460,10 @@ Status TsbTree::WalkStats(
 }
 
 Status TsbTree::ComputeSpaceStats(SpaceStats* out) {
-  // Maintenance walk: quiesce the writer for a consistent DAG traversal
-  // (readers may continue concurrently).
-  std::lock_guard<std::mutex> wl(writer_mu_);
+  // Maintenance walk: quiesce every mutator (exclusive writer lock, both
+  // writer modes) for a consistent DAG traversal; readers may continue
+  // concurrently.
+  std::lock_guard<std::shared_mutex> wl(writer_mu_);
   *out = SpaceStats{};
   out->magnetic_pages = pager_->live_pages();
   out->magnetic_bytes = pager_->live_bytes();
@@ -1222,22 +1516,34 @@ Status TsbTree::ScanHistoryRange(const Slice& key_lo, const Slice& key_hi,
                                  std::vector<VersionRecord>* out) {
   out->clear();
   if (t_lo >= t_hi) return Status::OK();
-  // The recursive walk decodes nodes without holding latches across
-  // levels, so a concurrent split could move entries out from under it.
-  // Optimistic epoch validation: retry when the structure changed; the
-  // last attempt quiesces the writer (the result set itself is stable —
-  // commit timestamps only grow).
+  // The walk holds no latch across levels; instead every CURRENT index
+  // page stays pinned while its subtrees are visited and its per-frame
+  // mutation counter is revalidated after each child (see
+  // ScanHistoryRangeRec) — far finer-grained than the old whole-tree
+  // structure-epoch check, which restarted the scan on ANY split anywhere.
+  // Two escalations remain: a page that will not stabilize reports Busy,
+  // and a root swap mid-walk means entries may have moved to a page only
+  // reachable from the NEW root. Both retry the walk; the final attempt
+  // quiesces every mutator via the exclusive writer lock. The accumulator
+  // persists across attempts: each emission is a committed version decoded
+  // consistently under a latch, and the (key, ts) keying dedups re-visits,
+  // so earlier partial walks only save work.
   constexpr int kOptimisticScanAttempts = 4;
+  std::map<std::pair<std::string, Timestamp>, std::string> acc;
+  std::vector<HistAddr> seen;
   for (int attempt = 0; attempt <= kOptimisticScanAttempts; ++attempt) {
     const bool quiesce = attempt == kOptimisticScanAttempts;
-    std::unique_lock<std::mutex> wl(writer_mu_, std::defer_lock);
+    std::unique_lock<std::shared_mutex> wl(writer_mu_, std::defer_lock);
     if (quiesce) wl.lock();
-    const uint64_t epoch = structure_epoch();
-    std::map<std::pair<std::string, Timestamp>, std::string> acc;
-    std::vector<HistAddr> seen;
-    TSB_RETURN_IF_ERROR(
-        ScanHistoryRangeRec(root(), key_lo, key_hi, t_lo, t_hi, &acc, &seen));
-    if (!quiesce && structure_epoch() != epoch) continue;
+    const NodeRef scan_root = root();
+    Status s = ScanHistoryRangeRec(scan_root, key_lo, key_hi, t_lo, t_hi,
+                                   &acc, &seen);
+    if (s.IsBusy()) continue;
+    TSB_RETURN_IF_ERROR(s);
+    if (!quiesce &&
+        root_.load(std::memory_order_acquire) != scan_root.page_id) {
+      continue;
+    }
     out->reserve(acc.size());
     for (auto& [kt, value] : acc) {
       out->push_back(VersionRecord{kt.first, kt.second, std::move(value)});
@@ -1283,6 +1589,7 @@ Status TsbTree::ScanHistoryRangeRec(
             IndexEntryView e;
             TSB_RETURN_IF_ERROR(node.AtView(i, &e));
             if (e.t_hi <= t_lo || e.t_lo >= t_hi) continue;
+            if (e.min_ts >= t_hi) continue;  // content floor past the window
             if (!key_hi.empty() && e.key_lo >= key_hi) continue;
             if (!e.key_hi_inf && e.key_hi <= key_lo) continue;
             // The recursion only needs the POD child ref; the view itself
@@ -1295,10 +1602,23 @@ Status TsbTree::ScanHistoryRangeRec(
         },
         scan_hints);
   }
-  DecodedNode node;
-  TSB_RETURN_IF_ERROR(ReadNode(ref, &node));
-  if (node.is_data()) {
-    for (const DataEntry& e : node.data) {
+  // Current page. Leaves decode under a brief shared latch and emit their
+  // matching entries. Index pages also decode under a brief latch, then
+  // keep only the PIN while recursing into children; after each child the
+  // frame's mutation counter is revalidated — a change means a split may
+  // have moved entries into a sibling this snapshot of the page does not
+  // reference yet, so the page is re-read and its loop restarts (the
+  // (key, ts)-keyed accumulator and the historical-node dedup make
+  // re-visits idempotent). A page that never stabilizes reports
+  // Status::Busy and the top-level caller escalates to a quiesced walk.
+  PageHandle h;
+  TSB_RETURN_IF_ERROR(pool_->FetchShared(ref.page_id, &h));
+  if (TsbPageLevel(h.data()) == 0) {
+    DataPageRef page(h.data(), options_.page_size);
+    std::vector<DataEntry> data;
+    TSB_RETURN_IF_ERROR(page.DecodeAll(&data));
+    h.Release();
+    for (const DataEntry& e : data) {
       if (e.uncommitted()) continue;
       if (e.ts < t_lo || e.ts >= t_hi) continue;
       if (Slice(e.key) < key_lo) continue;
@@ -1307,17 +1627,43 @@ Status TsbTree::ScanHistoryRangeRec(
     }
     return Status::OK();
   }
-  for (const IndexEntry& e : node.index) {
+  IndexPageRef page(h.data(), options_.page_size);
+  std::vector<IndexEntry> index;
+  TSB_RETURN_IF_ERROR(page.DecodeAll(&index));
+  uint64_t ver = h.version();
+  h.Unlatch();  // keep the pin: the frame cannot be evicted or reloaded
+  constexpr int kMaxPageRereads = 8;
+  int rereads = 0;
+  size_t i = 0;
+  while (i < index.size()) {
+    const IndexEntry& e = index[i];
     // Prune subtrees whose rectangle misses the query window. This is
     // complete: every version lives in at least one data node whose time
     // range CONTAINS its write time (time splits partition by write time;
     // the rule-3 redundant copies elsewhere are duplicates removed by the
     // (key, ts) deduplication).
-    if (e.t_hi <= t_lo || e.t_lo >= t_hi) continue;
-    if (!key_hi.empty() && Slice(e.key_lo) >= key_hi) continue;
-    if (!e.key_hi_inf && Slice(e.key_hi) <= key_lo) continue;
-    TSB_RETURN_IF_ERROR(
-        ScanHistoryRangeRec(e.child, key_lo, key_hi, t_lo, t_hi, acc, seen));
+    const bool pruned = e.t_hi <= t_lo || e.t_lo >= t_hi ||
+                        e.min_ts >= t_hi ||  // content floor past the window
+                        (!key_hi.empty() && Slice(e.key_lo) >= key_hi) ||
+                        (!e.key_hi_inf && Slice(e.key_hi) <= key_lo);
+    if (!pruned) {
+      TSB_RETURN_IF_ERROR(ScanHistoryRangeRec(e.child, key_lo, key_hi, t_lo,
+                                              t_hi, acc, seen));
+    }
+    ++i;
+    if (h.version() != ver) {
+      if (++rereads > kMaxPageRereads) {
+        return Status::Busy("current index page would not stabilize");
+      }
+      h.LatchShared();
+      IndexPageRef repage(h.data(), options_.page_size);
+      index.clear();
+      Status ds = repage.DecodeAll(&index);
+      ver = h.version();
+      h.Unlatch();
+      TSB_RETURN_IF_ERROR(ds);
+      i = 0;
+    }
   }
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -76,6 +77,20 @@ struct TsbOptions {
   /// compress better (many short versions per key). Read-compatible in
   /// every direction — the interval is stored per node.
   uint32_t hist_restart_interval = kHistRestartInterval;
+  /// Parallel write path. Off (default): every mutator serializes behind
+  /// one writer mutex — the paper's single-updater discipline, zero
+  /// overhead, the measurable baseline. On: mutators run concurrently
+  /// using optimistic latch coupling — the descent reads internal pages
+  /// under brief shared latches, validates each page's mutation counter
+  /// after latching the child, takes the exclusive frame latch only on the
+  /// target leaf, and side-steps along B-link sibling pointers when a
+  /// concurrent key split moved the key (see counters().olc_restarts /
+  /// olc_sidesteps). Splits serialize on an internal structure mutex;
+  /// leaf-only writes scale with cores. With concurrent writers, route
+  /// committed writes through ONE discipline: either direct Put calls or
+  /// TxnManager commits, not both interleaved (the commit watermark
+  /// ordering assumes it allocates the timestamps it publishes).
+  bool concurrent_writers = false;
   SplitPolicyConfig policy;
 };
 
@@ -113,11 +128,24 @@ struct DecodedNode {
 ///  - NewSnapshotIterator(T)         key-ordered state as of T
 ///  - NewHistoryIterator(key)        all committed versions, newest first
 ///
-/// Thread model (paper section 4.1: single updater, lock-free timestamped
-/// readers):
-///  - All write entry points serialize on an internal writer mutex
-///    (single-writer discipline; concurrent writers are safe but not
-///    parallel).
+/// Thread model (paper section 4.1 extended with optimistic latch
+/// coupling on the write path):
+///  - Default (options.concurrent_writers == false): all write entry
+///    points serialize exclusively on the internal writer mutex — the
+///    paper's single-updater discipline; concurrent writers are safe but
+///    not parallel.
+///  - concurrent_writers == true: mutators hold the writer mutex SHARED
+///    (so N writer threads proceed in parallel) and descend with
+///    optimistic latch coupling — brief shared latch per internal page,
+///    PageHandle::version validation after each child latch, exclusive
+///    latch only on the target leaf. A descent that loses a race
+///    side-steps along the leaf's B-link sibling pointer (concurrent key
+///    split) or restarts from the root. Structural changes (splits, root
+///    growth) additionally serialize on an internal structure mutex, so
+///    index pages mutate one split at a time. Quiescing maintenance
+///    (Flush, ComputeSpaceStats, bounded scan/cursor fallbacks) takes the
+///    writer mutex exclusively and thus still excludes every mutator in
+///    both modes.
 ///  - Read entry points never take the writer mutex. Point reads descend
 ///    the current pages with latch coupling: the child's shared frame
 ///    latch is acquired before the parent's is dropped, and every
@@ -125,9 +153,9 @@ struct DecodedNode {
 ///    simultaneously, so a reader can never observe a parent entry and a
 ///    child page from different structural states. Historical nodes are
 ///    immutable blobs and need no latches.
-///  - Scans (SnapshotIterator, ScanHistoryRange) validate a structure
-///    epoch and transparently restart from their last position when a
-///    split moved entries underneath them; as-of-T results are stable
+///  - Scans (SnapshotIterator, ScanHistoryRange) keep pinned frames and
+///    revalidate per-page mutation counters, transparently re-reading a
+///    page a split rewrote underneath them; as-of-T results are stable
 ///    because commit timestamps only grow (section 4.1).
 class TsbTree {
  public:
@@ -283,8 +311,20 @@ class TsbTree {
   };
 
   /// Descends the current axis (T = kUncommittedTs) to the leaf for `key`.
-  /// Writer-only (called with writer_mu_ held).
-  Status DescendCurrent(const Slice& key, std::vector<PathElem>* path);
+  /// Writer-only. With `latched`, every page is read under a brief shared
+  /// latch (required whenever other writers may mutate leaves, i.e. under
+  /// structure_mu_ in concurrent mode); unlatched reads are only safe when
+  /// the caller holds writer_mu_ exclusively.
+  Status DescendCurrent(const Slice& key, std::vector<PathElem>* path,
+                        bool latched = false);
+
+  /// Concurrent-mode writer descent (optimistic latch coupling): descends
+  /// to the leaf for `key` under brief shared latches with per-page
+  /// version validation, and returns the leaf EXCLUSIVELY latched plus the
+  /// parent entry (`pe`, identity rectangle when the leaf is the root)
+  /// captured consistently with the leaf. Lost races side-step via the
+  /// B-link sibling or restart from the root (bounded).
+  Status LatchLeafOLC(const Slice& key, PageHandle* leaf, IndexEntry* pe);
 
   /// Where a point lookup delivers its result: exactly one of `value`
   /// (copying) or `pinned` (zero-copy blob view) is non-null.
@@ -317,6 +357,10 @@ class TsbTree {
 
   /// Inserts `e` (committed or uncommitted), splitting as needed.
   Status InsertEntry(const DataEntry& e);
+
+  /// The split slow path of InsertEntry: re-descends under structure_mu_
+  /// and splits the target leaf unless another writer already made room.
+  Status SplitForInsert(const DataEntry& e);
 
   /// Splits the full leaf at path.back(); posts to parents; the caller
   /// re-descends afterwards.
@@ -354,6 +398,13 @@ class TsbTree {
                               std::vector<DataEntry>* current,
                               size_t* redundant);
 
+  /// Recursive walk for ScanHistoryRange. Current index pages are
+  /// processed optimistically: the frame stays pinned (unlatched) across
+  /// the child recursion and the page's mutation counter is revalidated
+  /// after each child — a bumped counter re-reads the page and reprocesses
+  /// it (the (key, ts)-keyed accumulator and the seen-blob set make
+  /// re-visits idempotent). Returns Status::Busy when a page will not
+  /// stabilize within the re-read budget; the caller then quiesces.
   Status ScanHistoryRangeRec(const NodeRef& ref, const Slice& key_lo,
                              const Slice& key_hi, Timestamp t_lo,
                              Timestamp t_hi,
@@ -372,12 +423,37 @@ class TsbTree {
   SplitPolicy policy_;
   LogicalClock clock_;
 
-  /// Serializes all mutating entry points (single-writer discipline).
-  std::mutex writer_mu_;
+  /// The writer-mode lock. Single-writer mode: every mutator holds it
+  /// exclusively (strict serialization). Concurrent mode: mutators hold
+  /// it SHARED — parallelism comes from per-page latches — while
+  /// quiescing maintenance (Flush, ComputeSpaceStats, scan/cursor
+  /// fallbacks) still takes it exclusively to stop all mutation.
+  std::shared_mutex writer_mu_;
+  /// Serializes structural changes (data/index splits, root growth) in
+  /// concurrent mode. Lock order: writer_mu_ -> structure_mu_ -> page
+  /// latches top-down (parent before child); never acquired while holding
+  /// a page latch. Index pages mutate ONLY under this mutex, so split code
+  /// may read them unlatched while holding it.
+  std::mutex structure_mu_;
+
+  /// RAII mutator lock: exclusive writer_mu_ in single-writer mode,
+  /// shared in concurrent mode (see writer_mu_).
+  struct WriterGuard {
+    explicit WriterGuard(TsbTree* t) {
+      if (t->options_.concurrent_writers) {
+        shared = std::shared_lock<std::shared_mutex>(t->writer_mu_);
+      } else {
+        exclusive = std::unique_lock<std::shared_mutex>(t->writer_mu_);
+      }
+    }
+    std::shared_lock<std::shared_mutex> shared;
+    std::unique_lock<std::shared_mutex> exclusive;
+  };
+
   std::atomic<uint32_t> root_{kInvalidPageId};
   std::atomic<uint32_t> height_{1};
   std::atomic<uint64_t> structure_epoch_{0};
-  TsbCounters counters_;  // maintained by the writer; read quiesced
+  TsbCounters counters_;  // atomic fields; see tsb_stats.h
   mutable HistDecodeCounters hist_decodes_;  // bumped by lock-free readers
   // Written-node compression accounting (writer-only stores, but read by
   // HistStats concurrently, hence atomic).

@@ -90,15 +90,61 @@ void TxnManager::UnlockKeys(const Transaction& txn) {
 Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
   // One commit timestamp for the whole transaction (rollback-database
   // semantics: records are stamped with transaction commit time).
-  //
-  // The whole commit — tick, stamps, index hooks, publish — runs under
-  // commit_mu_: the paper's model is a SINGLE updater (section 4.1), and
-  // serializing commits makes timestamp order equal commit order. That is
-  // what keeps every secondary-index Put monotone and guarantees a time
-  // split can never choose a boundary above a still-in-flight commit
-  // timestamp. Updaters may still build transactions concurrently (Put
-  // phases interleave under the key-lock table); only the commit point is
-  // serial.
+  if (tree_->options().concurrent_writers && !hook_) {
+    // Concurrent commit: only the tick and the watermark bookkeeping are
+    // serialized; the stamping descents themselves run in parallel
+    // (optimistic latch coupling inside the tree). Publication advances
+    // to the largest timestamp with no smaller commit still in flight —
+    // an ordered prefix — so a reader at the watermark still sees whole
+    // transactions or nothing, and a time split (which caps its boundary
+    // at the PUBLISHED watermark) can never out-run an in-flight stamp.
+    // A hook forces the serial path below: index maintenance must apply
+    // in timestamp order.
+    Timestamp ts;
+    {
+      std::lock_guard<std::mutex> commit_lock(commit_mu_);
+      ts = tree_->clock().Tick();
+      inflight_.insert(ts);
+    }
+    std::vector<Slice> keys;
+    keys.reserve(txn->writes_.size());
+    for (const auto& [key, value] : txn->writes_) keys.emplace_back(key);
+    const Status status = tree_->StampCommittedBatch(keys, txn->id_, ts);
+    Timestamp publish;
+    {
+      std::lock_guard<std::mutex> commit_lock(commit_mu_);
+      inflight_.erase(ts);
+      if (!status.ok()) {
+        // Same poisoned-watermark contract as the serial path below.
+        if (publish_cap_ > ts - 1) publish_cap_ = ts - 1;
+      } else if (completed_max_ < ts) {
+        completed_max_ = ts;
+      }
+      publish = inflight_.empty() ? completed_max_ : *inflight_.begin() - 1;
+      if (publish > publish_cap_) publish = publish_cap_;
+    }
+    if (!status.ok()) {
+      TSB_LOG_ERROR("commit at t=%llu failed mid-stamp (%s); freezing the "
+                    "read watermark at t=%llu",
+                    (unsigned long long)ts, status.ToString().c_str(),
+                    (unsigned long long)publish_cap_);
+      return status;
+    }
+    tree_->clock().Publish(publish);  // monotone CAS-max inside
+    UnlockKeys(*txn);
+    txn->active_ = false;
+    active_count_.fetch_sub(1, std::memory_order_acq_rel);
+    if (commit_ts != nullptr) *commit_ts = ts;
+    return Status::OK();
+  }
+  // Serial path. The whole commit — tick, stamps, index hooks, publish —
+  // runs under commit_mu_: the paper's model is a SINGLE updater (section
+  // 4.1), and serializing commits makes timestamp order equal commit
+  // order. That is what keeps every secondary-index Put monotone and
+  // guarantees a time split can never choose a boundary above a
+  // still-in-flight commit timestamp. Updaters may still build
+  // transactions concurrently (Put phases interleave under the key-lock
+  // table); only the commit point is serial.
   std::lock_guard<std::mutex> commit_lock(commit_mu_);
   const Timestamp ts = tree_->clock().Tick();
   Status status;

@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 
 #include "common/clock.h"
@@ -152,7 +153,10 @@ class TxnManager {
   }
 
   /// Not thread-safe relative to in-flight commits; install before
-  /// concurrent use (the DB layer does this at Open).
+  /// concurrent use (the DB layer does this when the first secondary
+  /// index is registered). A hook also forces commits back onto the
+  /// serial path even when the tree runs with concurrent_writers: index
+  /// maintenance must apply in timestamp order.
   void SetCommitHook(CommitHook hook) { hook_ = std::move(hook); }
 
   size_t active_txns() const {
@@ -174,11 +178,19 @@ class TxnManager {
   std::atomic<size_t> active_count_{0};
   std::mutex lock_mu_;  // guards lock_table_
   std::map<std::string, TxnId> lock_table_;
-  // Serializes the commit point (tick -> stamps -> hooks -> publish); see
-  // CommitTxn. Also guards publish_cap_, which freezes the reader-visible
-  // watermark below any commit that failed mid-stamp.
+  // Serial mode: serializes the commit point (tick -> stamps -> hooks ->
+  // publish); see CommitTxn. Concurrent mode (tree option
+  // concurrent_writers, no hook): guards only the inflight set around the
+  // stamping phase, which runs unlocked. Always guards publish_cap_,
+  // inflight_ and completed_max_.
   std::mutex commit_mu_;
   Timestamp publish_cap_ = kMaxCommittedTs;
+  // Commit timestamps ticked but not yet fully stamped. The publishable
+  // watermark is the largest timestamp below every member: publishing an
+  // ordered prefix keeps the 4.1 guarantee (readers never see a torn or
+  // skipped commit) without serializing the stamping work itself.
+  std::set<Timestamp> inflight_;
+  Timestamp completed_max_ = 0;
 };
 
 }  // namespace txn
