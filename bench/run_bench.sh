@@ -7,7 +7,9 @@
 # cold — with entries/sec and allocs per emitted entry), which is copied
 # to the repo root for CI artifact upload. bench_concurrency writes
 # BENCH_concurrency.json (N-writer scaling, serial vs optimistic latch
-# coupling, with conflict/restart/side-step counters).
+# coupling, with conflict/restart/side-step counters). bench_durability
+# writes BENCH_durability.json (WAL sync-mode ladder, fsync'd group-commit
+# scaling at 1/2/4/8 writers, and crash-recovery replay MB/sec).
 #
 # Usage: bench/run_bench.sh [build-dir]   (default: <repo>/build-release)
 set -euo pipefail
@@ -16,7 +18,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build-release}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j --target bench_query bench_concurrency || {
+cmake --build "$BUILD" -j --target bench_query bench_concurrency \
+    bench_durability || {
   echo "error: bench build failed (if the targets are missing entirely," >&2
   echo "check that libbenchmark-dev is installed)" >&2
   exit 1
@@ -30,9 +33,12 @@ FILTER="${BENCH_FILTER:-NONE}"
     ./bench_query --benchmark_filter="$FILTER")
 (cd "$BUILD" && BENCH_CONCURRENCY_JSON="$ROOT/BENCH_concurrency.json" \
     ./bench_concurrency --benchmark_filter="$FILTER")
+(cd "$BUILD" && BENCH_DURABILITY_JSON="$ROOT/BENCH_durability.json" \
+    ./bench_durability --benchmark_filter="$FILTER")
 
 echo "wrote $ROOT/BENCH_query.json"
 echo "wrote $ROOT/BENCH_concurrency.json"
+echo "wrote $ROOT/BENCH_durability.json"
 
 # One-line scan recap (the numbers CI gates on), when python3 is around.
 if command -v python3 >/dev/null 2>&1; then
@@ -54,5 +60,13 @@ print("writer recap: %d cores, 4-writer OLC %.2fx of 1-writer (disjoint), "
       "1-writer OLC %.2fx of serial"
       % (c["hardware_concurrency"], c["speedup_4w_disjoint_vs_1w"],
          c["olc_1w_over_serial_1w"]))
+EOF
+  python3 - "$ROOT/BENCH_durability.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+print("durability recap: group commit 8w %.2fx of 1w (fdatasync %.0f us), "
+      "recovery %.0f MB/s"
+      % (d["group_8w_over_1w"], d["fdatasync_us"],
+         d["recovery"]["mb_per_sec"]))
 EOF
 fi

@@ -5,13 +5,17 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "common/logger.h"
 #include "storage/append_store.h"
 #include "storage/file_device.h"
 #include "storage/worm_file_device.h"
+#include "wal/checkpoint.h"
 
 namespace tsb {
 namespace db {
@@ -57,6 +61,15 @@ struct Manifest {
   bool worm_historical = false;
   uint32_t worm_sector_size = 0;
   bool enable_mmap = false;
+  /// WAL position: the live log file is wal-<wal_seq>.tsb and recovery
+  /// replays it from checkpoint_lsn (everything before is already in the
+  /// checkpointed device files). clean_shutdown distinguishes "the tree
+  /// files are exactly the committed state" (no purge needed) from a
+  /// crash. Old manifests carry none of these lines; the defaults (seq 0,
+  /// lsn 0, clean) make a pre-WAL database open as a cleanly-closed one.
+  uint64_t wal_seq = 0;
+  uint64_t checkpoint_lsn = 0;
+  bool clean_shutdown = true;
   /// Names of the secondary indexes whose device files live in the
   /// directory. Open re-attaches each one so index data never becomes an
   /// orphaned pair of .tsb files after a reopen.
@@ -67,19 +80,31 @@ std::string ManifestPath(const std::string& dir) {
   return dir + "/" + kManifestName;
 }
 
-Status WriteManifest(const std::string& dir, const DbOptions& options,
-                     const std::vector<std::string>& indexes) {
-  char head[256];
+Manifest ManifestFromOptions(const DbOptions& options) {
+  Manifest m;
+  m.page_size = options.tree.page_size;
+  m.worm_historical = options.worm_historical;
+  m.worm_sector_size = options.worm_sector_size;
+  m.enable_mmap = options.enable_mmap;
+  return m;
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& m) {
+  char head[384];
   snprintf(head, sizeof(head),
            "tsb-manifest v1\n"
            "page_size=%u\n"
            "worm_historical=%d\n"
            "worm_sector_size=%u\n"
-           "enable_mmap=%d\n",
-           options.tree.page_size, options.worm_historical ? 1 : 0,
-           options.worm_sector_size, options.enable_mmap ? 1 : 0);
+           "enable_mmap=%d\n"
+           "wal_seq=%" PRIu64 "\n"
+           "checkpoint_lsn=%" PRIu64 "\n"
+           "clean_shutdown=%d\n",
+           m.page_size, m.worm_historical ? 1 : 0, m.worm_sector_size,
+           m.enable_mmap ? 1 : 0, m.wal_seq, m.checkpoint_lsn,
+           m.clean_shutdown ? 1 : 0);
   std::string body = head;
-  for (const std::string& name : indexes) {
+  for (const std::string& name : m.indexes) {
     body += "index=" + name + "\n";
   }
   // Write-temp-fsync-rename: a crash never leaves a torn manifest behind
@@ -101,12 +126,12 @@ Status WriteManifest(const std::string& dir, const DbOptions& options,
   return Status::OK();
 }
 
-Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
+Status ReadManifestFile(const std::string& file, bool* exists, Manifest* out) {
   *exists = false;
-  FILE* f = fopen(ManifestPath(dir).c_str(), "r");
+  FILE* f = fopen(file.c_str(), "r");
   if (f == nullptr) {
     if (errno == ENOENT) return Status::OK();
-    return Status::IOError("open " + ManifestPath(dir), strerror(errno));
+    return Status::IOError("open " + file, strerror(errno));
   }
   char line[128];
   bool header_ok = false;
@@ -117,6 +142,7 @@ Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
       continue;
     }
     unsigned value = 0;
+    unsigned long long value64 = 0;
     if (sscanf(line, "page_size=%u", &value) == 1) {
       out->page_size = value;
     } else if (sscanf(line, "worm_historical=%u", &value) == 1) {
@@ -125,6 +151,12 @@ Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
       out->worm_sector_size = value;
     } else if (sscanf(line, "enable_mmap=%u", &value) == 1) {
       out->enable_mmap = value != 0;
+    } else if (sscanf(line, "wal_seq=%llu", &value64) == 1) {
+      out->wal_seq = value64;
+    } else if (sscanf(line, "checkpoint_lsn=%llu", &value64) == 1) {
+      out->checkpoint_lsn = value64;
+    } else if (sscanf(line, "clean_shutdown=%u", &value) == 1) {
+      out->clean_shutdown = value != 0;
     } else if (strncmp(line, "index=", 6) == 0) {
       std::string name(line + 6);
       while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
@@ -135,9 +167,54 @@ Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
   }
   fclose(f);
   if (!header_ok) {
-    return Status::Corruption("unrecognized manifest", ManifestPath(dir));
+    return Status::Corruption("unrecognized manifest", file);
   }
   *exists = true;
+  return Status::OK();
+}
+
+Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
+  return ReadManifestFile(ManifestPath(dir), exists, out);
+}
+
+/// Resolves a leftover MANIFEST.tmp from a crash inside WriteManifest.
+/// Two shapes exist:
+///  - MANIFEST and MANIFEST.tmp both present: the crash hit before the
+///    rename, so the tmp was never made durable-and-current — MANIFEST
+///    stays authoritative, the tmp is discarded.
+///  - Only MANIFEST.tmp present: the very first manifest write crashed
+///    between creating the tmp and renaming it. If the tmp parses, it
+///    carries exactly what the rename would have installed — promote it;
+///    otherwise discard the torn file and let Open recreate a manifest.
+Status RecoverManifestTmp(const std::string& dir) {
+  const std::string tmp = ManifestPath(dir) + ".tmp";
+  struct stat st;
+  if (::stat(tmp.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::OK();  // common case: no leftover
+    return Status::IOError("stat " + tmp, strerror(errno));
+  }
+  if (::stat(ManifestPath(dir).c_str(), &st) == 0) {
+    TSB_LOG_WARN("discarding leftover %s (MANIFEST is authoritative)",
+                 tmp.c_str());
+    if (::unlink(tmp.c_str()) != 0) {
+      return Status::IOError("unlink " + tmp, strerror(errno));
+    }
+    return Status::OK();
+  }
+  bool parses = false;
+  Manifest scratch;
+  parses = ReadManifestFile(tmp, &parses, &scratch).ok() && parses;
+  if (!parses) {
+    TSB_LOG_WARN("discarding torn %s", tmp.c_str());
+    if (::unlink(tmp.c_str()) != 0) {
+      return Status::IOError("unlink " + tmp, strerror(errno));
+    }
+    return Status::OK();
+  }
+  TSB_LOG_WARN("promoting complete %s to MANIFEST", tmp.c_str());
+  if (::rename(tmp.c_str(), ManifestPath(dir).c_str()) != 0) {
+    return Status::IOError("rename " + tmp, strerror(errno));
+  }
   return Status::OK();
 }
 
@@ -146,6 +223,7 @@ Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
 /// touched with the wrong parameters.
 Status CheckOrWriteManifest(const std::string& dir, const DbOptions& options,
                             Manifest* out) {
+  TSB_RETURN_IF_ERROR(RecoverManifestTmp(dir));
   bool exists = false;
   Manifest& m = *out;
   TSB_RETURN_IF_ERROR(ReadManifest(dir, &exists, &m));
@@ -158,8 +236,8 @@ Status CheckOrWriteManifest(const std::string& dir, const DbOptions& options,
     if (::stat((dir + "/current.tsb").c_str(), &st) != 0) exists = false;
   }
   if (!exists) {
-    m.indexes.clear();
-    return WriteManifest(dir, options, m.indexes);
+    m = ManifestFromOptions(options);
+    return WriteManifest(dir, m);
   }
   if (m.page_size != options.tree.page_size) {
     return Status::InvalidArgument(
@@ -182,10 +260,43 @@ Status CheckOrWriteManifest(const std::string& dir, const DbOptions& options,
   }
   if (m.enable_mmap != options.enable_mmap) {
     // Read-path choice, not geometry: allowed, but keep the record fresh
-    // (preserving the index catalog).
-    return WriteManifest(dir, options, m.indexes);
+    // (preserving the index catalog AND the WAL position — clobbering
+    // checkpoint_lsn here would silently re-replay or skip log).
+    m.enable_mmap = options.enable_mmap;
+    return WriteManifest(dir, m);
   }
   return Status::OK();
+}
+
+// ---- write-ahead log files -------------------------------------------
+
+std::string WalFileName(uint64_t seq) {
+  char name[32];
+  snprintf(name, sizeof(name), "wal-%06" PRIu64 ".tsb", seq);
+  return name;
+}
+
+std::string WalFilePath(const std::string& dir, uint64_t seq) {
+  return dir + "/" + WalFileName(seq);
+}
+
+/// Unlinks wal-*.tsb files other than the live one. A crash between a
+/// rotation's manifest write and its unlink leaves the previous (fully
+/// checkpointed) log behind; it is dead weight, never replayed.
+void SweepStaleWalFiles(const std::string& dir, uint64_t live_seq) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  const std::string live = WalFileName(live_seq);
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() == live.size() && name.compare(0, 4, "wal-") == 0 &&
+        name.compare(name.size() - 4, 4, ".tsb") == 0 && name != live) {
+      TSB_LOG_WARN("removing stale log %s (live is %s)", name.c_str(),
+                   live.c_str());
+      ::unlink((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
 }
 
 // ---- verified-blob sidecar -------------------------------------------
@@ -317,6 +428,15 @@ Status MultiVersionDB::Open(const std::string& path, const DbOptions& options,
   Manifest manifest;
   TSB_RETURN_IF_ERROR(CheckOrWriteManifest(path, options, &manifest));
 
+  // A checkpoint that crashed mid-apply left a complete double-write
+  // journal behind; re-apply it BEFORE any device is opened so the trees
+  // load the checkpointed page images, not a torn half-write.
+  bool journal_applied = false;
+  if (options.enable_wal) {
+    TSB_RETURN_IF_ERROR(wal::CheckpointJournal::Recover(
+        path, options.tree.page_size, &journal_applied));
+  }
+
   FileDevice* mag = nullptr;
   TSB_RETURN_IF_ERROR(FileDevice::Open(path + "/current.tsb", &mag,
                                        DeviceKind::kMagnetic,
@@ -350,11 +470,35 @@ Status MultiVersionDB::Open(const std::string& path, const DbOptions& options,
   // cold mapped reads skip the per-blob first-pin checksum pass.
   LoadVerifiedSidecar(path, mvdb->tree_->hist_store());
 
+  if (options.enable_wal) {
+    mvdb->wal_seq_ = manifest.wal_seq;
+    mvdb->wal_checkpoint_lsn_ = manifest.checkpoint_lsn;
+    TSB_RETURN_IF_ERROR(
+        mvdb->RecoverWal(manifest.clean_shutdown, journal_applied));
+    SweepStaleWalFiles(path, mvdb->wal_seq_);
+  }
+
   *out = std::move(mvdb);
   return Status::OK();
 }
 
 MultiVersionDB::~MultiVersionDB() {
+  if (wal_ != nullptr) {
+    // Clean shutdown: one final checkpoint folds the log into the device
+    // files, then the manifest records clean_shutdown=1 so the next Open
+    // skips the ghost purge. Best effort — a failure here just means the
+    // next Open runs crash recovery, which is always correct.
+    Status s = Checkpoint();
+    if (s.ok()) {
+      clean_shutdown_ = true;
+      s = PersistManifest();
+    }
+    if (!s.ok()) {
+      TSB_LOG_WARN("clean shutdown incomplete (%s); next open will recover",
+                   s.ToString().c_str());
+    }
+    wal_.reset();  // joins any background flusher before the trees go
+  }
   // Best-effort: losing the sidecar only costs re-verification after the
   // next open, so a failed write must not throw from a destructor path.
   if (!path_.empty() && tree_ != nullptr) {
@@ -396,7 +540,17 @@ Status MultiVersionDB::Destroy(const std::string& path) {
 // ---------------------------------------------------------------- writes
 
 Status MultiVersionDB::Write(const WriteBatch& batch, Timestamp* commit_ts) {
-  return txns_->Write(batch, commit_ts);
+  TSB_RETURN_IF_ERROR(txns_->Write(batch, commit_ts));
+  if (wal_ != nullptr &&
+      wal_->appended_lsn() >= options_.wal_checkpoint_bytes &&
+      !checkpoint_pending_.exchange(true, std::memory_order_acq_rel)) {
+    // One writer claims the size-triggered checkpoint; the rest sail on
+    // (FreezeCommits inside will briefly stall them at the commit point).
+    Status s = Checkpoint();
+    checkpoint_pending_.store(false, std::memory_order_release);
+    TSB_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
 }
 
 Status MultiVersionDB::Put(const Slice& key, const Slice& value,
@@ -460,10 +614,13 @@ Status MultiVersionDB::CreateSecondaryIndex(const std::string& name,
 
 Status MultiVersionDB::PersistManifest() {
   if (path_.empty()) return Status::OK();
-  std::vector<std::string> names;
-  names.reserve(indexes_.size());
-  for (const auto& [name, def] : indexes_) names.push_back(name);
-  return WriteManifest(path_, options_, names);
+  Manifest m = ManifestFromOptions(options_);
+  m.wal_seq = wal_seq_;
+  m.checkpoint_lsn = wal_checkpoint_lsn_;
+  m.clean_shutdown = clean_shutdown_;
+  m.indexes.reserve(indexes_.size());
+  for (const auto& [name, def] : indexes_) m.indexes.push_back(name);
+  return WriteManifest(path_, m);
 }
 
 Status MultiVersionDB::RegisterIndex(const std::string& name,
@@ -617,15 +774,218 @@ BufferPoolStats MultiVersionDB::PoolStats() const {
 }
 
 Status MultiVersionDB::Flush() {
-  TSB_RETURN_IF_ERROR(tree_->Flush());
-  for (auto& [name, def] : indexes_) {
-    TSB_RETURN_IF_ERROR(def.index->tree()->Flush());
+  if (wal_ != nullptr) {
+    // With a WAL the device files may only advance through crash-atomic
+    // checkpoints: a plain flush could be half-written when the process
+    // dies, tearing the base the next recovery replays against.
+    TSB_RETURN_IF_ERROR(Checkpoint());
+  } else {
+    TSB_RETURN_IF_ERROR(tree_->Flush());
+    for (auto& [name, def] : indexes_) {
+      TSB_RETURN_IF_ERROR(def.index->tree()->Flush());
+    }
   }
   if (!path_.empty()) {
     // Persist the verified-blob memo with the data it describes.
     TSB_RETURN_IF_ERROR(WriteVerifiedSidecar(path_, tree_->hist_store()));
   }
   return Status::OK();
+}
+
+// ------------------------------------------------------------ durability
+
+Status MultiVersionDB::RecoverWal(bool manifest_clean, bool journal_applied) {
+  // No-steal from the first moment: outside a checkpoint the buffer pool
+  // must never write a dirty page back, or the next crash would recover
+  // against a base containing an unjournaled half-state.
+  tree_->buffer_pool()->set_no_steal(true);
+  for (auto& [name, def] : indexes_) {
+    def.index->tree()->buffer_pool()->set_no_steal(true);
+  }
+  recovery_stats_ = RecoveryStats{};
+  recovery_stats_.journal_applied = journal_applied;
+  const bool unclean = !manifest_clean || journal_applied;
+  if (unclean) {
+    // Transactions cut down mid-build left uncommitted records with no
+    // timestamp and no owner: erase the ghosts before replay. Index trees
+    // never hold uncommitted records (maintenance runs post-stamp).
+    TSB_RETURN_IF_ERROR(
+        tree_->PurgeUncommitted(&recovery_stats_.purged_uncommitted));
+  }
+  const std::string wal_file = WalFilePath(path_, wal_seq_);
+  wal::WalReplayResult rr;
+  TSB_RETURN_IF_ERROR(wal::Wal::Replay(
+      wal_file, wal_checkpoint_lsn_,
+      [this](const wal::WalCommit& c) { return ApplyWalCommit(c); }, &rr));
+  recovery_stats_.tail_truncated = rr.tail_truncated;
+  recovery_stats_.wal_bytes_scanned =
+      rr.end_lsn > wal_checkpoint_lsn_ ? rr.end_lsn - wal_checkpoint_lsn_ : 0;
+  // ReplayCommitted advances the clocks without publishing; expose every
+  // recovered commit to readers in one step (whole-prefix, never torn).
+  tree_->clock().Publish(tree_->clock().Now());
+  for (auto& [name, def] : indexes_) {
+    auto& clock = def.index->tree()->clock();
+    clock.Publish(clock.Now());
+  }
+  TSB_RETURN_IF_ERROR(wal::Wal::Open(wal_file, options_.wal_sync,
+                                     options_.wal_background_sync_ms, &wal_));
+  txns_->SetWal(wal_.get());
+  // From here until the destructor's final checkpoint the database is
+  // live: the manifest must say so BEFORE the first commit can append.
+  clean_shutdown_ = false;
+  TSB_RETURN_IF_ERROR(PersistManifest());
+  if (recovery_stats_.frames_replayed > 0 || unclean) {
+    TSB_LOG_INFO(
+        "recovered %s: %llu frames / %llu ops replayed (%llu KiB of log), "
+        "%llu ghosts purged%s%s",
+        path_.c_str(), (unsigned long long)recovery_stats_.frames_replayed,
+        (unsigned long long)recovery_stats_.ops_replayed,
+        (unsigned long long)(recovery_stats_.wal_bytes_scanned >> 10),
+        (unsigned long long)recovery_stats_.purged_uncommitted,
+        journal_applied ? ", checkpoint journal re-applied" : "",
+        rr.tail_truncated ? ", torn tail truncated" : "");
+    // Fold the replayed state into the device files now: recovery work
+    // stays bounded even under repeated crashes, and the log truncates.
+    TSB_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status MultiVersionDB::ApplyWalCommit(const wal::WalCommit& commit) {
+  if (commit.ops.empty()) return Status::OK();
+  // Idempotence probe: a checkpoint that crashed after committing its
+  // journal but before recording its LSN leaves the base AHEAD of the
+  // manifest, so the first replayed frames may already be applied.
+  // Checkpoints collect images with commits frozen — a frame is in the
+  // base wholly or not at all — so one key at the exact commit timestamp
+  // decides the whole frame.
+  {
+    std::string unused;
+    Timestamp version_ts = 0;
+    Status probe = tree_->GetAsOf(commit.ops.front().first, commit.ts,
+                                  &unused, &version_ts);
+    if (probe.ok() && version_ts == commit.ts) return Status::OK();
+    if (!probe.ok() && !probe.IsNotFound()) return probe;
+  }
+  const bool maintain = !indexes_.empty();
+  if (maintain) {
+    for (auto& [name, def] : indexes_) {
+      if (!def.extract) {
+        // Same contract as OnCommit: applying the frame without
+        // maintaining this index would silently corrupt it.
+        return Status::InvalidArgument(
+            "WAL replay needs this index's extractor (bind it via "
+            "DbOptions::index_extractors)",
+            name);
+      }
+    }
+  }
+  for (const auto& [key, value] : commit.ops) {
+    // The pre-image must be read BEFORE the replay insert supersedes it —
+    // the same old-value the original commit hook saw.
+    std::optional<std::string> old_value;
+    if (maintain && commit.ts > 0) {
+      std::string prev;
+      Status s = tree_->GetAsOf(key, commit.ts - 1, &prev);
+      if (s.ok()) {
+        old_value = std::move(prev);
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
+    }
+    TSB_RETURN_IF_ERROR(tree_->ReplayCommitted(key, value, commit.ts));
+    for (auto& [name, def] : indexes_) {
+      std::optional<std::string> old_sk;
+      if (old_value.has_value()) old_sk = def.extract(Slice(*old_value));
+      std::optional<std::string> new_sk = def.extract(Slice(value));
+      if (old_sk == new_sk) continue;  // secondary field unchanged
+      if (old_sk.has_value()) {
+        TSB_RETURN_IF_ERROR(def.index->ReplayRemove(*old_sk, key, commit.ts));
+      }
+      if (new_sk.has_value()) {
+        TSB_RETURN_IF_ERROR(def.index->ReplayAdd(*new_sk, key, commit.ts));
+      }
+    }
+  }
+  recovery_stats_.frames_replayed++;
+  recovery_stats_.ops_replayed += commit.ops.size();
+  return Status::OK();
+}
+
+Status MultiVersionDB::Checkpoint() {
+  if (wal_ == nullptr) return Status::OK();  // raw-device / WAL-disabled
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  return CheckpointLocked();
+}
+
+Status MultiVersionDB::CheckpointLocked() {
+  txns_->FreezeCommits();
+  Status status = [&]() -> Status {
+    // Frozen, the WAL end is exactly the committed state of every tree.
+    // The log must be durable before the checkpoint that supersedes its
+    // prefix is (otherwise the base could get ahead of a lost log).
+    TSB_RETURN_IF_ERROR(wal_->SyncAll());
+    const uint64_t ckpt_lsn = wal_->appended_lsn();
+
+    struct TreeCkpt {
+      tsb_tree::TsbTree* tree;
+      std::string file;
+      tsb_tree::TsbTree::CheckpointScope scope;
+    };
+    std::vector<TreeCkpt> trees;
+    trees.push_back({tree_.get(), "current.tsb", {}});
+    for (auto& [name, def] : indexes_) {
+      trees.push_back(
+          {def.index->tree(), "index-" + name + ".current.tsb", {}});
+    }
+    wal::CheckpointJournal journal(path_, options_.tree.page_size);
+    for (auto& t : trees) {
+      TSB_RETURN_IF_ERROR(t.tree->BeginCheckpoint(&t.scope));
+      journal.BeginTree(t.file);
+      journal.AddPage(0, t.scope.meta_image);  // 0 = metadata page
+      for (auto& [id, image] : t.scope.dirty_pages) {
+        journal.AddPage(id, image);
+      }
+    }
+    // Durability point. After this fsync the checkpoint applies fully —
+    // now, or re-applied by the next Open if we die below. Before it, a
+    // crash discards the journal whole and the old base still matches
+    // the manifest's checkpoint_lsn. Either side is consistent.
+    TSB_RETURN_IF_ERROR(journal.Commit());
+    for (auto& t : trees) {
+      TSB_RETURN_IF_ERROR(t.tree->FinishCheckpoint(&t.scope));
+    }
+    TSB_RETURN_IF_ERROR(journal.Remove());
+
+    if (ckpt_lsn >= options_.wal_checkpoint_bytes) {
+      // The whole log is dead: rotate to a fresh file. Manifest first —
+      // recovery must never be pointed at an unlinked log.
+      const uint64_t old_seq = wal_seq_;
+      std::unique_ptr<wal::Wal> fresh;
+      TSB_RETURN_IF_ERROR(wal::Wal::Open(
+          WalFilePath(path_, old_seq + 1), options_.wal_sync,
+          options_.wal_background_sync_ms, &fresh));
+      wal_seq_ = old_seq + 1;
+      wal_checkpoint_lsn_ = 0;
+      Status persisted = PersistManifest();
+      if (!persisted.ok()) {
+        // Keep appending to the old log; the checkpoint still counts
+        // (the stale on-disk LSN only means extra, skippable replay).
+        wal_seq_ = old_seq;
+        wal_checkpoint_lsn_ = ckpt_lsn;
+        return persisted;
+      }
+      txns_->SetWal(fresh.get());  // commits frozen: no racing appender
+      wal_ = std::move(fresh);     // the old log closes here
+      ::unlink(WalFilePath(path_, old_seq).c_str());
+    } else {
+      wal_checkpoint_lsn_ = ckpt_lsn;
+      TSB_RETURN_IF_ERROR(PersistManifest());
+    }
+    return Status::OK();
+  }();
+  txns_->UnfreezeCommits();
+  return status;
 }
 
 }  // namespace db

@@ -16,9 +16,11 @@
 #ifndef TSBTREE_DB_MULTIVERSION_DB_H_
 #define TSBTREE_DB_MULTIVERSION_DB_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +31,7 @@
 #include "tsb/tsb_tree.h"
 #include "txn/txn_manager.h"
 #include "txn/write_batch.h"
+#include "wal/wal.h"
 
 namespace tsb {
 namespace db {
@@ -65,6 +68,23 @@ struct DbOptions {
   bool worm_historical = false;
   /// Sector grid for worm_historical.
   uint32_t worm_sector_size = 1024;
+  /// Write-ahead log + crash recovery. Every commit appends its batch to
+  /// `wal-NNNNNN.tsb` before stamping; Open replays the committed tail
+  /// past the last checkpoint. Disabling trades kill -9 safety for commit
+  /// latency (the buffer pool then steals dirty pages freely).
+  bool enable_wal = true;
+  /// When the log becomes durable. kGroup (default): every commit returns
+  /// only after an fdatasync covers it; concurrent committers share one
+  /// sync (group commit). kBackground: a flusher thread syncs every
+  /// wal_background_sync_ms. kOff: the OS decides (still survives process
+  /// kill — page cache — but not power loss).
+  wal::WalSyncMode wal_sync = wal::WalSyncMode::kGroup;
+  /// Flush cadence for WalSyncMode::kBackground.
+  uint32_t wal_background_sync_ms = 10;
+  /// Checkpoint (and rotate the log) once the live WAL file exceeds this
+  /// many bytes — bounds recovery work. A checkpoint also runs at clean
+  /// close.
+  uint64_t wal_checkpoint_bytes = 8u << 20;
   /// Extractors for secondary indexes the MANIFEST catalogs, keyed by
   /// index name. Open re-registers every cataloged index automatically;
   /// an index found here is immediately queryable AND maintained. An
@@ -214,6 +234,36 @@ class MultiVersionDB {
 
   // ---- maintenance ----
 
+  /// What Open's recovery pass did (path-based WAL-enabled DBs; zeros
+  /// after a clean shutdown).
+  struct RecoveryStats {
+    /// A crashed checkpoint's double-write journal was re-applied.
+    bool journal_applied = false;
+    /// The WAL ended in a torn (partially written) frame that was
+    /// truncated away.
+    bool tail_truncated = false;
+    /// Uncommitted (never-stamped) records erased before replay.
+    uint64_t purged_uncommitted = 0;
+    /// Commit frames re-applied from the WAL (frames already present in
+    /// the checkpointed base are detected and skipped).
+    uint64_t frames_replayed = 0;
+    uint64_t ops_replayed = 0;
+    /// Bytes of WAL scanned by replay.
+    uint64_t wal_bytes_scanned = 0;
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// Forces a checkpoint: freezes commits, makes the WAL durable, writes
+  /// every tree's dirty pages + metadata crash-atomically (double-write
+  /// journal), then truncates or rotates the log. Runs automatically when
+  /// the WAL exceeds DbOptions::wal_checkpoint_bytes and at clean close.
+  /// No-op for DBs without a WAL.
+  Status Checkpoint();
+
+  /// The write-ahead log (nullptr when disabled / raw-device DB). Exposed
+  /// for stats; appending to it directly voids the warranty.
+  wal::Wal* wal() { return wal_.get(); }
+
   Status Flush();
   Status ComputeSpaceStats(tsb_tree::SpaceStats* out) {
     return tree_->ComputeSpaceStats(out);
@@ -262,14 +312,31 @@ class MultiVersionDB {
                        bool from_catalog, Device* magnetic,
                        Device* historical);
 
-  /// Rewrites the MANIFEST with the current geometry + index catalog
-  /// (path-backed DBs only).
+  /// Rewrites the MANIFEST with the current geometry + index catalog +
+  /// WAL position (path-backed DBs only).
   Status PersistManifest();
 
   /// Installs the TxnManager commit hook once the first index exists.
   /// Deliberately lazy: a hook forces commits onto the serial path, so an
   /// index-less DB keeps the concurrent commit path available.
   void InstallCommitHook();
+
+  // ---- durability (path-based, WAL-enabled DBs) ----
+
+  /// Open-time recovery: no-steal the pools, purge uncommitted ghosts
+  /// after an unclean shutdown, replay the committed WAL tail past the
+  /// checkpoint, then open the log for appending and mark the MANIFEST
+  /// dirty. `journal_applied` = CheckpointJournal::Recover re-applied a
+  /// crashed checkpoint before the devices were opened.
+  Status RecoverWal(bool manifest_clean, bool journal_applied);
+
+  /// Applies one replayed commit frame: primary records via
+  /// ReplayCommitted plus secondary-index maintenance re-derived from the
+  /// pre-image. Skips frames already present in the checkpointed base.
+  Status ApplyWalCommit(const wal::WalCommit& commit);
+
+  /// Checkpoint body; caller holds checkpoint_mu_.
+  Status CheckpointLocked();
 
   DbOptions options_;
   bool hook_installed_ = false;
@@ -282,6 +349,17 @@ class MultiVersionDB {
   std::unique_ptr<tsb_tree::TsbTree> tree_;
   std::unique_ptr<txn::TxnManager> txns_;
   std::map<std::string, IndexEntryDef> indexes_;
+
+  // WAL state (null / zero for raw-device or WAL-disabled DBs). wal_ is
+  // declared after tree_/txns_ but torn down explicitly in ~MultiVersionDB
+  // (after the final checkpoint, before the trees destruct).
+  std::unique_ptr<wal::Wal> wal_;
+  uint32_t wal_seq_ = 0;            // live log file: wal-<seq>.tsb
+  uint64_t wal_checkpoint_lsn_ = 0; // replay starts here (MANIFEST copy)
+  bool clean_shutdown_ = true;      // MANIFEST flag mirrored in memory
+  RecoveryStats recovery_stats_;
+  std::mutex checkpoint_mu_;        // serializes Checkpoint()
+  std::atomic<bool> checkpoint_pending_{false};  // auto-trigger claim
 };
 
 }  // namespace db

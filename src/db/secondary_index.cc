@@ -59,6 +59,18 @@ Status SecondaryIndex::Remove(const Slice& secondary, const Slice& primary,
   return tree_->Put(EncodeCompositeKey(secondary, primary), kUnlinked, ts);
 }
 
+Status SecondaryIndex::ReplayAdd(const Slice& secondary, const Slice& primary,
+                                 Timestamp ts) {
+  return tree_->ReplayCommitted(EncodeCompositeKey(secondary, primary),
+                                kLinked, ts);
+}
+
+Status SecondaryIndex::ReplayRemove(const Slice& secondary,
+                                    const Slice& primary, Timestamp ts) {
+  return tree_->ReplayCommitted(EncodeCompositeKey(secondary, primary),
+                                kUnlinked, ts);
+}
+
 Status SecondaryIndex::LookupAsOf(const Slice& secondary, Timestamp t,
                                   std::vector<std::string>* primary_keys) {
   primary_keys->clear();

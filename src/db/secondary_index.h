@@ -56,6 +56,14 @@ class SecondaryIndex {
   /// entry is superseded, never deleted — non-deletion policy).
   Status Remove(const Slice& secondary, const Slice& primary, Timestamp ts);
 
+  /// WAL-recovery variants of Add/Remove: exempt from the monotone-clock
+  /// check (the index tree's persisted clock may already have advanced
+  /// past the replayed timestamps) and idempotent per (key, ts).
+  Status ReplayAdd(const Slice& secondary, const Slice& primary,
+                   Timestamp ts);
+  Status ReplayRemove(const Slice& secondary, const Slice& primary,
+                      Timestamp ts);
+
   /// Primary keys that had secondary key `secondary` at time `t`,
   /// ascending.
   Status LookupAsOf(const Slice& secondary, Timestamp t,

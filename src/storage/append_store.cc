@@ -191,7 +191,10 @@ void AppendStore::PreloadVerified(const std::vector<uint64_t>& offsets) {
   }
   std::lock_guard<std::mutex> lock(verified_mu_);
   for (const uint64_t off : offsets) {
-    if (off >= size) continue;
+    // A verified blob has at least a whole frame header inside the store;
+    // anything else is a snapshot from a different (or corrupted) file
+    // and preloading it would mark unverifiable bytes as checked.
+    if (off + kFrameHeaderSize > size) continue;
     if (verified_.size() >= verified_capacity_) break;
     verified_.insert(off);
   }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <iterator>
+#include <thread>
 
 namespace tsb {
 
@@ -157,10 +158,11 @@ Status BufferPool::PinFrame(uint32_t id, Frame** out) {
       f->lru_pos = shard.pinned_nodes.begin();
       // The device read happens OUTSIDE the shard mutex so other pins in
       // this shard don't stall behind the I/O. The frame is published
-      // pinned + exclusively latched + marked loading; concurrent
-      // fetchers of the same page pin it and wait on the latch.
+      // pinned + marked loading; concurrent fetchers of the same page pin
+      // it and spin on the flag. Deliberately NOT a latch handoff: taking
+      // the page latch while holding the shard mutex would order mu ->
+      // latch, the inverse of Unpin during latch-coupled descents.
       f->loading.store(true, std::memory_order_release);
-      f->latch.lock();  // uncontended: the frame was just created
       load_here = true;
     }
   }
@@ -168,15 +170,15 @@ Status BufferPool::PinFrame(uint32_t id, Frame** out) {
     Status s = pager_->Read(id, f->data.get());
     if (!s.ok()) f->load_failed.store(true, std::memory_order_release);
     f->loading.store(false, std::memory_order_release);
-    f->latch.unlock();
     if (!s.ok()) {
       UnpinDiscard(f);
       return s;
     }
-  } else if (f->loading.load(std::memory_order_acquire)) {
-    // Wait for the loader to finish by passing through the latch.
-    f->latch.lock_shared();
-    f->latch.unlock_shared();
+  } else {
+    // Wait for the loader; bounded by one device read.
+    while (f->loading.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
   }
   if (f->load_failed.load(std::memory_order_acquire)) {
     UnpinDiscard(f);
@@ -304,6 +306,10 @@ Status BufferPool::EvictIfNeeded(Shard* shard) {
       }
     }
     if (victim_pos == shard->lru.end()) {
+      // Every unpinned frame is dirty. Under no-steal (WAL mode) dirty
+      // pages must NOT reach the device between checkpoints — keep them
+      // resident and over-allocate instead.
+      if (no_steal_.load(std::memory_order_acquire)) break;
       victim_pos = std::prev(shard->lru.end());  // all dirty: LRU tail
     }
     const uint32_t victim = *victim_pos;
@@ -328,6 +334,20 @@ Status BufferPool::WriteBack(Frame* f) {
   f->dirty.store(false, std::memory_order_release);
   ShardFor(f->id).stats.dirty_writebacks++;
   return Status::OK();
+}
+
+void BufferPool::SnapshotDirty(
+    std::vector<std::pair<uint32_t, std::string>>* out) {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, f] : shard.frames) {
+      if (f.dirty.load(std::memory_order_acquire)) {
+        out->emplace_back(id,
+                          std::string(f.data.get(), pager_->page_size()));
+      }
+    }
+  }
 }
 
 BufferPoolStats BufferPool::stats() const {

@@ -28,7 +28,10 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/pager.h"
@@ -169,6 +172,22 @@ class BufferPool {
 
   Pager* pager() const { return pager_; }
 
+  /// No-steal mode: eviction never writes a dirty frame back to the
+  /// device (the pool over-allocates instead of stealing). WAL-protected
+  /// databases run in this mode so the on-disk page graph only changes at
+  /// checkpoints — the structurally consistent base logical WAL replay
+  /// requires. FlushAll / Flush still write back (checkpoints use them
+  /// after journaling).
+  void set_no_steal(bool on) {
+    no_steal_.store(on, std::memory_order_release);
+  }
+  bool no_steal() const { return no_steal_.load(std::memory_order_acquire); }
+
+  /// Copies every dirty frame's id + page image into `out` (appended).
+  /// Caller must have quiesced all mutators (checkpoint holds the tree's
+  /// exclusive writer lock); images are raw frame bytes, unsealed.
+  void SnapshotDirty(std::vector<std::pair<uint32_t, std::string>>* out);
+
   /// Aggregated snapshot across shards (exact only when quiesced).
   BufferPoolStats stats() const;
   void ResetStats();
@@ -210,8 +229,9 @@ class BufferPool {
 
   /// Looks up or loads `id` in its shard and pins it. Returns the frame.
   /// Miss-path device reads run outside the shard mutex (frames are
-  /// published pinned + latched + `loading`; concurrent fetchers wait on
-  /// the frame latch, not the shard).
+  /// published pinned + `loading`; concurrent fetchers spin on the flag,
+  /// never blocking the shard — and the page latch is never touched
+  /// while the shard mutex is held).
   Status PinFrame(uint32_t id, Frame** out);
   void Unpin(Frame* frame);
   void UnpinDiscard(Frame* frame);
@@ -221,6 +241,7 @@ class BufferPool {
   Pager* pager_;
   size_t shard_capacity_;
   size_t num_shards_;
+  std::atomic<bool> no_steal_{false};
   std::unique_ptr<Shard[]> shards_;
 };
 

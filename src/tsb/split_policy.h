@@ -64,6 +64,11 @@ struct SplitPolicyConfig {
   /// cells). Read-compatible either way — the interval is stored per
   /// node.
   bool adaptive_restart_interval = true;
+  /// Stamp content-floor min_ts hints on index cells at split time so
+  /// scans prune subtrees by timestamp. Disabling reproduces pre-hint
+  /// databases (cells store min_ts = 0); TreeChecker::RepairContentFloors
+  /// backfills such legacy cells in place.
+  bool content_floor_hints = true;
 };
 
 /// What a full data node looks like to the policy.

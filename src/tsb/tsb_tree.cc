@@ -156,6 +156,100 @@ Status TsbTree::Flush() {
   return pool_->FlushAll();
 }
 
+// ---------------------------------------------------- durability (WAL)
+
+Status TsbTree::BeginCheckpoint(CheckpointScope* scope) {
+  // Exclusive writer lock, held until FinishCheckpoint: the journal
+  // snapshot and the in-place flush must see the same tree state.
+  scope->quiesce = std::unique_lock<std::shared_mutex>(writer_mu_);
+  // Historical blobs referenced by the snapshotted pages must be durable
+  // BEFORE the journal commits — recovery re-applies pages verbatim, and
+  // a page pointing at a never-synced blob would dangle.
+  TSB_RETURN_IF_ERROR(hist_->device()->Sync());
+  std::vector<char> meta(options_.page_size);
+  TSB_RETURN_IF_ERROR(pager_->ReadMeta(meta.data()));
+  char* p = meta.data() + kPageHeaderSize;
+  EncodeFixed32(p, kMetaMagic);
+  EncodeFixed32(p + 4, root_.load(std::memory_order_acquire));
+  EncodeFixed32(p + 8, height_.load(std::memory_order_acquire));
+  EncodeFixed64(p + 12, clock_.Now());
+  const size_t fixed = 20;
+  std::string free_list;
+  pager_->EncodeFreeList(&free_list,
+                         options_.page_size - kPageHeaderSize - fixed - 8);
+  memcpy(p + fixed, free_list.data(), free_list.size());
+  scope->meta_image.assign(meta.data(), options_.page_size);
+  scope->dirty_pages.clear();
+  pool_->SnapshotDirty(&scope->dirty_pages);
+  return Status::OK();
+}
+
+Status TsbTree::FinishCheckpoint(CheckpointScope* scope) {
+  std::vector<char> meta(scope->meta_image.begin(), scope->meta_image.end());
+  TSB_RETURN_IF_ERROR(pager_->WriteMeta(meta.data()));
+  TSB_RETURN_IF_ERROR(pool_->FlushAll());
+  TSB_RETURN_IF_ERROR(pager_->device()->Sync());
+  scope->quiesce.unlock();
+  return Status::OK();
+}
+
+Status TsbTree::ReplayCommitted(const Slice& key, const Slice& value,
+                                Timestamp ts) {
+  WriterGuard wl(this);
+  if (ts == kMinTimestamp || ts > kMaxCommittedTs) {
+    return Status::InvalidArgument("timestamp out of committed range");
+  }
+  // No monotone-clock check: the persisted clock already advanced past
+  // the timestamps the log re-inserts. Same-(key, ts) inserts replace in
+  // place, so replaying an already-applied frame is idempotent.
+  DataEntry e;
+  e.key = key.ToString();
+  e.ts = ts;
+  e.txn = kNoTxn;
+  e.value = value.ToString();
+  TSB_RETURN_IF_ERROR(InsertEntry(e));
+  clock_.AdvanceTo(ts);
+  counters_.puts++;
+  return Status::OK();
+}
+
+Status TsbTree::PurgeUncommitted(uint64_t* purged) {
+  *purged = 0;
+  std::lock_guard<std::shared_mutex> wl(writer_mu_);
+  return PurgeUncommittedRec(root_.load(std::memory_order_acquire), purged);
+}
+
+Status TsbTree::PurgeUncommittedRec(uint32_t page_id, uint64_t* purged) {
+  PageHandle h;
+  TSB_RETURN_IF_ERROR(pool_->Fetch(page_id, &h));
+  if (TsbPageLevel(h.data()) == 0) {
+    DataPageRef page(h.data(), options_.page_size);
+    bool removed = false;
+    for (int i = page.Count() - 1; i >= 0; --i) {
+      DataEntryView v;
+      TSB_RETURN_IF_ERROR(page.At(i, &v));
+      if (v.uncommitted()) {
+        page.Remove(i);
+        ++*purged;
+        removed = true;
+      }
+    }
+    if (removed) h.MarkDirty();
+    return Status::OK();
+  }
+  IndexPageRef page(h.data(), options_.page_size);
+  std::vector<IndexEntry> entries;
+  TSB_RETURN_IF_ERROR(page.DecodeAll(&entries));
+  h.Release();
+  for (const IndexEntry& e : entries) {
+    // Historical nodes are immutable and never hold uncommitted versions.
+    if (!e.child.historical) {
+      TSB_RETURN_IF_ERROR(PurgeUncommittedRec(e.child.page_id, purged));
+    }
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------- descent
 
 Status TsbTree::DescendCurrent(const Slice& key, std::vector<PathElem>* path,
@@ -939,7 +1033,7 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
       // irreversible work; if the structure changed, retry from the top.
       IndexEntry he = pe;
       he.t_hi = split_t;
-      he.min_ts = DataContentFloor(hist_set, pe.min_ts);
+      he.min_ts = ContentFloorHint(DataContentFloor(hist_set, pe.min_ts));
       const uint32_t need =
           static_cast<uint32_t>(IndexEntrySizeBound(he)) + kCellOverhead;
       bool changed = false;
@@ -990,7 +1084,7 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
         // Retained-alive records can predate split_t; with nothing
         // committed, split_t is sound — the watermark cap keeps every
         // in-flight stamp above it.
-        cur_e.min_ts = DataContentFloor(cur_set, split_t);
+        cur_e.min_ts = ContentFloorHint(DataContentFloor(cur_set, split_t));
         if (!parent.Replace(pe_pos, cur_e)) {
           return Status::Corruption("parent entry replace failed");
         }
@@ -1095,7 +1189,7 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
     IndexEntry left_e = pe;
     left_e.key_hi = split_key;
     left_e.key_hi_inf = false;
-    left_e.min_ts = DataContentFloor(left, pe.min_ts);
+    left_e.min_ts = ContentFloorHint(DataContentFloor(left, pe.min_ts));
     if (!parent.Replace(pe_pos, left_e)) {
       return Status::Corruption("parent entry replace failed");
     }
@@ -1105,7 +1199,7 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
     // The rectangle keeps the predecessor's loose time floor, but the
     // content floor is tight: old-snapshot readers skip siblings whose
     // records are all younger than their as-of time.
-    right_e.min_ts = DataContentFloor(right, pe.min_ts);
+    right_e.min_ts = ContentFloorHint(DataContentFloor(right, pe.min_ts));
     if (!parent.Insert(right_e)) {
       return Status::Corruption("parent lost reserved space (key split)");
     }
@@ -1287,14 +1381,14 @@ Status TsbTree::SplitIndexPage(const std::vector<PathElem>& path, size_t idx) {
     IndexEntry left_e = pe;
     left_e.key_hi = split_key;
     left_e.key_hi_inf = false;
-    left_e.min_ts = IndexContentFloor(left);
+    left_e.min_ts = ContentFloorHint(IndexContentFloor(left));
     if (!parent.Replace(pe_pos, left_e)) {
       return Status::Corruption("index key split: parent replace failed");
     }
     IndexEntry right_e = pe;  // rule 1: a copy of the time used for the
     right_e.key_lo = split_key;  // previous reference is posted
     right_e.child = NodeRef::Current(right_h.id());
-    right_e.min_ts = IndexContentFloor(right);
+    right_e.min_ts = ContentFloorHint(IndexContentFloor(right));
     if (!parent.Insert(right_e)) {
       return Status::Corruption("index key split: parent lost space");
     }
@@ -1332,7 +1426,7 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
     }
   }
   std::sort(hist_entries.begin(), hist_entries.end());
-  he.min_ts = IndexContentFloor(hist_entries);
+  he.min_ts = ContentFloorHint(IndexContentFloor(hist_entries));
   size_t distinct = 0, key_bytes = 0;
   IndexNodeShape(hist_entries, &distinct, &key_bytes);
   const uint32_t interval = policy_.ChooseRestartInterval(
@@ -1363,7 +1457,7 @@ Status TsbTree::TimeSplitIndexPage(const std::vector<PathElem>& path,
     IndexPageRef parent(parent_h.data(), options_.page_size);
     IndexEntry cur_e = pe;
     cur_e.t_lo = split_t;
-    cur_e.min_ts = IndexContentFloor(keep);
+    cur_e.min_ts = ContentFloorHint(IndexContentFloor(keep));
     if (!parent.Replace(pe_pos, cur_e)) {
       return Status::Corruption("index time split: parent replace failed");
     }

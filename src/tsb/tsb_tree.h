@@ -259,6 +259,40 @@ class TsbTree {
   /// Persists tree meta and flushes dirty pages.
   Status Flush();
 
+  // ---- durability (WAL checkpoint + recovery; see src/wal/) ----
+
+  /// Quiesced image of this tree's dirty state, captured by
+  /// BeginCheckpoint. Holds the exclusive writer lock until
+  /// FinishCheckpoint (or destruction), so no mutator runs between the
+  /// journal snapshot and the in-place flush.
+  struct CheckpointScope {
+    std::unique_lock<std::shared_mutex> quiesce;
+    std::string meta_image;  ///< page-0 image (unsealed)
+    std::vector<std::pair<uint32_t, std::string>> dirty_pages;  ///< unsealed
+  };
+
+  /// Phase 1 of a crash-atomic checkpoint: takes the exclusive writer
+  /// lock, syncs the historical device (journaled pages may reference
+  /// freshly appended blobs), and snapshots the meta image + every dirty
+  /// buffer-pool frame into `scope`. The caller journals the images, then
+  /// calls FinishCheckpoint.
+  Status BeginCheckpoint(CheckpointScope* scope);
+
+  /// Phase 2: writes the snapshotted images in place (meta + FlushAll),
+  /// syncs the current device, and releases the writer lock.
+  Status FinishCheckpoint(CheckpointScope* scope);
+
+  /// WAL recovery insert: like Put but exempt from the monotone-clock
+  /// check (replay re-inserts timestamps the persisted clock already
+  /// advanced past) and without publishing (the caller publishes once
+  /// after the whole log is replayed).
+  Status ReplayCommitted(const Slice& key, const Slice& value, Timestamp ts);
+
+  /// Removes every uncommitted (ghost) version left behind by a crash
+  /// mid-transaction. Recovery runs this before WAL replay; `*purged`
+  /// counts removed versions.
+  Status PurgeUncommitted(uint64_t* purged);
+
   /// Walks the whole DAG and computes the section-5 space metrics.
   Status ComputeSpaceStats(SpaceStats* out);
 
@@ -357,6 +391,17 @@ class TsbTree {
 
   /// Inserts `e` (committed or uncommitted), splitting as needed.
   Status InsertEntry(const DataEntry& e);
+
+  /// Applies the content_floor_hints knob at every hint-stamping split
+  /// site: disabled reproduces legacy cells (stored min_ts = 0), which
+  /// TreeChecker::RepairContentFloors can later backfill.
+  Timestamp ContentFloorHint(Timestamp floor) const {
+    return policy_.config().content_floor_hints ? floor : 0;
+  }
+
+  /// Recursive walk for PurgeUncommitted (current axis only; historical
+  /// nodes are immutable and never hold uncommitted versions).
+  Status PurgeUncommittedRec(uint32_t page_id, uint64_t* purged);
 
   /// The split slow path of InsertEntry: re-descends under structure_mu_
   /// and splits the target leaf unless another writer already made room.

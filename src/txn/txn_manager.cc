@@ -101,19 +101,37 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
     // A hook forces the serial path below: index maintenance must apply
     // in timestamp order.
     Timestamp ts;
+    uint64_t wal_end_lsn = 0;
     {
-      std::lock_guard<std::mutex> commit_lock(commit_mu_);
+      std::unique_lock<std::mutex> commit_lock(commit_mu_);
+      commit_cv_.wait(commit_lock, [&] { return !frozen_; });
       ts = tree_->clock().Tick();
+      if (wal_ != nullptr) {
+        // Log BEFORE entering inflight_: append order under commit_mu_ ==
+        // timestamp order, so replay reproduces the one serialization the
+        // watermark could have published. An append failure aborts the
+        // commit before any stamp — nothing torn, nothing to poison.
+        TSB_RETURN_IF_ERROR(
+            wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn));
+      }
       inflight_.insert(ts);
     }
     std::vector<Slice> keys;
     keys.reserve(txn->writes_.size());
     for (const auto& [key, value] : txn->writes_) keys.emplace_back(key);
-    const Status status = tree_->StampCommittedBatch(keys, txn->id_, ts);
+    Status status = tree_->StampCommittedBatch(keys, txn->id_, ts);
+    if (status.ok() && wal_ != nullptr) {
+      // Group-commit rendezvous, while this commit is STILL in inflight_:
+      // the watermark cannot publish past a commit whose durability is
+      // unresolved, so an fdatasync failure can poison before any reader
+      // observed the stamp.
+      status = wal_->Sync(wal_end_lsn);
+    }
     Timestamp publish;
     {
       std::lock_guard<std::mutex> commit_lock(commit_mu_);
       inflight_.erase(ts);
+      if (frozen_ && inflight_.empty()) commit_cv_.notify_all();
       if (!status.ok()) {
         // Same poisoned-watermark contract as the serial path below.
         if (publish_cap_ > ts - 1) publish_cap_ = ts - 1;
@@ -145,8 +163,15 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
   // still-in-flight commit timestamp. Updaters may still build
   // transactions concurrently (Put phases interleave under the key-lock
   // table); only the commit point is serial.
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  std::unique_lock<std::mutex> commit_lock(commit_mu_);
+  commit_cv_.wait(commit_lock, [&] { return !frozen_; });
   const Timestamp ts = tree_->clock().Tick();
+  uint64_t wal_end_lsn = 0;
+  if (wal_ != nullptr) {
+    // Append failure aborts before any stamp: the transaction stays
+    // active and abortable, nothing is torn.
+    TSB_RETURN_IF_ERROR(wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn));
+  }
   Status status;
   // Capture the previous committed versions for the hook BEFORE any
   // stamping — and only when a hook is installed (no secondary indexes =
@@ -167,6 +192,12 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
   keys.reserve(txn->writes_.size());
   for (const auto& [key, value] : txn->writes_) keys.emplace_back(key);
   status = tree_->StampCommittedBatch(keys, txn->id_, ts);
+  if (status.ok() && wal_ != nullptr) {
+    // Serial path: the sync runs under commit_mu_, so there is nothing to
+    // amortize against — group commit only pays off on the concurrent
+    // path, where syncs rendezvous outside the mutex.
+    status = wal_->Sync(wal_end_lsn);
+  }
   if (status.ok() && hook_) {
     size_t i = 0;
     for (const auto& [key, value] : txn->writes_) {
@@ -198,6 +229,24 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
   active_count_.fetch_sub(1, std::memory_order_acq_rel);
   if (commit_ts != nullptr) *commit_ts = ts;
   return Status::OK();
+}
+
+void TxnManager::FreezeCommits() {
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  // Block new commit starts first, then drain the in-flight set with
+  // commit_mu_ RELEASED inside the wait: finishing committers need the
+  // mutex for their bookkeeping, so holding it through the drain would
+  // deadlock.
+  frozen_ = true;
+  commit_cv_.wait(lock, [&] { return inflight_.empty(); });
+}
+
+void TxnManager::UnfreezeCommits() {
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    frozen_ = false;
+  }
+  commit_cv_.notify_all();
 }
 
 Status TxnManager::AbortTxn(Transaction* txn) {

@@ -16,6 +16,7 @@
 #define TSBTREE_TXN_TXN_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -31,6 +32,7 @@
 #include "tsb/pinnable_value.h"
 #include "tsb/tsb_tree.h"
 #include "txn/write_batch.h"
+#include "wal/wal.h"
 
 namespace tsb {
 namespace txn {
@@ -159,6 +161,21 @@ class TxnManager {
   /// maintenance must apply in timestamp order.
   void SetCommitHook(CommitHook hook) { hook_ = std::move(hook); }
 
+  /// Installs the write-ahead log every commit appends to before
+  /// stamping. Not thread-safe relative to in-flight commits; the DB
+  /// layer installs it during Open, before handing the manager out.
+  /// nullptr = no logging (raw-device databases).
+  void SetWal(wal::Wal* wal) { wal_ = wal; }
+  wal::Wal* wal() const { return wal_; }
+
+  /// Blocks NEW commits and waits until every in-flight commit finishes
+  /// (stamped, synced, bookkept). While frozen, the WAL end is exactly
+  /// the committed state of the tree — the checkpoint invariant. Commits
+  /// resume on UnfreezeCommits. One freezer at a time; reentrant freezing
+  /// deadlocks (the DB layer serializes checkpoints).
+  void FreezeCommits();
+  void UnfreezeCommits();
+
   size_t active_txns() const {
     return active_count_.load(std::memory_order_acquire);
   }
@@ -174,6 +191,7 @@ class TxnManager {
 
   tsb_tree::TsbTree* tree_;
   CommitHook hook_;
+  wal::Wal* wal_ = nullptr;
   std::atomic<TxnId> next_txn_{1};
   std::atomic<size_t> active_count_{0};
   std::mutex lock_mu_;  // guards lock_table_
@@ -184,6 +202,10 @@ class TxnManager {
   // stamping phase, which runs unlocked. Always guards publish_cap_,
   // inflight_ and completed_max_.
   std::mutex commit_mu_;
+  /// Signals commit starts blocked by a freeze and the freezer's drain
+  /// wait; guarded by commit_mu_.
+  std::condition_variable commit_cv_;
+  bool frozen_ = false;
   Timestamp publish_cap_ = kMaxCommittedTs;
   // Commit timestamps ticked but not yet fully stamped. The publishable
   // watermark is the largest timestamp below every member: publishing an

@@ -1,0 +1,220 @@
+#include "wal/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/logger.h"
+#include "storage/file_device.h"
+#include "storage/pager.h"
+
+namespace tsb {
+namespace wal {
+
+std::string CheckpointJournal::JournalPath(const std::string& dir) {
+  return dir + "/checkpoint.tsb";
+}
+
+CheckpointJournal::CheckpointJournal(std::string dir, uint32_t page_size)
+    : dir_(std::move(dir)), page_size_(page_size) {
+  PutFixed32(&body_, kMagic);
+  PutFixed32(&body_, kVersion);
+  PutFixed32(&body_, page_size_);
+}
+
+void CheckpointJournal::BeginTree(const std::string& device_file) {
+  body_.push_back(static_cast<char>(kTreeRecord));
+  PutVarint32(&body_, static_cast<uint32_t>(device_file.size()));
+  body_.append(device_file);
+  records_++;
+}
+
+void CheckpointJournal::AddPage(uint32_t page_id, const std::string& image) {
+  body_.push_back(static_cast<char>(kPageRecord));
+  PutFixed32(&body_, page_id);
+  PutFixed32(&body_, static_cast<uint32_t>(image.size()));
+  body_.append(image);
+  records_++;
+  pages_++;
+}
+
+Status CheckpointJournal::Commit() {
+  body_.push_back(static_cast<char>(kEndRecord));
+  PutFixed64(&body_, records_);
+  PutFixed32(&body_, crc32c::Mask(crc32c::Value(body_.data(), body_.size())));
+  const std::string path = JournalPath(dir_);
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("create " + path, strerror(errno));
+  const bool wrote = fwrite(body_.data(), 1, body_.size(), f) == body_.size() &&
+                     fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  fclose(f);
+  if (!wrote) return Status::IOError("write " + path, strerror(errno));
+  return Status::OK();
+}
+
+Status CheckpointJournal::Remove() {
+  const std::string path = JournalPath(dir_);
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("unlink " + path, strerror(errno));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Applies one tree section's page images through a Pager (which seals —
+/// checksums — each page exactly like the live write path).
+Status ApplyTreeSection(const std::string& dir, const std::string& file,
+                        uint32_t page_size,
+                        const std::vector<std::pair<uint32_t, Slice>>& pages) {
+  FileDevice* raw = nullptr;
+  TSB_RETURN_IF_ERROR(FileDevice::Open(dir + "/" + file, &raw,
+                                       DeviceKind::kMagnetic,
+                                       CostParams::Magnetic(),
+                                       /*enable_mmap=*/false));
+  std::unique_ptr<FileDevice> dev(raw);
+  Pager pager(dev.get(), page_size);
+  std::vector<char> buf(page_size);
+  for (const auto& [id, image] : pages) {
+    memcpy(buf.data(), image.data(), page_size);
+    if (id == 0) {
+      TSB_RETURN_IF_ERROR(pager.WriteMeta(buf.data()));
+    } else {
+      TSB_RETURN_IF_ERROR(pager.Write(id, buf.data()));
+    }
+  }
+  return dev->Sync();
+}
+
+}  // namespace
+
+Status CheckpointJournal::Recover(const std::string& dir, uint32_t page_size,
+                                  bool* applied) {
+  *applied = false;
+  const std::string path = JournalPath(dir);
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::IOError("open " + path, strerror(errno));
+  }
+  std::string body;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  const bool read_ok = ferror(f) == 0;
+  fclose(f);
+  if (!read_ok) return Status::IOError("read " + path, strerror(errno));
+
+  // Completeness gate: trailer CRC over the whole body. Anything torn —
+  // short file, bad CRC, wrong magic — means the in-place phase never
+  // started, so the devices still hold the previous checkpoint: discard.
+  auto discard = [&](const char* why) {
+    TSB_LOG_WARN("discarding incomplete checkpoint journal %s (%s)",
+                 path.c_str(), why);
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError("unlink " + path, strerror(errno));
+    }
+    return Status::OK();
+  };
+  if (body.size() < 12 + 1 + 8 + 4) return discard("short file");
+  const size_t crc_pos = body.size() - 4;
+  if (crc32c::Value(body.data(), crc_pos) !=
+      crc32c::Unmask(DecodeFixed32(body.data() + crc_pos))) {
+    return discard("trailer crc mismatch");
+  }
+  const char* p = body.data();
+  const char* limit = body.data() + crc_pos;
+  if (DecodeFixed32(p) != kMagic || DecodeFixed32(p + 4) != kVersion) {
+    return discard("bad magic/version");
+  }
+  if (DecodeFixed32(p + 8) != page_size) {
+    // A journal for different geometry cannot belong to this database
+    // state; the CRC passed so this is a caller error, not a torn write.
+    return Status::InvalidArgument("checkpoint journal page_size mismatch",
+                                   path);
+  }
+  p += 12;
+
+  // Parse: CRC already vouched for the bytes, so structural errors from
+  // here are Corruption, not "torn".
+  std::string current_file;
+  std::vector<std::pair<uint32_t, Slice>> pages;
+  uint64_t records = 0;
+  Status status = Status::OK();
+  bool saw_end = false;
+  auto flush_tree = [&]() -> Status {
+    if (current_file.empty()) return Status::OK();
+    Status s = ApplyTreeSection(dir, current_file, page_size, pages);
+    pages.clear();
+    return s;
+  };
+  while (p < limit && status.ok() && !saw_end) {
+    const uint8_t type = static_cast<uint8_t>(*p++);
+    switch (type) {
+      case kTreeRecord: {
+        uint32_t len = 0;
+        p = GetVarint32Ptr(p, limit, &len);
+        if (p == nullptr || static_cast<size_t>(limit - p) < len) {
+          status = Status::Corruption("journal tree record malformed", path);
+          break;
+        }
+        status = flush_tree();
+        current_file.assign(p, len);
+        p += len;
+        records++;
+        break;
+      }
+      case kPageRecord: {
+        if (static_cast<size_t>(limit - p) < 8) {
+          status = Status::Corruption("journal page record malformed", path);
+          break;
+        }
+        const uint32_t id = DecodeFixed32(p);
+        const uint32_t len = DecodeFixed32(p + 4);
+        p += 8;
+        if (len != page_size || static_cast<size_t>(limit - p) < len ||
+            current_file.empty()) {
+          status = Status::Corruption("journal page image malformed", path);
+          break;
+        }
+        pages.emplace_back(id, Slice(p, len));
+        p += len;
+        records++;
+        break;
+      }
+      case kEndRecord: {
+        if (static_cast<size_t>(limit - p) != 8 ||
+            DecodeFixed64(p) != records) {
+          status = Status::Corruption("journal record count mismatch", path);
+          break;
+        }
+        p += 8;
+        saw_end = true;
+        break;
+      }
+      default:
+        status = Status::Corruption("journal record type unknown", path);
+        break;
+    }
+  }
+  if (status.ok() && !saw_end) {
+    status = Status::Corruption("journal missing end record", path);
+  }
+  if (status.ok()) status = flush_tree();
+  TSB_RETURN_IF_ERROR(status);
+  TSB_LOG_INFO("re-applied checkpoint journal %s", path.c_str());
+  *applied = true;
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("unlink " + path, strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace wal
+}  // namespace tsb

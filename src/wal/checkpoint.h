@@ -1,0 +1,94 @@
+// Checkpoint journal: crash-atomic flush of dirty pages across every tree
+// of a database directory (double-write journaling).
+//
+// Why it exists: WAL replay is LOGICAL (key/value at commit ts), so the
+// on-disk base it replays into must be a structurally consistent snapshot
+// of the whole page graph. With the buffer pool in no-steal mode nothing
+// writes current-device pages between checkpoints, so the only danger is
+// the checkpoint itself: a kill in the middle of FlushAll leaves a mix of
+// old and new pages — a parent can point at a child image that never made
+// it to disk. The journal closes that window:
+//
+//   1. collect every dirty page image + the meta image of every tree
+//      (commit-frozen, writer-quiesced) into one journal file,
+//   2. write + fsync the journal (the commit point: a CRC'd trailer marks
+//      it complete),
+//   3. apply the same images in place and fsync the devices,
+//   4. delete the journal, then advance the MANIFEST checkpoint LSN.
+//
+// Recovery: a COMPLETE journal is re-applied (idempotent — the images are
+// absolute page states); an incomplete one is discarded (the in-place
+// phase never started, so the devices still hold the previous consistent
+// checkpoint).
+//
+// File format (checkpoint.tsb, little-endian):
+//   [u32 magic "TSCK"][u32 version][u32 page_size]
+//   per tree:  [u8 kTreeRecord][varint32 file_name_len][file_name]
+//   per page:  [u8 kPageRecord][u32 page_id (0 = meta)][u32 len][image]
+//   trailer:   [u8 kEndRecord][u64 record_count]
+//              [u32 masked crc32c of all preceding bytes]
+#ifndef TSBTREE_WAL_CHECKPOINT_H_
+#define TSBTREE_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace tsb {
+namespace wal {
+
+/// Builds the journal in memory; Commit() writes + fsyncs it. Page images
+/// are UNSEALED (checksums are applied by the Pager when the images are
+/// written in place or re-applied during recovery).
+class CheckpointJournal {
+ public:
+  CheckpointJournal(std::string dir, uint32_t page_size);
+
+  /// Starts the section for one tree; `device_file` is the current-device
+  /// file name inside the directory (e.g. "current.tsb").
+  void BeginTree(const std::string& device_file);
+
+  /// Adds one page image (page_id 0 = the meta page) to the current tree
+  /// section. `image` must be page_size bytes.
+  void AddPage(uint32_t page_id, const std::string& image);
+
+  /// Appends the trailer and writes the journal file with fsync. After
+  /// Commit returns OK the checkpoint is guaranteed to complete (either
+  /// by the in-place phase or by recovery re-applying the journal).
+  Status Commit();
+
+  /// Deletes the journal file (call after the in-place phase + device
+  /// syncs succeed).
+  Status Remove();
+
+  size_t pages() const { return pages_; }
+  size_t bytes() const { return body_.size(); }
+
+  /// Recovery entry point: if `dir` holds a checkpoint journal, re-apply
+  /// it when complete (then delete it) or discard it when torn. Must run
+  /// BEFORE the database opens its devices. `*applied` reports whether a
+  /// complete journal was re-applied.
+  static Status Recover(const std::string& dir, uint32_t page_size,
+                        bool* applied);
+
+  static std::string JournalPath(const std::string& dir);
+
+  static constexpr uint32_t kMagic = 0x4b435354;  // "TSCK"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr uint8_t kTreeRecord = 1;
+  static constexpr uint8_t kPageRecord = 2;
+  static constexpr uint8_t kEndRecord = 3;
+
+ private:
+  const std::string dir_;
+  const uint32_t page_size_;
+  std::string body_;
+  uint64_t records_ = 0;
+  size_t pages_ = 0;
+};
+
+}  // namespace wal
+}  // namespace tsb
+
+#endif  // TSBTREE_WAL_CHECKPOINT_H_
