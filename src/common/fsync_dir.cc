@@ -1,0 +1,34 @@
+#include "common/fsync_dir.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tsb {
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError("open dir " + dir, strerror(errno));
+  }
+  Status status;
+  if (::fsync(fd) != 0) {
+    // Some filesystems refuse fsync on directories (EINVAL); there the
+    // directory entry is as durable as the platform allows and failing
+    // the commit path would only turn a durability gap into an outage.
+    if (errno != EINVAL) {
+      status = Status::IOError("fsync dir " + dir, strerror(errno));
+    }
+  }
+  ::close(fd);
+  return status;
+}
+
+Status SyncParentDir(const std::string& file) {
+  const size_t slash = file.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : file.substr(0, slash));
+}
+
+}  // namespace tsb

@@ -1,0 +1,26 @@
+// Directory-entry durability. fsync on a file makes its BYTES stable,
+// but the file's existence (a create, rename or unlink) lives in the
+// parent directory and needs its own fsync: without it a power cut can
+// forget that a just-renamed MANIFEST, a freshly committed checkpoint
+// journal, or a new WAL segment was ever linked into the directory.
+#ifndef TSBTREE_COMMON_FSYNC_DIR_H_
+#define TSBTREE_COMMON_FSYNC_DIR_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace tsb {
+
+/// fsyncs the directory `dir` so that creates/renames/unlinks performed
+/// inside it are durable. Call AFTER the file operation and BEFORE
+/// treating it as a commit point.
+Status SyncDir(const std::string& dir);
+
+/// SyncDir on the parent directory of `file` (the path up to the last
+/// '/'; "." when the path has no directory component).
+Status SyncParentDir(const std::string& file);
+
+}  // namespace tsb
+
+#endif  // TSBTREE_COMMON_FSYNC_DIR_H_

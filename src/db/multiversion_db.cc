@@ -11,6 +11,7 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "common/fsync_dir.h"
 #include "common/logger.h"
 #include "storage/append_store.h"
 #include "storage/file_device.h"
@@ -74,6 +75,12 @@ struct Manifest {
   /// directory. Open re-attaches each one so index data never becomes an
   /// orphaned pair of .tsb files after a reopen.
   std::vector<std::string> indexes;
+  /// True when the file carried a valid `crc=` terminator line. The
+  /// writer always emits one; a parse without it is a legacy (pre-crc)
+  /// manifest or a torn file. MANIFEST.tmp promotion REQUIRES it — a
+  /// partially flushed tmp can parse cleanly yet be missing trailing
+  /// index= lines, and promoting it would silently drop catalog entries.
+  bool complete = false;
 };
 
 std::string ManifestPath(const std::string& dir) {
@@ -107,6 +114,13 @@ Status WriteManifest(const std::string& dir, const Manifest& m) {
   for (const std::string& name : m.indexes) {
     body += "index=" + name + "\n";
   }
+  // Terminator: masked CRC32C over every preceding byte. This is what
+  // distinguishes "the writer finished" from "the file happens to parse":
+  // a tmp flushed halfway still yields valid-looking lines.
+  char trailer[24];
+  snprintf(trailer, sizeof(trailer), "crc=%08x\n",
+           crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  body += trailer;
   // Write-temp-fsync-rename: a crash never leaves a torn manifest behind
   // (without the fsync, the rename can survive a power cut while the
   // data blocks do not, leaving an empty MANIFEST that fails every
@@ -123,7 +137,10 @@ Status WriteManifest(const std::string& dir, const Manifest& m) {
   if (::rename(tmp.c_str(), ManifestPath(dir).c_str()) != 0) {
     return Status::IOError("rename " + tmp, strerror(errno));
   }
-  return Status::OK();
+  // The rename lives in the directory: without this fsync a power cut can
+  // resurrect the previous manifest (or none) after later steps — the
+  // checkpoint path treats this write as its commit point.
+  return SyncDir(dir);
 }
 
 Status ReadManifestFile(const std::string& file, bool* exists, Manifest* out) {
@@ -135,7 +152,24 @@ Status ReadManifestFile(const std::string& file, bool* exists, Manifest* out) {
   }
   char line[128];
   bool header_ok = false;
+  uint32_t running_crc = 0;
   while (fgets(line, sizeof(line), f) != nullptr) {
+    unsigned crc_line = 0;
+    if (header_ok && sscanf(line, "crc=%x", &crc_line) == 1) {
+      // Terminator: validates every byte read so far (the crc line itself
+      // excluded). The writer emits it last, so a matching crc proves the
+      // file is whole — in particular that no trailing index= line was
+      // lost in a torn flush. Anything after it is ignored.
+      if (crc32c::Unmask(static_cast<uint32_t>(crc_line)) != running_crc) {
+        fclose(f);
+        return Status::Corruption("manifest crc mismatch", file);
+      }
+      out->complete = true;
+      break;
+    }
+    // fgets hands back raw chunks in file order (long lines split), so
+    // extending per chunk equals a CRC over the file prefix.
+    running_crc = crc32c::Extend(running_crc, line, strlen(line));
     if (!header_ok) {
       if (strncmp(line, "tsb-manifest v1", 15) != 0) break;
       header_ok = true;
@@ -183,9 +217,11 @@ Status ReadManifest(const std::string& dir, bool* exists, Manifest* out) {
 ///    rename, so the tmp was never made durable-and-current — MANIFEST
 ///    stays authoritative, the tmp is discarded.
 ///  - Only MANIFEST.tmp present: the very first manifest write crashed
-///    between creating the tmp and renaming it. If the tmp parses, it
-///    carries exactly what the rename would have installed — promote it;
-///    otherwise discard the torn file and let Open recreate a manifest.
+///    between creating the tmp and renaming it. If the tmp parses AND its
+///    crc terminator validates, it carries exactly what the rename would
+///    have installed — promote it; otherwise (torn, or flushed halfway so
+///    it parses but is incomplete) discard it and let Open recreate a
+///    manifest.
 Status RecoverManifestTmp(const std::string& dir) {
   const std::string tmp = ManifestPath(dir) + ".tmp";
   struct stat st;
@@ -203,7 +239,8 @@ Status RecoverManifestTmp(const std::string& dir) {
   }
   bool parses = false;
   Manifest scratch;
-  parses = ReadManifestFile(tmp, &parses, &scratch).ok() && parses;
+  parses = ReadManifestFile(tmp, &parses, &scratch).ok() && parses &&
+           scratch.complete;
   if (!parses) {
     TSB_LOG_WARN("discarding torn %s", tmp.c_str());
     if (::unlink(tmp.c_str()) != 0) {
@@ -215,7 +252,7 @@ Status RecoverManifestTmp(const std::string& dir) {
   if (::rename(tmp.c_str(), ManifestPath(dir).c_str()) != 0) {
     return Status::IOError("rename " + tmp, strerror(errno));
   }
-  return Status::OK();
+  return SyncDir(dir);
 }
 
 /// Creates the manifest on first open; on reopen verifies the recorded
@@ -541,14 +578,28 @@ Status MultiVersionDB::Destroy(const std::string& path) {
 
 Status MultiVersionDB::Write(const WriteBatch& batch, Timestamp* commit_ts) {
   TSB_RETURN_IF_ERROR(txns_->Write(batch, commit_ts));
-  if (wal_ != nullptr &&
-      wal_->appended_lsn() >= options_.wal_checkpoint_bytes &&
+  // Size trigger: read the append offset through TxnManager's mirror, not
+  // wal_ — a concurrent writer's rotation may be destroying the old Wal
+  // object right now, and this thread holds nothing that pins it.
+  if (wal_enabled_ &&
+      txns_->wal_appended_lsn() >= options_.wal_checkpoint_bytes &&
       !checkpoint_pending_.exchange(true, std::memory_order_acq_rel)) {
     // One writer claims the size-triggered checkpoint; the rest sail on
     // (FreezeCommits inside will briefly stall them at the commit point).
     Status s = Checkpoint();
     checkpoint_pending_.store(false, std::memory_order_release);
-    TSB_RETURN_IF_ERROR(s);
+    if (!s.ok()) {
+      // The commit above already landed (durable in the log, *commit_ts
+      // set); surfacing the checkpoint failure here would read as "not
+      // committed" and invite a double-apply retry. Log it, keep it
+      // observable via LastCheckpointError(), and report the write OK —
+      // recovery replays the un-checkpointed log regardless.
+      TSB_LOG_ERROR("size-triggered checkpoint failed (%s); write at "
+                    "t=%llu is committed and durable in the log",
+                    s.ToString().c_str(),
+                    (unsigned long long)(commit_ts != nullptr ? *commit_ts
+                                                              : 0));
+    }
   }
   return Status::OK();
 }
@@ -774,7 +825,7 @@ BufferPoolStats MultiVersionDB::PoolStats() const {
 }
 
 Status MultiVersionDB::Flush() {
-  if (wal_ != nullptr) {
+  if (wal_enabled_) {
     // With a WAL the device files may only advance through crash-atomic
     // checkpoints: a plain flush could be half-written when the process
     // dies, tearing the base the next recovery replays against.
@@ -829,6 +880,7 @@ Status MultiVersionDB::RecoverWal(bool manifest_clean, bool journal_applied) {
   }
   TSB_RETURN_IF_ERROR(wal::Wal::Open(wal_file, options_.wal_sync,
                                      options_.wal_background_sync_ms, &wal_));
+  wal_enabled_ = true;  // immutable from here: hot paths gate on this
   txns_->SetWal(wal_.get());
   // From here until the destructor's final checkpoint the database is
   // live: the manifest must say so BEFORE the first commit can append.
@@ -913,9 +965,25 @@ Status MultiVersionDB::ApplyWalCommit(const wal::WalCommit& commit) {
 }
 
 Status MultiVersionDB::Checkpoint() {
-  if (wal_ == nullptr) return Status::OK();  // raw-device / WAL-disabled
-  std::lock_guard<std::mutex> lock(checkpoint_mu_);
-  return CheckpointLocked();
+  if (!wal_enabled_) return Status::OK();  // raw-device / WAL-disabled
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    status = CheckpointLocked();
+  }
+  {
+    // Sticky health record: Write() swallows automatic-checkpoint
+    // failures (the commit already landed), so this is where they stay
+    // visible. A later success clears it.
+    std::lock_guard<std::mutex> lock(ckpt_err_mu_);
+    last_checkpoint_error_ = status;
+  }
+  return status;
+}
+
+Status MultiVersionDB::LastCheckpointError() const {
+  std::lock_guard<std::mutex> lock(ckpt_err_mu_);
+  return last_checkpoint_error_;
 }
 
 Status MultiVersionDB::CheckpointLocked() {
@@ -978,6 +1046,8 @@ Status MultiVersionDB::CheckpointLocked() {
       txns_->SetWal(fresh.get());  // commits frozen: no racing appender
       wal_ = std::move(fresh);     // the old log closes here
       ::unlink(WalFilePath(path_, old_seq).c_str());
+      // Best effort: a resurrected dead log is swept at the next Open.
+      (void)SyncDir(path_);
     } else {
       wal_checkpoint_lsn_ = ckpt_lsn;
       TSB_RETURN_IF_ERROR(PersistManifest());

@@ -261,8 +261,18 @@ class MultiVersionDB {
   Status Checkpoint();
 
   /// The write-ahead log (nullptr when disabled / raw-device DB). Exposed
-  /// for stats; appending to it directly voids the warranty.
+  /// for stats; appending to it directly voids the warranty. Rotation
+  /// replaces the object, so do not cache or call this concurrently with
+  /// writes — quiesced inspection only.
   wal::Wal* wal() { return wal_.get(); }
+
+  /// The most recent failure of an automatic (size-triggered) checkpoint,
+  /// OK if none. Write() does NOT surface that failure — the commit it
+  /// rode on already landed durably in the log, and returning an error
+  /// for a committed write invites a double-apply retry. Health checks
+  /// poll here instead; the next checkpoint (automatic or explicit)
+  /// clears it on success.
+  Status LastCheckpointError() const;
 
   Status Flush();
   Status ComputeSpaceStats(tsb_tree::SpaceStats* out) {
@@ -353,13 +363,20 @@ class MultiVersionDB {
   // WAL state (null / zero for raw-device or WAL-disabled DBs). wal_ is
   // declared after tree_/txns_ but torn down explicitly in ~MultiVersionDB
   // (after the final checkpoint, before the trees destruct).
+  // CONCURRENCY: wal_ itself is swapped at rotation under checkpoint_mu_
+  // (with commits frozen); hot paths must never read it bare. Write()'s
+  // checkpoint trigger goes through wal_enabled_ (immutable after Open)
+  // and TxnManager::wal_appended_lsn() instead.
   std::unique_ptr<wal::Wal> wal_;
+  bool wal_enabled_ = false;        // set once in RecoverWal, never cleared
   uint32_t wal_seq_ = 0;            // live log file: wal-<seq>.tsb
   uint64_t wal_checkpoint_lsn_ = 0; // replay starts here (MANIFEST copy)
   bool clean_shutdown_ = true;      // MANIFEST flag mirrored in memory
   RecoveryStats recovery_stats_;
   std::mutex checkpoint_mu_;        // serializes Checkpoint()
   std::atomic<bool> checkpoint_pending_{false};  // auto-trigger claim
+  mutable std::mutex ckpt_err_mu_;  // guards last_checkpoint_error_
+  Status last_checkpoint_error_;    // see LastCheckpointError()
 };
 
 }  // namespace db

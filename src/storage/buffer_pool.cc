@@ -159,7 +159,7 @@ Status BufferPool::PinFrame(uint32_t id, Frame** out) {
       // The device read happens OUTSIDE the shard mutex so other pins in
       // this shard don't stall behind the I/O. The frame is published
       // pinned + marked loading; concurrent fetchers of the same page pin
-      // it and spin on the flag. Deliberately NOT a latch handoff: taking
+      // it and wait on the flag. Deliberately NOT a latch handoff: taking
       // the page latch while holding the shard mutex would order mu ->
       // latch, the inverse of Unpin during latch-coupled descents.
       f->loading.store(true, std::memory_order_release);
@@ -170,14 +170,17 @@ Status BufferPool::PinFrame(uint32_t id, Frame** out) {
     Status s = pager_->Read(id, f->data.get());
     if (!s.ok()) f->load_failed.store(true, std::memory_order_release);
     f->loading.store(false, std::memory_order_release);
+    f->loading.notify_all();
     if (!s.ok()) {
       UnpinDiscard(f);
       return s;
     }
   } else {
-    // Wait for the loader; bounded by one device read.
+    // Wait for the loader; bounded by one device read. Blocking (futex)
+    // rather than a yield spin: a device read is milliseconds, and an
+    // oversubscribed scheduler can starve the loader behind its spinners.
     while (f->loading.load(std::memory_order_acquire)) {
-      std::this_thread::yield();
+      f->loading.wait(true, std::memory_order_acquire);
     }
   }
   if (f->load_failed.load(std::memory_order_acquire)) {

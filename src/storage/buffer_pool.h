@@ -229,9 +229,9 @@ class BufferPool {
 
   /// Looks up or loads `id` in its shard and pins it. Returns the frame.
   /// Miss-path device reads run outside the shard mutex (frames are
-  /// published pinned + `loading`; concurrent fetchers spin on the flag,
-  /// never blocking the shard — and the page latch is never touched
-  /// while the shard mutex is held).
+  /// published pinned + `loading`; concurrent fetchers block on the flag
+  /// via atomic wait, never holding the shard — and the page latch is
+  /// never touched while the shard mutex is held).
   Status PinFrame(uint32_t id, Frame** out);
   void Unpin(Frame* frame);
   void UnpinDiscard(Frame* frame);

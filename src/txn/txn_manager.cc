@@ -113,6 +113,7 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
         // commit before any stamp — nothing torn, nothing to poison.
         TSB_RETURN_IF_ERROR(
             wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn));
+        wal_appended_lsn_.store(wal_end_lsn, std::memory_order_release);
       }
       inflight_.insert(ts);
     }
@@ -171,6 +172,7 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
     // Append failure aborts before any stamp: the transaction stays
     // active and abortable, nothing is torn.
     TSB_RETURN_IF_ERROR(wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn));
+    wal_appended_lsn_.store(wal_end_lsn, std::memory_order_release);
   }
   Status status;
   // Capture the previous committed versions for the hook BEFORE any

@@ -163,10 +163,25 @@ class TxnManager {
 
   /// Installs the write-ahead log every commit appends to before
   /// stamping. Not thread-safe relative to in-flight commits; the DB
-  /// layer installs it during Open, before handing the manager out.
+  /// layer installs it during Open (before handing the manager out) and
+  /// swaps it at log rotation with commits frozen.
   /// nullptr = no logging (raw-device databases).
-  void SetWal(wal::Wal* wal) { wal_ = wal; }
+  void SetWal(wal::Wal* wal) {
+    wal_ = wal;
+    wal_appended_lsn_.store(wal != nullptr ? wal->appended_lsn() : 0,
+                            std::memory_order_release);
+  }
   wal::Wal* wal() const { return wal_; }
+
+  /// End offset of the last commit frame this manager appended to the
+  /// CURRENT log (resets on SetWal at rotation). This — not
+  /// Wal::appended_lsn() — is what the DB layer's size-triggered
+  /// checkpoint must poll: it is updated under commit_mu_ while the Wal
+  /// object is pinned by the in-flight commit, so reading it never
+  /// touches a Wal that a concurrent rotation is destroying.
+  uint64_t wal_appended_lsn() const {
+    return wal_appended_lsn_.load(std::memory_order_acquire);
+  }
 
   /// Blocks NEW commits and waits until every in-flight commit finishes
   /// (stamped, synced, bookkept). While frozen, the WAL end is exactly
@@ -192,6 +207,10 @@ class TxnManager {
   tsb_tree::TsbTree* tree_;
   CommitHook hook_;
   wal::Wal* wal_ = nullptr;
+  /// Mirror of the live log's append offset, written only under
+  /// commit_mu_ (appends and SetWal both hold it, directly or via the
+  /// rotation freeze); see wal_appended_lsn().
+  std::atomic<uint64_t> wal_appended_lsn_{0};
   std::atomic<TxnId> next_txn_{1};
   std::atomic<size_t> active_count_{0};
   std::mutex lock_mu_;  // guards lock_table_

@@ -10,6 +10,7 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "common/fsync_dir.h"
 #include "common/logger.h"
 #include "storage/file_device.h"
 #include "storage/pager.h"
@@ -55,7 +56,11 @@ Status CheckpointJournal::Commit() {
                      fflush(f) == 0 && ::fsync(fileno(f)) == 0;
   fclose(f);
   if (!wrote) return Status::IOError("write " + path, strerror(errno));
-  return Status::OK();
+  // The fsync above pinned the journal's BYTES; its directory entry is
+  // separate state. Without this, a power cut after the in-place page
+  // overwrites begin could forget the journal existed — torn base files
+  // with nothing to roll them forward. This return is the commit point.
+  return SyncDir(dir_);
 }
 
 Status CheckpointJournal::Remove() {
@@ -63,7 +68,10 @@ Status CheckpointJournal::Remove() {
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IOError("unlink " + path, strerror(errno));
   }
-  return Status::OK();
+  // Re-applying a resurrected journal is idempotent (same page images),
+  // but the manifest written next assumes this step held — keep the
+  // ordering honest on disk too.
+  return SyncDir(dir_);
 }
 
 namespace {

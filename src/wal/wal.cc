@@ -9,6 +9,7 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "common/fsync_dir.h"
 #include "common/logger.h"
 
 namespace tsb {
@@ -77,6 +78,16 @@ Status Wal::Open(const std::string& file, WalSyncMode mode,
   if (size < 0) {
     ::close(fd);
     return Status::IOError("lseek wal " + file, strerror(errno));
+  }
+  if (size == 0) {
+    // Freshly created (or empty): make the directory entry durable before
+    // any commit frame relies on this file existing after power loss. An
+    // fdatasync covers the file's bytes, never its name.
+    Status s = SyncParentDir(file);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
   }
   out->reset(new Wal(fd, file, mode, static_cast<uint64_t>(size),
                      background_sync_ms));

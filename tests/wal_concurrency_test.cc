@@ -145,6 +145,56 @@ TEST(WalConcurrencyTest, DbWritersRaceCheckpoints) {
   db::MultiVersionDB::Destroy(path);
 }
 
+TEST(WalConcurrencyTest, SizeTriggeredRotationRacesWriters) {
+  // Regression: the size trigger in MultiVersionDB::Write used to read
+  // wal_->appended_lsn() bare, racing the rotation that destroys the old
+  // Wal object (use-after-free under TSan). A tiny rotation threshold
+  // makes every writer hit the trigger while rotations are in flight.
+  const std::string path =
+      "/tmp/tsb_wal_rot_conc." + std::to_string(::getpid());
+  db::MultiVersionDB::Destroy(path);
+  db::DbOptions opts;
+  opts.tree.page_size = 1024;
+  opts.tree.buffer_pool_frames = 4096;
+  opts.tree.concurrent_writers = true;
+  opts.wal_sync = wal::WalSyncMode::kOff;  // rotation pressure, not fsyncs
+  opts.wal_checkpoint_bytes = 4 << 10;     // rotate every ~4 KiB of log
+  constexpr int kWriters = 4;
+  constexpr int kCommits = 150;
+  {
+    std::unique_ptr<db::MultiVersionDB> db;
+    ASSERT_TRUE(db::MultiVersionDB::Open(path, opts, &db).ok());
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (int i = 0; i < kCommits; ++i) {
+          db::WriteBatch batch;
+          batch.Put("r" + std::to_string(w) + "-" + std::to_string(i),
+                    std::string(64, 'x'));
+          ASSERT_TRUE(db->Write(batch).ok());
+        }
+      });
+    }
+    for (auto& th : writers) th.join();
+    EXPECT_TRUE(db->LastCheckpointError().ok());
+  }
+  std::unique_ptr<db::MultiVersionDB> db;
+  ASSERT_TRUE(db::MultiVersionDB::Open(path, opts, &db).ok());
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kCommits; ++i) {
+      std::string value;
+      ASSERT_TRUE(
+          db->Get("r" + std::to_string(w) + "-" + std::to_string(i), &value)
+              .ok())
+          << "lost r" << w << " i" << i;
+    }
+  }
+  tsb_tree::TreeChecker checker(db->primary());
+  EXPECT_TRUE(checker.Check().ok());
+  db.reset();
+  db::MultiVersionDB::Destroy(path);
+}
+
 }  // namespace
 }  // namespace wal
 }  // namespace tsb
