@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "db/multiversion_db.h"
+#include "storage/fault_device.h"
 #include "wal/wal.h"
 
 namespace tsb {
@@ -192,6 +193,52 @@ RecoveryRun MeasureRecovery(int commits) {
   return r;
 }
 
+struct FaultRun {
+  db::ErrorHandlerStats stats;
+  double resume_ms = 0;  // wall time of the degraded-mode Resume()
+  bool acked_survived = false;
+  bool doomed_absent = false;
+};
+
+/// Degrade-and-resume exercise: commit a baseline, trip a one-shot WAL
+/// fdatasync failure, verify the doomed commit is rejected, then time
+/// Resume() and re-check the contract. The JSON "fault" section is what
+/// CI diffs: degradations/resumes must both be 1 and the contract bools
+/// true on every run.
+FaultRun MeasureFault() {
+  const std::string path = Root() + ".fault";
+  db::MultiVersionDB::Destroy(path);
+  db::DbOptions opts = Options(true, wal::WalSyncMode::kGroup);
+  auto plan = std::make_shared<FaultPlan>();
+  opts.wal_fault_plan = plan;
+  std::unique_ptr<db::MultiVersionDB> db;
+  Status s = db::MultiVersionDB::Open(path, opts, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "fault open failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+  const std::string value(kValueBytes, 'v');
+  for (int n = 0; n < 64; ++n) {
+    if (!db->Put(KeyOf(0, n), value).ok()) abort();
+  }
+  plan->FailNth(FaultOp::kSync, 1, FaultKind::kEIO, /*sticky=*/false);
+  const bool doomed_rejected = !db->Put("doomed", value).ok();
+  plan->Clear();
+  FaultRun r;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool resumed = db->Resume().ok();
+  r.resume_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  r.stats = db->error_stats();
+  std::string got;
+  r.acked_survived = resumed && db->Get(KeyOf(0, 63), &got).ok();
+  r.doomed_absent = doomed_rejected && db->Get("doomed", &got).IsNotFound();
+  db.reset();
+  db::MultiVersionDB::Destroy(path);
+  return r;
+}
+
 void PrintTablesAndJson() {
   printf("=== Durability: sync-mode ladder (1 writer, %d ms) ===\n",
          kMeasureMs);
@@ -240,6 +287,14 @@ void PrintTablesAndJson() {
   const RecoveryRun& big = recovery_rows.back();
   printf("\n");
 
+  printf("=== Degraded mode: trip, reject, Resume() ===\n");
+  const FaultRun fault = MeasureFault();
+  printf("degradations=%llu resumes=%llu resume_ms=%.2f "
+         "acked_survived=%d doomed_absent=%d\n\n",
+         (unsigned long long)fault.stats.degradations,
+         (unsigned long long)fault.stats.resumes, fault.resume_ms,
+         fault.acked_survived ? 1 : 0, fault.doomed_absent ? 1 : 0);
+
   const char* path = std::getenv("BENCH_DURABILITY_JSON");
   if (path == nullptr) path = "BENCH_durability.json";
   FILE* out = fopen(path, "w");
@@ -275,10 +330,25 @@ void PrintTablesAndJson() {
           "  ],\n"
           "  \"group_8w_over_1w\": %.3f,\n"
           "  \"recovery\": {\"wal_mb\": %.3f, \"open_ms\": %.2f, "
-          "\"mb_per_sec\": %.2f, \"ms_per_mb\": %.3f, \"frames\": %llu}\n"
-          "}\n",
+          "\"mb_per_sec\": %.2f, \"ms_per_mb\": %.3f, \"frames\": %llu},\n",
           amortization, big.wal_mb, big.open_ms, big.mb_per_sec,
           big.ms_per_mb, (unsigned long long)big.frames);
+  fprintf(out,
+          "  \"fault\": {\"errors_reported\": %llu, \"degradations\": %llu, "
+          "\"resumes\": %llu, \"auto_resumes\": %llu, "
+          "\"failed_resumes\": %llu, \"last_class\": \"%s\", "
+          "\"last_error\": \"%s\", \"resume_ms\": %.2f, "
+          "\"acked_survived\": %s, \"doomed_absent\": %s}\n"
+          "}\n",
+          (unsigned long long)fault.stats.errors_reported,
+          (unsigned long long)fault.stats.degradations,
+          (unsigned long long)fault.stats.resumes,
+          (unsigned long long)fault.stats.auto_resumes,
+          (unsigned long long)fault.stats.failed_resumes,
+          db::ErrorClassName(fault.stats.last_class),
+          fault.stats.last_error.c_str(),
+          fault.resume_ms, fault.acked_survived ? "true" : "false",
+          fault.doomed_absent ? "true" : "false");
   fclose(out);
   printf("wrote %s\n\n", path);
 }

@@ -1,0 +1,196 @@
+#include "db/error_handler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logger.h"
+
+namespace tsb {
+namespace db {
+
+const char* ErrorClassName(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kNone:
+      return "none";
+    case ErrorClass::kTransient:
+      return "transient";
+    case ErrorClass::kHard:
+      return "hard";
+  }
+  return "unknown";
+}
+
+ErrorHandler::ErrorHandler(Options options, ResumeFn resume_fn)
+    : options_(options), resume_fn_(std::move(resume_fn)) {
+  if (options_.auto_resume && resume_fn_) {
+    auto_resume_thread_ = std::thread([this] { AutoResumeLoop(); });
+  }
+}
+
+ErrorHandler::~ErrorHandler() { Shutdown(); }
+
+ErrorClass ErrorHandler::Classify(const Status& s) {
+  if (s.ok()) return ErrorClass::kNone;
+  // Environment failures the operator can heal: free space, reseat the
+  // cable, wait out the controller reset. Everything touching data
+  // integrity (corruption, a WORM sector rewrite) is hard: retrying the
+  // same I/O cannot make the bytes correct.
+  if (s.IsOutOfSpace() || s.IsIOError() || s.IsBusy()) {
+    return ErrorClass::kTransient;
+  }
+  return ErrorClass::kHard;
+}
+
+void ErrorHandler::Report(const std::string& context, const Status& s) {
+  if (s.ok()) return;
+  const ErrorClass c = Classify(s);
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.errors_reported++;
+    stats_.last_error = context + ": " + s.ToString();
+    stats_.last_class = c;
+    if (resume_in_progress_) {
+      // The resume has the lock dropped while repairing; park the report
+      // so a success cannot silently swallow it.
+      if (pending_error_.ok() ||
+          (c == ErrorClass::kHard && pending_class_ != ErrorClass::kHard)) {
+        pending_error_ = s;
+        pending_class_ = c;
+      }
+    } else if (error_.ok()) {
+      error_ = s;
+      class_ = c;
+      error_epoch_++;
+      stats_.degradations++;
+      fresh = true;
+    } else if (c == ErrorClass::kHard && class_ != ErrorClass::kHard) {
+      // Severity upgrade: the cause on record was resumable, the new one
+      // is not. Keep the DB degraded but close the resume door.
+      error_ = s;
+      class_ = c;
+    }
+  }
+  if (fresh) {
+    TSB_LOG_ERROR(
+        "background error (%s, %s): entering degraded read-only mode: %s",
+        context.c_str(), ErrorClassName(c), s.ToString().c_str());
+  }
+  cv_.notify_all();
+}
+
+Status ErrorHandler::BackgroundError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+bool ErrorHandler::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !error_.ok();
+}
+
+ErrorClass ErrorHandler::error_class() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return class_;
+}
+
+Status ErrorHandler::Resume() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return ResumeLocked(lock, /*auto_initiated=*/false);
+}
+
+Status ErrorHandler::ResumeLocked(std::unique_lock<std::mutex>& lock,
+                                  bool auto_initiated) {
+  while (resume_in_progress_) cv_.wait(lock);
+  if (shutdown_) return Status::Busy("error handler is shut down");
+  if (error_.ok()) return Status::OK();
+  if (class_ == ErrorClass::kHard) {
+    // Not a policy knob: replaying the same writes over corrupt state
+    // cannot repair it. The operator reopens (running recovery) instead.
+    return error_;
+  }
+  resume_in_progress_ = true;
+  lock.unlock();
+  Status s = resume_fn_ ? resume_fn_() : Status::OK();
+  lock.lock();
+  resume_in_progress_ = false;
+  if (s.ok()) {
+    stats_.resumes++;
+    if (auto_initiated) stats_.auto_resumes++;
+    error_ = Status::OK();
+    class_ = ErrorClass::kNone;
+    if (!pending_error_.ok()) {
+      // Something else failed while we repaired: degrade again right away.
+      error_ = pending_error_;
+      class_ = pending_class_;
+      pending_error_ = Status::OK();
+      pending_class_ = ErrorClass::kNone;
+      error_epoch_++;
+      stats_.degradations++;
+      s = error_;
+    } else {
+      TSB_LOG_INFO("degraded mode lifted (%s resume)",
+                   auto_initiated ? "auto" : "manual");
+    }
+  } else {
+    stats_.failed_resumes++;
+    TSB_LOG_WARN("resume attempt failed: %s", s.ToString().c_str());
+  }
+  cv_.notify_all();
+  return s;
+}
+
+void ErrorHandler::AutoResumeLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t handled_epoch = 0;
+  uint32_t attempt = 0;
+  while (!shutdown_) {
+    const bool actionable = !error_.ok() && class_ == ErrorClass::kTransient;
+    if (!actionable) {
+      cv_.wait(lock);
+      continue;
+    }
+    if (handled_epoch != error_epoch_) {
+      handled_epoch = error_epoch_;
+      attempt = 0;
+    }
+    if (options_.max_retries > 0 && attempt >= options_.max_retries) {
+      // Budget exhausted for this degradation; only a manual Resume() or
+      // a fresh error epoch restarts the clock.
+      cv_.wait(lock);
+      continue;
+    }
+    uint64_t delay_ms = static_cast<uint64_t>(options_.backoff_initial_ms)
+                        << std::min<uint32_t>(attempt, 16);
+    delay_ms = std::min<uint64_t>(
+        std::max<uint64_t>(delay_ms, 1),
+        std::max<uint32_t>(options_.backoff_max_ms, 1));
+    const uint64_t epoch = error_epoch_;
+    cv_.wait_for(lock, std::chrono::milliseconds(delay_ms));
+    if (shutdown_) break;
+    if (error_.ok() || class_ != ErrorClass::kTransient) continue;
+    if (epoch != error_epoch_) continue;  // new cause: restart the backoff
+    attempt++;
+    (void)ResumeLocked(lock, /*auto_initiated=*/true);
+  }
+}
+
+ErrorHandlerStats ErrorHandler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ErrorHandler::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+    cv_.notify_all();
+    // A manual Resume() may be mid-repair; let it finish so resume_fn_'s
+    // structures are quiescent when the caller starts tearing them down.
+    while (resume_in_progress_) cv_.wait(lock);
+  }
+  if (auto_resume_thread_.joinable()) auto_resume_thread_.join();
+}
+
+}  // namespace db
+}  // namespace tsb

@@ -1,0 +1,142 @@
+// Background-error state machine: how the DB survives a sick disk.
+//
+// Any failed background or commit-path I/O — a page write, a WAL append
+// or fdatasync, a checkpoint step, a manifest rename — is reported here
+// and becomes a STICKY BackgroundError(): the DB transitions to degraded
+// read-only mode. Reads, cursors and snapshots keep serving from the
+// buffer pool and the already-durable on-disk state; Write / Checkpoint /
+// Flush fail fast with the original cause until the error is cleared.
+//
+// Errors are classified:
+//   - kTransient (ENOSPC, plain EIO/sync failures): the medium may heal —
+//     space freed, a cable reseated. Resume() repairs the in-memory /
+//     on-log state and lifts degraded mode; with auto_resume enabled a
+//     background thread retries Resume() on a bounded exponential backoff.
+//   - kHard (corruption, write-once violations, invalid state): retrying
+//     cannot make the data correct. Resume() refuses; the DB stays
+//     read-only until reopened (and likely repaired) by the operator.
+//
+// The fsync contract deserves emphasis: after a FAILED fdatasync the
+// kernel may have dropped the dirty pages and cleared the error, so a
+// retry that "succeeds" proves nothing. The resume path therefore never
+// re-syncs the poisoned log; it re-establishes durability from trusted
+// state (memory pages -> recovery-grade checkpoint) and rotates to a
+// fresh WAL file. See MultiVersionDB::ResumeImpl.
+#ifndef TSBTREE_DB_ERROR_HANDLER_H_
+#define TSBTREE_DB_ERROR_HANDLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace tsb {
+namespace db {
+
+enum class ErrorClass : uint8_t {
+  kNone = 0,
+  /// The environment may heal (ENOSPC, transient EIO): Resume() can lift
+  /// degraded mode, and auto-resume retries it in the background.
+  kTransient = 1,
+  /// Data-integrity class (corruption, WORM violation): auto-resume never
+  /// fires and Resume() refuses; reopen/repair is the only way out.
+  kHard = 2,
+};
+
+const char* ErrorClassName(ErrorClass c);
+
+/// Counters surfaced through MultiVersionDB::error_stats() and the
+/// durability bench's "fault" JSON section.
+struct ErrorHandlerStats {
+  uint64_t errors_reported = 0;   ///< Report() calls with a non-OK status
+  uint64_t degradations = 0;      ///< healthy -> degraded transitions
+  uint64_t resumes = 0;           ///< successful Resume() completions
+  uint64_t auto_resumes = 0;      ///< resumes initiated by the backoff thread
+  uint64_t failed_resumes = 0;    ///< Resume() attempts that did not clear
+  ErrorClass last_class = ErrorClass::kNone;
+  std::string last_error;         ///< ToString() of the most recent report
+};
+
+/// DB-level sticky error state. Thread-safe; shared by every component
+/// that can fail in the background (WAL, buffer pool, checkpointer) via
+/// the DB's Report() plumbing.
+class ErrorHandler {
+ public:
+  struct Options {
+    /// Spawn a thread that retries Resume() after a transient error.
+    bool auto_resume = false;
+    uint32_t backoff_initial_ms = 100;
+    uint32_t backoff_max_ms = 5000;
+    /// 0 = retry until it works (or a hard error / shutdown intervenes).
+    uint32_t max_retries = 0;
+  };
+
+  /// `resume_fn` performs the actual repair (MultiVersionDB::ResumeImpl);
+  /// the handler serializes calls to it and owns the retry policy.
+  using ResumeFn = std::function<Status()>;
+
+  ErrorHandler(Options options, ResumeFn resume_fn);
+  ~ErrorHandler();
+
+  ErrorHandler(const ErrorHandler&) = delete;
+  ErrorHandler& operator=(const ErrorHandler&) = delete;
+
+  /// Escalates a failed background/commit-path operation. The first error
+  /// becomes the sticky cause; later reports bump counters only — except a
+  /// kHard report over a kTransient cause, which upgrades the class so a
+  /// disk that went from "full" to "corrupting" is no longer resumable.
+  /// Flips the DB into degraded mode and kicks the auto-resume thread for
+  /// the transient class. `context` names the failing op for the log.
+  void Report(const std::string& context, const Status& s);
+
+  /// The sticky cause, or OK when healthy. Write paths gate on this.
+  Status BackgroundError() const;
+  bool degraded() const;
+  ErrorClass error_class() const;
+
+  /// Manually attempts recovery. Serialized against auto-resume; refuses
+  /// kHard errors with the original cause. On success the sticky error
+  /// clears and writes are accepted again.
+  Status Resume();
+
+  ErrorHandlerStats stats() const;
+
+  /// Stops the auto-resume thread and rejects future resumes. Call before
+  /// tearing down the structures resume_fn touches (the DB destructor
+  /// shuts the handler down first, then reports destructor-path failures
+  /// with the thread guaranteed quiescent).
+  void Shutdown();
+
+ private:
+  static ErrorClass Classify(const Status& s);
+  Status ResumeLocked(std::unique_lock<std::mutex>& lock, bool auto_initiated);
+  void AutoResumeLoop();
+
+  const Options options_;
+  const ResumeFn resume_fn_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Status error_;                   // sticky; OK == healthy
+  ErrorClass class_ = ErrorClass::kNone;
+  bool resume_in_progress_ = false;
+  bool shutdown_ = false;
+  uint64_t error_epoch_ = 0;       // bumped per degradation; wakes the thread
+  // A report that lands while resume_fn_ is running (lock dropped) must
+  // not be lost when the resume clears error_: it parks here and
+  // re-degrades the DB the moment the resume completes.
+  Status pending_error_;
+  ErrorClass pending_class_ = ErrorClass::kNone;
+  ErrorHandlerStats stats_;
+
+  std::thread auto_resume_thread_;
+};
+
+}  // namespace db
+}  // namespace tsb
+
+#endif  // TSBTREE_DB_ERROR_HANDLER_H_

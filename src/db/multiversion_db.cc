@@ -31,8 +31,36 @@ Status MultiVersionDB::Open(Device* magnetic, Device* historical,
   // No commit hook yet: it is installed lazily with the first secondary
   // index (InstallCommitHook). A hook forces commits onto the serial
   // path, so an index-less DB keeps concurrent commits available.
+  mvdb->SetupErrorHandler();
   *out = std::move(mvdb);
   return Status::OK();
+}
+
+void MultiVersionDB::SetupErrorHandler() {
+  ErrorHandler::Options eh;
+  eh.auto_resume = options_.auto_resume;
+  eh.backoff_initial_ms = options_.auto_resume_backoff_initial_ms;
+  eh.backoff_max_ms = options_.auto_resume_backoff_max_ms;
+  eh.max_retries = options_.auto_resume_max_retries;
+  MultiVersionDB* raw = this;
+  errors_ = std::make_unique<ErrorHandler>(
+      eh, [raw] { return raw->ResumeImpl(); });
+  // Commits fail fast with the sticky cause while degraded, and commit
+  // failures that sicken the database (append failures, anything after
+  // the timestamp ticked) escalate here.
+  txns_->SetCommitGate([raw] { return raw->errors_->BackgroundError(); });
+  txns_->SetErrorReporter([raw](const std::string& context, const Status& s) {
+    raw->errors_->Report(context, s);
+  });
+}
+
+void MultiVersionDB::InstallWalReporter(wal::Wal* wal) {
+  MultiVersionDB* raw = this;
+  wal->SetSyncErrorReporter([raw](const Status& s) {
+    // Covers the background flusher too — a sync failure no commit path
+    // ever observes must still degrade the DB.
+    raw->errors_->Report("wal sync", s);
+  });
 }
 
 void MultiVersionDB::InstallCommitHook() {
@@ -483,6 +511,14 @@ Status MultiVersionDB::Open(const std::string& path, const DbOptions& options,
   std::unique_ptr<Device> historical;
   TSB_RETURN_IF_ERROR(
       OpenHistoricalFile(path + "/history.tsb", options, &historical));
+  if (options.wrap_device) {
+    // Decorate before the trees ever see the devices (fault injection).
+    magnetic = options.wrap_device("magnetic", std::move(magnetic));
+    historical = options.wrap_device("historical", std::move(historical));
+    if (magnetic == nullptr || historical == nullptr) {
+      return Status::InvalidArgument("wrap_device returned null");
+    }
+  }
 
   std::unique_ptr<MultiVersionDB> mvdb;
   TSB_RETURN_IF_ERROR(Open(magnetic.get(), historical.get(), options, &mvdb));
@@ -520,19 +556,34 @@ Status MultiVersionDB::Open(const std::string& path, const DbOptions& options,
 }
 
 MultiVersionDB::~MultiVersionDB() {
+  // Quiesce the auto-resume thread BEFORE anything it repairs is torn
+  // down; destructor-path failures below are still recorded (stats/log)
+  // through the shut-down handler.
+  if (errors_ != nullptr) errors_->Shutdown();
   if (wal_ != nullptr) {
-    // Clean shutdown: one final checkpoint folds the log into the device
-    // files, then the manifest records clean_shutdown=1 so the next Open
-    // skips the ghost purge. Best effort — a failure here just means the
-    // next Open runs crash recovery, which is always correct.
-    Status s = Checkpoint();
-    if (s.ok()) {
-      clean_shutdown_ = true;
-      s = PersistManifest();
-    }
-    if (!s.ok()) {
-      TSB_LOG_WARN("clean shutdown incomplete (%s); next open will recover",
-                   s.ToString().c_str());
+    if (errors_ != nullptr && errors_->degraded()) {
+      // Degraded close: the device files cannot be trusted to accept a
+      // checkpoint, and the manifest already says clean_shutdown=0 (set
+      // at Open). Leave it that way — the next Open runs full recovery.
+      TSB_LOG_WARN("closing degraded (%s); next open will recover",
+                   errors_->BackgroundError().ToString().c_str());
+    } else {
+      // Clean shutdown: one final checkpoint folds the log into the
+      // device files, then the manifest records clean_shutdown=1 so the
+      // next Open skips the ghost purge. A failure here must NOT mark the
+      // shutdown clean: the on-disk manifest keeps clean_shutdown=0 and
+      // the next Open runs crash recovery, which is always correct.
+      Status s = Checkpoint();
+      if (s.ok()) {
+        clean_shutdown_ = true;
+        s = PersistManifest();
+        if (!s.ok()) clean_shutdown_ = false;
+      }
+      if (!s.ok()) {
+        TSB_LOG_WARN("clean shutdown incomplete (%s); next open will recover",
+                     s.ToString().c_str());
+        if (errors_ != nullptr) errors_->Report("shutdown checkpoint", s);
+      }
     }
     wal_.reset();  // joins any background flusher before the trees go
   }
@@ -693,6 +744,10 @@ Status MultiVersionDB::RegisterIndex(const std::string& name,
     existing->second.from_catalog = false;
     return Status::OK();
   }
+  if (errors_ != nullptr) {
+    // Schema changes are writes: degraded mode rejects them fail-fast.
+    TSB_RETURN_IF_ERROR(errors_->BackgroundError());
+  }
   IndexEntryDef def;
   def.extract = std::move(extract);
   def.from_catalog = from_catalog;
@@ -708,6 +763,13 @@ Status MultiVersionDB::RegisterIndex(const std::string& name,
     } else {
       def.owned_magnetic = std::make_unique<MemDevice>();
     }
+    if (options_.wrap_device) {
+      def.owned_magnetic = options_.wrap_device(
+          "index-" + name + ".magnetic", std::move(def.owned_magnetic));
+      if (def.owned_magnetic == nullptr) {
+        return Status::InvalidArgument("wrap_device returned null");
+      }
+    }
     magnetic = def.owned_magnetic.get();
   }
   if (historical == nullptr) {
@@ -721,6 +783,13 @@ Status MultiVersionDB::RegisterIndex(const std::string& name,
     } else {
       def.owned_historical = std::make_unique<MemDevice>(
           DeviceKind::kOpticalErasable, CostParams::OpticalWorm());
+    }
+    if (options_.wrap_device) {
+      def.owned_historical = options_.wrap_device(
+          "index-" + name + ".historical", std::move(def.owned_historical));
+      if (def.owned_historical == nullptr) {
+        return Status::InvalidArgument("wrap_device returned null");
+      }
     }
     historical = def.owned_historical.get();
   }
@@ -825,6 +894,11 @@ BufferPoolStats MultiVersionDB::PoolStats() const {
 }
 
 Status MultiVersionDB::Flush() {
+  if (errors_ != nullptr) {
+    // Degraded: flushing dirty pages over a sick device could tear the
+    // base the next recovery replays against. Fail fast, sticky cause.
+    TSB_RETURN_IF_ERROR(errors_->BackgroundError());
+  }
   if (wal_enabled_) {
     // With a WAL the device files may only advance through crash-atomic
     // checkpoints: a plain flush could be half-written when the process
@@ -879,7 +953,9 @@ Status MultiVersionDB::RecoverWal(bool manifest_clean, bool journal_applied) {
     clock.Publish(clock.Now());
   }
   TSB_RETURN_IF_ERROR(wal::Wal::Open(wal_file, options_.wal_sync,
-                                     options_.wal_background_sync_ms, &wal_));
+                                     options_.wal_background_sync_ms, &wal_,
+                                     options_.wal_fault_plan));
+  InstallWalReporter(wal_.get());
   wal_enabled_ = true;  // immutable from here: hot paths gate on this
   txns_->SetWal(wal_.get());
   // From here until the destructor's final checkpoint the database is
@@ -966,6 +1042,13 @@ Status MultiVersionDB::ApplyWalCommit(const wal::WalCommit& commit) {
 
 Status MultiVersionDB::Checkpoint() {
   if (!wal_enabled_) return Status::OK();  // raw-device / WAL-disabled
+  if (errors_ != nullptr) {
+    // Degraded: a checkpoint would advance the base over state whose
+    // durability is already in question. Resume() is the only checkpoint-
+    // like operation allowed in this state (it uses the recovery-grade
+    // variant). Fail fast with the sticky cause.
+    TSB_RETURN_IF_ERROR(errors_->BackgroundError());
+  }
   Status status;
   {
     std::lock_guard<std::mutex> lock(checkpoint_mu_);
@@ -978,6 +1061,11 @@ Status MultiVersionDB::Checkpoint() {
     std::lock_guard<std::mutex> lock(ckpt_err_mu_);
     last_checkpoint_error_ = status;
   }
+  if (!status.ok() && errors_ != nullptr) {
+    // A failed checkpoint leaves journal/base/manifest mid-protocol;
+    // escalate so writes stop digging and Resume() can repair.
+    errors_->Report("checkpoint", status);
+  }
   return status;
 }
 
@@ -988,11 +1076,25 @@ Status MultiVersionDB::LastCheckpointError() const {
 
 Status MultiVersionDB::CheckpointLocked() {
   txns_->FreezeCommits();
+  Status status = CheckpointFrozen(/*for_resume=*/false);
+  txns_->UnfreezeCommits();
+  return status;
+}
+
+Status MultiVersionDB::CheckpointFrozen(bool for_resume) {
   Status status = [&]() -> Status {
-    // Frozen, the WAL end is exactly the committed state of every tree.
-    // The log must be durable before the checkpoint that supersedes its
-    // prefix is (otherwise the base could get ahead of a lost log).
-    TSB_RETURN_IF_ERROR(wal_->SyncAll());
+    if (!for_resume) {
+      // Frozen, the WAL end is exactly the committed state of every tree.
+      // The log must be durable before the checkpoint that supersedes its
+      // prefix is (otherwise the base could get ahead of a lost log).
+      TSB_RETURN_IF_ERROR(wal_->SyncAll());
+    }
+    // for_resume skips the sync on purpose: the log already failed an
+    // fdatasync, and after a failed fsync the kernel may have dropped the
+    // dirty tail with the error consumed — a retry that "succeeds" proves
+    // nothing (never retry-and-assume). The in-memory pages being
+    // checkpointed ARE the trusted copy; the poisoned log is abandoned by
+    // the forced rotation below.
     const uint64_t ckpt_lsn = wal_->appended_lsn();
 
     struct TreeCkpt {
@@ -1025,14 +1127,18 @@ Status MultiVersionDB::CheckpointLocked() {
     }
     TSB_RETURN_IF_ERROR(journal.Remove());
 
-    if (ckpt_lsn >= options_.wal_checkpoint_bytes) {
+    if (for_resume || ckpt_lsn >= options_.wal_checkpoint_bytes) {
       // The whole log is dead: rotate to a fresh file. Manifest first —
-      // recovery must never be pointed at an unlinked log.
+      // recovery must never be pointed at an unlinked log. for_resume
+      // ALWAYS rotates: a fresh fd on a fresh file is the only way to
+      // shed a sticky sync error and the never-durable tail behind it.
       const uint64_t old_seq = wal_seq_;
       std::unique_ptr<wal::Wal> fresh;
       TSB_RETURN_IF_ERROR(wal::Wal::Open(
           WalFilePath(path_, old_seq + 1), options_.wal_sync,
-          options_.wal_background_sync_ms, &fresh));
+          options_.wal_background_sync_ms, &fresh,
+          options_.wal_fault_plan));
+      InstallWalReporter(fresh.get());
       wal_seq_ = old_seq + 1;
       wal_checkpoint_lsn_ = 0;
       Status persisted = PersistManifest();
@@ -1054,6 +1160,67 @@ Status MultiVersionDB::CheckpointLocked() {
     }
     return Status::OK();
   }();
+  return status;
+}
+
+// ---------------------------------------------------- degraded-mode repair
+
+Status MultiVersionDB::BackgroundError() const {
+  return errors_->BackgroundError();
+}
+
+bool MultiVersionDB::degraded() const { return errors_->degraded(); }
+
+ErrorHandlerStats MultiVersionDB::error_stats() const {
+  return errors_->stats();
+}
+
+Status MultiVersionDB::Resume() { return errors_->Resume(); }
+
+Status MultiVersionDB::ResumeImpl() {
+  // Serialized against checkpoints AND other resumes (the ErrorHandler
+  // only runs one resume_fn at a time, but a checkpoint claimed before
+  // degradation may still be in flight).
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  txns_->FreezeCommits();
+  Status status = [&]() -> Status {
+    // 1. Purge the half-stamped records of every failed commit from every
+    // tree. Those timestamps never published (the poisoned watermark caps
+    // below each one), so no reader ever saw them and no time split can
+    // have moved them to historical nodes — the purge is exact, not a
+    // heuristic. Commits that SUCCEEDED after the poisoning are acked and
+    // stay: they become visible when the watermark lifts below.
+    for (const Timestamp ts : txns_->failed_commits()) {
+      uint64_t purged = 0;
+      TSB_RETURN_IF_ERROR(tree_->PurgeCommittedAt(ts, &purged));
+      for (auto& [name, def] : indexes_) {
+        uint64_t index_purged = 0;
+        TSB_RETURN_IF_ERROR(
+            def.index->tree()->PurgeCommittedAt(ts, &index_purged));
+        purged += index_purged;
+      }
+      TSB_LOG_INFO("resume: purged %llu records of failed commit t=%llu",
+                   (unsigned long long)purged, (unsigned long long)ts);
+    }
+    // 2. Re-establish durability from the trusted in-memory pages with a
+    // recovery-grade checkpoint: never re-syncs the poisoned log, always
+    // rotates to a fresh log file. After this the acked prefix lives in
+    // the checkpointed base and the fsync question is moot.
+    if (wal_enabled_) {
+      TSB_RETURN_IF_ERROR(CheckpointFrozen(/*for_resume=*/true));
+    }
+    return Status::OK();
+  }();
+  if (status.ok()) {
+    // 3. Lift the poisoned watermark and publish the completed maximum:
+    // durable-but-invisible commits become readable, the failed
+    // timestamps are gone, and new commits are accepted again.
+    txns_->ResetAfterRepair();
+    for (auto& [name, def] : indexes_) {
+      auto& clock = def.index->tree()->clock();
+      clock.Publish(clock.Now());
+    }
+  }
   txns_->UnfreezeCommits();
   return status;
 }

@@ -25,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "db/error_handler.h"
 #include "db/secondary_index.h"
+#include "storage/fault_device.h"
 #include "storage/mem_device.h"
 #include "tsb/pinnable_value.h"
 #include "tsb/tsb_tree.h"
@@ -85,6 +87,27 @@ struct DbOptions {
   /// many bytes — bounds recovery work. A checkpoint also runs at clean
   /// close.
   uint64_t wal_checkpoint_bytes = 8u << 20;
+  /// Decorates every device a path-based Open creates internally (the
+  /// primary magnetic/historical pair and per-index devices) before the
+  /// trees see it. `role` names the device ("magnetic", "historical",
+  /// "index-<name>.magnetic", ...). Fault-injection tests wrap in a
+  /// FaultInjectingDevice here; empty = no wrapping. The raw-device Open
+  /// overload ignores this (the caller already controls its devices).
+  std::function<std::unique_ptr<Device>(const std::string& role,
+                                        std::unique_ptr<Device> device)>
+      wrap_device;
+  /// Fault plan the WAL consults on every frame append (FaultOp::kAppend)
+  /// and fdatasync (FaultOp::kSync) — including rotated log files.
+  /// nullptr = no injection.
+  std::shared_ptr<FaultPlan> wal_fault_plan;
+  /// Retry Resume() in the background after a TRANSIENT background error
+  /// (ENOSPC, EIO), with bounded exponential backoff. Hard errors
+  /// (corruption, WORM violations) never auto-resume.
+  bool auto_resume = false;
+  uint32_t auto_resume_backoff_initial_ms = 100;
+  uint32_t auto_resume_backoff_max_ms = 5000;
+  /// 0 = keep retrying until the error heals or the DB closes.
+  uint32_t auto_resume_max_retries = 0;
   /// Extractors for secondary indexes the MANIFEST catalogs, keyed by
   /// index name. Open re-registers every cataloged index automatically;
   /// an index found here is immediately queryable AND maintained. An
@@ -274,6 +297,28 @@ class MultiVersionDB {
   /// clears it on success.
   Status LastCheckpointError() const;
 
+  // ---- degraded read-only mode (see db/error_handler.h) ----
+
+  /// The sticky background error, OK when healthy. Any failed page write,
+  /// WAL append/sync, checkpoint, or manifest rename lands here and flips
+  /// the DB into degraded read-only mode: reads/cursors/snapshots keep
+  /// serving, Write/Checkpoint/Flush fail fast with this cause.
+  Status BackgroundError() const;
+  bool degraded() const;
+
+  /// Manual recovery from a TRANSIENT background error: purges the
+  /// half-stamped records of every failed commit, re-establishes
+  /// durability from the in-memory pages with a recovery-grade checkpoint
+  /// onto a FRESH log file (the poisoned one is abandoned, never re-
+  /// synced — a failed fsync may have dropped its tail with the error
+  /// consumed), then lifts the read watermark. Refuses hard errors with
+  /// the original cause. See also DbOptions::auto_resume.
+  Status Resume();
+
+  /// Degradation/resume counters plus the last reported error.
+  ErrorHandlerStats error_stats() const;
+  ErrorHandler* error_handler() { return errors_.get(); }
+
   Status Flush();
   Status ComputeSpaceStats(tsb_tree::SpaceStats* out) {
     return tree_->ComputeSpaceStats(out);
@@ -345,8 +390,27 @@ class MultiVersionDB {
   /// pre-image. Skips frames already present in the checkpointed base.
   Status ApplyWalCommit(const wal::WalCommit& commit);
 
-  /// Checkpoint body; caller holds checkpoint_mu_.
+  /// Checkpoint body; caller holds checkpoint_mu_. Freezes commits around
+  /// CheckpointFrozen.
   Status CheckpointLocked();
+
+  /// Checkpoint with commits already frozen (caller holds checkpoint_mu_
+  /// AND the freeze). `for_resume` is the degraded-mode repair variant:
+  /// skips Wal::SyncAll (the poisoned log must not be retry-and-trusted;
+  /// the in-memory pages being checkpointed are the trusted copy) and
+  /// force-rotates to a fresh log file regardless of size.
+  Status CheckpointFrozen(bool for_resume);
+
+  /// The ErrorHandler's resume_fn: the actual degraded-mode repair.
+  /// Serialized by the handler; see Resume() for the steps.
+  Status ResumeImpl();
+
+  /// Creates errors_ and plumbs the commit gate / error reporters into
+  /// the TxnManager. Both Open overloads call it.
+  void SetupErrorHandler();
+
+  /// Installs the sync-failure escalation hook on a (fresh) log object.
+  void InstallWalReporter(wal::Wal* wal);
 
   DbOptions options_;
   bool hook_installed_ = false;
@@ -377,6 +441,12 @@ class MultiVersionDB {
   std::atomic<bool> checkpoint_pending_{false};  // auto-trigger claim
   mutable std::mutex ckpt_err_mu_;  // guards last_checkpoint_error_
   Status last_checkpoint_error_;    // see LastCheckpointError()
+
+  // Background-error state machine. Declared LAST so it is destroyed
+  // first, but the destructor additionally calls Shutdown() up front: the
+  // auto-resume thread must be quiescent before the trees/WAL it repairs
+  // start tearing down.
+  std::unique_ptr<ErrorHandler> errors_;
 };
 
 }  // namespace db

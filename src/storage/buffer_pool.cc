@@ -4,6 +4,8 @@
 #include <iterator>
 #include <thread>
 
+#include "common/logger.h"
+
 namespace tsb {
 
 namespace {
@@ -127,7 +129,21 @@ BufferPool::BufferPool(Pager* pager, size_t capacity) : pager_(pager) {
   shards_.reset(new Shard[num_shards_]);
 }
 
-BufferPool::~BufferPool() { FlushAll(); }
+BufferPool::~BufferPool() {
+  if (no_steal()) {
+    // WAL-protected pool: the on-disk base only advances through crash-
+    // atomic checkpoints. A destructor-time flush here would write
+    // whatever half-state the frames hold (e.g. a degraded close with
+    // poisoned commits) straight over the checkpointed base — exactly
+    // what no-steal exists to prevent. Recovery replays the log instead.
+    return;
+  }
+  Status s = FlushAll();
+  if (!s.ok()) {
+    TSB_LOG_ERROR("buffer pool close flush failed: %s",
+                  s.ToString().c_str());
+  }
+}
 
 Status BufferPool::PinFrame(uint32_t id, Frame** out) {
   Shard& shard = ShardFor(id);

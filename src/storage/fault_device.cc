@@ -1,0 +1,165 @@
+#include "storage/fault_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logger.h"
+
+namespace tsb {
+
+void FaultPlan::Arm(const Fault& fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArmedFault armed;
+  armed.fault = fault;
+  armed.baseline = ops_[static_cast<int>(fault.op)];
+  armed_.push_back(armed);
+}
+
+void FaultPlan::FailNth(FaultOp op, uint64_t nth, FaultKind kind,
+                        bool sticky) {
+  Fault f;
+  f.op = op;
+  f.nth = nth;
+  f.kind = kind;
+  f.sticky = sticky;
+  Arm(f);
+}
+
+void FaultPlan::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+}
+
+bool FaultPlan::Check(FaultOp op, Fault* fired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int idx = static_cast<int>(op);
+  const uint64_t count = ++ops_[idx];
+  for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+    if (it->fault.op != op) continue;
+    const uint64_t since_armed = count - it->baseline;
+    const bool trips = it->fault.sticky ? since_armed >= it->fault.nth
+                                        : since_armed == it->fault.nth;
+    if (!trips) continue;
+    fired_[idx]++;
+    *fired = it->fault;
+    if (!it->fault.sticky) armed_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+Status FaultPlan::ToStatus(const Fault& fault, const std::string& what) {
+  switch (fault.kind) {
+    case FaultKind::kENOSPC:
+      return Status::OutOfSpace("injected ENOSPC", what);
+    case FaultKind::kShortWrite:
+      return Status::IOError("injected short write", what);
+    case FaultKind::kTornSync:
+      return Status::IOError("injected torn sync", what);
+    case FaultKind::kEIO:
+      break;
+  }
+  return Status::IOError("injected EIO", what);
+}
+
+uint64_t FaultPlan::ops(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_[static_cast<int>(op)];
+}
+
+uint64_t FaultPlan::fired(FaultOp op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_[static_cast<int>(op)];
+}
+
+bool FaultPlan::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !armed_.empty();
+}
+
+FaultInjectingDevice::FaultInjectingDevice(Device* base,
+                                           std::shared_ptr<FaultPlan> plan)
+    : Device(base->kind(), base->cost_params()),
+      base_(base),
+      plan_(std::move(plan)) {}
+
+FaultInjectingDevice::FaultInjectingDevice(std::unique_ptr<Device> base,
+                                           std::shared_ptr<FaultPlan> plan)
+    : Device(base->kind(), base->cost_params()),
+      base_(base.get()),
+      owned_base_(std::move(base)),
+      plan_(std::move(plan)) {}
+
+Status FaultInjectingDevice::Read(uint64_t offset, size_t n, char* scratch) {
+  Fault fault;
+  if (plan_->Check(FaultOp::kRead, &fault)) {
+    return FaultPlan::ToStatus(fault, "read @" + std::to_string(offset));
+  }
+  return base_->Read(offset, n, scratch);
+}
+
+Status FaultInjectingDevice::Write(uint64_t offset, const Slice& data) {
+  Fault fault;
+  if (plan_->Check(FaultOp::kWrite, &fault)) {
+    if (fault.kind == FaultKind::kShortWrite && fault.short_bytes > 0 &&
+        fault.short_bytes < data.size()) {
+      // The prefix really lands on the medium — exactly what a torn page
+      // write leaves behind for recovery to detect.
+      (void)base_->Write(offset, Slice(data.data(), fault.short_bytes));
+    }
+    return FaultPlan::ToStatus(fault, "write @" + std::to_string(offset));
+  }
+  Status s = base_->Write(offset, data);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(last_write_mu_);
+    last_write_offset_ = offset;
+    last_write_size_ = data.size();
+  }
+  return s;
+}
+
+Status FaultInjectingDevice::ReadMapped(uint64_t offset, size_t n,
+                                        MappedRead* out,
+                                        AccessPattern pattern) {
+  Fault fault;
+  if (plan_->Check(FaultOp::kRead, &fault)) {
+    return FaultPlan::ToStatus(fault,
+                               "mapped read @" + std::to_string(offset));
+  }
+  return base_->ReadMapped(offset, n, out, pattern);
+}
+
+Status FaultInjectingDevice::Truncate(uint64_t size) {
+  Fault fault;
+  if (plan_->Check(FaultOp::kTruncate, &fault)) {
+    return FaultPlan::ToStatus(fault, "truncate to " + std::to_string(size));
+  }
+  return base_->Truncate(size);
+}
+
+Status FaultInjectingDevice::Sync() {
+  Fault fault;
+  if (plan_->Check(FaultOp::kSync, &fault)) {
+    if (fault.kind == FaultKind::kTornSync) {
+      // A dying drive acking writes into volatile cache: the tail of the
+      // last write never reached the platter. Garble it so recovery has
+      // something real to detect (checksums / checkpoint journal).
+      uint64_t offset = 0;
+      size_t size = 0;
+      {
+        std::lock_guard<std::mutex> lock(last_write_mu_);
+        offset = last_write_offset_;
+        size = last_write_size_;
+      }
+      if (size > 0) {
+        const size_t torn = std::min<size_t>(size, 64);
+        std::string garbage(torn, '\xa5');
+        (void)base_->Write(offset + size - torn, Slice(garbage));
+      }
+    }
+    return FaultPlan::ToStatus(fault, "sync");
+  }
+  return base_->Sync();
+}
+
+}  // namespace tsb

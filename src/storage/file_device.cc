@@ -71,7 +71,17 @@ Status FileDevice::Write(uint64_t offset, const Slice& data) {
                          static_cast<off_t>(offset + done));
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOSPC) {
+        // Distinguished so the error handler classifies it transient:
+        // freeing space + Resume() heals, unlike a generic EIO surface.
+        return Status::OutOfSpace("pwrite", strerror(errno));
+      }
       return Status::IOError("pwrite", strerror(errno));
+    }
+    if (w == 0) {
+      // pwrite returning 0 for a nonzero count: full device edge case;
+      // retrying would spin forever.
+      return Status::OutOfSpace("pwrite wrote 0 bytes");
     }
     done += static_cast<size_t>(w);
   }
@@ -159,6 +169,9 @@ Status FileDevice::Truncate(uint64_t size) {
 
 Status FileDevice::Sync() {
   if (::fsync(fd_) != 0) {
+    if (errno == ENOSPC) {
+      return Status::OutOfSpace("fsync", strerror(errno));
+    }
     return Status::IOError("fsync", strerror(errno));
   }
   return Status::OK();

@@ -15,7 +15,12 @@ Pager::Pager(Device* device, uint32_t page_size)
     std::unique_ptr<char[]> buf(new char[page_size_]);
     InitPage(buf.get(), page_size_, 0, PageType::kMeta);
     SealPage(buf.get(), page_size_);
-    device_->Write(0, Slice(buf.get(), page_size_));
+    Status s = device_->Write(0, Slice(buf.get(), page_size_));
+    if (!s.ok()) {
+      // Constructors cannot return Status; the first ReadMeta will fail
+      // loudly on the missing page — but say why here, not there.
+      TSB_LOG_ERROR("meta page init write failed: %s", s.ToString().c_str());
+    }
   } else {
     next_page_ = static_cast<uint32_t>(device_->Size() / page_size_);
     if (next_page_ == 0) next_page_ = 1;

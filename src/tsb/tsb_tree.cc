@@ -95,7 +95,19 @@ TsbTree::TsbTree(Device* magnetic, Device* historical,
                                           options.hist_cache_blobs)),
       policy_(options.policy) {}
 
-TsbTree::~TsbTree() { Flush(); }
+TsbTree::~TsbTree() {
+  if (pool_->no_steal()) {
+    // WAL-protected tree: the on-disk base only advances through crash-
+    // atomic checkpoints (the DB layer runs one at clean close). Flushing
+    // meta + dirty pages here would overwrite the checkpointed base with
+    // un-journaled state — on a degraded close, possibly half a commit.
+    return;
+  }
+  Status s = Flush();
+  if (!s.ok()) {
+    TSB_LOG_ERROR("tree close flush failed: %s", s.ToString().c_str());
+  }
+}
 
 Status TsbTree::Open(Device* magnetic, Device* historical,
                      const TsbOptions& options,
@@ -245,6 +257,50 @@ Status TsbTree::PurgeUncommittedRec(uint32_t page_id, uint64_t* purged) {
     // Historical nodes are immutable and never hold uncommitted versions.
     if (!e.child.historical) {
       TSB_RETURN_IF_ERROR(PurgeUncommittedRec(e.child.page_id, purged));
+    }
+  }
+  return Status::OK();
+}
+
+Status TsbTree::PurgeCommittedAt(Timestamp ts, uint64_t* purged) {
+  *purged = 0;
+  if (ts == kMinTimestamp || ts > kMaxCommittedTs) {
+    return Status::InvalidArgument("purge timestamp out of committed range");
+  }
+  std::lock_guard<std::shared_mutex> wl(writer_mu_);
+  return PurgeCommittedAtRec(root_.load(std::memory_order_acquire), ts,
+                             purged);
+}
+
+Status TsbTree::PurgeCommittedAtRec(uint32_t page_id, Timestamp ts,
+                                    uint64_t* purged) {
+  PageHandle h;
+  TSB_RETURN_IF_ERROR(pool_->Fetch(page_id, &h));
+  if (TsbPageLevel(h.data()) == 0) {
+    DataPageRef page(h.data(), options_.page_size);
+    bool removed = false;
+    for (int i = page.Count() - 1; i >= 0; --i) {
+      DataEntryView v;
+      TSB_RETURN_IF_ERROR(page.At(i, &v));
+      if (v.ts == ts) {
+        page.Remove(i);
+        ++*purged;
+        removed = true;
+      }
+    }
+    if (removed) h.MarkDirty();
+    return Status::OK();
+  }
+  IndexPageRef page(h.data(), options_.page_size);
+  std::vector<IndexEntry> entries;
+  TSB_RETURN_IF_ERROR(page.DecodeAll(&entries));
+  h.Release();
+  for (const IndexEntry& e : entries) {
+    // A failed commit's timestamp sits above the published watermark, and
+    // time splits cap their boundary at that watermark: nothing stamped
+    // `ts` can live under a historical child.
+    if (!e.child.historical) {
+      TSB_RETURN_IF_ERROR(PurgeCommittedAtRec(e.child.page_id, ts, purged));
     }
   }
   return Status::OK();

@@ -293,6 +293,15 @@ class TsbTree {
   /// counts removed versions.
   Status PurgeUncommitted(uint64_t* purged);
 
+  /// Removes every version stamped exactly `ts` — the repair step for a
+  /// commit that FAILED mid-stamp: its timestamp never published (the
+  /// poisoned watermark caps below it), so the records were never reader-
+  /// visible, and a time split can never have migrated them to historical
+  /// nodes (split boundaries cap at the published watermark). Degraded-
+  /// mode Resume runs this, with commits frozen, for each failed commit
+  /// timestamp before lifting the watermark. `*purged` counts removals.
+  Status PurgeCommittedAt(Timestamp ts, uint64_t* purged);
+
   /// Walks the whole DAG and computes the section-5 space metrics.
   Status ComputeSpaceStats(SpaceStats* out);
 
@@ -402,6 +411,11 @@ class TsbTree {
   /// Recursive walk for PurgeUncommitted (current axis only; historical
   /// nodes are immutable and never hold uncommitted versions).
   Status PurgeUncommittedRec(uint32_t page_id, uint64_t* purged);
+
+  /// Recursive walk for PurgeCommittedAt (current axis only; see the
+  /// public doc for why historical nodes cannot hold the timestamp).
+  Status PurgeCommittedAtRec(uint32_t page_id, Timestamp ts,
+                             uint64_t* purged);
 
   /// The split slow path of InsertEntry: re-descends under structure_mu_
   /// and splits the target leaf unless another writer already made room.

@@ -105,14 +105,21 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
     {
       std::unique_lock<std::mutex> commit_lock(commit_mu_);
       commit_cv_.wait(commit_lock, [&] { return !frozen_; });
+      if (gate_) TSB_RETURN_IF_ERROR(gate_());
       ts = tree_->clock().Tick();
       if (wal_ != nullptr) {
         // Log BEFORE entering inflight_: append order under commit_mu_ ==
         // timestamp order, so replay reproduces the one serialization the
         // watermark could have published. An append failure aborts the
-        // commit before any stamp — nothing torn, nothing to poison.
-        TSB_RETURN_IF_ERROR(
-            wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn));
+        // commit before any stamp — nothing torn, nothing to poison —
+        // but the log itself is sick: escalate.
+        Status append_status =
+            wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn);
+        if (!append_status.ok()) {
+          commit_lock.unlock();
+          if (reporter_) reporter_("wal append", append_status);
+          return append_status;
+        }
         wal_appended_lsn_.store(wal_end_lsn, std::memory_order_release);
       }
       inflight_.insert(ts);
@@ -136,6 +143,7 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
       if (!status.ok()) {
         // Same poisoned-watermark contract as the serial path below.
         if (publish_cap_ > ts - 1) publish_cap_ = ts - 1;
+        failed_commits_.push_back(ts);
       } else if (completed_max_ < ts) {
         completed_max_ = ts;
       }
@@ -147,6 +155,7 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
                     "read watermark at t=%llu",
                     (unsigned long long)ts, status.ToString().c_str(),
                     (unsigned long long)publish_cap_);
+      if (reporter_) reporter_("commit", status);
       return status;
     }
     tree_->clock().Publish(publish);  // monotone CAS-max inside
@@ -166,12 +175,19 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
   // table); only the commit point is serial.
   std::unique_lock<std::mutex> commit_lock(commit_mu_);
   commit_cv_.wait(commit_lock, [&] { return !frozen_; });
+  if (gate_) TSB_RETURN_IF_ERROR(gate_());
   const Timestamp ts = tree_->clock().Tick();
   uint64_t wal_end_lsn = 0;
   if (wal_ != nullptr) {
     // Append failure aborts before any stamp: the transaction stays
-    // active and abortable, nothing is torn.
-    TSB_RETURN_IF_ERROR(wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn));
+    // active and abortable, nothing is torn — but the log itself is
+    // sick: escalate.
+    Status append_status = wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn);
+    if (!append_status.ok()) {
+      commit_lock.unlock();
+      if (reporter_) reporter_("wal append", append_status);
+      return append_status;
+    }
     wal_appended_lsn_.store(wal_end_lsn, std::memory_order_release);
   }
   Status status;
@@ -213,13 +229,17 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
     // A storage/hook error mid-commit may leave partial stamps behind.
     // Those must never become reader-visible: poison the watermark so no
     // later commit can publish past this torn timestamp. The database
-    // needs recovery at this point; readers keep a consistent (older)
-    // view, writers keep getting this commit's error surfaced.
+    // needs recovery (degraded-mode Resume purges the failed timestamp)
+    // at this point; readers keep a consistent (older) view, writers keep
+    // getting this commit's error surfaced.
     if (publish_cap_ > ts - 1) publish_cap_ = ts - 1;
+    failed_commits_.push_back(ts);
     TSB_LOG_ERROR("commit at t=%llu failed mid-stamp (%s); freezing the "
                   "read watermark at t=%llu",
                   (unsigned long long)ts, status.ToString().c_str(),
                   (unsigned long long)publish_cap_);
+    commit_lock.unlock();
+    if (reporter_) reporter_("commit", status);
     return status;
   }
   // Publish only once every key is stamped AND every secondary index is
@@ -231,6 +251,24 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
   active_count_.fetch_sub(1, std::memory_order_acq_rel);
   if (commit_ts != nullptr) *commit_ts = ts;
   return Status::OK();
+}
+
+std::vector<Timestamp> TxnManager::failed_commits() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return failed_commits_;
+}
+
+void TxnManager::ResetAfterRepair() {
+  Timestamp publish;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    failed_commits_.clear();
+    publish_cap_ = kMaxCommittedTs;
+    publish = completed_max_;
+  }
+  // Monotone CAS-max inside: commits that completed after the poisoning
+  // (acked, durable, invisible under the cap) become readable here.
+  tree_->clock().Publish(publish);
 }
 
 void TxnManager::FreezeCommits() {

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/slice.h"
@@ -183,6 +184,36 @@ class TxnManager {
     return wal_appended_lsn_.load(std::memory_order_acquire);
   }
 
+  /// Degraded-mode gate, checked at every commit start (after any freeze
+  /// wait, before the commit timestamp is issued). Returns the sticky
+  /// background error when the DB is degraded so commits fail fast with
+  /// the original cause instead of wedging further. Install before
+  /// concurrent use (the DB layer does, during Open).
+  using CommitGate = std::function<Status()>;
+  void SetCommitGate(CommitGate gate) { gate_ = std::move(gate); }
+
+  /// Called (outside internal locks) when a commit fails in a way that
+  /// sickens the database: a WAL append failure, or ANY failure after the
+  /// commit timestamp entered the stamping pipeline (mid-stamp, sync,
+  /// index hook) — those poison the read watermark until repaired. The DB
+  /// layer escalates into its ErrorHandler. Install before concurrent use.
+  using ErrorReporter =
+      std::function<void(const std::string& context, const Status& s)>;
+  void SetErrorReporter(ErrorReporter fn) { reporter_ = std::move(fn); }
+
+  /// Commit timestamps that ticked and then failed mid-commit: whatever
+  /// records they half-stamped are invisible (the poisoned watermark caps
+  /// below every one of them) and must be purged from every tree before
+  /// degraded mode can lift. Snapshot, in tick order.
+  std::vector<Timestamp> failed_commits();
+
+  /// Post-repair reset, called by the DB's Resume with commits frozen and
+  /// the failed timestamps already purged: clears the failed list, lifts
+  /// the poisoned watermark, and publishes the completed maximum — acked
+  /// commits that finished AFTER the poisoning (durable but invisible
+  /// until now) become readable again.
+  void ResetAfterRepair();
+
   /// Blocks NEW commits and waits until every in-flight commit finishes
   /// (stamped, synced, bookkept). While frozen, the WAL end is exactly
   /// the committed state of the tree — the checkpoint invariant. Commits
@@ -206,6 +237,8 @@ class TxnManager {
 
   tsb_tree::TsbTree* tree_;
   CommitHook hook_;
+  CommitGate gate_;        // may be empty (no degraded-mode plumbing)
+  ErrorReporter reporter_; // may be empty
   wal::Wal* wal_ = nullptr;
   /// Mirror of the live log's append offset, written only under
   /// commit_mu_ (appends and SetWal both hold it, directly or via the
@@ -232,6 +265,9 @@ class TxnManager {
   // skipped commit) without serializing the stamping work itself.
   std::set<Timestamp> inflight_;
   Timestamp completed_max_ = 0;
+  /// Ticked-then-failed commit timestamps awaiting purge; see
+  /// failed_commits(). Guarded by commit_mu_.
+  std::vector<Timestamp> failed_commits_;
 };
 
 }  // namespace txn

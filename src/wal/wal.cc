@@ -23,7 +23,15 @@ Status PWriteAll(int fd, const char* data, size_t n, uint64_t offset) {
     ssize_t w = ::pwrite(fd, data + done, n - done, offset + done);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == ENOSPC) {
+        return Status::OutOfSpace("wal pwrite", strerror(errno));
+      }
       return Status::IOError("wal pwrite", strerror(errno));
+    }
+    if (w == 0) {
+      // pwrite returning 0 for a nonzero count is a full-device edge case;
+      // retrying would spin forever.
+      return Status::OutOfSpace("wal pwrite wrote 0 bytes");
     }
     done += static_cast<size_t>(w);
   }
@@ -56,10 +64,11 @@ int DataSync(int fd) {
 }  // namespace
 
 Wal::Wal(int fd, std::string file, WalSyncMode mode, uint64_t size,
-         uint32_t background_sync_ms)
+         uint32_t background_sync_ms, std::shared_ptr<FaultPlan> fault_plan)
     : file_(std::move(file)),
       mode_(mode),
       background_sync_ms_(background_sync_ms),
+      fault_plan_(std::move(fault_plan)),
       fd_(fd) {
   appended_lsn_.store(size, std::memory_order_release);
   synced_lsn_.store(size, std::memory_order_release);
@@ -69,7 +78,8 @@ Wal::Wal(int fd, std::string file, WalSyncMode mode, uint64_t size,
 }
 
 Status Wal::Open(const std::string& file, WalSyncMode mode,
-                 uint32_t background_sync_ms, std::unique_ptr<Wal>* out) {
+                 uint32_t background_sync_ms, std::unique_ptr<Wal>* out,
+                 std::shared_ptr<FaultPlan> fault_plan) {
   const int fd = ::open(file.c_str(), O_CREAT | O_RDWR, 0644);
   if (fd < 0) {
     return Status::IOError("open wal " + file, strerror(errno));
@@ -90,7 +100,7 @@ Status Wal::Open(const std::string& file, WalSyncMode mode,
     }
   }
   out->reset(new Wal(fd, file, mode, static_cast<uint64_t>(size),
-                     background_sync_ms));
+                     background_sync_ms, std::move(fault_plan)));
   return Status::OK();
 }
 
@@ -137,7 +147,38 @@ Status Wal::AppendCommit(Timestamp ts,
 
   std::lock_guard<std::mutex> lock(append_mu_);
   const uint64_t offset = appended_lsn_.load(std::memory_order_relaxed);
-  TSB_RETURN_IF_ERROR(PWriteAll(fd_, frame.data(), frame.size(), offset));
+  Status status;
+  Fault fault;
+  if (fault_plan_ != nullptr && fault_plan_->Check(FaultOp::kAppend, &fault)) {
+    if (fault.kind == FaultKind::kShortWrite) {
+      // The prefix genuinely lands — the torn-frame shape a real ENOSPC
+      // mid-frame leaves behind, so the truncate-back below is exercised
+      // against actual on-file bytes.
+      const size_t prefix =
+          fault.short_bytes > 0 && fault.short_bytes < frame.size()
+              ? static_cast<size_t>(fault.short_bytes)
+              : frame.size() / 2;
+      (void)PWriteAll(fd_, frame.data(), prefix, offset);
+    }
+    status = FaultPlan::ToStatus(fault, "wal append " + file_);
+  } else {
+    status = PWriteAll(fd_, frame.data(), frame.size(), offset);
+  }
+  if (!status.ok()) {
+    // ENOSPC (or any partial pwrite) can leave a truncated frame on file.
+    // The next append would land at this same offset, but a SHORTER next
+    // frame would leave stale suffix bytes beyond it, and degraded-mode
+    // recovery depends on "file ends exactly at appended_lsn". Cut back
+    // to the last good frame boundary before rejecting the commit; the
+    // frame CRC stays as the second line of defense if even this fails.
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+      TSB_LOG_ERROR("wal %s: cannot truncate partial frame at %llu (%s); "
+                    "replay will rely on the CRC to cut it",
+                    file_.c_str(), (unsigned long long)offset,
+                    strerror(errno));
+    }
+    return status;
+  }
   const uint64_t end = offset + frame.size();
   appended_lsn_.store(end, std::memory_order_release);
   frames_appended_.fetch_add(1, std::memory_order_relaxed);
@@ -151,7 +192,14 @@ Status Wal::SyncFile() {
   // Capture the target BEFORE syncing: bytes appended during the sync may
   // or may not be covered, so only the pre-sync watermark is promised.
   const uint64_t target = appended_lsn_.load(std::memory_order_acquire);
+  Fault fault;
+  if (fault_plan_ != nullptr && fault_plan_->Check(FaultOp::kSync, &fault)) {
+    return FaultPlan::ToStatus(fault, "wal fdatasync " + file_);
+  }
   if (DataSync(fd_) != 0) {
+    if (errno == ENOSPC) {
+      return Status::OutOfSpace("wal fdatasync " + file_, strerror(errno));
+    }
     return Status::IOError("wal fdatasync " + file_, strerror(errno));
   }
   uint64_t cur = synced_lsn_.load(std::memory_order_relaxed);
@@ -193,6 +241,10 @@ Status Wal::Sync(uint64_t upto_lsn) {
     last_sync_error_ = s;
   }
   sync_cv_.notify_all();
+  if (!s.ok()) {
+    lock.unlock();
+    if (sync_error_reporter_) sync_error_reporter_(s);
+  }
   return s;
 }
 
@@ -211,7 +263,19 @@ Status Wal::SyncAll() {
   sync_in_progress_ = false;
   if (!s.ok()) last_sync_error_ = s;
   sync_cv_.notify_all();
+  if (!s.ok()) {
+    lock.unlock();
+    if (sync_error_reporter_) sync_error_reporter_(s);
+  }
   return s;
+}
+
+void Wal::RecordSyncError(const Status& s) {
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    if (last_sync_error_.ok()) last_sync_error_ = s;
+  }
+  if (sync_error_reporter_) sync_error_reporter_(s);
 }
 
 void Wal::BackgroundSyncLoop() {
@@ -219,6 +283,13 @@ void Wal::BackgroundSyncLoop() {
   while (!stopping_) {
     bg_cv_.wait_for(lock, std::chrono::milliseconds(background_sync_ms_));
     if (stopping_) break;
+    if (has_sync_error()) {
+      // The log is poisoned. After a failed fdatasync the kernel may have
+      // dropped the dirty pages with the error consumed, so retrying and
+      // seeing success would declare never-written bytes durable. Park
+      // until the DB replaces this Wal (degraded-mode Resume).
+      continue;
+    }
     if (appended_lsn_.load(std::memory_order_acquire) <=
         synced_lsn_.load(std::memory_order_acquire)) {
       continue;
@@ -227,6 +298,7 @@ void Wal::BackgroundSyncLoop() {
     Status s = SyncFile();
     if (!s.ok()) {
       TSB_LOG_ERROR("wal background sync failed: %s", s.ToString().c_str());
+      RecordSyncError(s);
     }
     lock.lock();
   }

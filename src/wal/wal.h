@@ -45,6 +45,7 @@
 #include "common/clock.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "storage/fault_device.h"
 
 namespace tsb {
 namespace wal {
@@ -97,9 +98,12 @@ class Wal {
  public:
   /// Opens (creating if absent) the log file for appending. New frames go
   /// after the existing contents — run Replay() first so a torn tail is
-  /// truncated before appends resume.
+  /// truncated before appends resume. `fault_plan` (tests, fault harness)
+  /// is consulted on every append (FaultOp::kAppend) and fdatasync
+  /// (FaultOp::kSync); nullptr = no injection.
   static Status Open(const std::string& file, WalSyncMode mode,
-                     uint32_t background_sync_ms, std::unique_ptr<Wal>* out);
+                     uint32_t background_sync_ms, std::unique_ptr<Wal>* out,
+                     std::shared_ptr<FaultPlan> fault_plan = nullptr);
 
   ~Wal();
 
@@ -108,8 +112,12 @@ class Wal {
 
   /// Appends one commit frame. `*end_lsn` receives the offset one past
   /// the frame — the LSN Sync() must cover for this commit to be durable.
-  /// On failure the append offset is not advanced; the next append
-  /// overwrites any partial bytes and the CRC shields replay meanwhile.
+  /// On failure (EIO, ENOSPC, short write) the append offset is not
+  /// advanced AND the file is truncated back to the last good frame
+  /// boundary: a partially-appended frame must never linger for a later
+  /// append to build past, and the "file size == appended_lsn" invariant
+  /// is what degraded-mode recovery relies on. Frame CRCs remain the
+  /// second line of defense if even the truncate fails.
   Status AppendCommit(Timestamp ts,
                       const std::map<std::string, std::string>& ops,
                       uint64_t* end_lsn);
@@ -132,6 +140,30 @@ class Wal {
   WalStats stats() const;
   const std::string& file() const { return file_; }
 
+  /// True once any fdatasync failed: the log is poisoned (sticky) and no
+  /// later commit will be acknowledged through it. Bytes past synced_lsn()
+  /// must be treated as never-durable — a failed fsync may have dropped
+  /// them from the page cache with the dirty bit cleared, so re-syncing
+  /// and assuming success would be a silent lie. Recovery replaces the
+  /// Wal object (degraded-mode Resume rotates to a fresh log).
+  bool has_sync_error() const {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    return !last_sync_error_.ok();
+  }
+  Status sync_error() const {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    return last_sync_error_;
+  }
+
+  /// Called (outside any Wal lock) whenever a sync fails — including the
+  /// background flusher's, which no commit path observes. The DB layer
+  /// installs this to escalate into its background-error state machine.
+  /// Install before concurrent use.
+  using SyncErrorReporter = std::function<void(const Status&)>;
+  void SetSyncErrorReporter(SyncErrorReporter fn) {
+    sync_error_reporter_ = std::move(fn);
+  }
+
   /// Scans `file` from `from_lsn`, validating each frame's CRC, and calls
   /// `fn` for every commit frame in order. A torn tail is truncated in
   /// place (the file shrinks to the last valid frame boundary). A missing
@@ -149,21 +181,26 @@ class Wal {
 
  private:
   Wal(int fd, std::string file, WalSyncMode mode, uint64_t size,
-      uint32_t background_sync_ms);
+      uint32_t background_sync_ms, std::shared_ptr<FaultPlan> fault_plan);
 
   Status SyncFile();
+  /// Records a sync failure sticky and reports it; shared by the group
+  /// leaders and the background flusher.
+  void RecordSyncError(const Status& s);
   void BackgroundSyncLoop();
 
   const std::string file_;
   const WalSyncMode mode_;
   const uint32_t background_sync_ms_;
+  const std::shared_ptr<FaultPlan> fault_plan_;  // may be null
+  SyncErrorReporter sync_error_reporter_;        // may be empty
   int fd_ = -1;
 
   std::mutex append_mu_;  // serializes appends (offset + pwrite)
   std::atomic<uint64_t> appended_lsn_{0};
 
   // Group-commit rendezvous state.
-  std::mutex sync_mu_;
+  mutable std::mutex sync_mu_;
   std::condition_variable sync_cv_;
   bool sync_in_progress_ = false;
   std::atomic<uint64_t> synced_lsn_{0};

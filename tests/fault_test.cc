@@ -1,17 +1,28 @@
 // Failure injection: bit rot on either device must surface as Corruption
 // (never wrong answers or crashes); write-once violations are rejected;
-// free-list persistence and meta handling survive edge cases.
+// free-list persistence and meta handling survive edge cases. The second
+// half exercises the SICK-disk path end to end: FaultPlan mechanics, WAL
+// append/sync failures, and the DB-level degraded read-only mode with
+// Resume() / auto-resume.
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logger.h"
+#include "db/multiversion_db.h"
+#include "storage/fault_device.h"
 #include "storage/mem_device.h"
 #include "storage/pager.h"
 #include "storage/worm_device.h"
 #include "tsb/tsb_tree.h"
+#include "wal/wal.h"
 
 namespace tsb {
 namespace tsb_tree {
@@ -220,4 +231,392 @@ TEST_F(FaultTest, TruncatedHistoricalStoreYieldsIOError) {
 
 }  // namespace
 }  // namespace tsb_tree
+}  // namespace tsb
+
+// ---------------------------------------------------------------------------
+// FaultPlan mechanics: nth-op arming, one-shot vs sticky, per-op counters.
+// ---------------------------------------------------------------------------
+namespace tsb {
+namespace {
+
+TEST(FaultPlanTest, NthOneShotAndStickySemantics) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.armed());
+  plan.FailNth(FaultOp::kWrite, 3, FaultKind::kEIO, /*sticky=*/false);
+  Fault fired;
+  EXPECT_FALSE(plan.Check(FaultOp::kWrite, &fired));  // 1st write
+  EXPECT_FALSE(plan.Check(FaultOp::kRead, &fired));   // other op class
+  EXPECT_FALSE(plan.Check(FaultOp::kWrite, &fired));  // 2nd write
+  EXPECT_TRUE(plan.Check(FaultOp::kWrite, &fired));   // 3rd trips
+  EXPECT_TRUE(FaultPlan::ToStatus(fired, "w").IsIOError());
+  EXPECT_FALSE(plan.Check(FaultOp::kWrite, &fired));  // one-shot: disarmed
+  EXPECT_EQ(4u, plan.ops(FaultOp::kWrite));
+  EXPECT_EQ(1u, plan.fired(FaultOp::kWrite));
+
+  // Arming baselines at the current count: "nth from now", not from zero.
+  plan.FailNth(FaultOp::kWrite, 1, FaultKind::kENOSPC, /*sticky=*/true);
+  EXPECT_TRUE(plan.Check(FaultOp::kWrite, &fired));
+  EXPECT_TRUE(FaultPlan::ToStatus(fired, "w").IsOutOfSpace());
+  EXPECT_TRUE(plan.Check(FaultOp::kWrite, &fired));  // sticky keeps firing
+  plan.Clear();
+  EXPECT_FALSE(plan.Check(FaultOp::kWrite, &fired));  // healed
+  EXPECT_FALSE(plan.armed());
+}
+
+}  // namespace
+}  // namespace tsb
+
+// ---------------------------------------------------------------------------
+// WAL append-failure hygiene: a partially written frame must never linger
+// for a later append to build past.
+// ---------------------------------------------------------------------------
+namespace tsb {
+namespace wal {
+namespace {
+
+TEST(WalFaultTest, FailedAppendTruncatesBackToLastGoodFrame) {
+  const std::string file =
+      "/tmp/tsb_wal_fault_test." + std::to_string(::getpid()) + ".tsb";
+  ::unlink(file.c_str());
+  auto plan = std::make_shared<FaultPlan>();
+  std::unique_ptr<Wal> wal;
+  ASSERT_TRUE(Wal::Open(file, WalSyncMode::kGroup, 0, &wal, plan).ok());
+  std::map<std::string, std::string> ops{{"alpha", "a-value"}};
+  uint64_t lsn1 = 0;
+  ASSERT_TRUE(wal->AppendCommit(1, ops, &lsn1).ok());
+  ASSERT_TRUE(wal->Sync(lsn1).ok());
+
+  // ENOSPC mid-frame: a 6-byte prefix genuinely lands, then the append
+  // errors — the torn-frame shape a filling disk leaves behind.
+  Fault f;
+  f.op = FaultOp::kAppend;
+  f.kind = FaultKind::kShortWrite;
+  f.nth = 1;
+  f.short_bytes = 6;
+  plan->Arm(f);
+  uint64_t lsn2 = 0;
+  EXPECT_FALSE(wal->AppendCommit(2, ops, &lsn2).ok());
+  EXPECT_EQ(lsn1, wal->appended_lsn());
+  struct stat st;
+  ASSERT_EQ(0, ::stat(file.c_str(), &st));
+  // The torn prefix was truncated away: file size == last good LSN, so a
+  // later (even shorter) frame can never leave stale garbage beyond it.
+  EXPECT_EQ(lsn1, static_cast<uint64_t>(st.st_size));
+  EXPECT_EQ(1u, plan->fired(FaultOp::kAppend));
+
+  // Healed: a SMALLER frame lands exactly at the boundary...
+  std::map<std::string, std::string> small{{"b", ""}};
+  uint64_t lsn3 = 0;
+  ASSERT_TRUE(wal->AppendCommit(3, small, &lsn3).ok());
+  ASSERT_TRUE(wal->SyncAll().ok());
+  wal.reset();
+
+  // ...and replay sees exactly commits 1 and 3 with a clean tail.
+  WalReplayResult rr;
+  std::vector<Timestamp> seen;
+  ASSERT_TRUE(Wal::Replay(file, 0,
+                          [&](const WalCommit& c) {
+                            seen.push_back(c.ts);
+                            return Status::OK();
+                          },
+                          &rr)
+                  .ok());
+  EXPECT_EQ((std::vector<Timestamp>{1, 3}), seen);
+  EXPECT_FALSE(rr.tail_truncated);
+  ::unlink(file.c_str());
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace tsb
+
+// ---------------------------------------------------------------------------
+// DB-level degraded mode: sticky background errors, fail-fast writes,
+// reads that keep serving, Resume() and auto-resume.
+// ---------------------------------------------------------------------------
+namespace tsb {
+namespace db {
+namespace {
+
+std::string DbKey(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "db-k%05d", i);
+  return buf;
+}
+
+class DegradedModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static std::atomic<int> counter{0};
+    path_ = "/tmp/tsb_degraded_test." + std::to_string(::getpid()) + "." +
+            std::to_string(counter.fetch_add(1));
+    MultiVersionDB::Destroy(path_);
+    plan_ = std::make_shared<FaultPlan>();
+    wal_plan_ = std::make_shared<FaultPlan>();
+  }
+  void TearDown() override {
+    db_.reset();
+    MultiVersionDB::Destroy(path_);
+  }
+
+  DbOptions Options() {
+    DbOptions o;
+    o.tree.page_size = 512;
+    o.tree.buffer_pool_frames = 4096;
+    o.wal_fault_plan = wal_plan_;
+    o.wrap_device = [this](const std::string& role,
+                           std::unique_ptr<Device> dev)
+        -> std::unique_ptr<Device> {
+      (void)role;
+      return std::make_unique<FaultInjectingDevice>(std::move(dev), plan_);
+    };
+    return o;
+  }
+
+  void OpenDb(const DbOptions& o) {
+    Status s = MultiVersionDB::Open(path_, o, &db_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  void PutBaseline(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(db_->Put(DbKey(i), "base-" + std::to_string(i)).ok());
+    }
+  }
+
+  void ExpectBaseline(int n) {
+    for (int i = 0; i < n; ++i) {
+      std::string v;
+      ASSERT_TRUE(db_->Get(DbKey(i), &v).ok()) << DbKey(i);
+      EXPECT_EQ("base-" + std::to_string(i), v);
+    }
+  }
+
+  std::string path_;
+  std::shared_ptr<FaultPlan> plan_;      // wraps every device
+  std::shared_ptr<FaultPlan> wal_plan_;  // consulted by the WAL
+  std::unique_ptr<MultiVersionDB> db_;
+};
+
+// The tentpole assertion: a failed fdatasync during group commit means
+// EVERY writer rendezvous'd on it sees the error and NONE acks — and
+// after heal + Resume + reopen, none of those commits ever surfaces.
+TEST_F(DegradedModeTest, GroupCommitSyncFailureAcksNothing) {
+  DbOptions o = Options();
+  o.tree.concurrent_writers = true;
+  OpenDb(o);
+  constexpr int kBase = 10;
+  PutBaseline(kBase);
+  const Timestamp watermark = db_->Now();
+
+  // One-shot fault on the next fdatasync. The Wal's sync error is sticky,
+  // so even commits arriving after the trip cannot sneak an ack through.
+  wal_plan_->FailNth(FaultOp::kSync, 1, FaultKind::kEIO, /*sticky=*/false);
+  constexpr int kWriters = 8;
+  std::atomic<int> acked{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([this, w, &acked]() {
+      Status s = db_->Put("doomed-" + std::to_string(w), "never-acked");
+      if (s.ok()) acked.fetch_add(1);
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(0, acked.load());                       // no non-durable ack
+  EXPECT_EQ(1u, wal_plan_->fired(FaultOp::kSync));  // exactly one trip
+  EXPECT_TRUE(db_->degraded());
+  EXPECT_TRUE(db_->BackgroundError().IsIOError());
+  EXPECT_EQ(watermark, db_->Now());  // nothing published past the fault
+
+  // Degraded = read-only: reads keep serving, writes fail fast with the
+  // sticky cause.
+  ExpectBaseline(kBase);
+  EXPECT_TRUE(db_->Put("rejected", "x").IsIOError());
+  EXPECT_TRUE(db_->Checkpoint().IsIOError());
+
+  // Heal + resume: failed commits purged, durability re-established on a
+  // fresh log, the watermark lifted.
+  wal_plan_->Clear();
+  Status resume = db_->Resume();
+  ASSERT_TRUE(resume.ok()) << resume.ToString();
+  EXPECT_FALSE(db_->degraded());
+  EXPECT_TRUE(db_->BackgroundError().ok());
+  for (int w = 0; w < kWriters; ++w) {
+    std::string v;
+    EXPECT_TRUE(db_->Get("doomed-" + std::to_string(w), &v).IsNotFound());
+  }
+  ASSERT_TRUE(db_->Put("post-resume", "v").ok());
+
+  const ErrorHandlerStats stats = db_->error_stats();
+  EXPECT_EQ(1u, stats.degradations);
+  EXPECT_EQ(1u, stats.resumes);
+  EXPECT_EQ(ErrorClass::kTransient, stats.last_class);
+
+  // Reopen: every acked commit present, the never-acked ones still absent.
+  db_.reset();
+  OpenDb(o);
+  ExpectBaseline(kBase);
+  for (int w = 0; w < kWriters; ++w) {
+    std::string v;
+    EXPECT_TRUE(db_->Get("doomed-" + std::to_string(w), &v).IsNotFound());
+  }
+  std::string v;
+  ASSERT_TRUE(db_->Get("post-resume", &v).ok());
+  EXPECT_EQ("v", v);
+}
+
+// EIO on the Nth page write: the checkpoint fails, the DB degrades, reads
+// keep serving; Clear + Resume lifts it and the data survives reopen.
+TEST_F(DegradedModeTest, EioOnNthPageWriteDegradesUntilResume) {
+  OpenDb(Options());
+  constexpr int kBase = 40;
+  PutBaseline(kBase);
+
+  plan_->FailNth(FaultOp::kWrite, 2, FaultKind::kEIO, /*sticky=*/true);
+  Status ckpt = db_->Checkpoint();
+  EXPECT_TRUE(ckpt.IsIOError()) << ckpt.ToString();
+  EXPECT_GE(plan_->fired(FaultOp::kWrite), 1u);
+  EXPECT_TRUE(db_->degraded());
+  EXPECT_TRUE(db_->BackgroundError().IsIOError());
+  ExpectBaseline(kBase);  // reads unaffected
+  EXPECT_TRUE(db_->Put("rejected", "x").IsIOError());
+
+  plan_->Clear();
+  Status resume = db_->Resume();
+  ASSERT_TRUE(resume.ok()) << resume.ToString();
+  EXPECT_FALSE(db_->degraded());
+  ASSERT_TRUE(db_->Put("after-eio", "y").ok());
+
+  db_.reset();
+  OpenDb(Options());
+  ExpectBaseline(kBase);
+  std::string v;
+  ASSERT_TRUE(db_->Get("after-eio", &v).ok());
+  EXPECT_EQ("y", v);
+}
+
+// ENOSPC during checkpoint: classified transient, the journal protects
+// the base, and Resume() after space returns restores full service.
+TEST_F(DegradedModeTest, EnospcDuringCheckpointResumesAfterSpaceReturns) {
+  OpenDb(Options());
+  constexpr int kBase = 40;
+  PutBaseline(kBase);
+
+  plan_->FailNth(FaultOp::kWrite, 1, FaultKind::kENOSPC, /*sticky=*/true);
+  Status ckpt = db_->Checkpoint();
+  EXPECT_TRUE(ckpt.IsOutOfSpace()) << ckpt.ToString();
+  EXPECT_TRUE(db_->degraded());
+  EXPECT_EQ(ErrorClass::kTransient, db_->error_stats().last_class);
+  ExpectBaseline(kBase);
+
+  // Space returns.
+  plan_->Clear();
+  Status resume = db_->Resume();
+  ASSERT_TRUE(resume.ok()) << resume.ToString();
+  EXPECT_FALSE(db_->degraded());
+  ASSERT_TRUE(db_->Put("after-enospc", "z").ok());
+
+  db_.reset();
+  OpenDb(Options());
+  ExpectBaseline(kBase);
+  std::string v;
+  ASSERT_TRUE(db_->Get("after-enospc", &v).ok());
+  EXPECT_EQ("z", v);
+}
+
+// Reads during degradation must equal reads after a (degraded) close and
+// reopen at the same as-of timestamp: degradation never serves state that
+// recovery would contradict.
+TEST_F(DegradedModeTest, DegradedReadsMatchPostReopenReads) {
+  OpenDb(Options());
+  constexpr int kBase = 50;
+  PutBaseline(kBase);
+
+  wal_plan_->FailNth(FaultOp::kSync, 1, FaultKind::kEIO, /*sticky=*/false);
+  EXPECT_FALSE(db_->Put("doomed", "never-acked").ok());
+  ASSERT_TRUE(db_->degraded());
+  const Timestamp frozen = db_->Now();
+
+  std::vector<std::pair<bool, std::string>> during(kBase + 1);
+  for (int i = 0; i < kBase; ++i) {
+    std::string v;
+    during[i] = {db_->GetAsOf(DbKey(i), frozen, &v).ok(), v};
+  }
+  {
+    std::string v;
+    during[kBase] = {db_->GetAsOf("doomed", frozen, &v).ok(), v};
+    EXPECT_FALSE(during[kBase].first);  // never acked, never visible
+  }
+
+  // Close WHILE degraded (the destructor must not checkpoint half-stamped
+  // state), heal the disk, reopen, and re-read at the same timestamp.
+  db_.reset();
+  wal_plan_->Clear();
+  OpenDb(Options());
+  for (int i = 0; i < kBase; ++i) {
+    std::string v;
+    const bool found = db_->GetAsOf(DbKey(i), frozen, &v).ok();
+    EXPECT_EQ(during[i].first, found) << DbKey(i);
+    if (found) {
+      EXPECT_EQ(during[i].second, v) << DbKey(i);
+    }
+  }
+  std::string v;
+  EXPECT_EQ(during[kBase].first, db_->GetAsOf("doomed", frozen, &v).ok());
+}
+
+// auto_resume: a transient fault heals itself in the background without
+// any manual Resume() call.
+TEST_F(DegradedModeTest, AutoResumeHealsTransientFault) {
+  DbOptions o = Options();
+  o.auto_resume = true;
+  o.auto_resume_backoff_initial_ms = 10;
+  o.auto_resume_backoff_max_ms = 100;
+  OpenDb(o);
+  constexpr int kBase = 10;
+  PutBaseline(kBase);
+
+  wal_plan_->FailNth(FaultOp::kSync, 1, FaultKind::kEIO, /*sticky=*/false);
+  EXPECT_FALSE(db_->Put("doomed", "never-acked").ok());
+  EXPECT_TRUE(db_->degraded());
+
+  // The one-shot fault has already burned out; the background thread's
+  // next attempt should succeed. Poll with a generous deadline.
+  bool healed = false;
+  for (int i = 0; i < 1000 && !healed; ++i) {
+    healed = !db_->degraded();
+    if (!healed) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(healed);
+  EXPECT_GE(db_->error_stats().auto_resumes, 1u);
+  ASSERT_TRUE(db_->Put("after-auto", "ok").ok());
+  ExpectBaseline(kBase);
+}
+
+// Hard errors (corruption-class) refuse Resume(): the original cause
+// comes back and the DB stays degraded.
+TEST_F(DegradedModeTest, HardErrorRefusesResume) {
+  OpenDb(Options());
+  PutBaseline(5);
+
+  db_->error_handler()->Report("test corruption",
+                               Status::Corruption("bad page", "checksum"));
+  EXPECT_TRUE(db_->degraded());
+  EXPECT_EQ(ErrorClass::kHard, db_->error_stats().last_class);
+  EXPECT_TRUE(db_->BackgroundError().IsCorruption());
+  EXPECT_TRUE(db_->Put("rejected", "x").IsCorruption());
+
+  Status resume = db_->Resume();
+  EXPECT_TRUE(resume.IsCorruption()) << resume.ToString();
+  EXPECT_TRUE(db_->degraded());
+  // A refusal is not an attempt: no resume ran, none succeeded.
+  EXPECT_EQ(0u, db_->error_stats().resumes);
+
+  // Reads still serve even under a hard error.
+  ExpectBaseline(5);
+}
+
+}  // namespace
+}  // namespace db
 }  // namespace tsb
