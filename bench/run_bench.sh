@@ -10,6 +10,9 @@
 # coupling, with conflict/restart/side-step counters). bench_durability
 # writes BENCH_durability.json (WAL sync-mode ladder, fsync'd group-commit
 # scaling at 1/2/4/8 writers, and crash-recovery replay MB/sec).
+# bench_sharded writes BENCH_sharded.json (ShardedDB write scaling at
+# 1/2/4/8 shards, disjoint single-shard batches vs uniform multi-shard
+# batches through the coordinator protocol).
 #
 # Usage: bench/run_bench.sh [build-dir]   (default: <repo>/build-release)
 set -euo pipefail
@@ -19,7 +22,7 @@ BUILD="${1:-$ROOT/build-release}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j --target bench_query bench_concurrency \
-    bench_durability || {
+    bench_durability bench_sharded || {
   echo "error: bench build failed (if the targets are missing entirely," >&2
   echo "check that libbenchmark-dev is installed)" >&2
   exit 1
@@ -35,10 +38,13 @@ FILTER="${BENCH_FILTER:-NONE}"
     ./bench_concurrency --benchmark_filter="$FILTER")
 (cd "$BUILD" && BENCH_DURABILITY_JSON="$ROOT/BENCH_durability.json" \
     ./bench_durability --benchmark_filter="$FILTER")
+(cd "$BUILD" && BENCH_SHARDED_JSON="$ROOT/BENCH_sharded.json" \
+    ./bench_sharded --benchmark_filter="$FILTER")
 
 echo "wrote $ROOT/BENCH_query.json"
 echo "wrote $ROOT/BENCH_concurrency.json"
 echo "wrote $ROOT/BENCH_durability.json"
+echo "wrote $ROOT/BENCH_sharded.json"
 
 # One-line scan recap (the numbers CI gates on), when python3 is around.
 if command -v python3 >/dev/null 2>&1; then
@@ -68,5 +74,13 @@ print("durability recap: group commit 8w %.2fx of 1w (fdatasync %.0f us), "
       "recovery %.0f MB/s"
       % (d["group_8w_over_1w"], d["fdatasync_us"],
          d["recovery"]["mb_per_sec"]))
+EOF
+  python3 - "$ROOT/BENCH_sharded.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+print("sharding recap: %d cores, 4-shard %.2fx of 1-shard (disjoint), "
+      "uniform/disjoint at 4 shards %.2fx"
+      % (s["hardware_concurrency"], s["speedup_4s_disjoint_vs_1s"],
+         s["uniform_over_disjoint_4s"]))
 EOF
 fi

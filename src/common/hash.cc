@@ -1,0 +1,59 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace tsb {
+
+namespace {
+
+// splitmix64 finalizer: full avalanche over 64 bits (Vigna's mixer, the
+// same constants used by xxHash3's avalanche step lineage).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Normalized little-endian load: byte i of the input contributes bits
+// [8i, 8i+8). memcpy compiles to an unaligned load on every target that
+// matters; the explicit assembly keeps big-endian hosts hash-compatible.
+inline uint64_t Load64(const uint8_t* p) {
+  return static_cast<uint64_t>(p[0]) | (static_cast<uint64_t>(p[1]) << 8) |
+         (static_cast<uint64_t>(p[2]) << 16) |
+         (static_cast<uint64_t>(p[3]) << 24) |
+         (static_cast<uint64_t>(p[4]) << 32) |
+         (static_cast<uint64_t>(p[5]) << 40) |
+         (static_cast<uint64_t>(p[6]) << 48) |
+         (static_cast<uint64_t>(p[7]) << 56);
+}
+
+constexpr uint64_t kMul1 = 0x9e3779b97f4a7c15ULL;  // golden-ratio odd const
+constexpr uint64_t kMul2 = 0xc2b2ae3d27d4eb4fULL;  // xxHash prime64_2
+
+}  // namespace
+
+uint64_t Hash64(const void* data, size_t n, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  // Seed and length enter the state up front so "" with different seeds —
+  // and prefixes of different lengths — diverge immediately.
+  uint64_t h = Mix64(seed ^ (kMul1 * (n + 1)));
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    h = Mix64(h ^ (Load64(p + i) * kMul2));
+  }
+  if (i < n) {
+    // Tail: length-distinct because n is already folded in; bytes pack
+    // little-endian into one word.
+    uint64_t tail = 0;
+    for (size_t j = 0; i + j < n; ++j) {
+      tail |= static_cast<uint64_t>(p[i + j]) << (8 * j);
+    }
+    h = Mix64(h ^ (tail * kMul2));
+  }
+  return Mix64(h);
+}
+
+}  // namespace tsb

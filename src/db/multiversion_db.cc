@@ -25,8 +25,14 @@ Status MultiVersionDB::Open(Device* magnetic, Device* historical,
                             const DbOptions& options,
                             std::unique_ptr<MultiVersionDB>* out) {
   std::unique_ptr<MultiVersionDB> mvdb(new MultiVersionDB(options));
+  if (options.shared_clock != nullptr) {
+    // The DB's options_ copy holds the shared_ptr, so the raw pointer the
+    // tree keeps stays valid for the tree's whole life.
+    mvdb->options_.tree.external_clock = options.shared_clock.get();
+  }
   TSB_RETURN_IF_ERROR(tsb_tree::TsbTree::Open(magnetic, historical,
-                                              options.tree, &mvdb->tree_));
+                                              mvdb->options_.tree,
+                                              &mvdb->tree_));
   mvdb->txns_ = std::make_unique<txn::TxnManager>(mvdb->tree_.get());
   // No commit hook yet: it is installed lazily with the first secondary
   // index (InstallCommitHook). A hook forces commits onto the serial
@@ -794,8 +800,15 @@ Status MultiVersionDB::RegisterIndex(const std::string& name,
     historical = def.owned_historical.get();
   }
   std::unique_ptr<tsb_tree::TsbTree> tree;
+  // Index trees always run a PRIVATE clock, even when the primary shares
+  // one across shards: index recovery/repair publishes the index clock's
+  // Now(), which on a shared clock would move the global watermark past
+  // in-flight cross-shard commits. Index reads are driven at primary
+  // timestamps anyway, so the index clock only sequences maintenance.
+  tsb_tree::TsbOptions index_tree_options = options_.tree;
+  index_tree_options.external_clock = nullptr;
   TSB_RETURN_IF_ERROR(
-      tsb_tree::TsbTree::Open(magnetic, historical, options_.tree, &tree));
+      tsb_tree::TsbTree::Open(magnetic, historical, index_tree_options, &tree));
   def.index = std::make_unique<SecondaryIndex>(std::move(tree));
   indexes_.emplace(name, std::move(def));
   // The hook goes in with the FIRST index (even an extractor-less one:
@@ -1038,6 +1051,25 @@ Status MultiVersionDB::ApplyWalCommit(const wal::WalCommit& commit) {
   recovery_stats_.frames_replayed++;
   recovery_stats_.ops_replayed += commit.ops.size();
   return Status::OK();
+}
+
+Status MultiVersionDB::ReplayExternalCommit(const wal::WalCommit& commit) {
+  return ApplyWalCommit(commit);
+}
+
+Status MultiVersionDB::PurgeCommittedAt(Timestamp ts, uint64_t* purged) {
+  uint64_t total = 0;
+  Status status = tree_->PurgeCommittedAt(ts, &total);
+  if (status.ok()) {
+    for (auto& [name, def] : indexes_) {
+      uint64_t index_purged = 0;
+      status = def.index->tree()->PurgeCommittedAt(ts, &index_purged);
+      if (!status.ok()) break;
+      total += index_purged;
+    }
+  }
+  if (purged != nullptr) *purged = total;
+  return status;
 }
 
 Status MultiVersionDB::Checkpoint() {

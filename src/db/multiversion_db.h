@@ -56,6 +56,16 @@ using KeyExtractor =
 struct DbOptions {
   tsb_tree::TsbOptions tree;
 
+  /// Commit clock shared with other databases (the sharded facade gives
+  /// every shard one clock so a timestamp allocated on any shard is
+  /// meaningful on all of them). When set it overrides
+  /// tree.external_clock for the PRIMARY tree; secondary-index trees
+  /// keep private clocks either way (index replay publishes its own
+  /// clock, which must never advance the shared watermark past in-flight
+  /// cross-shard commits). The DB holds the shared_ptr, so the clock
+  /// outlives every tree that points at it. nullptr = private clock.
+  std::shared_ptr<LogicalClock> shared_clock;
+
   // ---- path-based Open only (ignored by the raw-device overload) ----
 
   /// Create the database directory when absent; when false, opening a
@@ -318,6 +328,24 @@ class MultiVersionDB {
   /// Degradation/resume counters plus the last reported error.
   ErrorHandlerStats error_stats() const;
   ErrorHandler* error_handler() { return errors_.get(); }
+
+  // ---- sharded-facade hooks (see src/shard/sharded_db.h) ----
+
+  /// Re-applies one externally logged commit (a sharded coordinator's
+  /// decision record) to this DB: primary records plus secondary-index
+  /// maintenance. Nothing is appended to this DB's own WAL — the slice
+  /// stays durable through the COORDINATOR's record, which the facade
+  /// keeps until every shard has checkpointed past it. Idempotent: a
+  /// slice already present (stamped before the crash, or carried by the
+  /// checkpointed base) is detected and skipped. Must not race other
+  /// writes to the same keys.
+  Status ReplayExternalCommit(const wal::WalCommit& commit);
+
+  /// Purges every record stamped `ts` from the primary and all secondary
+  /// indexes — the repair hook for a cross-shard commit that failed
+  /// mid-stamp on some shard. Call only while `ts` is above the
+  /// published watermark (no reader has seen the records).
+  Status PurgeCommittedAt(Timestamp ts, uint64_t* purged = nullptr);
 
   Status Flush();
   Status ComputeSpaceStats(tsb_tree::SpaceStats* out) {

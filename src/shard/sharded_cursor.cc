@@ -1,0 +1,138 @@
+#include "shard/sharded_cursor.h"
+
+namespace tsb {
+namespace shard {
+
+using tsb_tree::VersionCursor;
+
+ShardedCursor::ShardedCursor(
+    std::vector<std::unique_ptr<VersionCursor>> children, Timestamp as_of)
+    : children_(std::move(children)), t_(as_of) {}
+
+Status ShardedCursor::Pick() {
+  valid_ = false;
+  key_anchored_ = false;
+  bool have = false;
+  size_t best = 0;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Valid()) continue;
+    if (!have) {
+      best = i;
+      have = true;
+      continue;
+    }
+    // Hash routing gives each key exactly one home shard, so two valid
+    // children never sit on equal keys — strict comparison suffices.
+    const bool wins = reverse_
+                          ? children_[i]->key() > children_[best]->key()
+                          : children_[i]->key() < children_[best]->key();
+    if (wins) best = i;
+  }
+  if (!have) return Status::OK();  // every shard concluded
+  const Slice k = children_[best]->key();
+  // Merge-level range bounds: children run unbounded, the merge stops.
+  if (reverse_ ? k < Slice(range_lo_)
+               : !range_hi_inf_ && k >= Slice(range_hi_)) {
+    return Status::OK();
+  }
+  cur_ = best;
+  valid_ = true;
+  key_anchored_ = true;
+  return Status::OK();
+}
+
+Status ShardedCursor::SeekToFirst() { return Seek(Slice()); }
+
+Status ShardedCursor::Seek(const Slice& target) {
+  range_lo_.clear();
+  range_hi_.clear();
+  range_hi_inf_ = true;
+  reverse_ = false;
+  for (auto& child : children_) TSB_RETURN_IF_ERROR(child->Seek(target));
+  return Pick();
+}
+
+Status ShardedCursor::SeekRange(const Slice& start,
+                                const Slice& end_exclusive) {
+  range_lo_.assign(start.data(), start.size());
+  range_hi_.assign(end_exclusive.data(), end_exclusive.size());
+  range_hi_inf_ = false;
+  reverse_ = false;
+  for (auto& child : children_) TSB_RETURN_IF_ERROR(child->Seek(start));
+  return Pick();
+}
+
+Status ShardedCursor::SeekToLast() {
+  range_lo_.clear();
+  range_hi_.clear();
+  range_hi_inf_ = true;
+  reverse_ = true;
+  for (auto& child : children_) TSB_RETURN_IF_ERROR(child->SeekToLast());
+  return Pick();
+}
+
+Status ShardedCursor::SeekForPrev(const Slice& upper_exclusive) {
+  range_lo_.clear();
+  range_hi_.clear();
+  range_hi_inf_ = true;
+  reverse_ = true;
+  for (auto& child : children_) {
+    TSB_RETURN_IF_ERROR(child->SeekForPrev(upper_exclusive));
+  }
+  return Pick();
+}
+
+Status ShardedCursor::Next() {
+  if (!key_anchored_) return Status::InvalidArgument("Next on invalid cursor");
+  if (reverse_) {
+    // Direction switch: every child re-anchors just past the merge key
+    // (one descent per shard), because in reverse they sit at per-shard
+    // predecessors that mean nothing to a forward merge.
+    reverse_ = false;
+    const Slice k = children_[cur_]->key();
+    std::string anchor(k.data(), k.size());
+    anchor.push_back('\0');
+    for (auto& child : children_) TSB_RETURN_IF_ERROR(child->Seek(anchor));
+  } else {
+    TSB_RETURN_IF_ERROR(children_[cur_]->Next());
+  }
+  return Pick();
+}
+
+Status ShardedCursor::Prev() {
+  if (!key_anchored_) return Status::InvalidArgument("Prev on invalid cursor");
+  if (!reverse_) {
+    reverse_ = true;
+    const Slice k = children_[cur_]->key();
+    std::string anchor(k.data(), k.size());
+    for (auto& child : children_) {
+      TSB_RETURN_IF_ERROR(child->SeekForPrev(anchor));
+    }
+  } else {
+    TSB_RETURN_IF_ERROR(children_[cur_]->Prev());
+  }
+  return Pick();
+}
+
+Status ShardedCursor::NextVersion() {
+  if (!valid_) return Status::InvalidArgument("NextVersion on invalid cursor");
+  TSB_RETURN_IF_ERROR(children_[cur_]->NextVersion());
+  valid_ = children_[cur_]->Valid();
+  return Status::OK();
+}
+
+Status ShardedCursor::SeekTimestamp(Timestamp t) {
+  if (!valid_) {
+    return Status::InvalidArgument("SeekTimestamp on invalid cursor");
+  }
+  TSB_RETURN_IF_ERROR(children_[cur_]->SeekTimestamp(t));
+  valid_ = children_[cur_]->Valid();
+  return Status::OK();
+}
+
+Slice ShardedCursor::key() const { return children_[cur_]->key(); }
+Slice ShardedCursor::value() const { return children_[cur_]->value(); }
+Timestamp ShardedCursor::ts() const { return children_[cur_]->ts(); }
+
+}  // namespace shard
+}  // namespace tsb

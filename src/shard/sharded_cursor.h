@@ -1,0 +1,90 @@
+// ShardedCursor: the k-way merging VersionCursor over N hash-partitioned
+// shards.
+//
+// Hash routing scatters adjacent keys across shards, so a key-ordered
+// scan must merge: every shard contributes a child VersionCursor pinned
+// at the SAME resolved as-of time (the facade resolves kAsOfLatest once,
+// against the shared clock, before constructing children — otherwise two
+// children could snapshot different watermarks and the merge would stitch
+// two different database states together). The merge winner is the
+// smallest child key walking forward and the largest walking backward;
+// hash routing assigns each key to exactly one shard, so ties cannot
+// happen and the merge needs no tie-break rule.
+//
+// Range bounds (SeekRange's [start, end)) are enforced at the MERGE
+// level, not pushed into the children: children only ever receive
+// unbounded Seek/SeekForPrev/SeekToLast calls. A direction switch
+// re-anchors every child on the far side of the current merge key (the
+// same exclusive-bound convention as VersionCursor::Prev), which costs
+// one O(height) descent per shard — after that, each step advances only
+// the winning child and is amortized O(1) per shard consulted.
+//
+// The time axis (NextVersion/SeekTimestamp) needs no merging at all: a
+// key lives on exactly one shard, so both calls delegate to the winner.
+#ifndef TSBTREE_SHARD_SHARDED_CURSOR_H_
+#define TSBTREE_SHARD_SHARDED_CURSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "tsb/cursor.h"
+
+namespace tsb {
+namespace shard {
+
+/// Mirrors the VersionCursor surface (see tsb/cursor.h) so sharded and
+/// single-tree scans are drop-in interchangeable for callers.
+class ShardedCursor {
+ public:
+  /// `children` holds one cursor per shard, all pinned at `as_of`
+  /// (already resolved — not kAsOfLatest). Children must outlive no one:
+  /// the sharded cursor owns them; they must not outlive their trees.
+  ShardedCursor(std::vector<std::unique_ptr<tsb_tree::VersionCursor>> children,
+                Timestamp as_of);
+
+  // ---- key axis ----
+
+  Status SeekToFirst();
+  Status Seek(const Slice& target);
+  Status SeekRange(const Slice& start, const Slice& end_exclusive);
+  Status SeekToLast();
+  Status SeekForPrev(const Slice& upper_exclusive);
+  Status Next();
+  Status Prev();
+
+  // ---- time axis (of the current key; delegates to the owning shard) ----
+
+  Status NextVersion();
+  Status SeekTimestamp(Timestamp t);
+
+  bool Valid() const { return valid_; }
+  Slice key() const;
+  Slice value() const;
+  Timestamp ts() const;
+  Timestamp as_of() const { return t_; }
+
+ private:
+  /// Re-picks the winner among valid children (forward: min key;
+  /// reverse: max key) and applies the merge-level range bounds.
+  Status Pick();
+
+  std::vector<std::unique_ptr<tsb_tree::VersionCursor>> children_;
+  Timestamp t_;
+  bool reverse_ = false;
+  bool valid_ = false;
+  // The key axis stays anchored through a version-axis move that ran the
+  // winner dry — same contract as VersionCursor.
+  bool key_anchored_ = false;
+  size_t cur_ = 0;             // winning child while key_anchored_
+  std::string range_lo_;       // SeekRange floor ("" = none)
+  std::string range_hi_;       // SeekRange ceiling (exclusive)...
+  bool range_hi_inf_ = true;   // ...unless unbounded
+};
+
+}  // namespace shard
+}  // namespace tsb
+
+#endif  // TSBTREE_SHARD_SHARDED_CURSOR_H_

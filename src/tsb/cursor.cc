@@ -37,6 +37,32 @@ Status VersionCursor::SeekInternal(const Slice& target) {
   return Advance();
 }
 
+Status VersionCursor::SeekToLast() {
+  end_key_.clear();
+  end_inf_ = true;
+  range_lo_.clear();
+  return SeekReverseInternal(Slice(), /*upper_inf=*/true);
+}
+
+Status VersionCursor::SeekForPrev(const Slice& upper_exclusive) {
+  end_key_.clear();
+  end_inf_ = true;
+  range_lo_.clear();
+  return SeekReverseInternal(upper_exclusive, /*upper_inf=*/false);
+}
+
+Status VersionCursor::SeekReverseInternal(const Slice& upper, bool upper_inf) {
+  reverse_ = true;
+  valid_ = false;
+  key_anchored_ = false;
+  emitted_any_ = false;
+  seek_target_.clear();
+  rev_upper_.assign(upper.data(), upper.size());
+  rev_upper_inf_ = upper_inf;
+  TSB_RETURN_IF_ERROR(BuildStack());
+  return Advance();
+}
+
 Status VersionCursor::BuildStack() {
   ClearStack();
   const NodeRef root = tree_->root();
@@ -113,7 +139,7 @@ Status VersionCursor::EmitLeaf(const DataAccessor& node,
         // rev_upper_) — backward movement may pass below the original
         // seek target, but never below a SeekRange start.
         in_window =
-            reverse_ ? run_key < Slice(rev_upper_) &&
+            reverse_ ? (rev_upper_inf_ || run_key < Slice(rev_upper_)) &&
                            run_key >= Slice(range_lo_)
                      : run_key >= Slice(seek_target_) &&
                            (end_inf_ || run_key < Slice(end_key_));
@@ -149,7 +175,7 @@ bool VersionCursor::EntrySurvives(const IndexEntryView& e,
   if (reverse_) {
     // Skip subtrees entirely at/above the backward anchor or below the
     // range floor.
-    if (e.key_lo >= Slice(rev_upper_)) return false;
+    if (!rev_upper_inf_ && e.key_lo >= Slice(rev_upper_)) return false;
     if (!range_lo_.empty() && !e.key_hi_inf && e.key_hi <= Slice(range_lo_)) {
       return false;
     }
@@ -352,7 +378,10 @@ Status VersionCursor::Advance() {
       key_ = r.key;
       ts_ = r.ts;
       value_ = r.value;
-      if (reverse_) rev_upper_ = key_;  // backward anchor follows the walk
+      if (reverse_) {
+        rev_upper_ = key_;  // backward anchor follows the walk
+        rev_upper_inf_ = false;
+      }
       valid_ = true;
       key_anchored_ = true;
       emitted_any_ = true;
@@ -429,6 +458,7 @@ Status VersionCursor::Prev() {
     // is amortized O(1) per key, exactly like Next.
     reverse_ = true;
     rev_upper_.assign(key_);
+    rev_upper_inf_ = false;
     TSB_RETURN_IF_ERROR(BuildStack());
   }
   return Advance();

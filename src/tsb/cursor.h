@@ -75,6 +75,15 @@ class VersionCursor {
   Status SeekToFirst();
   /// Positions at the first key >= target (clearing any range bounds).
   Status Seek(const Slice& target);
+  /// Positions at the LAST key of the as-of state (clearing any range
+  /// bounds), walking backward: a following Prev yields the
+  /// second-to-last key. The k-way merged sharded cursor needs this to
+  /// anchor children that have no key >= a forward target.
+  Status SeekToLast();
+  /// Positions at the largest key STRICTLY BELOW `upper_exclusive`
+  /// (clearing any range bounds), walking backward — the reverse twin of
+  /// Seek, with the same exclusive-upper convention as Prev's anchor.
+  Status SeekForPrev(const Slice& upper_exclusive);
   /// Scans only keys in [start, end_exclusive).
   Status SeekRange(const Slice& start, const Slice& end_exclusive);
   /// Advances to the next key.
@@ -143,6 +152,10 @@ class VersionCursor {
   /// (Re)builds the forward stack for keys >= target, preserving the
   /// range bounds (Seek/SeekRange and forward re-anchors funnel here).
   Status SeekInternal(const Slice& target);
+
+  /// Backward twin: (re)builds the reverse stack for keys < upper (all
+  /// keys when upper_inf), preserving the range bounds.
+  Status SeekReverseInternal(const Slice& upper, bool upper_inf);
 
   /// Clears the stack and pushes the root under the CURRENT direction's
   /// bounds (forward: keys >= seek_target_; reverse: keys < rev_upper_).
@@ -216,6 +229,7 @@ class VersionCursor {
   bool end_inf_ = true;
   std::string range_lo_;     // SeekRange start; floor for Prev ("" = none)
   std::string rev_upper_;    // reverse: emit only keys < this (exclusive)
+  bool rev_upper_inf_ = false;  // ...unless true (SeekToLast: no upper)
   uint32_t root_page_ = 0;   // root page id the stack was built from
   bool emitted_any_ = false;
   std::vector<Frame> stack_;     // frame pool; [0, depth_) is the stack

@@ -93,7 +93,9 @@ TsbTree::TsbTree(Device* magnetic, Device* historical,
                                          options.buffer_pool_frames)),
       hist_(std::make_unique<AppendStore>(historical,
                                           options.hist_cache_blobs)),
-      policy_(options.policy) {}
+      policy_(options.policy),
+      clock_(options.external_clock != nullptr ? options.external_clock
+                                               : &own_clock_) {}
 
 TsbTree::~TsbTree() {
   if (pool_->no_steal()) {
@@ -128,8 +130,8 @@ Status TsbTree::Load() {
   if (DecodeFixed32(p) == kMetaMagic) {
     root_ = DecodeFixed32(p + 4);
     height_ = DecodeFixed32(p + 8);
-    clock_.AdvanceTo(DecodeFixed64(p + 12));
-    clock_.Publish(DecodeFixed64(p + 12));  // persisted state is committed
+    clock_->AdvanceTo(DecodeFixed64(p + 12));
+    clock_->Publish(DecodeFixed64(p + 12));  // persisted state is committed
     // Restore the free list persisted after the fixed fields.
     const size_t fixed = 20;
     Slice rest(p + fixed, options_.page_size - kPageHeaderSize - fixed);
@@ -158,7 +160,7 @@ Status TsbTree::Flush() {
   EncodeFixed32(p, kMetaMagic);
   EncodeFixed32(p + 4, root_.load(std::memory_order_acquire));
   EncodeFixed32(p + 8, height_.load(std::memory_order_acquire));
-  EncodeFixed64(p + 12, clock_.Now());
+  EncodeFixed64(p + 12, clock_->Now());
   const size_t fixed = 20;
   std::string free_list;
   pager_->EncodeFreeList(&free_list,
@@ -184,7 +186,7 @@ Status TsbTree::BeginCheckpoint(CheckpointScope* scope) {
   EncodeFixed32(p, kMetaMagic);
   EncodeFixed32(p + 4, root_.load(std::memory_order_acquire));
   EncodeFixed32(p + 8, height_.load(std::memory_order_acquire));
-  EncodeFixed64(p + 12, clock_.Now());
+  EncodeFixed64(p + 12, clock_->Now());
   const size_t fixed = 20;
   std::string free_list;
   pager_->EncodeFreeList(&free_list,
@@ -220,7 +222,7 @@ Status TsbTree::ReplayCommitted(const Slice& key, const Slice& value,
   e.txn = kNoTxn;
   e.value = value.ToString();
   TSB_RETURN_IF_ERROR(InsertEntry(e));
-  clock_.AdvanceTo(ts);
+  clock_->AdvanceTo(ts);
   counters_.puts++;
   return Status::OK();
 }
@@ -713,7 +715,7 @@ Status TsbTree::Put(const Slice& key, const Slice& value, Timestamp ts) {
   if (ts == kMinTimestamp || ts > kMaxCommittedTs) {
     return Status::InvalidArgument("timestamp out of committed range");
   }
-  if (ts < clock_.Now()) {
+  if (ts < clock_->Now()) {
     return Status::InvalidArgument("timestamps must be non-decreasing");
   }
   DataEntry e;
@@ -722,9 +724,9 @@ Status TsbTree::Put(const Slice& key, const Slice& value, Timestamp ts) {
   e.txn = kNoTxn;
   e.value = value.ToString();
   TSB_RETURN_IF_ERROR(InsertEntry(e));
-  clock_.AdvanceTo(ts);
+  clock_->AdvanceTo(ts);
   // A direct Put is a complete single-record commit: publish immediately.
-  clock_.Publish(ts);
+  clock_->Publish(ts);
   counters_.puts++;
   return Status::OK();
 }
@@ -802,14 +804,14 @@ Status TsbTree::InsertEntry(const DataEntry& e) {
     h.Release();
     Status split = SplitForInsert(e);
     if (concurrent && split.IsOutOfSpace() &&
-        clock_.Visible() < clock_.Now()) {
+        clock_->Visible() < clock_->Now()) {
       // The page looks wedged only because the time-split boundary is
       // capped at the PUBLISHED watermark and in-flight commits are still
       // holding it back. Those commits finish without our help (we hold
       // no latch here and only a shared writer lock), so yield until the
       // watermark catches up and the split can migrate history again.
       for (int spin = 0;
-           spin < kMaxWatermarkSpins && clock_.Visible() < clock_.Now();
+           spin < kMaxWatermarkSpins && clock_->Visible() < clock_->Now();
            ++spin) {
         std::this_thread::yield();
       }
@@ -886,7 +888,7 @@ Status TsbTree::StampCommitted(const Slice& key, TxnId txn, Timestamp ts) {
     return Status::Corruption("stamp lost space on rewrite");
   }
   h.MarkDirty();
-  clock_.AdvanceTo(ts);
+  clock_->AdvanceTo(ts);
   counters_.stamps++;
   counters_.stamp_descents++;
   return Status::OK();
@@ -948,7 +950,7 @@ Status TsbTree::StampCommittedBatch(const std::vector<Slice>& keys,
     } while (i < keys.size() && pe.ContainsKey(keys[i]));
     counters_.stamp_descents++;
   }
-  clock_.AdvanceTo(ts);
+  clock_->AdvanceTo(ts);
   return Status::OK();
 }
 
@@ -1075,7 +1077,7 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
     // timestamp, and a boundary above it would later make that commit's
     // stamp land below t_lo (unreachable for as-of reads).
     const Timestamp now_cap =
-        options_.concurrent_writers ? clock_.Visible() : clock_.Now();
+        options_.concurrent_writers ? clock_->Visible() : clock_->Now();
     const Timestamp split_t =
         policy_.ChooseSplitTime(entries, pe.t_lo, now_cap);
     std::vector<DataEntry> hist_set, cur_set;

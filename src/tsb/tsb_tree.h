@@ -91,6 +91,14 @@ struct TsbOptions {
   /// TxnManager commits, not both interleaved (the commit watermark
   /// ordering assumes it allocates the timestamps it publishes).
   bool concurrent_writers = false;
+  /// Commit clock shared with other trees (must outlive this one).
+  /// nullptr = the tree owns a private clock, the historical default.
+  /// One injected clock spanning N trees is what gives a sharded database
+  /// a single timestamp axis: a commit ts allocated on any shard is
+  /// meaningful on every shard, and one published watermark covers them
+  /// all. The clock's Visible() watermark then moves only through
+  /// whoever coordinates the sharing (see txn::CommitLedger).
+  LogicalClock* external_clock = nullptr;
   SplitPolicyConfig policy;
 };
 
@@ -315,13 +323,15 @@ class TsbTree {
   /// companion of HistStats so mixed workloads are diagnosable end to end.
   BufferPoolStats PoolStats() const { return pool_->stats(); }
   const TsbOptions& options() const { return options_; }
-  LogicalClock& clock() { return clock_; }
+  /// The commit clock — the tree's own unless TsbOptions::external_clock
+  /// injected a shared one.
+  LogicalClock& clock() { return *clock_; }
   /// Latest issued timestamp (allocator; may lead the committed state
   /// while a transaction commit is in flight).
-  Timestamp Now() const { return clock_.Now(); }
+  Timestamp Now() const { return clock_->Now(); }
   /// Committed watermark: the correct start timestamp for lock-free
   /// readers — everything at or before it is fully stamped.
-  Timestamp VisibleNow() const { return clock_.Visible(); }
+  Timestamp VisibleNow() const { return clock_->Visible(); }
 
   Pager* pager() { return pager_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
@@ -480,7 +490,11 @@ class TsbTree {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<AppendStore> hist_;
   SplitPolicy policy_;
-  LogicalClock clock_;
+  /// Private clock, used only when no external clock was injected.
+  LogicalClock own_clock_;
+  /// The clock every timestamp decision goes through: &own_clock_ or
+  /// TsbOptions::external_clock.
+  LogicalClock* clock_;
 
   /// The writer-mode lock. Single-writer mode: every mutator holds it
   /// exclusively (strict serialization). Concurrent mode: mutators hold

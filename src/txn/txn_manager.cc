@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logger.h"
+#include "txn/commit_ledger.h"
 
 namespace tsb {
 namespace txn {
@@ -88,8 +89,23 @@ void TxnManager::UnlockKeys(const Transaction& txn) {
 }
 
 Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
+  return CommitInternal(txn, commit_ts, /*external_ts=*/0);
+}
+
+Status TxnManager::CommitPrepared(Transaction* txn, Timestamp ts) {
+  if (!txn->active_) {
+    return Status::TxnNotActive("CommitPrepared on finished transaction");
+  }
+  return CommitInternal(txn, nullptr, ts);
+}
+
+Status TxnManager::CommitInternal(Transaction* txn, Timestamp* commit_ts,
+                                  Timestamp external_ts) {
   // One commit timestamp for the whole transaction (rollback-database
-  // semantics: records are stamped with transaction commit time).
+  // semantics: records are stamped with transaction commit time). With a
+  // ledger, allocation goes through it so registration in the GLOBAL
+  // in-flight set is atomic with the tick; an externally allocated
+  // timestamp is already registered by the caller.
   if (tree_->options().concurrent_writers && !hook_) {
     // Concurrent commit: only the tick and the watermark bookkeeping are
     // serialized; the stamping descents themselves run in parallel
@@ -106,17 +122,25 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
       std::unique_lock<std::mutex> commit_lock(commit_mu_);
       commit_cv_.wait(commit_lock, [&] { return !frozen_; });
       if (gate_) TSB_RETURN_IF_ERROR(gate_());
-      ts = tree_->clock().Tick();
+      ts = external_ts != 0 ? external_ts
+           : ledger_ != nullptr ? ledger_->TickCommit()
+                                : tree_->clock().Tick();
       if (wal_ != nullptr) {
         // Log BEFORE entering inflight_: append order under commit_mu_ ==
         // timestamp order, so replay reproduces the one serialization the
-        // watermark could have published. An append failure aborts the
-        // commit before any stamp — nothing torn, nothing to poison —
-        // but the log itself is sick: escalate.
+        // watermark could have published. (Cross-shard slices may land
+        // out of global ts order in a SHARD's log, but per key the lock
+        // table serializes writers, so per-key order — all replay
+        // depends on — still holds.) An append failure aborts the commit
+        // before any stamp — nothing torn, nothing to poison — but the
+        // log itself is sick: escalate.
         Status append_status =
             wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn);
         if (!append_status.ok()) {
           commit_lock.unlock();
+          if (external_ts == 0 && ledger_ != nullptr) {
+            ledger_->AbortCommit(ts);
+          }
           if (reporter_) reporter_("wal append", append_status);
           return append_status;
         }
@@ -144,6 +168,7 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
         // Same poisoned-watermark contract as the serial path below.
         if (publish_cap_ > ts - 1) publish_cap_ = ts - 1;
         failed_commits_.push_back(ts);
+        if (external_ts != 0) failed_external_.insert(ts);
       } else if (completed_max_ < ts) {
         completed_max_ = ts;
       }
@@ -151,6 +176,7 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
       if (publish > publish_cap_) publish = publish_cap_;
     }
     if (!status.ok()) {
+      if (external_ts == 0 && ledger_ != nullptr) ledger_->PoisonCommit(ts);
       TSB_LOG_ERROR("commit at t=%llu failed mid-stamp (%s); freezing the "
                     "read watermark at t=%llu",
                     (unsigned long long)ts, status.ToString().c_str(),
@@ -158,7 +184,13 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
       if (reporter_) reporter_("commit", status);
       return status;
     }
-    tree_->clock().Publish(publish);  // monotone CAS-max inside
+    if (external_ts == 0) {
+      if (ledger_ != nullptr) {
+        ledger_->EndCommit(ts);  // global ordered prefix; publishes inside
+      } else {
+        tree_->clock().Publish(publish);  // monotone CAS-max inside
+      }
+    }
     UnlockKeys(*txn);
     txn->active_ = false;
     active_count_.fetch_sub(1, std::memory_order_acq_rel);
@@ -176,7 +208,14 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
   std::unique_lock<std::mutex> commit_lock(commit_mu_);
   commit_cv_.wait(commit_lock, [&] { return !frozen_; });
   if (gate_) TSB_RETURN_IF_ERROR(gate_());
-  const Timestamp ts = tree_->clock().Tick();
+  if (hook_ && tree_->options().concurrent_writers) {
+    // Concurrent mode was requested but index maintenance forces the
+    // serial path — make the fallback observable (ROADMAP carry-over).
+    serial_fallback_commits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const Timestamp ts = external_ts != 0 ? external_ts
+                       : ledger_ != nullptr ? ledger_->TickCommit()
+                                            : tree_->clock().Tick();
   uint64_t wal_end_lsn = 0;
   if (wal_ != nullptr) {
     // Append failure aborts before any stamp: the transaction stays
@@ -185,6 +224,7 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
     Status append_status = wal_->AppendCommit(ts, txn->writes_, &wal_end_lsn);
     if (!append_status.ok()) {
       commit_lock.unlock();
+      if (external_ts == 0 && ledger_ != nullptr) ledger_->AbortCommit(ts);
       if (reporter_) reporter_("wal append", append_status);
       return append_status;
     }
@@ -234,18 +274,26 @@ Status TxnManager::CommitTxn(Transaction* txn, Timestamp* commit_ts) {
     // getting this commit's error surfaced.
     if (publish_cap_ > ts - 1) publish_cap_ = ts - 1;
     failed_commits_.push_back(ts);
+    if (external_ts != 0) failed_external_.insert(ts);
     TSB_LOG_ERROR("commit at t=%llu failed mid-stamp (%s); freezing the "
                   "read watermark at t=%llu",
                   (unsigned long long)ts, status.ToString().c_str(),
                   (unsigned long long)publish_cap_);
     commit_lock.unlock();
+    if (external_ts == 0 && ledger_ != nullptr) ledger_->PoisonCommit(ts);
     if (reporter_) reporter_("commit", status);
     return status;
   }
   // Publish only once every key is stamped AND every secondary index is
   // maintained: readers at the watermark see whole transactions or
   // nothing (paper section 4.1).
-  tree_->clock().Publish(ts < publish_cap_ ? ts : publish_cap_);
+  if (external_ts == 0) {
+    if (ledger_ != nullptr) {
+      ledger_->EndCommit(ts);
+    } else {
+      tree_->clock().Publish(ts < publish_cap_ ? ts : publish_cap_);
+    }
+  }
   UnlockKeys(*txn);
   txn->active_ = false;
   active_count_.fetch_sub(1, std::memory_order_acq_rel);
@@ -260,11 +308,27 @@ std::vector<Timestamp> TxnManager::failed_commits() {
 
 void TxnManager::ResetAfterRepair() {
   Timestamp publish;
+  std::vector<Timestamp> own_failed;
   {
     std::lock_guard<std::mutex> lock(commit_mu_);
+    own_failed.reserve(failed_commits_.size());
+    for (const Timestamp ts : failed_commits_) {
+      if (failed_external_.find(ts) == failed_external_.end()) {
+        own_failed.push_back(ts);
+      }
+    }
     failed_commits_.clear();
+    failed_external_.clear();
     publish_cap_ = kMaxCommittedTs;
     publish = completed_max_;
+  }
+  if (ledger_ != nullptr) {
+    // The ledger owns the watermark. Lift only the pins THIS shard's own
+    // commits set; externally-coordinated failures stay pinned until the
+    // sharded facade has re-applied their decided slices (it unpoisons
+    // them itself afterwards).
+    for (const Timestamp ts : own_failed) ledger_->Unpoison(ts);
+    return;
   }
   // Monotone CAS-max inside: commits that completed after the poisoning
   // (acked, durable, invisible under the cap) become readable here.

@@ -38,6 +38,7 @@
 namespace tsb {
 namespace txn {
 
+class CommitLedger;
 class TxnManager;
 
 /// An updater transaction. Obtain via TxnManager::Begin; finish with
@@ -201,6 +202,37 @@ class TxnManager {
       std::function<void(const std::string& context, const Status& s)>;
   void SetErrorReporter(ErrorReporter fn) { reporter_ = std::move(fn); }
 
+  /// Attaches the cross-shard commit ledger (sharded databases share one
+  /// clock across N trees; see txn/commit_ledger.h). With a ledger,
+  /// commit-timestamp allocation and watermark publication route through
+  /// it — this manager never publishes on its own — so one watermark
+  /// spans every shard. Install before concurrent use (the sharded
+  /// facade does, during Open). nullptr = standalone database.
+  void SetLedger(CommitLedger* ledger) { ledger_ = ledger; }
+  CommitLedger* ledger() const { return ledger_; }
+
+  /// Commits `txn` at an EXTERNALLY allocated timestamp — the shard-side
+  /// half of a cross-shard commit. The caller has already allocated `ts`
+  /// on the shared clock, registered it in the ledger (pinning the
+  /// watermark below it) and made the cross-shard decision durable in its
+  /// coordinator log; this call appends the shard's slice to the shard
+  /// WAL, stamps it, and rides the group-commit sync — but does NOT
+  /// publish or retire the ledger entry: the caller does, once every
+  /// touched shard has finished. On failure the half-stamped records are
+  /// tracked for purge by this shard's Resume, while the ledger
+  /// poison/unpoison lifecycle for `ts` stays with the caller (the slice
+  /// is re-applied from the coordinator log before the pin lifts).
+  Status CommitPrepared(Transaction* txn, Timestamp ts);
+
+  /// Commits forced onto the serial stamping path while the tree ran
+  /// with concurrent_writers (a commit hook — secondary-index
+  /// maintenance — requires timestamp-ordered application). A growing
+  /// counter on an indexed workload is the signal that indexed commits
+  /// are the write-scaling bottleneck (ROADMAP carry-over).
+  uint64_t serial_fallback_commits() const {
+    return serial_fallback_commits_.load(std::memory_order_relaxed);
+  }
+
   /// Commit timestamps that ticked and then failed mid-commit: whatever
   /// records they half-stamped are invisible (the poisoned watermark caps
   /// below every one of them) and must be purged from every tree before
@@ -233,12 +265,19 @@ class TxnManager {
   Status LockKey(const std::string& key, TxnId txn);
   void UnlockKeys(const Transaction& txn);
   Status CommitTxn(Transaction* txn, Timestamp* commit_ts);
+  /// Shared body of CommitTxn and CommitPrepared. `external_ts` == 0
+  /// means "allocate one here" (ledger or tree clock); nonzero means the
+  /// caller allocated, pins the watermark, and publishes.
+  Status CommitInternal(Transaction* txn, Timestamp* commit_ts,
+                        Timestamp external_ts);
   Status AbortTxn(Transaction* txn);
 
   tsb_tree::TsbTree* tree_;
   CommitHook hook_;
   CommitGate gate_;        // may be empty (no degraded-mode plumbing)
   ErrorReporter reporter_; // may be empty
+  CommitLedger* ledger_ = nullptr;  // may be null (standalone DB)
+  std::atomic<uint64_t> serial_fallback_commits_{0};
   wal::Wal* wal_ = nullptr;
   /// Mirror of the live log's append offset, written only under
   /// commit_mu_ (appends and SetWal both hold it, directly or via the
@@ -268,6 +307,12 @@ class TxnManager {
   /// Ticked-then-failed commit timestamps awaiting purge; see
   /// failed_commits(). Guarded by commit_mu_.
   std::vector<Timestamp> failed_commits_;
+  /// Subset of failed_commits_ whose timestamps were EXTERNALLY allocated
+  /// (CommitPrepared): this shard's Resume purges their records, but must
+  /// NOT lift their ledger pins — the cross-shard coordinator re-applies
+  /// the decided slices first and unpoisons afterwards. Guarded by
+  /// commit_mu_.
+  std::set<Timestamp> failed_external_;
 };
 
 }  // namespace txn

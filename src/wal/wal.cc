@@ -270,6 +270,20 @@ Status Wal::SyncAll() {
   return s;
 }
 
+Status Wal::Reset() {
+  std::scoped_lock lock(append_mu_, sync_mu_);
+  if (!last_sync_error_.ok()) return last_sync_error_;
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("wal reset " + file_, strerror(errno));
+  }
+  if (DataSync(fd_) != 0) {
+    return Status::IOError("wal reset fdatasync " + file_, strerror(errno));
+  }
+  appended_lsn_.store(0, std::memory_order_release);
+  synced_lsn_.store(0, std::memory_order_release);
+  return Status::OK();
+}
+
 void Wal::RecordSyncError(const Status& s) {
   {
     std::lock_guard<std::mutex> lock(sync_mu_);

@@ -131,6 +131,15 @@ class Wal {
   /// this regardless of mode before declaring the log prefix dead).
   Status SyncAll();
 
+  /// Truncates the log to empty and rewinds the append/synced offsets —
+  /// for logs whose whole prefix just became dead at once (the sharded
+  /// coordinator log after every shard checkpointed past it). The caller
+  /// must guarantee no concurrent appends or syncs, and must not Reset a
+  /// log with a sticky sync error (the dead-prefix claim rests on syncs
+  /// having succeeded). The truncate itself is fdatasync'd before the
+  /// offsets rewind, so a crash never resurrects stale frames.
+  Status Reset();
+
   uint64_t appended_lsn() const {
     return appended_lsn_.load(std::memory_order_acquire);
   }
