@@ -239,6 +239,99 @@ FaultRun MeasureFault() {
   return r;
 }
 
+struct ScrubRun {
+  uint64_t injected_cycles = 0;   // cycles where a silent fault fired
+  uint64_t detected_cycles = 0;   // cycles where scrub caught it
+  uint64_t injected = 0;          // silent write faults fired
+  uint64_t detected = 0;          // scrub corruption detections
+  uint64_t false_positives = 0;   // detections on clean control passes
+  uint64_t pages_repaired = 0;
+  uint64_t bytes_scanned = 0;
+  double scrub_ms = 0;
+  double mb_per_sec = 0;
+};
+
+/// Silent-corruption exercise: cycle through the silent fault kinds (bit
+/// flip, lost write, misdirected write), push each through a checkpoint
+/// the device acks cleanly, and let Scrub() find it. The JSON "scrub"
+/// section is what CI gates: every injected cycle detected, zero
+/// detections on the clean control passes, every quarantined page
+/// repaired by Resume().
+ScrubRun MeasureScrub() {
+  const std::string path = Root() + ".scrub";
+  db::MultiVersionDB::Destroy(path);
+  auto plan = std::make_shared<FaultPlan>();
+  db::DbOptions opts = Options(true, wal::WalSyncMode::kGroup);
+  opts.wrap_device = [&plan](const std::string& role,
+                             std::unique_ptr<Device> dev)
+      -> std::unique_ptr<Device> {
+    if (role != "magnetic") return dev;
+    return std::make_unique<FaultInjectingDevice>(std::move(dev), plan);
+  };
+  std::unique_ptr<db::MultiVersionDB> db;
+  Status s = db::MultiVersionDB::Open(path, opts, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "scrub open failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+  const std::string value(kValueBytes, 'v');
+  for (int n = 0; n < 256; ++n) {
+    if (!db->Put(KeyOf(0, n), value).ok()) abort();
+  }
+  if (!db->Checkpoint().ok()) abort();
+
+  ScrubRun r;
+  auto scrub = [&](db::ScrubStats* stats) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!db->Scrub(stats).ok()) abort();
+    r.scrub_ms += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    r.bytes_scanned += stats->bytes_scanned;
+  };
+  db::ScrubStats control;
+  scrub(&control);  // clean control pass: must stay silent
+  r.false_positives += control.corruptions_detected;
+
+  const FaultKind kinds[] = {FaultKind::kBitFlip, FaultKind::kLostWrite,
+                             FaultKind::kMisdirectedWrite,
+                             FaultKind::kBitFlip, FaultKind::kLostWrite,
+                             FaultKind::kMisdirectedWrite};
+  uint64_t fired_before = plan->fired(FaultOp::kWrite);
+  for (const FaultKind kind : kinds) {
+    for (int n = 0; n < 256; n += 3) {
+      if (!db->Put(KeyOf(0, n), value).ok()) abort();
+    }
+    plan->FailNth(FaultOp::kWrite, 2, kind, /*sticky=*/false);
+    if (!db->Checkpoint().ok()) abort();  // silent: the device acks it
+    const uint64_t fired = plan->fired(FaultOp::kWrite) - fired_before;
+    fired_before = plan->fired(FaultOp::kWrite);
+    plan->Clear();
+    db::ScrubStats pass;
+    scrub(&pass);
+    r.injected += fired;
+    r.detected += pass.corruptions_detected;
+    if (fired > 0) {
+      r.injected_cycles++;
+      if (pass.corruptions_detected > 0) r.detected_cycles++;
+    } else if (pass.corruptions_detected > 0) {
+      r.false_positives += pass.corruptions_detected;
+    }
+    if (!db->Resume().ok()) abort();  // repair before the next cycle
+  }
+  db::ScrubStats final_control;
+  scrub(&final_control);  // everything repaired: silent again
+  r.false_positives += final_control.corruptions_detected;
+  r.pages_repaired = db->error_stats().pages_repaired;
+  r.mb_per_sec = r.scrub_ms > 0
+                     ? (r.bytes_scanned / (1024.0 * 1024.0)) /
+                           (r.scrub_ms / 1000.0)
+                     : 0;
+  db.reset();
+  db::MultiVersionDB::Destroy(path);
+  return r;
+}
+
 void PrintTablesAndJson() {
   printf("=== Durability: sync-mode ladder (1 writer, %d ms) ===\n",
          kMeasureMs);
@@ -295,6 +388,16 @@ void PrintTablesAndJson() {
          (unsigned long long)fault.stats.resumes, fault.resume_ms,
          fault.acked_survived ? 1 : 0, fault.doomed_absent ? 1 : 0);
 
+  printf("=== Scrub: silent-fault detection (bit flip / lost write / "
+         "misdirected write) ===\n");
+  const ScrubRun scrub = MeasureScrub();
+  printf("injected_cycles=%llu detected_cycles=%llu false_positives=%llu "
+         "pages_repaired=%llu scan %.1f MB/s\n\n",
+         (unsigned long long)scrub.injected_cycles,
+         (unsigned long long)scrub.detected_cycles,
+         (unsigned long long)scrub.false_positives,
+         (unsigned long long)scrub.pages_repaired, scrub.mb_per_sec);
+
   const char* path = std::getenv("BENCH_DURABILITY_JSON");
   if (path == nullptr) path = "BENCH_durability.json";
   FILE* out = fopen(path, "w");
@@ -338,8 +441,7 @@ void PrintTablesAndJson() {
           "\"resumes\": %llu, \"auto_resumes\": %llu, "
           "\"failed_resumes\": %llu, \"last_class\": \"%s\", "
           "\"last_error\": \"%s\", \"resume_ms\": %.2f, "
-          "\"acked_survived\": %s, \"doomed_absent\": %s}\n"
-          "}\n",
+          "\"acked_survived\": %s, \"doomed_absent\": %s},\n",
           (unsigned long long)fault.stats.errors_reported,
           (unsigned long long)fault.stats.degradations,
           (unsigned long long)fault.stats.resumes,
@@ -349,6 +451,20 @@ void PrintTablesAndJson() {
           fault.stats.last_error.c_str(),
           fault.resume_ms, fault.acked_survived ? "true" : "false",
           fault.doomed_absent ? "true" : "false");
+  fprintf(out,
+          "  \"scrub\": {\"injected_cycles\": %llu, "
+          "\"detected_cycles\": %llu, \"injected\": %llu, "
+          "\"detected\": %llu, \"false_positives\": %llu, "
+          "\"pages_repaired\": %llu, \"bytes_scanned\": %llu, "
+          "\"mb_per_sec\": %.2f}\n"
+          "}\n",
+          (unsigned long long)scrub.injected_cycles,
+          (unsigned long long)scrub.detected_cycles,
+          (unsigned long long)scrub.injected,
+          (unsigned long long)scrub.detected,
+          (unsigned long long)scrub.false_positives,
+          (unsigned long long)scrub.pages_repaired,
+          (unsigned long long)scrub.bytes_scanned, scrub.mb_per_sec);
   fclose(out);
   printf("wrote %s\n\n", path);
 }

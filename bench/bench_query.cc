@@ -561,6 +561,29 @@ void WriteHistAsOfJson() {
   const double pinned_speedup =
       owned.ops_per_sec > 0 ? pinned.ops_per_sec / owned.ops_per_sec : 0;
 
+  // ---- checksum overhead: the same warm pinned-Get loop with
+  // verify-on-read disabled (what DbOptions::paranoid_checks = false
+  // maps to). Warm reads serve from the buffer pool and the verified-
+  // blob memo, so end-to-end checksums must cost ~nothing here; CI
+  // gates the ratio at 5%.
+  // Best-of-two per setting, interleaved, so a scheduler hiccup in one
+  // timed window cannot fake a regression against the 5% gate.
+  HistAsOfResult pinned_verify, pinned_noverify;
+  for (int rep = 0; rep < 2; ++rep) {
+    view_f.tree->pager()->set_verify_on_read(false);
+    const HistAsOfResult off =
+        MeasureHistAsOfPinned(view_f.tree.get(), probes, rounds);
+    if (off.ops_per_sec > pinned_noverify.ops_per_sec) pinned_noverify = off;
+    view_f.tree->pager()->set_verify_on_read(true);
+    const HistAsOfResult on =
+        MeasureHistAsOfPinned(view_f.tree.get(), probes, rounds);
+    if (on.ops_per_sec > pinned_verify.ops_per_sec) pinned_verify = on;
+  }
+  const double verify_over_noverify =
+      pinned_noverify.ops_per_sec > 0
+          ? pinned_verify.ops_per_sec / pinned_noverify.ops_per_sec
+          : 0;
+
   printf("== historical as-of lookups: zero-copy views vs owning decodes ==\n");
   printf("(%zu probes x %d rounds, shared-blob cache covers the working set)\n",
          probes.size(), rounds);
@@ -571,7 +594,11 @@ void WriteHistAsOfJson() {
          pinned.ops_per_sec, pinned.allocs_per_op, pinned.cache_hit_ratio);
   printf("owned path: %12.0f ops/s  %6.2f allocs/op  hit ratio %.3f\n",
          owned.ops_per_sec, owned.allocs_per_op, owned.cache_hit_ratio);
-  printf("speedup: %.2fx (pinned %.2fx)\n\n", speedup, pinned_speedup);
+  printf("speedup: %.2fx (pinned %.2fx)\n", speedup, pinned_speedup);
+  printf("checksum overhead (warm pinned Get): verify-on %.0f ops/s vs "
+         "verify-off %.0f ops/s = %.3fx\n\n",
+         pinned_verify.ops_per_sec, pinned_noverify.ops_per_sec,
+         verify_over_noverify);
 
   // ---- cold reads: mmap pins vs pread copies, cache disabled ----
   ColdFixture mmap_f = BuildColdFixture(/*enable_mmap=*/true, "mmap");
@@ -685,6 +712,9 @@ void WriteHistAsOfJson() {
           "\"allocs_per_op\": %.4f, \"cache_hit_ratio\": %.4f},\n"
           "  \"speedup_view_vs_owned\": %.3f,\n"
           "  \"speedup_pinned_vs_owned\": %.3f,\n"
+          "  \"checksum_overhead\": {\"pinned_verify_ops_per_sec\": %.1f, "
+          "\"pinned_noverify_ops_per_sec\": %.1f, "
+          "\"verify_over_noverify\": %.3f},\n"
           "  \"hist_cold_read\": {\"mmap_ops_per_sec\": %.1f, "
           "\"copy_ops_per_sec\": %.1f, \"speedup_mmap_vs_copy\": %.3f, "
           "\"allocs_per_op_repin\": %.4f, \"mapped_bytes\": %llu, "
@@ -714,7 +744,8 @@ void WriteHistAsOfJson() {
           view.allocs_per_op, view.cache_hit_ratio, pinned.ops_per_sec,
           pinned.allocs_per_op, pinned.cache_hit_ratio, owned.ops_per_sec,
           owned.allocs_per_op, owned.cache_hit_ratio, speedup,
-          pinned_speedup,
+          pinned_speedup, pinned_verify.ops_per_sec,
+          pinned_noverify.ops_per_sec, verify_over_noverify,
           cold_mmap.ops_per_sec, cold_copy.ops_per_sec, cold_speedup,
           cold_mmap.allocs_per_op,
           static_cast<unsigned long long>(mmap_stats.mapped_bytes),

@@ -50,6 +50,7 @@ struct Config {
   int batch = 3;
   int min_ms = 20;
   int max_ms = 250;
+  int checksums = 1;  // post-cycle TreeChecker also audits device CRCs
   uint32_t seed = 0x5eed;
   std::string path;
 };
@@ -185,6 +186,7 @@ bool Verify(MultiVersionDB* db, const std::vector<Ack>& acks,
     }
   }
   tsb::tsb_tree::TreeChecker checker(db->primary());
+  checker.set_verify_checksums(cfg.checksums != 0);
   Status s = checker.Check();
   if (!s.ok()) {
     fprintf(stderr, "FAIL: tree check: %s\n", s.ToString().c_str());
@@ -208,7 +210,7 @@ int main(int argc, char** argv) {
     };
     if (arg("--cycles", &cfg.cycles) || arg("--writers", &cfg.writers) ||
         arg("--batch", &cfg.batch) || arg("--min-ms", &cfg.min_ms) ||
-        arg("--max-ms", &cfg.max_ms)) {
+        arg("--max-ms", &cfg.max_ms) || arg("--checksums", &cfg.checksums)) {
       continue;
     }
     if (strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {

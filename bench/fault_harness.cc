@@ -54,6 +54,7 @@ struct Config {
   int writers = 4;
   int attempts = 24;  // commit attempts per writer per cycle
   int batch = 3;
+  int checksums = 1;  // post-cycle TreeChecker also audits device CRCs
   uint32_t seed = 0xd15c;
   std::string path;
 };
@@ -152,6 +153,7 @@ int VerifyDb(MultiVersionDB* db, const CycleState& st, const Config& cfg,
     }
   }
   tsb::tsb_tree::TreeChecker checker(db->primary());
+  checker.set_verify_checksums(cfg.checksums != 0);
   Status s = checker.Check();
   if (!s.ok()) {
     fprintf(stderr, "FAIL cycle %d (%s): tree check: %s\n", cycle, when,
@@ -333,7 +335,8 @@ int main(int argc, char** argv) {
     };
     int seed = 0;
     if (arg("--cycles", &cfg.cycles) || arg("--writers", &cfg.writers) ||
-        arg("--attempts", &cfg.attempts) || arg("--batch", &cfg.batch)) {
+        arg("--attempts", &cfg.attempts) || arg("--batch", &cfg.batch) ||
+        arg("--checksums", &cfg.checksums)) {
       continue;
     }
     if (arg("--seed", &seed)) {

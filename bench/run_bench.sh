@@ -9,7 +9,9 @@
 # BENCH_concurrency.json (N-writer scaling, serial vs optimistic latch
 # coupling, with conflict/restart/side-step counters). bench_durability
 # writes BENCH_durability.json (WAL sync-mode ladder, fsync'd group-commit
-# scaling at 1/2/4/8 writers, and crash-recovery replay MB/sec).
+# scaling at 1/2/4/8 writers, crash-recovery replay MB/sec, and a
+# silent-corruption scrub section the recap below FAILS on if any
+# injected fault went undetected).
 # bench_sharded writes BENCH_sharded.json (ShardedDB write scaling at
 # 1/2/4/8 shards, disjoint single-shard batches vs uniform multi-shard
 # batches through the coordinator protocol).
@@ -74,6 +76,21 @@ print("durability recap: group commit 8w %.2fx of 1w (fdatasync %.0f us), "
       "recovery %.0f MB/s"
       % (d["group_8w_over_1w"], d["fdatasync_us"],
          d["recovery"]["mb_per_sec"]))
+# Scrub recap — and a loud failure if any silently corrupted cycle went
+# undetected or a clean control pass produced a false positive.
+sc = d.get("scrub")
+if sc:
+    if sc["detected_cycles"] != sc["injected_cycles"]:
+        sys.exit("scrub recap: UNDETECTED SILENT CORRUPTION: %d of %d "
+                 "injected cycles detected" % (sc["detected_cycles"],
+                                               sc["injected_cycles"]))
+    if sc["false_positives"] != 0:
+        sys.exit("scrub recap: %d FALSE POSITIVES on clean control passes"
+                 % sc["false_positives"])
+    print("scrub recap: %d/%d silent-fault cycles detected, "
+          "0 false positives, %d pages repaired, scan %.0f MB/s"
+          % (sc["detected_cycles"], sc["injected_cycles"],
+             sc["pages_repaired"], sc["mb_per_sec"]))
 EOF
   python3 - "$ROOT/BENCH_sharded.json" <<'EOF'
 import json, sys

@@ -56,6 +56,7 @@ struct Config {
   int shards = 4;
   int min_ms = 20;
   int max_ms = 250;
+  int checksums = 1;  // post-cycle TreeChecker also audits device CRCs
   uint32_t seed = 0x5eed;
   std::string path;
 };
@@ -199,6 +200,7 @@ bool Verify(ShardedDB* db, const std::vector<Ack>& acks, const Config& cfg,
   }
   for (uint32_t s = 0; s < db->num_shards(); ++s) {
     tsb::tsb_tree::TreeChecker checker(db->shard(s)->primary());
+    checker.set_verify_checksums(cfg.checksums != 0);
     Status st = checker.Check();
     if (!st.ok()) {
       fprintf(stderr, "FAIL: tree check shard %u: %s\n", s,
@@ -224,7 +226,8 @@ int main(int argc, char** argv) {
     };
     if (arg("--cycles", &cfg.cycles) || arg("--writers", &cfg.writers) ||
         arg("--batch", &cfg.batch) || arg("--shards", &cfg.shards) ||
-        arg("--min-ms", &cfg.min_ms) || arg("--max-ms", &cfg.max_ms)) {
+        arg("--min-ms", &cfg.min_ms) || arg("--max-ms", &cfg.max_ms) ||
+        arg("--checksums", &cfg.checksums)) {
       continue;
     }
     if (strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {

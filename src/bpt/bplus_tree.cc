@@ -24,7 +24,9 @@ uint32_t NextLeaf(const char* buf) { return DecodeFixed32(buf + 26); }
 void SetNextLeaf(char* buf, uint32_t id) { EncodeFixed32(buf + 26, id); }
 
 SlottedView Slots(char* buf, uint32_t page_size) {
-  return SlottedView(buf + kSlotBase, page_size - kSlotBase);
+  // Capacity follows the page's own format: v2 pages reserve the checksum
+  // trailer, legacy v1 pages keep their full payload area.
+  return SlottedView(buf + kSlotBase, PageUsableSize(buf, page_size) - kSlotBase);
 }
 
 // Leaf cell: [varint klen][key][value...].
@@ -194,7 +196,8 @@ Status BPlusTree::Get(const Slice& key, std::string* value) {
 }
 
 Status BPlusTree::Put(const Slice& key, const Slice& value) {
-  const uint32_t max_cell = (options_.page_size - kSlotBase) / 4;
+  const uint32_t max_cell =
+      (options_.page_size - kSlotBase - kPageTrailerSize) / 4;
   if (key.size() + value.size() + 8 > max_cell) {
     return Status::InvalidArgument("record too large for page size");
   }

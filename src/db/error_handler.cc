@@ -43,7 +43,33 @@ ErrorClass ErrorHandler::Classify(const Status& s) {
 
 void ErrorHandler::Report(const std::string& context, const Status& s) {
   if (s.ok()) return;
-  const ErrorClass c = Classify(s);
+  ReportClassified(context, s, Classify(s));
+}
+
+void ErrorHandler::Report(const std::string& context, const Status& s,
+                          ErrorClass forced) {
+  if (s.ok()) return;
+  ReportClassified(context, s, forced);
+}
+
+void ErrorHandler::NoteQuarantine(const std::string& context,
+                                  const Status& s) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.pages_quarantined++;
+    stats_.last_error = context + ": " + s.ToString();
+  }
+  TSB_LOG_WARN("page quarantined (%s): %s", context.c_str(),
+               s.ToString().c_str());
+}
+
+void ErrorHandler::NoteRepairs(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.pages_repaired += n;
+}
+
+void ErrorHandler::ReportClassified(const std::string& context,
+                                    const Status& s, ErrorClass c) {
   bool fresh = false;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -57,6 +57,8 @@ struct ErrorHandlerStats {
   uint64_t resumes = 0;           ///< successful Resume() completions
   uint64_t auto_resumes = 0;      ///< resumes initiated by the backoff thread
   uint64_t failed_resumes = 0;    ///< Resume() attempts that did not clear
+  uint64_t pages_quarantined = 0; ///< NoteQuarantine() calls (corrupt pages)
+  uint64_t pages_repaired = 0;    ///< quarantined pages repaired by Resume()
   ErrorClass last_class = ErrorClass::kNone;
   std::string last_error;         ///< ToString() of the most recent report
 };
@@ -93,6 +95,21 @@ class ErrorHandler {
   /// the transient class. `context` names the failing op for the log.
   void Report(const std::string& context, const Status& s);
 
+  /// Report with an explicit class instead of Classify(s). The scrubber
+  /// uses this for WAL-tail corruption: Corruption would classify kHard,
+  /// but the committed state lives in memory and a resume-grade checkpoint
+  /// onto a fresh log file fully repairs it — so it reports kTransient.
+  void Report(const std::string& context, const Status& s, ErrorClass forced);
+
+  /// Records a corrupt page entering quarantine. Deliberately does NOT
+  /// degrade the DB: a quarantined page fails only the reads that touch
+  /// it (the load path returns the Corruption), everything else keeps
+  /// serving — the page's blast radius is the keys it covers.
+  void NoteQuarantine(const std::string& context, const Status& s);
+
+  /// Records `n` quarantined pages repaired (journal-image restore).
+  void NoteRepairs(uint64_t n);
+
   /// The sticky cause, or OK when healthy. Write paths gate on this.
   Status BackgroundError() const;
   bool degraded() const;
@@ -113,6 +130,8 @@ class ErrorHandler {
 
  private:
   static ErrorClass Classify(const Status& s);
+  void ReportClassified(const std::string& context, const Status& s,
+                        ErrorClass c);
   Status ResumeLocked(std::unique_lock<std::mutex>& lock, bool auto_initiated);
   void AutoResumeLoop();
 

@@ -5,9 +5,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <set>
 
 #include "common/coding.h"
 #include "common/crc32c.h"
@@ -38,6 +40,7 @@ Status MultiVersionDB::Open(Device* magnetic, Device* historical,
   // index (InstallCommitHook). A hook forces commits onto the serial
   // path, so an index-less DB keeps concurrent commits available.
   mvdb->SetupErrorHandler();
+  mvdb->InstallCorruptionReporter("primary", mvdb->tree_.get());
   *out = std::move(mvdb);
   return Status::OK();
 }
@@ -58,6 +61,19 @@ void MultiVersionDB::SetupErrorHandler() {
   txns_->SetErrorReporter([raw](const std::string& context, const Status& s) {
     raw->errors_->Report(context, s);
   });
+}
+
+void MultiVersionDB::InstallCorruptionReporter(const std::string& tree_name,
+                                               tsb_tree::TsbTree* tree) {
+  tree->pager()->set_verify_on_read(options_.paranoid_checks);
+  MultiVersionDB* raw = this;
+  // Fires on every corrupt buffer-pool miss read (outside pager locks):
+  // the page goes into quarantine, the read that tripped it fails with
+  // the corruption, everything else keeps serving.
+  tree->pager()->set_corruption_reporter(
+      [raw, tree_name](uint32_t page_id, const Status& s) {
+        raw->AddQuarantine(tree_name, page_id, s);
+      });
 }
 
 void MultiVersionDB::InstallWalReporter(wal::Wal* wal) {
@@ -557,11 +573,17 @@ Status MultiVersionDB::Open(const std::string& path, const DbOptions& options,
     SweepStaleWalFiles(path, mvdb->wal_seq_);
   }
 
+  if (options.scrub_background) mvdb->StartScrubThread();
+
   *out = std::move(mvdb);
   return Status::OK();
 }
 
 MultiVersionDB::~MultiVersionDB() {
+  // The background scrubber walks live devices and takes checkpoint_mu_;
+  // it must be gone before the shutdown checkpoint below, let alone the
+  // tree teardown.
+  StopScrubThread();
   // Quiesce the auto-resume thread BEFORE anything it repairs is torn
   // down; destructor-path failures below are still recorded (stats/log)
   // through the shut-down handler.
@@ -810,6 +832,7 @@ Status MultiVersionDB::RegisterIndex(const std::string& name,
   TSB_RETURN_IF_ERROR(
       tsb_tree::TsbTree::Open(magnetic, historical, index_tree_options, &tree));
   def.index = std::make_unique<SecondaryIndex>(std::move(tree));
+  InstallCorruptionReporter(name, def.index->tree());
   indexes_.emplace(name, std::move(def));
   // The hook goes in with the FIRST index (even an extractor-less one:
   // OnCommit must be able to reject writes it cannot maintain).
@@ -1142,6 +1165,11 @@ Status MultiVersionDB::CheckpointFrozen(bool for_resume) {
     }
     wal::CheckpointJournal journal(path_, options_.tree.page_size);
     for (auto& t : trees) {
+      // Stamp every page this checkpoint flushes with the checkpoint's WAL
+      // position. The stamp is what gives the lost-write check teeth: a
+      // later read (inline or scrub) finding an OLDER stamp under a valid
+      // CRC proves the device acked this flush and then dropped it.
+      t.tree->pager()->set_flush_lsn(ckpt_lsn);
       TSB_RETURN_IF_ERROR(t.tree->BeginCheckpoint(&t.scope));
       journal.BeginTree(t.file);
       journal.AddPage(0, t.scope.meta_image);  // 0 = metadata page
@@ -1157,7 +1185,12 @@ Status MultiVersionDB::CheckpointFrozen(bool for_resume) {
     for (auto& t : trees) {
       TSB_RETURN_IF_ERROR(t.tree->FinishCheckpoint(&t.scope));
     }
-    TSB_RETURN_IF_ERROR(journal.Remove());
+    // Retire (not delete) the journal: its page images are the repair
+    // source for pages that later rot ON DISK — under no-steal the image
+    // recorded here IS the page's base content until the next checkpoint
+    // rewrites it. Recovery ignores the retired file (only checkpoint.tsb
+    // is re-applied).
+    TSB_RETURN_IF_ERROR(journal.Retire());
 
     if (for_resume || ckpt_lsn >= options_.wal_checkpoint_bytes) {
       // The whole log is dead: rotate to a fresh file. Manifest first —
@@ -1207,7 +1240,14 @@ ErrorHandlerStats MultiVersionDB::error_stats() const {
   return errors_->stats();
 }
 
-Status MultiVersionDB::Resume() { return errors_->Resume(); }
+Status MultiVersionDB::Resume() {
+  // Quarantine repair runs first, and even when the DB is not degraded —
+  // a scrub hit quarantines single pages without sickening the whole
+  // database, and Resume() is the operator's one repair verb.
+  uint64_t repaired = 0;
+  TSB_RETURN_IF_ERROR(RepairQuarantined(&repaired));
+  return errors_->Resume();
+}
 
 Status MultiVersionDB::ResumeImpl() {
   // Serialized against checkpoints AND other resumes (the ErrorHandler
@@ -1255,6 +1295,273 @@ Status MultiVersionDB::ResumeImpl() {
   }
   txns_->UnfreezeCommits();
   return status;
+}
+
+// ------------------------------------------------------ scrub & quarantine
+
+void MultiVersionDB::AddQuarantine(const std::string& tree_name,
+                                   uint32_t page_id, const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    auto inserted =
+        quarantined_.emplace(std::make_pair(tree_name, page_id), cause);
+    if (!inserted.second) return;  // already quarantined: count once
+  }
+  if (errors_ != nullptr) {
+    errors_->NoteQuarantine(tree_name + " page " + std::to_string(page_id),
+                            cause);
+  }
+}
+
+std::vector<MultiVersionDB::QuarantinedPage> MultiVersionDB::quarantined_pages()
+    const {
+  std::vector<QuarantinedPage> out;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  out.reserve(quarantined_.size());
+  for (const auto& [key, cause] : quarantined_) {
+    out.push_back({key.first, key.second, cause.ToString()});
+  }
+  return out;
+}
+
+uint64_t MultiVersionDB::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantined_.size();
+}
+
+Status MultiVersionDB::Scrub(ScrubStats* stats) {
+  ScrubStats pass;
+  Status status;
+  {
+    // Serialized with checkpoints: an in-place page apply or a WAL
+    // rotation mid-scan would read as torn. Commits keep flowing — the
+    // scrub reads devices directly, never through the buffer pool, and
+    // under no-steal nothing else writes base pages between checkpoints.
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    status = ScrubLocked(&pass);
+  }
+  if (status.ok()) {
+    pass.passes = 1;
+    std::lock_guard<std::mutex> lock(scrub_stats_mu_);
+    scrub_totals_.Add(pass);
+  }
+  if (stats != nullptr) *stats = pass;
+  return status;
+}
+
+ScrubStats MultiVersionDB::scrub_stats() const {
+  std::lock_guard<std::mutex> lock(scrub_stats_mu_);
+  return scrub_totals_;
+}
+
+Status MultiVersionDB::ScrubLocked(ScrubStats* stats) {
+  ScrubRateLimiter limiter(options_.scrub_rate_mb_per_sec);
+  MultiVersionDB* raw = this;
+
+  struct TreeRef {
+    std::string name;
+    tsb_tree::TsbTree* tree;
+  };
+  std::vector<TreeRef> trees;
+  trees.push_back({"primary", tree_.get()});
+  for (auto& [name, def] : indexes_) {
+    trees.push_back({name, def.index->tree()});
+  }
+  for (auto& t : trees) {
+    // Base pages: header + trailer checksums and the page-id identity
+    // against the device bytes. A hit quarantines exactly that page.
+    std::set<uint32_t> hit;
+    TSB_RETURN_IF_ERROR(ScrubPages(
+        t.tree->pager()->device(), options_.tree.page_size, &limiter,
+        [raw, &t, stats, &hit](uint32_t id, const Status& s) {
+          hit.insert(id);
+          raw->AddQuarantine(t.name, id, s);
+          stats->pages_quarantined++;
+        },
+        stats));
+    // Lost-write sweep: the device walk above cannot tell an old-but-valid
+    // page from a current one, so re-check every page this process stamped
+    // against its expected trailer LSN (catches dropped flushes — the meta
+    // page included, which no ordinary read ever revisits). Pages the walk
+    // already flagged are skipped so one bad page counts once.
+    uint64_t stamped_checked = 0;
+    TSB_RETURN_IF_ERROR(t.tree->pager()->VerifyStampedPages(
+        [raw, &t, stats, &hit](uint32_t id, const Status& s) {
+          if (!hit.insert(id).second) return;
+          raw->AddQuarantine(t.name, id, s);
+          stats->corruptions_detected++;
+          stats->pages_quarantined++;
+        },
+        &stamped_checked));
+    const uint64_t stamped_bytes = stamped_checked * options_.tree.page_size;
+    stats->bytes_scanned += stamped_bytes;
+    limiter.Consume(stamped_bytes);
+    // Historical blobs: bypass the verified memo and the cache, and on a
+    // mismatch evict both (sticky-detected). No quarantine map needed —
+    // the blob read path re-verifies the device bytes and fails per read.
+    AppendStore::BlobScrubResult blobs;
+    const std::string tree_name = t.name;
+    TSB_RETURN_IF_ERROR(t.tree->hist_store()->ScrubAll(
+        [&tree_name](uint64_t offset, const Status& s) {
+          TSB_LOG_WARN("scrub: %s historical blob @%llu corrupt: %s",
+                       tree_name.c_str(), (unsigned long long)offset,
+                       s.ToString().c_str());
+        },
+        &blobs, [&limiter](uint64_t bytes) { limiter.Consume(bytes); }));
+    stats->blobs_scanned += blobs.blobs_scanned;
+    stats->bytes_scanned += blobs.bytes_scanned;
+    stats->corruptions_detected += blobs.corruptions;
+  }
+
+  // Live WAL, durable prefix only. checkpoint_mu_ pins wal_ (rotation
+  // swaps it under this mutex); bytes below synced_lsn are immutable.
+  if (wal_enabled_ && wal_ != nullptr) {
+    Status wal_corruption;
+    TSB_RETURN_IF_ERROR(ScrubWalFile(wal_->file(), wal_->synced_lsn(),
+                                     &limiter, &wal_corruption, stats));
+    if (!wal_corruption.ok()) {
+      stats->corruptions_detected++;
+      // A corrupt durable frame would replay garbage after a crash.
+      // TRANSIENT by decree: Resume()'s recovery-grade checkpoint folds
+      // the trusted in-memory state into the base and abandons this log
+      // file entirely, which IS the repair.
+      if (errors_ != nullptr) {
+        errors_->Report("scrub wal", wal_corruption, ErrorClass::kTransient);
+      }
+    }
+  }
+
+  if (!path_.empty()) {
+    // MANIFEST: its crc terminator re-validates the whole file. Hard on
+    // mismatch — the manifest anchors recovery (live log name, checkpoint
+    // LSN, index catalog); with it rotted there is nothing to resume onto.
+    bool exists = false;
+    Manifest m;
+    Status ms = ReadManifest(path_, &exists, &m);
+    stats->files_scanned++;
+    if (ms.IsCorruption() || (ms.ok() && exists && !m.complete)) {
+      Status c = ms.IsCorruption()
+                     ? ms
+                     : Status::Corruption("manifest incomplete",
+                                          ManifestPath(path_));
+      stats->corruptions_detected++;
+      if (errors_ != nullptr) errors_->Report("scrub manifest", c);
+    } else if (!ms.ok()) {
+      return ms;
+    }
+    // Retired checkpoint journal — the quarantine repair source. Damage
+    // here is not damage to the database (repair just loses its donor),
+    // so it logs and counts but neither quarantines nor degrades.
+    const std::string retired = wal::CheckpointJournal::RetiredPath(path_);
+    struct stat st;
+    if (::stat(retired.c_str(), &st) == 0) {
+      uint64_t journal_bytes = 0;
+      Status js = wal::CheckpointJournal::VerifyFile(
+          retired, options_.tree.page_size, &journal_bytes);
+      stats->files_scanned++;
+      stats->bytes_scanned += journal_bytes;
+      limiter.Consume(journal_bytes);
+      if (js.IsCorruption()) {
+        stats->corruptions_detected++;
+        TSB_LOG_WARN("scrub: retired checkpoint journal corrupt (%s); "
+                     "quarantine repair has no donor until the next "
+                     "checkpoint retires a fresh one",
+                     js.ToString().c_str());
+      } else if (!js.ok()) {
+        return js;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MultiVersionDB::RepairQuarantined(uint64_t* repaired) {
+  if (repaired != nullptr) *repaired = 0;
+  std::vector<std::pair<std::string, uint32_t>> pages;
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    for (const auto& [key, cause] : quarantined_) pages.push_back(key);
+  }
+  if (pages.empty() || path_.empty()) return Status::OK();
+  const std::string retired = wal::CheckpointJournal::RetiredPath(path_);
+  struct stat st;
+  if (::stat(retired.c_str(), &st) != 0) {
+    // No retained images yet (no checkpoint has retired a journal): the
+    // pages stay quarantined until one does or the operator reopens.
+    return Status::OK();
+  }
+  std::map<std::pair<std::string, uint32_t>, std::string> images;
+  TSB_RETURN_IF_ERROR(wal::CheckpointJournal::LoadImages(
+      retired, options_.tree.page_size, &images));
+  // Page writes must not race a checkpoint's in-place apply phase.
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  uint64_t fixed = 0;
+  for (const auto& key : pages) {
+    const std::string file = key.first == "primary"
+                                 ? "current.tsb"
+                                 : "index-" + key.first + ".current.tsb";
+    auto it = images.find({file, key.second});
+    if (it == images.end()) continue;  // no retained image: stays put
+    tsb_tree::TsbTree* tree = nullptr;
+    if (key.first == "primary") {
+      tree = tree_.get();
+    } else {
+      auto idx = indexes_.find(key.first);
+      if (idx == indexes_.end()) continue;
+      tree = idx->second.index->tree();
+    }
+    // Sound because corruption is only ever detected on a buffer-pool
+    // MISS: there is no (newer) in-memory copy, and under no-steal base
+    // pages change only at checkpoints — so the image the last checkpoint
+    // retired IS this page's correct current content. Write re-seals it
+    // and stamps the live flush LSN, resetting the lost-write expectation.
+    std::string image = it->second;
+    TSB_RETURN_IF_ERROR(tree->pager()->Write(key.second, image.data()));
+    {
+      std::lock_guard<std::mutex> qlock(quarantine_mu_);
+      quarantined_.erase(key);
+    }
+    fixed++;
+    TSB_LOG_INFO("repaired quarantined page %u of %s from retired journal",
+                 key.second, key.first.c_str());
+  }
+  if (fixed > 0 && errors_ != nullptr) errors_->NoteRepairs(fixed);
+  if (repaired != nullptr) *repaired = fixed;
+  return Status::OK();
+}
+
+void MultiVersionDB::StartScrubThread() {
+  scrub_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(scrub_thread_mu_);
+    while (!scrub_stop_) {
+      if (scrub_cv_.wait_for(
+              lock, std::chrono::milliseconds(options_.scrub_interval_ms),
+              [this] { return scrub_stop_; })) {
+        break;
+      }
+      lock.unlock();
+      ScrubStats pass;
+      Status s = Scrub(&pass);
+      if (!s.ok()) {
+        TSB_LOG_WARN("background scrub pass failed: %s",
+                     s.ToString().c_str());
+      } else if (pass.corruptions_detected > 0) {
+        TSB_LOG_WARN("background scrub detected %llu corruptions",
+                     (unsigned long long)pass.corruptions_detected);
+      }
+      lock.lock();
+    }
+  });
+}
+
+void MultiVersionDB::StopScrubThread() {
+  if (!scrub_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(scrub_thread_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  scrub_thread_.join();
 }
 
 }  // namespace db

@@ -17,15 +17,19 @@
 #define TSBTREE_DB_MULTIVERSION_DB_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "db/error_handler.h"
+#include "db/scrubber.h"
 #include "db/secondary_index.h"
 #include "storage/fault_device.h"
 #include "storage/mem_device.h"
@@ -110,6 +114,19 @@ struct DbOptions {
   /// and fdatasync (FaultOp::kSync) — including rotated log files.
   /// nullptr = no injection.
   std::shared_ptr<FaultPlan> wal_fault_plan;
+  /// Verify page checksums (and the lost-write trailer LSN) on every
+  /// buffer-pool miss read. Off trades inline detection for read latency:
+  /// corruption is then caught only by the scrubber / TreeChecker. The
+  /// historical axis is unaffected (blob CRCs have their own policy via
+  /// ReadOptions::verify_checksums and the verified memo).
+  bool paranoid_checks = true;
+  /// Run Scrub() periodically on a background thread (path-based DBs).
+  bool scrub_background = false;
+  /// Cadence for scrub_background.
+  uint32_t scrub_interval_ms = 60000;
+  /// Scrub read-rate cap in MB/s shared by background and explicit
+  /// Scrub() calls; 0 = unthrottled.
+  uint64_t scrub_rate_mb_per_sec = 0;
   /// Retry Resume() in the background after a TRANSIENT background error
   /// (ENOSPC, EIO), with bounded exponential backoff. Hard errors
   /// (corruption, WORM violations) never auto-resume.
@@ -329,6 +346,34 @@ class MultiVersionDB {
   ErrorHandlerStats error_stats() const;
   ErrorHandler* error_handler() { return errors_.get(); }
 
+  // ---- scrub & quarantine (see db/scrubber.h) ----
+
+  /// One full scrub pass, synchronously: every page slot of every base
+  /// device (primary + secondary indexes), every historical blob
+  /// (bypassing and, on mismatch, invalidating the verified memo), the
+  /// durable prefix of the live WAL, the MANIFEST, and the retired
+  /// checkpoint journal. Serializes against checkpoints (commits keep
+  /// flowing). Corrupt pages are quarantined per page; WAL-tail hits
+  /// degrade the DB transiently (Resume repairs by checkpointing onto a
+  /// fresh log); MANIFEST hits degrade hard. Returns non-OK only for I/O
+  /// errors running the scrub itself — detected corruption is reported
+  /// through stats + the ErrorHandler, not the return status.
+  Status Scrub(ScrubStats* stats = nullptr);
+
+  /// Cumulative totals over every completed scrub pass.
+  ScrubStats scrub_stats() const;
+
+  /// One quarantined page: reads touching it fail with its cause;
+  /// everything else keeps serving. Resume() repairs quarantined pages
+  /// from the retired checkpoint journal when the image is present.
+  struct QuarantinedPage {
+    std::string tree;  ///< "primary" or the secondary index name
+    uint32_t page_id;
+    std::string cause;
+  };
+  std::vector<QuarantinedPage> quarantined_pages() const;
+  uint64_t quarantined_count() const;
+
   // ---- sharded-facade hooks (see src/shard/sharded_db.h) ----
 
   /// Re-applies one externally logged commit (a sharded coordinator's
@@ -437,6 +482,29 @@ class MultiVersionDB {
   /// the TxnManager. Both Open overloads call it.
   void SetupErrorHandler();
 
+  /// Installs the pager corruption reporter (quarantine routing) and the
+  /// paranoid_checks verify-on-read toggle on one tree. Both Open
+  /// overloads call it for the primary; RegisterIndex for each index.
+  void InstallCorruptionReporter(const std::string& tree_name,
+                                 tsb_tree::TsbTree* tree);
+
+  /// Records a corrupt page in the quarantine map (idempotent per page)
+  /// and notifies the ErrorHandler. Does NOT degrade the DB.
+  void AddQuarantine(const std::string& tree_name, uint32_t page_id,
+                     const Status& cause);
+
+  /// Rewrites every quarantined page from the retired checkpoint
+  /// journal's image (under no-steal that image IS the page's current
+  /// content when the corruption was detected on a buffer-pool miss).
+  /// Pages without a retained image stay quarantined.
+  Status RepairQuarantined(uint64_t* repaired);
+
+  /// Scrub body; caller holds checkpoint_mu_.
+  Status ScrubLocked(ScrubStats* stats);
+
+  void StartScrubThread();
+  void StopScrubThread();
+
   /// Installs the sync-failure escalation hook on a (fresh) log object.
   void InstallWalReporter(wal::Wal* wal);
 
@@ -469,6 +537,21 @@ class MultiVersionDB {
   std::atomic<bool> checkpoint_pending_{false};  // auto-trigger claim
   mutable std::mutex ckpt_err_mu_;  // guards last_checkpoint_error_
   Status last_checkpoint_error_;    // see LastCheckpointError()
+
+  // Quarantine + scrub state. quarantine_mu_ is a leaf lock (never held
+  // while calling into trees/pager); the pager corruption reporter fires
+  // outside pager locks, so AddQuarantine may be called from any reader
+  // thread.
+  mutable std::mutex quarantine_mu_;
+  std::map<std::pair<std::string, uint32_t>, Status> quarantined_;
+  mutable std::mutex scrub_stats_mu_;
+  ScrubStats scrub_totals_;
+  // Background scrubber (DbOptions::scrub_background). Stopped in the
+  // destructor BEFORE any teardown — it walks live devices.
+  std::thread scrub_thread_;
+  std::mutex scrub_thread_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
 
   // Background-error state machine. Declared LAST so it is destroyed
   // first, but the destructor additionally calls Shutdown() up front: the

@@ -1,0 +1,76 @@
+// Salvage: last-resort extraction of every record that still checksums
+// out of a (possibly silently corrupted) database directory, into a
+// fresh database.
+//
+// Where the scrubber DETECTS rot and quarantine CONTAINS it, salvage is
+// the step after both: the directory is read purely physically — no
+// recovery, no tree descent, nothing trusted that does not carry a valid
+// checksum. Three independent sources are harvested:
+//
+//   1. base pages   — every page slot of current.tsb whose header+trailer
+//                     CRCs and page-id identity verify, decoded as TSB
+//                     data pages (index pages carry no records);
+//   2. history blobs — every append-store frame of history.tsb whose CRC
+//                     verifies, decoded as historical data nodes;
+//   3. WAL frames   — every commit frame of wal-*.tsb whose CRC verifies
+//                     (commits newer than the last checkpoint live only
+//                     here).
+//
+// The same record version usually appears in several sources; versions
+// dedupe by (key, commit timestamp). Uncommitted records (the
+// kUncommittedTs sentinel) are dropped — their transactions never
+// completed. The survivors replay into a brand-new database at `dst` in
+// timestamp order, so the result is a well-formed DB whose every record
+// was vouched for by a checksum in the wreckage.
+//
+// Secondary indexes are NOT salvaged: index entries are derivable from
+// the primary records, and rebuilding them needs the application's
+// extractors — re-create them on the salvaged DB with
+// CreateSecondaryIndex.
+#ifndef TSBTREE_DB_SALVAGE_H_
+#define TSBTREE_DB_SALVAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace tsb {
+namespace db {
+
+struct SalvageOptions {
+  /// Page size of the source database. 0 = take it from the source
+  /// MANIFEST (best-effort parse; falls back to the build default when
+  /// the manifest itself is rotten).
+  uint32_t page_size = 0;
+  /// Print a line per rejected page/blob/frame to stderr.
+  bool verbose = false;
+};
+
+struct SalvageReport {
+  uint64_t pages_scanned = 0;
+  uint64_t pages_salvaged = 0;    ///< CRC-valid TSB data pages decoded
+  uint64_t pages_rejected = 0;    ///< failed checksum / id / decode
+  uint64_t blobs_scanned = 0;
+  uint64_t blobs_salvaged = 0;    ///< CRC-valid level-0 historical nodes
+  uint64_t blobs_rejected = 0;
+  uint64_t wal_files_scanned = 0;
+  uint64_t wal_frames_salvaged = 0;
+  uint64_t wal_frames_rejected = 0;
+  uint64_t uncommitted_dropped = 0;
+  uint64_t records_recovered = 0;  ///< unique (key, ts) versions replayed
+  uint64_t commits_replayed = 0;   ///< distinct commit timestamps
+};
+
+/// Harvests `src` (a database directory; need not open cleanly) and
+/// builds a fresh database at `dst` holding every record version that
+/// still checksums. `dst` must not exist. Returns non-OK only for
+/// environmental failures (cannot read src at all, cannot create dst);
+/// corrupt source bytes are counted in the report, never fatal.
+Status SalvageDatabase(const std::string& src, const std::string& dst,
+                       const SalvageOptions& options, SalvageReport* report);
+
+}  // namespace db
+}  // namespace tsb
+
+#endif  // TSBTREE_DB_SALVAGE_H_

@@ -1,0 +1,94 @@
+// Background scrub: proactive detection of silent corruption.
+//
+// The read path only verifies what it touches — cold data can rot for
+// months unnoticed, and the AppendStore's verified memo means a blob is
+// CRC-checked against the device exactly once unless a reader asks for
+// verify_checksums. The scrubber closes that gap: it walks the base
+// (magnetic) devices page by page, the historical stores frame by frame
+// (bypassing — and on mismatch invalidating — the verified memo), the
+// durable prefix of the live WAL, the retired checkpoint journal, and the
+// MANIFEST, re-verifying every checksum against the bytes the devices hold
+// NOW.
+//
+// This module holds the storage-level walks plus the rate limiter; the
+// orchestration (what to scrub, quarantine routing, ErrorHandler
+// classification) lives in MultiVersionDB::Scrub, which serializes against
+// checkpoints so an in-place page flush can never be observed half-written.
+#ifndef TSBTREE_DB_SCRUBBER_H_
+#define TSBTREE_DB_SCRUBBER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "storage/append_store.h"
+#include "storage/device.h"
+
+namespace tsb {
+namespace db {
+
+/// Counters for one scrub pass (or, summed, for a scrub history).
+struct ScrubStats {
+  uint64_t passes = 0;               ///< completed Scrub() calls
+  uint64_t pages_scanned = 0;        ///< base-device pages verified
+  uint64_t blobs_scanned = 0;        ///< historical frames verified
+  uint64_t wal_frames_scanned = 0;   ///< durable WAL frames verified
+  uint64_t files_scanned = 0;        ///< manifests + retired journals
+  uint64_t bytes_scanned = 0;        ///< total bytes read and checksummed
+  uint64_t corruptions_detected = 0; ///< checksum/identity mismatches
+  uint64_t pages_quarantined = 0;    ///< page hits routed into quarantine
+
+  void Add(const ScrubStats& o) {
+    passes += o.passes;
+    pages_scanned += o.pages_scanned;
+    blobs_scanned += o.blobs_scanned;
+    wal_frames_scanned += o.wal_frames_scanned;
+    files_scanned += o.files_scanned;
+    bytes_scanned += o.bytes_scanned;
+    corruptions_detected += o.corruptions_detected;
+    pages_quarantined += o.pages_quarantined;
+  }
+};
+
+/// Token-bucket-ish limiter: Consume(bytes) sleeps so the long-run rate
+/// stays at or under mb_per_sec. 0 = unthrottled. Not thread-safe — one
+/// scrub pass owns one limiter.
+class ScrubRateLimiter {
+ public:
+  explicit ScrubRateLimiter(uint64_t mb_per_sec);
+  void Consume(uint64_t bytes);
+
+ private:
+  const uint64_t bytes_per_sec_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t consumed_ = 0;
+};
+
+/// Walks every page slot of `device` (the pager's write surface) and
+/// verifies each one: header + trailer checksums and the page-id identity
+/// (a misdirected write leaves the wrong id behind). All-zero slots are
+/// sparse holes / never-written pages and are skipped — they are not
+/// corruption. `on_corrupt(page_id, status)` fires per bad page; the walk
+/// continues. Returns non-OK only for I/O errors reading the device.
+Status ScrubPages(Device* device, uint32_t page_size,
+                  ScrubRateLimiter* limiter,
+                  const std::function<void(uint32_t, const Status&)>&
+                      on_corrupt,
+                  ScrubStats* stats);
+
+/// Read-only CRC walk of the WAL file's durable prefix [0, durable_lsn).
+/// Never truncates or repairs (that is recovery's job — this is detection
+/// while the log is live). A frame that fails its CRC inside the durable
+/// prefix is real corruption: `*corruption` receives the first such
+/// status. Bytes past durable_lsn are unsynced or in-flight and are not
+/// scanned.
+Status ScrubWalFile(const std::string& file, uint64_t durable_lsn,
+                    ScrubRateLimiter* limiter, Status* corruption,
+                    ScrubStats* stats);
+
+}  // namespace db
+}  // namespace tsb
+
+#endif  // TSBTREE_DB_SCRUBBER_H_

@@ -583,7 +583,9 @@ Status ShardedDB::Resume() {
   // The external pins stay down — ResetAfterRepair skips them — until
   // the decisions are re-applied below.
   for (auto& s : shards_) {
-    if (s->degraded()) {
+    // Quarantined-but-healthy shards need the repair half of Resume too
+    // (a scrub hit quarantines pages without degrading the shard).
+    if (s->degraded() || s->quarantined_count() > 0) {
       TSB_RETURN_IF_ERROR(s->Resume());
     }
   }
@@ -614,6 +616,39 @@ Status ShardedDB::Resume() {
       failed_coord_.erase(ts);
     }
   }
+  return Status::OK();
+}
+
+Status ShardedDB::Scrub(db::ScrubStats* total,
+                        std::vector<db::ScrubStats>* per_shard) {
+  if (per_shard != nullptr) {
+    per_shard->clear();
+    per_shard->resize(shards_.size());
+  }
+  db::ScrubStats sum;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    db::ScrubStats stats;
+    TSB_RETURN_IF_ERROR(shards_[i]->Scrub(&stats));
+    if (per_shard != nullptr) (*per_shard)[i] = stats;
+    sum.Add(stats);
+  }
+  // SHARDS manifest: the crc terminator re-validates {num_shards,
+  // hash_seed} — rot here would misroute every key at the next Open. It
+  // is ensemble state, not one shard's, so it logs + counts rather than
+  // degrading a shard that did nothing wrong.
+  bool exists = false;
+  ShardsManifest m;
+  Status ms = ReadShardsManifest(path_, &exists, &m);
+  sum.files_scanned++;
+  if (ms.IsCorruption()) {
+    sum.corruptions_detected++;
+    TSB_LOG_ERROR("scrub: SHARDS manifest corrupt (%s); repair it from a "
+                  "replica before the next reopen",
+                  ms.ToString().c_str());
+  } else if (!ms.ok()) {
+    return ms;
+  }
+  if (total != nullptr) *total = sum;
   return Status::OK();
 }
 

@@ -184,10 +184,21 @@ class ShardedDB {
   /// commits, so no decision record can slip into the dead prefix.
   Status Checkpoint();
 
-  /// Heals the ensemble: resumes every degraded shard, then completes
-  /// every pending multi-shard decision (purge + re-apply on each
-  /// touched shard, commits frozen) and lifts its watermark pin.
+  /// Heals the ensemble: resumes every degraded shard (repairing its
+  /// quarantined pages), then completes every pending multi-shard
+  /// decision (purge + re-apply on each touched shard, commits frozen)
+  /// and lifts its watermark pin.
   Status Resume();
+
+  /// One scrub pass over every shard (pages, blobs, WAL, MANIFEST) plus
+  /// the ensemble's SHARDS manifest. A corrupt page quarantines on ITS
+  /// shard alone — the other shards keep full service. `per_shard`, when
+  /// non-null, receives one ScrubStats per shard (indexed by shard id);
+  /// `total` the sum (plus the SHARDS manifest file). Detected corruption
+  /// is reported through stats and the shards' error handlers, not the
+  /// return status (non-OK = the scrub itself hit an I/O error).
+  Status Scrub(db::ScrubStats* total = nullptr,
+               std::vector<db::ScrubStats>* per_shard = nullptr);
 
   // ---- per-shard health (one sick shard degrades alone) ----
 

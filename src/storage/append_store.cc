@@ -46,6 +46,7 @@ Status AppendStore::ReadFromDevice(const HistAddr& addr,
   const uint32_t len = DecodeFixed32(header);
   const uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(header + 4));
   if (len != addr.length) {
+    Unverify(addr.offset);
     return Status::Corruption("historical blob length mismatch",
                               "at offset " + std::to_string(addr.offset));
   }
@@ -53,10 +54,29 @@ Status AppendStore::ReadFromDevice(const HistAddr& addr,
   TSB_RETURN_IF_ERROR(
       device_->Read(addr.offset + kFrameHeaderSize, len, payload->data()));
   if (crc32c::Value(payload->data(), len) != stored_crc) {
+    // Sticky-DETECTED, not sticky-trusted: drop the first-pin memo so no
+    // later mapped read serves these bytes as "already verified".
+    Unverify(addr.offset);
     return Status::Corruption("historical blob checksum mismatch",
                               "at offset " + std::to_string(addr.offset));
   }
   return Status::OK();
+}
+
+void AppendStore::Unverify(uint64_t offset) {
+  {
+    std::lock_guard<std::mutex> lock(verified_mu_);
+    verified_.erase(offset);
+  }
+  // Also drop any cached handle: a cache hit would keep serving the
+  // (stale, once-good) copy and mask the device-level corruption from
+  // every reader that does not pass verify_checksums.
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(offset);
+  if (it != cache_.end()) {
+    cache_lru_.erase(it->second.lru_pos);
+    cache_.erase(it);
+  }
 }
 
 Status AppendStore::PinFromDevice(const HistAddr& addr,
@@ -72,6 +92,7 @@ Status AppendStore::PinFromDevice(const HistAddr& addr,
       const char* frame = m.data.data();
       const uint32_t len = DecodeFixed32(frame);
       if (len != addr.length) {
+        Unverify(addr.offset);
         return Status::Corruption("historical blob length mismatch",
                                   "at offset " + std::to_string(addr.offset));
       }
@@ -84,6 +105,9 @@ Status AppendStore::PinFromDevice(const HistAddr& addr,
       if (!verified || hints.verify_checksums) {
         const uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(frame + 4));
         if (crc32c::Value(payload.data(), len) != stored_crc) {
+          // Evict the memo (and any cached copy): the error must stay
+          // detectable on every later read, not trusted away.
+          Unverify(addr.offset);
           return Status::Corruption(
               "historical blob checksum mismatch",
               "at offset " + std::to_string(addr.offset));
@@ -198,6 +222,57 @@ void AppendStore::PreloadVerified(const std::vector<uint64_t>& offsets) {
     if (verified_.size() >= verified_capacity_) break;
     verified_.insert(off);
   }
+}
+
+Status AppendStore::ScrubAll(
+    const std::function<void(uint64_t, const Status&)>& on_corrupt,
+    BlobScrubResult* result,
+    const std::function<void(uint64_t)>& throttle) {
+  *result = BlobScrubResult();
+  uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    end = next_offset_;
+  }
+  uint64_t offset = 0;
+  std::string payload;
+  while (true) {
+    offset = AlignUp(offset);
+    if (offset + kFrameHeaderSize > end) break;
+    char header[kFrameHeaderSize];
+    TSB_RETURN_IF_ERROR(device_->Read(offset, kFrameHeaderSize, header));
+    const uint32_t len = DecodeFixed32(header);
+    const uint32_t stored_crc = crc32c::Unmask(DecodeFixed32(header + 4));
+    if (offset + kFrameHeaderSize + len > end) {
+      // The length field itself no longer parses against the append chain;
+      // every frame after this point is unreachable through it.
+      result->corruptions++;
+      Unverify(offset);
+      if (on_corrupt) {
+        on_corrupt(offset,
+                   Status::Corruption("historical blob frame unparseable",
+                                      "at offset " + std::to_string(offset)));
+      }
+      break;
+    }
+    payload.resize(len);
+    TSB_RETURN_IF_ERROR(
+        device_->Read(offset + kFrameHeaderSize, len, payload.data()));
+    if (crc32c::Value(payload.data(), len) != stored_crc) {
+      result->corruptions++;
+      Unverify(offset);
+      if (on_corrupt) {
+        on_corrupt(offset,
+                   Status::Corruption("historical blob checksum mismatch",
+                                      "at offset " + std::to_string(offset)));
+      }
+    }
+    result->blobs_scanned++;
+    result->bytes_scanned += kFrameHeaderSize + len;
+    if (throttle) throttle(kFrameHeaderSize + len);
+    offset += kFrameHeaderSize + len;
+  }
+  return Status::OK();
 }
 
 HistReadStats AppendStore::hist_stats() const {

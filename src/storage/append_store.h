@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -189,12 +190,36 @@ class AppendStore {
   /// verified before shutdown still holds the same bytes.
   void PreloadVerified(const std::vector<uint64_t>& offsets);
 
+  /// Outcome of one ScrubAll pass.
+  struct BlobScrubResult {
+    uint64_t blobs_scanned = 0;
+    uint64_t bytes_scanned = 0;
+    uint64_t corruptions = 0;
+  };
+
+  /// Walks every frame from offset 0 to the store size captured at entry,
+  /// re-verifying each blob's CRC against the DEVICE bytes (the verified
+  /// memo and the read cache are deliberately bypassed). A mismatch evicts
+  /// the offset from the memo and the cache (sticky-detected), invokes
+  /// `on_corrupt(offset, status)` and keeps walking; a frame whose length
+  /// field no longer parses stops the walk (the append chain is broken —
+  /// everything after it is unreachable anyway). `throttle`, when set, is
+  /// called with each frame's byte count so callers can rate-limit.
+  Status ScrubAll(const std::function<void(uint64_t, const Status&)>&
+                      on_corrupt,
+                  BlobScrubResult* result,
+                  const std::function<void(uint64_t)>& throttle = {});
+
   static constexpr uint32_t kFrameHeaderSize = 8;
   /// Default bound on the verified-offset set (~8 MiB of offsets).
   static constexpr size_t kDefaultVerifiedCapacity = size_t{1} << 20;
 
  private:
   uint64_t AlignUp(uint64_t offset) const;
+
+  /// Drops `offset` from the verified memo and the read cache (corruption
+  /// was detected at the device level; nothing may keep trusting it).
+  void Unverify(uint64_t offset);
 
   /// Reads and CRC-verifies the framed blob at `addr` from the device.
   Status ReadFromDevice(const HistAddr& addr, std::string* payload);

@@ -184,7 +184,10 @@ Status BufferPool::PinFrame(uint32_t id, Frame** out) {
   }
   if (load_here) {
     Status s = pager_->Read(id, f->data.get());
-    if (!s.ok()) f->load_failed.store(true, std::memory_order_release);
+    if (!s.ok()) {
+      f->load_error = s;  // before the release-stores: waiters acquire
+      f->load_failed.store(true, std::memory_order_release);
+    }
     f->loading.store(false, std::memory_order_release);
     f->loading.notify_all();
     if (!s.ok()) {
@@ -200,8 +203,12 @@ Status BufferPool::PinFrame(uint32_t id, Frame** out) {
     }
   }
   if (f->load_failed.load(std::memory_order_acquire)) {
+    // Copy the loader's status before dropping the pin — the last unpin
+    // destroys the frame.
+    Status s = f->load_error;
+    if (s.ok()) s = Status::IOError("page load failed", std::to_string(id));
     UnpinDiscard(f);
-    return Status::IOError("page load failed", std::to_string(id));
+    return s;
   }
   *out = f;
   return Status::OK();
@@ -365,6 +372,16 @@ void BufferPool::SnapshotDirty(
         out->emplace_back(id,
                           std::string(f.data.get(), pager_->page_size()));
       }
+    }
+  }
+}
+
+void BufferPool::DirtyIds(std::vector<uint32_t>* out) {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, f] : shard.frames) {
+      if (f.dirty.load(std::memory_order_acquire)) out->push_back(id);
     }
   }
 }

@@ -188,6 +188,11 @@ class BufferPool {
   /// exclusive writer lock); images are raw frame bytes, unsealed.
   void SnapshotDirty(std::vector<std::pair<uint32_t, std::string>>* out);
 
+  /// Ids of the currently dirty frames, no image copies (exact only when
+  /// quiesced). Device-side verification uses this to skip pages whose
+  /// on-disk copy is legitimately behind the pool (no-steal).
+  void DirtyIds(std::vector<uint32_t>* out);
+
   /// Aggregated snapshot across shards (exact only when quiesced).
   BufferPoolStats stats() const;
   void ResetStats();
@@ -209,6 +214,11 @@ class BufferPool {
     std::atomic<uint64_t> version{0};
     std::atomic<bool> loading{false};  // device read in flight
     std::atomic<bool> load_failed{false};
+    // The loader's failing Status, written before the `loading` false
+    // release-store; waiters read it after their acquire on `loading`, so
+    // Corruption (e.g. a checksum mismatch) propagates to every fetcher
+    // instead of a generic IOError.
+    Status load_error;
     std::shared_mutex latch;         // page-content reader/writer latch
     // List node carrying this frame's id; lives in `lru` while unpinned
     // (in_lru) and is parked in `pinned_nodes` while pinned, so pin/unpin

@@ -56,6 +56,12 @@ Status FaultPlan::ToStatus(const Fault& fault, const std::string& what) {
       return Status::IOError("injected short write", what);
     case FaultKind::kTornSync:
       return Status::IOError("injected torn sync", what);
+    case FaultKind::kBitFlip:
+    case FaultKind::kMisdirectedWrite:
+    case FaultKind::kLostWrite:
+      // Silent kinds ack the op; they never surface as a Status. Reaching
+      // here means a consumer misrouted one — fail loudly in its place.
+      return Status::IOError("silent fault kind misrouted to ToStatus", what);
     case FaultKind::kEIO:
       break;
   }
@@ -106,6 +112,24 @@ Status FaultInjectingDevice::Write(uint64_t offset, const Slice& data) {
       // The prefix really lands on the medium — exactly what a torn page
       // write leaves behind for recovery to detect.
       (void)base_->Write(offset, Slice(data.data(), fault.short_bytes));
+    }
+    // The silent kinds model firmware/medium failures the kernel never
+    // reports: the op "succeeds" and only checksums can tell the truth.
+    if (fault.kind == FaultKind::kLostWrite) {
+      return Status::OK();  // acked, never written
+    }
+    if (fault.kind == FaultKind::kMisdirectedWrite) {
+      uint64_t where = fault.misdirect_offset;
+      if (where == UINT64_MAX) {
+        where = offset >= data.size() ? offset - data.size()
+                                      : offset + data.size();
+      }
+      return base_->Write(where, data);  // full payload, wrong address
+    }
+    if (fault.kind == FaultKind::kBitFlip) {
+      std::string flipped(data.data(), data.size());
+      if (!flipped.empty()) flipped[flipped.size() / 2] ^= 0x10;
+      return base_->Write(offset, Slice(flipped));
     }
     return FaultPlan::ToStatus(fault, "write @" + std::to_string(offset));
   }

@@ -47,7 +47,19 @@ enum class FaultKind : uint8_t {
   kENOSPC = 1,     ///< Status::OutOfSpace
   kShortWrite = 2, ///< partial payload lands, then Status::IOError
   kTornSync = 3,   ///< sync garbles the last write's tail, then kEIO
+  // Silent corruption kinds: the operation REPORTS SUCCESS (returns OK),
+  // exactly like the real failure mode — only checksums can catch these.
+  kBitFlip = 4,          ///< write lands with one bit flipped mid-payload
+  kMisdirectedWrite = 5, ///< payload lands at the wrong offset
+  kLostWrite = 6,        ///< write is dropped entirely, still acked
 };
+
+/// True for the kinds that ack the op and corrupt silently (they never map
+/// to a Status — ToStatus on them is a programming error).
+inline bool IsSilentFault(FaultKind kind) {
+  return kind == FaultKind::kBitFlip || kind == FaultKind::kMisdirectedWrite ||
+         kind == FaultKind::kLostWrite;
+}
 
 /// One armed fault: trip on the `nth` (1-based) operation of class `op`
 /// counted from when the fault was armed; sticky faults keep tripping on
@@ -58,6 +70,10 @@ struct Fault {
   uint64_t nth = 1;
   bool sticky = false;
   uint64_t short_bytes = 0;  ///< kShortWrite: payload prefix that lands
+  /// kMisdirectedWrite: absolute offset the payload lands at instead.
+  /// UINT64_MAX (default) = the neighbouring slot (offset - size, or
+  /// offset + size when the write starts at 0).
+  uint64_t misdirect_offset = UINT64_MAX;
 };
 
 /// Thread-safe fault schedule + per-op counters. Shared (by shared_ptr)

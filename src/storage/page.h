@@ -9,6 +9,24 @@
 //   [16..20) right-sibling page id (B-link; 0 = none)
 //   [20..24) reserved (0)
 //   [24.. )  type-specific payload
+//
+// v2 pages (flag kPageFlagHasTrailer, set on every page formatted since
+// the trailer was introduced) additionally reserve the LAST 20 bytes for
+// an end-of-page trailer:
+//   [ps-20..ps-16) trailer magic (0x32565354 "TSV2")
+//   [ps-16..ps-12) page id (redundant copy — catches misdirected writes
+//                  even when the header bytes were overwritten wholesale)
+//   [ps-12..ps-4)  flush LSN stamped by the pager at write time (a lost
+//                  write leaves a stale LSN behind)
+//   [ps-4..ps)     masked CRC32C of bytes [0, ps-4) — covers the header
+//                  INCLUDING its CRC field, so header and trailer vouch
+//                  for each other.
+// On v2 pages the header CRC covers [8, ps-4): excluding the trailer CRC
+// field breaks the circular dependency, and because the flags word is
+// inside both CRC ranges a flipped format bit fails verification in either
+// direction (v1->v2 flips fail the trailer magic, v2->v1 flips change the
+// header CRC range). Legacy v1 pages keep their full payload capacity and
+// header-only CRC forever; pages upgrade when they are next formatted.
 #ifndef TSBTREE_STORAGE_PAGE_H_
 #define TSBTREE_STORAGE_PAGE_H_
 
@@ -21,6 +39,9 @@ namespace tsb {
 inline constexpr uint32_t kPageMagic = 0x54534254;  // "TSBT"
 inline constexpr uint32_t kPageHeaderSize = 24;
 inline constexpr uint32_t kDefaultPageSize = 4096;
+inline constexpr uint32_t kPageTrailerMagic = 0x32565354;  // "TSV2"
+inline constexpr uint32_t kPageTrailerSize = 20;
+inline constexpr uint16_t kPageFlagHasTrailer = 0x1;
 
 enum class PageType : uint16_t {
   kFree = 0,
@@ -32,15 +53,35 @@ enum class PageType : uint16_t {
   kWobtNode = 6,
 };
 
-/// Zeroes `buf` and writes a fresh header (CRC left for SealPage).
+/// Zeroes `buf` and writes a fresh v2 header + trailer skeleton (CRCs left
+/// for SealPage). Every freshly formatted page carries the trailer.
 void InitPage(char* buf, uint32_t page_size, uint32_t page_id, PageType type);
 
-/// Computes and stores the masked CRC over [8, page_size).
+/// Computes and stores the CRCs for the page's own format: header-only for
+/// legacy v1 pages, header + trailer for v2 pages (the trailer's flush LSN
+/// bytes are preserved as-is — use SealPageWithLsn to stamp a new one).
 void SealPage(char* buf, uint32_t page_size);
 
-/// Verifies magic and CRC. `expected_id` checks the stored page id
-/// (pass UINT32_MAX to skip).
+/// SealPage plus stamping `flush_lsn` into the v2 trailer (no-op LSN-wise
+/// on legacy v1 pages). The pager uses this on every page write so a lost
+/// write is detectable as a stale trailer LSN.
+void SealPageWithLsn(char* buf, uint32_t page_size, uint64_t flush_lsn);
+
+/// Verifies magic and CRC(s); v2 pages additionally verify the trailer
+/// magic, trailer CRC and the redundant trailer page id. `expected_id`
+/// checks the stored page id (pass UINT32_MAX to skip).
 Status VerifyPage(const char* buf, uint32_t page_size, uint32_t expected_id);
+
+/// True when the page was formatted with the v2 end-of-page trailer.
+bool PageHasTrailer(const char* buf);
+
+/// The flush LSN stamped in the v2 trailer (0 for legacy v1 pages).
+uint64_t PageFlushLsn(const char* buf, uint32_t page_size);
+
+/// Bytes usable by type-specific payload: page_size minus the trailer
+/// reservation when the page carries one. Payload views must size their
+/// regions with this so cells never overlap the trailer.
+uint32_t PageUsableSize(const char* buf, uint32_t page_size);
 
 uint32_t PageId(const char* buf);
 PageType GetPageType(const char* buf);

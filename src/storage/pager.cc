@@ -48,16 +48,61 @@ Status Pager::Free(uint32_t page_id) {
   return Status::OK();
 }
 
+Status Pager::VerifyRead(uint32_t id, const char* buf) {
+  if (!verify_on_read_) return Status::OK();
+  Status s = VerifyPage(buf, page_size_, id);
+  if (s.ok()) {
+    // Lost-write check: if we stamped this page during this process
+    // lifetime, the trailer must carry that exact LSN. An older (or
+    // missing) stamp means the device acked a write it never applied.
+    uint64_t expected = 0;
+    bool have_expected = false;
+    {
+      std::lock_guard<std::mutex> lock(lsn_mu_);
+      auto it = stamped_lsn_.find(id);
+      if (it != stamped_lsn_.end()) {
+        expected = it->second;
+        have_expected = true;
+      }
+    }
+    if (have_expected &&
+        (!PageHasTrailer(buf) || PageFlushLsn(buf, page_size_) != expected)) {
+      s = Status::Corruption(
+          "lost page write",
+          "page " + std::to_string(id) + " expected flush lsn " +
+              std::to_string(expected) + " got " +
+              std::to_string(PageFlushLsn(buf, page_size_)));
+    }
+  }
+  if (!s.ok()) ReportCorruption(id, s);
+  return s;
+}
+
+void Pager::ReportCorruption(uint32_t id, const Status& s) {
+  CorruptionReporter reporter;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reporter = corruption_reporter_;
+  }
+  if (reporter) reporter(id, s);
+}
+
 Status Pager::Read(uint32_t id, char* buf) {
   TSB_RETURN_IF_ERROR(
       device_->Read(static_cast<uint64_t>(id) * page_size_, page_size_, buf));
-  return VerifyPage(buf, page_size_, id);
+  return VerifyRead(id, buf);
 }
 
 Status Pager::Write(uint32_t id, char* buf) {
-  SealPage(buf, page_size_);
-  return device_->Write(static_cast<uint64_t>(id) * page_size_,
-                        Slice(buf, page_size_));
+  const uint64_t lsn = flush_lsn_.load(std::memory_order_relaxed);
+  SealPageWithLsn(buf, page_size_, lsn);
+  Status s = device_->Write(static_cast<uint64_t>(id) * page_size_,
+                            Slice(buf, page_size_));
+  if (s.ok() && PageHasTrailer(buf)) {
+    std::lock_guard<std::mutex> lock(lsn_mu_);
+    stamped_lsn_[id] = lsn;
+  }
+  return s;
 }
 
 void Pager::EncodeFreeList(std::string* out, size_t max_bytes) const {
@@ -97,14 +142,60 @@ Status Pager::DecodeFreeList(Slice in) {
   return Status::OK();
 }
 
+Status Pager::VerifyStampedPages(
+    const std::function<void(uint32_t, const Status&)>& on_corrupt,
+    uint64_t* pages_checked) {
+  std::vector<std::pair<uint32_t, uint64_t>> stamped;
+  {
+    std::lock_guard<std::mutex> lock(lsn_mu_);
+    stamped.assign(stamped_lsn_.begin(), stamped_lsn_.end());
+  }
+  std::unique_ptr<char[]> buf(new char[page_size_]);
+  for (const auto& [id, lsn] : stamped) {
+    const uint64_t offset = static_cast<uint64_t>(id) * page_size_;
+    if (pages_checked != nullptr) ++*pages_checked;
+    if (offset + page_size_ > device_->Size()) {
+      // The stamped slot is not even on the device: a lost write to the
+      // tail page (the device never grew to cover it).
+      if (on_corrupt) {
+        on_corrupt(id, Status::Corruption(
+                           "lost page write",
+                           "page " + std::to_string(id) +
+                               " stamped but past device end"));
+      }
+      continue;
+    }
+    TSB_RETURN_IF_ERROR(device_->Read(offset, page_size_, buf.get()));
+    Status s = VerifyPage(buf.get(), page_size_, id);
+    if (s.ok() && (!PageHasTrailer(buf.get()) ||
+                   PageFlushLsn(buf.get(), page_size_) != lsn)) {
+      s = Status::Corruption(
+          "lost page write",
+          "page " + std::to_string(id) + " expected flush lsn " +
+              std::to_string(lsn) + " got " +
+              std::to_string(PageHasTrailer(buf.get())
+                                 ? PageFlushLsn(buf.get(), page_size_)
+                                 : 0));
+    }
+    if (!s.ok() && on_corrupt) on_corrupt(id, s);
+  }
+  return Status::OK();
+}
+
 Status Pager::ReadMeta(char* buf) {
   TSB_RETURN_IF_ERROR(device_->Read(0, page_size_, buf));
-  return VerifyPage(buf, page_size_, 0);
+  return VerifyRead(0, buf);
 }
 
 Status Pager::WriteMeta(char* buf) {
-  SealPage(buf, page_size_);
-  return device_->Write(0, Slice(buf, page_size_));
+  const uint64_t lsn = flush_lsn_.load(std::memory_order_relaxed);
+  SealPageWithLsn(buf, page_size_, lsn);
+  Status s = device_->Write(0, Slice(buf, page_size_));
+  if (s.ok() && PageHasTrailer(buf)) {
+    std::lock_guard<std::mutex> lock(lsn_mu_);
+    stamped_lsn_[0] = lsn;
+  }
+  return s;
 }
 
 }  // namespace tsb

@@ -9,8 +9,11 @@
 #ifndef TSBTREE_STORAGE_PAGER_H_
 #define TSBTREE_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -28,6 +31,30 @@ class Pager {
 
   uint32_t page_size() const { return page_size_; }
   Device* device() const { return device_; }
+
+  /// LSN stamped into v2 page trailers by subsequent Write calls. The DB
+  /// advances this to the checkpoint LSN before flushing dirty pages, so a
+  /// page whose write the disk dropped still carries the previous stamp.
+  void set_flush_lsn(uint64_t lsn) {
+    flush_lsn_.store(lsn, std::memory_order_relaxed);
+  }
+  uint64_t flush_lsn() const {
+    return flush_lsn_.load(std::memory_order_relaxed);
+  }
+
+  /// When false, Read skips checksum verification (scrub-only deployments
+  /// that prefer read latency over inline detection). Defaults to true.
+  void set_verify_on_read(bool verify) { verify_on_read_ = verify; }
+  bool verify_on_read() const { return verify_on_read_; }
+
+  /// Invoked (outside pager locks) whenever Read detects corruption, with
+  /// the page id and the Corruption status. Owners route this into the
+  /// quarantine set; the failing Status still propagates to the caller.
+  using CorruptionReporter = std::function<void(uint32_t, const Status&)>;
+  void set_corruption_reporter(CorruptionReporter reporter) {
+    std::lock_guard<std::mutex> lock(mu_);
+    corruption_reporter_ = std::move(reporter);
+  }
 
   /// Allocates a page id (reusing freed pages first).
   Status Alloc(uint32_t* page_id);
@@ -78,13 +105,38 @@ class Pager {
   /// the allocated range (robust to stale meta).
   Status DecodeFreeList(Slice in);
 
+  /// Scrub-side lost-write sweep: re-reads every page stamped during THIS
+  /// process lifetime (including the meta page) and checks that the device
+  /// still holds the stamped trailer LSN. The inline read-path check only
+  /// fires on buffer-pool misses, and a device-level scrub cannot tell an
+  /// old-but-valid page from a current one — this sweep is the only way a
+  /// lost write to a page nobody re-reads (the meta page above all) gets
+  /// caught before the next restart discards the stamps. `on_corrupt`
+  /// fires per bad page and the sweep continues. Callers must serialize
+  /// against page flushes (MultiVersionDB::Scrub holds the checkpoint
+  /// lock). Returns non-OK only for device I/O errors.
+  Status VerifyStampedPages(
+      const std::function<void(uint32_t, const Status&)>& on_corrupt,
+      uint64_t* pages_checked);
+
  private:
+  Status VerifyRead(uint32_t id, const char* buf);
+  void ReportCorruption(uint32_t id, const Status& s);
+
   Device* device_;
   uint32_t page_size_;
   mutable std::mutex mu_;   // guards next_page_, free_list_, leak counter
   uint32_t next_page_ = 1;  // 0 is meta
   std::vector<uint32_t> free_list_;
   mutable uint64_t last_encode_leaked_ = 0;
+  std::atomic<uint64_t> flush_lsn_{0};
+  bool verify_on_read_ = true;
+  CorruptionReporter corruption_reporter_;
+  // Trailer LSN each page was last stamped with THIS process lifetime; a
+  // later read returning an older stamp means the device lost the write.
+  // Reset at restart, so recovery-time rewrites can never false-positive.
+  std::mutex lsn_mu_;
+  std::unordered_map<uint32_t, uint64_t> stamped_lsn_;
 };
 
 }  // namespace tsb

@@ -34,7 +34,8 @@ bool DecodeDataCell(const Slice& cell, DataEntryView* view) {
 
 void DataPageRef::Format(char* buf, uint32_t page_size) {
   SetTsbPageLevel(buf, 0);
-  SlottedView(buf + kTsbSlotBase, page_size - kTsbSlotBase).Init();
+  SlottedView(buf + kTsbSlotBase, PageUsableSize(buf, page_size) - kTsbSlotBase)
+      .Init();
 }
 
 Status DataPageRef::At(int i, DataEntryView* view) const {

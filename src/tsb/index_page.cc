@@ -76,7 +76,8 @@ bool DecodeIndexCell(const Slice& cell, IndexEntry* e) {
 
 void IndexPageRef::Format(char* buf, uint32_t page_size, uint8_t level) {
   SetTsbPageLevel(buf, level);
-  SlottedView(buf + kTsbSlotBase, page_size - kTsbSlotBase).Init();
+  SlottedView(buf + kTsbSlotBase, PageUsableSize(buf, page_size) - kTsbSlotBase)
+      .Init();
 }
 
 Status IndexPageRef::At(int i, IndexEntry* e) const {

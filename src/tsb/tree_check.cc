@@ -4,6 +4,9 @@
 #include <set>
 #include <vector>
 
+#include "storage/append_store.h"
+#include "storage/page.h"
+
 namespace tsb {
 namespace tsb_tree {
 
@@ -40,6 +43,12 @@ DataEntryView ViewOf(const DataEntry& e) {
 Status TreeChecker::Check() {
   nodes_visited_ = 0;
   current_parent_counts_.clear();
+  dirty_at_start_.clear();
+  if (verify_checksums_) {
+    std::vector<uint32_t> dirty;
+    tree_->pool_->DirtyIds(&dirty);
+    dirty_at_start_.insert(dirty.begin(), dirty.end());
+  }
   Window all;
   const NodeRef root = tree_->root();
   current_parent_counts_[root.page_id] = 1;
@@ -58,6 +67,17 @@ Status TreeChecker::Check() {
 Status TreeChecker::CheckNode(const NodeRef& ref, uint8_t expected_level,
                               const Window& win) {
   nodes_visited_++;
+  if (ref.historical && verify_checksums_) {
+    // Re-CRC the blob against the device bytes, past the verified memo
+    // and the read cache (the dispatch below may legitimately serve a
+    // copy verified long ago).
+    BlobHandle device_bytes;
+    BlobReadHints hints;
+    hints.verify_checksums = true;
+    hints.fill_cache = false;
+    TSB_RETURN_IF_ERROR(
+        tree_->hist_->ReadView(ref.addr, &device_bytes, hints));
+  }
   if (ref.historical) {
     // Historical nodes go through the shared dispatch like every other
     // reader. The checker needs all entries of a node alive at once (the
@@ -102,6 +122,21 @@ Status TreeChecker::CheckNode(const NodeRef& ref, uint8_t expected_level,
           for (const IndexEntry& e : owned) entries.push_back(ViewOf(e));
           return CheckIndexEntries(ref, node.Level(), entries, win);
         });
+  }
+  if (verify_checksums_ && dirty_at_start_.count(ref.page_id) == 0) {
+    // Clean (or evicted) page: the device copy is current under no-steal,
+    // so its stored checksums must verify. A dirty page is skipped — its
+    // device copy is legitimately behind until the next checkpoint.
+    const uint32_t ps = tree_->pager()->page_size();
+    std::vector<char> raw(ps);
+    TSB_RETURN_IF_ERROR(tree_->pager()->device()->Read(
+        static_cast<uint64_t>(ref.page_id) * ps, ps, raw.data()));
+    Status vs = VerifyPage(raw.data(), ps, ref.page_id);
+    if (!vs.ok()) {
+      return Status::Corruption(
+          "device page failed checksum audit",
+          Describe(ref) + ": " + vs.ToString());
+    }
   }
   DecodedNode node;
   TSB_RETURN_IF_ERROR(tree_->ReadNode(ref, &node));

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,16 @@ class TreeChecker {
 
   /// Returns OK or the first violation (Corruption with a description).
   Status Check();
+
+  /// When set, Check() additionally audits every node against the DEVICE
+  /// bytes: current pages are re-read raw from the pager's device and
+  /// verified (header + trailer CRC, page-id identity) — the buffer pool
+  /// can mask on-disk rot behind a good in-memory copy — and historical
+  /// blobs re-CRC past the verified memo and the read cache. Pages dirty
+  /// in the pool are skipped (no-steal: their device copy is legitimately
+  /// behind until the next checkpoint), so the audit is exact right after
+  /// a checkpoint and sound at any quiesced moment.
+  void set_verify_checksums(bool v) { verify_checksums_ = v; }
 
   /// Number of nodes visited by the last Check() (tests use it to assert
   /// the walk saw the whole tree).
@@ -86,6 +97,10 @@ class TreeChecker {
                           uint64_t* repaired);
 
   TsbTree* tree_;
+  bool verify_checksums_ = false;
+  /// Pages dirty in the pool when Check() started (checksums mode skips
+  /// their device-side verification).
+  std::set<uint32_t> dirty_at_start_;
   uint64_t nodes_visited_ = 0;
   std::map<uint32_t, int> current_parent_counts_;
   /// Historical subtree floors memoized by blob offset: the structure is

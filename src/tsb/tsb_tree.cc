@@ -134,7 +134,8 @@ Status TsbTree::Load() {
     clock_->Publish(DecodeFixed64(p + 12));  // persisted state is committed
     // Restore the free list persisted after the fixed fields.
     const size_t fixed = 20;
-    Slice rest(p + fixed, options_.page_size - kPageHeaderSize - fixed);
+    Slice rest(p + fixed, PageUsableSize(meta.data(), options_.page_size) -
+                              kPageHeaderSize - fixed);
     Status s = pager_->DecodeFreeList(rest);
     if (!s.ok()) {
       TSB_LOG_WARN("free list not restored: %s", s.ToString().c_str());
@@ -164,7 +165,8 @@ Status TsbTree::Flush() {
   const size_t fixed = 20;
   std::string free_list;
   pager_->EncodeFreeList(&free_list,
-                         options_.page_size - kPageHeaderSize - fixed - 8);
+                         PageUsableSize(meta.data(), options_.page_size) -
+                             kPageHeaderSize - fixed - 8);
   memcpy(p + fixed, free_list.data(), free_list.size());
   TSB_RETURN_IF_ERROR(pager_->WriteMeta(meta.data()));
   return pool_->FlushAll();
@@ -190,7 +192,8 @@ Status TsbTree::BeginCheckpoint(CheckpointScope* scope) {
   const size_t fixed = 20;
   std::string free_list;
   pager_->EncodeFreeList(&free_list,
-                         options_.page_size - kPageHeaderSize - fixed - 8);
+                         PageUsableSize(meta.data(), options_.page_size) -
+                             kPageHeaderSize - fixed - 8);
   memcpy(p + fixed, free_list.data(), free_list.size());
   scope->meta_image.assign(meta.data(), options_.page_size);
   scope->dirty_pages.clear();
@@ -746,7 +749,10 @@ Status TsbTree::PutUncommitted(const Slice& key, const Slice& value,
 }
 
 Status TsbTree::InsertEntry(const DataEntry& e) {
-  const uint32_t capacity = options_.page_size - kTsbSlotBase;
+  // Sized against v2 pages (trailer reserved) — the tighter of the two
+  // formats, so a record accepted here fits on every page.
+  const uint32_t capacity =
+      options_.page_size - kTsbSlotBase - kPageTrailerSize;
   if (e.EncodedSize() + kCellOverhead > capacity / 3) {
     return Status::InvalidArgument("record too large for page size");
   }
@@ -1068,7 +1074,8 @@ Status TsbTree::SplitDataPage(const std::vector<PathElem>& path) {
     leaf_ver = h.version();
   }
   const DataNodeStats stats = ComputeDataNodeStats(entries);
-  const uint32_t capacity = options_.page_size - kTsbSlotBase;
+  const uint32_t capacity =
+      options_.page_size - kTsbSlotBase - kPageTrailerSize;
   SplitKind kind = policy_.DecideDataSplit(stats, capacity);
 
   if (kind == SplitKind::kTimeSplit) {

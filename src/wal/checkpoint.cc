@@ -22,6 +22,10 @@ std::string CheckpointJournal::JournalPath(const std::string& dir) {
   return dir + "/checkpoint.tsb";
 }
 
+std::string CheckpointJournal::RetiredPath(const std::string& dir) {
+  return dir + "/checkpoint.last.tsb";
+}
+
 CheckpointJournal::CheckpointJournal(std::string dir, uint32_t page_size)
     : dir_(std::move(dir)), page_size_(page_size) {
   PutFixed32(&body_, kMagic);
@@ -71,6 +75,18 @@ Status CheckpointJournal::Remove() {
   // Re-applying a resurrected journal is idempotent (same page images),
   // but the manifest written next assumes this step held — keep the
   // ordering honest on disk too.
+  return SyncDir(dir_);
+}
+
+Status CheckpointJournal::Retire() {
+  const std::string path = JournalPath(dir_);
+  const std::string retired = RetiredPath(dir_);
+  if (::rename(path.c_str(), retired.c_str()) != 0) {
+    return Status::IOError("rename " + path + " -> " + retired,
+                           strerror(errno));
+  }
+  // Same honesty as Remove(): the live journal must be gone (a resurrected
+  // one would be re-applied at open) before the manifest advances.
   return SyncDir(dir_);
 }
 
@@ -221,6 +237,101 @@ Status CheckpointJournal::Recover(const std::string& dir, uint32_t page_size,
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
     return Status::IOError("unlink " + path, strerror(errno));
   }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads `path` and verifies the trailer CRC + header; on success `*body`
+/// holds the full file and `*crc_pos` the trailer CRC offset.
+Status LoadVerifiedJournal(const std::string& path, uint32_t page_size,
+                           std::string* body, size_t* crc_pos) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("open " + path, strerror(errno));
+  body->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) body->append(buf, n);
+  const bool read_ok = ferror(f) == 0;
+  fclose(f);
+  if (!read_ok) return Status::IOError("read " + path, strerror(errno));
+  if (body->size() < 12 + 1 + 8 + 4) {
+    return Status::Corruption("checkpoint journal truncated", path);
+  }
+  *crc_pos = body->size() - 4;
+  if (crc32c::Value(body->data(), *crc_pos) !=
+      crc32c::Unmask(DecodeFixed32(body->data() + *crc_pos))) {
+    return Status::Corruption("checkpoint journal crc mismatch", path);
+  }
+  const char* p = body->data();
+  if (DecodeFixed32(p) != CheckpointJournal::kMagic ||
+      DecodeFixed32(p + 4) != CheckpointJournal::kVersion) {
+    return Status::Corruption("checkpoint journal bad magic/version", path);
+  }
+  if (DecodeFixed32(p + 8) != page_size) {
+    return Status::InvalidArgument("checkpoint journal page_size mismatch",
+                                   path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckpointJournal::LoadImages(
+    const std::string& path, uint32_t page_size,
+    std::map<std::pair<std::string, uint32_t>, std::string>* pages) {
+  pages->clear();
+  std::string body;
+  size_t crc_pos = 0;
+  TSB_RETURN_IF_ERROR(LoadVerifiedJournal(path, page_size, &body, &crc_pos));
+  const char* p = body.data() + 12;
+  const char* limit = body.data() + crc_pos;
+  std::string current_file;
+  uint64_t records = 0;
+  while (p < limit) {
+    const uint8_t type = static_cast<uint8_t>(*p++);
+    if (type == kTreeRecord) {
+      uint32_t len = 0;
+      p = GetVarint32Ptr(p, limit, &len);
+      if (p == nullptr || static_cast<size_t>(limit - p) < len) {
+        return Status::Corruption("journal tree record malformed", path);
+      }
+      current_file.assign(p, len);
+      p += len;
+      records++;
+    } else if (type == kPageRecord) {
+      if (static_cast<size_t>(limit - p) < 8) {
+        return Status::Corruption("journal page record malformed", path);
+      }
+      const uint32_t id = DecodeFixed32(p);
+      const uint32_t len = DecodeFixed32(p + 4);
+      p += 8;
+      if (len != page_size || static_cast<size_t>(limit - p) < len ||
+          current_file.empty()) {
+        return Status::Corruption("journal page image malformed", path);
+      }
+      (*pages)[{current_file, id}].assign(p, len);
+      p += len;
+      records++;
+    } else if (type == kEndRecord) {
+      if (static_cast<size_t>(limit - p) != 8 || DecodeFixed64(p) != records) {
+        return Status::Corruption("journal record count mismatch", path);
+      }
+      return Status::OK();
+    } else {
+      return Status::Corruption("journal record type unknown", path);
+    }
+  }
+  return Status::Corruption("journal missing end record", path);
+}
+
+Status CheckpointJournal::VerifyFile(const std::string& path,
+                                     uint32_t page_size, uint64_t* bytes) {
+  std::map<std::pair<std::string, uint32_t>, std::string> pages;
+  TSB_RETURN_IF_ERROR(LoadImages(path, page_size, &pages));
+  uint64_t total = 0;
+  for (const auto& [key, image] : pages) total += image.size();
+  if (bytes != nullptr) *bytes = total;
   return Status::OK();
 }
 

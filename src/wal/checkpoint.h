@@ -31,7 +31,9 @@
 #define TSBTREE_WAL_CHECKPOINT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 
@@ -62,6 +64,13 @@ class CheckpointJournal {
   /// syncs succeed).
   Status Remove();
 
+  /// Instead of deleting, renames the journal to the retired name
+  /// (checkpoint.last.tsb), replacing any previous one. The retired
+  /// journal holds the last checkpoint's page images — under no-steal a
+  /// page that goes corrupt ON DISK with no in-memory copy is exactly the
+  /// image recorded here, so quarantine repair restores from it.
+  Status Retire();
+
   size_t pages() const { return pages_; }
   size_t bytes() const { return body_.size(); }
 
@@ -73,6 +82,19 @@ class CheckpointJournal {
                         bool* applied);
 
   static std::string JournalPath(const std::string& dir);
+  static std::string RetiredPath(const std::string& dir);
+
+  /// Loads a COMPLETE journal file's page images, keyed by
+  /// (device_file, page_id). Fails on torn or corrupt journals (trailer
+  /// CRC gate) — repair must never apply half-trusted images.
+  static Status LoadImages(
+      const std::string& path, uint32_t page_size,
+      std::map<std::pair<std::string, uint32_t>, std::string>* pages);
+
+  /// Re-verifies a journal file end to end (trailer CRC + structure).
+  /// Used by the scrubber on the retired journal.
+  static Status VerifyFile(const std::string& path, uint32_t page_size,
+                           uint64_t* bytes);
 
   static constexpr uint32_t kMagic = 0x4b435354;  // "TSCK"
   static constexpr uint32_t kVersion = 1;
